@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! accumulator, output-SRAM reuse, delta programming, and path-loss
+//! compensation. Each bench measures the simulator while its report text
+//! (printed once per run) carries the modeled deltas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oxbar_dataflow::engine::{DataflowEngine, ModelOptions};
+use oxbar_memory::system::SramSizing;
+use oxbar_nn::zoo::resnet50_v1_5;
+use oxbar_pcm::array::{Parallelism, PcmArray};
+use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn engine_with(options: ModelOptions) -> DataflowEngine {
+    DataflowEngine::new(128, 128, 32, SramSizing::paper_default(), options)
+}
+
+fn bench_dataflow_ablations(c: &mut Criterion) {
+    let net = resnet50_v1_5();
+    let cases = [
+        ("baseline", ModelOptions::default()),
+        (
+            "no_accumulator",
+            ModelOptions {
+                use_accumulator: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "no_output_reuse",
+            ModelOptions {
+                output_sram_reuse: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "differential_mapping",
+            ModelOptions {
+                cols_per_output: 2,
+                ..ModelOptions::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation/dataflow_options");
+    group.sample_size(20);
+    for (name, options) in cases {
+        let engine = engine_with(options);
+        let spec = engine.analyze(&net);
+        println!(
+            "[ablation] {name}: dram={:.1} Mb sram={:.1} Mb cycles={}",
+            spec.traffic.dram_total().as_megabits(),
+            spec.traffic.sram_total().as_megabits(),
+            spec.total_compute_cycles
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, e| {
+            b.iter(|| black_box(e.analyze(black_box(&net))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pcm_delta_programming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/pcm_programming");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(11);
+    let base: Vec<Vec<f64>> = (0..128)
+        .map(|_| (0..128).map(|_| rng.random()).collect())
+        .collect();
+    // A 5%-changed update — the delta-programming sweet spot.
+    let mut update = base.clone();
+    for row in update.iter_mut() {
+        for w in row.iter_mut() {
+            if rng.random::<f64>() < 0.05 {
+                *w = rng.random();
+            }
+        }
+    }
+    for (name, delta) in [("delta_on", true), ("delta_off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &delta, |b, &d| {
+            b.iter(|| {
+                let mut array = PcmArray::pristine(128, 128).with_delta_programming(d);
+                array.program(&base, Parallelism::FullArray);
+                black_box(array.program(&update, Parallelism::FullArray))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_compensation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/path_loss_compensation");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let inputs: Vec<f64> = (0..64).map(|_| rng.random()).collect();
+    let weights: Vec<Vec<f64>> = (0..64)
+        .map(|_| (0..64).map(|_| rng.random()).collect())
+        .collect();
+    for (name, comp) in [("compensated", true), ("uncompensated", false)] {
+        let sim = CrossbarSimulator::new(
+            CrossbarConfig::new(64, 64)
+                .with_losses(true)
+                .with_path_loss_compensation(comp),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, s| {
+            b.iter(|| black_box(s.run_normalized(black_box(&inputs), black_box(&weights))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dataflow_ablations,
+    bench_pcm_delta_programming,
+    bench_loss_compensation
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the field-level photonic crossbar simulator
+//! (Eq. (1) engine): propagation cost vs array size, with and without
+//! losses/compensation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_case(n: usize, m: usize, seed: u64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = (0..n).map(|_| rng.random()).collect();
+    let weights = (0..n)
+        .map(|_| (0..m).map(|_| rng.random()).collect())
+        .collect();
+    (inputs, weights)
+}
+
+fn bench_ideal_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_field/ideal");
+    group.sample_size(20);
+    for size in [16usize, 32, 64, 128] {
+        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(size, size));
+        let (inputs, weights) = random_case(size, size, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(sim.run(black_box(&inputs), black_box(&weights))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossy_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_field/lossy_compensated");
+    group.sample_size(20);
+    for size in [32usize, 128] {
+        let sim = CrossbarSimulator::new(
+            CrossbarConfig::new(size, size)
+                .with_losses(true)
+                .with_path_loss_compensation(true),
+        );
+        let (inputs, weights) = random_case(size, size, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(sim.run_normalized(black_box(&inputs), black_box(&weights))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_equation_one_analytic(c: &mut Criterion) {
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(128, 128));
+    let (inputs, weights) = random_case(128, 128, 3);
+    c.bench_function("crossbar_field/eq1_analytic_128", |b| {
+        b.iter(|| black_box(sim.ideal_outputs(black_box(&inputs), black_box(&weights))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ideal_propagation,
+    bench_lossy_propagation,
+    bench_equation_one_analytic
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the runtime-spec engine and cycle-level replay
+//! across the model zoo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oxbar_dataflow::cycle::{CorePolicy, CycleSimulator};
+use oxbar_dataflow::DataflowEngine;
+use oxbar_nn::zoo;
+use std::hint::black_box;
+
+fn bench_analyze_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow/analyze");
+    group.sample_size(30);
+    for net in zoo::all_networks() {
+        let engine = DataflowEngine::paper_default(128, 128, 32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.name().to_string()),
+            &net,
+            |b, net| {
+                b.iter(|| black_box(engine.analyze(black_box(net))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cycle_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow/cycle_replay");
+    group.sample_size(30);
+    let spec = DataflowEngine::paper_default(128, 128, 32).analyze(&zoo::resnet50_v1_5());
+    for policy in [CorePolicy::SingleCore, CorePolicy::DualCore] {
+        let name = match policy {
+            CorePolicy::SingleCore => "single_core",
+            CorePolicy::DualCore => "dual_core",
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            let sim = CycleSimulator::new(1000);
+            b.iter(|| black_box(sim.run(black_box(&spec), p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_array_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow/array_scaling");
+    group.sample_size(20);
+    let net = zoo::resnet50_v1_5();
+    for size in [32usize, 128, 512] {
+        let engine = DataflowEngine::paper_default(size, size, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(engine.analyze(black_box(&net))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analyze_zoo,
+    bench_cycle_replay,
+    bench_array_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the full system model: chip evaluation, the Fig. 6
+//! grid sweep, and the §VI.B optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oxbar_core::dse::{array_grid, sweep};
+use oxbar_core::optimizer::{optimize, OptimizerSettings};
+use oxbar_core::{Chip, ChipConfig};
+use oxbar_nn::zoo::resnet50_v1_5;
+use std::hint::black_box;
+
+fn bench_chip_evaluate(c: &mut Criterion) {
+    let net = resnet50_v1_5();
+    let chip = Chip::new(ChipConfig::paper_optimal());
+    c.bench_function("system/chip_evaluate_resnet50", |b| {
+        b.iter(|| black_box(chip.evaluate(black_box(&net))));
+    });
+}
+
+fn bench_fig6_grid(c: &mut Criterion) {
+    let net = resnet50_v1_5();
+    let mut group = c.benchmark_group("system/fig6_grid");
+    group.sample_size(10);
+    group.bench_function("5x4_grid", |b| {
+        b.iter(|| {
+            let configs = array_grid(&[32, 64, 128, 256, 512], &[32, 64, 128, 256]);
+            black_box(sweep(black_box(&net), configs))
+        });
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let net = resnet50_v1_5();
+    let mut group = c.benchmark_group("system/optimizer");
+    group.sample_size(10);
+    group.bench_function("section6b_flow", |b| {
+        b.iter(|| black_box(optimize(black_box(&net), &OptimizerSettings::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chip_evaluate, bench_fig6_grid, bench_optimizer);
+criterion_main!(benches);

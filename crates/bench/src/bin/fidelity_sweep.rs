@@ -1,0 +1,4 @@
+//! Runs the fidelity sweep (effective bits vs variation and phase error).
+fn main() {
+    oxbar_bench::figures::fidelity::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (processor landscape).
+fn main() {
+    oxbar_bench::figures::fig1::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (IPS/W vs array rows and columns).
+fn main() {
+    oxbar_bench::figures::fig6::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7a (chip power and DRAM energy vs batch size).
+fn main() {
+    oxbar_bench::figures::fig7::run_7a();
+}

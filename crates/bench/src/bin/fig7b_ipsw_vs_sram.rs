@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7b (IPS/W vs input SRAM size per batch size).
+fn main() {
+    oxbar_bench::figures::fig7::run_7b();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7c (IPS vs batch size, single vs dual core).
+fn main() {
+    oxbar_bench::figures::fig7::run_7c();
+}

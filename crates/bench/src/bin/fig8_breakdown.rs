@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (power and area breakdown).
+fn main() {
+    oxbar_bench::figures::fig8::run();
+}

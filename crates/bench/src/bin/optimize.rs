@@ -1,0 +1,4 @@
+//! Runs the Sec. VI.B optimization flow.
+fn main() {
+    oxbar_bench::figures::optimize::run();
+}

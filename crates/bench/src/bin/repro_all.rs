@@ -1,0 +1,21 @@
+//! Regenerates every table and figure in one run.
+fn main() {
+    let figures: [(&str, fn()); 11] = [
+        ("Fig. 1", oxbar_bench::figures::fig1::run),
+        ("Fig. 6", oxbar_bench::figures::fig6::run),
+        ("Fig. 7a", oxbar_bench::figures::fig7::run_7a),
+        ("Fig. 7b", oxbar_bench::figures::fig7::run_7b),
+        ("Fig. 7c", oxbar_bench::figures::fig7::run_7c),
+        ("Fig. 8", oxbar_bench::figures::fig8::run),
+        ("Sec. VI.B", oxbar_bench::figures::optimize::run),
+        ("Table (Sec. VII)", oxbar_bench::figures::table1::run),
+        ("Fidelity study", oxbar_bench::figures::fidelity::run),
+        ("Zoo sweep", oxbar_bench::figures::zoo::run),
+        ("Sensitivity", oxbar_bench::figures::sensitivity::run),
+    ];
+    for (name, run) in figures {
+        println!("\n================ {name} ================\n");
+        run();
+    }
+    println!("\nAll artifacts regenerated under results/.");
+}

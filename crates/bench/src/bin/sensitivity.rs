@@ -1,0 +1,4 @@
+//! Prints the technology-parameter sensitivity table.
+fn main() {
+    oxbar_bench::figures::sensitivity::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Sec. VII comparison table against the Nvidia A100.
+fn main() {
+    oxbar_bench::figures::table1::run();
+}

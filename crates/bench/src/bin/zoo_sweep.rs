@@ -1,0 +1,4 @@
+//! Evaluates the paper-optimal chip across the whole model zoo.
+fn main() {
+    oxbar_bench::figures::zoo::run();
+}

@@ -1,0 +1,55 @@
+//! Fidelity sweep — the paper's §I precision/variation caveat, quantified.
+//!
+//! Not a numbered figure in the paper; this is the supporting study for
+//! its INT6 assumption: how much PCM programming variation and phase error
+//! the architecture tolerates while still delivering 6 effective bits.
+
+use crate::{fmt, write_csv};
+use oxbar_core::fidelity::{run_fidelity, FidelityKnobs};
+
+/// PCM programming sigma axis.
+pub const PCM_SIGMAS: [f64; 4] = [0.0, 0.005, 0.01, 0.02];
+/// Phase-error sigma axis (radians).
+pub const PHASE_SIGMAS: [f64; 4] = [0.0, 0.02, 0.05, 0.1];
+
+/// Prints the sweep and writes `results/fidelity_sweep.csv`.
+pub fn run() {
+    println!("# Fidelity sweep — effective bits vs PCM variation and phase error");
+    println!("(64x16 array, 12-bit ADC, trimmers at 0.01 rad, 20 Monte-Carlo trials)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "pcm_sigma", "phase[rad]", "rms_err", "max_err", "eff.bits"
+    );
+    let mut rows = Vec::new();
+    for &pcm_sigma in &PCM_SIGMAS {
+        for &phase_sigma in &PHASE_SIGMAS {
+            let knobs = FidelityKnobs {
+                pcm_sigma,
+                phase_sigma_rad: phase_sigma,
+                ..FidelityKnobs::default()
+            };
+            let report = run_fidelity(64, 16, 20, 42, &knobs);
+            println!(
+                "{:>10.3} {:>12.3} {:>12.6} {:>12.6} {:>10.2}",
+                pcm_sigma,
+                phase_sigma,
+                report.rms_error,
+                report.max_error,
+                report.effective_bits
+            );
+            rows.push(vec![
+                fmt(pcm_sigma, 4),
+                fmt(phase_sigma, 4),
+                fmt(report.rms_error, 8),
+                fmt(report.max_error, 8),
+                fmt(report.effective_bits, 3),
+            ]);
+        }
+    }
+    println!("\n(INT6 viability requires ≥6 effective bits — top-left region)");
+    write_csv(
+        "fidelity_sweep",
+        &["pcm_sigma", "phase_sigma_rad", "rms_error", "max_error", "effective_bits"],
+        &rows,
+    );
+}

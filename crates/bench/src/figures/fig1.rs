@@ -1,0 +1,43 @@
+//! Fig. 1 — the AI/ML processor landscape (TOPS vs TOPS/W).
+
+use crate::{fmt, write_csv};
+use oxbar_core::landscape::{published_landscape, this_work_point, ProcessorClass, ProcessorPoint};
+use oxbar_core::{Chip, ChipConfig};
+use oxbar_nn::zoo::resnet50_v1_5;
+
+/// Generates the landscape including this work's point.
+#[must_use]
+pub fn generate() -> Vec<ProcessorPoint> {
+    let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+    let mut points = published_landscape();
+    points.push(this_work_point(&report));
+    points
+}
+
+/// Prints the series and writes `results/fig1_landscape.csv`.
+pub fn run() {
+    println!("# Fig. 1 — AI/ML processor landscape (TOPS vs TOPS/W)");
+    println!("{:38} {:>10} {:>10}  class", "processor", "TOPS", "TOPS/W");
+    let points = generate();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let class = match p.class {
+                ProcessorClass::Edge => "edge",
+                ProcessorClass::Datacenter => "datacenter",
+                ProcessorClass::Photonic => "photonic",
+            };
+            println!(
+                "{:38} {:>10.3} {:>10.2}  {class}",
+                p.name, p.tops, p.tops_per_watt
+            );
+            vec![
+                p.name.clone(),
+                fmt(p.tops, 3),
+                fmt(p.tops_per_watt, 3),
+                class.to_string(),
+            ]
+        })
+        .collect();
+    write_csv("fig1_landscape", &["processor", "tops", "tops_per_watt", "class"], &rows);
+}

@@ -1,0 +1,68 @@
+//! Fig. 6 — IPS/W as a function of crossbar rows and columns.
+
+use crate::{fmt, write_csv};
+use oxbar_core::dse::{array_grid, sweep, DesignPoint};
+use oxbar_nn::zoo::resnet50_v1_5;
+
+/// The sweep axes the paper plots.
+pub const ROWS: [usize; 5] = [32, 64, 128, 256, 512];
+/// Column axis.
+pub const COLS: [usize; 4] = [32, 64, 128, 256];
+
+/// Evaluates the grid (ResNet-50, batch 32, default SRAM, dual-core).
+#[must_use]
+pub fn generate() -> Vec<DesignPoint> {
+    sweep(&resnet50_v1_5(), array_grid(&ROWS, &COLS))
+}
+
+/// Prints the IPS/W matrix and writes `results/fig6_array_sweep.csv`.
+pub fn run() {
+    println!("# Fig. 6 — IPS/W vs crossbar rows x columns");
+    println!("(ResNet-50 v1.5, batch 32, dual-core, default SRAM)");
+    let points = generate();
+
+    print!("{:>8}", "rows\\cols");
+    for c in COLS {
+        print!(" {c:>9}");
+    }
+    println!();
+    for r in ROWS {
+        print!("{r:>8}");
+        for c in COLS {
+            let p = points
+                .iter()
+                .find(|p| p.rows == r && p.cols == c)
+                .expect("grid point");
+            print!(" {:>9.0}", p.ips_per_watt);
+        }
+        println!();
+    }
+
+    let best = points
+        .iter()
+        .max_by(|a, b| a.ips_per_watt.partial_cmp(&b.ips_per_watt).unwrap())
+        .unwrap();
+    println!(
+        "peak IPS/W = {:.0} at {}x{} (paper band: 128-256 rows x 64-128 cols)",
+        best.ips_per_watt, best.rows, best.cols
+    );
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rows.to_string(),
+                p.cols.to_string(),
+                fmt(p.ips, 1),
+                fmt(p.ips_per_watt, 2),
+                fmt(p.power_w, 3),
+                fmt(p.area_mm2, 2),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig6_array_sweep",
+        &["rows", "cols", "ips", "ips_per_watt", "power_w", "area_mm2"],
+        &rows,
+    );
+}

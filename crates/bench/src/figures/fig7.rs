@@ -1,0 +1,219 @@
+//! Fig. 7 — SRAM size, batch size, and the dual-core scheme.
+//!
+//! * **7a**: chip power and DRAM share vs batch size at fixed SRAM;
+//! * **7b**: IPS/W vs input SRAM size for several batch sizes;
+//! * **7c**: IPS vs batch size for single- vs dual-core.
+
+use crate::{fmt, write_csv};
+use oxbar_core::config::CoreCount;
+use oxbar_core::perf::PerfModel;
+use oxbar_core::power::PowerModel;
+use oxbar_core::{Chip, ChipConfig};
+use oxbar_nn::zoo::resnet50_v1_5;
+use oxbar_nn::Network;
+use oxbar_units::DataVolume;
+
+/// Batch axis shared by 7a and 7c.
+pub const BATCHES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+/// Input-SRAM axis for 7b (MB).
+pub const SRAM_MB: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 26.3, 40.0, 64.0];
+/// Batch series for 7b.
+pub const SRAM_BATCHES: [usize; 4] = [8, 16, 32, 64];
+
+/// One row of the 7a series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PowerVsBatch {
+    /// Batch size.
+    pub batch: usize,
+    /// Total chip power (W).
+    pub power_w: f64,
+    /// DRAM component (W).
+    pub dram_w: f64,
+    /// IPS/W at this point.
+    pub ips_per_watt: f64,
+}
+
+/// Generates the 7a series.
+#[must_use]
+pub fn generate_7a(net: &Network) -> Vec<PowerVsBatch> {
+    BATCHES
+        .iter()
+        .map(|&batch| {
+            let cfg = ChipConfig::paper_optimal().with_batch(batch);
+            let perf = PerfModel::new(cfg.clone()).evaluate(net);
+            let model = PowerModel::new(cfg);
+            let energy = model.evaluate(&perf);
+            let power = model.average_power(&perf).as_watts();
+            PowerVsBatch {
+                batch,
+                power_w: power,
+                dram_w: energy.dram.as_joules() / perf.batch_time.as_seconds(),
+                ips_per_watt: perf.ips / power,
+            }
+        })
+        .collect()
+}
+
+/// Prints 7a and writes `results/fig7a_power_vs_batch.csv`.
+pub fn run_7a() {
+    println!("# Fig. 7a — chip power and DRAM energy vs batch size");
+    println!("(input SRAM fixed at 26.3 MB; DRAM rises steeply once the batch");
+    println!(" working set exceeds the input SRAM, between batch 32 and 64)");
+    println!("{:>6} {:>10} {:>10} {:>10}", "batch", "power[W]", "dram[W]", "IPS/W");
+    let series = generate_7a(&resnet50_v1_5());
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            println!(
+                "{:>6} {:>10.2} {:>10.2} {:>10.0}",
+                p.batch, p.power_w, p.dram_w, p.ips_per_watt
+            );
+            vec![
+                p.batch.to_string(),
+                fmt(p.power_w, 3),
+                fmt(p.dram_w, 3),
+                fmt(p.ips_per_watt, 1),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig7a_power_vs_batch",
+        &["batch", "power_w", "dram_w", "ips_per_watt"],
+        &rows,
+    );
+}
+
+/// One row of the 7b grid.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct IpswVsSram {
+    /// Input SRAM (MB).
+    pub input_sram_mb: f64,
+    /// Batch size.
+    pub batch: usize,
+    /// IPS/W.
+    pub ips_per_watt: f64,
+}
+
+/// Generates the 7b grid.
+#[must_use]
+pub fn generate_7b(net: &Network) -> Vec<IpswVsSram> {
+    let mut out = Vec::new();
+    for &batch in &SRAM_BATCHES {
+        for &mb in &SRAM_MB {
+            let cfg = ChipConfig::paper_optimal()
+                .with_batch(batch)
+                .with_input_sram(DataVolume::from_megabytes(mb));
+            let report = Chip::new(cfg).evaluate(net);
+            out.push(IpswVsSram {
+                input_sram_mb: mb,
+                batch,
+                ips_per_watt: report.ips_per_watt,
+            });
+        }
+    }
+    out
+}
+
+/// Prints 7b and writes `results/fig7b_ipsw_vs_sram.csv`.
+pub fn run_7b() {
+    println!("# Fig. 7b — IPS/W vs input SRAM size, per batch size");
+    println!("(each batch has a critical SRAM size; more SRAM does not help)");
+    let grid = generate_7b(&resnet50_v1_5());
+    print!("{:>10}", "sram[MB]");
+    for b in SRAM_BATCHES {
+        print!(" {:>10}", format!("batch {b}"));
+    }
+    println!();
+    for &mb in &SRAM_MB {
+        print!("{mb:>10.1}");
+        for &b in &SRAM_BATCHES {
+            let p = grid
+                .iter()
+                .find(|p| p.batch == b && (p.input_sram_mb - mb).abs() < 1e-9)
+                .unwrap();
+            print!(" {:>10.0}", p.ips_per_watt);
+        }
+        println!();
+    }
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.input_sram_mb, 1),
+                p.batch.to_string(),
+                fmt(p.ips_per_watt, 1),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig7b_ipsw_vs_sram",
+        &["input_sram_mb", "batch", "ips_per_watt"],
+        &rows,
+    );
+}
+
+/// One row of the 7c series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DualCoreIps {
+    /// Batch size.
+    pub batch: usize,
+    /// Single-core IPS.
+    pub single_ips: f64,
+    /// Dual-core IPS.
+    pub dual_ips: f64,
+}
+
+/// Generates the 7c series.
+#[must_use]
+pub fn generate_7c(net: &Network) -> Vec<DualCoreIps> {
+    BATCHES
+        .iter()
+        .map(|&batch| {
+            let ips = |cores| {
+                let cfg = ChipConfig::paper_optimal()
+                    .with_batch(batch)
+                    .with_cores(cores);
+                PerfModel::new(cfg).evaluate(net).ips
+            };
+            DualCoreIps {
+                batch,
+                single_ips: ips(CoreCount::Single),
+                dual_ips: ips(CoreCount::Dual),
+            }
+        })
+        .collect()
+}
+
+/// Prints 7c and writes `results/fig7c_dual_core.csv`.
+pub fn run_7c() {
+    println!("# Fig. 7c — IPS vs batch size, single vs dual core");
+    println!("(dual core hides PCM programming; the gain is largest at small batch)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "batch", "single[IPS]", "dual[IPS]", "gain"
+    );
+    let series = generate_7c(&resnet50_v1_5());
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            println!(
+                "{:>6} {:>12.0} {:>12.0} {:>7.2}x",
+                p.batch,
+                p.single_ips,
+                p.dual_ips,
+                p.dual_ips / p.single_ips
+            );
+            vec![
+                p.batch.to_string(),
+                fmt(p.single_ips, 1),
+                fmt(p.dual_ips, 1),
+                fmt(p.dual_ips / p.single_ips, 3),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig7c_dual_core",
+        &["batch", "single_ips", "dual_ips", "gain"],
+        &rows,
+    );
+}

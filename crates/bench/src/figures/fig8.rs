@@ -1,0 +1,63 @@
+//! Fig. 8 — power and area breakdown of the proposed accelerator.
+
+use crate::{fmt, write_csv, write_json};
+use oxbar_core::{Chip, ChipConfig, ChipReport};
+use oxbar_nn::zoo::resnet50_v1_5;
+
+/// Evaluates the paper-optimal chip.
+#[must_use]
+pub fn generate() -> ChipReport {
+    Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5())
+}
+
+/// Prints the breakdowns and writes `results/fig8_breakdown.{csv,json}`.
+pub fn run() {
+    println!("# Fig. 8 — power and area breakdown (128x128, dual-core, batch 32)");
+    let report = generate();
+
+    let total_e = report.energy.total().as_joules();
+    println!("\npower breakdown (total {:.2} W):", report.power.as_watts());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, e) in report.energy.entries() {
+        let watts = e.as_joules() / report.batch_time.as_seconds();
+        let share = e.as_joules() / total_e * 100.0;
+        println!("  {name:34} {watts:>8.3} W  {share:>6.2}%");
+        rows.push(vec![
+            "power".to_string(),
+            name.to_string(),
+            fmt(watts, 4),
+            fmt(share, 2),
+        ]);
+    }
+
+    let total_a = report.area.total().as_square_meters();
+    println!(
+        "\narea breakdown (total {:.1} mm²):",
+        report.area.total().as_square_millimeters()
+    );
+    for (name, a) in report.area.entries() {
+        let mm2 = a.as_square_millimeters();
+        let share = a.as_square_meters() / total_a * 100.0;
+        println!("  {name:34} {mm2:>8.2} mm² {share:>6.2}%");
+        rows.push(vec![
+            "area".to_string(),
+            name.to_string(),
+            fmt(mm2, 4),
+            fmt(share, 2),
+        ]);
+    }
+
+    println!(
+        "\ndominant power: {} | dominant area: {}",
+        report.energy.dominant(),
+        report.area.dominant()
+    );
+    println!("(paper: power dominated by DRAM accesses, area by SRAM — see EXPERIMENTS.md)");
+
+    write_csv(
+        "fig8_breakdown",
+        &["kind", "component", "value", "share_percent"],
+        &rows,
+    );
+    write_json("fig8_report", &report);
+}

@@ -1,0 +1,13 @@
+//! One module per paper artifact; each generates, prints, and persists the
+//! figure's data series. Binaries under `src/bin/` are thin wrappers so
+//! `repro_all` can drive everything in one process.
+
+pub mod fidelity;
+pub mod fig1;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod optimize;
+pub mod sensitivity;
+pub mod table1;
+pub mod zoo;

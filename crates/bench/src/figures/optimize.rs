@@ -1,0 +1,33 @@
+//! §VI.B optimization flow.
+
+use crate::write_json;
+use oxbar_core::optimizer::{optimize, OptimizerSettings};
+use oxbar_core::optimizer::OptimizationResult;
+use oxbar_nn::zoo::resnet50_v1_5;
+
+/// Runs the three-step flow on ResNet-50.
+#[must_use]
+pub fn generate() -> OptimizationResult {
+    optimize(&resnet50_v1_5(), &OptimizerSettings::default())
+}
+
+/// Prints each decision and writes `results/optimize.json`.
+pub fn run() {
+    println!("# Sec. VI.B — optimization flow (batch -> SRAM -> array)");
+    let result = generate();
+    println!(
+        "step 1  batch          : {}  (paper: 32)",
+        result.batch
+    );
+    println!(
+        "step 2  input SRAM     : {:.1} MB  (paper: 26.3 MB)",
+        result.input_sram.as_megabytes()
+    );
+    println!(
+        "step 3  array          : {}x{}  (paper: 128x128)",
+        result.array.0, result.array.1
+    );
+    println!("\nresulting chip:");
+    println!("{}", result.report);
+    write_json("optimize", &result);
+}

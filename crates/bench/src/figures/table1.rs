@@ -1,0 +1,55 @@
+//! §VII comparison table — this work vs Nvidia A100.
+
+use crate::{fmt, write_csv};
+use oxbar_core::compare::{BaselineRecord, Comparison};
+use oxbar_core::{Chip, ChipConfig};
+use oxbar_nn::zoo::resnet50_v1_5;
+
+/// Builds the comparison at the paper-optimal configuration.
+#[must_use]
+pub fn generate() -> Comparison {
+    let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+    Comparison::against(&report, BaselineRecord::nvidia_a100())
+}
+
+/// Prints the table and writes `results/table1_comparison.csv`.
+pub fn run() {
+    println!("# Table (Sec. VII) — this work vs Nvidia A100 (ResNet-50)");
+    let cmp = generate();
+    println!("{cmp}");
+    let paper = BaselineRecord::paper_this_work();
+    println!(
+        "paper's reported row:                  {:>9.0} {:>8.0} {:>8.1}W {:>7.0}mm²",
+        paper.ips, paper.ips_per_watt, paper.power_w, paper.area_mm2
+    );
+    println!("paper's reported advantages: 15.4x lower power, 7.24x lower area, 1.22x IPS");
+
+    let rows = vec![
+        vec![
+            cmp.this_work.name.clone(),
+            fmt(cmp.this_work.ips, 0),
+            fmt(cmp.this_work.ips_per_watt, 1),
+            fmt(cmp.this_work.power_w, 2),
+            fmt(cmp.this_work.area_mm2, 1),
+        ],
+        vec![
+            cmp.baseline.name.clone(),
+            fmt(cmp.baseline.ips, 0),
+            fmt(cmp.baseline.ips_per_watt, 1),
+            fmt(cmp.baseline.power_w, 2),
+            fmt(cmp.baseline.area_mm2, 1),
+        ],
+        vec![
+            paper.name.clone(),
+            fmt(paper.ips, 0),
+            fmt(paper.ips_per_watt, 1),
+            fmt(paper.power_w, 2),
+            fmt(paper.area_mm2, 1),
+        ],
+    ];
+    write_csv(
+        "table1_comparison",
+        &["system", "ips", "ips_per_watt", "power_w", "area_mm2"],
+        &rows,
+    );
+}

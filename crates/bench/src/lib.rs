@@ -1,0 +1,105 @@
+//! Shared plumbing for the figure/table reproduction binaries.
+//!
+//! Every binary prints the paper-style rows/series to stdout and mirrors
+//! them as CSV (and JSON where structured) under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Resolves the repository `results/` directory (creating it), looking
+/// upward from the current directory for the workspace root.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("current dir");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            break;
+        }
+        if !dir.pop() {
+            dir = std::env::current_dir().expect("current dir");
+            break;
+        }
+    }
+    let results = dir.join("results");
+    fs::create_dir_all(&results).expect("create results dir");
+    results
+}
+
+/// Writes CSV rows (first row = header) to `results/<name>.csv` and echoes
+/// the path.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("write csv");
+    println!("[written] {}", path.display());
+    path
+}
+
+/// Serializes a JSON report to `results/<name>.json`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    fs::write(&path, json).expect("write json");
+    println!("[written] {}", path.display());
+    path
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Formats a float with the given precision, for CSV cells.
+#[must_use]
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Returns `path` as a displayable string (for logs).
+#[must_use]
+pub fn display_path(path: &Path) -> String {
+    path.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+        assert!(dir.ends_with("results"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let path = write_csv("test_csv_round_trip", &["a", "b"], &rows);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+}

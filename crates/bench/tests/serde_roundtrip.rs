@@ -1,0 +1,57 @@
+//! Serialization round-trips for the public data structures: configs and
+//! reports must survive JSON (the format the harness persists).
+
+use oxbar_core::config::ChipConfig;
+use oxbar_core::{Chip, TechnologyParams};
+use oxbar_dataflow::DataflowEngine;
+use oxbar_nn::zoo::lenet5;
+
+#[test]
+fn technology_params_round_trip() {
+    let tech = TechnologyParams::paper_default();
+    let json = serde_json::to_string(&tech).unwrap();
+    let back: TechnologyParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(tech, back);
+}
+
+#[test]
+fn chip_config_round_trip() {
+    let cfg = ChipConfig::paper_optimal().with_array(256, 64).with_batch(16);
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: ChipConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn network_spec_round_trip() {
+    let spec = DataflowEngine::paper_default(64, 64, 4).analyze(&lenet5());
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: oxbar_dataflow::NetworkSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+}
+
+#[test]
+fn chip_report_round_trip() {
+    let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&lenet5());
+    let json = serde_json::to_string(&report).unwrap();
+    let back: oxbar_core::ChipReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn network_round_trip() {
+    let net = lenet5();
+    let json = serde_json::to_string(&net).unwrap();
+    let back: oxbar_nn::Network = serde_json::from_str(&json).unwrap();
+    assert_eq!(net, back);
+    assert_eq!(back.total_macs(), net.total_macs());
+}
+
+#[test]
+fn config_json_is_human_auditable() {
+    // The persisted config names the paper's key constants explicitly.
+    let json = serde_json::to_string_pretty(&ChipConfig::paper_optimal()).unwrap();
+    for key in ["rows", "cols", "batch", "pcm_program_energy", "cell_pitch_um"] {
+        assert!(json.contains(key), "missing key {key}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Area model: per-component layout areas.
+
+use crate::config::ChipConfig;
+use oxbar_electronics::accumulator::Accumulator;
+use oxbar_electronics::activation::ActivationUnit;
+use oxbar_electronics::adc::Adc;
+use oxbar_electronics::clocking::ClockDistribution;
+use oxbar_electronics::dac::OdacDriver;
+use oxbar_electronics::tia::Tia;
+use oxbar_memory::system::MemorySystem;
+use oxbar_units::Area;
+use serde::{Deserialize, Serialize};
+
+/// Chip area itemized by subsystem.
+///
+/// The dual-core design replicates the photonics and transceivers but
+/// shares the SRAM, digital backend, and laser (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// The four SRAM blocks.
+    pub sram: Area,
+    /// Photonic crossbar cores (cells at the unit-cell pitch + routing).
+    pub photonics: Area,
+    /// Column ADCs.
+    pub adc: Area,
+    /// Row ODAC drivers.
+    pub dac_drivers: Area,
+    /// Column TIAs.
+    pub tia: Area,
+    /// Row/column clock distribution.
+    pub clocking: Area,
+    /// Digital backend (accumulator + activation lanes).
+    pub digital: Area,
+}
+
+impl AreaBreakdown {
+    /// Total chip area.
+    #[must_use]
+    pub fn total(&self) -> Area {
+        self.sram
+            + self.photonics
+            + self.adc
+            + self.dac_drivers
+            + self.tia
+            + self.clocking
+            + self.digital
+    }
+
+    /// `(name, area)` pairs in a stable order (Fig. 8 rows).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(&'static str, Area)> {
+        vec![
+            ("SRAM", self.sram),
+            ("photonic cores", self.photonics),
+            ("ADCs", self.adc),
+            ("ODAC drivers", self.dac_drivers),
+            ("TIAs", self.tia),
+            ("clocking", self.clocking),
+            ("digital (accum+activation)", self.digital),
+        ]
+    }
+
+    /// The dominant component name.
+    #[must_use]
+    pub fn dominant(&self) -> &'static str {
+        self.entries()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("areas are finite"))
+            .map(|(name, _)| name)
+            .unwrap_or("none")
+    }
+}
+
+/// The area model.
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    config: ChipConfig,
+}
+
+impl AreaModel {
+    /// Photonic routing overhead on top of the raw cell grid.
+    pub const ROUTING_OVERHEAD: f64 = 1.2;
+
+    /// Creates the model for a configuration.
+    #[must_use]
+    pub fn new(config: ChipConfig) -> Self {
+        Self { config }
+    }
+
+    /// Computes the breakdown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_core::area::AreaModel;
+    /// use oxbar_core::config::ChipConfig;
+    ///
+    /// let area = AreaModel::new(ChipConfig::paper_optimal()).evaluate();
+    /// let mm2 = area.total().as_square_millimeters();
+    /// // The paper reports 121 mm² for this configuration.
+    /// assert!(mm2 > 110.0 && mm2 < 135.0);
+    /// ```
+    #[must_use]
+    pub fn evaluate(&self) -> AreaBreakdown {
+        let cfg = &self.config;
+        let replicas = cfg.cores.replicas() as f64;
+        let clock = cfg.tech.clock;
+
+        let sram = MemorySystem::new(cfg.sram, oxbar_memory::DramKind::Hbm)
+            .total_sram_area();
+        let cell = Area::from_rect_um(cfg.tech.cell_pitch_um, cfg.tech.cell_pitch_um);
+        let photonics =
+            cell * cfg.cells_per_core() as f64 * Self::ROUTING_OVERHEAD * replicas;
+        let adc = Adc::paper_default(clock).area() * cfg.cols as f64 * replicas;
+        let dac_drivers =
+            OdacDriver::paper_default(clock).area() * cfg.rows as f64 * replicas;
+        let tia = Tia::paper_default().area() * cfg.cols as f64 * replicas;
+        let clocking = ClockDistribution::paper_default(clock).area()
+            * (cfg.rows + cfg.cols) as f64
+            * replicas;
+        // The digital backend is shared between cores.
+        let digital = Accumulator::area_for_lanes(cfg.cols)
+            + ActivationUnit::area_for_lanes(cfg.cols);
+
+        AreaBreakdown {
+            sram,
+            photonics,
+            adc,
+            dac_drivers,
+            tia,
+            clocking,
+            digital,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreCount;
+
+    #[test]
+    fn paper_optimum_reproduces_121mm2() {
+        let area = AreaModel::new(ChipConfig::paper_optimal()).evaluate();
+        let total = area.total().as_square_millimeters();
+        assert!(
+            (total - 121.0).abs() < 5.0,
+            "total {total} mm² vs paper 121 mm²"
+        );
+    }
+
+    #[test]
+    fn sram_dominates_area() {
+        // Fig. 8: area is dominated by the SRAM blocks.
+        let area = AreaModel::new(ChipConfig::paper_optimal()).evaluate();
+        assert_eq!(area.dominant(), "SRAM");
+        let share =
+            area.sram.as_square_meters() / area.total().as_square_meters();
+        assert!(share > 0.5, "SRAM share {share}");
+    }
+
+    #[test]
+    fn dual_core_doubles_photonics_not_sram() {
+        let single = AreaModel::new(
+            ChipConfig::paper_optimal().with_cores(CoreCount::Single),
+        )
+        .evaluate();
+        let dual =
+            AreaModel::new(ChipConfig::paper_optimal().with_cores(CoreCount::Dual))
+                .evaluate();
+        assert!(
+            (dual.photonics.as_square_meters()
+                / single.photonics.as_square_meters()
+                - 2.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(dual.sram, single.sram);
+        assert_eq!(dual.digital, single.digital);
+    }
+
+    #[test]
+    fn entries_sum_to_total() {
+        let area = AreaModel::new(ChipConfig::paper_optimal()).evaluate();
+        let sum: Area = area.entries().into_iter().map(|(_, a)| a).sum();
+        assert!(
+            (sum.as_square_meters() - area.total().as_square_meters()).abs() < 1e-18
+        );
+    }
+
+    #[test]
+    fn area_scales_with_array() {
+        let small = AreaModel::new(ChipConfig::paper_optimal().with_array(32, 32))
+            .evaluate();
+        let large = AreaModel::new(ChipConfig::paper_optimal().with_array(256, 256))
+            .evaluate();
+        assert!(large.photonics > small.photonics);
+        assert!(large.adc > small.adc);
+        assert_eq!(large.sram, small.sram);
+    }
+}

@@ -1,0 +1,160 @@
+//! The §VII comparison against the Nvidia A100 baseline.
+
+use crate::report::ChipReport;
+use serde::{Deserialize, Serialize};
+
+/// A published baseline accelerator record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRecord {
+    /// System name.
+    pub name: String,
+    /// ResNet-50 inferences per second.
+    pub ips: f64,
+    /// IPS per watt.
+    pub ips_per_watt: f64,
+    /// Board/chip power (W).
+    pub power_w: f64,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+}
+
+impl BaselineRecord {
+    /// The paper's A100 row (ref. \[24\]: INT8, batch 128, ResNet-50).
+    #[must_use]
+    pub fn nvidia_a100() -> Self {
+        Self {
+            name: "Nvidia A100 (INT8, batch 128)".to_string(),
+            ips: 29_733.0,
+            ips_per_watt: 75.0,
+            power_w: 396.0,
+            area_mm2: 826.0,
+        }
+    }
+
+    /// The paper's own reported row for its 128×128 optimum ("This work").
+    #[must_use]
+    pub fn paper_this_work() -> Self {
+        Self {
+            name: "Paper's reported optimum".to_string(),
+            ips: 36_382.0,
+            ips_per_watt: 1_196.0,
+            power_w: 30.0,
+            area_mm2: 121.0,
+        }
+    }
+}
+
+/// The §VII table: this work (our reproduction) vs a baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Our evaluated chip.
+    pub this_work: BaselineRecord,
+    /// The baseline row.
+    pub baseline: BaselineRecord,
+}
+
+impl Comparison {
+    /// Builds the comparison from a chip report.
+    #[must_use]
+    pub fn against(report: &ChipReport, baseline: BaselineRecord) -> Self {
+        Self {
+            this_work: BaselineRecord {
+                name: format!(
+                    "This work ({}x{}, batch {})",
+                    report.array.0, report.array.1, report.batch
+                ),
+                ips: report.ips,
+                ips_per_watt: report.ips_per_watt,
+                power_w: report.power.as_watts(),
+                area_mm2: report.area.total().as_square_millimeters(),
+            },
+            baseline,
+        }
+    }
+
+    /// Baseline power over ours (the paper reports 15.4×).
+    #[must_use]
+    pub fn power_advantage(&self) -> f64 {
+        self.baseline.power_w / self.this_work.power_w
+    }
+
+    /// Baseline area over ours (the paper reports 7.24×).
+    #[must_use]
+    pub fn area_advantage(&self) -> f64 {
+        self.baseline.area_mm2 / self.this_work.area_mm2
+    }
+
+    /// Our IPS over the baseline's (the paper reports ≈1.22×).
+    #[must_use]
+    pub fn ips_ratio(&self) -> f64 {
+        self.this_work.ips / self.baseline.ips
+    }
+}
+
+impl core::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{:38} {:>9} {:>8} {:>9} {:>10}",
+            "System", "IPS", "IPS/W", "Power", "Area"
+        )?;
+        for rec in [&self.this_work, &self.baseline] {
+            writeln!(
+                f,
+                "{:38} {:>9.0} {:>8.0} {:>8.1}W {:>7.0}mm²",
+                rec.name, rec.ips, rec.ips_per_watt, rec.power_w, rec.area_mm2
+            )?;
+        }
+        writeln!(
+            f,
+            "advantages: {:.2}x lower power, {:.2}x lower area, {:.2}x IPS",
+            self.power_advantage(),
+            self.area_advantage(),
+            self.ips_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Chip;
+    use crate::config::ChipConfig;
+    use oxbar_nn::zoo::resnet50_v1_5;
+
+    #[test]
+    fn a100_published_numbers() {
+        let a100 = BaselineRecord::nvidia_a100();
+        assert_eq!(a100.ips, 29_733.0);
+        assert_eq!(a100.power_w, 396.0);
+    }
+
+    #[test]
+    fn comparison_shows_large_power_and_area_advantage() {
+        let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+        let cmp = Comparison::against(&report, BaselineRecord::nvidia_a100());
+        // Paper: 15.4× power, 7.24× area, similar IPS. Shape check: both
+        // advantages are large, IPS is the same order.
+        assert!(cmp.power_advantage() > 5.0, "power {}", cmp.power_advantage());
+        assert!(
+            cmp.area_advantage() > 5.0 && cmp.area_advantage() < 9.0,
+            "area {}",
+            cmp.area_advantage()
+        );
+        assert!(
+            cmp.ips_ratio() > 0.8 && cmp.ips_ratio() < 1.8,
+            "ips ratio {}",
+            cmp.ips_ratio()
+        );
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+        let cmp = Comparison::against(&report, BaselineRecord::nvidia_a100());
+        let text = cmp.to_string();
+        assert!(text.contains("System"));
+        assert!(text.contains("A100"));
+        assert!(text.contains("advantages"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Chip configuration.
+
+use crate::tech::TechnologyParams;
+use oxbar_dataflow::cycle::CorePolicy;
+use oxbar_dataflow::engine::ModelOptions;
+use oxbar_memory::system::SramSizing;
+use oxbar_units::DataVolume;
+use serde::{Deserialize, Serialize};
+
+/// Photonic core count (§IV's dual-core programming-hiding scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreCount {
+    /// One crossbar: programming serializes with compute.
+    Single,
+    /// Two crossbars sharing one laser and the digital backend.
+    Dual,
+}
+
+impl CoreCount {
+    /// Number of photonic-core replicas.
+    #[must_use]
+    pub fn replicas(self) -> usize {
+        match self {
+            CoreCount::Single => 1,
+            CoreCount::Dual => 2,
+        }
+    }
+
+    /// The matching dataflow scheduling policy.
+    #[must_use]
+    pub fn policy(self) -> CorePolicy {
+        match self {
+            CoreCount::Single => CorePolicy::SingleCore,
+            CoreCount::Dual => CorePolicy::DualCore,
+        }
+    }
+}
+
+/// Full chip parameterization: geometry, batch, SRAM, cores, technology.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_core::config::ChipConfig;
+///
+/// let cfg = ChipConfig::paper_optimal();
+/// assert_eq!(cfg.rows, 128);
+/// assert_eq!(cfg.cols, 128);
+/// assert_eq!(cfg.batch, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Crossbar rows (N).
+    pub rows: usize,
+    /// Crossbar columns (M).
+    pub cols: usize,
+    /// Photonic core count.
+    pub cores: CoreCount,
+    /// Inference batch size.
+    pub batch: usize,
+    /// SRAM block sizing.
+    pub sram: SramSizing,
+    /// Technology constants.
+    pub tech: TechnologyParams,
+    /// Dataflow options (accumulator, reuse, mapping).
+    pub options: ModelOptions,
+}
+
+impl ChipConfig {
+    /// The paper's §VII optimum: 128×128, dual-core, batch 32,
+    /// 26.3/0.75/0.75/0.75 MB SRAM, 10 GHz.
+    #[must_use]
+    pub fn paper_optimal() -> Self {
+        Self {
+            rows: 128,
+            cols: 128,
+            cores: CoreCount::Dual,
+            batch: 32,
+            sram: SramSizing::paper_default(),
+            tech: TechnologyParams::paper_default(),
+            options: ModelOptions::default(),
+        }
+    }
+
+    /// Builder: array geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_array(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Builder: batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is zero.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be non-zero");
+        self.batch = batch;
+        self
+    }
+
+    /// Builder: core count.
+    #[must_use]
+    pub fn with_cores(mut self, cores: CoreCount) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Builder: input SRAM size, keeping the other blocks at defaults.
+    #[must_use]
+    pub fn with_input_sram(mut self, input: DataVolume) -> Self {
+        self.sram = self.sram.with_input(input);
+        self
+    }
+
+    /// Builder: dataflow options.
+    #[must_use]
+    pub fn with_options(mut self, options: ModelOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Cells per photonic core.
+    #[must_use]
+    pub fn cells_per_core(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The dataflow engine this configuration implies.
+    #[must_use]
+    pub fn engine(&self) -> oxbar_dataflow::DataflowEngine {
+        oxbar_dataflow::DataflowEngine::new(
+            self.rows,
+            self.cols,
+            self.batch,
+            self.sram,
+            self.options,
+        )
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::paper_optimal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_optimum_values() {
+        let cfg = ChipConfig::paper_optimal();
+        assert_eq!(cfg.cores.replicas(), 2);
+        assert_eq!(cfg.cells_per_core(), 16384);
+        assert!((cfg.sram.input.as_megabytes() - 26.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = ChipConfig::paper_optimal()
+            .with_array(256, 64)
+            .with_batch(16)
+            .with_cores(CoreCount::Single);
+        assert_eq!((cfg.rows, cfg.cols, cfg.batch), (256, 64, 16));
+        assert_eq!(cfg.cores.replicas(), 1);
+    }
+
+    #[test]
+    fn engine_inherits_parameters() {
+        let cfg = ChipConfig::paper_optimal().with_batch(8);
+        let engine = cfg.engine();
+        assert_eq!(engine.batch(), 8);
+        assert_eq!(engine.array_rows(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-zero")]
+    fn zero_batch_panics() {
+        let _ = ChipConfig::paper_optimal().with_batch(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Exhaustive design-space exploration (the sweeps behind Figs. 6 and 7).
+
+use crate::chip::Chip;
+use crate::config::ChipConfig;
+use oxbar_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Input SRAM (MB).
+    pub input_sram_mb: f64,
+    /// Inferences per second.
+    pub ips: f64,
+    /// IPS per watt.
+    pub ips_per_watt: f64,
+    /// Chip power (W).
+    pub power_w: f64,
+    /// Chip area (mm²).
+    pub area_mm2: f64,
+}
+
+impl DesignPoint {
+    fn from_report(cfg: &ChipConfig, report: &crate::report::ChipReport) -> Self {
+        Self {
+            rows: cfg.rows,
+            cols: cfg.cols,
+            batch: cfg.batch,
+            input_sram_mb: cfg.sram.input.as_megabytes(),
+            ips: report.ips,
+            ips_per_watt: report.ips_per_watt,
+            power_w: report.power.as_watts(),
+            area_mm2: report.area.total().as_square_millimeters(),
+        }
+    }
+}
+
+/// Evaluates every configuration in the cartesian sweep, in parallel.
+///
+/// Each entry of `configs` is evaluated independently with
+/// `std::thread::scope`; results keep the input order.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_core::config::ChipConfig;
+/// use oxbar_core::dse::sweep;
+/// use oxbar_nn::zoo::lenet5;
+///
+/// let configs = vec![
+///     ChipConfig::paper_optimal().with_array(32, 32),
+///     ChipConfig::paper_optimal().with_array(64, 64),
+/// ];
+/// let points = sweep(&lenet5(), configs);
+/// assert_eq!(points.len(), 2);
+/// ```
+#[must_use]
+pub fn sweep(network: &Network, configs: Vec<ChipConfig>) -> Vec<DesignPoint> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(configs.len().max(1));
+    let mut results: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    let chunk = configs.len().div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        for (slot_chunk, cfg_chunk) in
+            results.chunks_mut(chunk).zip(configs.chunks(chunk))
+        {
+            scope.spawn(move || {
+                for (slot, cfg) in slot_chunk.iter_mut().zip(cfg_chunk) {
+                    let report = Chip::new(cfg.clone()).evaluate(network);
+                    *slot = Some(DesignPoint::from_report(cfg, &report));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|p| p.expect("every slot filled"))
+        .collect()
+}
+
+/// Builds the Fig. 6 grid: all `rows × cols` combinations at fixed batch
+/// and SRAM.
+#[must_use]
+pub fn array_grid(rows: &[usize], cols: &[usize]) -> Vec<ChipConfig> {
+    let base = ChipConfig::paper_optimal();
+    let mut configs = Vec::with_capacity(rows.len() * cols.len());
+    for &r in rows {
+        for &c in cols {
+            configs.push(base.clone().with_array(r, c));
+        }
+    }
+    configs
+}
+
+/// Extracts the Pareto-optimal points under (maximize IPS, maximize IPS/W).
+#[must_use]
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.ips > p.ips && q.ips_per_watt >= p.ips_per_watt)
+                || (q.ips >= p.ips && q.ips_per_watt > p.ips_per_watt)
+        });
+        if !dominated {
+            front.push(p.clone());
+        }
+    }
+    front.sort_by(|a, b| a.ips.partial_cmp(&b.ips).expect("finite"));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::zoo::resnet50_v1_5;
+
+    #[test]
+    fn sweep_preserves_order_and_length() {
+        let configs = array_grid(&[32, 64], &[32, 64]);
+        let points = sweep(&oxbar_nn::zoo::lenet5(), configs.clone());
+        assert_eq!(points.len(), 4);
+        for (p, c) in points.iter().zip(&configs) {
+            assert_eq!((p.rows, p.cols), (c.rows, c.cols));
+        }
+    }
+
+    #[test]
+    fn fig6_peak_in_paper_band() {
+        // Peak IPS/W at 128-256 rows × 64-128 cols (paper Fig. 6).
+        let rows = [32usize, 64, 128, 256, 512];
+        let cols = [32usize, 64, 128, 256];
+        let points = sweep(&resnet50_v1_5(), array_grid(&rows, &cols));
+        let best = points
+            .iter()
+            .max_by(|a, b| a.ips_per_watt.partial_cmp(&b.ips_per_watt).unwrap())
+            .unwrap();
+        assert!(
+            (128..=256).contains(&best.rows),
+            "peak rows {} (IPS/W {})",
+            best.rows,
+            best.ips_per_watt
+        );
+        assert!(
+            (64..=128).contains(&best.cols),
+            "peak cols {} (IPS/W {})",
+            best.cols,
+            best.ips_per_watt
+        );
+    }
+
+    #[test]
+    fn ips_increases_with_array_size_along_diagonal() {
+        let points = sweep(
+            &resnet50_v1_5(),
+            array_grid(&[32, 64, 128], &[32, 64, 128]),
+        );
+        let diag: Vec<&DesignPoint> = points
+            .iter()
+            .filter(|p| p.rows == p.cols)
+            .collect();
+        assert!(diag[0].ips < diag[1].ips && diag[1].ips < diag[2].ips);
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_sorted() {
+        let points = sweep(
+            &resnet50_v1_5(),
+            array_grid(&[32, 64, 128, 256], &[32, 64, 128]),
+        );
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].ips <= w[1].ips);
+            assert!(w[0].ips_per_watt >= w[1].ips_per_watt);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Compute-fidelity analysis: how PCM programming variation, phase errors,
+//! and ADC resolution erode the crossbar's effective precision.
+//!
+//! The paper assumes INT6 end to end and notes that "precision and process
+//! variation are major factors in all analog-based computers" (§I); this
+//! module quantifies that statement for the proposed architecture with
+//! seeded Monte-Carlo over the field-level simulator.
+
+use oxbar_electronics::UnsignedQuantizer;
+use oxbar_pcm::variation::DeviceVariation;
+use oxbar_pcm::{LevelTable, PcmCell};
+use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The non-idealities applied in one fidelity experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityKnobs {
+    /// PCM cycle-to-cycle programming sigma (crystalline-fraction units).
+    pub pcm_sigma: f64,
+    /// Per-cell phase-error sigma (radians).
+    pub phase_sigma_rad: f64,
+    /// Thermal-trimmer quantization step (radians); 0 disables trimming.
+    pub trim_resolution_rad: f64,
+    /// ADC resolution digitizing the column output.
+    pub adc_bits: u8,
+    /// Whether component losses (and their compensation) are modeled.
+    pub with_losses: bool,
+}
+
+impl Default for FidelityKnobs {
+    fn default() -> Self {
+        Self {
+            pcm_sigma: 0.0,
+            phase_sigma_rad: 0.0,
+            trim_resolution_rad: 0.01,
+            adc_bits: 12,
+            with_losses: false,
+        }
+    }
+}
+
+/// Result of one Monte-Carlo fidelity run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Array rows used.
+    pub rows: usize,
+    /// Array columns used.
+    pub cols: usize,
+    /// Trials × columns MAC samples evaluated.
+    pub samples: usize,
+    /// RMS error of the normalized MAC (full scale 1.0).
+    pub rms_error: f64,
+    /// Worst absolute error observed.
+    pub max_error: f64,
+    /// Effective bits: `log2(full_scale / (rms_error·√12))`, the uniform-
+    /// quantization equivalent of the observed noise.
+    pub effective_bits: f64,
+}
+
+/// Runs a seeded Monte-Carlo fidelity experiment on an `rows × cols`
+/// crossbar.
+///
+/// Each trial draws uniform inputs and signed-uniform weights, applies the
+/// PCM level table (with programming variation), propagates fields with
+/// the configured phase errors/losses, digitizes with the ADC, and
+/// compares against the exact normalized MAC `Σ v·w / rows`.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_core::fidelity::{run_fidelity, FidelityKnobs};
+///
+/// let clean = run_fidelity(32, 8, 10, 1, &FidelityKnobs::default());
+/// assert!(clean.effective_bits > 6.0);
+/// ```
+#[must_use]
+pub fn run_fidelity(
+    rows: usize,
+    cols: usize,
+    trials: usize,
+    seed: u64,
+    knobs: &FidelityKnobs,
+) -> FidelityReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = LevelTable::int6(PcmCell::pristine());
+    let t_max = PcmCell::pristine().max_transmission();
+    let variation = DeviceVariation::new(knobs.pcm_sigma, 0.0);
+    let adc = UnsignedQuantizer::new(knobs.adc_bits, 1.0).expect("valid ADC");
+
+    let mut config = CrossbarConfig::new(rows, cols)
+        .with_phase_error_sigma(knobs.phase_sigma_rad)
+        .with_phase_error_seed(seed.wrapping_mul(31).wrapping_add(7))
+        .with_trim_resolution(knobs.trim_resolution_rad);
+    if knobs.with_losses {
+        config = config.with_losses(true).with_path_loss_compensation(true);
+    }
+    let sim = CrossbarSimulator::new(config);
+
+    let mut se = 0.0f64;
+    let mut max_error = 0.0f64;
+    let mut samples = 0usize;
+    for _ in 0..trials {
+        let inputs: Vec<f64> = (0..rows).map(|_| rng.random()).collect();
+        // Ideal weights in [0, 1] and their physically-programmed versions.
+        let ideal: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.random()).collect())
+            .collect();
+        let programmed: Vec<Vec<f64>> = ideal
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&w| {
+                        let code = table.quantize_weight(w);
+                        let target = table.fraction_for_code(code);
+                        let achieved = variation.apply_program(target, 0.0, &mut rng);
+                        let mut cell = PcmCell::pristine();
+                        cell.set_crystalline_fraction(achieved);
+                        (cell.transmission() / t_max).min(1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let ys = sim.run_normalized(&inputs, &programmed);
+        for (j, y) in ys.iter().enumerate() {
+            let digitized = adc.reconstruct(y.clamp(0.0, 1.0));
+            let exact: f64 = (0..rows)
+                .map(|i| inputs[i] * ideal[i][j])
+                .sum::<f64>()
+                / rows as f64;
+            let err = (digitized - exact).abs();
+            se += err * err;
+            max_error = max_error.max(err);
+            samples += 1;
+        }
+    }
+    let rms_error = (se / samples as f64).sqrt();
+    let effective_bits = if rms_error > 0.0 {
+        (1.0 / (rms_error * 12f64.sqrt())).log2()
+    } else {
+        f64::from(knobs.adc_bits)
+    };
+    FidelityReport {
+        rows,
+        cols,
+        samples,
+        rms_error,
+        max_error,
+        effective_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIALS: usize = 6;
+
+    #[test]
+    fn ideal_stack_reaches_int6_precision() {
+        let report = run_fidelity(64, 8, TRIALS, 1, &FidelityKnobs::default());
+        assert!(
+            report.effective_bits >= 6.0,
+            "effective bits {}",
+            report.effective_bits
+        );
+    }
+
+    #[test]
+    fn pcm_variation_costs_bits() {
+        let clean = run_fidelity(32, 8, TRIALS, 2, &FidelityKnobs::default());
+        let noisy = run_fidelity(
+            32,
+            8,
+            TRIALS,
+            2,
+            &FidelityKnobs {
+                pcm_sigma: 0.02,
+                ..FidelityKnobs::default()
+            },
+        );
+        assert!(noisy.rms_error > clean.rms_error);
+        assert!(noisy.effective_bits < clean.effective_bits);
+    }
+
+    #[test]
+    fn trimming_restores_phase_error_loss() {
+        let untrimmed = run_fidelity(
+            32,
+            8,
+            TRIALS,
+            3,
+            &FidelityKnobs {
+                phase_sigma_rad: 0.1,
+                trim_resolution_rad: 0.0,
+                ..FidelityKnobs::default()
+            },
+        );
+        let trimmed = run_fidelity(
+            32,
+            8,
+            TRIALS,
+            3,
+            &FidelityKnobs {
+                phase_sigma_rad: 0.1,
+                trim_resolution_rad: 0.01,
+                ..FidelityKnobs::default()
+            },
+        );
+        assert!(
+            trimmed.effective_bits > untrimmed.effective_bits,
+            "trimmed {} vs untrimmed {}",
+            trimmed.effective_bits,
+            untrimmed.effective_bits
+        );
+    }
+
+    #[test]
+    fn adc_resolution_bounds_precision() {
+        let coarse = run_fidelity(
+            32,
+            8,
+            TRIALS,
+            4,
+            &FidelityKnobs {
+                adc_bits: 6,
+                ..FidelityKnobs::default()
+            },
+        );
+        let fine = run_fidelity(
+            32,
+            8,
+            TRIALS,
+            4,
+            &FidelityKnobs {
+                adc_bits: 12,
+                ..FidelityKnobs::default()
+            },
+        );
+        assert!(coarse.rms_error > fine.rms_error);
+        // A 6-bit ADC cannot deliver more than ~6 effective bits.
+        assert!(coarse.effective_bits <= 6.5);
+    }
+
+    #[test]
+    fn compensated_losses_cost_little() {
+        let lossless = run_fidelity(32, 8, TRIALS, 5, &FidelityKnobs::default());
+        let lossy = run_fidelity(
+            32,
+            8,
+            TRIALS,
+            5,
+            &FidelityKnobs {
+                with_losses: true,
+                ..FidelityKnobs::default()
+            },
+        );
+        assert!(
+            (lossless.effective_bits - lossy.effective_bits).abs() < 1.0,
+            "lossless {} vs lossy-compensated {}",
+            lossless.effective_bits,
+            lossy.effective_bits
+        );
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let knobs = FidelityKnobs {
+            pcm_sigma: 0.01,
+            phase_sigma_rad: 0.05,
+            ..FidelityKnobs::default()
+        };
+        let a = run_fidelity(16, 4, 3, 9, &knobs);
+        let b = run_fidelity(16, 4, 3, 9, &knobs);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,109 @@
+//! The Fig. 1 accelerator landscape: TOPS vs TOPS/W.
+
+use crate::report::ChipReport;
+use serde::{Deserialize, Serialize};
+
+/// Deployment class, as Fig. 1 separates edge from datacenter parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessorClass {
+    /// Low-power edge/neuromorphic devices.
+    Edge,
+    /// Datacenter GPUs / accelerators.
+    Datacenter,
+    /// Photonic/analog research accelerators (including this work).
+    Photonic,
+}
+
+/// One point of the landscape scatter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorPoint {
+    /// Processor name.
+    pub name: String,
+    /// Peak throughput (TOPS, INT8-class unless noted).
+    pub tops: f64,
+    /// Efficiency (TOPS/W).
+    pub tops_per_watt: f64,
+    /// Deployment class.
+    pub class: ProcessorClass,
+}
+
+/// Published datapoints used by Fig. 1 (public datasheet/paper numbers).
+#[must_use]
+pub fn published_landscape() -> Vec<ProcessorPoint> {
+    let point = |name: &str, tops: f64, tpw: f64, class: ProcessorClass| ProcessorPoint {
+        name: name.to_string(),
+        tops,
+        tops_per_watt: tpw,
+        class,
+    };
+    vec![
+        point("Nvidia A100 (INT8)", 624.0, 1.58, ProcessorClass::Datacenter),
+        point("Nvidia V100 (FP16)", 125.0, 0.42, ProcessorClass::Datacenter),
+        point("Google TPU v3", 123.0, 0.55, ProcessorClass::Datacenter),
+        point("Google TPU v4i", 138.0, 0.78, ProcessorClass::Datacenter),
+        point("Graphcore IPU2", 250.0, 1.67, ProcessorClass::Datacenter),
+        point("Eyeriss", 0.084, 0.35, ProcessorClass::Edge),
+        point("Eyeriss v2", 0.153, 0.96, ProcessorClass::Edge),
+        point("Intel NCS2 (Myriad X)", 1.0, 0.67, ProcessorClass::Edge),
+        point("TrueNorth", 0.058, 0.88, ProcessorClass::Edge),
+        point("Mythic M1076 (analog)", 25.0, 8.3, ProcessorClass::Edge),
+        point(
+            "Lightmatter Envise (claimed)",
+            400.0,
+            5.0,
+            ProcessorClass::Photonic,
+        ),
+    ]
+}
+
+/// Converts a chip report into its landscape point.
+#[must_use]
+pub fn this_work_point(report: &ChipReport) -> ProcessorPoint {
+    ProcessorPoint {
+        name: format!(
+            "This work ({}x{} dual-core)",
+            report.array.0, report.array.1
+        ),
+        tops: report.tops,
+        tops_per_watt: report.tops_per_watt(),
+        class: ProcessorClass::Photonic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Chip;
+    use crate::config::ChipConfig;
+    use oxbar_nn::zoo::resnet50_v1_5;
+
+    #[test]
+    fn landscape_has_both_classes() {
+        let points = published_landscape();
+        assert!(points.iter().any(|p| p.class == ProcessorClass::Edge));
+        assert!(points.iter().any(|p| p.class == ProcessorClass::Datacenter));
+    }
+
+    #[test]
+    fn this_work_beats_a100_efficiency() {
+        // Fig. 1's thesis: ONNs reach datacenter-class TOPS at much higher
+        // TOPS/W than electronic GPUs.
+        let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+        let us = this_work_point(&report);
+        let a100 = published_landscape()
+            .into_iter()
+            .find(|p| p.name.contains("A100"))
+            .unwrap();
+        assert!(us.tops_per_watt > 3.0 * a100.tops_per_watt);
+        assert!(us.tops > 10.0, "TOPS {}", us.tops);
+    }
+
+    #[test]
+    fn edge_devices_have_low_tops() {
+        for p in published_landscape() {
+            if p.class == ProcessorClass::Edge {
+                assert!(p.tops < 30.0, "{} has {} TOPS", p.name, p.tops);
+            }
+        }
+    }
+}

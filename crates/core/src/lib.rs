@@ -1,0 +1,52 @@
+//! System-level model of the **coherent optical PCM crossbar AI
+//! accelerator** — the primary contribution of Sturm & Moazeni (DATE 2023).
+//!
+//! This crate assembles the substrates (photonics, PCM, electronics,
+//! memory, dataflow) into the paper's two-step simulation framework (§V):
+//!
+//! 1. [`oxbar_dataflow`] produces *runtime specs* — compute cycles,
+//!    programming events, SRAM/DRAM accesses — for a network on a chip
+//!    parameter set;
+//! 2. [`power::PowerModel`], [`area::AreaModel`] and [`perf::PerfModel`]
+//!    turn them into IPS, IPS/W, watts and mm², with full per-component
+//!    breakdowns ([`report::ChipReport`]).
+//!
+//! [`optimizer`] implements the §VI.B optimization flow (batch → SRAM →
+//! array size), [`dse`] the exhaustive design-space sweeps behind Figs. 6
+//! and 7, [`compare`] the A100 comparison table of §VII, and [`landscape`]
+//! the Fig. 1 accelerator landscape.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_core::chip::Chip;
+//! use oxbar_core::config::ChipConfig;
+//! use oxbar_nn::zoo::resnet50_v1_5;
+//!
+//! let chip = Chip::new(ChipConfig::paper_optimal());
+//! let report = chip.evaluate(&resnet50_v1_5());
+//! assert!(report.ips > 20_000.0);
+//! assert!(report.area.total().as_square_millimeters() < 200.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod chip;
+pub mod compare;
+pub mod config;
+pub mod dse;
+pub mod fidelity;
+pub mod landscape;
+pub mod optimizer;
+pub mod perf;
+pub mod power;
+pub mod report;
+pub mod sensitivity;
+pub mod tech;
+
+pub use chip::Chip;
+pub use config::{ChipConfig, CoreCount};
+pub use report::ChipReport;
+pub use tech::TechnologyParams;

@@ -1,0 +1,206 @@
+//! The §VI.B optimization flow: batch size → SRAM size → array size.
+
+use crate::chip::Chip;
+use crate::config::ChipConfig;
+use crate::report::ChipReport;
+use oxbar_nn::Network;
+use oxbar_units::{Area, DataVolume};
+use serde::{Deserialize, Serialize};
+
+/// Search-space bounds for the optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerSettings {
+    /// Candidate batch sizes (ascending).
+    pub batches: Vec<usize>,
+    /// Candidate input-SRAM sizes in MB (ascending).
+    pub input_sram_mb: Vec<f64>,
+    /// Candidate row counts.
+    pub rows: Vec<usize>,
+    /// Candidate column counts.
+    pub cols: Vec<usize>,
+    /// Practical chip-area ceiling (the paper uses ~1 cm², relaxed a bit
+    /// to admit its own 121 mm² optimum).
+    pub area_budget: Area,
+    /// IPS/W ties within this fraction are broken toward higher IPS.
+    pub tie_tolerance: f64,
+}
+
+impl Default for OptimizerSettings {
+    fn default() -> Self {
+        Self {
+            batches: vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+            input_sram_mb: vec![1.0, 2.0, 4.0, 8.0, 16.0, 20.0, 26.3, 32.0, 48.0, 64.0],
+            rows: vec![32, 64, 128, 256, 512],
+            cols: vec![32, 64, 128, 256],
+            area_budget: Area::from_square_millimeters(130.0),
+            tie_tolerance: 0.03,
+        }
+    }
+}
+
+/// The decisions the flow makes, in order, with the final evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// Step 1: chosen batch size.
+    pub batch: usize,
+    /// Step 2: chosen input SRAM size.
+    pub input_sram: DataVolume,
+    /// Step 3: chosen array geometry.
+    pub array: (usize, usize),
+    /// The final configuration.
+    pub config: ChipConfig,
+    /// The final evaluation.
+    pub report: ChipReport,
+}
+
+/// Runs the paper's three-step flow for a network.
+///
+/// 1. **Batch**: the smallest candidate for which every conv layer's
+///    per-fold compute (`output_pixels × batch`) covers the PCM
+///    programming bubble, so the dual core hides programming (§VI.B).
+///    FC layers (one output pixel) can never hide it and are excluded, as
+///    are layers that do not recur (see EXPERIMENTS.md).
+/// 2. **Input SRAM**: the smallest candidate whose IPS/W is within 1% of
+///    the largest candidate's (the "critical size" of Fig. 7b), subject to
+///    the area budget.
+/// 3. **Array**: the geometry maximizing IPS/W, ties broken toward the
+///    larger array (higher IPS), within the area budget.
+///
+/// # Examples
+///
+/// ```no_run
+/// use oxbar_core::optimizer::{optimize, OptimizerSettings};
+/// use oxbar_nn::zoo::resnet50_v1_5;
+///
+/// let result = optimize(&resnet50_v1_5(), &OptimizerSettings::default());
+/// assert_eq!(result.batch, 32);
+/// ```
+#[must_use]
+pub fn optimize(network: &Network, settings: &OptimizerSettings) -> OptimizationResult {
+    let base = ChipConfig::paper_optimal();
+
+    // --- Step 1: smallest programming-hiding batch --------------------
+    let program_cycles = base.tech.program_cycles();
+    let min_pixels = network
+        .conv_like_layers()
+        .map(|c| {
+            let out = c.output_shape();
+            out.h * out.w
+        })
+        .filter(|&pixels| pixels > 1)
+        .min()
+        .unwrap_or(1);
+    let batch = settings
+        .batches
+        .iter()
+        .copied()
+        .find(|&b| (min_pixels * b) as u64 >= program_cycles)
+        .unwrap_or_else(|| *settings.batches.last().expect("non-empty batches"));
+
+    // --- Step 2: critical input SRAM size ------------------------------
+    let ipsw_for = |input_mb: f64, rows: usize, cols: usize, batch: usize| -> f64 {
+        let cfg = base
+            .clone()
+            .with_array(rows, cols)
+            .with_batch(batch)
+            .with_input_sram(DataVolume::from_megabytes(input_mb));
+        Chip::new(cfg).evaluate(network).ips_per_watt
+    };
+    let reference_mb = *settings
+        .input_sram_mb
+        .last()
+        .expect("non-empty SRAM candidates");
+    let reference_ipsw = ipsw_for(reference_mb, base.rows, base.cols, batch);
+    let input_mb = settings
+        .input_sram_mb
+        .iter()
+        .copied()
+        .find(|&mb| ipsw_for(mb, base.rows, base.cols, batch) >= 0.99 * reference_ipsw)
+        .unwrap_or(reference_mb);
+    let input_sram = DataVolume::from_megabytes(input_mb);
+
+    // --- Step 3: array geometry maximizing IPS/W -----------------------
+    let mut best: Option<(usize, usize, f64, f64)> = None; // rows, cols, ipsw, ips
+    for &rows in &settings.rows {
+        for &cols in &settings.cols {
+            let cfg = base
+                .clone()
+                .with_array(rows, cols)
+                .with_batch(batch)
+                .with_input_sram(input_sram);
+            let report = Chip::new(cfg).evaluate(network);
+            if report.area.total() > settings.area_budget {
+                continue;
+            }
+            let candidate = (rows, cols, report.ips_per_watt, report.ips);
+            best = Some(match best {
+                None => candidate,
+                Some(current) => {
+                    let (_, _, best_ipsw, best_ips) = current;
+                    let within_tie =
+                        candidate.2 >= best_ipsw * (1.0 - settings.tie_tolerance);
+                    if candidate.2 > best_ipsw && candidate.3 >= best_ips {
+                        candidate
+                    } else if within_tie && candidate.3 > best_ips {
+                        candidate
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+    }
+    let (rows, cols, _, _) = best.expect("at least one geometry fits the budget");
+
+    let config = base
+        .with_array(rows, cols)
+        .with_batch(batch)
+        .with_input_sram(input_sram);
+    let report = Chip::new(config.clone()).evaluate(network);
+    OptimizationResult {
+        batch,
+        input_sram,
+        array: (rows, cols),
+        config,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::zoo::resnet50_v1_5;
+
+    #[test]
+    fn flow_reproduces_paper_choices() {
+        let result = optimize(&resnet50_v1_5(), &OptimizerSettings::default());
+        // Paper §VII: batch 32, 26.3 MB input SRAM, 128×128 array.
+        assert_eq!(result.batch, 32, "batch");
+        let mb = result.input_sram.as_megabytes();
+        assert!(
+            (20.0..=32.0).contains(&mb),
+            "critical input SRAM {mb} MB (paper: 26.3)"
+        );
+        let (rows, cols) = result.array;
+        assert!(
+            (128..=256).contains(&rows),
+            "rows {rows} (paper band: 128-256)"
+        );
+        assert!((64..=128).contains(&cols), "cols {cols} (paper band: 64-128)");
+    }
+
+    #[test]
+    fn chosen_config_fits_area_budget() {
+        let settings = OptimizerSettings::default();
+        let result = optimize(&resnet50_v1_5(), &settings);
+        assert!(result.report.area.total() <= settings.area_budget);
+    }
+
+    #[test]
+    fn batch_step_matches_min_layer_analysis() {
+        // ResNet-50's smallest recurring conv output is 7×7 = 49 pixels;
+        // 49·b ≥ 1000 ⇒ b ≥ 20.4 ⇒ first power of two is 32.
+        let result = optimize(&resnet50_v1_5(), &OptimizerSettings::default());
+        assert_eq!(result.batch, 32);
+    }
+}

@@ -1,0 +1,276 @@
+//! Power model: per-component energies per batch pass → watts.
+
+use crate::config::ChipConfig;
+use crate::perf::PerfReport;
+use oxbar_electronics::bank::{ReceiverBank, TransmitterBank};
+use oxbar_photonics::detector::Photodiode;
+use oxbar_photonics::laser::Laser;
+use oxbar_photonics::snr;
+use oxbar_units::{DataVolume, Energy, EnergyPerBit, Power};
+use serde::{Deserialize, Serialize};
+
+/// Energy per batch pass, itemized by subsystem.
+///
+/// Dividing by the batch time gives the chip power; dividing the batch size
+/// by the total gives IPS/W. Energies (not powers) are the primitive so the
+/// paper's core-count invariance (§VI.A.1: dual-core changes IPS, not
+/// IPS/W) holds by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Laser wall-plug energy.
+    pub laser: Energy,
+    /// Row transmitters: ODAC drivers, ring tuning, SerDes, clocking.
+    pub transmitters: Energy,
+    /// Column receivers: TIA, ADC, SerDes, clocking.
+    pub receivers: Energy,
+    /// Per-cell thermal phase-trim heaters (active core).
+    pub trim_heaters: Energy,
+    /// PCM programming pulses.
+    pub pcm_programming: Energy,
+    /// All four SRAM blocks.
+    pub sram: Energy,
+    /// Off-chip DRAM (HBM).
+    pub dram: Energy,
+    /// Digital backend: accumulators and activation units.
+    pub digital: Energy,
+}
+
+impl PowerBreakdown {
+    /// Total energy per batch pass.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.laser
+            + self.transmitters
+            + self.receivers
+            + self.trim_heaters
+            + self.pcm_programming
+            + self.sram
+            + self.dram
+            + self.digital
+    }
+
+    /// `(name, energy)` pairs in a stable order (Fig. 8 rows).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(&'static str, Energy)> {
+        vec![
+            ("laser", self.laser),
+            ("transmitters (ODAC+SerDes+clk)", self.transmitters),
+            ("receivers (TIA+ADC+SerDes+clk)", self.receivers),
+            ("phase-trim heaters", self.trim_heaters),
+            ("PCM programming", self.pcm_programming),
+            ("SRAM", self.sram),
+            ("DRAM (HBM)", self.dram),
+            ("digital (accum+activation)", self.digital),
+        ]
+    }
+
+    /// The dominant component name.
+    #[must_use]
+    pub fn dominant(&self) -> &'static str {
+        self.entries()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("energies are finite"))
+            .map(|(name, _)| name)
+            .unwrap_or("none")
+    }
+}
+
+/// The power model.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    config: ChipConfig,
+}
+
+impl PowerModel {
+    /// Creates the model for a configuration.
+    #[must_use]
+    pub fn new(config: ChipConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sizes the shared laser: per-column full-scale receiver sensitivity,
+    /// back-propagated through the worst-path loss stack, plus the LO taps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_core::config::ChipConfig;
+    /// use oxbar_core::power::PowerModel;
+    ///
+    /// let model = PowerModel::new(ChipConfig::paper_optimal());
+    /// let laser = model.laser();
+    /// // Tens of mW optical for a 128×128 array at 6-bit/10 GHz.
+    /// assert!(laser.optical_power().as_milliwatts() > 1.0);
+    /// assert!(laser.optical_power().as_watts() < 1.0);
+    /// ```
+    #[must_use]
+    pub fn laser(&self) -> Laser {
+        let tech = &self.config.tech;
+        let p_signal = snr::required_signal_power(
+            tech.receiver_enob,
+            tech.clock,
+            Photodiode::default(),
+            tech.lo_power_per_column,
+            &tech.receiver_noise,
+        );
+        let budget = tech.losses.worst_path_budget(self.config.rows, self.config.cols);
+        let signal_at_laser =
+            p_signal * self.config.cols as f64 * budget.total().gain_power();
+        // LO taps bypass the array but still pay the fiber-to-chip coupler.
+        let lo_at_laser = tech.lo_power_per_column
+            * self.config.cols as f64
+            * oxbar_units::Decibel::new(tech.losses.grating_db).gain_power();
+        Laser::new(signal_at_laser + lo_at_laser, tech.laser_wall_plug)
+    }
+
+    /// Computes the per-batch energy breakdown for a timed perf report.
+    #[must_use]
+    pub fn evaluate(&self, perf: &PerfReport) -> PowerBreakdown {
+        let tech = &self.config.tech;
+        let compute_time = tech.clock.cycles_to_time(perf.cycle_report.compute_cycles);
+
+        // Optical and transceiver energy accrues while the array computes;
+        // the laser and the idle core's transceivers are gated during
+        // programming bubbles (DESIGN.md §5).
+        let laser = self.laser().electrical_power() * compute_time;
+        let transmitters =
+            TransmitterBank::paper_default(tech.clock).power(self.config.rows) * compute_time;
+        let receivers =
+            ReceiverBank::paper_default(tech.clock).power(self.config.cols) * compute_time;
+        // Trim heaters hold the computing core's cells in phase; the
+        // programming core's trims are off during its write (DESIGN.md §5).
+        let trim_heaters = tech.trim_power_per_cell()
+            * self.config.cells_per_core() as f64
+            * compute_time;
+
+        let pcm_programming =
+            tech.pcm_program_energy * perf.spec.total_cells_programmed as f64;
+
+        let traffic = &perf.spec.traffic;
+        let sram = DataVolume::from_bits(traffic.sram_total().as_bits())
+            * EnergyPerBit::from_femtojoules_per_bit(
+                oxbar_memory::sram::SramBlock::ACCESS_ENERGY_FJ_PER_BIT,
+            );
+        let dram = traffic.dram_total()
+            * oxbar_memory::dram::DramKind::Hbm.access_energy();
+
+        // Digital backend: one adder op per accumulator write, one
+        // activation op per output element.
+        let adder = Energy::from_femtojoules(
+            oxbar_electronics::accumulator::Accumulator::ENERGY_PER_BIT_OP_FJ
+                * traffic.accumulator_sram_writes,
+        );
+        let activation_ops =
+            traffic.output_sram_writes / f64::from(tech.precision_bits);
+        let activation = Energy::from_femtojoules(
+            oxbar_electronics::activation::ActivationUnit::ENERGY_PER_OP_FJ * activation_ops,
+        );
+
+        PowerBreakdown {
+            laser,
+            transmitters,
+            receivers,
+            trim_heaters,
+            pcm_programming,
+            sram,
+            dram,
+            digital: adder + activation,
+        }
+    }
+
+    /// Average chip power for a timed report: total batch energy over
+    /// batch wall-clock time.
+    #[must_use]
+    pub fn average_power(&self, perf: &PerfReport) -> Power {
+        self.evaluate(perf).total() / perf.batch_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChipConfig, CoreCount};
+    use crate::perf::PerfModel;
+    use oxbar_nn::zoo::resnet50_v1_5;
+
+    fn breakdown(cfg: ChipConfig) -> (PerfReport, PowerBreakdown) {
+        let perf = PerfModel::new(cfg.clone()).evaluate(&resnet50_v1_5());
+        let power = PowerModel::new(cfg).evaluate(&perf);
+        (perf, power)
+    }
+
+    #[test]
+    fn total_power_in_paper_band() {
+        let cfg = ChipConfig::paper_optimal();
+        let (perf, power) = breakdown(cfg.clone());
+        let watts = PowerModel::new(cfg).average_power(&perf).as_watts();
+        // Paper reports 30 W; our principled counting lands the same order
+        // (see EXPERIMENTS.md for the delta discussion).
+        assert!(watts > 8.0 && watts < 60.0, "chip power {watts} W");
+        assert!(power.total().as_millijoules() > 0.0);
+    }
+
+    #[test]
+    fn ips_per_watt_invariant_across_core_count() {
+        // §VI.A.1: dual core raises IPS and power together; IPS/W is fixed.
+        let net = resnet50_v1_5();
+        let mut ratios = Vec::new();
+        for cores in [CoreCount::Single, CoreCount::Dual] {
+            let cfg = ChipConfig::paper_optimal().with_batch(4).with_cores(cores);
+            let perf = PerfModel::new(cfg.clone()).evaluate(&net);
+            let energy = PowerModel::new(cfg).evaluate(&perf).total();
+            ratios.push(perf.spec.batch as f64 / energy.as_joules());
+        }
+        assert!(
+            (ratios[0] - ratios[1]).abs() / ratios[0] < 1e-9,
+            "IPS/W differs: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn dual_core_draws_more_average_power() {
+        let net = resnet50_v1_5();
+        let single_cfg = ChipConfig::paper_optimal()
+            .with_batch(4)
+            .with_cores(CoreCount::Single);
+        let dual_cfg = ChipConfig::paper_optimal()
+            .with_batch(4)
+            .with_cores(CoreCount::Dual);
+        let single_perf = PerfModel::new(single_cfg.clone()).evaluate(&net);
+        let dual_perf = PerfModel::new(dual_cfg.clone()).evaluate(&net);
+        let p_single = PowerModel::new(single_cfg).average_power(&single_perf);
+        let p_dual = PowerModel::new(dual_cfg).average_power(&dual_perf);
+        assert!(p_dual > p_single);
+    }
+
+    #[test]
+    fn laser_power_grows_with_array() {
+        let small = PowerModel::new(ChipConfig::paper_optimal().with_array(32, 32));
+        let large = PowerModel::new(ChipConfig::paper_optimal().with_array(256, 256));
+        assert!(
+            large.laser().optical_power().as_watts()
+                > small.laser().optical_power().as_watts()
+        );
+    }
+
+    #[test]
+    fn receivers_dominate_transceiver_energy() {
+        let (_, power) = breakdown(ChipConfig::paper_optimal());
+        assert!(power.receivers > power.transmitters);
+    }
+
+    #[test]
+    fn memory_components_are_significant() {
+        let (_, power) = breakdown(ChipConfig::paper_optimal());
+        let total = power.total().as_joules();
+        let memory = (power.sram + power.dram).as_joules();
+        assert!(memory / total > 0.15, "memory share {}", memory / total);
+    }
+
+    #[test]
+    fn entries_sum_to_total() {
+        let (_, power) = breakdown(ChipConfig::paper_optimal());
+        let sum: Energy = power.entries().into_iter().map(|(_, e)| e).sum();
+        assert!((sum.as_joules() - power.total().as_joules()).abs() < 1e-15);
+    }
+}

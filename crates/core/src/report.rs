@@ -1,0 +1,113 @@
+//! The combined chip evaluation report.
+
+use crate::area::AreaBreakdown;
+use crate::power::PowerBreakdown;
+use oxbar_units::{Energy, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// Everything the paper reports about one (chip, network) evaluation:
+/// IPS, IPS/W, power and area with full breakdowns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipReport {
+    /// Network evaluated.
+    pub network: String,
+    /// Array geometry (rows, cols).
+    pub array: (usize, usize),
+    /// Batch size.
+    pub batch: usize,
+    /// Photonic core replicas.
+    pub cores: usize,
+    /// Inferences per second.
+    pub ips: f64,
+    /// Inferences per second per watt.
+    pub ips_per_watt: f64,
+    /// Average chip power.
+    pub power: Power,
+    /// Per-subsystem energy per batch pass.
+    pub energy: PowerBreakdown,
+    /// Per-subsystem area.
+    pub area: AreaBreakdown,
+    /// Energy per inference.
+    pub energy_per_inference: Energy,
+    /// Wall-clock time per batch pass.
+    pub batch_time: Time,
+    /// MAC-array average utilization.
+    pub utilization: f64,
+    /// Effective tera-operations per second (2 ops per MAC).
+    pub tops: f64,
+}
+
+impl ChipReport {
+    /// Effective TOPS/W.
+    #[must_use]
+    pub fn tops_per_watt(&self) -> f64 {
+        self.tops / self.power.as_watts()
+    }
+}
+
+impl core::fmt::Display for ChipReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{} on {}x{} (cores: {}, batch: {})",
+            self.network, self.array.0, self.array.1, self.cores, self.batch
+        )?;
+        writeln!(f, "  IPS          : {:.0}", self.ips)?;
+        writeln!(f, "  IPS/W        : {:.0}", self.ips_per_watt)?;
+        writeln!(f, "  power        : {}", self.power)?;
+        writeln!(
+            f,
+            "  area         : {:.1} mm²",
+            self.area.total().as_square_millimeters()
+        )?;
+        writeln!(f, "  E/inference  : {}", self.energy_per_inference)?;
+        writeln!(f, "  utilization  : {:.1}%", self.utilization * 100.0)?;
+        writeln!(f, "  TOPS (eff.)  : {:.1}", self.tops)?;
+        writeln!(f, "  power breakdown:")?;
+        let total_e = self.energy.total().as_joules();
+        for (name, e) in self.energy.entries() {
+            writeln!(
+                f,
+                "    {:32} {:6.2}%",
+                name,
+                e.as_joules() / total_e * 100.0
+            )?;
+        }
+        writeln!(f, "  area breakdown:")?;
+        let total_a = self.area.total().as_square_meters();
+        for (name, a) in self.area.entries() {
+            writeln!(
+                f,
+                "    {:32} {:6.2}%  ({:.2} mm²)",
+                name,
+                a.as_square_meters() / total_a * 100.0,
+                a.as_square_millimeters()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::chip::Chip;
+    use crate::config::ChipConfig;
+    use oxbar_nn::zoo::resnet50_v1_5;
+
+    #[test]
+    fn display_contains_key_metrics() {
+        let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+        let text = report.to_string();
+        assert!(text.contains("IPS"));
+        assert!(text.contains("power breakdown"));
+        assert!(text.contains("SRAM"));
+        assert!(text.contains("128x128"));
+    }
+
+    #[test]
+    fn tops_per_watt_consistent() {
+        let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+        let manual = report.tops / report.power.as_watts();
+        assert!((report.tops_per_watt() - manual).abs() < 1e-12);
+    }
+}

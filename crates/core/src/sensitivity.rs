@@ -1,0 +1,239 @@
+//! Parameter sensitivity analysis: which technology constants actually
+//! move the headline metrics.
+//!
+//! The paper's results rest on a dozen device constants measured in other
+//! papers. This module perturbs each one by ±`delta` and reports the
+//! elasticity of IPS/W (and power), identifying which assumptions the
+//! conclusion is robust against — the tornado chart a reviewer would ask
+//! for.
+
+use crate::chip::Chip;
+use crate::config::ChipConfig;
+use oxbar_nn::Network;
+use oxbar_units::{Energy, Power, Ratio, Time};
+use serde::{Deserialize, Serialize};
+
+/// Sensitivity of the chip metrics to one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// Parameter name.
+    pub parameter: &'static str,
+    /// Relative perturbation applied (e.g. 0.2 = ±20%).
+    pub delta: f64,
+    /// IPS/W at −delta.
+    pub ipsw_low: f64,
+    /// IPS/W at +delta.
+    pub ipsw_high: f64,
+    /// Elasticity: d(ln IPS/W) / d(ln param), centred difference.
+    pub elasticity: f64,
+}
+
+/// The tunable parameters of the sensitivity study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parameter {
+    /// MMI crossing loss (dB/junction).
+    CrossingLoss,
+    /// Waveguide loss (dB/cm).
+    WaveguideLoss,
+    /// ODAC OMA penalty (dB).
+    OmaPenalty,
+    /// Laser wall-plug efficiency.
+    WallPlugEfficiency,
+    /// PCM programming energy per cell.
+    PcmProgramEnergy,
+    /// PCM programming time (the 1000-cycle bubble).
+    PcmProgramTime,
+    /// Per-column LO power.
+    LoPower,
+    /// Thermal trim heater power per π.
+    TrimPower,
+    /// Photonic unit-cell pitch.
+    CellPitch,
+}
+
+impl Parameter {
+    /// All parameters, in report order.
+    #[must_use]
+    pub fn all() -> &'static [Parameter] {
+        &[
+            Parameter::CrossingLoss,
+            Parameter::WaveguideLoss,
+            Parameter::OmaPenalty,
+            Parameter::WallPlugEfficiency,
+            Parameter::PcmProgramEnergy,
+            Parameter::PcmProgramTime,
+            Parameter::LoPower,
+            Parameter::TrimPower,
+            Parameter::CellPitch,
+        ]
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Parameter::CrossingLoss => "MMI crossing loss",
+            Parameter::WaveguideLoss => "waveguide loss",
+            Parameter::OmaPenalty => "ODAC OMA penalty",
+            Parameter::WallPlugEfficiency => "laser wall-plug efficiency",
+            Parameter::PcmProgramEnergy => "PCM program energy",
+            Parameter::PcmProgramTime => "PCM program time",
+            Parameter::LoPower => "LO power per column",
+            Parameter::TrimPower => "trim heater power",
+            Parameter::CellPitch => "unit-cell pitch",
+        }
+    }
+
+    /// Returns a configuration with this parameter scaled by `factor`.
+    #[must_use]
+    pub fn scaled(self, base: &ChipConfig, factor: f64) -> ChipConfig {
+        let mut cfg = base.clone();
+        match self {
+            Parameter::CrossingLoss => cfg.tech.losses.crossing_db *= factor,
+            Parameter::WaveguideLoss => cfg.tech.losses.waveguide_db_per_cm *= factor,
+            Parameter::OmaPenalty => cfg.tech.losses.odac_oma_db *= factor,
+            Parameter::WallPlugEfficiency => {
+                let scaled = (cfg.tech.laser_wall_plug.as_fraction() * factor).min(1.0);
+                cfg.tech.laser_wall_plug = Ratio::from_fraction(scaled);
+            }
+            Parameter::PcmProgramEnergy => {
+                cfg.tech.pcm_program_energy = Energy::from_joules(
+                    cfg.tech.pcm_program_energy.as_joules() * factor,
+                );
+            }
+            Parameter::PcmProgramTime => {
+                cfg.tech.pcm_program_time = Time::from_seconds(
+                    cfg.tech.pcm_program_time.as_seconds() * factor,
+                );
+            }
+            Parameter::LoPower => {
+                cfg.tech.lo_power_per_column = Power::from_watts(
+                    cfg.tech.lo_power_per_column.as_watts() * factor,
+                );
+            }
+            Parameter::TrimPower => {
+                cfg.tech.trim_power_per_pi = Power::from_watts(
+                    cfg.tech.trim_power_per_pi.as_watts() * factor,
+                );
+            }
+            Parameter::CellPitch => {
+                cfg.tech.cell_pitch_um *= factor;
+                cfg.tech.losses.cell_pitch_um = cfg.tech.cell_pitch_um;
+            }
+        }
+        cfg
+    }
+}
+
+/// Runs the study: every parameter perturbed by ±`delta` around `base`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use oxbar_core::sensitivity::analyze;
+/// use oxbar_core::ChipConfig;
+/// use oxbar_nn::zoo::resnet50_v1_5;
+///
+/// let table = analyze(&resnet50_v1_5(), &ChipConfig::paper_optimal(), 0.2);
+/// for s in &table {
+///     println!("{:28} elasticity {:+.3}", s.parameter, s.elasticity);
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `delta` is not in `(0, 1)`.
+#[must_use]
+pub fn analyze(network: &Network, base: &ChipConfig, delta: f64) -> Vec<Sensitivity> {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    Parameter::all()
+        .iter()
+        .map(|&param| {
+            let low = Chip::new(param.scaled(base, 1.0 - delta))
+                .evaluate(network)
+                .ips_per_watt;
+            let high = Chip::new(param.scaled(base, 1.0 + delta))
+                .evaluate(network)
+                .ips_per_watt;
+            // Centred log-derivative: Δln(ipsw) / Δln(param).
+            let elasticity = (high / low).ln() / ((1.0 + delta) / (1.0 - delta)).ln();
+            Sensitivity {
+                parameter: param.name(),
+                delta,
+                ipsw_low: low,
+                ipsw_high: high,
+                elasticity,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::zoo::resnet18;
+
+    fn table() -> Vec<Sensitivity> {
+        analyze(&resnet18(), &ChipConfig::paper_optimal(), 0.25)
+    }
+
+    #[test]
+    fn every_parameter_reported_once() {
+        let t = table();
+        assert_eq!(t.len(), Parameter::all().len());
+        let names: std::collections::BTreeSet<_> =
+            t.iter().map(|s| s.parameter).collect();
+        assert_eq!(names.len(), t.len());
+    }
+
+    #[test]
+    fn cost_parameters_have_non_positive_elasticity() {
+        // More loss / more energy / more trim power can only hurt IPS/W.
+        let t = table();
+        for s in &t {
+            if [
+                "MMI crossing loss",
+                "waveguide loss",
+                "ODAC OMA penalty",
+                "PCM program energy",
+                "trim heater power",
+                "LO power per column",
+            ]
+            .contains(&s.parameter)
+            {
+                assert!(
+                    s.elasticity <= 1e-6,
+                    "{}: elasticity {}",
+                    s.parameter,
+                    s.elasticity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wall_plug_efficiency_helps() {
+        let t = table();
+        let wp = t
+            .iter()
+            .find(|s| s.parameter == "laser wall-plug efficiency")
+            .unwrap();
+        assert!(wp.elasticity >= 0.0);
+    }
+
+    #[test]
+    fn pcm_energy_dominates_pcm_time_at_batch_32() {
+        // With batch 32 hiding the bubble, programming *time* barely
+        // matters; programming *energy* always does.
+        let t = table();
+        let energy = t.iter().find(|s| s.parameter == "PCM program energy").unwrap();
+        let time = t.iter().find(|s| s.parameter == "PCM program time").unwrap();
+        assert!(energy.elasticity.abs() > time.elasticity.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn invalid_delta_panics() {
+        let _ = analyze(&resnet18(), &ChipConfig::paper_optimal(), 1.5);
+    }
+}

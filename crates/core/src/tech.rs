@@ -1,0 +1,124 @@
+//! The 45 nm monolithic electronic-photonic technology parameter set.
+
+use oxbar_photonics::loss::CrossbarLossParams;
+use oxbar_photonics::noise::ReceiverNoise;
+use oxbar_units::{Energy, Frequency, Power, Ratio, Time};
+use serde::{Deserialize, Serialize};
+
+/// Every process/device constant the system model consumes, defaulted to
+/// the paper's §III numbers (GF 45CLO-class monolithic silicon photonics).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_core::TechnologyParams;
+///
+/// let tech = TechnologyParams::paper_default();
+/// assert!((tech.clock.as_gigahertz() - 10.0).abs() < 1e-12);
+/// assert_eq!(tech.precision_bits, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// MAC operation clock (the paper holds 10 GHz throughout §VI).
+    pub clock: Frequency,
+    /// End-to-end data precision (INT6).
+    pub precision_bits: u8,
+    /// Partial-sum accumulator width.
+    pub accumulator_bits: u8,
+    /// Photonic loss stack and cell geometry.
+    pub losses: CrossbarLossParams,
+    /// Receiver noise parameters (sets laser sizing).
+    pub receiver_noise: ReceiverNoise,
+    /// Target effective bits at the receiver (laser sizing).
+    pub receiver_enob: f64,
+    /// Local-oscillator optical power tapped per column.
+    pub lo_power_per_column: Power,
+    /// Laser wall-plug efficiency (15%).
+    pub laser_wall_plug: Ratio,
+    /// PCM programming energy per cell (100 pJ).
+    pub pcm_program_energy: Energy,
+    /// PCM whole-array programming time (100 ns; DESIGN.md §4).
+    pub pcm_program_time: Time,
+    /// Average per-cell thermal phase-trim magnitude (rad). The paper
+    /// proposes a trim shifter per cell (§III.A.2) without budgeting its
+    /// power; π/8 average is our documented assumption.
+    pub trim_phase_avg_rad: f64,
+    /// Heater power per π radians for the trim shifters.
+    pub trim_power_per_pi: Power,
+    /// Photonic unit-cell pitch (µm). 10 µm reproduces the paper's
+    /// 121 mm² chip area (DESIGN.md §4).
+    pub cell_pitch_um: f64,
+}
+
+impl TechnologyParams {
+    /// The paper's default parameter set.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let cell_pitch_um = 10.0;
+        Self {
+            clock: Frequency::from_gigahertz(10.0),
+            precision_bits: 6,
+            accumulator_bits: 24,
+            losses: CrossbarLossParams {
+                cell_pitch_um,
+                ..CrossbarLossParams::default()
+            },
+            receiver_noise: ReceiverNoise::default(),
+            receiver_enob: 6.0,
+            lo_power_per_column: Power::from_microwatts(100.0),
+            laser_wall_plug: Ratio::from_percent(15.0),
+            pcm_program_energy: Energy::from_picojoules(100.0),
+            pcm_program_time: Time::from_nanoseconds(100.0),
+            trim_phase_avg_rad: core::f64::consts::FRAC_PI_8,
+            trim_power_per_pi: Power::from_milliwatts(0.72),
+            cell_pitch_um,
+        }
+    }
+
+    /// The PCM programming bubble in MAC cycles (1000 at the defaults).
+    #[must_use]
+    pub fn program_cycles(&self) -> u64 {
+        (self.pcm_program_time.as_seconds() * self.clock.as_hertz()).round() as u64
+    }
+
+    /// Average trim-heater power per unit cell.
+    #[must_use]
+    pub fn trim_power_per_cell(&self) -> Power {
+        self.trim_power_per_pi * (self.trim_phase_avg_rad / core::f64::consts::PI)
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_bubble_is_1000_cycles() {
+        assert_eq!(TechnologyParams::paper_default().program_cycles(), 1000);
+    }
+
+    #[test]
+    fn trim_power_at_pi_over_8() {
+        let tech = TechnologyParams::paper_default();
+        assert!((tech.trim_power_per_cell().as_microwatts() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_params_share_cell_pitch() {
+        let tech = TechnologyParams::paper_default();
+        assert_eq!(tech.losses.cell_pitch_um, tech.cell_pitch_um);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let tech = TechnologyParams::paper_default();
+        let clone = tech.clone();
+        assert_eq!(tech, clone);
+    }
+}

@@ -1,0 +1,257 @@
+//! Event-driven cycle-level replay of the fold stream.
+//!
+//! Where [`crate::engine::DataflowEngine`] counts analytically, this module
+//! walks the network's folds one by one as timed events, modeling the PCM
+//! programming bubble explicitly — serially for a single core, overlapped
+//! for the dual-core design (§IV of the paper). The analytic and
+//! event-driven cycle totals are cross-checked in tests.
+
+use crate::spec::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// Core-count scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorePolicy {
+    /// One photonic core: programming and compute serialize.
+    SingleCore,
+    /// Two photonic cores: the idle core programs while the active core
+    /// computes; a fold's compute can start as soon as both its programming
+    /// and the previous fold's compute are done.
+    DualCore,
+}
+
+/// One fold's timing record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldEvent {
+    /// Index of the layer the fold belongs to.
+    pub layer: usize,
+    /// Cycle at which the fold's PCM programming started.
+    pub program_start: u64,
+    /// Cycle at which compute started.
+    pub compute_start: u64,
+    /// Cycle at which compute finished.
+    pub compute_end: u64,
+}
+
+/// The replayed timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// Scheduling policy used.
+    pub policy: CorePolicy,
+    /// PCM array programming bubble per fold, in MAC cycles.
+    pub program_cycles: u64,
+    /// Total cycles for the whole batch pass.
+    pub total_cycles: u64,
+    /// Pure compute cycles (Σ fold compute).
+    pub compute_cycles: u64,
+    /// Cycles the array sat idle waiting for programming.
+    pub stall_cycles: u64,
+    /// Per-fold events (capped to the first 100k folds to bound memory).
+    pub events: Vec<FoldEvent>,
+}
+
+impl CycleReport {
+    /// Fraction of the timeline spent computing.
+    #[must_use]
+    pub fn compute_occupancy(&self) -> f64 {
+        self.compute_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+/// Event-driven simulator over a [`NetworkSpec`]'s fold stream.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_dataflow::cycle::{CorePolicy, CycleSimulator};
+/// use oxbar_dataflow::DataflowEngine;
+/// use oxbar_nn::zoo::lenet5;
+///
+/// let spec = DataflowEngine::paper_default(64, 64, 8).analyze(&lenet5());
+/// let sim = CycleSimulator::new(1000);
+/// let single = sim.run(&spec, CorePolicy::SingleCore);
+/// let dual = sim.run(&spec, CorePolicy::DualCore);
+/// assert!(dual.total_cycles <= single.total_cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleSimulator {
+    program_cycles: u64,
+}
+
+impl CycleSimulator {
+    /// The paper's programming bubble: 100 ns at 10 GHz.
+    pub const PAPER_PROGRAM_CYCLES: u64 = 1000;
+
+    /// Creates a simulator with the given per-fold programming bubble
+    /// (in MAC cycles).
+    #[must_use]
+    pub fn new(program_cycles: u64) -> Self {
+        Self { program_cycles }
+    }
+
+    /// Replays the fold stream under a scheduling policy.
+    #[must_use]
+    pub fn run(&self, spec: &NetworkSpec, policy: CorePolicy) -> CycleReport {
+        const EVENT_CAP: usize = 100_000;
+        let mut events = Vec::new();
+        let mut compute_cycles = 0u64;
+        let mut clock = 0u64; // end of the last scheduled compute
+        let mut prev_compute_end = 0u64;
+        // Folds round-robin across cores; each core can program its next
+        // fold as soon as its own previous compute finishes, independent of
+        // the other core's programming.
+        let cores = match policy {
+            CorePolicy::SingleCore => 1usize,
+            CorePolicy::DualCore => 2,
+        };
+        let mut core_free_at = vec![0u64; cores];
+        let mut fold_index = 0usize;
+
+        for (layer_idx, layer) in spec.layers.iter().enumerate() {
+            let folds = layer.plan.total_folds() as u64;
+            let fold_compute =
+                layer.plan.output_pixels as u64 * spec.batch as u64;
+            for _ in 0..folds {
+                let core = fold_index % cores;
+                let program_start = core_free_at[core];
+                let ready = program_start + self.program_cycles;
+                // Output columns share one digital backend: folds complete
+                // in order, each starting after the previous fold's compute.
+                let compute_start = ready.max(prev_compute_end);
+                let compute_end = compute_start + fold_compute;
+                if events.len() < EVENT_CAP {
+                    events.push(FoldEvent {
+                        layer: layer_idx,
+                        program_start,
+                        compute_start,
+                        compute_end,
+                    });
+                }
+                compute_cycles += fold_compute;
+                core_free_at[core] = compute_end;
+                prev_compute_end = compute_end;
+                clock = compute_end;
+                fold_index += 1;
+            }
+        }
+        CycleReport {
+            policy,
+            program_cycles: self.program_cycles,
+            total_cycles: clock,
+            compute_cycles,
+            stall_cycles: clock.saturating_sub(compute_cycles),
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DataflowEngine;
+    use oxbar_nn::zoo::{lenet5, resnet50_v1_5};
+
+    fn spec(batch: usize) -> NetworkSpec {
+        DataflowEngine::paper_default(128, 128, batch).analyze(&resnet50_v1_5())
+    }
+
+    #[test]
+    fn single_core_total_is_closed_form() {
+        let spec = spec(4);
+        let sim = CycleSimulator::new(1000);
+        let report = sim.run(&spec, CorePolicy::SingleCore);
+        let expected = spec.total_compute_cycles
+            + spec.total_program_events * 1000;
+        assert_eq!(report.total_cycles, expected);
+    }
+
+    #[test]
+    fn compute_cycles_match_analytic_engine() {
+        let spec = spec(4);
+        let sim = CycleSimulator::new(1000);
+        for policy in [CorePolicy::SingleCore, CorePolicy::DualCore] {
+            let report = sim.run(&spec, policy);
+            assert_eq!(report.compute_cycles, spec.total_compute_cycles);
+        }
+    }
+
+    #[test]
+    fn dual_core_is_never_slower() {
+        for batch in [1usize, 8, 32] {
+            let spec = spec(batch);
+            let sim = CycleSimulator::new(1000);
+            let single = sim.run(&spec, CorePolicy::SingleCore);
+            let dual = sim.run(&spec, CorePolicy::DualCore);
+            assert!(dual.total_cycles <= single.total_cycles, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn large_batch_mostly_hides_programming() {
+        // At batch 32 every *conv* fold computes ≥ 49·32 = 1568 cycles,
+        // above the 1000-cycle bubble; only the FC layer (one output pixel
+        // per image → 32 cycles/fold) still stalls. Residual stall stays
+        // under 2% of the timeline.
+        let spec = spec(32);
+        let sim = CycleSimulator::new(1000);
+        let dual = sim.run(&spec, CorePolicy::DualCore);
+        let stall_share = dual.stall_cycles as f64 / dual.total_cycles as f64;
+        assert!(stall_share < 0.02, "stall share {stall_share}");
+    }
+
+    #[test]
+    fn conv_only_network_fully_hides_at_batch_32() {
+        // Drop the FC layer: every remaining fold out-computes the bubble,
+        // so the only stall is the very first fold's programming.
+        let full = spec(32);
+        let conv_only = NetworkSpec::from_layers(
+            "resnet50-convs",
+            32,
+            128,
+            128,
+            full.layers[..full.layers.len() - 1].to_vec(),
+        );
+        let dual = CycleSimulator::new(1000).run(&conv_only, CorePolicy::DualCore);
+        assert_eq!(dual.stall_cycles, 1000);
+    }
+
+    #[test]
+    fn small_batch_cannot_hide_programming() {
+        // At batch 1 the 7×7-output layers compute only 49 cycles per fold,
+        // far below the 1000-cycle bubble.
+        let spec = spec(1);
+        let sim = CycleSimulator::new(1000);
+        let dual = sim.run(&spec, CorePolicy::DualCore);
+        assert!(dual.stall_cycles > 100 * 1000);
+    }
+
+    #[test]
+    fn zero_program_time_equalizes_policies() {
+        let spec = spec(2);
+        let sim = CycleSimulator::new(0);
+        let single = sim.run(&spec, CorePolicy::SingleCore);
+        let dual = sim.run(&spec, CorePolicy::DualCore);
+        assert_eq!(single.total_cycles, dual.total_cycles);
+        assert_eq!(single.stall_cycles, 0);
+    }
+
+    #[test]
+    fn occupancy_in_unit_interval() {
+        let spec = spec(8);
+        let report = CycleSimulator::new(1000).run(&spec, CorePolicy::DualCore);
+        let occ = report.compute_occupancy();
+        assert!(occ > 0.0 && occ <= 1.0);
+    }
+
+    #[test]
+    fn events_are_causally_ordered() {
+        let spec = DataflowEngine::paper_default(64, 64, 2).analyze(&lenet5());
+        let report = CycleSimulator::new(500).run(&spec, CorePolicy::DualCore);
+        let mut prev_end = 0;
+        for e in &report.events {
+            assert!(e.compute_start >= e.program_start + 500);
+            assert!(e.compute_start >= prev_end);
+            prev_end = e.compute_end;
+        }
+    }
+}

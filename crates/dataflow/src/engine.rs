@@ -1,0 +1,407 @@
+//! The analytic dataflow engine (SCALE-sim equivalent).
+
+use crate::fold::FoldPlan;
+use crate::spec::{LayerSpec, NetworkSpec};
+use oxbar_memory::system::SramSizing;
+use oxbar_memory::TrafficStats;
+use oxbar_nn::{Conv2d, Network};
+use serde::{Deserialize, Serialize};
+
+/// Dataflow modeling options — the paper's three SCALE-sim modifications
+/// plus precision knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelOptions {
+    /// Data precision (activations and weights), bits.
+    pub precision_bits: u8,
+    /// Partial-sum width, bits.
+    pub accumulator_bits: u8,
+    /// Paper modification 2: on-chip partial-sum accumulator. When off,
+    /// partial sums spill through the output SRAM (or DRAM if oversized).
+    pub use_accumulator: bool,
+    /// Paper modification 3: forward layer outputs directly from output
+    /// SRAM to input SRAM, skipping DRAM.
+    pub output_sram_reuse: bool,
+    /// Physical columns per logical output (1 = offset mapping,
+    /// 2 = differential).
+    pub cols_per_output: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            precision_bits: 6,
+            accumulator_bits: 24,
+            use_accumulator: true,
+            output_sram_reuse: true,
+            cols_per_output: 1,
+        }
+    }
+}
+
+/// The analytic runtime-spec engine for a fixed chip parameter set.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_dataflow::DataflowEngine;
+/// use oxbar_nn::zoo::lenet5;
+///
+/// let engine = DataflowEngine::paper_default(128, 128, 32);
+/// let spec = engine.analyze(&lenet5());
+/// assert_eq!(spec.layers.len(), 5); // 2 convs + 3 FCs
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowEngine {
+    array_rows: usize,
+    array_cols: usize,
+    batch: usize,
+    sram: SramSizing,
+    options: ModelOptions,
+}
+
+impl DataflowEngine {
+    /// Engine with the paper's default SRAM sizing and options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the batch is zero.
+    #[must_use]
+    pub fn paper_default(array_rows: usize, array_cols: usize, batch: usize) -> Self {
+        Self::new(
+            array_rows,
+            array_cols,
+            batch,
+            SramSizing::paper_default(),
+            ModelOptions::default(),
+        )
+    }
+
+    /// Fully-parameterized engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the batch is zero.
+    #[must_use]
+    pub fn new(
+        array_rows: usize,
+        array_cols: usize,
+        batch: usize,
+        sram: SramSizing,
+        options: ModelOptions,
+    ) -> Self {
+        assert!(
+            array_rows > 0 && array_cols > 0 && batch > 0,
+            "array dimensions and batch must be non-zero"
+        );
+        Self {
+            array_rows,
+            array_cols,
+            batch,
+            sram,
+            options,
+        }
+    }
+
+    /// Array rows (N).
+    #[must_use]
+    pub fn array_rows(&self) -> usize {
+        self.array_rows
+    }
+
+    /// Array columns (M).
+    #[must_use]
+    pub fn array_cols(&self) -> usize {
+        self.array_cols
+    }
+
+    /// Batch size.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// SRAM sizing in use.
+    #[must_use]
+    pub fn sram(&self) -> SramSizing {
+        self.sram
+    }
+
+    /// Modeling options in use.
+    #[must_use]
+    pub fn options(&self) -> ModelOptions {
+        self.options
+    }
+
+    /// Analyzes a network, producing per-layer and total runtime specs for
+    /// one batch pass.
+    #[must_use]
+    pub fn analyze(&self, network: &Network) -> NetworkSpec {
+        let convs: Vec<Conv2d> = network.conv_like_layers().collect();
+        let mut layers = Vec::with_capacity(convs.len());
+        for (idx, conv) in convs.iter().enumerate() {
+            let is_first = idx == 0;
+            let is_last = idx == convs.len() - 1;
+            layers.push(self.analyze_layer(conv, is_first, is_last));
+        }
+        NetworkSpec::from_layers(
+            network.name().to_string(),
+            self.batch,
+            self.array_rows,
+            self.array_cols,
+            layers,
+        )
+    }
+
+    /// Analyzes a single conv-like layer.
+    ///
+    /// `first`/`last` mark the network boundary layers whose activations
+    /// must come from / go to DRAM regardless of forwarding.
+    #[must_use]
+    pub fn analyze_layer(&self, conv: &Conv2d, first: bool, last: bool) -> LayerSpec {
+        let bits = f64::from(self.options.precision_bits);
+        let acc_bits = f64::from(self.options.accumulator_bits);
+        let batch = self.batch as f64;
+        let plan = FoldPlan::plan(
+            conv,
+            self.array_rows,
+            self.array_cols,
+            self.options.cols_per_output,
+        );
+        let compute_cycles = plan.compute_cycles(self.batch);
+        let cycles = compute_cycles as f64;
+        let total_folds = plan.total_folds() as f64;
+
+        let mut t = TrafficStats::default();
+
+        // --- Input activations -----------------------------------------
+        // Working set: the layer's whole ifmap for the batch.
+        let ifmap_bits = conv.input.elements() as f64 * bits * batch;
+        let ifmap_fits = ifmap_bits <= self.sram.input.as_bits();
+        // The array consumes a `rows_used`-deep vector every cycle.
+        t.input_sram_reads = cycles * plan.rows_used as f64 * bits;
+        if ifmap_fits {
+            // Staged once; source is DRAM unless forwarded by the producer.
+            t.input_sram_writes = ifmap_bits;
+            if first || !self.options.output_sram_reuse {
+                t.dram_reads += ifmap_bits;
+            }
+        } else {
+            // Too big to stage: every fold re-streams the ifmap from DRAM
+            // through the input SRAM acting as a FIFO.
+            t.input_sram_writes = ifmap_bits * total_folds;
+            t.dram_reads += ifmap_bits * total_folds;
+        }
+
+        // --- Filter weights ---------------------------------------------
+        // Weights stream from DRAM once per batch pass (amortized by B),
+        // staged through the filter SRAM and read out to program the PCM.
+        // Differential expansion (u⁺/u⁻) happens digitally on-chip, so the
+        // stored/streamed volume is the signed weight count.
+        let weight_bits = plan.weight_cells() as f64 * bits;
+        t.dram_reads += weight_bits;
+        t.filter_sram_writes = weight_bits;
+        t.filter_sram_reads = weight_bits;
+
+        // --- Partial sums -----------------------------------------------
+        // Each cycle lands `cols_used` partial sums. With more than one row
+        // fold they are read-modify-written until the last fold completes.
+        let psum_writes = cycles * plan.cols_used as f64 * acc_bits;
+        let psum_reads = if plan.row_folds > 1 {
+            psum_writes * (plan.row_folds as f64 - 1.0) / plan.row_folds as f64
+        } else {
+            0.0
+        };
+        if self.options.use_accumulator {
+            t.accumulator_sram_writes = psum_writes;
+            t.accumulator_sram_reads = psum_reads;
+        } else {
+            // Ablation: partials spill through the output SRAM if the
+            // working set fits, otherwise through DRAM.
+            let psum_working_set = plan.output_pixels as f64
+                * batch
+                * (plan.cols_used * plan.col_folds) as f64
+                * acc_bits;
+            if psum_working_set <= self.sram.output.as_bits() {
+                t.output_sram_writes += psum_writes;
+                t.output_sram_reads += psum_reads;
+            } else {
+                t.dram_writes += psum_writes;
+                t.dram_reads += psum_reads;
+            }
+        }
+
+        // --- Outputs ------------------------------------------------------
+        let ofmap_bits = conv.output_shape().elements() as f64 * bits * batch;
+        t.output_sram_writes += ofmap_bits;
+        t.output_sram_reads += ofmap_bits; // drained to forward or spill
+        let ofmap_fits_input = ofmap_bits <= self.sram.input.as_bits();
+        if last {
+            t.dram_writes += ofmap_bits;
+        } else if self.options.output_sram_reuse && ofmap_fits_input {
+            // Forwarded into the input SRAM: charged as the consumer's
+            // input_sram_writes (counted there), no DRAM round trip.
+        } else {
+            // Producer spills to DRAM. The consumer side charges the
+            // re-read: once if its ifmap fits (reuse off), or per fold if
+            // it does not fit (its `ifmap_fits` branch).
+            t.dram_writes += ofmap_bits;
+        }
+
+        LayerSpec {
+            name: conv.name.clone(),
+            compute_cycles,
+            program_events: plan.total_folds() as u64,
+            cells_programmed: plan.cells_per_batch(),
+            traffic: t,
+            utilization: plan.utilization(self.batch),
+            plan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::zoo::{lenet5, resnet50_v1_5};
+    use oxbar_units::DataVolume;
+
+    fn small_engine(batch: usize) -> DataflowEngine {
+        DataflowEngine::paper_default(128, 128, batch)
+    }
+
+    #[test]
+    fn resnet50_cycles_scale_is_right() {
+        let spec = small_engine(32).analyze(&resnet50_v1_5());
+        let per_image = spec.compute_cycles_per_inference();
+        // 4.1 GMACs / 16384 MACs-per-cycle ≈ 250k ideal; folding overheads
+        // push it somewhat higher but same order.
+        assert!(per_image > 250_000.0 && per_image < 500_000.0, "{per_image}");
+    }
+
+    #[test]
+    fn resnet50_weights_stream_once_per_batch() {
+        let spec = small_engine(32).analyze(&resnet50_v1_5());
+        let filter_bits: f64 = spec.traffic.filter_sram_writes;
+        // 23.45 M conv weights + 2.048 M FC weights at 6 b ≈ 153 Mb.
+        let expected = 25_502_912.0 * 6.0;
+        assert!(
+            (filter_bits / expected - 1.0).abs() < 0.01,
+            "filter bits {filter_bits} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn batch_32_fits_input_sram_but_64_does_not() {
+        // The Fig. 7a mechanism: the largest ResNet-50 activation is
+        // 112×112×64×6b ≈ 0.6 MB/image. At batch 32 (19.3 MB) it fits the
+        // 26.3 MB input SRAM; at batch 64 (38.5 MB) it does not, and DRAM
+        // traffic explodes with fold re-streaming.
+        let net = resnet50_v1_5();
+        let dram32 = small_engine(32)
+            .analyze(&net)
+            .traffic_per_inference()
+            .dram_total()
+            .as_bits();
+        let dram64 = small_engine(64)
+            .analyze(&net)
+            .traffic_per_inference()
+            .dram_total()
+            .as_bits();
+        assert!(
+            dram64 > 3.0 * dram32,
+            "expected a steep DRAM step: b32={dram32} b64={dram64}"
+        );
+    }
+
+    #[test]
+    fn output_reuse_eliminates_intermediate_dram() {
+        let net = lenet5();
+        let with_reuse = small_engine(1).analyze(&net);
+        let engine_no_reuse = DataflowEngine::new(
+            128,
+            128,
+            1,
+            SramSizing::paper_default(),
+            ModelOptions {
+                output_sram_reuse: false,
+                ..ModelOptions::default()
+            },
+        );
+        let without = engine_no_reuse.analyze(&net);
+        assert!(
+            without.traffic.dram_total().as_bits()
+                > with_reuse.traffic.dram_total().as_bits()
+        );
+    }
+
+    #[test]
+    fn accumulator_absorbs_psum_traffic() {
+        let net = resnet50_v1_5();
+        let with_acc = small_engine(8).analyze(&net);
+        let engine_no_acc = DataflowEngine::new(
+            128,
+            128,
+            8,
+            SramSizing::paper_default(),
+            ModelOptions {
+                use_accumulator: false,
+                ..ModelOptions::default()
+            },
+        );
+        let without = engine_no_acc.analyze(&net);
+        assert!(with_acc.traffic.accumulator_sram_writes > 0.0);
+        assert_eq!(without.traffic.accumulator_sram_writes, 0.0);
+        // Without the accumulator the same partial-sum volume lands on the
+        // output SRAM / DRAM instead.
+        assert!(
+            without.traffic.output_sram_writes + without.traffic.dram_writes
+                > with_acc.traffic.output_sram_writes + with_acc.traffic.dram_writes
+        );
+    }
+
+    #[test]
+    fn first_layer_always_reads_dram() {
+        let spec = small_engine(1).analyze(&lenet5());
+        let first = &spec.layers[0];
+        // 28×28×1×6b input.
+        assert!(first.traffic.dram_reads >= 28.0 * 28.0 * 6.0);
+    }
+
+    #[test]
+    fn last_layer_always_writes_dram() {
+        let spec = small_engine(1).analyze(&lenet5());
+        let last = spec.layers.last().unwrap();
+        assert!(last.traffic.dram_writes >= 10.0 * 6.0);
+    }
+
+    #[test]
+    fn program_events_match_fold_plans() {
+        let spec = small_engine(4).analyze(&resnet50_v1_5());
+        for layer in &spec.layers {
+            assert_eq!(layer.program_events, layer.plan.total_folds() as u64);
+        }
+    }
+
+    #[test]
+    fn bigger_array_reduces_cycles() {
+        let net = resnet50_v1_5();
+        let small = DataflowEngine::paper_default(32, 32, 8).analyze(&net);
+        let large = DataflowEngine::paper_default(256, 256, 8).analyze(&net);
+        assert!(large.total_compute_cycles < small.total_compute_cycles);
+    }
+
+    #[test]
+    fn tiny_input_sram_forces_streaming() {
+        let sizing = SramSizing::paper_default()
+            .with_input(DataVolume::from_kilobytes(16.0));
+        let engine = DataflowEngine::new(128, 128, 8, sizing, ModelOptions::default());
+        let baseline = small_engine(8).analyze(&resnet50_v1_5());
+        let starved = engine.analyze(&resnet50_v1_5());
+        assert!(
+            starved.traffic.dram_reads > 5.0 * baseline.traffic.dram_reads,
+            "starved {} vs baseline {}",
+            starved.traffic.dram_reads,
+            baseline.traffic.dram_reads
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Weight-stationary fold planning: how a conv layer tiles onto the array.
+
+use oxbar_nn::Conv2d;
+use serde::{Deserialize, Serialize};
+
+/// The tiling of one convolution onto an `N × M` crossbar.
+///
+/// The flattened filter (length `K_h·K_w·C/groups`) maps to rows, output
+/// channels map to columns. Oversized dimensions fold:
+/// `row_folds = ⌈filter_rows / N⌉`, `col_folds = ⌈physical_cols / M⌉`; each
+/// `(row_fold, col_fold, group)` triple requires one PCM programming event
+/// and streams all output pixels of the batch through the array.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_dataflow::FoldPlan;
+/// use oxbar_nn::{Conv2d, TensorShape};
+///
+/// // 3×3×256 → 512 conv on a 128×128 array:
+/// let conv = Conv2d::new("c", TensorShape::new(14, 14, 256), 3, 3, 512, 1, 1);
+/// let plan = FoldPlan::plan(&conv, 128, 128, 1);
+/// assert_eq!(plan.row_folds, 18); // ⌈2304/128⌉
+/// assert_eq!(plan.col_folds, 4);  // ⌈512/128⌉
+/// assert_eq!(plan.total_folds(), 72);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldPlan {
+    /// Array rows (N).
+    pub array_rows: usize,
+    /// Array columns (M).
+    pub array_cols: usize,
+    /// Rows actually occupied in a full fold (`min(filter_rows, N)`).
+    pub rows_used: usize,
+    /// Columns actually occupied in a full fold (`min(physical_cols, M)`).
+    pub cols_used: usize,
+    /// Number of row folds.
+    pub row_folds: usize,
+    /// Number of column folds (per group).
+    pub col_folds: usize,
+    /// Channel groups (depthwise convs map each group separately).
+    pub groups: usize,
+    /// Physical columns per logical output (1 = offset, 2 = differential).
+    pub cols_per_output: usize,
+    /// Output pixels per image (`H'·W'`).
+    pub output_pixels: usize,
+    /// MACs per image.
+    pub macs: u64,
+}
+
+impl FoldPlan {
+    /// Plans a conv layer onto an array.
+    ///
+    /// `cols_per_output` is the physical-column expansion of the weight
+    /// mapping (1 for offset, 2 for differential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn plan(
+        conv: &Conv2d,
+        array_rows: usize,
+        array_cols: usize,
+        cols_per_output: usize,
+    ) -> Self {
+        assert!(
+            array_rows > 0 && array_cols > 0 && cols_per_output > 0,
+            "array dimensions must be non-zero"
+        );
+        let filter_rows = conv.filter_rows();
+        let physical_cols = conv.out_c_per_group() * cols_per_output;
+        let out = conv.output_shape();
+        Self {
+            array_rows,
+            array_cols,
+            rows_used: filter_rows.min(array_rows),
+            cols_used: physical_cols.min(array_cols),
+            row_folds: filter_rows.div_ceil(array_rows),
+            col_folds: physical_cols.div_ceil(array_cols),
+            groups: conv.groups,
+            cols_per_output,
+            output_pixels: out.h * out.w,
+            macs: conv.macs(),
+        }
+    }
+
+    /// Total programming events per batch pass.
+    #[must_use]
+    pub fn total_folds(&self) -> usize {
+        self.row_folds * self.col_folds * self.groups
+    }
+
+    /// Compute cycles to stream a whole batch through every fold.
+    #[must_use]
+    pub fn compute_cycles(&self, batch: usize) -> u64 {
+        self.total_folds() as u64 * self.output_pixels as u64 * batch as u64
+    }
+
+    /// Total PCM cells written per batch pass: every mapped weight is
+    /// programmed exactly once (`params × cols_per_output`).
+    #[must_use]
+    pub fn cells_per_batch(&self) -> u64 {
+        self.weight_cells() * self.cols_per_output as u64
+    }
+
+    /// Weight count of the layer (`filter_rows · out_c`), reconstructed
+    /// from `macs / output_pixels`.
+    #[must_use]
+    pub fn weight_cells(&self) -> u64 {
+        (self.macs / self.output_pixels as u64).max(1)
+    }
+
+    /// Array utilization during this layer: useful MACs over physical
+    /// MAC slots consumed.
+    #[must_use]
+    pub fn utilization(&self, batch: usize) -> f64 {
+        let slots = self.compute_cycles(batch) as f64
+            * self.array_rows as f64
+            * self.array_cols as f64;
+        (self.macs as f64 * batch as f64) / slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::TensorShape;
+
+    #[test]
+    fn small_layer_fits_without_folding() {
+        // LeNet conv1: 5×5×1 = 25 rows, 6 columns.
+        let conv = Conv2d::new("c1", TensorShape::new(28, 28, 1), 5, 5, 6, 1, 2);
+        let plan = FoldPlan::plan(&conv, 128, 128, 1);
+        assert_eq!(plan.row_folds, 1);
+        assert_eq!(plan.col_folds, 1);
+        assert_eq!(plan.rows_used, 25);
+        assert_eq!(plan.cols_used, 6);
+        assert_eq!(plan.compute_cycles(1), 784);
+    }
+
+    #[test]
+    fn resnet_stem_folds_rows() {
+        // conv1: 7×7×3 = 147 rows > 128 → 2 row folds.
+        let conv = Conv2d::new("conv1", TensorShape::new(224, 224, 3), 7, 7, 64, 2, 3);
+        let plan = FoldPlan::plan(&conv, 128, 128, 1);
+        assert_eq!(plan.row_folds, 2);
+        assert_eq!(plan.col_folds, 1);
+        assert_eq!(plan.compute_cycles(32), 2 * 112 * 112 * 32);
+    }
+
+    #[test]
+    fn differential_mapping_doubles_columns() {
+        let conv = Conv2d::new("c", TensorShape::new(7, 7, 512), 1, 1, 128, 1, 0);
+        let offset = FoldPlan::plan(&conv, 128, 128, 1);
+        let differential = FoldPlan::plan(&conv, 128, 128, 2);
+        assert_eq!(offset.col_folds, 1);
+        assert_eq!(differential.col_folds, 2);
+    }
+
+    #[test]
+    fn depthwise_groups_multiply_folds() {
+        let conv = Conv2d::new("dw", TensorShape::new(14, 14, 512), 3, 3, 512, 1, 1)
+            .with_groups(512);
+        let plan = FoldPlan::plan(&conv, 128, 128, 1);
+        assert_eq!(plan.groups, 512);
+        assert_eq!(plan.row_folds, 1); // 9 rows per group
+        assert_eq!(plan.total_folds(), 512);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        for (n, m) in [(32usize, 32usize), (128, 128), (256, 64)] {
+            let conv = Conv2d::new("c", TensorShape::new(14, 14, 256), 3, 3, 512, 1, 1);
+            let plan = FoldPlan::plan(&conv, n, m, 1);
+            let u = plan.utilization(32);
+            assert!(u > 0.0 && u <= 1.0 + 1e-12, "{n}x{m}: {u}");
+        }
+    }
+
+    #[test]
+    fn perfectly_tiled_layer_has_full_utilization() {
+        // 128-row, 128-col exact fit.
+        let conv = Conv2d::new("c", TensorShape::new(8, 8, 128), 1, 1, 128, 1, 0);
+        let plan = FoldPlan::plan(&conv, 128, 128, 1);
+        assert!((plan.utilization(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_lower_bound_is_macs_over_array() {
+        let conv = Conv2d::new("c", TensorShape::new(14, 14, 256), 3, 3, 512, 1, 1);
+        let plan = FoldPlan::plan(&conv, 128, 128, 1);
+        let cycles = plan.compute_cycles(1) as f64;
+        let bound = conv.macs() as f64 / (128.0 * 128.0);
+        assert!(cycles >= bound);
+    }
+
+    #[test]
+    fn weight_cells_counts_filter_volume() {
+        let conv = Conv2d::new("c", TensorShape::new(14, 14, 256), 3, 3, 512, 1, 1);
+        let plan = FoldPlan::plan(&conv, 128, 128, 1);
+        assert_eq!(plan.weight_cells(), conv.params());
+    }
+}

@@ -1,0 +1,48 @@
+//! SCALE-sim-equivalent dataflow engine for the `oxbar` crossbar (step 1 of
+//! the paper's simulation framework, §V).
+//!
+//! For a CNN and a chip parameter set (array size, batch, SRAM sizing) this
+//! crate counts, per layer and per network:
+//!
+//! * **compute cycles** — weight-stationary im2col folding of each layer
+//!   onto the N×M array (`⌈K·K·C/N⌉ × ⌈F/M⌉` folds × output pixels ×
+//!   batch);
+//! * **programming events** — one PCM array write per fold;
+//! * **SRAM and DRAM accesses** — with the paper's three SCALE-sim
+//!   modifications: non-unity batch, a partial-sum accumulator, and
+//!   output→input SRAM reuse (§V).
+//!
+//! An event-driven [`cycle::CycleSimulator`] replays the fold stream
+//! explicitly (including dual-core programming/compute overlap) and is
+//! cross-checked against the analytic counters in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_dataflow::engine::DataflowEngine;
+//! use oxbar_nn::zoo::resnet50_v1_5;
+//!
+//! let engine = DataflowEngine::paper_default(128, 128, 32);
+//! let spec = engine.analyze(&resnet50_v1_5());
+//! // ≈4.1 GMACs on a 16k-MAC array: a few hundred k-cycles per image.
+//! let cycles_per_image = spec.total_compute_cycles as f64 / 32.0;
+//! assert!(cycles_per_image > 2.0e5 && cycles_per_image < 6.0e5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod engine;
+pub mod fold;
+pub mod spec;
+pub mod stall;
+pub mod tiles;
+pub mod trace;
+
+#[cfg(test)]
+mod proptests;
+
+pub use engine::{DataflowEngine, ModelOptions};
+pub use fold::FoldPlan;
+pub use spec::{LayerSpec, NetworkSpec};

@@ -1,0 +1,134 @@
+//! Property-based tests over fold planning, tiling, and scheduling.
+
+use crate::cycle::{CorePolicy, CycleSimulator};
+use crate::engine::DataflowEngine;
+use crate::fold::FoldPlan;
+use crate::tiles::WeightTiles;
+use oxbar_nn::{Conv2d, TensorShape};
+use proptest::prelude::*;
+
+/// Random small conv layers with valid geometry.
+fn conv_strategy() -> impl Strategy<Value = Conv2d> {
+    (
+        2usize..24,  // spatial size
+        1usize..12,  // input channels
+        1usize..3,   // half-kernel (k = 1 or 3)
+        1usize..16,  // output channels
+        1usize..3,   // stride
+    )
+        .prop_map(|(hw, c, half_k, out_c, stride)| {
+            let k = 2 * half_k - 1;
+            Conv2d::new(
+                "prop",
+                TensorShape::new(hw.max(k), hw.max(k), c),
+                k,
+                k,
+                out_c,
+                stride,
+                k / 2,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fold_plan_covers_all_rows_and_cols(
+        conv in conv_strategy(),
+        rows_exp in 2u32..8,
+        cols_exp in 2u32..8,
+    ) {
+        let rows = 1usize << rows_exp;
+        let cols = 1usize << cols_exp;
+        let plan = FoldPlan::plan(&conv, rows, cols, 1);
+        // Folds × array capacity must cover the matrix, and one fewer
+        // fold must not.
+        prop_assert!(plan.row_folds * rows >= conv.filter_rows());
+        prop_assert!((plan.row_folds - 1) * rows < conv.filter_rows());
+        prop_assert!(plan.col_folds * cols >= conv.out_c_per_group());
+        prop_assert!((plan.col_folds - 1) * cols < conv.out_c_per_group());
+    }
+
+    #[test]
+    fn utilization_in_unit_interval(
+        conv in conv_strategy(),
+        batch in 1usize..16,
+    ) {
+        let plan = FoldPlan::plan(&conv, 64, 64, 1);
+        let u = plan.utilization(batch);
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12, "u = {u}");
+    }
+
+    #[test]
+    fn tiles_partition_weights(conv in conv_strategy()) {
+        let bank = oxbar_nn::synthetic::filter_bank(&conv, 6, 7);
+        let plan = FoldPlan::plan(&conv, 16, 8, 1);
+        let mut count = 0usize;
+        for tile in WeightTiles::new(&conv, &bank.weights, &plan) {
+            count += tile.rows() * tile.cols();
+            // All values must match the source filters.
+            for (r, row) in tile.values.iter().enumerate() {
+                for (c, &w) in row.iter().enumerate() {
+                    let oc = tile.group * conv.out_c_per_group()
+                        + tile.col_offset + c;
+                    prop_assert_eq!(w, bank.weights[oc][tile.row_offset + r]);
+                }
+            }
+        }
+        prop_assert_eq!(count as u64, conv.params());
+    }
+
+    #[test]
+    fn engine_traffic_scales_with_batch(
+        conv in conv_strategy(),
+        batch_exp in 0u32..5,
+    ) {
+        use oxbar_memory::system::SramSizing;
+        use crate::engine::ModelOptions;
+        let batch = 1usize << batch_exp;
+        let engine = |b| DataflowEngine::new(
+            64, 64, b, SramSizing::paper_default(), ModelOptions::default(),
+        );
+        let one = engine(1).analyze_layer(&conv, true, true);
+        let many = engine(batch).analyze_layer(&conv, true, true);
+        // Compute cycles scale exactly linearly with batch.
+        prop_assert_eq!(one.compute_cycles * batch as u64, many.compute_cycles);
+        // Weights stream once per batch pass regardless of batch size.
+        prop_assert!((one.traffic.filter_sram_writes
+            - many.traffic.filter_sram_writes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_core_bounded_by_half_single(
+        conv in conv_strategy(),
+        batch in 1usize..8,
+    ) {
+        // Two cores can at best double throughput.
+        let engine = DataflowEngine::paper_default(32, 32, batch);
+        let mut net = oxbar_nn::Network::new("one", conv.input);
+        net.push(oxbar_nn::Layer::Conv2d(conv));
+        let spec = engine.analyze(&net);
+        let sim = CycleSimulator::new(500);
+        let single = sim.run(&spec, CorePolicy::SingleCore);
+        let dual = sim.run(&spec, CorePolicy::DualCore);
+        prop_assert!(dual.total_cycles <= single.total_cycles);
+        prop_assert!(2 * dual.total_cycles + 1000 >= single.total_cycles);
+    }
+
+    #[test]
+    fn trace_cycles_match_plan(conv in conv_strategy(), batch in 1usize..4) {
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let trace = crate::trace::trace_fold(&conv, &plan, 0, 0, 0, batch);
+        prop_assert_eq!(
+            trace.len() as u64,
+            (plan.output_pixels * batch) as u64
+        );
+        // Addresses always in bounds.
+        for cycle in &trace {
+            for read in cycle.input_reads.iter().flatten() {
+                prop_assert!(*read < conv.input.elements());
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Runtime-spec records: the output of step 1 of the paper's framework.
+
+use crate::fold::FoldPlan;
+use oxbar_memory::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+/// Runtime specs of one layer for one **batch** pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer name.
+    pub name: String,
+    /// The fold tiling.
+    pub plan: FoldPlan,
+    /// MAC compute cycles for the whole batch.
+    pub compute_cycles: u64,
+    /// PCM array programming events.
+    pub program_events: u64,
+    /// PCM cells written.
+    pub cells_programmed: u64,
+    /// Memory traffic (bits, whole batch).
+    pub traffic: TrafficStats,
+    /// Array utilization in (0, 1].
+    pub utilization: f64,
+}
+
+/// Runtime specs of a whole network for one **batch** pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name.
+    pub network: String,
+    /// Batch size the pass was planned for.
+    pub batch: usize,
+    /// Array rows.
+    pub array_rows: usize,
+    /// Array columns.
+    pub array_cols: usize,
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerSpec>,
+    /// Total MAC compute cycles (batch).
+    pub total_compute_cycles: u64,
+    /// Total programming events (batch).
+    pub total_program_events: u64,
+    /// Total PCM cells written (batch).
+    pub total_cells_programmed: u64,
+    /// Total traffic (batch).
+    pub traffic: TrafficStats,
+    /// Total MACs executed (batch).
+    pub total_macs: u64,
+}
+
+impl NetworkSpec {
+    /// Assembles network totals from per-layer records.
+    #[must_use]
+    pub fn from_layers(
+        network: impl Into<String>,
+        batch: usize,
+        array_rows: usize,
+        array_cols: usize,
+        layers: Vec<LayerSpec>,
+    ) -> Self {
+        let mut traffic = TrafficStats::default();
+        let mut compute = 0;
+        let mut events = 0;
+        let mut cells = 0;
+        let mut macs = 0;
+        for layer in &layers {
+            traffic.accumulate(&layer.traffic);
+            compute += layer.compute_cycles;
+            events += layer.program_events;
+            cells += layer.cells_programmed;
+            macs += layer.plan.macs * batch as u64;
+        }
+        Self {
+            network: network.into(),
+            batch,
+            array_rows,
+            array_cols,
+            layers,
+            total_compute_cycles: compute,
+            total_program_events: events,
+            total_cells_programmed: cells,
+            traffic,
+            total_macs: macs,
+        }
+    }
+
+    /// Traffic normalized to one inference.
+    #[must_use]
+    pub fn traffic_per_inference(&self) -> TrafficStats {
+        self.traffic.scaled(1.0 / self.batch as f64)
+    }
+
+    /// Compute cycles per inference.
+    #[must_use]
+    pub fn compute_cycles_per_inference(&self) -> f64 {
+        self.total_compute_cycles as f64 / self.batch as f64
+    }
+
+    /// MAC-weighted average array utilization.
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        let slots: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.compute_cycles as f64)
+            .sum::<f64>()
+            * self.array_rows as f64
+            * self.array_cols as f64;
+        if slots == 0.0 {
+            return 0.0;
+        }
+        self.total_macs as f64 / slots
+    }
+
+    /// The smallest per-fold compute run in the network (cycles): the
+    /// constraint that decides whether dual-core hides programming.
+    #[must_use]
+    pub fn min_fold_compute_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.plan.output_pixels as u64 * self.batch as u64)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::{Conv2d, TensorShape};
+
+    fn layer_spec(name: &str, pixels_scale: usize) -> LayerSpec {
+        let conv = Conv2d::new(
+            name,
+            TensorShape::new(8 * pixels_scale, 8, 16),
+            3,
+            3,
+            32,
+            1,
+            1,
+        );
+        let plan = FoldPlan::plan(&conv, 64, 64, 1);
+        LayerSpec {
+            name: name.to_string(),
+            compute_cycles: plan.compute_cycles(4),
+            program_events: plan.total_folds() as u64,
+            cells_programmed: plan.cells_per_batch(),
+            traffic: TrafficStats {
+                dram_reads: 100.0,
+                ..TrafficStats::default()
+            },
+            utilization: plan.utilization(4),
+            plan,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let spec = NetworkSpec::from_layers(
+            "test",
+            4,
+            64,
+            64,
+            vec![layer_spec("a", 1), layer_spec("b", 2)],
+        );
+        assert_eq!(spec.layers.len(), 2);
+        assert_eq!(
+            spec.total_compute_cycles,
+            spec.layers.iter().map(|l| l.compute_cycles).sum::<u64>()
+        );
+        assert_eq!(spec.traffic.dram_reads, 200.0);
+    }
+
+    #[test]
+    fn per_inference_scaling() {
+        let spec = NetworkSpec::from_layers("test", 4, 64, 64, vec![layer_spec("a", 1)]);
+        assert!(
+            (spec.traffic_per_inference().dram_reads - 25.0).abs() < 1e-12
+        );
+        assert!(
+            (spec.compute_cycles_per_inference()
+                - spec.total_compute_cycles as f64 / 4.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn average_utilization_bounded() {
+        let spec = NetworkSpec::from_layers(
+            "test",
+            4,
+            64,
+            64,
+            vec![layer_spec("a", 1), layer_spec("b", 2)],
+        );
+        let u = spec.average_utilization();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn min_fold_compute_tracks_smallest_layer() {
+        let spec = NetworkSpec::from_layers(
+            "test",
+            4,
+            64,
+            64,
+            vec![layer_spec("a", 1), layer_spec("b", 2)],
+        );
+        // Layer a has 8×8=64 output pixels × batch 4.
+        assert_eq!(spec.min_fold_compute_cycles(), 256);
+    }
+}

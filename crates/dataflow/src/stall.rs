@@ -1,0 +1,142 @@
+//! DRAM-bandwidth stall analysis.
+//!
+//! The analytic engine assumes memory keeps up with compute; this module
+//! checks that assumption: for each layer it compares the DRAM transfer
+//! time against the compute time and reports the shortfall.
+
+use crate::spec::NetworkSpec;
+use oxbar_memory::dram::DramKind;
+use oxbar_units::{DataVolume, Frequency, Time};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer bandwidth verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStall {
+    /// Layer name.
+    pub name: String,
+    /// Compute time for the batch pass.
+    pub compute_time: Time,
+    /// DRAM transfer time for the layer's traffic at peak bandwidth.
+    pub dram_time: Time,
+    /// Extra time beyond compute (zero when bandwidth keeps up).
+    pub stall: Time,
+}
+
+/// Network-level bandwidth report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallReport {
+    /// Per-layer verdicts.
+    pub layers: Vec<LayerStall>,
+    /// Total stall across the network.
+    pub total_stall: Time,
+    /// Total compute time.
+    pub total_compute: Time,
+}
+
+impl StallReport {
+    /// Slowdown factor from bandwidth stalls (1.0 = none).
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        (self.total_compute.as_seconds() + self.total_stall.as_seconds())
+            / self.total_compute.as_seconds()
+    }
+}
+
+/// Computes the stall report for a spec at a MAC clock and DRAM kind.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_dataflow::{stall, DataflowEngine};
+/// use oxbar_memory::dram::DramKind;
+/// use oxbar_nn::zoo::resnet50_v1_5;
+/// use oxbar_units::Frequency;
+///
+/// let spec = DataflowEngine::paper_default(128, 128, 32).analyze(&resnet50_v1_5());
+/// let report = stall::analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
+/// // Co-packaged HBM keeps up with the paper's operating point.
+/// assert!(report.slowdown() < 1.1);
+/// ```
+#[must_use]
+pub fn analyze(spec: &NetworkSpec, clock: Frequency, dram: DramKind) -> StallReport {
+    let bw = dram.peak_bandwidth_bytes_per_s();
+    let mut layers = Vec::with_capacity(spec.layers.len());
+    let mut total_stall = Time::ZERO;
+    let mut total_compute = Time::ZERO;
+    for layer in &spec.layers {
+        let compute_time = clock.cycles_to_time(layer.compute_cycles);
+        let dram_bits = DataVolume::from_bits(
+            layer.traffic.dram_reads + layer.traffic.dram_writes,
+        );
+        let dram_time = Time::from_seconds(dram_bits.as_bytes() / bw);
+        let stall = Time::from_seconds(
+            (dram_time.as_seconds() - compute_time.as_seconds()).max(0.0),
+        );
+        total_stall += stall;
+        total_compute += compute_time;
+        layers.push(LayerStall {
+            name: layer.name.clone(),
+            compute_time,
+            dram_time,
+            stall,
+        });
+    }
+    StallReport {
+        layers,
+        total_stall,
+        total_compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DataflowEngine, ModelOptions};
+    use oxbar_memory::system::SramSizing;
+    use oxbar_nn::zoo::resnet50_v1_5;
+    use oxbar_units::DataVolume;
+
+    #[test]
+    fn hbm_keeps_up_at_paper_operating_point() {
+        let spec =
+            DataflowEngine::paper_default(128, 128, 32).analyze(&resnet50_v1_5());
+        let report = analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
+        assert!(report.slowdown() < 1.05, "slowdown {}", report.slowdown());
+    }
+
+    #[test]
+    fn starved_sram_stalls_even_hbm() {
+        let engine = DataflowEngine::new(
+            128,
+            128,
+            64,
+            SramSizing::paper_default().with_input(DataVolume::from_kilobytes(64.0)),
+            ModelOptions::default(),
+        );
+        let spec = engine.analyze(&resnet50_v1_5());
+        let report = analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
+        assert!(report.slowdown() > 1.5, "slowdown {}", report.slowdown());
+    }
+
+    #[test]
+    fn pcie_dram_is_slower_than_hbm() {
+        let spec =
+            DataflowEngine::paper_default(128, 128, 64).analyze(&resnet50_v1_5());
+        let hbm = analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
+        let pcie = analyze(
+            &spec,
+            Frequency::from_gigahertz(10.0),
+            DramKind::PcieAttached,
+        );
+        assert!(pcie.total_stall.as_seconds() >= hbm.total_stall.as_seconds());
+    }
+
+    #[test]
+    fn stall_never_negative() {
+        let spec = DataflowEngine::paper_default(64, 64, 8).analyze(&resnet50_v1_5());
+        let report = analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
+        for layer in &report.layers {
+            assert!(layer.stall.as_seconds() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Fold tiling: slicing a layer's weight matrix into the per-fold
+//! sub-matrices that actually get programmed into the PCM array.
+//!
+//! [`crate::fold::FoldPlan`] counts folds; this module materializes them.
+//! Each [`WeightTile`] is the `rows_used × cols_used` slice of the im2col
+//! weight matrix for one `(group, row_fold, col_fold)` triple, in the
+//! order the scheduler programs them. The system-level counters and the
+//! physical simulation meet here: a tile can be handed to
+//! `oxbar_pcm::PcmArray::program` and `oxbar_photonics`' crossbar directly.
+
+use crate::fold::FoldPlan;
+use oxbar_nn::Conv2d;
+use serde::{Deserialize, Serialize};
+
+/// One fold's weight slice.
+///
+/// `values[r][c]` is the weight for local array row `r`, local column `c`.
+/// Row indices map to positions `row_offset + r` of the flattened filter
+/// (within the tile's group); column indices map to output channels
+/// `col_offset + c` (pre-expansion: logical outputs, not mapping columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightTile {
+    /// Channel group this tile belongs to.
+    pub group: usize,
+    /// Row-fold index.
+    pub row_fold: usize,
+    /// Column-fold index.
+    pub col_fold: usize,
+    /// First flattened-filter row covered.
+    pub row_offset: usize,
+    /// First output channel (within the group) covered.
+    pub col_offset: usize,
+    /// The slice, `rows × cols`, ragged edges truncated.
+    pub values: Vec<Vec<i8>>,
+}
+
+impl WeightTile {
+    /// Rows in this tile.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Columns in this tile.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.values.first().map_or(0, Vec::len)
+    }
+}
+
+/// Iterator over the fold tiles of one conv layer's filter bank.
+///
+/// Tiles stream in programming order: groups outermost, then row folds,
+/// then column folds — matching the fold enumeration the analytic engine
+/// counts.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_dataflow::tiles::WeightTiles;
+/// use oxbar_dataflow::FoldPlan;
+/// use oxbar_nn::{Conv2d, TensorShape};
+/// use oxbar_nn::synthetic;
+///
+/// let conv = Conv2d::new("c", TensorShape::new(8, 8, 16), 3, 3, 12, 1, 1);
+/// let bank = synthetic::filter_bank(&conv, 6, 1);
+/// let plan = FoldPlan::plan(&conv, 64, 8, 1);
+/// let tiles: Vec<_> = WeightTiles::new(&conv, &bank.weights, &plan).collect();
+/// assert_eq!(tiles.len(), plan.total_folds());
+/// // 3·3·16 = 144 rows fold over 64 array rows → 3 row folds.
+/// assert_eq!(tiles.iter().filter(|t| t.col_fold == 0).count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightTiles<'a> {
+    conv: &'a Conv2d,
+    /// `filters[oc]` is the flattened kh·kw·cin-per-group filter.
+    filters: &'a [Vec<i8>],
+    plan: &'a FoldPlan,
+    next_index: usize,
+}
+
+impl<'a> WeightTiles<'a> {
+    /// Creates the tile stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters` does not match the conv's filter geometry.
+    #[must_use]
+    pub fn new(conv: &'a Conv2d, filters: &'a [Vec<i8>], plan: &'a FoldPlan) -> Self {
+        assert_eq!(filters.len(), conv.out_c, "one filter per output channel");
+        for (oc, f) in filters.iter().enumerate() {
+            assert_eq!(
+                f.len(),
+                conv.filter_rows(),
+                "filter {oc} must have {} weights",
+                conv.filter_rows()
+            );
+        }
+        Self {
+            conv,
+            filters,
+            plan,
+            next_index: 0,
+        }
+    }
+
+    fn tile_at(&self, index: usize) -> WeightTile {
+        let per_group = self.plan.row_folds * self.plan.col_folds;
+        let group = index / per_group;
+        let within = index % per_group;
+        let row_fold = within / self.plan.col_folds;
+        let col_fold = within % self.plan.col_folds;
+
+        let filter_rows = self.conv.filter_rows();
+        let out_per_group = self.conv.out_c_per_group();
+        let row_offset = row_fold * self.plan.array_rows;
+        let rows = (filter_rows - row_offset).min(self.plan.array_rows);
+        // Column tiling happens on logical outputs; the mapping expansion
+        // (cols_per_output) divides the physical columns available.
+        let logical_per_fold = self.plan.array_cols / self.plan.cols_per_output;
+        let col_offset = col_fold * logical_per_fold;
+        let cols = (out_per_group - col_offset).min(logical_per_fold.max(1));
+
+        let values = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let oc = group * out_per_group + col_offset + c;
+                        self.filters[oc][row_offset + r]
+                    })
+                    .collect()
+            })
+            .collect();
+        WeightTile {
+            group,
+            row_fold,
+            col_fold,
+            row_offset,
+            col_offset,
+            values,
+        }
+    }
+}
+
+impl Iterator for WeightTiles<'_> {
+    type Item = WeightTile;
+
+    fn next(&mut self) -> Option<WeightTile> {
+        if self.next_index >= self.plan.total_folds() {
+            return None;
+        }
+        let tile = self.tile_at(self.next_index);
+        self.next_index += 1;
+        Some(tile)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.plan.total_folds() - self.next_index;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for WeightTiles<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::synthetic;
+    use oxbar_nn::TensorShape;
+
+    fn case() -> (Conv2d, Vec<Vec<i8>>) {
+        let conv = Conv2d::new("c", TensorShape::new(6, 6, 8), 3, 3, 10, 1, 1);
+        let bank = synthetic::filter_bank(&conv, 6, 3);
+        (conv, bank.weights)
+    }
+
+    #[test]
+    fn tile_count_matches_plan() {
+        let (conv, filters) = case();
+        let plan = FoldPlan::plan(&conv, 32, 4, 1); // 72 rows → 3 rf, 10 cols → 3 cf
+        assert_eq!(plan.row_folds, 3);
+        assert_eq!(plan.col_folds, 3);
+        let tiles: Vec<_> = WeightTiles::new(&conv, &filters, &plan).collect();
+        assert_eq!(tiles.len(), 9);
+    }
+
+    #[test]
+    fn tiles_partition_every_weight_exactly_once() {
+        let (conv, filters) = case();
+        let plan = FoldPlan::plan(&conv, 32, 4, 1);
+        let mut seen = vec![vec![false; conv.filter_rows()]; conv.out_c];
+        for tile in WeightTiles::new(&conv, &filters, &plan) {
+            for (r, row) in tile.values.iter().enumerate() {
+                for (c, &w) in row.iter().enumerate() {
+                    let oc = tile.group * conv.out_c_per_group() + tile.col_offset + c;
+                    let fr = tile.row_offset + r;
+                    assert!(!seen[oc][fr], "weight ({oc},{fr}) tiled twice");
+                    seen[oc][fr] = true;
+                    assert_eq!(w, filters[oc][fr], "value mismatch at ({oc},{fr})");
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|f| f.iter().all(|&s| s)),
+            "every weight must appear in exactly one tile"
+        );
+    }
+
+    #[test]
+    fn ragged_edges_truncate() {
+        let (conv, filters) = case();
+        let plan = FoldPlan::plan(&conv, 32, 4, 1);
+        let tiles: Vec<_> = WeightTiles::new(&conv, &filters, &plan).collect();
+        // Last row fold: 72 − 64 = 8 rows; last col fold: 10 − 8 = 2 cols.
+        let last = tiles.last().unwrap();
+        assert_eq!(last.rows(), 8);
+        assert_eq!(last.cols(), 2);
+    }
+
+    #[test]
+    fn grouped_conv_tiles_respect_groups() {
+        let conv = Conv2d::new("dw", TensorShape::new(4, 4, 6), 3, 3, 6, 1, 1)
+            .with_groups(6);
+        let bank = synthetic::filter_bank(&conv, 6, 4);
+        let plan = FoldPlan::plan(&conv, 16, 16, 1);
+        let tiles: Vec<_> = WeightTiles::new(&conv, &bank.weights, &plan).collect();
+        assert_eq!(tiles.len(), 6); // one tile per group
+        for (g, tile) in tiles.iter().enumerate() {
+            assert_eq!(tile.group, g);
+            assert_eq!(tile.rows(), 9);
+            assert_eq!(tile.cols(), 1);
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let (conv, filters) = case();
+        let plan = FoldPlan::plan(&conv, 32, 4, 1);
+        let mut it = WeightTiles::new(&conv, &filters, &plan);
+        assert_eq!(it.len(), 9);
+        it.next();
+        assert_eq!(it.len(), 8);
+    }
+}

@@ -1,0 +1,247 @@
+//! Cycle-by-cycle SRAM demand traces (SCALE-sim's signature output).
+//!
+//! For a fold of a layer, emits the per-cycle addresses the array demands:
+//! which input-SRAM words feed the rows and which accumulator words absorb
+//! the columns. Intended for small layers (verification, SRAM bank-conflict
+//! studies); the analytic engine remains the tool for whole networks.
+
+use crate::fold::FoldPlan;
+use oxbar_nn::Conv2d;
+use serde::{Deserialize, Serialize};
+
+/// One cycle's demands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCycle {
+    /// Cycle index within the fold (pixel-major: `pixel × batch + image`).
+    pub cycle: u64,
+    /// Image within the batch.
+    pub image: usize,
+    /// Output pixel `(y, x)` being computed.
+    pub pixel: (usize, usize),
+    /// Input-SRAM word addresses read this cycle (one per occupied row).
+    /// Address = flattened HWC offset of the activation element; `None`
+    /// marks zero-padding taps that need no read.
+    pub input_reads: Vec<Option<usize>>,
+    /// Accumulator lanes written this cycle (one per occupied column).
+    pub accumulator_writes: Vec<usize>,
+}
+
+/// Generates the demand trace of one `(group, row_fold, col_fold)` fold.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_dataflow::trace::trace_fold;
+/// use oxbar_dataflow::FoldPlan;
+/// use oxbar_nn::{Conv2d, TensorShape};
+///
+/// let conv = Conv2d::new("c", TensorShape::new(4, 4, 2), 3, 3, 4, 1, 1);
+/// let plan = FoldPlan::plan(&conv, 32, 8, 1);
+/// let trace = trace_fold(&conv, &plan, 0, 0, 0, 2);
+/// // 16 output pixels × batch 2 = 32 cycles.
+/// assert_eq!(trace.len(), 32);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the fold indices are out of range for the plan.
+#[must_use]
+pub fn trace_fold(
+    conv: &Conv2d,
+    plan: &FoldPlan,
+    group: usize,
+    row_fold: usize,
+    col_fold: usize,
+    batch: usize,
+) -> Vec<TraceCycle> {
+    assert!(group < plan.groups, "group {group} out of range");
+    assert!(row_fold < plan.row_folds, "row fold {row_fold} out of range");
+    assert!(col_fold < plan.col_folds, "col fold {col_fold} out of range");
+
+    let out = conv.output_shape();
+    let in_per_group = conv.in_c_per_group();
+    let out_per_group = conv.out_c_per_group();
+    let row_offset = row_fold * plan.array_rows;
+    let rows = (conv.filter_rows() - row_offset).min(plan.array_rows);
+    let logical_per_fold = (plan.array_cols / plan.cols_per_output).max(1);
+    let col_offset = col_fold * logical_per_fold;
+    let cols = (out_per_group - col_offset).min(logical_per_fold);
+
+    let mut cycles = Vec::with_capacity(out.h * out.w * batch);
+    let mut cycle = 0u64;
+    for oy in 0..out.h {
+        for ox in 0..out.w {
+            for image in 0..batch {
+                let input_reads = (0..rows)
+                    .map(|r| {
+                        let flat = row_offset + r;
+                        let ky = flat / (conv.k_w * in_per_group);
+                        let kx = (flat / in_per_group) % conv.k_w;
+                        let ci = flat % in_per_group;
+                        let iy =
+                            (oy * conv.stride + ky) as isize - conv.padding as isize;
+                        let ix =
+                            (ox * conv.stride + kx) as isize - conv.padding as isize;
+                        if iy < 0
+                            || ix < 0
+                            || iy >= conv.input.h as isize
+                            || ix >= conv.input.w as isize
+                        {
+                            None // zero padding: no SRAM read
+                        } else {
+                            let c = group * in_per_group + ci;
+                            Some(
+                                (iy as usize * conv.input.w + ix as usize)
+                                    * conv.input.c
+                                    + c,
+                            )
+                        }
+                    })
+                    .collect();
+                let accumulator_writes = (0..cols)
+                    .map(|c| {
+                        let oc = group * out_per_group + col_offset + c;
+                        (oy * out.w + ox) * out.c + oc
+                    })
+                    .collect();
+                cycles.push(TraceCycle {
+                    cycle,
+                    image,
+                    pixel: (oy, ox),
+                    input_reads,
+                    accumulator_writes,
+                });
+                cycle += 1;
+            }
+        }
+    }
+    cycles
+}
+
+/// Summarizes a trace: total reads (excluding padding), unique addresses,
+/// and the reuse factor (reads per unique address).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Cycles in the trace.
+    pub cycles: u64,
+    /// Non-padding input reads.
+    pub input_reads: u64,
+    /// Distinct input addresses touched.
+    pub unique_inputs: u64,
+    /// Average reads per distinct address (the im2col reuse the input SRAM
+    /// exists to serve).
+    pub reuse_factor: f64,
+}
+
+/// Computes the summary of a fold trace.
+#[must_use]
+pub fn summarize(trace: &[TraceCycle]) -> TraceSummary {
+    let mut unique = std::collections::BTreeSet::new();
+    let mut reads = 0u64;
+    for cycle in trace {
+        for read in cycle.input_reads.iter().flatten() {
+            unique.insert(*read);
+            reads += 1;
+        }
+    }
+    TraceSummary {
+        cycles: trace.len() as u64,
+        input_reads: reads,
+        unique_inputs: unique.len() as u64,
+        reuse_factor: if unique.is_empty() {
+            0.0
+        } else {
+            reads as f64 / unique.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::TensorShape;
+
+    fn small_conv() -> Conv2d {
+        Conv2d::new("t", TensorShape::new(4, 4, 2), 3, 3, 4, 1, 1)
+    }
+
+    #[test]
+    fn cycle_count_matches_plan() {
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let trace = trace_fold(&conv, &plan, 0, 0, 0, 3);
+        assert_eq!(trace.len() as u64, plan.compute_cycles(3));
+    }
+
+    #[test]
+    fn padding_taps_skip_sram() {
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let trace = trace_fold(&conv, &plan, 0, 0, 0, 1);
+        // The (0,0) output pixel with padding 1 reads 5 padded taps of the
+        // 3×3 window (top row + left column), i.e. 5·2 channels = 10 None.
+        let first = &trace[0];
+        assert_eq!(first.pixel, (0, 0));
+        let padded = first.input_reads.iter().filter(|r| r.is_none()).count();
+        assert_eq!(padded, 10);
+    }
+
+    #[test]
+    fn interior_pixel_reads_full_window() {
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let trace = trace_fold(&conv, &plan, 0, 0, 0, 1);
+        let interior = trace
+            .iter()
+            .find(|c| c.pixel == (1, 1))
+            .expect("interior pixel");
+        assert!(interior.input_reads.iter().all(Option::is_some));
+        assert_eq!(interior.input_reads.len(), 18); // 3·3·2
+    }
+
+    #[test]
+    fn addresses_in_bounds() {
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let trace = trace_fold(&conv, &plan, 0, 0, 0, 1);
+        let input_words = conv.input.elements();
+        let output_words = conv.output_shape().elements();
+        for cycle in &trace {
+            for read in cycle.input_reads.iter().flatten() {
+                assert!(*read < input_words);
+            }
+            for write in &cycle.accumulator_writes {
+                assert!(*write < output_words);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_reuse_visible_in_summary() {
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let trace = trace_fold(&conv, &plan, 0, 0, 0, 1);
+        let summary = summarize(&trace);
+        // Every interior activation is read by up to 9 windows.
+        assert!(summary.reuse_factor > 3.0);
+        assert_eq!(summary.unique_inputs, conv.input.elements() as u64);
+    }
+
+    #[test]
+    fn row_folds_slice_the_window() {
+        // 18 filter rows on an 8-row array: fold 1 starts at flat index 8.
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 8, 8, 1);
+        assert_eq!(plan.row_folds, 3);
+        let fold1 = trace_fold(&conv, &plan, 0, 1, 0, 1);
+        assert_eq!(fold1[0].input_reads.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row fold 9 out of range")]
+    fn out_of_range_fold_panics() {
+        let conv = small_conv();
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let _ = trace_fold(&conv, &plan, 0, 9, 0, 1);
+    }
+}

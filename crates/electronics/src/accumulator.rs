@@ -1,0 +1,152 @@
+//! Digital partial-sum accumulator.
+
+use oxbar_units::{Area, Energy};
+use serde::{Deserialize, Serialize};
+
+/// The per-column digital accumulator holding partial sums across row-folds.
+///
+/// The paper adds this block at the ADC/deserializer output (§IV): when a
+/// layer's flattened filter dimension exceeds the array rows, the matrix is
+/// processed in row-folds and partial sums accumulate digitally. The paper
+/// does not publish its energy; we use a 45 nm-typical **25 fJ per bit-op**
+/// adder figure (documented in DESIGN.md §4).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::accumulator::Accumulator;
+///
+/// let mut acc = Accumulator::new(24);
+/// acc.add(0, 100);
+/// acc.add(0, 23);
+/// assert_eq!(acc.value(0).unwrap(), 123);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    width_bits: u8,
+    lanes: std::collections::BTreeMap<usize, i64>,
+    ops: u64,
+}
+
+impl Accumulator {
+    /// Energy per bit of adder width per operation (45 nm estimate).
+    pub const ENERGY_PER_BIT_OP_FJ: f64 = 25.0;
+    /// Area per accumulator lane (mm², 45 nm estimate).
+    pub const AREA_PER_LANE_MM2: f64 = 0.0002;
+
+    /// Creates an accumulator with `width_bits` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `8 ≤ width_bits ≤ 48`.
+    #[must_use]
+    pub fn new(width_bits: u8) -> Self {
+        assert!(
+            (8..=48).contains(&width_bits),
+            "accumulator width must be in 8..=48 bits"
+        );
+        Self {
+            width_bits,
+            lanes: std::collections::BTreeMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width_bits(&self) -> u8 {
+        self.width_bits
+    }
+
+    /// Adds `value` into `lane`, saturating at the width limits.
+    pub fn add(&mut self, lane: usize, value: i64) {
+        let limit = (1i64 << (self.width_bits - 1)) - 1;
+        let entry = self.lanes.entry(lane).or_insert(0);
+        *entry = (*entry + value).clamp(-limit - 1, limit);
+        self.ops += 1;
+    }
+
+    /// The current value of `lane`, if it has been written.
+    #[must_use]
+    pub fn value(&self, lane: usize) -> Option<i64> {
+        self.lanes.get(&lane).copied()
+    }
+
+    /// Drains `lane`, returning its value and resetting it.
+    pub fn drain(&mut self, lane: usize) -> Option<i64> {
+        self.lanes.remove(&lane)
+    }
+
+    /// Operations performed so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total accumulation energy so far.
+    #[must_use]
+    pub fn energy(&self) -> Energy {
+        Energy::from_femtojoules(
+            Self::ENERGY_PER_BIT_OP_FJ * f64::from(self.width_bits) * self.ops as f64,
+        )
+    }
+
+    /// Layout area for `lanes` accumulator lanes.
+    #[must_use]
+    pub fn area_for_lanes(lanes: usize) -> Area {
+        Area::from_square_millimeters(Self::AREA_PER_LANE_MM2 * lanes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_partial_sums() {
+        let mut acc = Accumulator::new(24);
+        for fold in 0..4 {
+            acc.add(7, fold * 10);
+        }
+        assert_eq!(acc.value(7).unwrap(), 60);
+        assert_eq!(acc.ops(), 4);
+    }
+
+    #[test]
+    fn energy_tracks_ops_and_width() {
+        let mut acc = Accumulator::new(24);
+        acc.add(0, 1);
+        acc.add(1, 2);
+        // 2 ops × 24 bits × 25 fJ = 1200 fJ.
+        assert!((acc.energy().as_femtojoules() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturates_at_width_limit() {
+        let mut acc = Accumulator::new(8);
+        acc.add(0, 1_000_000);
+        assert_eq!(acc.value(0).unwrap(), 127);
+        acc.add(1, -1_000_000);
+        assert_eq!(acc.value(1).unwrap(), -128);
+    }
+
+    #[test]
+    fn drain_resets_lane() {
+        let mut acc = Accumulator::new(16);
+        acc.add(3, 42);
+        assert_eq!(acc.drain(3), Some(42));
+        assert_eq!(acc.value(3), None);
+    }
+
+    #[test]
+    fn area_scales_with_lanes() {
+        let a = Accumulator::area_for_lanes(128);
+        assert!((a.as_square_millimeters() - 0.0256).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator width must be in 8..=48")]
+    fn invalid_width_panics() {
+        let _ = Accumulator::new(4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Digital activation unit.
+
+use oxbar_units::{Area, Energy};
+use serde::{Deserialize, Serialize};
+
+/// The non-linear activation applied after complete MAC accumulation (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Pass-through (used for projection shortcuts and the final FC layer).
+    Identity,
+    /// `max(0, x)` — the ResNet non-linearity.
+    Relu,
+    /// `min(max(0, x), cap)` — used by mobile networks.
+    ReluClamped {
+        /// The saturation value in accumulator counts.
+        cap: i64,
+    },
+}
+
+/// The per-column activation block.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::activation::{ActivationKind, ActivationUnit};
+///
+/// let mut relu = ActivationUnit::new(ActivationKind::Relu);
+/// assert_eq!(relu.apply(-5), 0);
+/// assert_eq!(relu.apply(7), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivationUnit {
+    kind: ActivationKind,
+    ops: u64,
+}
+
+impl ActivationUnit {
+    /// Energy per activation element (45 nm comparator + mux estimate).
+    pub const ENERGY_PER_OP_FJ: f64 = 10.0;
+    /// Area per activation lane (mm²).
+    pub const AREA_PER_LANE_MM2: f64 = 0.0001;
+
+    /// Creates an activation unit.
+    #[must_use]
+    pub fn new(kind: ActivationKind) -> Self {
+        Self { kind, ops: 0 }
+    }
+
+    /// The configured non-linearity.
+    #[must_use]
+    pub fn kind(self) -> ActivationKind {
+        self.kind
+    }
+
+    /// Applies the non-linearity to one accumulator value.
+    pub fn apply(&mut self, x: i64) -> i64 {
+        self.ops += 1;
+        match self.kind {
+            ActivationKind::Identity => x,
+            ActivationKind::Relu => x.max(0),
+            ActivationKind::ReluClamped { cap } => x.clamp(0, cap),
+        }
+    }
+
+    /// Elements processed so far.
+    #[must_use]
+    pub fn ops(self) -> u64 {
+        self.ops
+    }
+
+    /// Energy spent so far.
+    #[must_use]
+    pub fn energy(self) -> Energy {
+        Energy::from_femtojoules(Self::ENERGY_PER_OP_FJ * self.ops as f64)
+    }
+
+    /// Layout area for `lanes` activation lanes.
+    #[must_use]
+    pub fn area_for_lanes(lanes: usize) -> Area {
+        Area::from_square_millimeters(Self::AREA_PER_LANE_MM2 * lanes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut unit = ActivationUnit::new(ActivationKind::Relu);
+        assert_eq!(unit.apply(-100), 0);
+        assert_eq!(unit.apply(0), 0);
+        assert_eq!(unit.apply(55), 55);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let mut unit = ActivationUnit::new(ActivationKind::Identity);
+        assert_eq!(unit.apply(-3), -3);
+    }
+
+    #[test]
+    fn clamped_relu_saturates() {
+        let mut unit = ActivationUnit::new(ActivationKind::ReluClamped { cap: 6 });
+        assert_eq!(unit.apply(100), 6);
+        assert_eq!(unit.apply(-2), 0);
+        assert_eq!(unit.apply(4), 4);
+    }
+
+    #[test]
+    fn energy_counts_ops() {
+        let mut unit = ActivationUnit::new(ActivationKind::Relu);
+        for x in -5..5 {
+            unit.apply(x);
+        }
+        assert_eq!(unit.ops(), 10);
+        assert!((unit.energy().as_femtojoules() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Analog-to-digital converter model with Walden figure-of-merit scaling.
+
+use oxbar_units::{Area, Energy, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// A high-speed ADC digitizing one crossbar column.
+///
+/// Anchored at the paper's reference point (ref. \[18\]): a time-interleaved
+/// 8-bit converter estimated at **25 mW and 0.0475 mm² at 10 GS/s** in 45 nm
+/// CMOS. Other resolutions/sample rates scale with the Walden
+/// figure-of-merit `P = FoM · 2^bits · f_s` (power ∝ sample rate and
+/// ∝ 2^bits), with area scaled proportionally to power — a standard
+/// first-order design-space model.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::Adc;
+/// use oxbar_units::Frequency;
+///
+/// let adc = Adc::paper_default(Frequency::from_gigahertz(10.0));
+/// assert!((adc.power().as_milliwatts() - 25.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u8,
+    sample_rate: Frequency,
+    power: Power,
+    area: Area,
+}
+
+impl Adc {
+    /// The paper's reference resolution.
+    pub const REFERENCE_BITS: u8 = 8;
+    /// The paper's reference sample rate (GS/s).
+    pub const REFERENCE_RATE_GSPS: f64 = 10.0;
+    /// The paper's reference power (mW).
+    pub const REFERENCE_POWER_MW: f64 = 25.0;
+    /// The paper's reference area (mm²).
+    pub const REFERENCE_AREA_MM2: f64 = 0.0475;
+
+    /// The paper's ADC at the given sample rate, 8-bit resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rate is zero.
+    #[must_use]
+    pub fn paper_default(sample_rate: Frequency) -> Self {
+        Self::scaled(Self::REFERENCE_BITS, sample_rate)
+    }
+
+    /// An ADC scaled from the reference point to `bits` and `sample_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or the sample rate is not positive.
+    #[must_use]
+    pub fn scaled(bits: u8, sample_rate: Frequency) -> Self {
+        assert!(bits > 0, "ADC resolution must be positive");
+        assert!(
+            sample_rate.as_hertz() > 0.0,
+            "ADC sample rate must be positive"
+        );
+        let rate_scale = sample_rate.as_gigahertz() / Self::REFERENCE_RATE_GSPS;
+        let bit_scale = 2f64.powi(i32::from(bits) - i32::from(Self::REFERENCE_BITS));
+        let scale = rate_scale * bit_scale;
+        Self {
+            bits,
+            sample_rate,
+            power: Power::from_milliwatts(Self::REFERENCE_POWER_MW * scale),
+            area: Area::from_square_millimeters(Self::REFERENCE_AREA_MM2 * scale.max(0.25)),
+        }
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Sample rate.
+    #[must_use]
+    pub fn sample_rate(self) -> Frequency {
+        self.sample_rate
+    }
+
+    /// Static + dynamic power while converting.
+    #[must_use]
+    pub fn power(self) -> Power {
+        self.power
+    }
+
+    /// Layout area.
+    #[must_use]
+    pub fn area(self) -> Area {
+        self.area
+    }
+
+    /// Energy per sample.
+    #[must_use]
+    pub fn energy_per_sample(self) -> Energy {
+        self.power * self.sample_rate.period()
+    }
+
+    /// The implied Walden figure-of-merit (J per conversion step).
+    #[must_use]
+    pub fn walden_fom(self) -> Energy {
+        Energy::from_joules(
+            self.energy_per_sample().as_joules() / 2f64.powi(i32::from(self.bits)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_reproduced() {
+        let adc = Adc::paper_default(Frequency::from_gigahertz(10.0));
+        assert_eq!(adc.bits(), 8);
+        assert!((adc.power().as_milliwatts() - 25.0).abs() < 1e-12);
+        assert!((adc.area().as_square_millimeters() - 0.0475).abs() < 1e-12);
+        // 25 mW / 10 GS/s = 2.5 pJ/sample.
+        assert!((adc.energy_per_sample().as_picojoules() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_linear_in_sample_rate() {
+        let a = Adc::paper_default(Frequency::from_gigahertz(5.0));
+        let b = Adc::paper_default(Frequency::from_gigahertz(10.0));
+        assert!((b.power().as_watts() / a.power().as_watts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_doubles_per_bit() {
+        let f = Frequency::from_gigahertz(10.0);
+        let a6 = Adc::scaled(6, f);
+        let a8 = Adc::scaled(8, f);
+        assert!((a8.power().as_watts() / a6.power().as_watts() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walden_fom_constant_across_scaling() {
+        let f = Frequency::from_gigahertz(10.0);
+        let fom8 = Adc::scaled(8, f).walden_fom();
+        let fom6 = Adc::scaled(6, Frequency::from_gigahertz(5.0)).walden_fom();
+        assert!((fom8.as_joules() - fom6.as_joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn area_floor_prevents_vanishing_layouts() {
+        let tiny = Adc::scaled(1, Frequency::from_gigahertz(1.0));
+        assert!(tiny.area().as_square_millimeters() >= 0.0475 * 0.25 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = Adc::paper_default(Frequency::ZERO);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-row / per-column peripheral aggregation.
+
+use crate::adc::Adc;
+use crate::clocking::ClockDistribution;
+use crate::dac::OdacDriver;
+use crate::serdes::SerDes;
+use crate::tia::Tia;
+use oxbar_units::{Area, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// The transmit-side electronics attached to every crossbar **row**:
+/// ODAC driver (+ ring tuning), SerDes lane, and clock distribution.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::bank::TransmitterBank;
+/// use oxbar_units::Frequency;
+///
+/// let tx = TransmitterBank::paper_default(Frequency::from_gigahertz(10.0));
+/// let p128 = tx.power(128);
+/// assert!(p128.as_watts() > 1.0 && p128.as_watts() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmitterBank {
+    driver: OdacDriver,
+    serdes: SerDes,
+    clocking: ClockDistribution,
+}
+
+impl TransmitterBank {
+    /// The paper's transmit stack at the given MAC clock with INT6 data.
+    #[must_use]
+    pub fn paper_default(clock: Frequency) -> Self {
+        Self {
+            driver: OdacDriver::paper_default(clock),
+            serdes: SerDes::paper_default(clock, 6),
+            clocking: ClockDistribution::paper_default(clock),
+        }
+    }
+
+    /// Power of one row's transmitter.
+    #[must_use]
+    pub fn power_per_row(self) -> Power {
+        self.driver.power() + self.serdes.power() + self.clocking.power()
+    }
+
+    /// Power of `rows` transmitters.
+    #[must_use]
+    pub fn power(self, rows: usize) -> Power {
+        self.power_per_row() * rows as f64
+    }
+
+    /// Area of one row's transmitter.
+    #[must_use]
+    pub fn area_per_row(self) -> Area {
+        self.driver.area() + self.clocking.area()
+    }
+
+    /// Area of `rows` transmitters.
+    #[must_use]
+    pub fn area(self, rows: usize) -> Area {
+        self.area_per_row() * rows as f64
+    }
+
+    /// The ODAC driver in use.
+    #[must_use]
+    pub fn driver(self) -> OdacDriver {
+        self.driver
+    }
+}
+
+/// The receive-side electronics attached to every crossbar **column**:
+/// TIA, ADC, SerDes lane, and clock distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverBank {
+    tia: Tia,
+    adc: Adc,
+    serdes: SerDes,
+    clocking: ClockDistribution,
+}
+
+impl ReceiverBank {
+    /// The paper's receive stack at the given MAC clock with INT6 data.
+    #[must_use]
+    pub fn paper_default(clock: Frequency) -> Self {
+        Self {
+            tia: Tia::paper_default(),
+            adc: Adc::paper_default(clock),
+            serdes: SerDes::paper_default(clock, 6),
+            clocking: ClockDistribution::paper_default(clock),
+        }
+    }
+
+    /// Uses an ADC scaled to a different resolution.
+    #[must_use]
+    pub fn with_adc(mut self, adc: Adc) -> Self {
+        self.adc = adc;
+        self
+    }
+
+    /// Power of one column's receiver.
+    #[must_use]
+    pub fn power_per_column(self) -> Power {
+        self.tia.power() + self.adc.power() + self.serdes.power() + self.clocking.power()
+    }
+
+    /// Power of `columns` receivers.
+    #[must_use]
+    pub fn power(self, columns: usize) -> Power {
+        self.power_per_column() * columns as f64
+    }
+
+    /// Area of one column's receiver.
+    #[must_use]
+    pub fn area_per_column(self) -> Area {
+        self.tia.area() + self.adc.area() + self.clocking.area()
+    }
+
+    /// Area of `columns` receivers.
+    #[must_use]
+    pub fn area(self, columns: usize) -> Area {
+        self.area_per_column() * columns as f64
+    }
+
+    /// The ADC in use.
+    #[must_use]
+    pub fn adc(self) -> Adc {
+        self.adc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: f64 = 10.0;
+
+    #[test]
+    fn transmitter_power_breakdown() {
+        let tx = TransmitterBank::paper_default(Frequency::from_gigahertz(CLK));
+        // ODAC 1.68 + tuning 1.44 + SerDes 6.0 + clock 2.0 = 11.12 mW/row.
+        assert!((tx.power_per_row().as_milliwatts() - 11.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_power_breakdown() {
+        let rx = ReceiverBank::paper_default(Frequency::from_gigahertz(CLK));
+        // TIA 2.25 + ADC 25 + SerDes 6.0 + clock 2.0 = 35.25 mW/col.
+        assert!((rx.power_per_column().as_milliwatts() - 35.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_dominated_by_adc() {
+        let rx = ReceiverBank::paper_default(Frequency::from_gigahertz(CLK));
+        let adc_share = rx.adc().power().as_watts() / rx.power_per_column().as_watts();
+        assert!(adc_share > 0.5, "ADC share {adc_share}");
+    }
+
+    #[test]
+    fn bank_power_scales_linearly() {
+        let rx = ReceiverBank::paper_default(Frequency::from_gigahertz(CLK));
+        let p64 = rx.power(64).as_watts();
+        let p128 = rx.power(128).as_watts();
+        assert!((p128 / p64 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetry_receivers_cost_more_than_transmitters() {
+        // This asymmetry is why the paper's optimum has fewer columns than
+        // rows (Fig. 6: peak at 128-256 rows × 64-128 columns).
+        let clock = Frequency::from_gigahertz(CLK);
+        let tx = TransmitterBank::paper_default(clock).power_per_row();
+        let rx = ReceiverBank::paper_default(clock).power_per_column();
+        assert!(rx.as_watts() > 2.0 * tx.as_watts());
+    }
+
+    #[test]
+    fn area_scales_linearly() {
+        let tx = TransmitterBank::paper_default(Frequency::from_gigahertz(CLK));
+        let a1 = tx.area(1).as_square_millimeters();
+        let a128 = tx.area(128).as_square_millimeters();
+        assert!((a128 / a1 - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_resolution_adc_cuts_receiver_power() {
+        let clock = Frequency::from_gigahertz(CLK);
+        let rx8 = ReceiverBank::paper_default(clock);
+        let rx6 = rx8.with_adc(crate::adc::Adc::scaled(6, clock));
+        assert!(rx6.power_per_column() < rx8.power_per_column());
+    }
+}

@@ -1,0 +1,89 @@
+//! High-speed clock generation and distribution.
+
+use oxbar_units::{Area, Energy, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// Clock generation/distribution for one row or column of transceivers.
+///
+/// The paper assumes **200 fJ per cycle and 0.005 mm² per row/column**
+/// (§III.B.3, ref. \[15\]).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::clocking::ClockDistribution;
+/// use oxbar_units::Frequency;
+///
+/// let clk = ClockDistribution::paper_default(Frequency::from_gigahertz(10.0));
+/// assert!((clk.power().as_milliwatts() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockDistribution {
+    clock: Frequency,
+    energy_per_cycle: Energy,
+    area: Area,
+}
+
+impl ClockDistribution {
+    /// Clock energy per cycle per row/column (ref. \[15\]).
+    pub const ENERGY_PER_CYCLE_FJ: f64 = 200.0;
+    /// Area per row/column (ref. \[15\]).
+    pub const AREA_MM2: f64 = 0.005;
+
+    /// The paper's clocking block at the given MAC clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not positive.
+    #[must_use]
+    pub fn paper_default(clock: Frequency) -> Self {
+        assert!(clock.as_hertz() > 0.0, "clock must be positive");
+        Self {
+            clock,
+            energy_per_cycle: Energy::from_femtojoules(Self::ENERGY_PER_CYCLE_FJ),
+            area: Area::from_square_millimeters(Self::AREA_MM2),
+        }
+    }
+
+    /// Clock frequency.
+    #[must_use]
+    pub fn clock(self) -> Frequency {
+        self.clock
+    }
+
+    /// Power for one row/column's clock network.
+    #[must_use]
+    pub fn power(self) -> Power {
+        self.energy_per_cycle * self.clock
+    }
+
+    /// Area for one row/column's clock network.
+    #[must_use]
+    pub fn area(self) -> Area {
+        self.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_at_10ghz() {
+        let clk = ClockDistribution::paper_default(Frequency::from_gigahertz(10.0));
+        assert!((clk.power().as_milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_linear_in_clock() {
+        let a = ClockDistribution::paper_default(Frequency::from_gigahertz(1.0));
+        let b = ClockDistribution::paper_default(Frequency::from_gigahertz(10.0));
+        assert!((b.power().as_watts() / a.power().as_watts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_reference() {
+        let clk = ClockDistribution::paper_default(Frequency::from_gigahertz(10.0));
+        assert!((clk.area().as_square_millimeters() - 0.005).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,136 @@
+//! ODAC driver electronics (the electrical half of the optical DAC).
+
+use oxbar_units::{Area, Energy, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// The CMOS driver for one row's ring-resonator ODAC pair.
+///
+/// Ref. \[15\] (Moazeni et al., JSSC 2017): **168 fJ per sample and
+/// 0.0012 mm² at 10 GS/s**, plus **0.72 mW of thermal tuning per ring
+/// resonator** to hold the rings on resonance. A RAMZI transmitter uses two
+/// rings (one per arm).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::OdacDriver;
+/// use oxbar_units::Frequency;
+///
+/// let drv = OdacDriver::paper_default(Frequency::from_gigahertz(10.0));
+/// // 168 fJ × 10 GHz + 2 × 0.72 mW = 1.68 + 1.44 = 3.12 mW.
+/// assert!((drv.power().as_milliwatts() - 3.12).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdacDriver {
+    sample_rate: Frequency,
+    energy_per_sample: Energy,
+    driver_area: Area,
+    rings: u8,
+    tuning_per_ring: Power,
+}
+
+impl OdacDriver {
+    /// Driver energy per sample (ref. \[15\]).
+    pub const ENERGY_PER_SAMPLE_FJ: f64 = 168.0;
+    /// Driver area (ref. \[15\]).
+    pub const AREA_MM2: f64 = 0.0012;
+    /// Thermal tuning power per ring (ref. \[15\]).
+    pub const TUNING_PER_RING_MW: f64 = 0.72;
+    /// Rings per RAMZI transmitter.
+    pub const DEFAULT_RINGS: u8 = 2;
+
+    /// The paper's driver at the given sample rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rate is not positive.
+    #[must_use]
+    pub fn paper_default(sample_rate: Frequency) -> Self {
+        assert!(
+            sample_rate.as_hertz() > 0.0,
+            "sample rate must be positive"
+        );
+        Self {
+            sample_rate,
+            energy_per_sample: Energy::from_femtojoules(Self::ENERGY_PER_SAMPLE_FJ),
+            driver_area: Area::from_square_millimeters(Self::AREA_MM2),
+            rings: Self::DEFAULT_RINGS,
+            tuning_per_ring: Power::from_milliwatts(Self::TUNING_PER_RING_MW),
+        }
+    }
+
+    /// Overrides the ring count (e.g. 1 for a bare ODAC).
+    #[must_use]
+    pub fn with_rings(mut self, rings: u8) -> Self {
+        self.rings = rings;
+        self
+    }
+
+    /// Sample rate.
+    #[must_use]
+    pub fn sample_rate(self) -> Frequency {
+        self.sample_rate
+    }
+
+    /// Dynamic driver power (excludes tuning).
+    #[must_use]
+    pub fn dynamic_power(self) -> Power {
+        self.energy_per_sample * self.sample_rate
+    }
+
+    /// Thermal tuning power for all rings.
+    #[must_use]
+    pub fn tuning_power(self) -> Power {
+        self.tuning_per_ring * f64::from(self.rings)
+    }
+
+    /// Total power (driver + tuning).
+    #[must_use]
+    pub fn power(self) -> Power {
+        self.dynamic_power() + self.tuning_power()
+    }
+
+    /// Layout area of the driver.
+    #[must_use]
+    pub fn area(self) -> Area {
+        self.driver_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_power_at_10ghz() {
+        let drv = OdacDriver::paper_default(Frequency::from_gigahertz(10.0));
+        assert!((drv.dynamic_power().as_milliwatts() - 1.68).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuning_power_scales_with_rings() {
+        let drv = OdacDriver::paper_default(Frequency::from_gigahertz(10.0)).with_rings(1);
+        assert!((drv.tuning_power().as_milliwatts() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_with_rate() {
+        let slow = OdacDriver::paper_default(Frequency::from_gigahertz(5.0));
+        let fast = OdacDriver::paper_default(Frequency::from_gigahertz(10.0));
+        assert!(fast.dynamic_power() > slow.dynamic_power());
+        // Tuning power is rate-independent.
+        assert_eq!(fast.tuning_power(), slow.tuning_power());
+    }
+
+    #[test]
+    fn area_matches_reference() {
+        let drv = OdacDriver::paper_default(Frequency::from_gigahertz(10.0));
+        assert!((drv.area().as_square_millimeters() - 0.0012).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = OdacDriver::paper_default(Frequency::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! Peripheral-electronics substrate for the `oxbar` accelerator.
+//!
+//! Models the 45 nm CMOS circuit blocks of Sturm & Moazeni (DATE 2023)
+//! §III.B with the paper's measured/estimated numbers:
+//!
+//! | Block | Spec | Source |
+//! |---|---|---|
+//! | ODAC driver | 168 fJ/sample, 0.0012 mm², +0.72 mW/ring tuning | ref. \[15\] |
+//! | TIA | 2.25 mW | ref. \[17\] |
+//! | ADC | 25 mW, 0.0475 mm² @ 10 GS/s | ref. \[18\] |
+//! | SerDes | 100 fJ/bit, 10:1 | ref. \[15\] |
+//! | Clocking | 200 fJ, 0.005 mm² per row/column | ref. \[15\] |
+//!
+//! [`bank::TransmitterBank`] and [`bank::ReceiverBank`] aggregate the
+//! per-row and per-column blocks so the system model can ask for the power
+//! and area of an N-row / M-column crossbar's electronics in one call.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_electronics::bank::ReceiverBank;
+//! use oxbar_units::Frequency;
+//!
+//! let rx = ReceiverBank::paper_default(Frequency::from_gigahertz(10.0));
+//! let power = rx.power(128);
+//! assert!(power.as_watts() > 3.0 && power.as_watts() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod activation;
+pub mod adc;
+pub mod bank;
+pub mod clocking;
+pub mod dac;
+pub mod quantizer;
+pub mod serdes;
+pub mod tia;
+
+pub use adc::Adc;
+pub use dac::OdacDriver;
+pub use quantizer::UnsignedQuantizer;
+
+#[cfg(test)]
+mod proptests;

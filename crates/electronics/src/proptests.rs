@@ -1,0 +1,92 @@
+//! Property-based tests for the peripheral-electronics models.
+
+use crate::accumulator::Accumulator;
+use crate::adc::Adc;
+use crate::bank::{ReceiverBank, TransmitterBank};
+use crate::quantizer::UnsignedQuantizer;
+use crate::serdes::SerDes;
+use oxbar_units::Frequency;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn quantizer_round_trip_is_fixed_point(bits in 1u8..=12, raw in 0u16..4096) {
+        let q = UnsignedQuantizer::new(bits, 1.0).unwrap();
+        let code = raw % (q.max_code() + 1);
+        // dequantize → quantize is the identity on codes.
+        prop_assert_eq!(q.quantize(q.dequantize(code)), code);
+    }
+
+    #[test]
+    fn quantizer_error_within_half_lsb(bits in 2u8..=12, v in 0.0..=1.0f64) {
+        let q = UnsignedQuantizer::new(bits, 1.0).unwrap();
+        prop_assert!((q.reconstruct(v) - v).abs() <= q.lsb() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn quantizer_monotone(bits in 2u8..=10, a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let q = UnsignedQuantizer::new(bits, 1.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    #[test]
+    fn adc_power_scales_linearly_with_rate(ghz in 0.5..40.0f64) {
+        let base = Adc::paper_default(Frequency::from_gigahertz(10.0));
+        let scaled = Adc::paper_default(Frequency::from_gigahertz(ghz));
+        let expected = base.power().as_watts() * ghz / 10.0;
+        prop_assert!((scaled.power().as_watts() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc_walden_fom_invariant(bits in 4u8..=10, ghz in 1.0..20.0f64) {
+        let reference = Adc::paper_default(Frequency::from_gigahertz(10.0));
+        let scaled = Adc::scaled(bits, Frequency::from_gigahertz(ghz));
+        prop_assert!(
+            (scaled.walden_fom().as_joules() - reference.walden_fom().as_joules()).abs()
+                < 1e-24
+        );
+    }
+
+    #[test]
+    fn accumulator_sums_like_integers(values in prop::collection::vec(-1000i64..1000, 1..64)) {
+        let mut acc = Accumulator::new(32);
+        for &v in &values {
+            acc.add(0, v);
+        }
+        prop_assert_eq!(acc.value(0).unwrap(), values.iter().sum::<i64>());
+        prop_assert_eq!(acc.ops(), values.len() as u64);
+    }
+
+    #[test]
+    fn accumulator_saturates_never_wraps(magnitude in 1i64..1_000_000) {
+        let mut acc = Accumulator::new(16);
+        for _ in 0..8 {
+            acc.add(0, magnitude);
+        }
+        let limit = (1i64 << 15) - 1;
+        prop_assert!(acc.value(0).unwrap() <= limit);
+        prop_assert!(acc.value(0).unwrap() > 0, "saturation must not wrap sign");
+    }
+
+    #[test]
+    fn bank_power_additive(rows in 1usize..512, cols in 1usize..512) {
+        let clock = Frequency::from_gigahertz(10.0);
+        let tx = TransmitterBank::paper_default(clock);
+        let rx = ReceiverBank::paper_default(clock);
+        let per_row = tx.power_per_row().as_watts();
+        let per_col = rx.power_per_column().as_watts();
+        prop_assert!((tx.power(rows).as_watts() - per_row * rows as f64).abs() < 1e-9);
+        prop_assert!((rx.power(cols).as_watts() - per_col * cols as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serdes_backend_clock_divides(ratio in 1u8..32) {
+        let lane = SerDes::paper_default(Frequency::from_gigahertz(10.0), 6)
+            .with_ratio(ratio);
+        let expected = 10e9 / f64::from(ratio);
+        prop_assert!((lane.backend_clock().as_hertz() - expected).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Unsigned full-scale quantization between analog values and ADC/DAC codes.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniform unsigned quantizer over `[0, full_scale]`.
+///
+/// Converts between the crossbar's analog domain (photocurrents, field
+/// amplitudes) and digital codes. The receive path uses it to model the ADC
+/// transfer function; the transmit path to generate ODAC codes.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::UnsignedQuantizer;
+///
+/// let q = UnsignedQuantizer::new(6, 1.0).unwrap();
+/// assert_eq!(q.quantize(0.5), 32);
+/// assert!((q.dequantize(32) - 0.5079).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnsignedQuantizer {
+    bits: u8,
+    full_scale: f64,
+}
+
+/// Error for invalid quantizer parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidQuantizer {
+    reason: String,
+}
+
+impl core::fmt::Display for InvalidQuantizer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid quantizer: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidQuantizer {}
+
+impl UnsignedQuantizer {
+    /// Creates a quantizer with `bits` resolution over `[0, full_scale]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantizer`] unless `1 ≤ bits ≤ 16` and
+    /// `full_scale > 0`.
+    pub fn new(bits: u8, full_scale: f64) -> Result<Self, InvalidQuantizer> {
+        if !(1..=16).contains(&bits) {
+            return Err(InvalidQuantizer {
+                reason: format!("bits must be in 1..=16, got {bits}"),
+            });
+        }
+        if !(full_scale > 0.0 && full_scale.is_finite()) {
+            return Err(InvalidQuantizer {
+                reason: format!("full scale must be positive, got {full_scale}"),
+            });
+        }
+        Ok(Self { bits, full_scale })
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale analog value.
+    #[must_use]
+    pub fn full_scale(self) -> f64 {
+        self.full_scale
+    }
+
+    /// The largest code.
+    #[must_use]
+    pub fn max_code(self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// One least-significant-bit step in analog units.
+    #[must_use]
+    pub fn lsb(self) -> f64 {
+        self.full_scale / f64::from(self.max_code())
+    }
+
+    /// Quantizes an analog value (clamping to the range).
+    #[must_use]
+    pub fn quantize(self, value: f64) -> u16 {
+        let clamped = value.clamp(0.0, self.full_scale);
+        (clamped / self.lsb()).round() as u16
+    }
+
+    /// The analog value a code represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds [`max_code`](Self::max_code).
+    #[must_use]
+    pub fn dequantize(self, code: u16) -> f64 {
+        assert!(code <= self.max_code(), "code {code} out of range");
+        f64::from(code) * self.lsb()
+    }
+
+    /// Quantize-dequantize round trip: the value the ADC actually reports.
+    #[must_use]
+    pub fn reconstruct(self, value: f64) -> f64 {
+        self.dequantize(self.quantize(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        let q = UnsignedQuantizer::new(6, 2.0).unwrap();
+        for code in [0u16, 1, 31, 63] {
+            assert_eq!(q.quantize(q.dequantize(code)), code);
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_lsb() {
+        let q = UnsignedQuantizer::new(6, 1.0).unwrap();
+        for k in 0..1000 {
+            let v = k as f64 / 999.0;
+            assert!((q.reconstruct(v) - v).abs() <= q.lsb() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let q = UnsignedQuantizer::new(6, 1.0).unwrap();
+        assert_eq!(q.quantize(2.0), 63);
+        assert_eq!(q.quantize(-1.0), 0);
+    }
+
+    #[test]
+    fn quantization_monotone() {
+        let q = UnsignedQuantizer::new(4, 1.0).unwrap();
+        let mut prev = 0u16;
+        for k in 0..100 {
+            let code = q.quantize(k as f64 / 99.0);
+            assert!(code >= prev);
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(UnsignedQuantizer::new(0, 1.0).is_err());
+        assert!(UnsignedQuantizer::new(17, 1.0).is_err());
+        assert!(UnsignedQuantizer::new(6, 0.0).is_err());
+        assert!(UnsignedQuantizer::new(6, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dequantize_overrange_panics() {
+        let q = UnsignedQuantizer::new(4, 1.0).unwrap();
+        let _ = q.dequantize(16);
+    }
+}

@@ -1,0 +1,123 @@
+//! Serializer/deserializer lanes between the 10 GHz optical interface and
+//! the ~1 GHz digital backend.
+
+use oxbar_units::{Energy, EnergyPerBit, Frequency, Power};
+use serde::{Deserialize, Serialize};
+
+/// One SerDes lane.
+///
+/// The paper assumes a 10:1 serialization ratio between the 10 GHz MAC
+/// clock and a ~1 GHz SRAM backend, at roughly **100 fJ/bit** (§III.B.3,
+/// ref. \[15\]).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::serdes::SerDes;
+/// use oxbar_units::Frequency;
+///
+/// let lane = SerDes::paper_default(Frequency::from_gigahertz(10.0), 6);
+/// // 6 bits × 10 GHz × 100 fJ = 6 mW.
+/// assert!((lane.power().as_milliwatts() - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SerDes {
+    line_rate: Frequency,
+    bits_per_sample: u8,
+    ratio: u8,
+    energy_per_bit: EnergyPerBit,
+}
+
+impl SerDes {
+    /// Energy per serialized bit (ref. \[15\]).
+    pub const ENERGY_PER_BIT_FJ: f64 = 100.0;
+    /// The paper's serialization ratio.
+    pub const DEFAULT_RATIO: u8 = 10;
+
+    /// A lane carrying `bits_per_sample` bits per MAC cycle at `line_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive or `bits_per_sample` is zero.
+    #[must_use]
+    pub fn paper_default(line_rate: Frequency, bits_per_sample: u8) -> Self {
+        assert!(line_rate.as_hertz() > 0.0, "line rate must be positive");
+        assert!(bits_per_sample > 0, "bits per sample must be positive");
+        Self {
+            line_rate,
+            bits_per_sample,
+            ratio: Self::DEFAULT_RATIO,
+            energy_per_bit: EnergyPerBit::from_femtojoules_per_bit(Self::ENERGY_PER_BIT_FJ),
+        }
+    }
+
+    /// Overrides the serialization ratio.
+    #[must_use]
+    pub fn with_ratio(mut self, ratio: u8) -> Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Serialization ratio (line clock : backend clock).
+    #[must_use]
+    pub fn ratio(self) -> u8 {
+        self.ratio
+    }
+
+    /// The backend (parallel-side) clock implied by the ratio.
+    #[must_use]
+    pub fn backend_clock(self) -> Frequency {
+        Frequency::from_hertz(self.line_rate.as_hertz() / f64::from(self.ratio))
+    }
+
+    /// Bits moved per second on this lane.
+    #[must_use]
+    pub fn throughput_bits_per_s(self) -> f64 {
+        self.line_rate.as_hertz() * f64::from(self.bits_per_sample)
+    }
+
+    /// Lane power.
+    #[must_use]
+    pub fn power(self) -> Power {
+        Energy::from_joules(
+            self.energy_per_bit.as_joules_per_bit() * f64::from(self.bits_per_sample),
+        ) * self.line_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_clock_from_ratio() {
+        let lane = SerDes::paper_default(Frequency::from_gigahertz(10.0), 6);
+        assert!((lane.backend_clock().as_gigahertz() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_with_bits() {
+        let f = Frequency::from_gigahertz(10.0);
+        let narrow = SerDes::paper_default(f, 6);
+        let wide = SerDes::paper_default(f, 12);
+        assert!((wide.power().as_watts() / narrow.power().as_watts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput() {
+        let lane = SerDes::paper_default(Frequency::from_gigahertz(10.0), 6);
+        assert!((lane.throughput_bits_per_s() - 60e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn custom_ratio() {
+        let lane = SerDes::paper_default(Frequency::from_gigahertz(10.0), 6).with_ratio(5);
+        assert!((lane.backend_clock().as_gigahertz() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per sample must be positive")]
+    fn zero_bits_panics() {
+        let _ = SerDes::paper_default(Frequency::from_gigahertz(1.0), 0);
+    }
+}

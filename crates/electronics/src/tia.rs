@@ -1,0 +1,84 @@
+//! Trans-impedance amplifier (TIA) model.
+
+use oxbar_units::{Area, Power};
+use serde::{Deserialize, Serialize};
+
+/// The TIA amplifying one column's balanced-photodiode current.
+///
+/// Ref. \[17\] (Mehta et al., VLSI 2019): a monolithic 45 nm coherent receiver
+/// front-end at **2.25 mW per TIA**.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_electronics::tia::Tia;
+///
+/// let tia = Tia::paper_default();
+/// assert!((tia.power().as_milliwatts() - 2.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tia {
+    power: Power,
+    area: Area,
+    transimpedance_ohms: f64,
+}
+
+impl Tia {
+    /// Power per TIA (ref. \[17\]).
+    pub const POWER_MW: f64 = 2.25;
+    /// Estimated layout area (mm²) for a 45 nm TIA.
+    pub const AREA_MM2: f64 = 0.0008;
+    /// Typical transimpedance gain (Ω).
+    pub const TRANSIMPEDANCE_OHMS: f64 = 5_000.0;
+
+    /// The paper's TIA.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            power: Power::from_milliwatts(Self::POWER_MW),
+            area: Area::from_square_millimeters(Self::AREA_MM2),
+            transimpedance_ohms: Self::TRANSIMPEDANCE_OHMS,
+        }
+    }
+
+    /// Power drawn.
+    #[must_use]
+    pub fn power(self) -> Power {
+        self.power
+    }
+
+    /// Layout area.
+    #[must_use]
+    pub fn area(self) -> Area {
+        self.area
+    }
+
+    /// Output voltage (V) for an input photocurrent (A).
+    #[must_use]
+    pub fn output_voltage(self, current_a: f64) -> f64 {
+        current_a * self.transimpedance_ohms
+    }
+}
+
+impl Default for Tia {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_converts_current_to_voltage() {
+        let tia = Tia::paper_default();
+        // 100 µA × 5 kΩ = 0.5 V.
+        assert!((tia.output_voltage(100e-6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_power() {
+        assert!((Tia::default().power().as_milliwatts() - 2.25).abs() < 1e-12);
+    }
+}

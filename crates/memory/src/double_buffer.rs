@@ -1,0 +1,151 @@
+//! Double-buffering state machine used to overlap prefetch with compute.
+
+use oxbar_units::DataVolume;
+use serde::{Deserialize, Serialize};
+
+/// A ping-pong buffer pair.
+///
+/// While the consumer drains the *active* half, the producer fills the
+/// *shadow* half; [`DoubleBuffer::swap`] flips them. The dual-core PCM
+/// programming scheme (§IV) and the filter-staging path both follow this
+/// pattern.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_memory::double_buffer::DoubleBuffer;
+/// use oxbar_units::DataVolume;
+///
+/// let mut buf = DoubleBuffer::new(DataVolume::from_kilobytes(64.0));
+/// buf.fill_shadow(DataVolume::from_kilobytes(64.0)).unwrap();
+/// assert!(buf.shadow_ready());
+/// buf.swap();
+/// assert!(!buf.shadow_ready());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DoubleBuffer {
+    half_capacity: DataVolume,
+    shadow_fill: f64,
+    swaps: u64,
+}
+
+/// Error returned when a fill exceeds the shadow half's capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferOverflow {
+    /// Bits that did not fit.
+    pub excess_bits: f64,
+}
+
+impl core::fmt::Display for BufferOverflow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "double-buffer overflow by {} bits", self.excess_bits)
+    }
+}
+
+impl std::error::Error for BufferOverflow {}
+
+impl DoubleBuffer {
+    /// Creates a buffer whose halves each hold `half_capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    #[must_use]
+    pub fn new(half_capacity: DataVolume) -> Self {
+        assert!(
+            half_capacity.as_bits() > 0.0,
+            "buffer capacity must be positive"
+        );
+        Self {
+            half_capacity,
+            shadow_fill: 0.0,
+            swaps: 0,
+        }
+    }
+
+    /// Capacity of each half.
+    #[must_use]
+    pub fn half_capacity(self) -> DataVolume {
+        self.half_capacity
+    }
+
+    /// Adds `volume` to the shadow half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferOverflow`] if the shadow half would exceed capacity;
+    /// the fill is not applied.
+    pub fn fill_shadow(&mut self, volume: DataVolume) -> Result<(), BufferOverflow> {
+        let new_fill = self.shadow_fill + volume.as_bits();
+        if new_fill > self.half_capacity.as_bits() {
+            return Err(BufferOverflow {
+                excess_bits: new_fill - self.half_capacity.as_bits(),
+            });
+        }
+        self.shadow_fill = new_fill;
+        Ok(())
+    }
+
+    /// `true` when the shadow half is completely filled.
+    #[must_use]
+    pub fn shadow_ready(self) -> bool {
+        self.shadow_fill >= self.half_capacity.as_bits()
+    }
+
+    /// Current shadow fill level.
+    #[must_use]
+    pub fn shadow_fill(self) -> DataVolume {
+        DataVolume::from_bits(self.shadow_fill)
+    }
+
+    /// Flips active and shadow halves, emptying the new shadow.
+    pub fn swap(&mut self) {
+        self.shadow_fill = 0.0;
+        self.swaps += 1;
+    }
+
+    /// Number of swaps so far.
+    #[must_use]
+    pub fn swaps(self) -> u64 {
+        self.swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_swap_cycle() {
+        let mut buf = DoubleBuffer::new(DataVolume::from_bit_count(100));
+        buf.fill_shadow(DataVolume::from_bit_count(60)).unwrap();
+        assert!(!buf.shadow_ready());
+        buf.fill_shadow(DataVolume::from_bit_count(40)).unwrap();
+        assert!(buf.shadow_ready());
+        buf.swap();
+        assert_eq!(buf.shadow_fill().as_bits(), 0.0);
+        assert_eq!(buf.swaps(), 1);
+    }
+
+    #[test]
+    fn overflow_rejected_without_side_effect() {
+        let mut buf = DoubleBuffer::new(DataVolume::from_bit_count(100));
+        buf.fill_shadow(DataVolume::from_bit_count(80)).unwrap();
+        let err = buf.fill_shadow(DataVolume::from_bit_count(30)).unwrap_err();
+        assert_eq!(err.excess_bits, 10.0);
+        assert_eq!(buf.shadow_fill().as_bits(), 80.0);
+    }
+
+    #[test]
+    fn overflow_message() {
+        let mut buf = DoubleBuffer::new(DataVolume::from_bit_count(10));
+        let err = buf.fill_shadow(DataVolume::from_bit_count(11)).unwrap_err();
+        assert_eq!(err.to_string(), "double-buffer overflow by 1 bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = DoubleBuffer::new(DataVolume::ZERO);
+    }
+}

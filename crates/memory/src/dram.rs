@@ -1,0 +1,147 @@
+//! Off-chip DRAM model (co-packaged HBM or PCIe-attached).
+
+use oxbar_units::{DataVolume, Energy, EnergyPerBit, Time};
+use serde::{Deserialize, Serialize};
+
+/// The DRAM attachment style, which sets the access energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramKind {
+    /// Co-packaged HBM stack: 3.9 pJ/bit (ref. \[21\], fine-grained DRAM).
+    Hbm,
+    /// DRAM behind a PCIe switch: ~15 pJ/bit — the related-work baseline
+    /// the paper argues against (§II, ref. \[11\]).
+    PcieAttached,
+}
+
+impl DramKind {
+    /// Access energy for this attachment.
+    #[must_use]
+    pub fn access_energy(self) -> EnergyPerBit {
+        match self {
+            DramKind::Hbm => EnergyPerBit::from_picojoules_per_bit(3.9),
+            DramKind::PcieAttached => EnergyPerBit::from_picojoules_per_bit(15.0),
+        }
+    }
+
+    /// Peak bandwidth in bytes/s (HBM2e-class stack vs PCIe 4.0 ×16).
+    #[must_use]
+    pub fn peak_bandwidth_bytes_per_s(self) -> f64 {
+        match self {
+            DramKind::Hbm => 450e9,
+            DramKind::PcieAttached => 32e9,
+        }
+    }
+}
+
+/// A DRAM channel with traffic counters.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_memory::dram::{DramKind, DramModel};
+/// use oxbar_units::DataVolume;
+///
+/// let mut dram = DramModel::new(DramKind::Hbm);
+/// dram.record_read(DataVolume::from_megabytes(19.2));
+/// assert!((dram.energy().as_microjoules() - 599.04).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    kind: DramKind,
+    bits_read: f64,
+    bits_written: f64,
+}
+
+impl DramModel {
+    /// Creates a DRAM channel.
+    #[must_use]
+    pub fn new(kind: DramKind) -> Self {
+        Self {
+            kind,
+            bits_read: 0.0,
+            bits_written: 0.0,
+        }
+    }
+
+    /// The attachment kind.
+    #[must_use]
+    pub fn kind(&self) -> DramKind {
+        self.kind
+    }
+
+    /// Records a read of `volume`.
+    pub fn record_read(&mut self, volume: DataVolume) {
+        self.bits_read += volume.as_bits();
+    }
+
+    /// Records a write of `volume`.
+    pub fn record_write(&mut self, volume: DataVolume) {
+        self.bits_written += volume.as_bits();
+    }
+
+    /// Total traffic so far.
+    #[must_use]
+    pub fn total_traffic(&self) -> DataVolume {
+        DataVolume::from_bits(self.bits_read + self.bits_written)
+    }
+
+    /// Access energy accumulated so far.
+    #[must_use]
+    pub fn energy(&self) -> Energy {
+        self.kind.access_energy() * self.total_traffic()
+    }
+
+    /// The minimum time to move `volume` at peak bandwidth (stall model).
+    #[must_use]
+    pub fn transfer_time(&self, volume: DataVolume) -> Time {
+        Time::from_seconds(volume.as_bytes() / self.kind.peak_bandwidth_bytes_per_s())
+    }
+
+    /// Clears the counters.
+    pub fn reset_counters(&mut self) {
+        self.bits_read = 0.0;
+        self.bits_written = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_energy_per_bit() {
+        assert!(
+            (DramKind::Hbm.access_energy().as_picojoules_per_bit() - 3.9).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn pcie_costs_nearly_4x_hbm() {
+        let ratio = DramKind::PcieAttached.access_energy().as_joules_per_bit()
+            / DramKind::Hbm.access_energy().as_joules_per_bit();
+        assert!((ratio - 15.0 / 3.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_accumulates_traffic() {
+        let mut dram = DramModel::new(DramKind::Hbm);
+        dram.record_read(DataVolume::from_megabits(1.0));
+        dram.record_write(DataVolume::from_megabits(1.0));
+        assert!((dram.energy().as_microjoules() - 7.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_at_peak_bandwidth() {
+        let dram = DramModel::new(DramKind::Hbm);
+        let t = dram.transfer_time(DataVolume::from_megabytes(450.0));
+        assert!((t.as_milliseconds() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut dram = DramModel::new(DramKind::Hbm);
+        dram.record_read(DataVolume::from_megabytes(1.0));
+        dram.reset_counters();
+        assert_eq!(dram.total_traffic().as_bits(), 0.0);
+    }
+}

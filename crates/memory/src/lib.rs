@@ -1,0 +1,37 @@
+//! Memory substrate for the `oxbar` accelerator: on-chip SRAM blocks and
+//! co-packaged HBM DRAM.
+//!
+//! The paper's memory system (§IV):
+//!
+//! * Four SRAM blocks — input, filter, output, accumulator — at
+//!   **50 fJ/bit** access energy and **0.45 mm²/Mbit** density (see
+//!   DESIGN.md §4 for the per-Mbit reading of ref. \[20\]).
+//! * Co-packaged HBM at **3.9 pJ/bit** (ref. \[21\]); a PCIe-attached DRAM
+//!   variant at **15 pJ/bit** models the related-work baseline of ref. \[11\].
+//! * Output→input SRAM forwarding eliminates inter-layer DRAM round-trips.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_memory::system::MemorySystem;
+//!
+//! let mem = MemorySystem::paper_default();
+//! assert!((mem.input.capacity().as_megabytes() - 26.3).abs() < 1e-9);
+//! assert!(mem.total_sram_area().as_square_millimeters() > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod double_buffer;
+pub mod dram;
+pub mod sram;
+pub mod system;
+pub mod traffic;
+
+pub use dram::{DramKind, DramModel};
+pub use sram::SramBlock;
+pub use traffic::TrafficStats;
+
+#[cfg(test)]
+mod proptests;

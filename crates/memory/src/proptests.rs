@@ -1,0 +1,87 @@
+//! Property-based tests for the memory models.
+
+use crate::dram::{DramKind, DramModel};
+use crate::sram::{SramBlock, SramKind};
+use crate::system::{MemorySystem, SramSizing};
+use crate::traffic::TrafficStats;
+use oxbar_units::DataVolume;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sram_energy_linear_in_traffic(reads in 0.0..1e12f64, writes in 0.0..1e12f64) {
+        let mut sram = SramBlock::new(SramKind::Input, DataVolume::from_megabytes(1.0));
+        sram.record_read(DataVolume::from_bits(reads));
+        sram.record_write(DataVolume::from_bits(writes));
+        let expected = (reads + writes) * 50e-15;
+        prop_assert!((sram.energy().as_joules() - expected).abs() < expected.max(1.0) * 1e-12);
+    }
+
+    #[test]
+    fn sram_area_linear_in_capacity(mb in 0.01..128.0f64) {
+        let sram = SramBlock::new(SramKind::Input, DataVolume::from_megabytes(mb));
+        let expected = mb * 8.0 * 0.45; // MB → Mbit × 0.45 mm²
+        prop_assert!((sram.area().as_square_millimeters() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_energy_ratio_fixed(bits in 1.0..1e12f64) {
+        let mut hbm = DramModel::new(DramKind::Hbm);
+        let mut pcie = DramModel::new(DramKind::PcieAttached);
+        hbm.record_read(DataVolume::from_bits(bits));
+        pcie.record_read(DataVolume::from_bits(bits));
+        let ratio = pcie.energy().as_joules() / hbm.energy().as_joules();
+        prop_assert!((ratio - 15.0 / 3.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_accumulate_commutes(
+        a in 0.0..1e9f64, b in 0.0..1e9f64, c in 0.0..1e9f64,
+    ) {
+        let x = TrafficStats { dram_reads: a, input_sram_reads: b, ..TrafficStats::default() };
+        let y = TrafficStats { dram_reads: c, output_sram_writes: a, ..TrafficStats::default() };
+        let mut xy = x;
+        xy.accumulate(&y);
+        let mut yx = y;
+        yx.accumulate(&x);
+        prop_assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn traffic_scaling_inverse(batch in 1usize..512) {
+        let stats = TrafficStats {
+            dram_reads: 1e9,
+            accumulator_sram_writes: 2e9,
+            ..TrafficStats::default()
+        };
+        let per_inf = stats.scaled(1.0 / batch as f64);
+        let back = per_inf.scaled(batch as f64);
+        prop_assert!((back.dram_reads - stats.dram_reads).abs() < 1.0);
+        prop_assert!((back.accumulator_sram_writes - stats.accumulator_sram_writes).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_system_energy_equals_parts(
+        dram in 0.0..1e10f64, sram in 0.0..1e10f64,
+    ) {
+        let mut mem = MemorySystem::paper_default();
+        mem.apply_traffic(&TrafficStats {
+            dram_reads: dram,
+            input_sram_reads: sram,
+            ..TrafficStats::default()
+        });
+        let total = mem.total_energy().as_joules();
+        let parts = mem.dram.energy().as_joules() + mem.total_sram_energy().as_joules();
+        prop_assert!((total - parts).abs() < total.max(1e-18) * 1e-12);
+    }
+
+    #[test]
+    fn sizing_total_is_sum(input_mb in 0.1..64.0f64) {
+        let sizing = SramSizing::paper_default()
+            .with_input(DataVolume::from_megabytes(input_mb));
+        let expected = input_mb + 0.75 * 3.0;
+        prop_assert!((sizing.total().as_megabytes() - expected).abs() < 1e-9);
+    }
+}

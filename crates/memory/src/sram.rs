@@ -1,0 +1,184 @@
+//! On-chip SRAM block model.
+
+use oxbar_units::{Area, DataVolume, Energy, EnergyPerBit};
+use serde::{Deserialize, Serialize};
+
+/// Which logical buffer a block implements (§IV of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SramKind {
+    /// Input activations (the large one: 26.3 MB in the optimal design).
+    Input,
+    /// Filter weights staged for PCM programming.
+    Filter,
+    /// Layer outputs awaiting forwarding.
+    Output,
+    /// Partial sums across row-folds.
+    Accumulator,
+}
+
+impl core::fmt::Display for SramKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            SramKind::Input => "input",
+            SramKind::Filter => "filter",
+            SramKind::Output => "output",
+            SramKind::Accumulator => "accumulator",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One SRAM block with access counters.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_memory::sram::{SramBlock, SramKind};
+/// use oxbar_units::DataVolume;
+///
+/// let mut sram = SramBlock::new(SramKind::Input, DataVolume::from_megabytes(26.3));
+/// sram.record_read(DataVolume::from_megabits(1.0));
+/// assert!((sram.energy().as_microjoules() - 0.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramBlock {
+    kind: SramKind,
+    capacity: DataVolume,
+    access_energy: EnergyPerBit,
+    area_per_mbit: Area,
+    bits_read: f64,
+    bits_written: f64,
+}
+
+impl SramBlock {
+    /// Access energy per bit (ref. \[20\]).
+    pub const ACCESS_ENERGY_FJ_PER_BIT: f64 = 50.0;
+    /// Layout density (ref. \[20\], per-Mbit reading — DESIGN.md §4).
+    pub const AREA_MM2_PER_MBIT: f64 = 0.45;
+
+    /// Creates a block with the paper's energy/density constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    #[must_use]
+    pub fn new(kind: SramKind, capacity: DataVolume) -> Self {
+        assert!(capacity.as_bits() > 0.0, "SRAM capacity must be positive");
+        Self {
+            kind,
+            capacity,
+            access_energy: EnergyPerBit::from_femtojoules_per_bit(
+                Self::ACCESS_ENERGY_FJ_PER_BIT,
+            ),
+            area_per_mbit: Area::from_square_millimeters(Self::AREA_MM2_PER_MBIT),
+            bits_read: 0.0,
+            bits_written: 0.0,
+        }
+    }
+
+    /// Which buffer this block implements.
+    #[must_use]
+    pub fn kind(&self) -> SramKind {
+        self.kind
+    }
+
+    /// Storage capacity.
+    #[must_use]
+    pub fn capacity(&self) -> DataVolume {
+        self.capacity
+    }
+
+    /// `true` if `volume` fits in this block.
+    #[must_use]
+    pub fn fits(&self, volume: DataVolume) -> bool {
+        volume.fits_in(self.capacity)
+    }
+
+    /// Layout area at the paper's density.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        self.area_per_mbit * self.capacity.as_megabits()
+    }
+
+    /// Records a read of `volume`.
+    pub fn record_read(&mut self, volume: DataVolume) {
+        self.bits_read += volume.as_bits();
+    }
+
+    /// Records a write of `volume`.
+    pub fn record_write(&mut self, volume: DataVolume) {
+        self.bits_written += volume.as_bits();
+    }
+
+    /// Total bits read so far.
+    #[must_use]
+    pub fn bits_read(&self) -> DataVolume {
+        DataVolume::from_bits(self.bits_read)
+    }
+
+    /// Total bits written so far.
+    #[must_use]
+    pub fn bits_written(&self) -> DataVolume {
+        DataVolume::from_bits(self.bits_written)
+    }
+
+    /// Access energy accumulated so far (reads + writes).
+    #[must_use]
+    pub fn energy(&self) -> Energy {
+        self.access_energy * DataVolume::from_bits(self.bits_read + self.bits_written)
+    }
+
+    /// Clears the counters (not the capacity).
+    pub fn reset_counters(&mut self) {
+        self.bits_read = 0.0;
+        self.bits_written = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_at_paper_density() {
+        // 26.3 MB = 210.4 Mbit → 94.68 mm².
+        let sram = SramBlock::new(SramKind::Input, DataVolume::from_megabytes(26.3));
+        assert!((sram.area().as_square_millimeters() - 94.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_counts_reads_and_writes() {
+        let mut sram = SramBlock::new(SramKind::Output, DataVolume::from_megabytes(0.75));
+        sram.record_read(DataVolume::from_bit_count(1000));
+        sram.record_write(DataVolume::from_bit_count(500));
+        // 1500 bits × 50 fJ = 75 pJ.
+        assert!((sram.energy().as_picojoules() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let sram = SramBlock::new(SramKind::Input, DataVolume::from_megabytes(26.3));
+        assert!(sram.fits(DataVolume::from_megabytes(19.2)));
+        assert!(!sram.fits(DataVolume::from_megabytes(38.4)));
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut sram = SramBlock::new(SramKind::Filter, DataVolume::from_megabytes(0.75));
+        sram.record_read(DataVolume::from_megabits(10.0));
+        sram.reset_counters();
+        assert_eq!(sram.bits_read().as_bits(), 0.0);
+        assert_eq!(sram.energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SramKind::Accumulator.to_string(), "accumulator");
+    }
+
+    #[test]
+    #[should_panic(expected = "SRAM capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SramBlock::new(SramKind::Input, DataVolume::ZERO);
+    }
+}

@@ -1,0 +1,228 @@
+//! The four-block SRAM + DRAM memory system of the accelerator.
+
+use crate::dram::{DramKind, DramModel};
+use crate::sram::{SramBlock, SramKind};
+use crate::traffic::TrafficStats;
+use oxbar_units::{Area, DataVolume, Energy};
+use serde::{Deserialize, Serialize};
+
+/// On-chip SRAM sizing for the four blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramSizing {
+    /// Input activations buffer.
+    pub input: DataVolume,
+    /// Filter weights staging buffer.
+    pub filter: DataVolume,
+    /// Output buffer.
+    pub output: DataVolume,
+    /// Partial-sum buffer.
+    pub accumulator: DataVolume,
+}
+
+impl SramSizing {
+    /// The paper's optimal sizing: 26.3 / 0.75 / 0.75 / 0.75 MB (§VII).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            input: DataVolume::from_megabytes(26.3),
+            filter: DataVolume::from_megabytes(0.75),
+            output: DataVolume::from_megabytes(0.75),
+            accumulator: DataVolume::from_megabytes(0.75),
+        }
+    }
+
+    /// Same block ratios with a different input size (the Fig. 7b sweep).
+    #[must_use]
+    pub fn with_input(mut self, input: DataVolume) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Total capacity across the four blocks.
+    #[must_use]
+    pub fn total(&self) -> DataVolume {
+        DataVolume::from_bits(
+            self.input.as_bits()
+                + self.filter.as_bits()
+                + self.output.as_bits()
+                + self.accumulator.as_bits(),
+        )
+    }
+}
+
+impl Default for SramSizing {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The chip's memory system: four SRAM blocks plus one DRAM channel.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_memory::system::MemorySystem;
+/// use oxbar_memory::TrafficStats;
+///
+/// let mut mem = MemorySystem::paper_default();
+/// let stats = TrafficStats { dram_reads: 8e6, input_sram_reads: 8e6,
+///                            ..TrafficStats::default() };
+/// mem.apply_traffic(&stats);
+/// assert!(mem.dram.energy() > mem.input.energy());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    /// Input activations SRAM.
+    pub input: SramBlock,
+    /// Filter weights SRAM.
+    pub filter: SramBlock,
+    /// Output SRAM.
+    pub output: SramBlock,
+    /// Partial-sum SRAM.
+    pub accumulator: SramBlock,
+    /// Off-chip DRAM channel.
+    pub dram: DramModel,
+}
+
+impl MemorySystem {
+    /// Builds a system from a sizing and DRAM kind.
+    #[must_use]
+    pub fn new(sizing: SramSizing, dram_kind: DramKind) -> Self {
+        Self {
+            input: SramBlock::new(SramKind::Input, sizing.input),
+            filter: SramBlock::new(SramKind::Filter, sizing.filter),
+            output: SramBlock::new(SramKind::Output, sizing.output),
+            accumulator: SramBlock::new(SramKind::Accumulator, sizing.accumulator),
+            dram: DramModel::new(DramKind::Hbm),
+        }
+        .with_dram(dram_kind)
+    }
+
+    fn with_dram(mut self, kind: DramKind) -> Self {
+        self.dram = DramModel::new(kind);
+        self
+    }
+
+    /// The paper's configuration: optimal SRAM sizing + HBM.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(SramSizing::paper_default(), DramKind::Hbm)
+    }
+
+    /// Applies a traffic record to all counters.
+    pub fn apply_traffic(&mut self, stats: &TrafficStats) {
+        self.dram.record_read(DataVolume::from_bits(stats.dram_reads));
+        self.dram.record_write(DataVolume::from_bits(stats.dram_writes));
+        self.input.record_read(DataVolume::from_bits(stats.input_sram_reads));
+        self.input.record_write(DataVolume::from_bits(stats.input_sram_writes));
+        self.filter.record_read(DataVolume::from_bits(stats.filter_sram_reads));
+        self.filter.record_write(DataVolume::from_bits(stats.filter_sram_writes));
+        self.output.record_read(DataVolume::from_bits(stats.output_sram_reads));
+        self.output.record_write(DataVolume::from_bits(stats.output_sram_writes));
+        self.accumulator
+            .record_read(DataVolume::from_bits(stats.accumulator_sram_reads));
+        self.accumulator
+            .record_write(DataVolume::from_bits(stats.accumulator_sram_writes));
+    }
+
+    /// Total SRAM layout area.
+    #[must_use]
+    pub fn total_sram_area(&self) -> Area {
+        self.input.area() + self.filter.area() + self.output.area() + self.accumulator.area()
+    }
+
+    /// Total SRAM access energy so far.
+    #[must_use]
+    pub fn total_sram_energy(&self) -> Energy {
+        self.input.energy()
+            + self.filter.energy()
+            + self.output.energy()
+            + self.accumulator.energy()
+    }
+
+    /// Total energy so far (SRAM + DRAM).
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.total_sram_energy() + self.dram.energy()
+    }
+
+    /// Clears all counters.
+    pub fn reset_counters(&mut self) {
+        self.input.reset_counters();
+        self.filter.reset_counters();
+        self.output.reset_counters();
+        self.accumulator.reset_counters();
+        self.dram.reset_counters();
+    }
+}
+
+impl Default for MemorySystem {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_totals() {
+        let sizing = SramSizing::paper_default();
+        assert!((sizing.total().as_megabytes() - 28.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sram_area_dominates_at_121mm2_scale() {
+        // 28.55 MB = 228.4 Mbit × 0.45 mm² ≈ 102.8 mm² — consistent with
+        // Fig. 8 (area dominated by SRAM of a 121 mm² chip).
+        let mem = MemorySystem::paper_default();
+        let area = mem.total_sram_area().as_square_millimeters();
+        assert!((area - 102.78).abs() < 0.01, "area {area}");
+    }
+
+    #[test]
+    fn traffic_routes_to_blocks() {
+        let mut mem = MemorySystem::paper_default();
+        let stats = TrafficStats {
+            filter_sram_writes: 123.0,
+            dram_reads: 456.0,
+            ..TrafficStats::default()
+        };
+        mem.apply_traffic(&stats);
+        assert_eq!(mem.filter.bits_written().as_bits(), 123.0);
+        assert_eq!(mem.dram.total_traffic().as_bits(), 456.0);
+    }
+
+    #[test]
+    fn same_traffic_dram_costs_78x_sram() {
+        let mut mem = MemorySystem::paper_default();
+        let stats = TrafficStats {
+            dram_reads: 1e6,
+            input_sram_reads: 1e6,
+            ..TrafficStats::default()
+        };
+        mem.apply_traffic(&stats);
+        let ratio = mem.dram.energy().as_joules() / mem.input.energy().as_joules();
+        assert!((ratio - 3.9e-12 / 50e-15).abs() < 1e-6); // 78×
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut mem = MemorySystem::paper_default();
+        mem.apply_traffic(&TrafficStats {
+            dram_reads: 1e6,
+            accumulator_sram_writes: 1e6,
+            ..TrafficStats::default()
+        });
+        mem.reset_counters();
+        assert_eq!(mem.total_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn with_input_resizes_only_input() {
+        let sizing = SramSizing::paper_default().with_input(DataVolume::from_megabytes(8.0));
+        assert!((sizing.input.as_megabytes() - 8.0).abs() < 1e-12);
+        assert!((sizing.filter.as_megabytes() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Aggregated traffic statistics exchanged between the dataflow engine and
+//! the memory/power models.
+
+use oxbar_units::DataVolume;
+use serde::{Deserialize, Serialize};
+
+/// Bit traffic per memory structure for some unit of work (a layer, an
+/// inference, a batch).
+///
+/// All fields are in bits. The struct is additive: per-layer stats sum into
+/// per-network stats.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_memory::TrafficStats;
+///
+/// let mut total = TrafficStats::default();
+/// let mut layer = TrafficStats::default();
+/// layer.dram_reads = 1000.0;
+/// total.accumulate(&layer);
+/// assert_eq!(total.dram_reads, 1000.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Bits read from DRAM.
+    pub dram_reads: f64,
+    /// Bits written to DRAM.
+    pub dram_writes: f64,
+    /// Bits read from the input SRAM.
+    pub input_sram_reads: f64,
+    /// Bits written to the input SRAM.
+    pub input_sram_writes: f64,
+    /// Bits read from the filter SRAM.
+    pub filter_sram_reads: f64,
+    /// Bits written to the filter SRAM.
+    pub filter_sram_writes: f64,
+    /// Bits read from the output SRAM.
+    pub output_sram_reads: f64,
+    /// Bits written to the output SRAM.
+    pub output_sram_writes: f64,
+    /// Bits read from the accumulator SRAM.
+    pub accumulator_sram_reads: f64,
+    /// Bits written to the accumulator SRAM.
+    pub accumulator_sram_writes: f64,
+}
+
+impl TrafficStats {
+    /// Adds another stats record into this one.
+    pub fn accumulate(&mut self, other: &TrafficStats) {
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+        self.input_sram_reads += other.input_sram_reads;
+        self.input_sram_writes += other.input_sram_writes;
+        self.filter_sram_reads += other.filter_sram_reads;
+        self.filter_sram_writes += other.filter_sram_writes;
+        self.output_sram_reads += other.output_sram_reads;
+        self.output_sram_writes += other.output_sram_writes;
+        self.accumulator_sram_reads += other.accumulator_sram_reads;
+        self.accumulator_sram_writes += other.accumulator_sram_writes;
+    }
+
+    /// Scales all counters (e.g. per-batch → per-inference).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            dram_reads: self.dram_reads * factor,
+            dram_writes: self.dram_writes * factor,
+            input_sram_reads: self.input_sram_reads * factor,
+            input_sram_writes: self.input_sram_writes * factor,
+            filter_sram_reads: self.filter_sram_reads * factor,
+            filter_sram_writes: self.filter_sram_writes * factor,
+            output_sram_reads: self.output_sram_reads * factor,
+            output_sram_writes: self.output_sram_writes * factor,
+            accumulator_sram_reads: self.accumulator_sram_reads * factor,
+            accumulator_sram_writes: self.accumulator_sram_writes * factor,
+        }
+    }
+
+    /// Total DRAM traffic.
+    #[must_use]
+    pub fn dram_total(&self) -> DataVolume {
+        DataVolume::from_bits(self.dram_reads + self.dram_writes)
+    }
+
+    /// Total SRAM traffic across all four blocks.
+    #[must_use]
+    pub fn sram_total(&self) -> DataVolume {
+        DataVolume::from_bits(
+            self.input_sram_reads
+                + self.input_sram_writes
+                + self.filter_sram_reads
+                + self.filter_sram_writes
+                + self.output_sram_reads
+                + self.output_sram_writes
+                + self.accumulator_sram_reads
+                + self.accumulator_sram_writes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_adds_fieldwise() {
+        let mut a = TrafficStats::default();
+        let b = TrafficStats {
+            dram_reads: 10.0,
+            input_sram_reads: 20.0,
+            accumulator_sram_writes: 5.0,
+            ..TrafficStats::default()
+        };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.dram_reads, 20.0);
+        assert_eq!(a.input_sram_reads, 40.0);
+        assert_eq!(a.accumulator_sram_writes, 10.0);
+    }
+
+    #[test]
+    fn totals() {
+        let s = TrafficStats {
+            dram_reads: 3.0,
+            dram_writes: 4.0,
+            input_sram_reads: 1.0,
+            output_sram_writes: 2.0,
+            ..TrafficStats::default()
+        };
+        assert_eq!(s.dram_total().as_bits(), 7.0);
+        assert_eq!(s.sram_total().as_bits(), 3.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let s = TrafficStats {
+            dram_reads: 32.0,
+            ..TrafficStats::default()
+        };
+        assert_eq!(s.scaled(1.0 / 32.0).dram_reads, 1.0);
+    }
+}

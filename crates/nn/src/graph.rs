@@ -1,0 +1,243 @@
+//! Sequential network container with shape auditing.
+
+use crate::layer::{Conv2d, Layer};
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network as an ordered layer list.
+///
+/// Residual topology is flattened: the runtime-spec analysis (like
+/// SCALE-sim's) needs each MAC layer's shapes, not the skip wiring; skip
+/// additions appear as [`Layer::Add`] entries for energy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_nn::zoo::resnet50_v1_5;
+///
+/// let net = resnet50_v1_5();
+/// assert_eq!(net.name(), "resnet50_v1.5");
+/// assert!(net.total_params() > 25_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    input: TensorShape,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates an empty network for the given input shape.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Layer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Network name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape.
+    #[must_use]
+    pub fn input(&self) -> TensorShape {
+        self.input
+    }
+
+    /// All layers in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The crossbar-mapped layers (convs + dense as 1×1 conv), in order.
+    pub fn conv_like_layers(&self) -> impl Iterator<Item = Conv2d> + '_ {
+        self.layers.iter().filter_map(|l| match l {
+            Layer::Conv2d(c) => Some(c.clone()),
+            Layer::Dense(d) => Some(d.as_conv()),
+            _ => None,
+        })
+    }
+
+    /// Total MACs per input image.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total parameters.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total weight storage at `bits` precision.
+    #[must_use]
+    pub fn weight_bits(&self, bits: u8) -> u64 {
+        self.total_params() * u64::from(bits)
+    }
+
+    /// The largest single activation tensor (input or any output), in bits
+    /// at the given precision — the per-image working-set bound that sizes
+    /// the input SRAM.
+    #[must_use]
+    pub fn max_activation_bits(&self, bits: u8) -> u64 {
+        let mut max = self.input.bits(bits);
+        for layer in &self.layers {
+            max = max.max(layer.output_shape().bits(bits));
+        }
+        max
+    }
+
+    /// Checks layer-to-layer shape continuity for the conv/pool chain.
+    ///
+    /// Returns the first `(layer index, expected, found)` mismatch, if any.
+    ///
+    /// Residual wiring is validated structurally: a convolution whose input
+    /// matches the *last join point* (the output of the previous `Add`,
+    /// pool, or the network input) instead of the running shape is treated
+    /// as a shortcut-branch projection; its output must agree with the
+    /// `Add` that closes the block. `Dense` accepts any input whose element
+    /// count matches its features (flattening).
+    #[must_use]
+    pub fn audit_shapes(&self) -> Option<(usize, TensorShape, TensorShape)> {
+        let mut current = self.input;
+        let mut last_join = self.input;
+        let mut branch_output: Option<TensorShape> = None;
+        for (idx, layer) in self.layers.iter().enumerate() {
+            match layer {
+                Layer::Conv2d(c) => {
+                    if c.input == current {
+                        current = c.output_shape();
+                    } else if c.input == last_join {
+                        // Shortcut projection: runs from the block input.
+                        branch_output = Some(c.output_shape());
+                    } else {
+                        return Some((idx, c.input, current));
+                    }
+                }
+                Layer::Pool(p) => {
+                    if p.input != current {
+                        return Some((idx, p.input, current));
+                    }
+                    current = p.output_shape();
+                    last_join = current;
+                }
+                Layer::Add(a) => {
+                    if a.shape != current {
+                        return Some((idx, a.shape, current));
+                    }
+                    if let Some(branch) = branch_output.take() {
+                        if branch != a.shape {
+                            return Some((idx, a.shape, branch));
+                        }
+                    }
+                    last_join = current;
+                }
+                Layer::Dense(d) => {
+                    if current.elements() != d.in_features {
+                        return Some((idx, TensorShape::flat(d.in_features), current));
+                    }
+                    current = layer.output_shape();
+                    last_join = current;
+                }
+            }
+        }
+        None
+    }
+
+    /// The final output shape.
+    #[must_use]
+    pub fn output_shape(&self) -> TensorShape {
+        self.layers
+            .last()
+            .map_or(self.input, Layer::output_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Pool, PoolKind};
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new("tiny", TensorShape::new(8, 8, 3));
+        net.push(Layer::Conv2d(Conv2d::new(
+            "c1",
+            TensorShape::new(8, 8, 3),
+            3,
+            3,
+            16,
+            1,
+            1,
+        )));
+        net.push(Layer::Pool(Pool::new(
+            "p1",
+            TensorShape::new(8, 8, 16),
+            PoolKind::Max,
+            2,
+            2,
+            0,
+        )));
+        net.push(Layer::Dense(Dense::new("fc", 4 * 4 * 16, 10)));
+        net
+    }
+
+    #[test]
+    fn audit_passes_for_consistent_net() {
+        assert_eq!(tiny_net().audit_shapes(), None);
+    }
+
+    #[test]
+    fn audit_catches_mismatch() {
+        let mut net = Network::new("broken", TensorShape::new(8, 8, 3));
+        net.push(Layer::Conv2d(Conv2d::new(
+            "c1",
+            TensorShape::new(9, 9, 3), // wrong input
+            3,
+            3,
+            16,
+            1,
+            1,
+        )));
+        let (idx, expected, found) = net.audit_shapes().unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(expected, TensorShape::new(9, 9, 3));
+        assert_eq!(found, TensorShape::new(8, 8, 3));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let net = tiny_net();
+        let conv_macs = 8 * 8 * 3 * 3 * 3 * 16;
+        let fc_macs = 4 * 4 * 16 * 10;
+        assert_eq!(net.total_macs(), (conv_macs + fc_macs) as u64);
+        assert_eq!(net.output_shape(), TensorShape::flat(10));
+    }
+
+    #[test]
+    fn conv_like_includes_dense() {
+        let net = tiny_net();
+        let convs: Vec<_> = net.conv_like_layers().collect();
+        assert_eq!(convs.len(), 2);
+        assert_eq!(convs[1].filter_rows(), 256);
+    }
+
+    #[test]
+    fn max_activation_is_widest_tensor() {
+        let net = tiny_net();
+        // conv output 8×8×16 = 1024 elements is the largest tensor.
+        assert_eq!(net.max_activation_bits(6), 1024 * 6);
+    }
+}

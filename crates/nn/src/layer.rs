@@ -1,0 +1,416 @@
+//! Layer descriptors.
+
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// The non-linearity fused after a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// No non-linearity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// A 2-D convolution (BatchNorm assumed folded into the weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Layer name (unique within a network).
+    pub name: String,
+    /// Input activation shape.
+    pub input: TensorShape,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Channel groups (1 = dense conv, `input.c` = depthwise).
+    pub groups: usize,
+    /// Fused activation.
+    pub activation: Activation,
+}
+
+impl Conv2d {
+    /// Creates a dense (groups = 1) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero kernel/stride/channels or if groups do not divide the
+    /// channel counts.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        input: TensorShape,
+        k_h: usize,
+        k_w: usize,
+        out_c: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let conv = Self {
+            name: name.into(),
+            input,
+            k_h,
+            k_w,
+            out_c,
+            stride,
+            padding,
+            groups: 1,
+            activation: Activation::Relu,
+        };
+        conv.validate();
+        conv
+    }
+
+    /// Sets the group count (e.g. depthwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if groups do not divide both channel counts.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self.validate();
+        self
+    }
+
+    /// Sets the fused activation.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.k_h > 0 && self.k_w > 0 && self.out_c > 0 && self.stride > 0,
+            "conv `{}`: kernel, stride and channels must be non-zero",
+            self.name
+        );
+        assert!(
+            self.groups > 0
+                && self.input.c % self.groups == 0
+                && self.out_c % self.groups == 0,
+            "conv `{}`: groups ({}) must divide in_c ({}) and out_c ({})",
+            self.name,
+            self.groups,
+            self.input.c,
+            self.out_c
+        );
+        // Forces the panic in TensorShape::conv_output for bad geometry.
+        let _ = self.output_shape();
+    }
+
+    /// Output activation shape.
+    #[must_use]
+    pub fn output_shape(&self) -> TensorShape {
+        let (h, w) = self
+            .input
+            .conv_output(self.k_h, self.k_w, self.stride, self.padding);
+        TensorShape::new(h, w, self.out_c)
+    }
+
+    /// Input channels per group.
+    #[must_use]
+    pub fn in_c_per_group(&self) -> usize {
+        self.input.c / self.groups
+    }
+
+    /// Output channels per group.
+    #[must_use]
+    pub fn out_c_per_group(&self) -> usize {
+        self.out_c / self.groups
+    }
+
+    /// The flattened filter length per output channel (the crossbar's row
+    /// dimension): `k_h · k_w · in_c / groups`.
+    #[must_use]
+    pub fn filter_rows(&self) -> usize {
+        self.k_h * self.k_w * self.in_c_per_group()
+    }
+
+    /// Weight count.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        (self.filter_rows() * self.out_c) as u64
+    }
+
+    /// Multiply-accumulate count for one input image.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        let out = self.output_shape();
+        (out.h * out.w) as u64 * self.params()
+    }
+}
+
+/// A fully-connected layer (mapped as a 1×1 convolution on 1×1 spatial).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Layer name.
+    pub name: String,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Whether a bias vector is added (digitally).
+    pub bias: bool,
+    /// Fused activation.
+    pub activation: Activation,
+}
+
+impl Dense {
+    /// Creates a dense layer with bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense layer features must be non-zero"
+        );
+        Self {
+            name: name.into(),
+            in_features,
+            out_features,
+            bias: true,
+            activation: Activation::None,
+        }
+    }
+
+    /// Weight + bias count.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+            + if self.bias { self.out_features as u64 } else { 0 }
+    }
+
+    /// MAC count for one input.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+
+    /// The equivalent 1×1 convolution view used by the dataflow mapper.
+    #[must_use]
+    pub fn as_conv(&self) -> Conv2d {
+        Conv2d::new(
+            self.name.clone(),
+            TensorShape::flat(self.in_features),
+            1,
+            1,
+            self.out_features,
+            1,
+            0,
+        )
+        .with_activation(self.activation)
+    }
+}
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum pooling.
+    Max,
+    /// Average pooling (global when the kernel equals the input extent).
+    Average,
+}
+
+/// A pooling layer (no MACs on the crossbar; executed digitally).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pool {
+    /// Layer name.
+    pub name: String,
+    /// Input shape.
+    pub input: TensorShape,
+    /// Pooling flavor.
+    pub kind: PoolKind,
+    /// Kernel size (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+}
+
+impl Pool {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero kernel/stride.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        input: TensorShape,
+        kind: PoolKind,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(k > 0 && stride > 0, "pool kernel and stride must be non-zero");
+        let pool = Self {
+            name: name.into(),
+            input,
+            kind,
+            k,
+            stride,
+            padding,
+        };
+        let _ = pool.output_shape();
+        pool
+    }
+
+    /// Output shape.
+    #[must_use]
+    pub fn output_shape(&self) -> TensorShape {
+        let (h, w) = self.input.conv_output(self.k, self.k, self.stride, self.padding);
+        TensorShape::new(h, w, self.input.c)
+    }
+}
+
+/// An element-wise residual addition (digital; tracked for energy/shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementwiseAdd {
+    /// Layer name.
+    pub name: String,
+    /// Operand shape (both operands share it).
+    pub shape: TensorShape,
+    /// Fused activation after the addition.
+    pub activation: Activation,
+}
+
+/// Any layer the accelerator executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Convolution on the crossbar.
+    Conv2d(Conv2d),
+    /// Fully-connected on the crossbar.
+    Dense(Dense),
+    /// Pooling (digital).
+    Pool(Pool),
+    /// Residual addition (digital).
+    Add(ElementwiseAdd),
+}
+
+impl Layer {
+    /// The layer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Layer::Conv2d(c) => &c.name,
+            Layer::Dense(d) => &d.name,
+            Layer::Pool(p) => &p.name,
+            Layer::Add(a) => &a.name,
+        }
+    }
+
+    /// Output activation shape.
+    #[must_use]
+    pub fn output_shape(&self) -> TensorShape {
+        match self {
+            Layer::Conv2d(c) => c.output_shape(),
+            Layer::Dense(d) => TensorShape::flat(d.out_features),
+            Layer::Pool(p) => p.output_shape(),
+            Layer::Add(a) => a.shape,
+        }
+    }
+
+    /// MAC count for one input image (zero for digital layers).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match self {
+            Layer::Conv2d(c) => c.macs(),
+            Layer::Dense(d) => d.macs(),
+            Layer::Pool(_) | Layer::Add(_) => 0,
+        }
+    }
+
+    /// Parameter count.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        match self {
+            Layer::Conv2d(c) => c.params(),
+            Layer::Dense(d) => d.params(),
+            Layer::Pool(_) | Layer::Add(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_stem_macs() {
+        let conv = Conv2d::new("conv1", TensorShape::new(224, 224, 3), 7, 7, 64, 2, 3);
+        assert_eq!(conv.macs(), 118_013_952);
+        assert_eq!(conv.params(), 9_408);
+    }
+
+    #[test]
+    fn bottleneck_1x1_shapes() {
+        let conv = Conv2d::new("c", TensorShape::new(56, 56, 256), 1, 1, 64, 1, 0);
+        assert_eq!(conv.output_shape(), TensorShape::new(56, 56, 64));
+        assert_eq!(conv.filter_rows(), 256);
+    }
+
+    #[test]
+    fn depthwise_groups() {
+        let conv = Conv2d::new("dw", TensorShape::new(14, 14, 512), 3, 3, 512, 1, 1)
+            .with_groups(512);
+        assert_eq!(conv.filter_rows(), 9);
+        assert_eq!(conv.params(), 9 * 512);
+        assert_eq!(conv.macs(), 14 * 14 * 9 * 512);
+    }
+
+    #[test]
+    fn dense_as_conv_round_trip() {
+        let fc = Dense::new("fc", 2048, 1000);
+        assert_eq!(fc.params(), 2_049_000);
+        let conv = fc.as_conv();
+        assert_eq!(conv.filter_rows(), 2048);
+        assert_eq!(conv.macs(), fc.macs());
+    }
+
+    #[test]
+    fn pool_output() {
+        let pool = Pool::new(
+            "maxpool",
+            TensorShape::new(112, 112, 64),
+            PoolKind::Max,
+            3,
+            2,
+            1,
+        );
+        assert_eq!(pool.output_shape(), TensorShape::new(56, 56, 64));
+    }
+
+    #[test]
+    fn layer_enum_dispatch() {
+        let layer = Layer::Conv2d(Conv2d::new(
+            "c",
+            TensorShape::new(8, 8, 4),
+            3,
+            3,
+            8,
+            1,
+            1,
+        ));
+        assert_eq!(layer.name(), "c");
+        assert_eq!(layer.output_shape(), TensorShape::new(8, 8, 8));
+        assert!(layer.macs() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups (3) must divide")]
+    fn bad_groups_panic() {
+        let _ = Conv2d::new("g", TensorShape::new(8, 8, 4), 1, 1, 8, 1, 0).with_groups(3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Neural-network substrate for the `oxbar` accelerator: layer descriptors,
+//! shape inference, a CNN model zoo (headlined by **ResNet-50 v1.5**, the
+//! paper's benchmark), INT6 quantization, signed→unipolar weight mapping for
+//! the absorb-only PCM crossbar, and an exact integer reference executor
+//! used as functional ground truth.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_nn::zoo::resnet50_v1_5;
+//!
+//! let net = resnet50_v1_5();
+//! assert_eq!(net.conv_like_layers().count(), 54); // 53 convs + 1 FC
+//! let gmacs = net.total_macs() as f64 / 1e9;
+//! assert!(gmacs > 4.0 && gmacs < 4.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod layer;
+pub mod mapping;
+pub mod quant;
+pub mod reference;
+pub mod shape;
+pub mod synthetic;
+pub mod zoo;
+
+pub use graph::Network;
+pub use layer::{Activation, Conv2d, Dense, Layer, Pool, PoolKind};
+pub use shape::TensorShape;

@@ -1,0 +1,150 @@
+//! Signed INT quantization for weights and activations.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric signed quantizer (`bits` total, codes in `[-Q, +Q]` with
+/// `Q = 2^(bits−1) − 1`; the most negative code is unused, the standard
+/// symmetric scheme).
+///
+/// The paper assumes INT6 end to end (§I, refs. \[4\], \[5\]).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_nn::quant::SignedQuantizer;
+///
+/// let q = SignedQuantizer::int6();
+/// assert_eq!(q.q_max(), 31);
+/// let (codes, scale) = q.quantize_tensor(&[0.5, -1.0, 0.25]);
+/// assert_eq!(codes, vec![16, -31, 8]);
+/// assert!((scale - 1.0 / 31.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedQuantizer {
+    bits: u8,
+}
+
+impl SignedQuantizer {
+    /// Creates a quantizer with `bits` of resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 8`.
+    #[must_use]
+    pub fn new(bits: u8) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8, got {bits}");
+        Self { bits }
+    }
+
+    /// The paper's INT6 quantizer.
+    #[must_use]
+    pub fn int6() -> Self {
+        Self::new(6)
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The positive code limit `Q`.
+    #[must_use]
+    pub fn q_max(self) -> i8 {
+        ((1i16 << (self.bits - 1)) - 1) as i8
+    }
+
+    /// Quantizes one value given the tensor scale (`value ≈ code × scale`).
+    #[must_use]
+    pub fn quantize(self, value: f64, scale: f64) -> i8 {
+        let q = f64::from(self.q_max());
+        (value / scale).round().clamp(-q, q) as i8
+    }
+
+    /// Dequantizes one code.
+    #[must_use]
+    pub fn dequantize(self, code: i8, scale: f64) -> f64 {
+        f64::from(code) * scale
+    }
+
+    /// Quantizes a tensor with the max-abs scale, returning `(codes, scale)`.
+    ///
+    /// An all-zero tensor quantizes to zeros at scale 1.
+    #[must_use]
+    pub fn quantize_tensor(self, values: &[f64]) -> (Vec<i8>, f64) {
+        let max_abs = values.iter().fold(0f64, |m, v| m.max(v.abs()));
+        if max_abs == 0.0 {
+            return (vec![0; values.len()], 1.0);
+        }
+        let scale = max_abs / f64::from(self.q_max());
+        (
+            values.iter().map(|&v| self.quantize(v, scale)).collect(),
+            scale,
+        )
+    }
+
+    /// RMS quantization error of a round trip, relative to full scale.
+    #[must_use]
+    pub fn rms_error(self, values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let (codes, scale) = self.quantize_tensor(values);
+        let full_scale = f64::from(self.q_max()) * scale;
+        let mse: f64 = values
+            .iter()
+            .zip(&codes)
+            .map(|(&v, &c)| (v - self.dequantize(c, scale)).powi(2))
+            .sum::<f64>()
+            / values.len() as f64;
+        mse.sqrt() / full_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int6_limits() {
+        let q = SignedQuantizer::int6();
+        assert_eq!(q.q_max(), 31);
+        assert_eq!(q.quantize(10.0, 0.1), 31); // clamped
+        assert_eq!(q.quantize(-10.0, 0.1), -31); // symmetric clamp
+    }
+
+    #[test]
+    fn round_trip_error_within_half_lsb() {
+        let q = SignedQuantizer::int6();
+        let values: Vec<f64> = (-100..=100).map(|k| f64::from(k) / 100.0).collect();
+        let (codes, scale) = q.quantize_tensor(&values);
+        for (v, c) in values.iter().zip(&codes) {
+            assert!((v - q.dequantize(*c, scale)).abs() <= scale / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_zero_tensor() {
+        let q = SignedQuantizer::int6();
+        let (codes, scale) = q.quantize_tensor(&[0.0, 0.0]);
+        assert_eq!(codes, vec![0, 0]);
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn rms_error_drops_with_bits() {
+        let values: Vec<f64> = (0..500).map(|k| (k as f64 * 0.37).sin()).collect();
+        let e4 = SignedQuantizer::new(4).rms_error(&values);
+        let e6 = SignedQuantizer::new(6).rms_error(&values);
+        let e8 = SignedQuantizer::new(8).rms_error(&values);
+        assert!(e4 > e6 && e6 > e8);
+        // INT6 RMS error should be well under 1% of full scale.
+        assert!(e6 < 0.01, "e6 = {e6}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=8")]
+    fn invalid_bits_panics() {
+        let _ = SignedQuantizer::new(1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Tensor shapes (HWC layout).
+
+use serde::{Deserialize, Serialize};
+
+/// The spatial/channel shape of an activation tensor (height × width ×
+/// channels), batch excluded.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_nn::TensorShape;
+///
+/// let imagenet = TensorShape::new(224, 224, 3);
+/// assert_eq!(imagenet.elements(), 150_528);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        assert!(h > 0 && w > 0 && c > 0, "tensor dimensions must be non-zero");
+        Self { h, w, c }
+    }
+
+    /// A flat (1×1×n) shape for fully-connected features.
+    #[must_use]
+    pub fn flat(features: usize) -> Self {
+        Self::new(1, 1, features)
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn elements(self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Storage volume at `bits` per element.
+    #[must_use]
+    pub fn bits(self, bits: u8) -> u64 {
+        self.elements() as u64 * u64::from(bits)
+    }
+
+    /// Output spatial size of a convolution over this shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (after padding) does not fit.
+    #[must_use]
+    pub fn conv_output(self, k_h: usize, k_w: usize, stride: usize, padding: usize) -> (usize, usize) {
+        assert!(stride > 0, "stride must be non-zero");
+        let padded_h = self.h + 2 * padding;
+        let padded_w = self.w + 2 * padding;
+        assert!(
+            padded_h >= k_h && padded_w >= k_w,
+            "kernel {k_h}x{k_w} does not fit in padded input {padded_h}x{padded_w}"
+        );
+        ((padded_h - k_h) / stride + 1, (padded_w - k_w) / stride + 1)
+    }
+}
+
+impl core::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_resnet_stem() {
+        // 224×224, 7×7 kernel, stride 2, padding 3 → 112×112.
+        let s = TensorShape::new(224, 224, 3);
+        assert_eq!(s.conv_output(7, 7, 2, 3), (112, 112));
+    }
+
+    #[test]
+    fn conv_output_same_padding() {
+        let s = TensorShape::new(56, 56, 64);
+        assert_eq!(s.conv_output(3, 3, 1, 1), (56, 56));
+    }
+
+    #[test]
+    fn conv_output_pool() {
+        // 112×112, 3×3, stride 2, padding 1 → 56×56.
+        let s = TensorShape::new(112, 112, 64);
+        assert_eq!(s.conv_output(3, 3, 2, 1), (56, 56));
+    }
+
+    #[test]
+    fn bits_at_int6() {
+        let s = TensorShape::new(7, 7, 2048);
+        assert_eq!(s.bits(6), 7 * 7 * 2048 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_panics() {
+        let _ = TensorShape::new(2, 2, 1).conv_output(5, 5, 1, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TensorShape::new(56, 56, 256).to_string(), "56x56x256");
+    }
+}

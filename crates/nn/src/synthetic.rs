@@ -1,0 +1,99 @@
+//! Seeded synthetic tensors — substitutes for trained ImageNet weights.
+//!
+//! Runtime specs (cycles, accesses) depend only on layer shapes, and the
+//! functional validation needs *any* exactly-known integer tensors, so
+//! reproducible pseudo-random data is a faithful substitute (DESIGN.md §4).
+
+use crate::reference::{FilterBank, Tensor3};
+use crate::shape::TensorShape;
+use crate::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an unsigned activation tensor with values in
+/// `[0, 2^bits − 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_nn::synthetic::activations;
+/// use oxbar_nn::TensorShape;
+///
+/// let t = activations(TensorShape::new(8, 8, 3), 6, 42);
+/// assert!(t.data().iter().all(|&v| (0..64).contains(&v)));
+/// ```
+#[must_use]
+pub fn activations(shape: TensorShape, bits: u8, seed: u64) -> Tensor3 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = (1i64 << bits) - 1;
+    let data = (0..shape.elements())
+        .map(|_| rng.random_range(0..=max))
+        .collect();
+    Tensor3::new(shape, data)
+}
+
+/// Generates a signed filter bank for one conv layer with codes in
+/// `[-(2^(bits−1)−1), +(2^(bits−1)−1)]`.
+#[must_use]
+pub fn filter_bank(conv: &crate::layer::Conv2d, bits: u8, seed: u64) -> FilterBank {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q = (1i16 << (bits - 1)) - 1;
+    let weights = (0..conv.out_c)
+        .map(|_| {
+            (0..conv.filter_rows())
+                .map(|_| rng.random_range(-q..=q) as i8)
+                .collect()
+        })
+        .collect();
+    FilterBank { weights }
+}
+
+/// Generates filter banks for every conv-like layer of a network, seeded
+/// per layer so banks are independent yet reproducible.
+#[must_use]
+pub fn filter_banks(network: &Network, bits: u8, seed: u64) -> Vec<FilterBank> {
+    network
+        .conv_like_layers()
+        .enumerate()
+        .map(|(idx, conv)| filter_bank(&conv, bits, seed.wrapping_add(idx as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::lenet5;
+
+    #[test]
+    fn activations_reproducible() {
+        let a = activations(TensorShape::new(4, 4, 2), 6, 9);
+        let b = activations(TensorShape::new(4, 4, 2), 6, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = activations(TensorShape::new(8, 8, 4), 6, 1);
+        let b = activations(TensorShape::new(8, 8, 4), 6, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn filter_codes_in_signed_range() {
+        let net = lenet5();
+        for bank in filter_banks(&net, 6, 3) {
+            for w in &bank.weights {
+                assert!(w.iter().all(|&c| (-31..=31).contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn banks_cover_all_conv_layers() {
+        let net = lenet5();
+        assert_eq!(
+            filter_banks(&net, 6, 0).len(),
+            net.conv_like_layers().count()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! AlexNet (torchvision single-tower variant, ≈0.71 GMACs).
+
+use crate::layer::{Conv2d, Dense, Layer, Pool, PoolKind};
+use crate::shape::TensorShape;
+use crate::Network;
+
+/// AlexNet at 224×224×3.
+///
+/// # Examples
+///
+/// ```
+/// let net = oxbar_nn::zoo::alexnet();
+/// assert_eq!(net.audit_shapes(), None);
+/// ```
+#[must_use]
+pub fn alexnet() -> Network {
+    let mut net = Network::new("alexnet", TensorShape::new(224, 224, 3));
+
+    let conv1 = Conv2d::new("conv1", TensorShape::new(224, 224, 3), 11, 11, 64, 4, 2);
+    let mut shape = conv1.output_shape();
+    net.push(Layer::Conv2d(conv1));
+    let pool1 = Pool::new("pool1", shape, PoolKind::Max, 3, 2, 0);
+    shape = pool1.output_shape();
+    net.push(Layer::Pool(pool1));
+
+    let conv2 = Conv2d::new("conv2", shape, 5, 5, 192, 1, 2);
+    shape = conv2.output_shape();
+    net.push(Layer::Conv2d(conv2));
+    let pool2 = Pool::new("pool2", shape, PoolKind::Max, 3, 2, 0);
+    shape = pool2.output_shape();
+    net.push(Layer::Pool(pool2));
+
+    for (name, out_c) in [("conv3", 384), ("conv4", 256), ("conv5", 256)] {
+        let conv = Conv2d::new(name, shape, 3, 3, out_c, 1, 1);
+        shape = conv.output_shape();
+        net.push(Layer::Conv2d(conv));
+    }
+    let pool5 = Pool::new("pool5", shape, PoolKind::Max, 3, 2, 0);
+    shape = pool5.output_shape();
+    net.push(Layer::Pool(pool5));
+
+    net.push(Layer::Dense(Dense::new(
+        "fc6",
+        shape.elements(),
+        4096,
+    )));
+    net.push(Layer::Dense(Dense::new("fc7", 4096, 4096)));
+    net.push(Layer::Dense(Dense::new("fc8", 4096, 1000)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_feature_extractor_output() {
+        let net = alexnet();
+        // The conv trunk ends at 6×6×256 = 9216 features.
+        let fc6 = net.conv_like_layers().find(|c| c.name == "fc6").unwrap();
+        assert_eq!(fc6.filter_rows(), 9216);
+    }
+
+    #[test]
+    fn alexnet_macs() {
+        let gmacs = alexnet().total_macs() as f64 / 1e9;
+        assert!((0.6..0.8).contains(&gmacs), "got {gmacs}");
+    }
+}

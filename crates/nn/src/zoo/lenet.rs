@@ -1,0 +1,60 @@
+//! LeNet-5 — the small functional-test workload.
+
+use crate::layer::{Conv2d, Dense, Layer, Pool, PoolKind};
+use crate::shape::TensorShape;
+use crate::Network;
+
+/// LeNet-5 on 28×28×1 (MNIST-style) inputs.
+///
+/// Small enough to run end-to-end through the field-level photonic
+/// simulation in tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// let net = oxbar_nn::zoo::lenet5();
+/// assert_eq!(net.output_shape().elements(), 10);
+/// ```
+#[must_use]
+pub fn lenet5() -> Network {
+    let mut net = Network::new("lenet5", TensorShape::new(28, 28, 1));
+
+    let conv1 = Conv2d::new("conv1", TensorShape::new(28, 28, 1), 5, 5, 6, 1, 2);
+    let mut shape = conv1.output_shape();
+    net.push(Layer::Conv2d(conv1));
+    let pool1 = Pool::new("pool1", shape, PoolKind::Average, 2, 2, 0);
+    shape = pool1.output_shape();
+    net.push(Layer::Pool(pool1));
+
+    let conv2 = Conv2d::new("conv2", shape, 5, 5, 16, 1, 0);
+    shape = conv2.output_shape();
+    net.push(Layer::Conv2d(conv2));
+    let pool2 = Pool::new("pool2", shape, PoolKind::Average, 2, 2, 0);
+    shape = pool2.output_shape();
+    net.push(Layer::Pool(pool2));
+
+    net.push(Layer::Dense(Dense::new("fc1", shape.elements(), 120)));
+    net.push(Layer::Dense(Dense::new("fc2", 120, 84)));
+    net.push(Layer::Dense(Dense::new("fc3", 84, 10)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_shapes() {
+        let net = lenet5();
+        assert_eq!(net.audit_shapes(), None);
+        let fc1 = net.conv_like_layers().find(|c| c.name == "fc1").unwrap();
+        assert_eq!(fc1.filter_rows(), 5 * 5 * 16);
+    }
+
+    #[test]
+    fn lenet_is_small() {
+        let net = lenet5();
+        assert!(net.total_params() < 100_000);
+        assert!(net.total_macs() < 2_000_000);
+    }
+}

@@ -1,0 +1,103 @@
+//! MobileNet-v1 — the depthwise-separable workload (≈0.57 GMACs).
+
+use crate::layer::{Conv2d, Dense, Layer, Pool, PoolKind};
+use crate::shape::TensorShape;
+use crate::Network;
+
+/// MobileNet-v1 (width 1.0) at 224×224×3.
+///
+/// Depthwise convolutions exercise the crossbar mapper's `groups` handling:
+/// each channel group maps to a tiny (9-row) matrix, a deliberately
+/// unfavourable utilization case for large arrays.
+///
+/// # Examples
+///
+/// ```
+/// let net = oxbar_nn::zoo::mobilenet_v1();
+/// assert_eq!(net.audit_shapes(), None);
+/// ```
+#[must_use]
+pub fn mobilenet_v1() -> Network {
+    let mut net = Network::new("mobilenet_v1", TensorShape::new(224, 224, 3));
+
+    let conv1 = Conv2d::new("conv1", TensorShape::new(224, 224, 3), 3, 3, 32, 2, 1);
+    let mut shape = conv1.output_shape();
+    net.push(Layer::Conv2d(conv1));
+
+    // (output channels of the pointwise conv, stride of the depthwise conv)
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (idx, &(out_c, stride)) in blocks.iter().enumerate() {
+        let dw = Conv2d::new(
+            format!("dw{}", idx + 1),
+            shape,
+            3,
+            3,
+            shape.c,
+            stride,
+            1,
+        )
+        .with_groups(shape.c);
+        shape = dw.output_shape();
+        net.push(Layer::Conv2d(dw));
+
+        let pw = Conv2d::new(format!("pw{}", idx + 1), shape, 1, 1, out_c, 1, 0);
+        shape = pw.output_shape();
+        net.push(Layer::Conv2d(pw));
+    }
+
+    let pool = Pool::new("avgpool", shape, PoolKind::Average, 7, 1, 0);
+    net.push(Layer::Pool(pool));
+    net.push(Layer::Dense(Dense::new("fc", 1024, 1000)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_census() {
+        let net = mobilenet_v1();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 27); // 1 stem + 13 dw + 13 pw
+    }
+
+    #[test]
+    fn depthwise_layers_have_groups() {
+        let net = mobilenet_v1();
+        let dw1 = net.conv_like_layers().find(|c| c.name == "dw1").unwrap();
+        assert_eq!(dw1.groups, 32);
+        assert_eq!(dw1.filter_rows(), 9);
+    }
+
+    #[test]
+    fn mobilenet_macs() {
+        let gmacs = mobilenet_v1().total_macs() as f64 / 1e9;
+        assert!((0.5..0.62).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn mobilenet_params() {
+        let params = mobilenet_v1().total_params();
+        // ≈4.2 M weights.
+        assert!((4_000_000..4_500_000).contains(&params), "got {params}");
+    }
+}

@@ -1,0 +1,74 @@
+//! CNN model zoo.
+//!
+//! [`resnet50_v1_5`] is the paper's benchmark; the other networks exercise
+//! the mapper on different layer mixes (plain deep stacks, depthwise
+//! separables, small edge models).
+
+mod alexnet;
+mod lenet;
+mod mobilenet;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use lenet::lenet5;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::{resnet18, resnet34, resnet50_v1_5};
+pub use vgg::vgg16;
+
+/// All zoo constructors, for sweep-style benches.
+#[must_use]
+pub fn all_networks() -> Vec<crate::Network> {
+    vec![
+        lenet5(),
+        alexnet(),
+        vgg16(),
+        resnet18(),
+        resnet34(),
+        resnet50_v1_5(),
+        mobilenet_v1(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_zoo_network_shape_checks() {
+        for net in all_networks() {
+            assert_eq!(
+                net.audit_shapes(),
+                None,
+                "shape mismatch in {}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_macs_are_plausible() {
+        // Sanity bands from the literature (GMACs at 224², except LeNet).
+        let expect = [
+            ("lenet5", 0.0002, 0.002),
+            ("alexnet", 0.6, 0.8),
+            ("vgg16", 15.0, 16.0),
+            ("resnet18", 1.7, 1.9),
+            ("resnet34", 3.5, 3.8),
+            ("resnet50_v1.5", 4.0, 4.2),
+            ("mobilenet_v1", 0.5, 0.62),
+        ];
+        for net in all_networks() {
+            let gmacs = net.total_macs() as f64 / 1e9;
+            let (_, lo, hi) = expect
+                .iter()
+                .find(|(n, _, _)| *n == net.name())
+                .expect("network in table");
+            assert!(
+                gmacs >= *lo && gmacs <= *hi,
+                "{}: {gmacs} GMACs outside [{lo}, {hi}]",
+                net.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! ResNet builders (v1.5 bottleneck variant — the paper's benchmark).
+
+use crate::layer::{Activation, Conv2d, Dense, ElementwiseAdd, Layer, Pool, PoolKind};
+use crate::shape::TensorShape;
+use crate::Network;
+
+/// Appends one bottleneck block (1×1 → 3×3 → 1×1 + skip).
+///
+/// In the **v1.5** variant the spatial stride sits on the 3×3 convolution
+/// (v1 put it on the first 1×1), which is what torchvision and the MLPerf
+/// reference implement and what the paper benchmarks.
+fn bottleneck(
+    net: &mut Network,
+    name: &str,
+    input: TensorShape,
+    mid_c: usize,
+    out_c: usize,
+    stride: usize,
+    project: bool,
+) -> TensorShape {
+    let a = Conv2d::new(format!("{name}_1x1a"), input, 1, 1, mid_c, 1, 0);
+    let a_out = a.output_shape();
+    net.push(Layer::Conv2d(a));
+
+    let b = Conv2d::new(format!("{name}_3x3b"), a_out, 3, 3, mid_c, stride, 1);
+    let b_out = b.output_shape();
+    net.push(Layer::Conv2d(b));
+
+    let c = Conv2d::new(format!("{name}_1x1c"), b_out, 1, 1, out_c, 1, 0)
+        .with_activation(Activation::None);
+    let c_out = c.output_shape();
+    net.push(Layer::Conv2d(c));
+
+    if project {
+        net.push(Layer::Conv2d(
+            Conv2d::new(format!("{name}_proj"), input, 1, 1, out_c, stride, 0)
+                .with_activation(Activation::None),
+        ));
+    }
+    net.push(Layer::Add(ElementwiseAdd {
+        name: format!("{name}_add"),
+        shape: c_out,
+        activation: Activation::Relu,
+    }));
+    c_out
+}
+
+/// Appends one basic block (3×3 → 3×3 + skip) for ResNet-18/34.
+fn basic_block(
+    net: &mut Network,
+    name: &str,
+    input: TensorShape,
+    out_c: usize,
+    stride: usize,
+    project: bool,
+) -> TensorShape {
+    let a = Conv2d::new(format!("{name}_3x3a"), input, 3, 3, out_c, stride, 1);
+    let a_out = a.output_shape();
+    net.push(Layer::Conv2d(a));
+
+    let b = Conv2d::new(format!("{name}_3x3b"), a_out, 3, 3, out_c, 1, 1)
+        .with_activation(Activation::None);
+    let b_out = b.output_shape();
+    net.push(Layer::Conv2d(b));
+
+    if project {
+        net.push(Layer::Conv2d(
+            Conv2d::new(format!("{name}_proj"), input, 1, 1, out_c, stride, 0)
+                .with_activation(Activation::None),
+        ));
+    }
+    net.push(Layer::Add(ElementwiseAdd {
+        name: format!("{name}_add"),
+        shape: b_out,
+        activation: Activation::Relu,
+    }));
+    b_out
+}
+
+/// The stem shared by all ImageNet ResNets: 7×7/2 conv + 3×3/2 max-pool.
+fn stem(net: &mut Network) -> TensorShape {
+    let input = TensorShape::new(224, 224, 3);
+    let conv1 = Conv2d::new("conv1", input, 7, 7, 64, 2, 3);
+    let conv1_out = conv1.output_shape();
+    net.push(Layer::Conv2d(conv1));
+    let pool = Pool::new("maxpool", conv1_out, PoolKind::Max, 3, 2, 1);
+    let pool_out = pool.output_shape();
+    net.push(Layer::Pool(pool));
+    pool_out
+}
+
+/// **ResNet-50 v1.5** at 224×224×3 — the paper's benchmark network
+/// (BatchNorm folded; 53 convolutions + 1 FC; ≈25.5 M weights; ≈4.1 GMACs).
+///
+/// # Examples
+///
+/// ```
+/// let net = oxbar_nn::zoo::resnet50_v1_5();
+/// assert_eq!(net.total_params(), 25_503_912);
+/// ```
+#[must_use]
+pub fn resnet50_v1_5() -> Network {
+    let mut net = Network::new("resnet50_v1.5", TensorShape::new(224, 224, 3));
+    let mut shape = stem(&mut net);
+
+    let stages: [(usize, usize, usize, usize); 4] = [
+        // (blocks, mid_c, out_c, first_stride)
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    for (stage_idx, &(blocks, mid_c, out_c, first_stride)) in stages.iter().enumerate() {
+        for block in 0..blocks {
+            let name = format!("conv{}_{}", stage_idx + 2, block + 1);
+            let (stride, project) = if block == 0 { (first_stride, true) } else { (1, false) };
+            shape = bottleneck(&mut net, &name, shape, mid_c, out_c, stride, project);
+        }
+    }
+
+    let pool = Pool::new("avgpool", shape, PoolKind::Average, 7, 1, 0);
+    net.push(Layer::Pool(pool));
+    net.push(Layer::Dense(Dense::new("fc", 2048, 1000)));
+    net
+}
+
+/// Shared builder for the basic-block ResNets (18/34).
+fn basic_resnet(name: &str, blocks_per_stage: [usize; 4]) -> Network {
+    let mut net = Network::new(name, TensorShape::new(224, 224, 3));
+    let mut shape = stem(&mut net);
+
+    let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
+    for (stage_idx, (&(out_c, first_stride), &blocks)) in
+        stages.iter().zip(&blocks_per_stage).enumerate()
+    {
+        for block in 0..blocks {
+            let name = format!("conv{}_{}", stage_idx + 2, block + 1);
+            let (stride, project) = if block == 0 && first_stride != 1 {
+                (first_stride, true)
+            } else {
+                (1, false)
+            };
+            shape = basic_block(&mut net, &name, shape, out_c, stride, project);
+        }
+    }
+
+    let pool = Pool::new("avgpool", shape, PoolKind::Average, 7, 1, 0);
+    net.push(Layer::Pool(pool));
+    net.push(Layer::Dense(Dense::new("fc", 512, 1000)));
+    net
+}
+
+/// ResNet-18 at 224×224×3 (basic blocks; ≈1.8 GMACs).
+#[must_use]
+pub fn resnet18() -> Network {
+    basic_resnet("resnet18", [2, 2, 2, 2])
+}
+
+/// ResNet-34 at 224×224×3 (basic blocks; ≈3.7 GMACs).
+#[must_use]
+pub fn resnet34() -> Network {
+    basic_resnet("resnet34", [3, 4, 6, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_parameter_count_exact() {
+        // Conv weights 23,454,912 + FC 2,048,000 + FC bias 1,000.
+        assert_eq!(resnet50_v1_5().total_params(), 25_503_912);
+    }
+
+    #[test]
+    fn resnet50_layer_census() {
+        let net = resnet50_v1_5();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 53);
+        assert_eq!(net.conv_like_layers().count(), 54);
+    }
+
+    #[test]
+    fn resnet50_final_feature_map() {
+        let net = resnet50_v1_5();
+        // Before avgpool the feature map is 7×7×2048.
+        let last_add = net
+            .layers()
+            .iter()
+            .filter_map(|l| match l {
+                Layer::Add(a) => Some(a.shape),
+                _ => None,
+            })
+            .next_back()
+            .unwrap();
+        assert_eq!(last_add, TensorShape::new(7, 7, 2048));
+        assert_eq!(net.output_shape(), TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn resnet50_v1_5_strides_in_3x3() {
+        let net = resnet50_v1_5();
+        let conv3_1b = net
+            .conv_like_layers()
+            .find(|c| c.name == "conv3_1_3x3b")
+            .unwrap();
+        assert_eq!(conv3_1b.stride, 2, "v1.5 puts the stride on the 3x3");
+        let conv3_1a = net
+            .conv_like_layers()
+            .find(|c| c.name == "conv3_1_1x1a")
+            .unwrap();
+        assert_eq!(conv3_1a.stride, 1);
+    }
+
+    #[test]
+    fn resnet50_macs_in_band() {
+        let gmacs = resnet50_v1_5().total_macs() as f64 / 1e9;
+        assert!((4.0..4.2).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn resnet50_max_activation_is_stem_output() {
+        let net = resnet50_v1_5();
+        // 112×112×64 at 6 bits = 4,816,896 bits ≈ 0.6 MB.
+        assert_eq!(net.max_activation_bits(6), 112 * 112 * 64 * 6);
+    }
+
+    #[test]
+    fn resnet18_shapes_and_macs() {
+        let net = resnet18();
+        assert_eq!(net.audit_shapes(), None);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!((1.7..1.9).contains(&gmacs), "got {gmacs}");
+        let params = net.total_params();
+        assert!((11_000_000..12_000_000).contains(&params), "got {params}");
+    }
+}

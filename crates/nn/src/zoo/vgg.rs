@@ -1,0 +1,74 @@
+//! VGG-16 — the plain deep-stack workload (≈15.5 GMACs).
+
+use crate::layer::{Conv2d, Dense, Layer, Pool, PoolKind};
+use crate::shape::TensorShape;
+use crate::Network;
+
+/// VGG-16 at 224×224×3 (configuration D).
+///
+/// # Examples
+///
+/// ```
+/// let net = oxbar_nn::zoo::vgg16();
+/// assert_eq!(net.audit_shapes(), None);
+/// ```
+#[must_use]
+pub fn vgg16() -> Network {
+    let mut net = Network::new("vgg16", TensorShape::new(224, 224, 3));
+    let mut shape = TensorShape::new(224, 224, 3);
+    let blocks: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (block_idx, &(convs, out_c)) in blocks.iter().enumerate() {
+        for conv_idx in 0..convs {
+            let conv = Conv2d::new(
+                format!("conv{}_{}", block_idx + 1, conv_idx + 1),
+                shape,
+                3,
+                3,
+                out_c,
+                1,
+                1,
+            );
+            shape = conv.output_shape();
+            net.push(Layer::Conv2d(conv));
+        }
+        let pool = Pool::new(
+            format!("pool{}", block_idx + 1),
+            shape,
+            PoolKind::Max,
+            2,
+            2,
+            0,
+        );
+        shape = pool.output_shape();
+        net.push(Layer::Pool(pool));
+    }
+    net.push(Layer::Dense(Dense::new("fc6", 7 * 7 * 512, 4096)));
+    net.push(Layer::Dense(Dense::new("fc7", 4096, 4096)));
+    net.push(Layer::Dense(Dense::new("fc8", 4096, 1000)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_census() {
+        let net = vgg16();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 13);
+        // ~138 M parameters, dominated by fc6.
+        let params = net.total_params();
+        assert!((138_000_000..139_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn vgg16_macs() {
+        let gmacs = vgg16().total_macs() as f64 / 1e9;
+        assert!((15.0..16.0).contains(&gmacs), "got {gmacs}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Whole-array programming: scheduling, delta-programming, time and energy.
+
+use crate::cell::PcmCell;
+use crate::levels::LevelTable;
+use crate::pulse::ProgramPulse;
+use oxbar_units::{Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// How many cells the programming drivers can write simultaneously.
+///
+/// The system model's headline assumption (DESIGN.md §4) is
+/// [`Parallelism::FullArray`]: the whole array reprograms in one ~100 ns
+/// step, i.e. ~1000 MAC cycles at 10 GHz — the number that makes the paper's
+/// batch-32 knee come out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// All cells programmed concurrently (one pulse time per array).
+    FullArray,
+    /// One row at a time (N pulse times).
+    PerRow,
+    /// One cell at a time (N·M pulse times) — the pessimistic bound.
+    PerCell,
+}
+
+/// Aggregate results of one array programming pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramReport {
+    /// Cells whose state actually changed (after delta filtering).
+    pub cells_programmed: usize,
+    /// Cells skipped because they already held the target level.
+    pub cells_skipped: usize,
+    /// Wall-clock programming time for the pass.
+    pub time: Time,
+    /// Total programming energy for the pass.
+    pub energy: Energy,
+}
+
+/// An N×M array of PCM cells with batch programming.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_pcm::array::{Parallelism, PcmArray};
+///
+/// let mut array = PcmArray::pristine(2, 3);
+/// let w = vec![vec![0.9, 0.5, 0.0], vec![0.25, 0.75, 0.6]];
+/// let report = array.program(&w, Parallelism::FullArray);
+/// assert_eq!(report.cells_programmed, 6);
+/// // Reprogramming the same weights is free under delta programming.
+/// let again = array.program(&w, Parallelism::FullArray);
+/// assert_eq!(again.cells_programmed, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcmArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<PcmCell>,
+    table: LevelTable,
+    delta_programming: bool,
+}
+
+impl PcmArray {
+    /// Creates a pristine (all-amorphous) array with the INT6 level table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn pristine(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        let device = PcmCell::pristine();
+        Self {
+            rows,
+            cols,
+            cells: vec![device; rows * cols],
+            table: LevelTable::int6(device),
+            delta_programming: true,
+        }
+    }
+
+    /// Enables/disables delta programming (skip cells already at target).
+    #[must_use]
+    pub fn with_delta_programming(mut self, on: bool) -> Self {
+        self.delta_programming = on;
+        self
+    }
+
+    /// Rows (N).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (M).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The level table in use.
+    #[must_use]
+    pub fn level_table(&self) -> &LevelTable {
+        &self.table
+    }
+
+    /// Immutable view of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> &PcmCell {
+        &self.cells[row * self.cols + col]
+    }
+
+    /// The stored field-transmission matrix.
+    #[must_use]
+    pub fn transmissions(&self) -> Vec<Vec<f64>> {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.cell(i, j).transmission()).collect())
+            .collect()
+    }
+
+    /// Programs the array to the weight matrix `weights[i][j] ∈ [0, 1]`
+    /// (fractions of full scale, quantized through the INT6 table).
+    ///
+    /// Returns the pass's time and energy given the driver `parallelism`.
+    /// Time charges one pulse duration per *parallel group that contains at
+    /// least one changed cell*; energy charges one pulse per changed cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match the array dimensions or contains
+    /// values outside `[0, 1]`.
+    pub fn program(&mut self, weights: &[Vec<f64>], parallelism: Parallelism) -> ProgramReport {
+        assert_eq!(weights.len(), self.rows, "expected {} weight rows", self.rows);
+        let pulse = ProgramPulse::paper_default();
+        let mut programmed = 0usize;
+        let mut skipped = 0usize;
+        let mut rows_touched = vec![false; self.rows];
+        for (i, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "weight row {i} must have {} cols", self.cols);
+            for (j, &w) in row.iter().enumerate() {
+                let code = self.table.quantize_weight(w);
+                let target_fraction = self.table.fraction_for_code(code);
+                let cell = &mut self.cells[i * self.cols + j];
+                let unchanged = (cell.crystalline_fraction() - target_fraction).abs() < 1e-12;
+                if self.delta_programming && unchanged {
+                    skipped += 1;
+                } else {
+                    cell.set_crystalline_fraction(target_fraction);
+                    programmed += 1;
+                    rows_touched[i] = true;
+                }
+            }
+        }
+        let groups: u64 = match parallelism {
+            Parallelism::FullArray => u64::from(programmed > 0),
+            Parallelism::PerRow => rows_touched.iter().filter(|&&t| t).count() as u64,
+            Parallelism::PerCell => programmed as u64,
+        };
+        ProgramReport {
+            cells_programmed: programmed,
+            cells_skipped: skipped,
+            time: pulse.duration() * groups as f64,
+            energy: pulse.energy() * programmed as f64,
+        }
+    }
+
+    /// Worst-case programming time for this array size and parallelism
+    /// (every cell changed) — what the dataflow scheduler must budget.
+    #[must_use]
+    pub fn worst_case_program_time(&self, parallelism: Parallelism) -> Time {
+        let pulse = ProgramPulse::paper_default();
+        let groups = match parallelism {
+            Parallelism::FullArray => 1,
+            Parallelism::PerRow => self.rows,
+            Parallelism::PerCell => self.rows * self.cols,
+        };
+        pulse.duration() * groups as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_array_time_is_one_pulse() {
+        let mut array = PcmArray::pristine(8, 8);
+        let w = vec![vec![0.5; 8]; 8];
+        let report = array.program(&w, Parallelism::FullArray);
+        assert!((report.time.as_nanoseconds() - 100.0).abs() < 1e-9);
+        assert!((report.energy.as_nanojoules() - 6.4).abs() < 1e-9); // 64×100pJ
+    }
+
+    #[test]
+    fn per_row_time_scales_with_rows() {
+        let mut array = PcmArray::pristine(8, 4);
+        let w = vec![vec![0.5; 4]; 8];
+        let report = array.program(&w, Parallelism::PerRow);
+        assert!((report.time.as_nanoseconds() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_cell_time_scales_with_cells() {
+        let mut array = PcmArray::pristine(4, 4);
+        let w = vec![vec![0.5; 4]; 4];
+        let report = array.program(&w, Parallelism::PerCell);
+        assert!((report.time.as_microseconds() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_programming_skips_unchanged() {
+        let mut array = PcmArray::pristine(4, 4);
+        let mut w = vec![vec![0.5; 4]; 4];
+        array.program(&w, Parallelism::FullArray);
+        w[2][3] = 0.75;
+        let report = array.program(&w, Parallelism::FullArray);
+        assert_eq!(report.cells_programmed, 1);
+        assert_eq!(report.cells_skipped, 15);
+        assert!((report.energy.as_picojoules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabling_delta_reprograms_everything() {
+        let mut array = PcmArray::pristine(4, 4).with_delta_programming(false);
+        let w = vec![vec![0.5; 4]; 4];
+        array.program(&w, Parallelism::FullArray);
+        let report = array.program(&w, Parallelism::FullArray);
+        assert_eq!(report.cells_programmed, 16);
+    }
+
+    #[test]
+    fn stored_transmissions_match_quantized_weights() {
+        let mut array = PcmArray::pristine(2, 2);
+        let w = vec![vec![0.0, 0.333], vec![0.666, 1.0]];
+        array.program(&w, Parallelism::FullArray);
+        let table = array.level_table().clone();
+        let stored = array.transmissions();
+        for i in 0..2 {
+            for j in 0..2 {
+                let code = table.quantize_weight(w[i][j]);
+                assert!(
+                    (stored[i][j] - table.transmission_for_code(code)).abs() < 1e-12,
+                    "cell ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_program_times() {
+        let array = PcmArray::pristine(128, 128);
+        assert!(
+            (array.worst_case_program_time(Parallelism::FullArray).as_nanoseconds() - 100.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (array.worst_case_program_time(Parallelism::PerRow).as_microseconds() - 12.8).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn no_change_costs_nothing() {
+        let mut array = PcmArray::pristine(4, 4);
+        let w = vec![vec![0.25; 4]; 4];
+        array.program(&w, Parallelism::FullArray);
+        let report = array.program(&w, Parallelism::PerRow);
+        assert_eq!(report.cells_programmed, 0);
+        assert_eq!(report.time, Time::ZERO);
+        assert_eq!(report.energy, Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 weight rows")]
+    fn dimension_mismatch_panics() {
+        let mut array = PcmArray::pristine(4, 4);
+        let _ = array.program(&vec![vec![0.5; 4]; 3], Parallelism::FullArray);
+    }
+}

@@ -1,0 +1,212 @@
+//! The PCM unit-cell device model.
+
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// A GST-on-waveguide phase-change cell.
+///
+/// The crystalline fraction `x ∈ [0, 1]` of the patch controls optical
+/// absorption. The absorption coefficient is linear in `x`, so the patch's
+/// insertion loss in dB interpolates linearly between the amorphous
+/// (transparent) and crystalline (absorbing) extremes:
+///
+/// ```text
+/// loss(x) = loss_amorphous + x · (loss_crystalline − loss_amorphous)   [dB]
+/// ```
+///
+/// Field transmission is `10^(−loss/20)`. The cell is non-volatile: state
+/// changes only under programming pulses.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_pcm::PcmCell;
+///
+/// let mut cell = PcmCell::pristine();
+/// assert!(cell.transmission() > 0.9); // amorphous ≈ transparent
+/// cell.set_crystalline_fraction(1.0);
+/// assert!(cell.transmission() < 0.1); // crystalline ≈ opaque
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcmCell {
+    crystalline_fraction: f64,
+    amorphous_loss_db: f64,
+    crystalline_loss_db: f64,
+    program_count: u64,
+}
+
+impl PcmCell {
+    /// Residual insertion loss of the fully amorphous patch (dB).
+    pub const DEFAULT_AMORPHOUS_LOSS_DB: f64 = 0.3;
+    /// Insertion loss of the fully crystalline patch (dB), setting the
+    /// weight extinction ratio (> 26 dB field ⇒ resolves 6 bits).
+    pub const DEFAULT_CRYSTALLINE_LOSS_DB: f64 = 40.0;
+
+    /// A fresh, fully amorphous (transparent) cell.
+    #[must_use]
+    pub fn pristine() -> Self {
+        Self {
+            crystalline_fraction: 0.0,
+            amorphous_loss_db: Self::DEFAULT_AMORPHOUS_LOSS_DB,
+            crystalline_loss_db: Self::DEFAULT_CRYSTALLINE_LOSS_DB,
+            program_count: 0,
+        }
+    }
+
+    /// Overrides the loss extremes (dB).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ amorphous < crystalline`.
+    #[must_use]
+    pub fn with_loss_range(mut self, amorphous_db: f64, crystalline_db: f64) -> Self {
+        assert!(
+            amorphous_db >= 0.0 && crystalline_db > amorphous_db,
+            "loss range must satisfy 0 <= amorphous < crystalline"
+        );
+        self.amorphous_loss_db = amorphous_db;
+        self.crystalline_loss_db = crystalline_db;
+        self
+    }
+
+    /// Current crystalline fraction `x ∈ [0, 1]`.
+    #[must_use]
+    pub fn crystalline_fraction(self) -> f64 {
+        self.crystalline_fraction
+    }
+
+    /// Sets the crystalline fraction directly (ideal programming).
+    ///
+    /// Counts as one programming operation for endurance tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside `[0, 1]`.
+    pub fn set_crystalline_fraction(&mut self, x: f64) {
+        assert!(
+            (0.0..=1.0).contains(&x) && x.is_finite(),
+            "crystalline fraction must be in [0, 1], got {x}"
+        );
+        self.crystalline_fraction = x;
+        self.program_count += 1;
+    }
+
+    /// Number of programming operations the cell has seen (endurance).
+    #[must_use]
+    pub fn program_count(self) -> u64 {
+        self.program_count
+    }
+
+    /// Current insertion loss in dB.
+    #[must_use]
+    pub fn insertion_loss(self) -> Decibel {
+        Decibel::new(
+            self.amorphous_loss_db
+                + self.crystalline_fraction * (self.crystalline_loss_db - self.amorphous_loss_db),
+        )
+    }
+
+    /// Current E-field transmission `w ∈ [0, 1]`.
+    #[must_use]
+    pub fn transmission(self) -> f64 {
+        self.insertion_loss().attenuation_field()
+    }
+
+    /// The maximum achievable field transmission (fully amorphous).
+    #[must_use]
+    pub fn max_transmission(self) -> f64 {
+        Decibel::new(self.amorphous_loss_db).attenuation_field()
+    }
+
+    /// The minimum achievable field transmission (fully crystalline).
+    #[must_use]
+    pub fn min_transmission(self) -> f64 {
+        Decibel::new(self.crystalline_loss_db).attenuation_field()
+    }
+
+    /// The crystalline fraction needed for a target field transmission.
+    ///
+    /// Returns `None` if the target lies outside the achievable
+    /// `[min_transmission, max_transmission]` window.
+    #[must_use]
+    pub fn fraction_for_transmission(self, target: f64) -> Option<f64> {
+        if !(self.min_transmission()..=self.max_transmission()).contains(&target) {
+            return None;
+        }
+        let loss_db = -20.0 * target.log10();
+        Some(
+            (loss_db - self.amorphous_loss_db)
+                / (self.crystalline_loss_db - self.amorphous_loss_db),
+        )
+    }
+}
+
+impl Default for PcmCell {
+    fn default() -> Self {
+        Self::pristine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_monotone_in_fraction() {
+        let mut prev = f64::INFINITY;
+        for k in 0..=10 {
+            let mut cell = PcmCell::pristine();
+            cell.set_crystalline_fraction(k as f64 / 10.0);
+            assert!(cell.transmission() < prev);
+            prev = cell.transmission();
+        }
+    }
+
+    #[test]
+    fn fraction_inversion_round_trip() {
+        let cell = PcmCell::pristine();
+        for target in [0.05, 0.2, 0.5, 0.8, cell.max_transmission()] {
+            let x = cell.fraction_for_transmission(target).unwrap();
+            let mut programmed = PcmCell::pristine();
+            programmed.set_crystalline_fraction(x);
+            assert!(
+                (programmed.transmission() - target).abs() < 1e-12,
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_transmission_rejected() {
+        let cell = PcmCell::pristine();
+        assert!(cell.fraction_for_transmission(1.0).is_none()); // above max
+        assert!(cell.fraction_for_transmission(1e-6).is_none()); // below min
+    }
+
+    #[test]
+    fn endurance_counter_increments() {
+        let mut cell = PcmCell::pristine();
+        cell.set_crystalline_fraction(0.5);
+        cell.set_crystalline_fraction(0.25);
+        assert_eq!(cell.program_count(), 2);
+    }
+
+    #[test]
+    fn extinction_supports_six_bits() {
+        // Field dynamic range must exceed 2^6 for 64 distinguishable levels.
+        let cell = PcmCell::pristine();
+        assert!(cell.max_transmission() / cell.min_transmission() > 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crystalline fraction must be in [0, 1]")]
+    fn out_of_range_fraction_panics() {
+        PcmCell::pristine().set_crystalline_fraction(1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss range must satisfy")]
+    fn invalid_loss_range_panics() {
+        let _ = PcmCell::pristine().with_loss_range(5.0, 2.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Closed-loop program-and-verify controller.
+
+use crate::cell::PcmCell;
+use crate::pulse::ProgramPulse;
+use crate::variation::DeviceVariation;
+use oxbar_units::{Energy, Time};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one program-and-verify session on a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramOutcome {
+    /// Pulses applied until convergence (or the iteration cap).
+    pub pulses: u32,
+    /// Total programming energy spent.
+    pub energy: Energy,
+    /// Total programming time spent (pulses are sequential per cell).
+    pub time: Time,
+    /// Residual |achieved − target| transmission error.
+    pub residual: f64,
+    /// Whether the residual met the tolerance.
+    pub converged: bool,
+}
+
+/// Iterative program-and-verify controller (the standard multi-level PCM
+/// write scheme): pulse toward the target crystalline fraction, read back
+/// the transmission, and correct until within tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_pcm::program::ProgramVerifyController;
+/// use oxbar_pcm::variation::DeviceVariation;
+/// use oxbar_pcm::PcmCell;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let ctl = ProgramVerifyController::new(DeviceVariation::new(0.01, 0.0), 1e-3, 16);
+/// let mut cell = PcmCell::pristine();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let out = ctl.program_to_transmission(&mut cell, 0.5, 0.0, &mut rng);
+/// assert!(out.converged);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramVerifyController {
+    variation: DeviceVariation,
+    tolerance: f64,
+    max_pulses: u32,
+}
+
+impl ProgramVerifyController {
+    /// Creates a controller.
+    ///
+    /// `tolerance` is the acceptable |transmission error|; `max_pulses`
+    /// bounds the iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive or `max_pulses` is zero.
+    #[must_use]
+    pub fn new(variation: DeviceVariation, tolerance: f64, max_pulses: u32) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(max_pulses > 0, "max_pulses must be positive");
+        Self {
+            variation,
+            tolerance,
+            max_pulses,
+        }
+    }
+
+    /// An ideal controller: no variation, one pulse always suffices.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::new(DeviceVariation::NONE, 1e-9, 1)
+    }
+
+    /// Programs `cell` until its transmission is within tolerance of
+    /// `target`, given the cell's static `device_offset`.
+    ///
+    /// Returns the pulse count, energy, time, and residual. Unreachable
+    /// targets are clamped to the device window first.
+    pub fn program_to_transmission<R: Rng + ?Sized>(
+        &self,
+        cell: &mut PcmCell,
+        target: f64,
+        device_offset: f64,
+        rng: &mut R,
+    ) -> ProgramOutcome {
+        let clamped = target.clamp(cell.min_transmission(), cell.max_transmission());
+        let target_fraction = cell
+            .fraction_for_transmission(clamped)
+            .expect("clamped target is reachable");
+        let pulse = ProgramPulse::paper_default();
+        let mut pulses = 0;
+        let mut residual = (cell.transmission() - clamped).abs();
+        while pulses < self.max_pulses && residual > self.tolerance {
+            // Aim at the fraction that corrects the remaining error; the
+            // variation perturbs where the pulse actually lands.
+            let achieved = self
+                .variation
+                .apply_program(target_fraction, device_offset, rng);
+            cell.set_crystalline_fraction(achieved);
+            pulses += 1;
+            residual = (cell.transmission() - clamped).abs();
+        }
+        ProgramOutcome {
+            pulses,
+            energy: pulse.energy() * f64::from(pulses),
+            time: pulse.duration() * f64::from(pulses),
+            residual,
+            converged: residual <= self.tolerance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_controller_converges_in_one_pulse() {
+        let ctl = ProgramVerifyController::ideal();
+        let mut cell = PcmCell::pristine();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = ctl.program_to_transmission(&mut cell, 0.4, 0.0, &mut rng);
+        assert!(out.converged);
+        assert_eq!(out.pulses, 1);
+        assert!((cell.transmission() - 0.4).abs() < 1e-9);
+        assert!((out.energy.as_picojoules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variation_requires_retries() {
+        let ctl = ProgramVerifyController::new(DeviceVariation::new(0.05, 0.0), 5e-3, 100);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut total_pulses = 0;
+        for _ in 0..20 {
+            let mut cell = PcmCell::pristine();
+            let out = ctl.program_to_transmission(&mut cell, 0.5, 0.0, &mut rng);
+            assert!(out.converged);
+            total_pulses += out.pulses;
+        }
+        // With 5% programming sigma and 0.5% tolerance, retries are expected.
+        assert!(total_pulses > 20, "got {total_pulses} pulses for 20 cells");
+    }
+
+    #[test]
+    fn energy_and_time_scale_with_pulses() {
+        let ctl = ProgramVerifyController::new(DeviceVariation::new(0.05, 0.0), 1e-3, 50);
+        let mut cell = PcmCell::pristine();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = ctl.program_to_transmission(&mut cell, 0.3, 0.0, &mut rng);
+        assert!((out.energy.as_picojoules() - 100.0 * f64::from(out.pulses)).abs() < 1e-9);
+        assert!((out.time.as_nanoseconds() - 100.0 * f64::from(out.pulses)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn already_converged_cell_needs_no_pulse() {
+        let ctl = ProgramVerifyController::new(DeviceVariation::NONE, 1e-3, 10);
+        let mut cell = PcmCell::pristine();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t_max = cell.max_transmission();
+        let out = ctl.program_to_transmission(&mut cell, t_max, 0.0, &mut rng);
+        assert!(out.converged);
+        assert_eq!(out.pulses, 0);
+        assert_eq!(out.energy, Energy::ZERO);
+    }
+
+    #[test]
+    fn unreachable_target_clamps() {
+        let ctl = ProgramVerifyController::ideal();
+        let mut cell = PcmCell::pristine();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = ctl.program_to_transmission(&mut cell, 0.0, 0.0, &mut rng);
+        assert!(out.converged);
+        assert!((cell.transmission() - cell.min_transmission()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_cap_reports_non_convergence() {
+        // Huge variation, tight tolerance, single pulse allowed.
+        let ctl = ProgramVerifyController::new(DeviceVariation::new(0.3, 0.0), 1e-6, 1);
+        let mut cell = PcmCell::pristine();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = ctl.program_to_transmission(&mut cell, 0.5, 0.0, &mut rng);
+        assert!(!out.converged);
+        assert_eq!(out.pulses, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the PCM device and programming models.
+
+use crate::array::{Parallelism, PcmArray};
+use crate::cell::PcmCell;
+use crate::levels::LevelTable;
+use crate::program::ProgramVerifyController;
+use crate::variation::DeviceVariation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn transmission_monotone_decreasing_in_fraction(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut cell_lo = PcmCell::pristine();
+        let mut cell_hi = PcmCell::pristine();
+        cell_lo.set_crystalline_fraction(lo);
+        cell_hi.set_crystalline_fraction(hi);
+        prop_assert!(cell_lo.transmission() >= cell_hi.transmission());
+    }
+
+    #[test]
+    fn fraction_inversion_round_trips(target in 0.02..=0.96f64) {
+        let cell = PcmCell::pristine();
+        let t = target * cell.max_transmission();
+        if let Some(x) = cell.fraction_for_transmission(t.max(cell.min_transmission())) {
+            let mut programmed = PcmCell::pristine();
+            programmed.set_crystalline_fraction(x.clamp(0.0, 1.0));
+            prop_assert!((programmed.transmission() - t.max(cell.min_transmission())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn level_table_monotone(bits in 2u8..=8) {
+        let table = LevelTable::new(bits, PcmCell::pristine());
+        for code in 1..table.levels() as u16 {
+            prop_assert!(
+                table.transmission_for_code(code)
+                    >= table.transmission_for_code(code - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip(bits in 2u8..=8, raw in 0u16..256) {
+        let table = LevelTable::new(bits, PcmCell::pristine());
+        let code = raw % (table.max_code() + 1);
+        prop_assert_eq!(table.quantize_weight(table.dequantize_code(code)), code);
+    }
+
+    #[test]
+    fn program_verify_converges_with_enough_pulses(
+        target in 0.05..=0.9f64,
+        sigma in 0.0..0.03f64,
+        seed in 0u64..512,
+    ) {
+        let ctl = ProgramVerifyController::new(
+            DeviceVariation::new(sigma, 0.0), 0.01, 200,
+        );
+        let mut cell = PcmCell::pristine();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = target * cell.max_transmission();
+        let out = ctl.program_to_transmission(&mut cell, t, 0.0, &mut rng);
+        prop_assert!(out.converged, "residual {}", out.residual);
+        prop_assert!(out.residual <= 0.01);
+    }
+
+    #[test]
+    fn array_programming_energy_counts_changed_cells(
+        n in 1usize..12,
+        m in 1usize..12,
+        w in 0.05..0.95f64,
+    ) {
+        let mut array = PcmArray::pristine(n, m);
+        let weights = vec![vec![w; m]; n];
+        let report = array.program(&weights, Parallelism::FullArray);
+        prop_assert_eq!(report.cells_programmed + report.cells_skipped, n * m);
+        let expected_pj = report.cells_programmed as f64 * 100.0;
+        prop_assert!((report.energy.as_picojoules() - expected_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_programming_is_idempotent(n in 1usize..10, m in 1usize..10, w in 0.0..=1.0f64) {
+        let mut array = PcmArray::pristine(n, m);
+        let weights = vec![vec![w; m]; n];
+        array.program(&weights, Parallelism::FullArray);
+        let second = array.program(&weights, Parallelism::FullArray);
+        prop_assert_eq!(second.cells_programmed, 0);
+        prop_assert_eq!(second.energy.as_joules(), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Electrical programming pulses.
+
+use oxbar_units::{Energy, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// The kind of programming pulse applied to a PCM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PulseKind {
+    /// Melt-quench: amorphizes (erases toward transparency).
+    Reset,
+    /// Anneal: crystallizes (writes toward absorption).
+    Set,
+    /// Partial anneal used for multi-level trims.
+    PartialSet,
+}
+
+/// One electrical programming pulse.
+///
+/// The paper estimates ~100 pJ per programming event and ~100 ns programming
+/// time (§III.A.1, §IV, refs. \[7\], \[8\]).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_pcm::pulse::ProgramPulse;
+///
+/// let p = ProgramPulse::paper_default();
+/// assert!((p.energy().as_picojoules() - 100.0).abs() < 1e-9);
+/// assert!((p.peak_power().as_milliwatts() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramPulse {
+    kind: PulseKind,
+    energy: Energy,
+    duration: Time,
+}
+
+impl ProgramPulse {
+    /// Paper-default programming energy.
+    pub const DEFAULT_ENERGY_PJ: f64 = 100.0;
+    /// Paper-default programming time.
+    pub const DEFAULT_DURATION_NS: f64 = 100.0;
+
+    /// Creates a pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if energy or duration is non-positive.
+    #[must_use]
+    pub fn new(kind: PulseKind, energy: Energy, duration: Time) -> Self {
+        assert!(energy.as_joules() > 0.0, "pulse energy must be positive");
+        assert!(
+            duration.as_seconds() > 0.0,
+            "pulse duration must be positive"
+        );
+        Self {
+            kind,
+            energy,
+            duration,
+        }
+    }
+
+    /// The paper's default 100 pJ / 100 ns SET pulse.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(
+            PulseKind::Set,
+            Energy::from_picojoules(Self::DEFAULT_ENERGY_PJ),
+            Time::from_nanoseconds(Self::DEFAULT_DURATION_NS),
+        )
+    }
+
+    /// Pulse kind.
+    #[must_use]
+    pub fn kind(self) -> PulseKind {
+        self.kind
+    }
+
+    /// Pulse energy.
+    #[must_use]
+    pub fn energy(self) -> Energy {
+        self.energy
+    }
+
+    /// Pulse duration.
+    #[must_use]
+    pub fn duration(self) -> Time {
+        self.duration
+    }
+
+    /// Peak electrical power during the pulse.
+    #[must_use]
+    pub fn peak_power(self) -> Power {
+        self.energy / self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pulse_numbers() {
+        let p = ProgramPulse::paper_default();
+        assert_eq!(p.kind(), PulseKind::Set);
+        assert!((p.duration().as_nanoseconds() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_power_is_energy_over_duration() {
+        let p = ProgramPulse::new(
+            PulseKind::Reset,
+            Energy::from_picojoules(50.0),
+            Time::from_nanoseconds(25.0),
+        );
+        assert!((p.peak_power().as_milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse energy must be positive")]
+    fn zero_energy_panics() {
+        let _ = ProgramPulse::new(PulseKind::Set, Energy::ZERO, Time::from_nanoseconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse duration must be positive")]
+    fn zero_duration_panics() {
+        let _ = ProgramPulse::new(PulseKind::Set, Energy::from_picojoules(1.0), Time::ZERO);
+    }
+}

@@ -1,0 +1,179 @@
+//! Directional coupler (DC): the 2×2 power-splitting element of each unit
+//! cell.
+
+use crate::{Complex, Field};
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// A lossless (optionally lossy) directional coupler with power
+/// cross-coupling ratio `κ`.
+///
+/// The ideal transfer matrix in the field domain is
+///
+/// ```text
+/// | through |   |   t    j·k | | in_a |
+/// |  cross  | = |  j·k    t  | | in_b |        t = √(1−κ), k = √κ
+/// ```
+///
+/// which is unitary: total output power equals total input power. The `j`
+/// on the cross port is the 90° phase pickup every evanescent coupler
+/// imparts; the crossbar's coherence analysis depends on it being applied
+/// consistently.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::coupler::DirectionalCoupler;
+/// use oxbar_photonics::Field;
+///
+/// let dc = DirectionalCoupler::new(0.5).unwrap();
+/// let (through, cross) = dc.couple(Field::from_amplitude(1.0), Field::DARK);
+/// assert!((through.power().as_watts() - 0.5).abs() < 1e-12);
+/// assert!((cross.power().as_watts() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectionalCoupler {
+    kappa: f64,
+    excess_loss: Decibel,
+}
+
+/// Error returned when constructing a coupler with an invalid ratio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidCouplingRatio {
+    /// The rejected value.
+    pub kappa: String,
+}
+
+impl core::fmt::Display for InvalidCouplingRatio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "coupling ratio must be in [0, 1], got {}", self.kappa)
+    }
+}
+
+impl std::error::Error for InvalidCouplingRatio {}
+
+impl DirectionalCoupler {
+    /// Creates a lossless coupler with power cross-coupling ratio `kappa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCouplingRatio`] if `kappa` is outside `[0, 1]` or
+    /// not finite.
+    pub fn new(kappa: f64) -> Result<Self, InvalidCouplingRatio> {
+        if !kappa.is_finite() || !(0.0..=1.0).contains(&kappa) {
+            return Err(InvalidCouplingRatio {
+                kappa: kappa.to_string(),
+            });
+        }
+        Ok(Self {
+            kappa,
+            excess_loss: Decibel::ZERO,
+        })
+    }
+
+    /// Adds an excess insertion loss applied equally to both outputs.
+    #[must_use]
+    pub fn with_excess_loss(mut self, loss: Decibel) -> Self {
+        self.excess_loss = loss;
+        self
+    }
+
+    /// The power cross-coupling ratio κ.
+    #[must_use]
+    pub fn kappa(self) -> f64 {
+        self.kappa
+    }
+
+    /// Field-domain through amplitude `t = √(1−κ)`.
+    #[must_use]
+    pub fn through_amplitude(self) -> f64 {
+        (1.0 - self.kappa).sqrt()
+    }
+
+    /// Field-domain cross amplitude `k = √κ`.
+    #[must_use]
+    pub fn cross_amplitude(self) -> f64 {
+        self.kappa.sqrt()
+    }
+
+    /// Applies the 2×2 transfer matrix to the two input fields.
+    ///
+    /// Returns `(through, cross)` as seen from `in_a`: `through` carries
+    /// `t·a + j·k·b`, `cross` carries `j·k·a + t·b`.
+    #[must_use]
+    pub fn couple(self, in_a: Field, in_b: Field) -> (Field, Field) {
+        let t = self.through_amplitude();
+        let k = self.cross_amplitude();
+        let jk = Complex::new(0.0, k);
+        let a = in_a.envelope();
+        let b = in_b.envelope();
+        let loss = self.excess_loss.attenuation_field();
+        let through = (a.scale(t) + b * jk).scale(loss);
+        let cross = (a * jk + b.scale(t)).scale(loss);
+        (Field::new(through), Field::new(cross))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unitarity_single_input() {
+        for kappa in [0.0, 0.1, 0.33, 0.5, 0.9, 1.0] {
+            let dc = DirectionalCoupler::new(kappa).unwrap();
+            let (t, c) = dc.couple(Field::from_amplitude(1.0), Field::DARK);
+            let total = t.power().as_watts() + c.power().as_watts();
+            assert!((total - 1.0).abs() < 1e-12, "kappa={kappa}");
+        }
+    }
+
+    #[test]
+    fn unitarity_two_inputs() {
+        let dc = DirectionalCoupler::new(0.3).unwrap();
+        let a = Field::from_power(oxbar_units::Power::from_milliwatts(2.0), 0.4);
+        let b = Field::from_power(oxbar_units::Power::from_milliwatts(1.0), -1.1);
+        let (t, c) = dc.couple(a, b);
+        let in_p = a.power().as_watts() + b.power().as_watts();
+        let out_p = t.power().as_watts() + c.power().as_watts();
+        assert!((in_p - out_p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_port_phase_is_90_degrees() {
+        let dc = DirectionalCoupler::new(0.5).unwrap();
+        let (_, cross) = dc.couple(Field::from_amplitude(1.0), Field::DARK);
+        assert!((cross.phase() - core::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coupling_swaps_ports() {
+        let dc = DirectionalCoupler::new(1.0).unwrap();
+        let (t, c) = dc.couple(Field::from_amplitude(1.0), Field::DARK);
+        assert!(t.power().as_watts() < 1e-24);
+        assert!((c.power().as_watts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_loss_applies() {
+        let dc = DirectionalCoupler::new(0.5)
+            .unwrap()
+            .with_excess_loss(Decibel::new(3.0103));
+        let (t, c) = dc.couple(Field::from_amplitude(1.0), Field::DARK);
+        let total = t.power().as_watts() + c.power().as_watts();
+        assert!((total - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn invalid_kappa_rejected() {
+        assert!(DirectionalCoupler::new(1.5).is_err());
+        assert!(DirectionalCoupler::new(-0.1).is_err());
+        assert!(DirectionalCoupler::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_message() {
+        let err = DirectionalCoupler::new(2.0).unwrap_err();
+        assert_eq!(err.to_string(), "coupling ratio must be in [0, 1], got 2");
+    }
+}

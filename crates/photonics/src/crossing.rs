@@ -1,0 +1,111 @@
+//! Multi-mode interference (MMI) waveguide crossing junction.
+
+use crate::{Field, FieldOp};
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// An MMI waveguide crossing, modeled as a pure insertion loss.
+///
+/// Every unit cell of the crossbar contains one crossing where the row
+/// waveguide passes over the column waveguide; light traversing `c` cells in
+/// a row accumulates `c` crossing losses, which is the dominant
+/// array-size-dependent loss term in the paper's scaling analysis (§VI.A.2).
+///
+/// The default loss is **0.018 dB/junction** from Ma et al. (Opt. Express
+/// 2013), the paper's reference \[14\]; see DESIGN.md §4 for why the paper's
+/// printed "1.8 dB/junction" is treated as a typo.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::crossing::MmiCrossing;
+/// use oxbar_photonics::{Field, FieldOp};
+///
+/// let x = MmiCrossing::default();
+/// let out = x.apply(Field::from_amplitude(1.0));
+/// assert!((out.power().as_watts() - 10f64.powf(-0.0018)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmiCrossing {
+    insertion_loss: Decibel,
+    crosstalk_db: f64,
+}
+
+impl MmiCrossing {
+    /// Default insertion loss per junction (Ma et al. 2013, ref. \[14\]).
+    pub const DEFAULT_LOSS_DB: f64 = 0.018;
+
+    /// Creates a crossing with the given insertion loss.
+    #[must_use]
+    pub fn new(insertion_loss: Decibel) -> Self {
+        Self {
+            insertion_loss,
+            crosstalk_db: -40.0,
+        }
+    }
+
+    /// Sets the crosstalk level (dB, negative) leaking into the crossed
+    /// waveguide. Used only by the noise analysis.
+    #[must_use]
+    pub fn with_crosstalk(mut self, crosstalk_db: f64) -> Self {
+        self.crosstalk_db = crosstalk_db;
+        self
+    }
+
+    /// Crosstalk power ratio leaking into the crossed waveguide.
+    #[must_use]
+    pub fn crosstalk_ratio(self) -> f64 {
+        10f64.powf(self.crosstalk_db / 10.0)
+    }
+}
+
+impl Default for MmiCrossing {
+    fn default() -> Self {
+        Self::new(Decibel::new(Self::DEFAULT_LOSS_DB))
+    }
+}
+
+impl FieldOp for MmiCrossing {
+    fn apply(&self, input: Field) -> Field {
+        input.attenuate(self.insertion_loss.attenuation_field())
+    }
+
+    fn insertion_loss(&self) -> Decibel {
+        self.insertion_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_loss_matches_reference() {
+        let x = MmiCrossing::default();
+        assert!((x.insertion_loss().value() - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_of_crossings_adds_db() {
+        // 127 crossings on a 128-column row: 2.286 dB.
+        let x = MmiCrossing::default();
+        let mut f = Field::from_amplitude(1.0);
+        for _ in 0..127 {
+            f = x.apply(f);
+        }
+        let loss_db = -10.0 * f.power().as_watts().log10();
+        assert!((loss_db - 2.286).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_printed_value_configurable() {
+        let x = MmiCrossing::new(Decibel::new(1.8));
+        let f = x.apply(Field::from_amplitude(1.0));
+        assert!((f.power().as_watts() - 10f64.powf(-0.18)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_default() {
+        assert!((MmiCrossing::default().crosstalk_ratio() - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Coherent crosstalk analysis for the crossbar's MMI crossings.
+//!
+//! Each crossing leaks a small fraction of the through light into the
+//! crossed waveguide. In an N×M array, a column output accumulates leakage
+//! from every row waveguide it crosses; because the leaked fields share
+//! the signal's wavelength, the worst case adds in *amplitude*, making
+//! crosstalk — not loss — the precision ceiling for very large arrays.
+
+use crate::crossing::MmiCrossing;
+use serde::{Deserialize, Serialize};
+
+/// Crosstalk budget of an N×M array.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::crosstalk::CrosstalkBudget;
+/// use oxbar_photonics::crossing::MmiCrossing;
+///
+/// let budget = CrosstalkBudget::analyze(128, 128, MmiCrossing::default());
+/// // At the reference −40 dB crossings, crosstalk (not loss) limits
+/// // precision well below INT6 — see `effective_bits_rms`.
+/// assert!(budget.effective_bits_rms() < 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrosstalkBudget {
+    rows: usize,
+    cols: usize,
+    crosstalk_ratio: f64,
+    aggressors_per_column: usize,
+}
+
+impl CrosstalkBudget {
+    /// Analyzes the array geometry with the given crossing device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn analyze(rows: usize, cols: usize, crossing: MmiCrossing) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            crosstalk_ratio: crossing.crosstalk_ratio(),
+            // A column waveguide crosses every row waveguide once.
+            aggressors_per_column: rows,
+        }
+    }
+
+    /// Per-crossing power leakage ratio.
+    #[must_use]
+    pub fn crosstalk_ratio(&self) -> f64 {
+        self.crosstalk_ratio
+    }
+
+    /// Worst-case crosstalk-to-signal *field* ratio at a column output.
+    ///
+    /// Signal: the coherent full-scale column sum (amplitude ∝ √N · cell).
+    /// Aggressors: N leaked fields, worst case all in phase (amplitude
+    /// ∝ N·√x · cell, with `x` the per-crossing power leak of the much
+    /// stronger row-bus light, which carries ~√M the cell amplitude).
+    #[must_use]
+    pub fn worst_case_field_ratio(&self) -> f64 {
+        let n = self.aggressors_per_column as f64;
+        let bus_over_cell = (self.cols as f64).sqrt();
+        (n * self.crosstalk_ratio.sqrt() * bus_over_cell) / n.sqrt()
+    }
+
+    /// RMS crosstalk-to-signal field ratio with random aggressor phases
+    /// (incoherent accumulation — the typical case).
+    #[must_use]
+    pub fn rms_field_ratio(&self) -> f64 {
+        let n = self.aggressors_per_column as f64;
+        let bus_over_cell = (self.cols as f64).sqrt();
+        (n.sqrt() * self.crosstalk_ratio.sqrt() * bus_over_cell) / n.sqrt()
+    }
+
+    /// Effective bits under worst-case (coherent) crosstalk:
+    /// `log2(signal/crosstalk)` in the field domain.
+    #[must_use]
+    pub fn effective_bits_worst_case(&self) -> f64 {
+        (1.0 / self.worst_case_field_ratio()).log2()
+    }
+
+    /// Effective bits under RMS (incoherent) crosstalk.
+    #[must_use]
+    pub fn effective_bits_rms(&self) -> f64 {
+        (1.0 / self.rms_field_ratio()).log2()
+    }
+
+    /// The largest square array (N = M) still delivering `bits` under
+    /// worst-case crosstalk with this crossing device.
+    #[must_use]
+    pub fn max_square_array_for_bits(crossing: MmiCrossing, bits: f64) -> usize {
+        let mut best = 0;
+        for exp in 0..16 {
+            let size = 1usize << exp;
+            let budget = Self::analyze(size, size, crossing);
+            if budget.effective_bits_worst_case() >= bits {
+                best = size;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crosstalk_worsens_with_array_size() {
+        let x = MmiCrossing::default();
+        let small = CrosstalkBudget::analyze(32, 32, x);
+        let large = CrosstalkBudget::analyze(512, 512, x);
+        assert!(
+            large.worst_case_field_ratio() > small.worst_case_field_ratio()
+        );
+        assert!(large.effective_bits_worst_case() < small.effective_bits_worst_case());
+    }
+
+    #[test]
+    fn rms_is_better_than_worst_case() {
+        let budget = CrosstalkBudget::analyze(128, 128, MmiCrossing::default());
+        assert!(budget.effective_bits_rms() > budget.effective_bits_worst_case());
+    }
+
+    #[test]
+    fn int6_at_128_columns_needs_sub_minus57db_crossings() {
+        // A finding the paper does not surface: with the reference −40 dB
+        // crossing crosstalk, a 128-column coherent array reaches only ~3
+        // RMS bits (the leaked row-bus light is √M stronger than a cell
+        // contribution). INT6 requires ≤ −57 dB crossings.
+        let at_40 = CrosstalkBudget::analyze(128, 128, MmiCrossing::default());
+        assert!(
+            at_40.effective_bits_rms() < 4.0,
+            "RMS bits {}",
+            at_40.effective_bits_rms()
+        );
+        let at_58 =
+            CrosstalkBudget::analyze(128, 128, MmiCrossing::default().with_crosstalk(-58.0));
+        assert!(
+            at_58.effective_bits_rms() > 6.0,
+            "RMS bits {}",
+            at_58.effective_bits_rms()
+        );
+    }
+
+    #[test]
+    fn worse_crossings_shrink_the_max_array() {
+        let clean = MmiCrossing::default().with_crosstalk(-50.0);
+        let dirty = MmiCrossing::default().with_crosstalk(-30.0);
+        let max_clean = CrosstalkBudget::max_square_array_for_bits(clean, 6.0);
+        let max_dirty = CrosstalkBudget::max_square_array_for_bits(dirty, 6.0);
+        assert!(max_clean > max_dirty);
+    }
+
+    #[test]
+    fn ratio_math_consistent() {
+        let budget = CrosstalkBudget::analyze(64, 64, MmiCrossing::default());
+        let worst = budget.worst_case_field_ratio();
+        let rms = budget.rms_field_ratio();
+        // Worst case is √N above RMS.
+        assert!((worst / rms - 8.0).abs() < 1e-9);
+    }
+}

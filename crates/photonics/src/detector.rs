@@ -1,0 +1,201 @@
+//! Photodetection: square-law photodiodes and balanced coherent receivers.
+
+use crate::Field;
+use oxbar_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// A square-law photodiode.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::detector::Photodiode;
+/// use oxbar_photonics::Field;
+/// use oxbar_units::Power;
+///
+/// let pd = Photodiode::new(1.0);
+/// let i = pd.detect(Field::from_power(Power::from_milliwatts(1.0), 0.0));
+/// assert!((i - 1e-3).abs() < 1e-12); // 1 mA at R = 1 A/W
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Photodiode {
+    responsivity_a_per_w: f64,
+}
+
+impl Photodiode {
+    /// Typical responsivity of a 45 nm EPIC germanium photodiode.
+    pub const DEFAULT_RESPONSIVITY: f64 = 1.0;
+
+    /// Creates a photodiode with the given responsivity (A/W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the responsivity is not positive.
+    #[must_use]
+    pub fn new(responsivity_a_per_w: f64) -> Self {
+        assert!(
+            responsivity_a_per_w > 0.0,
+            "responsivity must be positive"
+        );
+        Self {
+            responsivity_a_per_w,
+        }
+    }
+
+    /// Responsivity in A/W.
+    #[must_use]
+    pub fn responsivity(self) -> f64 {
+        self.responsivity_a_per_w
+    }
+
+    /// Photocurrent in amperes for the incident field.
+    #[must_use]
+    pub fn detect(self, field: Field) -> f64 {
+        self.responsivity_a_per_w * field.power().as_watts()
+    }
+}
+
+impl Default for Photodiode {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_RESPONSIVITY)
+    }
+}
+
+/// A balanced coherent (homodyne) receiver.
+///
+/// The crossbar's column output field is mixed with a local-oscillator (LO)
+/// tap of the input laser in a 50/50 coupler feeding two photodiodes; the
+/// difference current is
+///
+/// ```text
+/// ΔI = 2 R |E_lo| |E_sig| cos(φ_sig − φ_lo)
+/// ```
+///
+/// which is *linear in the signal field* — this is what lets the crossbar
+/// read out the coherently-summed amplitude (§III.A.2) — and rejects the
+/// common-mode LO intensity.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::detector::{BalancedReceiver, Photodiode};
+/// use oxbar_photonics::Field;
+/// use oxbar_units::Power;
+///
+/// let lo = Field::from_power(Power::from_milliwatts(1.0), 0.0);
+/// let rx = BalancedReceiver::new(Photodiode::default(), lo);
+/// let sig = Field::from_power(Power::from_microwatts(1.0), 0.0);
+/// let i = rx.detect(sig);
+/// assert!(i > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalancedReceiver {
+    photodiode: Photodiode,
+    lo: Field,
+}
+
+impl BalancedReceiver {
+    /// Creates a receiver mixing against the given LO field.
+    #[must_use]
+    pub fn new(photodiode: Photodiode, lo: Field) -> Self {
+        Self { photodiode, lo }
+    }
+
+    /// The LO field.
+    #[must_use]
+    pub fn lo(self) -> Field {
+        self.lo
+    }
+
+    /// Sets the LO phase (receiver phase alignment).
+    #[must_use]
+    pub fn with_lo_phase(mut self, phase: f64) -> Self {
+        self.lo = Field::from_power(self.lo.power(), phase);
+        self
+    }
+
+    /// The LO optical power burned by this receiver.
+    #[must_use]
+    pub fn lo_power(self) -> Power {
+        self.lo.power()
+    }
+
+    /// Balanced difference current (amperes), signed.
+    #[must_use]
+    pub fn detect(self, signal: Field) -> f64 {
+        let r = self.photodiode.responsivity();
+        // ΔI = 2R·Re(E_lo* · E_sig).
+        let mix = self.lo.envelope().conj() * signal.envelope();
+        2.0 * r * mix.re
+    }
+
+    /// DC photocurrent per diode from the LO alone (sets the shot noise).
+    #[must_use]
+    pub fn lo_dc_current(self) -> f64 {
+        // Each diode of the pair sees LO/2.
+        self.photodiode.responsivity() * self.lo.power().as_watts() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_units::Power;
+
+    #[test]
+    fn aligned_lo_maximizes_current() {
+        let lo = Field::from_power(Power::from_milliwatts(1.0), 0.0);
+        let rx = BalancedReceiver::new(Photodiode::default(), lo);
+        let sig = Field::from_power(Power::from_microwatts(4.0), 0.0);
+        let i = rx.detect(sig);
+        // 2R√(P_lo·P_s) = 2·1·√(1e-3·4e-6) = 126.5 µA.
+        assert!((i - 2.0 * (1e-3f64 * 4e-6).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrature_lo_reads_zero() {
+        let lo = Field::from_power(Power::from_milliwatts(1.0), core::f64::consts::FRAC_PI_2);
+        let rx = BalancedReceiver::new(Photodiode::default(), lo);
+        let sig = Field::from_power(Power::from_microwatts(4.0), 0.0);
+        assert!(rx.detect(sig).abs() < 1e-15);
+    }
+
+    #[test]
+    fn antiphase_signal_reads_negative() {
+        let lo = Field::from_power(Power::from_milliwatts(1.0), 0.0);
+        let rx = BalancedReceiver::new(Photodiode::default(), lo);
+        let sig = Field::from_power(Power::from_microwatts(4.0), core::f64::consts::PI);
+        assert!(rx.detect(sig) < 0.0);
+    }
+
+    #[test]
+    fn detection_linear_in_signal_field() {
+        let lo = Field::from_power(Power::from_milliwatts(1.0), 0.0);
+        let rx = BalancedReceiver::new(Photodiode::default(), lo);
+        let i1 = rx.detect(Field::from_amplitude(1e-4));
+        let i2 = rx.detect(Field::from_amplitude(2e-4));
+        assert!((i2 / i1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lo_phase_alignment() {
+        let lo = Field::from_power(Power::from_milliwatts(1.0), 0.0);
+        let rx = BalancedReceiver::new(Photodiode::default(), lo)
+            .with_lo_phase(core::f64::consts::PI);
+        let sig = Field::from_power(Power::from_microwatts(1.0), core::f64::consts::PI);
+        assert!(rx.detect(sig) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "responsivity must be positive")]
+    fn invalid_responsivity_panics() {
+        let _ = Photodiode::new(0.0);
+    }
+
+    #[test]
+    fn lo_dc_current_split_across_pair() {
+        let lo = Field::from_power(Power::from_milliwatts(2.0), 0.0);
+        let rx = BalancedReceiver::new(Photodiode::default(), lo);
+        assert!((rx.lo_dc_current() - 1e-3).abs() < 1e-15);
+    }
+}

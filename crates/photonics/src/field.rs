@@ -1,0 +1,199 @@
+//! Optical E-field envelope representation.
+
+use crate::Complex;
+use oxbar_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// A single-mode optical E-field envelope at the carrier wavelength.
+///
+/// The field is normalized so that `|E|²` is the optical power in watts.
+/// This makes loss accounting exact: a component with power transmission `T`
+/// scales the field by `√T`.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::Field;
+/// use oxbar_units::Power;
+///
+/// let e = Field::from_power(Power::from_milliwatts(4.0), 0.0);
+/// assert!((e.amplitude() - 0.0632455).abs() < 1e-6);
+/// assert!((e.power().as_milliwatts() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field(Complex);
+
+impl Field {
+    /// The zero (dark) field.
+    pub const DARK: Self = Self(Complex::ZERO);
+
+    /// Creates a field from a complex envelope.
+    #[must_use]
+    pub const fn new(envelope: Complex) -> Self {
+        Self(envelope)
+    }
+
+    /// Creates a field carrying `power` at the given phase (radians).
+    #[must_use]
+    pub fn from_power(power: Power, phase: f64) -> Self {
+        Self(Complex::from_polar(power.as_watts().max(0.0).sqrt(), phase))
+    }
+
+    /// Creates a real-valued field with the given amplitude (`√W`).
+    #[must_use]
+    pub fn from_amplitude(amplitude: f64) -> Self {
+        Self(Complex::new(amplitude, 0.0))
+    }
+
+    /// The complex envelope.
+    #[must_use]
+    pub const fn envelope(self) -> Complex {
+        self.0
+    }
+
+    /// Field amplitude `|E|` in `√W`.
+    #[must_use]
+    pub fn amplitude(self) -> f64 {
+        self.0.abs()
+    }
+
+    /// Optical power `|E|²`.
+    #[must_use]
+    pub fn power(self) -> Power {
+        Power::from_watts(self.0.norm_sqr())
+    }
+
+    /// Phase of the envelope in radians.
+    #[must_use]
+    pub fn phase(self) -> f64 {
+        self.0.arg()
+    }
+
+    /// Scales the field amplitude by a real factor (e.g. `√T` of a loss).
+    #[must_use]
+    pub fn attenuate(self, field_factor: f64) -> Self {
+        Self(self.0.scale(field_factor))
+    }
+
+    /// Rotates the phase by `theta` radians.
+    #[must_use]
+    pub fn shift_phase(self, theta: f64) -> Self {
+        Self(self.0.rotate(theta))
+    }
+
+    /// Coherent superposition with another field.
+    #[must_use]
+    pub fn superpose(self, other: Self) -> Self {
+        Self(self.0 + other.0)
+    }
+}
+
+impl core::ops::Add for Field {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.superpose(rhs)
+    }
+}
+
+impl core::ops::Mul<Complex> for Field {
+    type Output = Self;
+    fn mul(self, rhs: Complex) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for Field {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::DARK, |acc, f| acc + f)
+    }
+}
+
+impl core::fmt::Display for Field {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} @ {:.3} rad",
+            self.power(),
+            self.phase()
+        )
+    }
+}
+
+/// A passive optical component that transforms one field into another.
+///
+/// Implemented by waveguides, crossings, gratings, phase shifters and PCM
+/// patches so that paths can be composed generically.
+pub trait FieldOp {
+    /// Applies this component's transfer function to an input field.
+    fn apply(&self, input: Field) -> Field;
+
+    /// The component's power insertion loss in dB (0 for lossless elements).
+    fn insertion_loss(&self) -> oxbar_units::Decibel {
+        oxbar_units::Decibel::ZERO
+    }
+}
+
+/// Applies a chain of components left to right.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::{Field, FieldOp};
+/// use oxbar_photonics::grating::GratingCoupler;
+/// use oxbar_units::{Decibel, Power};
+///
+/// let chain: Vec<Box<dyn FieldOp>> = vec![
+///     Box::new(GratingCoupler::new(Decibel::new(2.0))),
+///     Box::new(GratingCoupler::new(Decibel::new(2.0))),
+/// ];
+/// let out = oxbar_photonics::field::propagate(&chain, Field::from_power(Power::from_milliwatts(1.0), 0.0));
+/// assert!((out.power().as_milliwatts() - 10f64.powf(-0.4)).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn propagate(chain: &[Box<dyn FieldOp>], input: Field) -> Field {
+    chain.iter().fold(input, |f, op| op.apply(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_amplitude_consistency() {
+        let f = Field::from_power(Power::from_milliwatts(9.0), 1.0);
+        assert!((f.amplitude().powi(2) - 9e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn attenuation_in_field_domain() {
+        // 3.0103 dB power loss = field factor 1/√2.
+        let f = Field::from_amplitude(1.0).attenuate(0.5f64.sqrt());
+        assert!((f.power().as_watts() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_superposition_in_phase() {
+        let a = Field::from_amplitude(1.0);
+        let b = Field::from_amplitude(1.0);
+        // In-phase fields add amplitudes: power quadruples.
+        assert!(((a + b).power().as_watts() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_superposition_out_of_phase() {
+        let a = Field::from_amplitude(1.0);
+        let b = Field::from_amplitude(1.0).shift_phase(core::f64::consts::PI);
+        assert!((a + b).power().as_watts() < 1e-24);
+    }
+
+    #[test]
+    fn dark_field() {
+        assert_eq!(Field::DARK.power(), Power::ZERO);
+    }
+
+    #[test]
+    fn negative_power_clamped() {
+        let f = Field::from_power(Power::from_watts(-1.0), 0.0);
+        assert_eq!(f.amplitude(), 0.0);
+    }
+}

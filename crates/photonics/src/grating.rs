@@ -1,0 +1,70 @@
+//! Grating coupler: the fiber-to-chip interface.
+
+use crate::{Field, FieldOp};
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// A vertical grating coupler bringing the laser onto the chip.
+///
+/// The paper budgets 2 dB per coupler in the 45 nm monolithic process
+/// (§III, refs. \[10\], \[12\]).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::grating::GratingCoupler;
+/// use oxbar_photonics::{Field, FieldOp};
+/// use oxbar_units::Decibel;
+///
+/// let gc = GratingCoupler::default();
+/// let out = gc.apply(Field::from_amplitude(1.0));
+/// assert!((out.power().as_watts() - 10f64.powf(-0.2)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GratingCoupler {
+    loss: Decibel,
+}
+
+impl GratingCoupler {
+    /// The paper's grating coupler loss.
+    pub const DEFAULT_LOSS_DB: f64 = 2.0;
+
+    /// Creates a grating coupler with the given insertion loss.
+    #[must_use]
+    pub fn new(loss: Decibel) -> Self {
+        Self { loss }
+    }
+}
+
+impl Default for GratingCoupler {
+    fn default() -> Self {
+        Self::new(Decibel::new(Self::DEFAULT_LOSS_DB))
+    }
+}
+
+impl FieldOp for GratingCoupler {
+    fn apply(&self, input: Field) -> Field {
+        input.attenuate(self.loss.attenuation_field())
+    }
+
+    fn insertion_loss(&self) -> Decibel {
+        self.loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_two_db() {
+        assert!((GratingCoupler::default().insertion_loss().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_transmission() {
+        let gc = GratingCoupler::new(Decibel::new(2.0));
+        let out = gc.apply(Field::from_amplitude(1.0));
+        assert!((out.power().as_watts() - 0.6309573).abs() < 1e-6);
+    }
+}

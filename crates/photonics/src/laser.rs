@@ -1,0 +1,147 @@
+//! Continuous-wave laser source model.
+
+use crate::Field;
+use oxbar_units::{Power, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// An off-chip CW laser with finite wall-plug efficiency.
+///
+/// The paper assumes a 15% wall-plug efficiency (§III); the electrical power
+/// drawn is the emitted optical power divided by that efficiency. A single
+/// laser is shared between the two cores of the dual-core design (§IV).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::laser::Laser;
+/// use oxbar_units::{Power, Ratio};
+///
+/// let laser = Laser::new(Power::from_milliwatts(150.0), Ratio::from_percent(15.0));
+/// assert!((laser.electrical_power().as_watts() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Laser {
+    optical_power: Power,
+    wall_plug_efficiency: Ratio,
+    wavelength_nm: f64,
+    rin_db_per_hz: f64,
+}
+
+impl Laser {
+    /// The paper's assumed wall-plug efficiency.
+    pub const DEFAULT_WALL_PLUG: f64 = 0.15;
+    /// Typical relative intensity noise for a DFB source.
+    pub const DEFAULT_RIN_DB_PER_HZ: f64 = -150.0;
+
+    /// Creates a laser emitting `optical_power` with the given wall-plug
+    /// efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the efficiency is zero.
+    #[must_use]
+    pub fn new(optical_power: Power, wall_plug_efficiency: Ratio) -> Self {
+        assert!(
+            wall_plug_efficiency.as_fraction() > 0.0,
+            "wall-plug efficiency must be positive"
+        );
+        Self {
+            optical_power,
+            wall_plug_efficiency,
+            wavelength_nm: crate::waveguide::Waveguide::DEFAULT_WAVELENGTH_NM,
+            rin_db_per_hz: Self::DEFAULT_RIN_DB_PER_HZ,
+        }
+    }
+
+    /// Creates a laser with the paper's default 15% wall-plug efficiency.
+    #[must_use]
+    pub fn with_default_efficiency(optical_power: Power) -> Self {
+        Self::new(
+            optical_power,
+            Ratio::from_fraction(Self::DEFAULT_WALL_PLUG),
+        )
+    }
+
+    /// Overrides the operating wavelength (nm).
+    #[must_use]
+    pub fn with_wavelength_nm(mut self, wavelength_nm: f64) -> Self {
+        self.wavelength_nm = wavelength_nm;
+        self
+    }
+
+    /// Overrides the relative intensity noise (dB/Hz).
+    #[must_use]
+    pub fn with_rin(mut self, rin_db_per_hz: f64) -> Self {
+        self.rin_db_per_hz = rin_db_per_hz;
+        self
+    }
+
+    /// Emitted optical power.
+    #[must_use]
+    pub fn optical_power(self) -> Power {
+        self.optical_power
+    }
+
+    /// Electrical power drawn from the supply.
+    #[must_use]
+    pub fn electrical_power(self) -> Power {
+        Power::from_watts(self.optical_power.as_watts() / self.wall_plug_efficiency.as_fraction())
+    }
+
+    /// Wall-plug efficiency.
+    #[must_use]
+    pub fn wall_plug_efficiency(self) -> Ratio {
+        self.wall_plug_efficiency
+    }
+
+    /// Operating wavelength in nm.
+    #[must_use]
+    pub fn wavelength_nm(self) -> f64 {
+        self.wavelength_nm
+    }
+
+    /// Relative intensity noise in dB/Hz.
+    #[must_use]
+    pub fn rin_db_per_hz(self) -> f64 {
+        self.rin_db_per_hz
+    }
+
+    /// The emitted field at phase 0 (the global phase reference).
+    #[must_use]
+    pub fn field(self) -> Field {
+        Field::from_power(self.optical_power, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electrical_power_scales_with_efficiency() {
+        let l = Laser::new(Power::from_milliwatts(30.0), Ratio::from_percent(15.0));
+        assert!((l.electrical_power().as_milliwatts() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field_carries_optical_power() {
+        let l = Laser::with_default_efficiency(Power::from_milliwatts(10.0));
+        assert!((l.field().power().as_milliwatts() - 10.0).abs() < 1e-12);
+        assert_eq!(l.field().phase(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wall-plug efficiency must be positive")]
+    fn zero_efficiency_panics() {
+        let _ = Laser::new(Power::from_milliwatts(1.0), Ratio::ZERO);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let l = Laser::with_default_efficiency(Power::from_milliwatts(1.0))
+            .with_wavelength_nm(1550.0)
+            .with_rin(-155.0);
+        assert_eq!(l.wavelength_nm(), 1550.0);
+        assert_eq!(l.rin_db_per_hz(), -155.0);
+    }
+}

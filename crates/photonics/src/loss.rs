@@ -1,0 +1,183 @@
+//! Named loss budgets for laser sizing.
+
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// An itemized optical loss budget.
+///
+/// Collects named dB contributions (which add linearly) and exposes the
+/// total and the linear power transmission. Used to size the laser for a
+/// given array geometry.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::loss::LossBudget;
+/// use oxbar_units::Decibel;
+///
+/// let mut budget = LossBudget::new();
+/// budget.add("grating coupler", Decibel::new(2.0));
+/// budget.add("splitter tree", Decibel::new(0.8));
+/// assert!((budget.total().value() - 2.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossBudget {
+    entries: Vec<(String, Decibel)>,
+}
+
+impl LossBudget {
+    /// Creates an empty budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named contribution.
+    pub fn add(&mut self, name: impl Into<String>, loss: Decibel) {
+        self.entries.push((name.into(), loss));
+    }
+
+    /// Iterates over `(name, loss)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Decibel)> {
+        self.entries.iter().map(|(n, l)| (n.as_str(), *l))
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the budget has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total loss in dB.
+    #[must_use]
+    pub fn total(&self) -> Decibel {
+        self.entries.iter().map(|(_, l)| *l).sum()
+    }
+
+    /// Linear power transmission of the whole budget.
+    #[must_use]
+    pub fn transmission(&self) -> f64 {
+        self.total().attenuation_power()
+    }
+}
+
+/// Geometry/process constants needed to assemble a crossbar loss budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarLossParams {
+    /// Grating coupler loss (dB).
+    pub grating_db: f64,
+    /// Splitter tree excess loss (dB).
+    pub splitter_excess_db: f64,
+    /// ODAC optical modulation amplitude penalty (dB).
+    pub odac_oma_db: f64,
+    /// MMI crossing loss per junction (dB).
+    pub crossing_db: f64,
+    /// Waveguide propagation loss (dB/cm).
+    pub waveguide_db_per_cm: f64,
+    /// Unit-cell pitch (µm) — sets the physical path length.
+    pub cell_pitch_um: f64,
+    /// Engineering margin (dB).
+    pub margin_db: f64,
+}
+
+impl Default for CrossbarLossParams {
+    fn default() -> Self {
+        Self {
+            grating_db: crate::grating::GratingCoupler::DEFAULT_LOSS_DB,
+            splitter_excess_db: 0.8,
+            odac_oma_db: crate::odac::RingOdac::DEFAULT_OMA_PENALTY_DB,
+            crossing_db: crate::crossing::MmiCrossing::DEFAULT_LOSS_DB,
+            waveguide_db_per_cm: crate::waveguide::Waveguide::DEFAULT_LOSS_DB_PER_CM,
+            cell_pitch_um: 30.0,
+            margin_db: 1.0,
+        }
+    }
+}
+
+impl CrossbarLossParams {
+    /// Assembles the worst-case path budget through an `n_rows × m_cols`
+    /// array (§III of the paper).
+    ///
+    /// The worst path taps at the far corner: the light crosses `m_cols − 1`
+    /// junctions along its row and `n_rows − 1` along its column, and
+    /// traverses one full row plus one full column of waveguide.
+    #[must_use]
+    pub fn worst_path_budget(&self, n_rows: usize, m_cols: usize) -> LossBudget {
+        let mut budget = LossBudget::new();
+        budget.add("grating coupler", Decibel::new(self.grating_db));
+        budget.add("splitter tree excess", Decibel::new(self.splitter_excess_db));
+        budget.add("ODAC OMA penalty", Decibel::new(self.odac_oma_db));
+        let crossings = (m_cols.saturating_sub(1) + n_rows.saturating_sub(1)) as f64;
+        budget.add(
+            "MMI crossings",
+            Decibel::new(self.crossing_db).times(crossings),
+        );
+        let path_cm = (m_cols + n_rows) as f64 * self.cell_pitch_um * 1e-4;
+        budget.add(
+            "waveguide propagation",
+            Decibel::new(self.waveguide_db_per_cm * path_cm),
+        );
+        budget.add("margin", Decibel::new(self.margin_db));
+        budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_is_lossless() {
+        let b = LossBudget::new();
+        assert!(b.is_empty());
+        assert_eq!(b.total().value(), 0.0);
+        assert_eq!(b.transmission(), 1.0);
+    }
+
+    #[test]
+    fn entries_accumulate() {
+        let mut b = LossBudget::new();
+        b.add("a", Decibel::new(1.0));
+        b.add("b", Decibel::new(2.5));
+        assert_eq!(b.len(), 2);
+        assert!((b.total().value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_128x128_budget_matches_paper_stack() {
+        let p = CrossbarLossParams::default();
+        let b = p.worst_path_budget(128, 128);
+        // 2 + 0.8 + 4 + 0.018·254 + 3·(256·30µm in cm) + 1
+        let expected = 2.0 + 0.8 + 4.0 + 0.018 * 254.0 + 3.0 * 256.0 * 30.0e-4 + 1.0;
+        assert!((b.total().value() - expected).abs() < 1e-9);
+        // Should be a practical budget (≲ 20 dB), unlike the 1.8 dB/junction
+        // reading, which would exceed 450 dB.
+        assert!(b.total().value() < 20.0);
+    }
+
+    #[test]
+    fn loss_grows_with_array_size() {
+        let p = CrossbarLossParams::default();
+        let small = p.worst_path_budget(32, 32).total();
+        let large = p.worst_path_budget(256, 256).total();
+        assert!(large.value() > small.value());
+    }
+
+    #[test]
+    fn one_by_one_has_no_crossings() {
+        let p = CrossbarLossParams::default();
+        let b = p.worst_path_budget(1, 1);
+        let crossings = b
+            .iter()
+            .find(|(n, _)| *n == "MMI crossings")
+            .map(|(_, l)| l.value())
+            .unwrap();
+        assert_eq!(crossings, 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Receiver noise models: shot, thermal, and laser RIN.
+
+use oxbar_units::Frequency;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Elementary charge (C).
+pub const ELECTRON_CHARGE: f64 = 1.602_176_634e-19;
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Noise parameters of a coherent receiver front-end.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::noise::ReceiverNoise;
+/// use oxbar_units::Frequency;
+///
+/// let noise = ReceiverNoise::default();
+/// let sigma = noise.total_sigma(1e-3, 0.0, Frequency::from_gigahertz(10.0));
+/// assert!(sigma > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverNoise {
+    /// Absolute temperature (K) for thermal noise.
+    pub temperature_k: f64,
+    /// TIA input-referred load resistance (Ω).
+    pub load_ohms: f64,
+    /// Photodiode dark current (A).
+    pub dark_current_a: f64,
+    /// Laser relative intensity noise (dB/Hz); applies to the DC current.
+    pub rin_db_per_hz: f64,
+}
+
+impl Default for ReceiverNoise {
+    fn default() -> Self {
+        Self {
+            temperature_k: 300.0,
+            load_ohms: 5_000.0,
+            dark_current_a: 100e-9,
+            rin_db_per_hz: crate::laser::Laser::DEFAULT_RIN_DB_PER_HZ,
+        }
+    }
+}
+
+impl ReceiverNoise {
+    /// Shot-noise current variance (A²) for the given average DC current.
+    #[must_use]
+    pub fn shot_variance(&self, dc_current_a: f64, bandwidth: Frequency) -> f64 {
+        2.0 * ELECTRON_CHARGE * (dc_current_a.abs() + self.dark_current_a) * bandwidth.as_hertz()
+    }
+
+    /// Thermal (Johnson) current variance (A²) at the TIA input.
+    #[must_use]
+    pub fn thermal_variance(&self, bandwidth: Frequency) -> f64 {
+        4.0 * BOLTZMANN * self.temperature_k * bandwidth.as_hertz() / self.load_ohms
+    }
+
+    /// RIN-induced current variance (A²) for the given DC current.
+    #[must_use]
+    pub fn rin_variance(&self, dc_current_a: f64, bandwidth: Frequency) -> f64 {
+        let rin_linear = 10f64.powf(self.rin_db_per_hz / 10.0);
+        rin_linear * dc_current_a * dc_current_a * bandwidth.as_hertz()
+    }
+
+    /// Total RMS current noise (A).
+    ///
+    /// `dc_current_a` is the per-diode DC (LO) current setting the shot and
+    /// RIN floors; `signal_current_a` is unused by the variance but accepted
+    /// so call sites document both. Balanced detection cancels RIN to first
+    /// order, so RIN is suppressed by 20 dB here.
+    #[must_use]
+    pub fn total_sigma(
+        &self,
+        dc_current_a: f64,
+        _signal_current_a: f64,
+        bandwidth: Frequency,
+    ) -> f64 {
+        // Two diodes contribute uncorrelated shot noise.
+        let shot = 2.0 * self.shot_variance(dc_current_a, bandwidth);
+        let thermal = self.thermal_variance(bandwidth);
+        let rin = self.rin_variance(dc_current_a, bandwidth) * 1e-2;
+        (shot + thermal + rin).sqrt()
+    }
+
+    /// Draws one Gaussian noise sample (A) with the total sigma.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        dc_current_a: f64,
+        bandwidth: Frequency,
+    ) -> f64 {
+        let sigma = self.total_sigma(dc_current_a, 0.0, bandwidth);
+        // Box-Muller from two uniforms; avoids a distributions dependency.
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        z * sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shot_noise_scales_with_current() {
+        let n = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        let v1 = n.shot_variance(1e-3, b);
+        let v2 = n.shot_variance(2e-3, b);
+        assert!(v2 > v1);
+        // 2q·I·B for 1 mA, 10 GHz ≈ 3.2e-9 A² (dark current negligible).
+        assert!((v1 - 2.0 * ELECTRON_CHARGE * (1e-3 + 100e-9) * 1e10).abs() < 1e-15);
+    }
+
+    #[test]
+    fn thermal_noise_independent_of_current() {
+        let n = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        assert_eq!(n.thermal_variance(b), n.thermal_variance(b));
+        let expected = 4.0 * BOLTZMANN * 300.0 * 1e10 / 5000.0;
+        assert!((n.thermal_variance(b) - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn total_sigma_combines_in_quadrature() {
+        let n = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        let sigma = n.total_sigma(1e-3, 0.0, b);
+        let manual = (2.0 * n.shot_variance(1e-3, b)
+            + n.thermal_variance(b)
+            + n.rin_variance(1e-3, b) * 1e-2)
+            .sqrt();
+        assert!((sigma - manual).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_with_seed() {
+        let n = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        assert_eq!(n.sample(&mut rng1, 1e-3, b), n.sample(&mut rng2, 1e-3, b));
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let n = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        let sigma = n.total_sigma(1e-3, 0.0, b);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = 20_000;
+        let samples: Vec<f64> = (0..m).map(|_| n.sample(&mut rng, 1e-3, b)).collect();
+        let mean = samples.iter().sum::<f64>() / m as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / m as f64;
+        assert!((var.sqrt() / sigma - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ring-resonator optical DAC (ODAC).
+
+use crate::Field;
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// A ring-resonator-based optical DAC that maps a digital code onto the
+/// field amplitude.
+///
+/// Based on the 45 nm SOI ODAC of Moazeni et al. (JSSC 2017, the paper's
+/// ref. \[15\]): up to 6-bit amplitude resolution at 20 GS/s. Two non-ideal
+/// effects are modeled:
+///
+/// * **OMA penalty** — the ring cannot swing between perfect transmission
+///   and perfect extinction; the paper budgets an effective 4 dB loss for
+///   the optical modulation amplitude.
+/// * **Phase chirp** — detuning a single ring modulates phase along with
+///   amplitude. The [`ramzi`](crate::ramzi) transmitter cancels this by
+///   push-pull operation; a bare `RingOdac` exposes it.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::odac::RingOdac;
+/// use oxbar_photonics::Field;
+///
+/// let odac = RingOdac::new(6).unwrap();
+/// let full = odac.modulate(Field::from_amplitude(1.0), 63);
+/// let half = odac.modulate(Field::from_amplitude(1.0), 32);
+/// assert!(full.amplitude() > half.amplitude());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingOdac {
+    bits: u8,
+    oma_penalty: Decibel,
+    phase_chirp_rad: f64,
+}
+
+/// Error returned for unsupported ODAC resolutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidOdacResolution {
+    /// The rejected bit width.
+    pub bits: u8,
+}
+
+impl core::fmt::Display for InvalidOdacResolution {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ODAC resolution must be between 1 and 8 bits, got {}",
+            self.bits
+        )
+    }
+}
+
+impl std::error::Error for InvalidOdacResolution {}
+
+impl RingOdac {
+    /// The paper's effective OMA loss.
+    pub const DEFAULT_OMA_PENALTY_DB: f64 = 4.0;
+    /// Peak-to-peak phase chirp of a bare ring modulator across full swing.
+    pub const DEFAULT_PHASE_CHIRP_RAD: f64 = 0.35;
+
+    /// Creates an ODAC with `bits` of amplitude resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidOdacResolution`] unless `1 ≤ bits ≤ 8` (ref. \[15\]
+    /// demonstrates up to 6).
+    pub fn new(bits: u8) -> Result<Self, InvalidOdacResolution> {
+        if bits == 0 || bits > 8 {
+            return Err(InvalidOdacResolution { bits });
+        }
+        Ok(Self {
+            bits,
+            oma_penalty: Decibel::new(Self::DEFAULT_OMA_PENALTY_DB),
+            phase_chirp_rad: Self::DEFAULT_PHASE_CHIRP_RAD,
+        })
+    }
+
+    /// Overrides the OMA penalty.
+    #[must_use]
+    pub fn with_oma_penalty(mut self, penalty: Decibel) -> Self {
+        self.oma_penalty = penalty;
+        self
+    }
+
+    /// Overrides the full-swing phase chirp.
+    #[must_use]
+    pub fn with_phase_chirp(mut self, chirp_rad: f64) -> Self {
+        self.phase_chirp_rad = chirp_rad;
+        self
+    }
+
+    /// Amplitude resolution in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The largest valid code, `2^bits − 1`.
+    #[must_use]
+    pub fn max_code(self) -> u16 {
+        (1u16 << self.bits) - 1
+    }
+
+    /// OMA penalty.
+    #[must_use]
+    pub fn oma_penalty(self) -> Decibel {
+        self.oma_penalty
+    }
+
+    /// Normalized amplitude for a code, in `[0, 1]` before the OMA penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds [`max_code`](Self::max_code).
+    #[must_use]
+    pub fn code_to_amplitude(self, code: u16) -> f64 {
+        assert!(
+            code <= self.max_code(),
+            "code {code} exceeds {}-bit ODAC range",
+            self.bits
+        );
+        f64::from(code) / f64::from(self.max_code())
+    }
+
+    /// Modulates the input field with `code`, applying the OMA penalty and
+    /// the bare-ring phase chirp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds [`max_code`](Self::max_code).
+    #[must_use]
+    pub fn modulate(self, input: Field, code: u16) -> Field {
+        let a = self.code_to_amplitude(code);
+        input
+            .attenuate(a * self.oma_penalty.attenuation_field())
+            .shift_phase(self.phase_chirp_rad * a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_is_linear_in_code() {
+        let odac = RingOdac::new(6).unwrap();
+        let a16 = odac.code_to_amplitude(16);
+        let a32 = odac.code_to_amplitude(32);
+        assert!((a32 / a16 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_code_extinguishes() {
+        let odac = RingOdac::new(6).unwrap();
+        let out = odac.modulate(Field::from_amplitude(1.0), 0);
+        assert_eq!(out.power().as_watts(), 0.0);
+    }
+
+    #[test]
+    fn full_code_has_oma_penalty() {
+        let odac = RingOdac::new(6).unwrap();
+        let out = odac.modulate(Field::from_amplitude(1.0), 63);
+        // 4 dB power penalty at full swing.
+        assert!((out.power().as_watts() - 10f64.powf(-0.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bare_ring_chirps_phase() {
+        let odac = RingOdac::new(6).unwrap();
+        let lo = odac.modulate(Field::from_amplitude(1.0), 16);
+        let hi = odac.modulate(Field::from_amplitude(1.0), 63);
+        assert!((hi.phase() - lo.phase()).abs() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 6-bit ODAC range")]
+    fn overrange_code_panics() {
+        let odac = RingOdac::new(6).unwrap();
+        let _ = odac.modulate(Field::from_amplitude(1.0), 64);
+    }
+
+    #[test]
+    fn invalid_resolution_rejected() {
+        assert!(RingOdac::new(0).is_err());
+        assert!(RingOdac::new(9).is_err());
+        assert_eq!(
+            RingOdac::new(0).unwrap_err().to_string(),
+            "ODAC resolution must be between 1 and 8 bits, got 0"
+        );
+    }
+
+    #[test]
+    fn max_code_for_six_bits() {
+        assert_eq!(RingOdac::new(6).unwrap().max_code(), 63);
+    }
+}

@@ -1,0 +1,108 @@
+//! Thermo-optic phase shifter used for per-cell phase trimming.
+
+use crate::{Field, FieldOp};
+use oxbar_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// A small thermal phase shifter.
+///
+/// The paper places one in each unit cell across the column waveguides to
+/// trim phase errors from process variation (§III.A.2). Power scales
+/// linearly with the applied phase up to π, at `power_per_pi` per π radians
+/// (thermo-optic heaters are unidirectional, so a −φ shift costs the same as
+/// `2π−φ` in the worst case; we charge the magnitude, the common
+/// steady-state assumption).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::phase_shifter::ThermalPhaseShifter;
+/// use oxbar_units::Power;
+///
+/// let ps = ThermalPhaseShifter::new(0.1, Power::from_milliwatts(0.72));
+/// assert!((ps.heater_power().as_microwatts() - 22.9183).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPhaseShifter {
+    phase_rad: f64,
+    power_per_pi: Power,
+}
+
+impl ThermalPhaseShifter {
+    /// Creates a shifter applying `phase_rad` radians with the given heater
+    /// power per π.
+    #[must_use]
+    pub fn new(phase_rad: f64, power_per_pi: Power) -> Self {
+        Self {
+            phase_rad,
+            power_per_pi,
+        }
+    }
+
+    /// An inactive (0 rad) shifter.
+    #[must_use]
+    pub fn idle(power_per_pi: Power) -> Self {
+        Self::new(0.0, power_per_pi)
+    }
+
+    /// The applied phase in radians.
+    #[must_use]
+    pub fn phase_rad(self) -> f64 {
+        self.phase_rad
+    }
+
+    /// Sets the applied phase (trim update).
+    pub fn set_phase(&mut self, phase_rad: f64) {
+        self.phase_rad = phase_rad;
+    }
+
+    /// Heater power currently dissipated.
+    #[must_use]
+    pub fn heater_power(self) -> Power {
+        self.power_per_pi * (self.phase_rad.abs() / core::f64::consts::PI)
+    }
+}
+
+impl FieldOp for ThermalPhaseShifter {
+    fn apply(&self, input: Field) -> Field {
+        input.shift_phase(self.phase_rad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_phase_without_loss() {
+        let ps = ThermalPhaseShifter::new(0.5, Power::from_milliwatts(1.0));
+        let out = ps.apply(Field::from_amplitude(1.0));
+        assert!((out.phase() - 0.5).abs() < 1e-12);
+        assert!((out.power().as_watts() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn idle_power_is_zero() {
+        let ps = ThermalPhaseShifter::idle(Power::from_milliwatts(1.0));
+        assert_eq!(ps.heater_power(), Power::ZERO);
+    }
+
+    #[test]
+    fn pi_shift_costs_full_power() {
+        let ps = ThermalPhaseShifter::new(core::f64::consts::PI, Power::from_milliwatts(0.72));
+        assert!((ps.heater_power().as_milliwatts() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_phase_costs_magnitude() {
+        let ps = ThermalPhaseShifter::new(-core::f64::consts::FRAC_PI_2, Power::from_milliwatts(1.0));
+        assert!((ps.heater_power().as_milliwatts() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_phase_updates() {
+        let mut ps = ThermalPhaseShifter::idle(Power::from_milliwatts(1.0));
+        ps.set_phase(1.0);
+        assert_eq!(ps.phase_rad(), 1.0);
+    }
+}

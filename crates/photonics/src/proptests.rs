@@ -1,0 +1,111 @@
+//! Property-based tests for the photonic substrate.
+
+use crate::coupler::DirectionalCoupler;
+use crate::coupling::CouplingPlan;
+use crate::crossbar::{CrossbarConfig, CrossbarSimulator};
+use crate::Field;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn unit_interval() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coupler_is_unitary(kappa in unit_interval(), amp_a in 0.0..2.0f64,
+                          amp_b in 0.0..2.0f64, phase_b in -3.14..3.14f64) {
+        let dc = DirectionalCoupler::new(kappa).unwrap();
+        let a = Field::from_amplitude(amp_a);
+        let b = Field::from_amplitude(amp_b).shift_phase(phase_b);
+        let (t, c) = dc.couple(a, b);
+        let p_in = a.power().as_watts() + b.power().as_watts();
+        let p_out = t.power().as_watts() + c.power().as_watts();
+        prop_assert!((p_in - p_out).abs() < 1e-12 * p_in.max(1.0));
+    }
+
+    #[test]
+    fn coupling_plan_equalizes_any_size(n in 1usize..64, m in 1usize..64) {
+        let plan = CouplingPlan::equalizing(n, m);
+        let taps = plan.row_tap_amplitudes();
+        let weights = plan.column_sum_weights();
+        let tap_expected = 1.0 / (m as f64).sqrt();
+        let w_expected = 1.0 / (n as f64).sqrt();
+        for t in taps {
+            prop_assert!((t - tap_expected).abs() < 1e-10);
+        }
+        for w in weights {
+            prop_assert!((w - w_expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn crossbar_matches_equation_one(
+        n in 1usize..12,
+        m in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs: Vec<f64> = (0..n).map(|_| rng.random()).collect();
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.random()).collect())
+            .collect();
+        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, m));
+        let outputs = sim.run(&inputs, &weights);
+        for j in 0..m {
+            let expected: f64 = (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>()
+                / (n as f64 * (m as f64).sqrt());
+            prop_assert!((outputs[j].amplitude() - expected.abs()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn crossbar_output_monotone_in_weight(
+        n in 2usize..8,
+        base in 0.0..0.5f64,
+        delta in 0.01..0.5f64,
+    ) {
+        let inputs = vec![1.0; n];
+        let low = vec![vec![base; 1]; n];
+        let high = vec![vec![base + delta; 1]; n];
+        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, 1));
+        let lo = sim.run(&inputs, &low)[0].amplitude();
+        let hi = sim.run(&inputs, &high)[0].amplitude();
+        prop_assert!(hi > lo);
+    }
+
+    #[test]
+    fn lossy_output_never_exceeds_ideal(
+        n in 1usize..8,
+        m in 1usize..8,
+        vals in vec(0.0..=1.0f64, 64),
+    ) {
+        let inputs: Vec<f64> = (0..n).map(|i| vals[i % vals.len()]).collect();
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..m).map(|j| vals[(i * m + j) % vals.len()]).collect())
+            .collect();
+        let ideal = CrossbarSimulator::ideal(CrossbarConfig::new(n, m));
+        let lossy = CrossbarSimulator::new(
+            CrossbarConfig::new(n, m).with_losses(true),
+        );
+        let a = ideal.run(&inputs, &weights);
+        let b = lossy.run(&inputs, &weights);
+        for j in 0..m {
+            prop_assert!(b[j].amplitude() <= a[j].amplitude() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn field_attenuation_composes(db1 in 0.0..20.0f64, db2 in 0.0..20.0f64) {
+        use oxbar_units::Decibel;
+        let f = Field::from_amplitude(1.0);
+        let once = f
+            .attenuate(Decibel::new(db1).attenuation_field())
+            .attenuate(Decibel::new(db2).attenuation_field());
+        let combined = f.attenuate(Decibel::new(db1 + db2).attenuation_field());
+        prop_assert!((once.amplitude() - combined.amplitude()).abs() < 1e-12);
+    }
+}

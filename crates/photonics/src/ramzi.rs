@@ -1,0 +1,145 @@
+//! Ring-assisted Mach-Zehnder (RAMZI) transmitter: constant-phase PAM.
+
+use crate::odac::RingOdac;
+use crate::Field;
+use serde::{Deserialize, Serialize};
+
+/// A ring-assisted MZI transmitter with one [`RingOdac`] in each arm.
+///
+/// Coherent crossbar operation requires the input amplitude to be modulated
+/// while the optical phase stays constant with data (§III.B.1). A bare ring
+/// modulator chirps phase with amplitude; the RAMZI drives its two arm rings
+/// push-pull so the chirps cancel at the combiner, yielding constant-phase
+/// PAM with the linearity of the ring DACs.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::ramzi::RamziTransmitter;
+/// use oxbar_photonics::Field;
+///
+/// let tx = RamziTransmitter::new(6).unwrap();
+/// let a = tx.modulate(Field::from_amplitude(1.0), 10);
+/// let b = tx.modulate(Field::from_amplitude(1.0), 50);
+/// // Phase is constant with data; amplitude is not.
+/// assert!((a.phase() - b.phase()).abs() < 1e-12);
+/// assert!(b.amplitude() > a.amplitude());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RamziTransmitter {
+    arm_odac: RingOdac,
+    rings_per_transmitter: u8,
+}
+
+impl RamziTransmitter {
+    /// Rings per transmitter (one ODAC ring per MZI arm).
+    pub const RINGS: u8 = 2;
+
+    /// Creates a RAMZI transmitter with `bits` of amplitude resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::odac::InvalidOdacResolution`] for unsupported bit
+    /// widths.
+    pub fn new(bits: u8) -> Result<Self, crate::odac::InvalidOdacResolution> {
+        Ok(Self {
+            arm_odac: RingOdac::new(bits)?,
+            rings_per_transmitter: Self::RINGS,
+        })
+    }
+
+    /// The per-arm ODAC.
+    #[must_use]
+    pub fn arm_odac(self) -> RingOdac {
+        self.arm_odac
+    }
+
+    /// Number of ring resonators (thermal tuning cost scales with this).
+    #[must_use]
+    pub fn ring_count(self) -> u8 {
+        self.rings_per_transmitter
+    }
+
+    /// Amplitude resolution in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.arm_odac.bits()
+    }
+
+    /// The largest valid code.
+    #[must_use]
+    pub fn max_code(self) -> u16 {
+        self.arm_odac.max_code()
+    }
+
+    /// Modulates `input` to the amplitude for `code` with constant phase.
+    ///
+    /// The MZI splits the field across two arms whose ring ODACs impose
+    /// push-pull phases `±φ` with `φ = acos(a)`; at the combiner the
+    /// interference sets the amplitude to `cos(φ) = a` while the antisymmetric
+    /// phases cancel, leaving constant-phase, exactly linear PAM with the
+    /// OMA penalty applied once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds [`max_code`](Self::max_code).
+    #[must_use]
+    pub fn modulate(self, input: Field, code: u16) -> Field {
+        let a = self.arm_odac.code_to_amplitude(code);
+        let phi = a.clamp(0.0, 1.0).acos();
+        // Split into two arms (field 1/√2 each), phase-modulate push-pull,
+        // recombine (another 1/√2 each): E·(e^{+jφ} + e^{−jφ})/2 = E·cos φ.
+        let arm = input.attenuate(0.5f64.sqrt());
+        let up = arm.shift_phase(phi);
+        let down = arm.shift_phase(-phi);
+        up.superpose(down)
+            .attenuate(0.5f64.sqrt())
+            .attenuate(self.arm_odac.oma_penalty().attenuation_field())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_constant_across_codes() {
+        let tx = RamziTransmitter::new(6).unwrap();
+        let reference = tx.modulate(Field::from_amplitude(1.0), 1).phase();
+        for code in [2, 7, 31, 45, 63] {
+            let p = tx.modulate(Field::from_amplitude(1.0), code).phase();
+            assert!((p - reference).abs() < 1e-12, "code {code}");
+        }
+    }
+
+    #[test]
+    fn amplitude_nearly_linear() {
+        let tx = RamziTransmitter::new(6).unwrap();
+        let a21 = tx.modulate(Field::from_amplitude(1.0), 21).amplitude();
+        let a42 = tx.modulate(Field::from_amplitude(1.0), 42).amplitude();
+        // Push-pull interference PAM is exactly linear in this model.
+        assert!((a42 / a21 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_code_dark() {
+        let tx = RamziTransmitter::new(6).unwrap();
+        assert!(tx.modulate(Field::from_amplitude(1.0), 0).power().as_watts() < 1e-24);
+    }
+
+    #[test]
+    fn full_scale_matches_single_odac_magnitude() {
+        // The RAMZI recombination reproduces the single-ODAC OMA-penalized
+        // amplitude exactly (interference PAM has no chirp ripple).
+        let tx = RamziTransmitter::new(6).unwrap();
+        let odac = RingOdac::new(6).unwrap().with_phase_chirp(0.0);
+        let ramzi_amp = tx.modulate(Field::from_amplitude(1.0), 63).amplitude();
+        let bare_amp = odac.modulate(Field::from_amplitude(1.0), 63).amplitude();
+        assert!((ramzi_amp / bare_amp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_rings_for_thermal_budget() {
+        assert_eq!(RamziTransmitter::new(6).unwrap().ring_count(), 2);
+    }
+}

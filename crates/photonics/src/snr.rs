@@ -1,0 +1,129 @@
+//! SNR / effective-number-of-bits (ENOB) link-budget helpers.
+//!
+//! These size the laser: the crossbar's analog output must be resolvable to
+//! the INT6 precision the paper assumes, which sets a minimum full-scale
+//! signal power at each column receiver.
+
+use crate::detector::{BalancedReceiver, Photodiode};
+use crate::noise::ReceiverNoise;
+use crate::Field;
+use oxbar_units::{Frequency, Power};
+
+/// SNR (dB) required for a given effective number of bits.
+///
+/// The standard quantization-noise relation `SNR = 6.02·ENOB + 1.76 dB`.
+///
+/// # Examples
+///
+/// ```
+/// let snr = oxbar_photonics::snr::snr_db_for_enob(6.0);
+/// assert!((snr - 37.88).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn snr_db_for_enob(enob: f64) -> f64 {
+    6.02 * enob + 1.76
+}
+
+/// ENOB achieved at a given SNR (dB).
+#[must_use]
+pub fn enob_for_snr_db(snr_db: f64) -> f64 {
+    (snr_db - 1.76) / 6.02
+}
+
+/// Computes the SNR (dB) of a balanced coherent receiver for a full-scale
+/// signal field.
+#[must_use]
+pub fn coherent_snr_db(
+    receiver: BalancedReceiver,
+    noise: &ReceiverNoise,
+    full_scale_signal: Field,
+    bandwidth: Frequency,
+) -> f64 {
+    let signal = receiver.detect(full_scale_signal).abs();
+    let sigma = noise.total_sigma(receiver.lo_dc_current(), signal, bandwidth);
+    20.0 * (signal / sigma).log10()
+}
+
+/// Minimum full-scale signal power at the column output needed to resolve
+/// `enob` bits at `bandwidth`, for a balanced receiver with the given LO.
+///
+/// Solves `SNR = I_sig² / σ²` for the signal power, with
+/// `I_sig = 2R√(P_lo·P_s)`.
+///
+/// # Panics
+///
+/// Panics if the LO power is zero.
+#[must_use]
+pub fn required_signal_power(
+    enob: f64,
+    bandwidth: Frequency,
+    photodiode: Photodiode,
+    lo_power: Power,
+    noise: &ReceiverNoise,
+) -> Power {
+    assert!(
+        lo_power.as_watts() > 0.0,
+        "coherent detection requires a non-zero LO"
+    );
+    let snr = 10f64.powf(snr_db_for_enob(enob) / 10.0);
+    let r = photodiode.responsivity();
+    let lo_dc = r * lo_power.as_watts() / 2.0;
+    let sigma = noise.total_sigma(lo_dc, 0.0, bandwidth);
+    // I_sig = √(SNR)·σ ⇒ P_s = I_sig² / (4 R² P_lo).
+    let i_sig = snr.sqrt() * sigma;
+    Power::from_watts(i_sig * i_sig / (4.0 * r * r * lo_power.as_watts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enob_snr_round_trip() {
+        for enob in [4.0, 6.0, 8.0] {
+            assert!((enob_for_snr_db(snr_db_for_enob(enob)) - enob).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn six_bits_needs_about_38_db() {
+        assert!((snr_db_for_enob(6.0) - 37.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_power_increases_with_enob() {
+        let noise = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        let pd = Photodiode::default();
+        let lo = Power::from_milliwatts(1.0);
+        let p6 = required_signal_power(6.0, b, pd, lo, &noise);
+        let p8 = required_signal_power(8.0, b, pd, lo, &noise);
+        assert!(p8 > p6);
+        // 6-bit at 10 GHz should land in the microwatt range.
+        assert!(p6.as_microwatts() > 0.1 && p6.as_microwatts() < 100.0);
+    }
+
+    #[test]
+    fn required_power_achieves_target_snr() {
+        let noise = ReceiverNoise::default();
+        let b = Frequency::from_gigahertz(10.0);
+        let pd = Photodiode::default();
+        let lo_power = Power::from_milliwatts(1.0);
+        let p = required_signal_power(6.0, b, pd, lo_power, &noise);
+        let rx = BalancedReceiver::new(pd, Field::from_power(lo_power, 0.0));
+        let snr = coherent_snr_db(rx, &noise, Field::from_power(p, 0.0), b);
+        assert!((snr - snr_db_for_enob(6.0)).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero LO")]
+    fn zero_lo_panics() {
+        let _ = required_signal_power(
+            6.0,
+            Frequency::from_gigahertz(10.0),
+            Photodiode::default(),
+            Power::ZERO,
+            &ReceiverNoise::default(),
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! 1→N splitter tree feeding the crossbar rows.
+
+use crate::Field;
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// A binary splitter tree that divides the laser field across `n` outputs.
+///
+/// An ideal 1→N split divides power equally (`P/N` per port, field `E/√N`);
+/// real MMI splitter stages add a small excess loss per stage. The paper
+/// budgets 0.8 dB total for its splitting tree (§III, ref. \[13\]).
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::splitter::SplitterTree;
+/// use oxbar_photonics::Field;
+/// use oxbar_units::{Decibel, Power};
+///
+/// let tree = SplitterTree::new(128, Decibel::new(0.8)).unwrap();
+/// let ports = tree.split(Field::from_power(Power::from_milliwatts(128.0), 0.0));
+/// assert_eq!(ports.len(), 128);
+/// // Each port carries 1 mW minus the excess loss.
+/// assert!((ports[0].power().as_milliwatts() - 10f64.powf(-0.08)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitterTree {
+    outputs: usize,
+    excess_loss: Decibel,
+}
+
+/// Error returned when constructing a splitter with no outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidSplitterFanout;
+
+impl core::fmt::Display for InvalidSplitterFanout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "splitter tree requires at least one output")
+    }
+}
+
+impl std::error::Error for InvalidSplitterFanout {}
+
+impl SplitterTree {
+    /// Creates a 1→`outputs` tree with total excess loss `excess_loss`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSplitterFanout`] if `outputs == 0`.
+    pub fn new(outputs: usize, excess_loss: Decibel) -> Result<Self, InvalidSplitterFanout> {
+        if outputs == 0 {
+            return Err(InvalidSplitterFanout);
+        }
+        Ok(Self {
+            outputs,
+            excess_loss,
+        })
+    }
+
+    /// Number of output ports.
+    #[must_use]
+    pub fn outputs(self) -> usize {
+        self.outputs
+    }
+
+    /// Number of binary stages (`⌈log₂ N⌉`).
+    #[must_use]
+    pub fn stages(self) -> u32 {
+        usize::BITS - self.outputs.next_power_of_two().leading_zeros() - 1
+    }
+
+    /// Total excess loss.
+    #[must_use]
+    pub fn excess_loss(self) -> Decibel {
+        self.excess_loss
+    }
+
+    /// The intrinsic splitting "loss" in dB (`10·log₁₀ N` per port), which is
+    /// not dissipation but fan-out; exposed for loss-budget bookkeeping.
+    #[must_use]
+    pub fn fanout_loss(self) -> Decibel {
+        Decibel::new(10.0 * (self.outputs as f64).log10())
+    }
+
+    /// Splits the input field across all ports.
+    ///
+    /// Each port receives field `E·√(10^(-excess/10)) / √N` at the input
+    /// phase.
+    #[must_use]
+    pub fn split(self, input: Field) -> Vec<Field> {
+        let per_port = input
+            .attenuate(self.excess_loss.attenuation_field())
+            .attenuate(1.0 / (self.outputs as f64).sqrt());
+        vec![per_port; self.outputs]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_units::Power;
+
+    #[test]
+    fn lossless_split_conserves_power() {
+        let tree = SplitterTree::new(16, Decibel::ZERO).unwrap();
+        let ports = tree.split(Field::from_power(Power::from_milliwatts(1.0), 0.0));
+        let total: f64 = ports.iter().map(|p| p.power().as_watts()).sum();
+        assert!((total - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stage_count() {
+        assert_eq!(SplitterTree::new(1, Decibel::ZERO).unwrap().stages(), 0);
+        assert_eq!(SplitterTree::new(2, Decibel::ZERO).unwrap().stages(), 1);
+        assert_eq!(SplitterTree::new(128, Decibel::ZERO).unwrap().stages(), 7);
+        assert_eq!(SplitterTree::new(100, Decibel::ZERO).unwrap().stages(), 7);
+    }
+
+    #[test]
+    fn fanout_loss_db() {
+        let tree = SplitterTree::new(100, Decibel::ZERO).unwrap();
+        assert!((tree.fanout_loss().value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_loss_reduces_total() {
+        let tree = SplitterTree::new(4, Decibel::new(0.8)).unwrap();
+        let ports = tree.split(Field::from_amplitude(1.0));
+        let total: f64 = ports.iter().map(|p| p.power().as_watts()).sum();
+        assert!((total - 10f64.powf(-0.08)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fanout_rejected() {
+        assert!(SplitterTree::new(0, Decibel::ZERO).is_err());
+    }
+
+    #[test]
+    fn phase_preserved() {
+        let tree = SplitterTree::new(8, Decibel::new(0.8)).unwrap();
+        let ports = tree.split(Field::from_power(Power::from_milliwatts(1.0), 0.7));
+        for p in ports {
+            assert!((p.phase() - 0.7).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Silicon waveguide segment with propagation loss and phase.
+
+use crate::{Field, FieldOp};
+use oxbar_units::Decibel;
+use serde::{Deserialize, Serialize};
+
+/// A straight (or routed) waveguide segment.
+///
+/// Applies the distributed propagation loss (3 dB/cm in the paper's 45 nm
+/// monolithic process, §III) and the optical phase `2π·n_eff·L/λ`.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_photonics::waveguide::Waveguide;
+/// use oxbar_photonics::{Field, FieldOp};
+///
+/// // One centimetre at 3 dB/cm halves the power.
+/// let wg = Waveguide::new(10_000.0);
+/// let out = wg.apply(Field::from_amplitude(1.0));
+/// assert!((out.power().as_watts() - 10f64.powf(-0.3)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waveguide {
+    length_um: f64,
+    loss_db_per_cm: f64,
+    n_eff: f64,
+    wavelength_nm: f64,
+}
+
+impl Waveguide {
+    /// The paper's waveguide loss in the GF 45CLO process (§III).
+    pub const DEFAULT_LOSS_DB_PER_CM: f64 = 3.0;
+    /// Typical effective index of a silicon strip waveguide at 1310 nm.
+    pub const DEFAULT_N_EFF: f64 = 2.4;
+    /// O-band operating wavelength used by the 45 nm EPIC references.
+    pub const DEFAULT_WAVELENGTH_NM: f64 = 1310.0;
+
+    /// Creates a waveguide of the given length (µm) with default process
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_um` is negative.
+    #[must_use]
+    pub fn new(length_um: f64) -> Self {
+        assert!(length_um >= 0.0, "waveguide length must be non-negative");
+        Self {
+            length_um,
+            loss_db_per_cm: Self::DEFAULT_LOSS_DB_PER_CM,
+            n_eff: Self::DEFAULT_N_EFF,
+            wavelength_nm: Self::DEFAULT_WAVELENGTH_NM,
+        }
+    }
+
+    /// Overrides the propagation loss in dB/cm.
+    #[must_use]
+    pub fn with_loss_db_per_cm(mut self, loss: f64) -> Self {
+        self.loss_db_per_cm = loss;
+        self
+    }
+
+    /// Overrides the effective index.
+    #[must_use]
+    pub fn with_n_eff(mut self, n_eff: f64) -> Self {
+        self.n_eff = n_eff;
+        self
+    }
+
+    /// Overrides the carrier wavelength (nm).
+    #[must_use]
+    pub fn with_wavelength_nm(mut self, wavelength_nm: f64) -> Self {
+        self.wavelength_nm = wavelength_nm;
+        self
+    }
+
+    /// Physical length in µm.
+    #[must_use]
+    pub fn length_um(self) -> f64 {
+        self.length_um
+    }
+
+    /// Propagation phase `2π·n_eff·L/λ` in radians.
+    #[must_use]
+    pub fn phase(self) -> f64 {
+        let length_nm = self.length_um * 1e3;
+        2.0 * core::f64::consts::PI * self.n_eff * length_nm / self.wavelength_nm
+    }
+}
+
+impl FieldOp for Waveguide {
+    fn apply(&self, input: Field) -> Field {
+        input
+            .attenuate(self.insertion_loss().attenuation_field())
+            .shift_phase(self.phase())
+    }
+
+    fn insertion_loss(&self) -> Decibel {
+        Decibel::new(self.loss_db_per_cm * self.length_um * 1e-4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_scales_with_length() {
+        let wg = Waveguide::new(5_000.0); // 0.5 cm
+        assert!((wg.insertion_loss().value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_is_identity_loss() {
+        let wg = Waveguide::new(0.0);
+        assert_eq!(wg.insertion_loss().value(), 0.0);
+        let f = wg.apply(Field::from_amplitude(1.0));
+        assert!((f.power().as_watts() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phase_accumulates() {
+        // λ/n_eff of physical length is one full 2π cycle.
+        let cycle_um = Waveguide::DEFAULT_WAVELENGTH_NM / Waveguide::DEFAULT_N_EFF * 1e-3;
+        let wg = Waveguide::new(cycle_um);
+        assert!((wg.phase() - 2.0 * core::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be non-negative")]
+    fn negative_length_panics() {
+        let _ = Waveguide::new(-1.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let wg = Waveguide::new(100.0)
+            .with_loss_db_per_cm(1.0)
+            .with_n_eff(2.0)
+            .with_wavelength_nm(1550.0);
+        assert!((wg.insertion_loss().value() - 0.01).abs() < 1e-12);
+        assert!((wg.phase() - 2.0 * core::f64::consts::PI * 2.0 * 1e5 / 1550.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Area quantity (square metres).
+
+quantity! {
+    /// An area, stored in square metres.
+    ///
+    /// Chip-scale helpers work in mm² and µm².
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_units::Area;
+    ///
+    /// let adc = Area::from_square_millimeters(0.0475);
+    /// let chip = Area::from_square_millimeters(121.0);
+    /// assert!(adc < chip);
+    /// ```
+    Area, from_square_meters, as_square_meters, "m²"
+}
+
+impl Area {
+    /// Creates an area from square millimetres.
+    #[must_use]
+    pub fn from_square_millimeters(mm2: f64) -> Self {
+        Self::from_square_meters(mm2 * 1e-6)
+    }
+
+    /// Creates an area from square micrometres.
+    #[must_use]
+    pub fn from_square_micrometers(um2: f64) -> Self {
+        Self::from_square_meters(um2 * 1e-12)
+    }
+
+    /// Returns the area in square millimetres.
+    #[must_use]
+    pub fn as_square_millimeters(self) -> f64 {
+        self.as_square_meters() * 1e6
+    }
+
+    /// Returns the area in square micrometres.
+    #[must_use]
+    pub fn as_square_micrometers(self) -> f64 {
+        self.as_square_meters() * 1e12
+    }
+
+    /// Area of a `width × height` micrometre rectangle.
+    #[must_use]
+    pub fn from_rect_um(width_um: f64, height_um: f64) -> Self {
+        Self::from_square_micrometers(width_um * height_um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let a = Area::from_square_millimeters(1.0);
+        assert!((a.as_square_micrometers() - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rect() {
+        // A 25 µm × 25 µm unit cell.
+        let a = Area::from_rect_um(25.0, 25.0);
+        assert!((a.as_square_micrometers() - 625.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate() {
+        let total: Area = (0..128).map(|_| Area::from_square_millimeters(0.0475)).sum();
+        assert!((total.as_square_millimeters() - 6.08).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Data volume (bits) and per-bit energy quantities.
+
+use crate::Energy;
+
+quantity! {
+    /// An amount of data, stored in bits.
+    ///
+    /// Stored as `f64`: traffic models multiply bit counts by per-bit
+    /// energies, and exact bit counts up to 2^53 are representable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_units::DataVolume;
+    ///
+    /// let input_sram = DataVolume::from_megabytes(26.3);
+    /// assert!((input_sram.as_bits() - 26.3 * 8e6).abs() < 1.0);
+    /// ```
+    DataVolume, from_bits, as_bits, "b"
+}
+
+impl DataVolume {
+    /// Creates a volume from an exact bit count.
+    #[must_use]
+    pub fn from_bit_count(bits: u64) -> Self {
+        Self::from_bits(bits as f64)
+    }
+
+    /// Creates a volume from bytes (8 bits).
+    #[must_use]
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self::from_bits(bytes * 8.0)
+    }
+
+    /// Creates a volume from kilobytes (10³ bytes).
+    #[must_use]
+    pub fn from_kilobytes(kb: f64) -> Self {
+        Self::from_bytes(kb * 1e3)
+    }
+
+    /// Creates a volume from megabytes (10⁶ bytes).
+    #[must_use]
+    pub fn from_megabytes(mb: f64) -> Self {
+        Self::from_bytes(mb * 1e6)
+    }
+
+    /// Creates a volume from megabits (10⁶ bits).
+    #[must_use]
+    pub fn from_megabits(mbit: f64) -> Self {
+        Self::from_bits(mbit * 1e6)
+    }
+
+    /// Returns the volume in bytes.
+    #[must_use]
+    pub fn as_bytes(self) -> f64 {
+        self.as_bits() / 8.0
+    }
+
+    /// Returns the volume in megabytes (10⁶ bytes).
+    #[must_use]
+    pub fn as_megabytes(self) -> f64 {
+        self.as_bytes() * 1e-6
+    }
+
+    /// Returns the volume in megabits (10⁶ bits).
+    #[must_use]
+    pub fn as_megabits(self) -> f64 {
+        self.as_bits() * 1e-6
+    }
+
+    /// `true` if this volume fits within `capacity`.
+    #[must_use]
+    pub fn fits_in(self, capacity: DataVolume) -> bool {
+        self.as_bits() <= capacity.as_bits()
+    }
+}
+
+/// Energy cost per bit moved (J/bit), e.g. DRAM access energy.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_units::{DataVolume, EnergyPerBit};
+///
+/// let hbm = EnergyPerBit::from_picojoules_per_bit(3.9);
+/// let filter_load = hbm * DataVolume::from_megabytes(19.2);
+/// assert!((filter_load.as_microjoules() - 599.04).abs() < 1e-6);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd,
+         serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct EnergyPerBit(f64);
+
+impl EnergyPerBit {
+    /// Zero energy per bit.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates from joules per bit.
+    #[must_use]
+    pub const fn from_joules_per_bit(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Creates from picojoules per bit (the DRAM-scale unit).
+    #[must_use]
+    pub fn from_picojoules_per_bit(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Creates from femtojoules per bit (the SRAM/SerDes-scale unit).
+    #[must_use]
+    pub fn from_femtojoules_per_bit(fj: f64) -> Self {
+        Self(fj * 1e-15)
+    }
+
+    /// Returns joules per bit.
+    #[must_use]
+    pub const fn as_joules_per_bit(self) -> f64 {
+        self.0
+    }
+
+    /// Returns picojoules per bit.
+    #[must_use]
+    pub fn as_picojoules_per_bit(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns femtojoules per bit.
+    #[must_use]
+    pub fn as_femtojoules_per_bit(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+/// `EnergyPerBit × DataVolume = Energy`.
+impl core::ops::Mul<DataVolume> for EnergyPerBit {
+    type Output = Energy;
+    fn mul(self, rhs: DataVolume) -> Energy {
+        Energy::from_joules(self.0 * rhs.as_bits())
+    }
+}
+
+/// `DataVolume × EnergyPerBit = Energy`.
+impl core::ops::Mul<EnergyPerBit> for DataVolume {
+    type Output = Energy;
+    fn mul(self, rhs: EnergyPerBit) -> Energy {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_bit_conversions() {
+        let v = DataVolume::from_megabytes(1.0);
+        assert!((v.as_megabits() - 8.0).abs() < 1e-12);
+        assert!((v.as_bytes() - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_in_capacity() {
+        let need = DataVolume::from_megabytes(19.2);
+        assert!(need.fits_in(DataVolume::from_megabytes(26.3)));
+        assert!(!DataVolume::from_megabytes(38.4).fits_in(DataVolume::from_megabytes(26.3)));
+    }
+
+    #[test]
+    fn dram_access_energy() {
+        // 3.9 pJ/bit over one megabit = 3.9 µJ.
+        let e = EnergyPerBit::from_picojoules_per_bit(3.9) * DataVolume::from_megabits(1.0);
+        assert!((e.as_microjoules() - 3.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_access_energy() {
+        // 50 fJ/bit over 768 bits (one 128-row INT6 vector) = 38.4 pJ.
+        let e = DataVolume::from_bit_count(768) * EnergyPerBit::from_femtojoules_per_bit(50.0);
+        assert!((e.as_picojoules() - 38.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_bit_count() {
+        assert_eq!(DataVolume::from_bit_count(12_345).as_bits(), 12_345.0);
+    }
+}

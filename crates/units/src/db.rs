@@ -1,0 +1,190 @@
+//! Decibel arithmetic with explicit power-domain / field-domain conversion.
+
+use serde::{Deserialize, Serialize};
+
+/// A dimensionless level expressed in decibels.
+///
+/// Positive values denote loss (attenuation) throughout the `oxbar` crates;
+/// the conversion helpers make the power-vs-field distinction explicit, which
+/// matters because the coherent crossbar computes in the E-field domain while
+/// loss specs are quoted in the optical power domain.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_units::Decibel;
+///
+/// // Losses in dB add linearly.
+/// let budget = Decibel::new(2.0) + Decibel::new(0.8) + Decibel::new(4.0);
+/// assert!((budget.value() - 6.8).abs() < 1e-12);
+/// // A 6.8 dB power loss transmits ~20.9% of the power.
+/// assert!((budget.attenuation_power() - 0.2089).abs() < 1e-3);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Decibel(f64);
+
+impl Decibel {
+    /// Zero decibels: unity transmission.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a decibel value.
+    #[must_use]
+    pub const fn new(db: f64) -> Self {
+        Self(db)
+    }
+
+    /// The raw dB value.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a linear power ratio (transmitted/incident) into a loss in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not positive.
+    #[must_use]
+    pub fn from_power_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "power ratio must be positive, got {ratio}");
+        Self(-10.0 * ratio.log10())
+    }
+
+    /// Converts a linear field-amplitude ratio into a loss in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not positive.
+    #[must_use]
+    pub fn from_field_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "field ratio must be positive, got {ratio}");
+        Self(-20.0 * ratio.log10())
+    }
+
+    /// Linear power transmission `10^(-dB/10)` for this loss.
+    #[must_use]
+    pub fn attenuation_power(self) -> f64 {
+        10f64.powf(-self.0 / 10.0)
+    }
+
+    /// Linear E-field transmission `10^(-dB/20)` for this loss.
+    #[must_use]
+    pub fn attenuation_field(self) -> f64 {
+        10f64.powf(-self.0 / 20.0)
+    }
+
+    /// Linear power gain `10^(dB/10)`; the reciprocal of
+    /// [`attenuation_power`](Self::attenuation_power).
+    #[must_use]
+    pub fn gain_power(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Scales the loss by a count (e.g. dB/crossing × number of crossings).
+    #[must_use]
+    pub fn times(self, n: f64) -> Self {
+        Self(self.0 * n)
+    }
+
+    /// The larger of two losses.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl core::ops::Add for Decibel {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for Decibel {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub for Decibel {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for Decibel {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for Decibel {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|d| d.0).sum())
+    }
+}
+
+impl core::fmt::Display for Decibel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_db_is_half_power() {
+        assert!((Decibel::new(3.0103).attenuation_power() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn six_db_is_half_field() {
+        assert!((Decibel::new(6.0206).attenuation_field() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn field_power_consistency() {
+        // Field attenuation squared equals power attenuation.
+        let l = Decibel::new(4.0);
+        let f = l.attenuation_field();
+        assert!((f * f - l.attenuation_power()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_power_ratio_round_trip() {
+        let l = Decibel::from_power_ratio(0.25);
+        assert!((l.value() - 6.0206).abs() < 1e-3);
+        assert!((l.attenuation_power() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losses_add() {
+        // The paper's §III loss stack: GC 2 + tree 0.8 + OMA 4 = 6.8 dB.
+        let total = Decibel::new(2.0) + Decibel::new(0.8) + Decibel::new(4.0);
+        assert!((total.value() - 6.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn times_scales() {
+        // 0.018 dB/crossing × 127 crossings.
+        let l = Decibel::new(0.018).times(127.0);
+        assert!((l.value() - 2.286).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power ratio must be positive")]
+    fn zero_ratio_panics() {
+        let _ = Decibel::from_power_ratio(0.0);
+    }
+
+    #[test]
+    fn gain_is_reciprocal_of_attenuation() {
+        let l = Decibel::new(7.3);
+        assert!((l.gain_power() * l.attenuation_power() - 1.0).abs() < 1e-12);
+    }
+}

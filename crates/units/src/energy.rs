@@ -1,0 +1,143 @@
+//! Energy quantity (joules).
+
+use crate::{Power, Time};
+
+quantity! {
+    /// An amount of energy, stored in joules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_units::Energy;
+    ///
+    /// let pcm_pulse = Energy::from_picojoules(100.0);
+    /// let sram_bit = Energy::from_femtojoules(50.0);
+    /// assert!(pcm_pulse > sram_bit);
+    /// ```
+    Energy, from_joules, as_joules, "J"
+}
+
+impl Energy {
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Self::from_joules(mj * 1e-3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Self::from_joules(uj * 1e-6)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[must_use]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self::from_joules(nj * 1e-9)
+    }
+
+    /// Creates an energy from picojoules.
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self::from_joules(pj * 1e-12)
+    }
+
+    /// Creates an energy from femtojoules.
+    #[must_use]
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Self::from_joules(fj * 1e-15)
+    }
+
+    /// Returns the energy in millijoules.
+    #[must_use]
+    pub fn as_millijoules(self) -> f64 {
+        self.as_joules() * 1e3
+    }
+
+    /// Returns the energy in microjoules.
+    #[must_use]
+    pub fn as_microjoules(self) -> f64 {
+        self.as_joules() * 1e6
+    }
+
+    /// Returns the energy in nanojoules.
+    #[must_use]
+    pub fn as_nanojoules(self) -> f64 {
+        self.as_joules() * 1e9
+    }
+
+    /// Returns the energy in picojoules.
+    #[must_use]
+    pub fn as_picojoules(self) -> f64 {
+        self.as_joules() * 1e12
+    }
+
+    /// Returns the energy in femtojoules.
+    #[must_use]
+    pub fn as_femtojoules(self) -> f64 {
+        self.as_joules() * 1e15
+    }
+}
+
+/// `Energy / Time = Power`.
+impl core::ops::Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power::from_watts(self.as_joules() / rhs.as_seconds())
+    }
+}
+
+/// `Energy / Power = Time`.
+impl core::ops::Div<Power> for Energy {
+    type Output = Time;
+    fn div(self, rhs: Power) -> Time {
+        Time::from_seconds(self.as_joules() / rhs.as_watts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let e = Energy::from_picojoules(100.0);
+        assert!((e.as_joules() - 1e-10).abs() < 1e-24);
+        assert!((e.as_femtojoules() - 1e5).abs() < 1e-9);
+        assert!((e.as_nanojoules() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        // 100 pJ delivered in 100 ns is 1 mW.
+        let p = Energy::from_picojoules(100.0) / Time::from_nanoseconds(100.0);
+        assert!((p.as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Energy::from_joules(2.0) / Power::from_watts(4.0);
+        assert!((t.as_seconds() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn additive_ops() {
+        let mut e = Energy::from_joules(1.0) + Energy::from_joules(2.0);
+        e += Energy::from_joules(1.0);
+        assert!((e.as_joules() - 4.0).abs() < 1e-15);
+        e -= Energy::from_joules(3.0);
+        assert!((e.as_joules() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let parts = [Energy::from_joules(1.0), Energy::from_joules(2.5)];
+        let total: Energy = parts.iter().sum();
+        assert!((total.as_joules() - 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ratio_of_energies() {
+        assert!((Energy::from_joules(3.0) / Energy::from_joules(2.0) - 1.5).abs() < 1e-15);
+    }
+}

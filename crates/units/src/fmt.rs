@@ -1,0 +1,68 @@
+//! Engineering-notation formatting shared by all quantity `Display` impls.
+
+use core::fmt;
+
+const PREFIXES: &[(f64, &str)] = &[
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+];
+
+/// Writes `value` with an SI prefix so the mantissa falls in `[1, 1000)`.
+pub(crate) fn engineering(f: &mut fmt::Formatter<'_>, value: f64, unit: &str) -> fmt::Result {
+    if value == 0.0 {
+        return write!(f, "0 {unit}");
+    }
+    if !value.is_finite() {
+        return write!(f, "{value} {unit}");
+    }
+    let magnitude = value.abs();
+    for &(scale, prefix) in PREFIXES {
+        if magnitude >= scale {
+            return write!(f, "{:.4} {}{}", value / scale, prefix, unit);
+        }
+    }
+    write!(f, "{value:e} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Energy, Power, Time};
+
+    #[test]
+    fn picojoule_display() {
+        assert_eq!(Energy::from_picojoules(2.5).to_string(), "2.5000 pJ");
+    }
+
+    #[test]
+    fn milliwatt_display() {
+        assert_eq!(Power::from_milliwatts(25.0).to_string(), "25.0000 mW");
+    }
+
+    #[test]
+    fn zero_display() {
+        assert_eq!(Time::ZERO.to_string(), "0 s");
+    }
+
+    #[test]
+    fn large_display() {
+        assert_eq!(Power::from_watts(396.0).to_string(), "396.0000 W");
+    }
+
+    #[test]
+    fn negative_display() {
+        assert_eq!(Power::from_watts(-1.5).to_string(), "-1.5000 W");
+    }
+
+    #[test]
+    fn giga_display() {
+        assert_eq!(crate::Frequency::from_gigahertz(10.0).to_string(), "10.0000 GHz");
+    }
+}

@@ -1,0 +1,118 @@
+//! Frequency quantity (hertz).
+
+use crate::{Energy, Power, Time};
+
+quantity! {
+    /// A frequency, stored in hertz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_units::Frequency;
+    ///
+    /// let mac_clock = Frequency::from_gigahertz(10.0);
+    /// assert!((mac_clock.period().as_picoseconds() - 100.0).abs() < 1e-9);
+    /// ```
+    Frequency, from_hertz, as_hertz, "Hz"
+}
+
+impl Frequency {
+    /// Creates a frequency from kilohertz.
+    #[must_use]
+    pub fn from_kilohertz(khz: f64) -> Self {
+        Self::from_hertz(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::from_hertz(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::from_hertz(ghz * 1e9)
+    }
+
+    /// Returns the frequency in megahertz.
+    #[must_use]
+    pub fn as_megahertz(self) -> f64 {
+        self.as_hertz() * 1e-6
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[must_use]
+    pub fn as_gigahertz(self) -> f64 {
+        self.as_hertz() * 1e-9
+    }
+
+    /// The period of one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Time {
+        assert!(self.as_hertz() > 0.0, "period of a zero frequency");
+        Time::from_seconds(1.0 / self.as_hertz())
+    }
+
+    /// Duration of `cycles` clock cycles at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn cycles_to_time(self, cycles: u64) -> Time {
+        assert!(self.as_hertz() > 0.0, "cycle time of a zero frequency");
+        Time::from_seconds(cycles as f64 / self.as_hertz())
+    }
+}
+
+/// `Energy × Frequency = Power` (energy per event at an event rate).
+impl core::ops::Mul<Frequency> for Energy {
+    type Output = Power;
+    fn mul(self, rhs: Frequency) -> Power {
+        Power::from_watts(self.as_joules() * rhs.as_hertz())
+    }
+}
+
+/// `Frequency × Energy = Power`.
+impl core::ops::Mul<Energy> for Frequency {
+    type Output = Power;
+    fn mul(self, rhs: Energy) -> Power {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_round_trip() {
+        let f = Frequency::from_gigahertz(10.0);
+        assert!((f.period().rate().as_gigahertz() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_times_frequency_is_power() {
+        // SerDes: 100 fJ/bit at 10 Gb/s is 1 mW per lane-bit.
+        let p = Energy::from_femtojoules(100.0) * Frequency::from_gigahertz(10.0);
+        assert!((p.as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        // The paper: PCM programming is ~1000 cycles at 10 GHz = 100 ns.
+        let t = Frequency::from_gigahertz(10.0).cycles_to_time(1000);
+        assert!((t.as_nanoseconds() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of a zero frequency")]
+    fn zero_period_panics() {
+        let _ = Frequency::ZERO.period();
+    }
+}

@@ -1,0 +1,55 @@
+//! Typed physical quantities for the `oxbar` photonic-accelerator simulator.
+//!
+//! Every quantity is a newtype over `f64` in SI base units (joules, watts,
+//! seconds, hertz, square metres, bits). The newtypes prevent the classic
+//! modeling bugs — adding picojoules to milliwatts, or confusing field-domain
+//! and power-domain decibels — while staying `Copy` and allocation-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_units::{Energy, Power, Time, Frequency};
+//!
+//! let adc = Power::from_milliwatts(25.0);
+//! let clk = Frequency::from_gigahertz(10.0);
+//! let energy_per_sample: Energy = adc * clk.period();
+//! assert!((energy_per_sample.as_picojoules() - 2.5).abs() < 1e-12);
+//! ```
+//!
+//! Decibel math is explicit about power-domain vs field-domain conversion:
+//!
+//! ```
+//! use oxbar_units::Decibel;
+//!
+//! let loss = Decibel::new(3.0);
+//! assert!((loss.attenuation_power() - 0.501187).abs() < 1e-5);
+//! assert!((loss.attenuation_field() - 0.707945).abs() < 1e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod quantity;
+
+mod area;
+mod data;
+mod db;
+mod energy;
+mod fmt;
+mod frequency;
+mod power;
+mod ratio;
+mod time;
+
+pub use area::Area;
+pub use data::{DataVolume, EnergyPerBit};
+pub use db::Decibel;
+pub use energy::Energy;
+pub use frequency::Frequency;
+pub use power::Power;
+pub use ratio::Ratio;
+pub use time::Time;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,119 @@
+//! Power quantity (watts), including optical-power dBm conversions.
+
+use crate::{Energy, Time};
+
+quantity! {
+    /// A power, stored in watts.
+    ///
+    /// Optical powers can be expressed in dBm via [`Power::from_dbm`] and
+    /// [`Power::as_dbm`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_units::Power;
+    ///
+    /// let laser = Power::from_dbm(10.0);
+    /// assert!((laser.as_milliwatts() - 10.0).abs() < 1e-9);
+    /// ```
+    Power, from_watts, as_watts, "W"
+}
+
+impl Power {
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::from_watts(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[must_use]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self::from_watts(uw * 1e-6)
+    }
+
+    /// Creates a power from nanowatts.
+    #[must_use]
+    pub fn from_nanowatts(nw: f64) -> Self {
+        Self::from_watts(nw * 1e-9)
+    }
+
+    /// Creates an optical power from dBm (decibels relative to 1 mW).
+    #[must_use]
+    pub fn from_dbm(dbm: f64) -> Self {
+        Self::from_milliwatts(10f64.powf(dbm / 10.0))
+    }
+
+    /// Returns the power in milliwatts.
+    #[must_use]
+    pub fn as_milliwatts(self) -> f64 {
+        self.as_watts() * 1e3
+    }
+
+    /// Returns the power in microwatts.
+    #[must_use]
+    pub fn as_microwatts(self) -> f64 {
+        self.as_watts() * 1e6
+    }
+
+    /// Returns the power in dBm.
+    ///
+    /// Returns negative infinity for zero power.
+    #[must_use]
+    pub fn as_dbm(self) -> f64 {
+        10.0 * self.as_milliwatts().log10()
+    }
+}
+
+/// `Power × Time = Energy`.
+impl core::ops::Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::from_joules(self.as_watts() * rhs.as_seconds())
+    }
+}
+
+/// `Time × Power = Energy`.
+impl core::ops::Mul<Power> for Time {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        let p = Power::from_dbm(-25.0);
+        assert!((p.as_microwatts() - 3.16227766).abs() < 1e-6);
+        assert!((p.as_dbm() + 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!((Power::from_dbm(0.0).as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // The paper's ODAC driver: 168 fJ at a 10 GHz sample rate is 1.68 mW.
+        let e = Power::from_milliwatts(1.68) * Time::from_picoseconds(100.0);
+        assert!((e.as_femtojoules() - 168.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinite_dbm() {
+        assert_eq!(Power::ZERO.as_dbm(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_min() {
+        let a = Power::from_watts(1.0);
+        let b = Power::from_watts(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests over the quantity algebra.
+
+use crate::{Area, DataVolume, Decibel, Energy, EnergyPerBit, Frequency, Power, Ratio, Time};
+use proptest::prelude::*;
+
+fn small_positive() -> impl Strategy<Value = f64> {
+    1e-6..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn energy_power_time_triangle(watts in small_positive(), secs in small_positive()) {
+        let p = Power::from_watts(watts);
+        let t = Time::from_seconds(secs);
+        let e: Energy = p * t;
+        // e / t recovers p, e / p recovers t.
+        prop_assert!(((e / t).as_watts() - watts).abs() / watts < 1e-12);
+        prop_assert!(((e / p).as_seconds() - secs).abs() / secs < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_inverse(ghz in 1e-3..1e3f64) {
+        let f = Frequency::from_gigahertz(ghz);
+        let round = f.period().rate();
+        prop_assert!((round.as_gigahertz() - ghz).abs() / ghz < 1e-12);
+    }
+
+    #[test]
+    fn db_power_round_trip(ratio in 1e-9..1.0f64) {
+        let db = Decibel::from_power_ratio(ratio);
+        prop_assert!(db.value() >= 0.0);
+        prop_assert!((db.attenuation_power() - ratio).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn db_field_is_sqrt_power(db in 0.0..100.0f64) {
+        let l = Decibel::new(db);
+        prop_assert!((l.attenuation_field().powi(2) - l.attenuation_power()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_addition_is_linear_multiplication(a in 0.0..50.0f64, b in 0.0..50.0f64) {
+        let sum = Decibel::new(a) + Decibel::new(b);
+        let product = Decibel::new(a).attenuation_power() * Decibel::new(b).attenuation_power();
+        prop_assert!((sum.attenuation_power() - product).abs() / product < 1e-9);
+    }
+
+    #[test]
+    fn dbm_round_trip(dbm in -90.0..40.0f64) {
+        let p = Power::from_dbm(dbm);
+        prop_assert!((p.as_dbm() - dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_energy_linear(bits in 1u64..1u64 << 40, pj in 0.1..100.0f64) {
+        let epb = EnergyPerBit::from_picojoules_per_bit(pj);
+        let vol = DataVolume::from_bit_count(bits);
+        let e = epb * vol;
+        let expected = pj * 1e-12 * bits as f64;
+        prop_assert!((e.as_joules() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn volume_fits_is_monotone(a in 0.0..1e12f64, b in 0.0..1e12f64) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(DataVolume::from_bits(small).fits_in(DataVolume::from_bits(large)));
+    }
+
+    #[test]
+    fn ratio_complement_involution(f in 0.0..=1.0f64) {
+        let r = Ratio::from_fraction(f);
+        prop_assert!((r.complement().complement().as_fraction() - f).abs() < 1e-15);
+    }
+
+    #[test]
+    fn area_sum_matches_scalar(mm2 in 1e-6..1e3f64, n in 1usize..64) {
+        let total: Area = (0..n).map(|_| Area::from_square_millimeters(mm2)).sum();
+        let expected = mm2 * n as f64;
+        prop_assert!((total.as_square_millimeters() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn quantity_ordering_consistent(a in -1e6..1e6f64, b in -1e6..1e6f64) {
+        let (ea, eb) = (Energy::from_joules(a), Energy::from_joules(b));
+        prop_assert_eq!(ea < eb, a < b);
+        prop_assert_eq!(ea.max(eb).as_joules(), a.max(b));
+    }
+}

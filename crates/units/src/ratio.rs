@@ -1,0 +1,123 @@
+//! Dimensionless ratios (efficiency, utilization) with validation.
+
+use serde::{Deserialize, Serialize};
+
+/// A dimensionless ratio, typically in `[0, 1]` (efficiencies, utilizations).
+///
+/// Unlike a bare `f64`, constructing a [`Ratio`] through
+/// [`Ratio::from_fraction`] validates the range, catching mistakes such as
+/// passing a percentage where a fraction is expected.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_units::Ratio;
+///
+/// let wall_plug = Ratio::from_percent(15.0); // the paper's laser efficiency
+/// assert!((wall_plug.as_fraction() - 0.15).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Self = Self(0.0);
+    /// One (100%).
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio from a fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn from_fraction(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1], got {fraction}"
+        );
+        Self(fraction)
+    }
+
+    /// Creates a ratio from a percentage in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is outside `[0, 100]`.
+    #[must_use]
+    pub fn from_percent(percent: f64) -> Self {
+        Self::from_fraction(percent / 100.0)
+    }
+
+    /// Returns the ratio as a fraction.
+    #[must_use]
+    pub const fn as_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the ratio as a percentage.
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The complementary ratio `1 - self`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+}
+
+impl core::ops::Mul for Ratio {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for Ratio {
+    type Output = f64;
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+impl core::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        let r = Ratio::from_percent(15.0);
+        assert!((r.as_percent() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement() {
+        assert!((Ratio::from_fraction(0.25).complement().as_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_product() {
+        let r = Ratio::from_fraction(0.5) * Ratio::from_fraction(0.5);
+        assert!((r.as_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn out_of_range_panics() {
+        let _ = Ratio::from_fraction(1.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::from_fraction(0.5).to_string(), "50.00%");
+    }
+}

@@ -1,0 +1,101 @@
+//! Time quantity (seconds).
+
+quantity! {
+    /// A duration, stored in seconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oxbar_units::Time;
+    ///
+    /// let pcm_program = Time::from_nanoseconds(100.0);
+    /// let mac_cycle = Time::from_picoseconds(100.0);
+    /// assert!((pcm_program / mac_cycle - 1000.0).abs() < 1e-9);
+    /// ```
+    Time, from_seconds, as_seconds, "s"
+}
+
+impl Time {
+    /// Creates a time from milliseconds.
+    #[must_use]
+    pub fn from_milliseconds(ms: f64) -> Self {
+        Self::from_seconds(ms * 1e-3)
+    }
+
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub fn from_microseconds(us: f64) -> Self {
+        Self::from_seconds(us * 1e-6)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[must_use]
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Self::from_seconds(ns * 1e-9)
+    }
+
+    /// Creates a time from picoseconds.
+    #[must_use]
+    pub fn from_picoseconds(ps: f64) -> Self {
+        Self::from_seconds(ps * 1e-12)
+    }
+
+    /// Returns the time in milliseconds.
+    #[must_use]
+    pub fn as_milliseconds(self) -> f64 {
+        self.as_seconds() * 1e3
+    }
+
+    /// Returns the time in microseconds.
+    #[must_use]
+    pub fn as_microseconds(self) -> f64 {
+        self.as_seconds() * 1e6
+    }
+
+    /// Returns the time in nanoseconds.
+    #[must_use]
+    pub fn as_nanoseconds(self) -> f64 {
+        self.as_seconds() * 1e9
+    }
+
+    /// Returns the time in picoseconds.
+    #[must_use]
+    pub fn as_picoseconds(self) -> f64 {
+        self.as_seconds() * 1e12
+    }
+
+    /// Inverse of this duration as a repetition rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    #[must_use]
+    pub fn rate(self) -> crate::Frequency {
+        assert!(self.as_seconds() > 0.0, "rate of a zero duration");
+        crate::Frequency::from_hertz(1.0 / self.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = Time::from_nanoseconds(100.0);
+        assert!((t.as_microseconds() - 0.1).abs() < 1e-12);
+        assert!((t.as_picoseconds() - 1e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_of_duration() {
+        let f = Time::from_nanoseconds(1.0).rate();
+        assert!((f.as_gigahertz() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate of a zero duration")]
+    fn rate_of_zero_panics() {
+        let _ = Time::ZERO.rate();
+    }
+}

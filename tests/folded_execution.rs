@@ -1,0 +1,146 @@
+//! Folded execution: a convolution whose flattened filter exceeds the
+//! array is computed fold-by-fold — each tile programmed, each partial sum
+//! accumulated digitally — and must still be bit-exact against the integer
+//! reference. This exercises the full §IV pipeline: fold planning → weight
+//! tiling → signed→unipolar mapping → photonic MAC → accumulator.
+
+use oxbar::dataflow::tiles::WeightTiles;
+use oxbar::dataflow::FoldPlan;
+use oxbar::electronics::accumulator::Accumulator;
+use oxbar::nn::mapping::{MappedWeights, WeightMapping};
+use oxbar::nn::reference::{conv2d_exact, Tensor3};
+use oxbar::nn::synthetic;
+use oxbar::nn::{Conv2d, TensorShape};
+use oxbar::photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+
+const V_MAX: f64 = 63.0;
+const Q: i8 = 31;
+
+/// Computes one conv layer fold-by-fold on an `array_rows × array_cols`
+/// crossbar, accumulating row-fold partials in the digital accumulator.
+fn folded_conv(
+    input: &Tensor3,
+    filters: &[Vec<i8>],
+    conv: &Conv2d,
+    array_rows: usize,
+    array_cols: usize,
+) -> Tensor3 {
+    let plan = FoldPlan::plan(conv, array_rows, array_cols, 1);
+    let out = conv.output_shape();
+    let mut data = vec![0i64; out.elements()];
+    let in_per_group = conv.in_c_per_group();
+    let out_per_group = conv.out_c_per_group();
+
+    for tile in WeightTiles::new(conv, filters, &plan) {
+        // Map this tile's signed weights and build its crossbar.
+        let mapped = MappedWeights::map(&tile.values, WeightMapping::Offset, Q);
+        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(
+            tile.rows(),
+            mapped.physical_cols(),
+        ));
+        let transmissions = mapped.transmissions();
+        let mut acc = Accumulator::new(48);
+
+        for oy in 0..out.h {
+            for ox in 0..out.w {
+                // The tile's slice of the im2col window: flattened-filter
+                // rows [row_offset, row_offset + rows) of this group.
+                let mut window = Vec::with_capacity(tile.rows());
+                let mut window_codes = Vec::with_capacity(tile.rows());
+                for r in 0..tile.rows() {
+                    let flat = tile.row_offset + r;
+                    let ky = flat / (conv.k_w * in_per_group);
+                    let kx = (flat / in_per_group) % conv.k_w;
+                    let ci = flat % in_per_group;
+                    let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
+                    let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
+                    let value =
+                        input.at_padded(iy, ix, tile.group * in_per_group + ci);
+                    window.push(value as f64 / V_MAX);
+                    window_codes.push(value as u8);
+                }
+                let ys = sim.run_normalized(&window, &transmissions);
+                let raw: Vec<i64> = ys
+                    .iter()
+                    .map(|y| {
+                        (y * tile.rows() as f64 * V_MAX * 2.0 * f64::from(Q)).round()
+                            as i64
+                    })
+                    .collect();
+                let partials = mapped.recover(&raw, &window_codes);
+                for (c, &p) in partials.iter().enumerate() {
+                    let oc = tile.group * out_per_group + tile.col_offset + c;
+                    let lane = (oy * out.w + ox) * out.c + oc;
+                    acc.add(lane, p);
+                }
+            }
+        }
+        // Drain this tile's partials into the output tensor.
+        for oy in 0..out.h {
+            for ox in 0..out.w {
+                for c in 0..tile.cols() {
+                    let oc = tile.group * out_per_group + tile.col_offset + c;
+                    let lane = (oy * out.w + ox) * out.c + oc;
+                    if let Some(v) = acc.drain(lane) {
+                        data[lane] += v;
+                    }
+                }
+            }
+        }
+    }
+    Tensor3::new(out, data)
+}
+
+#[test]
+fn row_folded_conv_is_bit_exact() {
+    // 3×3×8 = 72 filter rows on a 32-row array → 3 row folds.
+    let conv = Conv2d::new("rf", TensorShape::new(6, 6, 8), 3, 3, 5, 1, 1);
+    let input = synthetic::activations(conv.input, 6, 51);
+    let bank = synthetic::filter_bank(&conv, 6, 52);
+    let exact = conv2d_exact(&input, &bank, &conv);
+    let folded = folded_conv(&input, &bank.weights, &conv, 32, 8);
+    assert_eq!(exact.data(), folded.data());
+}
+
+#[test]
+fn column_folded_conv_is_bit_exact() {
+    // 10 output channels on a 4-column array → 3 column folds.
+    let conv = Conv2d::new("cf", TensorShape::new(5, 5, 4), 3, 3, 10, 1, 1);
+    let input = synthetic::activations(conv.input, 6, 61);
+    let bank = synthetic::filter_bank(&conv, 6, 62);
+    let exact = conv2d_exact(&input, &bank, &conv);
+    let folded = folded_conv(&input, &bank.weights, &conv, 64, 4);
+    assert_eq!(exact.data(), folded.data());
+}
+
+#[test]
+fn doubly_folded_conv_is_bit_exact() {
+    // Folds in both dimensions simultaneously.
+    let conv = Conv2d::new("rcf", TensorShape::new(5, 5, 6), 3, 3, 7, 2, 1);
+    let input = synthetic::activations(conv.input, 6, 71);
+    let bank = synthetic::filter_bank(&conv, 6, 72);
+    let exact = conv2d_exact(&input, &bank, &conv);
+    let folded = folded_conv(&input, &bank.weights, &conv, 16, 4);
+    assert_eq!(exact.data(), folded.data());
+}
+
+#[test]
+fn grouped_folded_conv_is_bit_exact() {
+    // Depthwise: each group is its own fold set.
+    let conv = Conv2d::new("dw", TensorShape::new(6, 6, 4), 3, 3, 4, 1, 1)
+        .with_groups(4);
+    let input = synthetic::activations(conv.input, 6, 81);
+    let bank = synthetic::filter_bank(&conv, 6, 82);
+    let exact = conv2d_exact(&input, &bank, &conv);
+    let folded = folded_conv(&input, &bank.weights, &conv, 16, 8);
+    assert_eq!(exact.data(), folded.data());
+}
+
+#[test]
+fn fold_count_matches_engine_accounting() {
+    let conv = Conv2d::new("acct", TensorShape::new(6, 6, 8), 3, 3, 5, 1, 1);
+    let bank = synthetic::filter_bank(&conv, 6, 91);
+    let plan = FoldPlan::plan(&conv, 32, 8, 1);
+    let tiles = WeightTiles::new(&conv, &bank.weights, &plan).count();
+    assert_eq!(tiles, plan.total_folds());
+}

@@ -1,0 +1,123 @@
+//! Cross-model consistency: the analytic engine, the cycle-level replay,
+//! and the power/perf accounting must agree with each other.
+
+use oxbar::dataflow::cycle::{CorePolicy, CycleSimulator};
+use oxbar::nn::zoo::{all_networks, resnet50_v1_5};
+use oxbar::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn analytic_and_cycle_compute_cycles_agree_across_zoo() {
+    for net in all_networks() {
+        let spec = DataflowEngine::paper_default(128, 128, 8).analyze(&net);
+        let report = CycleSimulator::new(1000).run(&spec, CorePolicy::SingleCore);
+        assert_eq!(
+            report.compute_cycles,
+            spec.total_compute_cycles,
+            "{}",
+            net.name()
+        );
+        // Single-core closed form: compute + folds × bubble.
+        assert_eq!(
+            report.total_cycles,
+            spec.total_compute_cycles + spec.total_program_events * 1000,
+            "{}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn power_equals_energy_over_time_everywhere() {
+    use oxbar::core::perf::PerfModel;
+    use oxbar::core::power::PowerModel;
+    let net = resnet50_v1_5();
+    for batch in [1usize, 16, 64] {
+        let cfg = ChipConfig::paper_optimal().with_batch(batch);
+        let perf = PerfModel::new(cfg.clone()).evaluate(&net);
+        let model = PowerModel::new(cfg);
+        let energy = model.evaluate(&perf).total();
+        let power = model.average_power(&perf);
+        let reconstructed = energy.as_joules() / perf.batch_time.as_seconds();
+        assert!(
+            (power.as_watts() - reconstructed).abs() / reconstructed < 1e-12,
+            "batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn utilization_macs_cycles_triangle() {
+    // total_macs = utilization × cycles × N × M must hold by definition.
+    let spec = DataflowEngine::paper_default(128, 128, 32).analyze(&resnet50_v1_5());
+    let reconstructed = spec.average_utilization()
+        * spec.total_compute_cycles as f64
+        * 128.0
+        * 128.0;
+    let relative = (reconstructed - spec.total_macs as f64).abs() / spec.total_macs as f64;
+    assert!(relative < 1e-12);
+}
+
+#[test]
+fn macs_invariant_across_array_sizes() {
+    // Folding changes cycles, never the algorithmic work.
+    let net = resnet50_v1_5();
+    let m32 = DataflowEngine::paper_default(32, 32, 4).analyze(&net).total_macs;
+    let m128 = DataflowEngine::paper_default(128, 128, 4).analyze(&net).total_macs;
+    let m512 = DataflowEngine::paper_default(512, 256, 4).analyze(&net).total_macs;
+    assert_eq!(m32, m128);
+    assert_eq!(m128, m512);
+    assert_eq!(m128, net.total_macs() * 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dual_never_slower_and_ipsw_invariant(
+        batch in 1usize..64,
+        rows_exp in 5u32..9,
+        cols_exp in 5u32..8,
+    ) {
+        use oxbar::core::perf::PerfModel;
+        use oxbar::core::power::PowerModel;
+        let net = oxbar::nn::zoo::lenet5();
+        let rows = 1usize << rows_exp;
+        let cols = 1usize << cols_exp;
+        let mut ipsw = Vec::new();
+        let mut ips = Vec::new();
+        for cores in [CoreCount::Single, CoreCount::Dual] {
+            let cfg = ChipConfig::paper_optimal()
+                .with_array(rows, cols)
+                .with_batch(batch)
+                .with_cores(cores);
+            let perf = PerfModel::new(cfg.clone()).evaluate(&net);
+            let energy = PowerModel::new(cfg).evaluate(&perf).total();
+            ips.push(perf.ips);
+            ipsw.push(batch as f64 / energy.as_joules());
+        }
+        prop_assert!(ips[1] >= ips[0] * (1.0 - 1e-9));
+        prop_assert!((ipsw[0] - ipsw[1]).abs() / ipsw[0] < 1e-9);
+    }
+
+    #[test]
+    fn cycles_bounded_below_by_ideal(batch in 1usize..16) {
+        let net = oxbar::nn::zoo::resnet18();
+        let spec = DataflowEngine::paper_default(128, 128, batch).analyze(&net);
+        let ideal = (net.total_macs() * batch as u64) as f64 / (128.0 * 128.0);
+        prop_assert!(spec.total_compute_cycles as f64 >= ideal);
+    }
+
+    #[test]
+    fn traffic_nonnegative_and_additive(batch in 1usize..32) {
+        let net = oxbar::nn::zoo::alexnet();
+        let spec = DataflowEngine::paper_default(128, 128, batch).analyze(&net);
+        let mut acc = 0.0;
+        for layer in &spec.layers {
+            prop_assert!(layer.traffic.dram_reads >= 0.0);
+            prop_assert!(layer.traffic.sram_total().as_bits() >= 0.0);
+            acc += layer.traffic.dram_reads;
+        }
+        prop_assert!((acc - spec.traffic.dram_reads).abs() < 1e-6);
+    }
+}

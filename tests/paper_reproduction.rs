@@ -1,0 +1,170 @@
+//! Headline reproduction checks: the paper's reported trends and operating
+//! points must hold in the assembled system model.
+
+use oxbar::core::compare::{BaselineRecord, Comparison};
+use oxbar::core::optimizer::{optimize, OptimizerSettings};
+use oxbar::core::perf::PerfModel;
+use oxbar::core::power::PowerModel;
+use oxbar::nn::zoo::resnet50_v1_5;
+use oxbar::prelude::*;
+use oxbar::units::DataVolume;
+
+#[test]
+fn section7_headline_operating_point() {
+    let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+    // Paper: 36,382 IPS / 1,196 IPS/W / 30 W / 121 mm².
+    assert!(
+        (25_000.0..50_000.0).contains(&report.ips),
+        "IPS {}",
+        report.ips
+    );
+    assert!(
+        (8.0..60.0).contains(&report.power.as_watts()),
+        "power {}",
+        report.power
+    );
+    let area = report.area.total().as_square_millimeters();
+    assert!((115.0..130.0).contains(&area), "area {area} mm²");
+    assert!(
+        (600.0..4000.0).contains(&report.ips_per_watt),
+        "IPS/W {}",
+        report.ips_per_watt
+    );
+}
+
+#[test]
+fn section7_comparison_shape_vs_a100() {
+    let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+    let cmp = Comparison::against(&report, BaselineRecord::nvidia_a100());
+    // Who wins and by roughly what factor (paper: 15.4× power, 7.24× area,
+    // similar IPS).
+    assert!(cmp.power_advantage() > 5.0);
+    assert!((5.0..9.0).contains(&cmp.area_advantage()));
+    assert!((0.8..1.8).contains(&cmp.ips_ratio()));
+}
+
+#[test]
+fn fig6_shape_peak_inside_paper_band() {
+    use oxbar::core::dse::{array_grid, sweep};
+    let points = sweep(
+        &resnet50_v1_5(),
+        array_grid(&[32, 64, 128, 256, 512], &[32, 64, 128, 256]),
+    );
+    let best = points
+        .iter()
+        .max_by(|a, b| a.ips_per_watt.partial_cmp(&b.ips_per_watt).unwrap())
+        .unwrap();
+    assert!((128..=256).contains(&best.rows), "peak rows {}", best.rows);
+    assert!((64..=128).contains(&best.cols), "peak cols {}", best.cols);
+    // IPS rises monotonically along the diagonal even past the IPS/W peak.
+    let ips_of = |r: usize, c: usize| {
+        points
+            .iter()
+            .find(|p| p.rows == r && p.cols == c)
+            .unwrap()
+            .ips
+    };
+    assert!(ips_of(64, 64) > ips_of(32, 32));
+    assert!(ips_of(128, 128) > ips_of(64, 64));
+    assert!(ips_of(256, 256) > ips_of(128, 128));
+}
+
+#[test]
+fn fig7a_dram_step_between_batch_32_and_64() {
+    let net = resnet50_v1_5();
+    let dram_watts = |batch: usize| {
+        let cfg = ChipConfig::paper_optimal().with_batch(batch);
+        let perf = PerfModel::new(cfg.clone()).evaluate(&net);
+        let energy = PowerModel::new(cfg).evaluate(&perf);
+        energy.dram.as_joules() / perf.batch_time.as_seconds()
+    };
+    let at_32 = dram_watts(32);
+    let at_64 = dram_watts(64);
+    assert!(
+        at_64 > 5.0 * at_32,
+        "expected steep DRAM step: {at_32} W at b32, {at_64} W at b64"
+    );
+}
+
+#[test]
+fn fig7b_critical_sram_plateau() {
+    let net = resnet50_v1_5();
+    let ipsw = |mb: f64| {
+        let cfg = ChipConfig::paper_optimal()
+            .with_input_sram(DataVolume::from_megabytes(mb));
+        Chip::new(cfg).evaluate(&net).ips_per_watt
+    };
+    let starved = ipsw(4.0);
+    let critical = ipsw(26.3);
+    let oversized = ipsw(64.0);
+    assert!(critical > 2.0 * starved, "{starved} -> {critical}");
+    // Beyond the critical size extra SRAM gives (almost) nothing.
+    assert!(
+        (oversized - critical).abs() / critical < 0.01,
+        "critical {critical} vs oversized {oversized}"
+    );
+}
+
+#[test]
+fn fig7c_dual_core_gain_concentrated_at_small_batch() {
+    let net = resnet50_v1_5();
+    let gain = |batch: usize| {
+        let single = PerfModel::new(
+            ChipConfig::paper_optimal()
+                .with_batch(batch)
+                .with_cores(CoreCount::Single),
+        )
+        .evaluate(&net)
+        .ips;
+        let dual = PerfModel::new(
+            ChipConfig::paper_optimal()
+                .with_batch(batch)
+                .with_cores(CoreCount::Dual),
+        )
+        .evaluate(&net)
+        .ips;
+        dual / single
+    };
+    let g1 = gain(1);
+    let g32 = gain(32);
+    assert!(g1 > 1.5, "batch-1 gain {g1}");
+    assert!(g32 < 1.3, "batch-32 gain {g32}");
+    assert!(g1 > g32);
+}
+
+#[test]
+fn section6b_flow_reproduces_paper_design() {
+    let result = optimize(&resnet50_v1_5(), &OptimizerSettings::default());
+    assert_eq!(result.batch, 32, "paper picks batch 32");
+    let mb = result.input_sram.as_megabytes();
+    assert!((16.0..=32.0).contains(&mb), "input SRAM {mb} MB (paper 26.3)");
+    assert!(
+        (128..=256).contains(&result.array.0) && (64..=128).contains(&result.array.1),
+        "array {:?} outside the paper's optimal band",
+        result.array
+    );
+}
+
+#[test]
+fn fig8_area_dominated_by_sram() {
+    let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
+    assert_eq!(report.area.dominant(), "SRAM");
+    let share = report.area.sram.as_square_meters()
+        / report.area.total().as_square_meters();
+    assert!(share > 0.7, "SRAM share {share}");
+}
+
+#[test]
+fn pcie_dram_worsens_energy_like_related_work_argues() {
+    // §II: DRAM through a PCIe switch (15 pJ/b) vs co-packaged HBM
+    // (3.9 pJ/b) — the related-work energy argument.
+    use oxbar::memory::{DramKind, TrafficStats};
+    let traffic = TrafficStats {
+        dram_reads: 1e9,
+        ..TrafficStats::default()
+    };
+    let hbm = DramKind::Hbm.access_energy().as_joules_per_bit() * traffic.dram_reads;
+    let pcie =
+        DramKind::PcieAttached.access_energy().as_joules_per_bit() * traffic.dram_reads;
+    assert!((pcie / hbm - 15.0 / 3.9).abs() < 1e-9);
+}

@@ -1,0 +1,121 @@
+//! The weight path: mapped CNN weights → PCM array programming → stored
+//! transmissions → crossbar MAC, including delta programming across folds.
+
+use oxbar::nn::mapping::{MappedWeights, WeightMapping};
+use oxbar::pcm::array::{Parallelism, PcmArray};
+use oxbar::photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_signed(n: usize, m: usize, seed: u64) -> Vec<Vec<i8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.random_range(-31..=31)).collect())
+        .collect()
+}
+
+#[test]
+fn programmed_array_reproduces_mapped_weights() {
+    let n = 16;
+    let m = 8;
+    let signed = random_signed(n, m, 3);
+    let mapped = MappedWeights::map(&signed, WeightMapping::Offset, 31);
+    let targets = mapped.transmissions();
+
+    let mut array = PcmArray::pristine(n, m);
+    let report = array.program(&targets, Parallelism::FullArray);
+    assert!(report.cells_programmed > 0);
+    assert!((report.time.as_nanoseconds() - 100.0).abs() < 1e-9);
+
+    // Stored transmissions match the INT6-quantized targets.
+    let table = array.level_table().clone();
+    let stored = array.transmissions();
+    for i in 0..n {
+        for j in 0..m {
+            let expected = table.transmission_for_code(table.quantize_weight(targets[i][j]));
+            assert!(
+                (stored[i][j] - expected).abs() < 1e-12,
+                "cell ({i},{j}): stored {} expected {expected}",
+                stored[i][j]
+            );
+        }
+    }
+}
+
+#[test]
+fn stored_weights_drive_the_crossbar() {
+    let n = 16;
+    let m = 4;
+    let signed = random_signed(n, m, 9);
+    let mapped = MappedWeights::map(&signed, WeightMapping::Offset, 31);
+
+    let mut array = PcmArray::pristine(n, m);
+    array.program(&mapped.transmissions(), Parallelism::FullArray);
+
+    // The stored (PCM-quantized) transmissions run through the field sim.
+    // Normalize by the amorphous-state ceiling the level table encodes so
+    // code 63 maps back to weight 1.0.
+    let t_max = oxbar::pcm::PcmCell::pristine().max_transmission();
+    let stored: Vec<Vec<f64>> = array
+        .transmissions()
+        .iter()
+        .map(|row| row.iter().map(|&t| (t / t_max).min(1.0)).collect())
+        .collect();
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, m));
+    let mut rng = StdRng::seed_from_u64(10);
+    let inputs: Vec<f64> = (0..n).map(|_| rng.random()).collect();
+    let ys = sim.run_normalized(&inputs, &stored);
+
+    // Compare with the mathematically mapped weights: PCM quantization may
+    // move each weight by ≤ half an LSB of 1/63.
+    let ideal = sim.run_normalized(&inputs, &mapped.transmissions());
+    for (a, b) in ys.iter().zip(&ideal) {
+        assert!((a - b).abs() < 1.0 / 63.0, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn fold_switching_uses_delta_programming() {
+    // Two folds of the same layer share many zero (offset-code 31) cells;
+    // switching between them reprograms only what changed.
+    let n = 32;
+    let m = 16;
+    let fold_a = MappedWeights::map(&random_signed(n, m, 20), WeightMapping::Offset, 31);
+    let mut fold_b_signed = random_signed(n, m, 20);
+    // Perturb 10% of the weights to make fold B.
+    let mut rng = StdRng::seed_from_u64(21);
+    for row in fold_b_signed.iter_mut() {
+        for w in row.iter_mut() {
+            if rng.random::<f64>() < 0.1 {
+                *w = rng.random_range(-31..=31);
+            }
+        }
+    }
+    let fold_b = MappedWeights::map(&fold_b_signed, WeightMapping::Offset, 31);
+
+    let mut array = PcmArray::pristine(n, m);
+    array.program(&fold_a.transmissions(), Parallelism::FullArray);
+    let switch = array.program(&fold_b.transmissions(), Parallelism::FullArray);
+    let total_cells = n * m;
+    assert!(
+        switch.cells_programmed < total_cells / 2,
+        "delta programming should touch only changed cells: {} of {}",
+        switch.cells_programmed,
+        total_cells
+    );
+    assert!(switch.cells_skipped > total_cells / 2);
+}
+
+#[test]
+fn program_energy_matches_system_model_constant() {
+    // The dataflow/power models charge 100 pJ per written cell; the PCM
+    // array's accounting must agree.
+    let n = 8;
+    let m = 8;
+    let mut array = PcmArray::pristine(n, m).with_delta_programming(false);
+    let weights = vec![vec![0.5; m]; n];
+    let report = array.program(&weights, Parallelism::FullArray);
+    assert_eq!(report.cells_programmed, n * m);
+    let expected_pj = (n * m) as f64 * 100.0;
+    assert!((report.energy.as_picojoules() - expected_pj).abs() < 1e-9);
+}

@@ -1,0 +1,97 @@
+//! Functional inference test: a real convolution layer executed on the
+//! photonic crossbar matches the exact integer reference executor.
+
+use oxbar::nn::mapping::{MappedWeights, WeightMapping};
+use oxbar::nn::reference::{conv2d_exact, Tensor3};
+use oxbar::nn::synthetic;
+use oxbar::nn::zoo::lenet5;
+use oxbar::nn::Conv2d;
+use oxbar::photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+
+const V_MAX: f64 = 63.0;
+const Q: i8 = 31;
+
+/// Executes one conv layer on the field-level crossbar: im2col windows feed
+/// the rows, mapped filters sit in the PCM columns.
+fn conv_on_crossbar(
+    input: &Tensor3,
+    filters: &[Vec<i8>],
+    conv: &Conv2d,
+) -> Tensor3 {
+    let rows = conv.filter_rows();
+    let signed: Vec<Vec<i8>> = (0..rows)
+        .map(|r| filters.iter().map(|f| f[r]).collect())
+        .collect();
+    let mapped = MappedWeights::map(&signed, WeightMapping::Offset, Q);
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(rows, mapped.physical_cols()));
+    let transmissions = mapped.transmissions();
+
+    let out = conv.output_shape();
+    let mut data = vec![0i64; out.elements()];
+    for oy in 0..out.h {
+        for ox in 0..out.w {
+            // im2col window, normalized to ODAC amplitudes.
+            let mut window = Vec::with_capacity(rows);
+            let mut window_codes = Vec::with_capacity(rows);
+            for ky in 0..conv.k_h {
+                for kx in 0..conv.k_w {
+                    let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
+                    let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
+                    for c in 0..conv.input.c {
+                        let value = input.at_padded(iy, ix, c);
+                        window.push(value as f64 / V_MAX);
+                        window_codes.push(value as u8);
+                    }
+                }
+            }
+            let ys = sim.run_normalized(&window, &transmissions);
+            let raw: Vec<i64> = ys
+                .iter()
+                .map(|y| (y * rows as f64 * V_MAX * 2.0 * f64::from(Q)).round() as i64)
+                .collect();
+            let recovered = mapped.recover(&raw, &window_codes);
+            for (oc, &value) in recovered.iter().enumerate() {
+                data[(oy * out.w + ox) * out.c + oc] = value;
+            }
+        }
+    }
+    Tensor3::new(out, data)
+}
+
+#[test]
+fn lenet_conv2_photonic_matches_reference() {
+    // conv2 of LeNet-5: 5×5×6 → 16 on a 10×10 output — 150 crossbar rows.
+    let net = lenet5();
+    let conv = net
+        .conv_like_layers()
+        .find(|c| c.name == "conv2")
+        .expect("conv2 exists");
+    let input = synthetic::activations(conv.input, 6, 77);
+    let bank = synthetic::filter_bank(&conv, 6, 78);
+
+    let exact = conv2d_exact(&input, &bank, &conv);
+    let photonic = conv_on_crossbar(&input, &bank.weights, &conv);
+
+    assert_eq!(exact.shape(), photonic.shape());
+    for (a, b) in exact.data().iter().zip(photonic.data()) {
+        assert_eq!(a, b, "photonic conv must be bit-exact in the ideal model");
+    }
+}
+
+#[test]
+fn small_conv_photonic_matches_reference_with_stride_and_padding() {
+    let conv = Conv2d::new(
+        "probe",
+        oxbar::nn::TensorShape::new(9, 9, 4),
+        3,
+        3,
+        8,
+        2,
+        1,
+    );
+    let input = synthetic::activations(conv.input, 6, 5);
+    let bank = synthetic::filter_bank(&conv, 6, 6);
+    let exact = conv2d_exact(&input, &bank, &conv);
+    let photonic = conv_on_crossbar(&input, &bank.weights, &conv);
+    assert_eq!(exact.data(), photonic.data());
+}
