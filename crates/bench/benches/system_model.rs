@@ -39,5 +39,10 @@ fn bench_optimizer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chip_evaluate, bench_fig6_grid, bench_optimizer);
+criterion_group!(
+    benches,
+    bench_chip_evaluate,
+    bench_fig6_grid,
+    bench_optimizer
+);
 criterion_main!(benches);

@@ -31,11 +31,7 @@ pub fn run() {
             let report = run_fidelity(64, 16, 20, 42, &knobs);
             println!(
                 "{:>10.3} {:>12.3} {:>12.6} {:>12.6} {:>10.2}",
-                pcm_sigma,
-                phase_sigma,
-                report.rms_error,
-                report.max_error,
-                report.effective_bits
+                pcm_sigma, phase_sigma, report.rms_error, report.max_error, report.effective_bits
             );
             rows.push(vec![
                 fmt(pcm_sigma, 4),
@@ -49,7 +45,13 @@ pub fn run() {
     println!("\n(INT6 viability requires ≥6 effective bits — top-left region)");
     write_csv(
         "fidelity_sweep",
-        &["pcm_sigma", "phase_sigma_rad", "rms_error", "max_error", "effective_bits"],
+        &[
+            "pcm_sigma",
+            "phase_sigma_rad",
+            "rms_error",
+            "max_error",
+            "effective_bits",
+        ],
         &rows,
     );
 }

@@ -39,5 +39,9 @@ pub fn run() {
             ]
         })
         .collect();
-    write_csv("fig1_landscape", &["processor", "tops", "tops_per_watt", "class"], &rows);
+    write_csv(
+        "fig1_landscape",
+        &["processor", "tops", "tops_per_watt", "class"],
+        &rows,
+    );
 }

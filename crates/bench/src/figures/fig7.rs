@@ -59,7 +59,10 @@ pub fn run_7a() {
     println!("# Fig. 7a — chip power and DRAM energy vs batch size");
     println!("(input SRAM fixed at 26.3 MB; DRAM rises steeply once the batch");
     println!(" working set exceeds the input SRAM, between batch 32 and 64)");
-    println!("{:>6} {:>10} {:>10} {:>10}", "batch", "power[W]", "dram[W]", "IPS/W");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "batch", "power[W]", "dram[W]", "IPS/W"
+    );
     let series = generate_7a(&resnet50_v1_5());
     let rows: Vec<Vec<String>> = series
         .iter()

@@ -16,7 +16,10 @@ pub fn run() {
     let report = generate();
 
     let total_e = report.energy.total().as_joules();
-    println!("\npower breakdown (total {:.2} W):", report.power.as_watts());
+    println!(
+        "\npower breakdown (total {:.2} W):",
+        report.power.as_watts()
+    );
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, e) in report.energy.entries() {
         let watts = e.as_joules() / report.batch_time.as_seconds();

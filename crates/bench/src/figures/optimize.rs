@@ -1,8 +1,8 @@
 //! §VI.B optimization flow.
 
 use crate::write_json;
-use oxbar_core::optimizer::{optimize, OptimizerSettings};
 use oxbar_core::optimizer::OptimizationResult;
+use oxbar_core::optimizer::{optimize, OptimizerSettings};
 use oxbar_nn::zoo::resnet50_v1_5;
 
 /// Runs the three-step flow on ResNet-50.
@@ -15,10 +15,7 @@ pub fn generate() -> OptimizationResult {
 pub fn run() {
     println!("# Sec. VI.B — optimization flow (batch -> SRAM -> array)");
     let result = generate();
-    println!(
-        "step 1  batch          : {}  (paper: 32)",
-        result.batch
-    );
+    println!("step 1  batch          : {}  (paper: 32)", result.batch);
     println!(
         "step 2  input SRAM     : {:.1} MB  (paper: 26.3 MB)",
         result.input_sram.as_megabytes()

@@ -45,7 +45,15 @@ pub fn run() {
     println!(" matrices onto 128 rows — the array-size trade-off of Fig. 6)");
     write_csv(
         "zoo_sweep",
-        &["network", "gmacs", "ips", "ips_per_watt", "power_w", "tops", "utilization_pct"],
+        &[
+            "network",
+            "gmacs",
+            "ips",
+            "ips_per_watt",
+            "power_w",
+            "tops",
+            "utilization_pct",
+        ],
         &rows,
     );
 }

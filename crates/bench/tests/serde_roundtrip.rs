@@ -16,7 +16,9 @@ fn technology_params_round_trip() {
 
 #[test]
 fn chip_config_round_trip() {
-    let cfg = ChipConfig::paper_optimal().with_array(256, 64).with_batch(16);
+    let cfg = ChipConfig::paper_optimal()
+        .with_array(256, 64)
+        .with_batch(16);
     let json = serde_json::to_string_pretty(&cfg).unwrap();
     let back: ChipConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(cfg, back);
@@ -51,7 +53,13 @@ fn network_round_trip() {
 fn config_json_is_human_auditable() {
     // The persisted config names the paper's key constants explicitly.
     let json = serde_json::to_string_pretty(&ChipConfig::paper_optimal()).unwrap();
-    for key in ["rows", "cols", "batch", "pcm_program_energy", "cell_pitch_um"] {
+    for key in [
+        "rows",
+        "cols",
+        "batch",
+        "pcm_program_energy",
+        "cell_pitch_um",
+    ] {
         assert!(json.contains(key), "missing key {key}");
     }
 }

@@ -106,21 +106,18 @@ impl AreaModel {
         let replicas = cfg.cores.replicas() as f64;
         let clock = cfg.tech.clock;
 
-        let sram = MemorySystem::new(cfg.sram, oxbar_memory::DramKind::Hbm)
-            .total_sram_area();
+        let sram = MemorySystem::new(cfg.sram, oxbar_memory::DramKind::Hbm).total_sram_area();
         let cell = Area::from_rect_um(cfg.tech.cell_pitch_um, cfg.tech.cell_pitch_um);
-        let photonics =
-            cell * cfg.cells_per_core() as f64 * Self::ROUTING_OVERHEAD * replicas;
+        let photonics = cell * cfg.cells_per_core() as f64 * Self::ROUTING_OVERHEAD * replicas;
         let adc = Adc::paper_default(clock).area() * cfg.cols as f64 * replicas;
-        let dac_drivers =
-            OdacDriver::paper_default(clock).area() * cfg.rows as f64 * replicas;
+        let dac_drivers = OdacDriver::paper_default(clock).area() * cfg.rows as f64 * replicas;
         let tia = Tia::paper_default().area() * cfg.cols as f64 * replicas;
         let clocking = ClockDistribution::paper_default(clock).area()
             * (cfg.rows + cfg.cols) as f64
             * replicas;
         // The digital backend is shared between cores.
-        let digital = Accumulator::area_for_lanes(cfg.cols)
-            + ActivationUnit::area_for_lanes(cfg.cols);
+        let digital =
+            Accumulator::area_for_lanes(cfg.cols) + ActivationUnit::area_for_lanes(cfg.cols);
 
         AreaBreakdown {
             sram,
@@ -154,25 +151,18 @@ mod tests {
         // Fig. 8: area is dominated by the SRAM blocks.
         let area = AreaModel::new(ChipConfig::paper_optimal()).evaluate();
         assert_eq!(area.dominant(), "SRAM");
-        let share =
-            area.sram.as_square_meters() / area.total().as_square_meters();
+        let share = area.sram.as_square_meters() / area.total().as_square_meters();
         assert!(share > 0.5, "SRAM share {share}");
     }
 
     #[test]
     fn dual_core_doubles_photonics_not_sram() {
-        let single = AreaModel::new(
-            ChipConfig::paper_optimal().with_cores(CoreCount::Single),
-        )
-        .evaluate();
+        let single =
+            AreaModel::new(ChipConfig::paper_optimal().with_cores(CoreCount::Single)).evaluate();
         let dual =
-            AreaModel::new(ChipConfig::paper_optimal().with_cores(CoreCount::Dual))
-                .evaluate();
+            AreaModel::new(ChipConfig::paper_optimal().with_cores(CoreCount::Dual)).evaluate();
         assert!(
-            (dual.photonics.as_square_meters()
-                / single.photonics.as_square_meters()
-                - 2.0)
-                .abs()
+            (dual.photonics.as_square_meters() / single.photonics.as_square_meters() - 2.0).abs()
                 < 1e-9
         );
         assert_eq!(dual.sram, single.sram);
@@ -183,17 +173,13 @@ mod tests {
     fn entries_sum_to_total() {
         let area = AreaModel::new(ChipConfig::paper_optimal()).evaluate();
         let sum: Area = area.entries().into_iter().map(|(_, a)| a).sum();
-        assert!(
-            (sum.as_square_meters() - area.total().as_square_meters()).abs() < 1e-18
-        );
+        assert!((sum.as_square_meters() - area.total().as_square_meters()).abs() < 1e-18);
     }
 
     #[test]
     fn area_scales_with_array() {
-        let small = AreaModel::new(ChipConfig::paper_optimal().with_array(32, 32))
-            .evaluate();
-        let large = AreaModel::new(ChipConfig::paper_optimal().with_array(256, 256))
-            .evaluate();
+        let small = AreaModel::new(ChipConfig::paper_optimal().with_array(32, 32)).evaluate();
+        let large = AreaModel::new(ChipConfig::paper_optimal().with_array(256, 256)).evaluate();
         assert!(large.photonics > small.photonics);
         assert!(large.adc > small.adc);
         assert_eq!(large.sram, small.sram);

@@ -85,7 +85,11 @@ mod tests {
         // Paper: 36,382 IPS / 1,196 IPS/W / 30 W / 121 mm². Our principled
         // re-derivation lands the same order on every axis (EXPERIMENTS.md
         // discusses per-axis deltas).
-        assert!(report.ips > 25_000.0 && report.ips < 50_000.0, "IPS {}", report.ips);
+        assert!(
+            report.ips > 25_000.0 && report.ips < 50_000.0,
+            "IPS {}",
+            report.ips
+        );
         assert!(
             report.ips_per_watt > 600.0 && report.ips_per_watt < 4_000.0,
             "IPS/W {}",

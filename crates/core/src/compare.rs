@@ -135,7 +135,11 @@ mod tests {
         let cmp = Comparison::against(&report, BaselineRecord::nvidia_a100());
         // Paper: 15.4× power, 7.24× area, similar IPS. Shape check: both
         // advantages are large, IPS is the same order.
-        assert!(cmp.power_advantage() > 5.0, "power {}", cmp.power_advantage());
+        assert!(
+            cmp.power_advantage() > 5.0,
+            "power {}",
+            cmp.power_advantage()
+        );
         assert!(
             cmp.area_advantage() > 5.0 && cmp.area_advantage() < 9.0,
             "area {}",

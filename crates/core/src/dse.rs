@@ -69,9 +69,7 @@ pub fn sweep(network: &Network, configs: Vec<ChipConfig>) -> Vec<DesignPoint> {
     let mut results: Vec<Option<DesignPoint>> = vec![None; configs.len()];
     let chunk = configs.len().div_ceil(threads.max(1));
     std::thread::scope(|scope| {
-        for (slot_chunk, cfg_chunk) in
-            results.chunks_mut(chunk).zip(configs.chunks(chunk))
-        {
+        for (slot_chunk, cfg_chunk) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
             scope.spawn(move || {
                 for (slot, cfg) in slot_chunk.iter_mut().zip(cfg_chunk) {
                     let report = Chip::new(cfg.clone()).evaluate(network);
@@ -158,14 +156,8 @@ mod tests {
 
     #[test]
     fn ips_increases_with_array_size_along_diagonal() {
-        let points = sweep(
-            &resnet50_v1_5(),
-            array_grid(&[32, 64, 128], &[32, 64, 128]),
-        );
-        let diag: Vec<&DesignPoint> = points
-            .iter()
-            .filter(|p| p.rows == p.cols)
-            .collect();
+        let points = sweep(&resnet50_v1_5(), array_grid(&[32, 64, 128], &[32, 64, 128]));
+        let diag: Vec<&DesignPoint> = points.iter().filter(|p| p.rows == p.cols).collect();
         assert!(diag[0].ips < diag[1].ips && diag[1].ips < diag[2].ips);
     }
 

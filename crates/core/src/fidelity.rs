@@ -125,10 +125,7 @@ pub fn run_fidelity(
         let ys = sim.run_normalized(&inputs, &programmed);
         for (j, y) in ys.iter().enumerate() {
             let digitized = adc.reconstruct(y.clamp(0.0, 1.0));
-            let exact: f64 = (0..rows)
-                .map(|i| inputs[i] * ideal[i][j])
-                .sum::<f64>()
-                / rows as f64;
+            let exact: f64 = (0..rows).map(|i| inputs[i] * ideal[i][j]).sum::<f64>() / rows as f64;
             let err = (digitized - exact).abs();
             se += err * err;
             max_error = max_error.max(err);

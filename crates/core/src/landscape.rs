@@ -37,8 +37,18 @@ pub fn published_landscape() -> Vec<ProcessorPoint> {
         class,
     };
     vec![
-        point("Nvidia A100 (INT8)", 624.0, 1.58, ProcessorClass::Datacenter),
-        point("Nvidia V100 (FP16)", 125.0, 0.42, ProcessorClass::Datacenter),
+        point(
+            "Nvidia A100 (INT8)",
+            624.0,
+            1.58,
+            ProcessorClass::Datacenter,
+        ),
+        point(
+            "Nvidia V100 (FP16)",
+            125.0,
+            0.42,
+            ProcessorClass::Datacenter,
+        ),
         point("Google TPU v3", 123.0, 0.55, ProcessorClass::Datacenter),
         point("Google TPU v4i", 138.0, 0.78, ProcessorClass::Datacenter),
         point("Graphcore IPU2", 250.0, 1.67, ProcessorClass::Datacenter),

@@ -50,3 +50,6 @@ pub use chip::Chip;
 pub use config::{ChipConfig, CoreCount};
 pub use report::ChipReport;
 pub use tech::TechnologyParams;
+
+#[cfg(test)]
+mod proptests;

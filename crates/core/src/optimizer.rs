@@ -137,11 +137,10 @@ pub fn optimize(network: &Network, settings: &OptimizerSettings) -> Optimization
                 None => candidate,
                 Some(current) => {
                     let (_, _, best_ipsw, best_ips) = current;
-                    let within_tie =
-                        candidate.2 >= best_ipsw * (1.0 - settings.tie_tolerance);
-                    if candidate.2 > best_ipsw && candidate.3 >= best_ips {
-                        candidate
-                    } else if within_tie && candidate.3 > best_ips {
+                    let within_tie = candidate.2 >= best_ipsw * (1.0 - settings.tie_tolerance);
+                    let strictly_better = candidate.2 > best_ipsw && candidate.3 >= best_ips;
+                    let faster_at_tie = within_tie && candidate.3 > best_ips;
+                    if strictly_better || faster_at_tie {
                         candidate
                     } else {
                         current
@@ -186,7 +185,10 @@ mod tests {
             (128..=256).contains(&rows),
             "rows {rows} (paper band: 128-256)"
         );
-        assert!((64..=128).contains(&cols), "cols {cols} (paper band: 64-128)");
+        assert!(
+            (64..=128).contains(&cols),
+            "cols {cols} (paper band: 64-128)"
+        );
     }
 
     #[test]

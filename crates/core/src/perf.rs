@@ -164,10 +164,8 @@ mod tests {
     #[test]
     fn larger_array_gives_more_ips() {
         let net = resnet50_v1_5();
-        let small = PerfModel::new(ChipConfig::paper_optimal().with_array(32, 32))
-            .evaluate(&net);
-        let large = PerfModel::new(ChipConfig::paper_optimal().with_array(128, 128))
-            .evaluate(&net);
+        let small = PerfModel::new(ChipConfig::paper_optimal().with_array(32, 32)).evaluate(&net);
+        let large = PerfModel::new(ChipConfig::paper_optimal().with_array(128, 128)).evaluate(&net);
         assert!(large.ips > 5.0 * small.ips);
     }
 

@@ -113,9 +113,10 @@ impl PowerModel {
             tech.lo_power_per_column,
             &tech.receiver_noise,
         );
-        let budget = tech.losses.worst_path_budget(self.config.rows, self.config.cols);
-        let signal_at_laser =
-            p_signal * self.config.cols as f64 * budget.total().gain_power();
+        let budget = tech
+            .losses
+            .worst_path_budget(self.config.rows, self.config.cols);
+        let signal_at_laser = p_signal * self.config.cols as f64 * budget.total().gain_power();
         // LO taps bypass the array but still pay the fiber-to-chip coupler.
         let lo_at_laser = tech.lo_power_per_column
             * self.config.cols as f64
@@ -139,20 +140,17 @@ impl PowerModel {
             ReceiverBank::paper_default(tech.clock).power(self.config.cols) * compute_time;
         // Trim heaters hold the computing core's cells in phase; the
         // programming core's trims are off during its write (DESIGN.md §5).
-        let trim_heaters = tech.trim_power_per_cell()
-            * self.config.cells_per_core() as f64
-            * compute_time;
+        let trim_heaters =
+            tech.trim_power_per_cell() * self.config.cells_per_core() as f64 * compute_time;
 
-        let pcm_programming =
-            tech.pcm_program_energy * perf.spec.total_cells_programmed as f64;
+        let pcm_programming = tech.pcm_program_energy * perf.spec.total_cells_programmed as f64;
 
         let traffic = &perf.spec.traffic;
         let sram = DataVolume::from_bits(traffic.sram_total().as_bits())
             * EnergyPerBit::from_femtojoules_per_bit(
                 oxbar_memory::sram::SramBlock::ACCESS_ENERGY_FJ_PER_BIT,
             );
-        let dram = traffic.dram_total()
-            * oxbar_memory::dram::DramKind::Hbm.access_energy();
+        let dram = traffic.dram_total() * oxbar_memory::dram::DramKind::Hbm.access_energy();
 
         // Digital backend: one adder op per accumulator write, one
         // activation op per output element.
@@ -160,8 +158,7 @@ impl PowerModel {
             oxbar_electronics::accumulator::Accumulator::ENERGY_PER_BIT_OP_FJ
                 * traffic.accumulator_sram_writes,
         );
-        let activation_ops =
-            traffic.output_sram_writes / f64::from(tech.precision_bits);
+        let activation_ops = traffic.output_sram_writes / f64::from(tech.precision_bits);
         let activation = Energy::from_femtojoules(
             oxbar_electronics::activation::ActivationUnit::ENERGY_PER_OP_FJ * activation_ops,
         );
@@ -248,8 +245,7 @@ mod tests {
         let small = PowerModel::new(ChipConfig::paper_optimal().with_array(32, 32));
         let large = PowerModel::new(ChipConfig::paper_optimal().with_array(256, 256));
         assert!(
-            large.laser().optical_power().as_watts()
-                > small.laser().optical_power().as_watts()
+            large.laser().optical_power().as_watts() > small.laser().optical_power().as_watts()
         );
     }
 

@@ -1,0 +1,91 @@
+//! Property-based tests over the assembled system model.
+
+use crate::chip::Chip;
+use crate::config::{ChipConfig, CoreCount};
+use oxbar_nn::{Conv2d, Layer, Network, TensorShape};
+use proptest::prelude::*;
+
+/// Small networks: one conv feeding the crossbar.
+fn tiny_network() -> impl Strategy<Value = Network> {
+    (4usize..16, 1usize..8, 1usize..16).prop_map(|(hw, c, out_c)| {
+        let mut net = Network::new("prop", TensorShape::new(hw, hw, c));
+        net.push(Layer::Conv2d(Conv2d::new(
+            "conv",
+            TensorShape::new(hw, hw, c),
+            3,
+            3,
+            out_c,
+            1,
+            1,
+        )));
+        net
+    })
+}
+
+fn config(rows_exp: u32, cols_exp: u32, batch_exp: u32, dual: bool) -> ChipConfig {
+    let cores = if dual {
+        CoreCount::Dual
+    } else {
+        CoreCount::Single
+    };
+    ChipConfig::paper_optimal()
+        .with_array(1 << rows_exp, 1 << cols_exp)
+        .with_batch(1 << batch_exp)
+        .with_cores(cores)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn report_metrics_are_self_consistent(
+        net in tiny_network(),
+        rows_exp in 4u32..8,
+        cols_exp in 4u32..8,
+        batch_exp in 0u32..4,
+        dual in 0u8..2,
+    ) {
+        let chip = Chip::new(config(rows_exp, cols_exp, batch_exp, dual == 1));
+        let report = chip.evaluate(&net);
+        prop_assert!(report.ips > 0.0, "ips = {}", report.ips);
+        prop_assert!(report.power.as_watts() > 0.0);
+        // IPS/W must be IPS at the reported average power.
+        let expected_ipsw = report.ips / report.power.as_watts();
+        prop_assert!(
+            (report.ips_per_watt - expected_ipsw).abs() / expected_ipsw < 1e-9,
+            "ips/W {} vs {}", report.ips_per_watt, expected_ipsw
+        );
+        // Energy per inference must match power × time / batch throughput.
+        let derived = report.power.as_watts() / report.ips;
+        prop_assert!(
+            (report.energy_per_inference.as_joules() - derived).abs() / derived < 1e-9
+        );
+        prop_assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
+        prop_assert_eq!(report.cores, chip.config().cores.replicas());
+    }
+
+    #[test]
+    fn dual_core_never_slower(
+        net in tiny_network(),
+        rows_exp in 4u32..7,
+        batch_exp in 0u32..3,
+    ) {
+        let single = Chip::new(config(rows_exp, rows_exp, batch_exp, false)).evaluate(&net);
+        let dual = Chip::new(config(rows_exp, rows_exp, batch_exp, true)).evaluate(&net);
+        prop_assert!(
+            dual.ips + 1e-9 >= single.ips,
+            "dual {} < single {}", dual.ips, single.ips
+        );
+    }
+
+    #[test]
+    fn config_builders_compose(rows_exp in 2u32..8, cols_exp in 2u32..8, batch in 1usize..64) {
+        let cfg = ChipConfig::paper_optimal()
+            .with_array(1 << rows_exp, 1 << cols_exp)
+            .with_batch(batch);
+        prop_assert_eq!(cfg.rows, 1usize << rows_exp);
+        prop_assert_eq!(cfg.cols, 1usize << cols_exp);
+        prop_assert_eq!(cfg.batch, batch);
+        prop_assert_eq!(cfg.cells_per_core(), (1usize << rows_exp) * (1usize << cols_exp));
+    }
+}

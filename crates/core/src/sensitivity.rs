@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sensitivity {
     /// Parameter name.
-    pub parameter: &'static str,
+    pub parameter: String,
     /// Relative perturbation applied (e.g. 0.2 = ±20%).
     pub delta: f64,
     /// IPS/W at −delta.
@@ -97,24 +97,20 @@ impl Parameter {
                 cfg.tech.laser_wall_plug = Ratio::from_fraction(scaled);
             }
             Parameter::PcmProgramEnergy => {
-                cfg.tech.pcm_program_energy = Energy::from_joules(
-                    cfg.tech.pcm_program_energy.as_joules() * factor,
-                );
+                cfg.tech.pcm_program_energy =
+                    Energy::from_joules(cfg.tech.pcm_program_energy.as_joules() * factor);
             }
             Parameter::PcmProgramTime => {
-                cfg.tech.pcm_program_time = Time::from_seconds(
-                    cfg.tech.pcm_program_time.as_seconds() * factor,
-                );
+                cfg.tech.pcm_program_time =
+                    Time::from_seconds(cfg.tech.pcm_program_time.as_seconds() * factor);
             }
             Parameter::LoPower => {
-                cfg.tech.lo_power_per_column = Power::from_watts(
-                    cfg.tech.lo_power_per_column.as_watts() * factor,
-                );
+                cfg.tech.lo_power_per_column =
+                    Power::from_watts(cfg.tech.lo_power_per_column.as_watts() * factor);
             }
             Parameter::TrimPower => {
-                cfg.tech.trim_power_per_pi = Power::from_watts(
-                    cfg.tech.trim_power_per_pi.as_watts() * factor,
-                );
+                cfg.tech.trim_power_per_pi =
+                    Power::from_watts(cfg.tech.trim_power_per_pi.as_watts() * factor);
             }
             Parameter::CellPitch => {
                 cfg.tech.cell_pitch_um *= factor;
@@ -158,7 +154,7 @@ pub fn analyze(network: &Network, base: &ChipConfig, delta: f64) -> Vec<Sensitiv
             // Centred log-derivative: Δln(ipsw) / Δln(param).
             let elasticity = (high / low).ln() / ((1.0 + delta) / (1.0 - delta)).ln();
             Sensitivity {
-                parameter: param.name(),
+                parameter: param.name().to_string(),
                 delta,
                 ipsw_low: low,
                 ipsw_high: high,
@@ -181,8 +177,7 @@ mod tests {
     fn every_parameter_reported_once() {
         let t = table();
         assert_eq!(t.len(), Parameter::all().len());
-        let names: std::collections::BTreeSet<_> =
-            t.iter().map(|s| s.parameter).collect();
+        let names: std::collections::BTreeSet<_> = t.iter().map(|s| s.parameter.as_str()).collect();
         assert_eq!(names.len(), t.len());
     }
 
@@ -199,7 +194,7 @@ mod tests {
                 "trim heater power",
                 "LO power per column",
             ]
-            .contains(&s.parameter)
+            .contains(&s.parameter.as_str())
             {
                 assert!(
                     s.elasticity <= 1e-6,
@@ -226,8 +221,14 @@ mod tests {
         // With batch 32 hiding the bubble, programming *time* barely
         // matters; programming *energy* always does.
         let t = table();
-        let energy = t.iter().find(|s| s.parameter == "PCM program energy").unwrap();
-        let time = t.iter().find(|s| s.parameter == "PCM program time").unwrap();
+        let energy = t
+            .iter()
+            .find(|s| s.parameter == "PCM program energy")
+            .unwrap();
+        let time = t
+            .iter()
+            .find(|s| s.parameter == "PCM program time")
+            .unwrap();
         assert!(energy.elasticity.abs() > time.elasticity.abs());
     }
 

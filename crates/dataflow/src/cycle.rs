@@ -109,8 +109,7 @@ impl CycleSimulator {
 
         for (layer_idx, layer) in spec.layers.iter().enumerate() {
             let folds = layer.plan.total_folds() as u64;
-            let fold_compute =
-                layer.plan.output_pixels as u64 * spec.batch as u64;
+            let fold_compute = layer.plan.output_pixels as u64 * spec.batch as u64;
             for _ in 0..folds {
                 let core = fold_index % cores;
                 let program_start = core_free_at[core];
@@ -160,8 +159,7 @@ mod tests {
         let spec = spec(4);
         let sim = CycleSimulator::new(1000);
         let report = sim.run(&spec, CorePolicy::SingleCore);
-        let expected = spec.total_compute_cycles
-            + spec.total_program_events * 1000;
+        let expected = spec.total_compute_cycles + spec.total_program_events * 1000;
         assert_eq!(report.total_cycles, expected);
     }
 

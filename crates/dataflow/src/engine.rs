@@ -275,7 +275,10 @@ mod tests {
         let per_image = spec.compute_cycles_per_inference();
         // 4.1 GMACs / 16384 MACs-per-cycle ≈ 250k ideal; folding overheads
         // push it somewhat higher but same order.
-        assert!(per_image > 250_000.0 && per_image < 500_000.0, "{per_image}");
+        assert!(
+            per_image > 250_000.0 && per_image < 500_000.0,
+            "{per_image}"
+        );
     }
 
     #[test]
@@ -328,10 +331,7 @@ mod tests {
             },
         );
         let without = engine_no_reuse.analyze(&net);
-        assert!(
-            without.traffic.dram_total().as_bits()
-                > with_reuse.traffic.dram_total().as_bits()
-        );
+        assert!(without.traffic.dram_total().as_bits() > with_reuse.traffic.dram_total().as_bits());
     }
 
     #[test]
@@ -392,8 +392,7 @@ mod tests {
 
     #[test]
     fn tiny_input_sram_forces_streaming() {
-        let sizing = SramSizing::paper_default()
-            .with_input(DataVolume::from_kilobytes(16.0));
+        let sizing = SramSizing::paper_default().with_input(DataVolume::from_kilobytes(16.0));
         let engine = DataflowEngine::new(128, 128, 8, sizing, ModelOptions::default());
         let baseline = small_engine(8).analyze(&resnet50_v1_5());
         let starved = engine.analyze(&resnet50_v1_5());

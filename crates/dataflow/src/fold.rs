@@ -115,9 +115,8 @@ impl FoldPlan {
     /// MAC slots consumed.
     #[must_use]
     pub fn utilization(&self, batch: usize) -> f64 {
-        let slots = self.compute_cycles(batch) as f64
-            * self.array_rows as f64
-            * self.array_cols as f64;
+        let slots =
+            self.compute_cycles(batch) as f64 * self.array_rows as f64 * self.array_cols as f64;
         (self.macs as f64 * batch as f64) / slots
     }
 }
@@ -160,8 +159,8 @@ mod tests {
 
     #[test]
     fn depthwise_groups_multiply_folds() {
-        let conv = Conv2d::new("dw", TensorShape::new(14, 14, 512), 3, 3, 512, 1, 1)
-            .with_groups(512);
+        let conv =
+            Conv2d::new("dw", TensorShape::new(14, 14, 512), 3, 3, 512, 1, 1).with_groups(512);
         let plan = FoldPlan::plan(&conv, 128, 128, 1);
         assert_eq!(plan.groups, 512);
         assert_eq!(plan.row_folds, 1); // 9 rows per group

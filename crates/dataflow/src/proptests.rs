@@ -10,11 +10,11 @@ use proptest::prelude::*;
 /// Random small conv layers with valid geometry.
 fn conv_strategy() -> impl Strategy<Value = Conv2d> {
     (
-        2usize..24,  // spatial size
-        1usize..12,  // input channels
-        1usize..3,   // half-kernel (k = 1 or 3)
-        1usize..16,  // output channels
-        1usize..3,   // stride
+        2usize..24, // spatial size
+        1usize..12, // input channels
+        1usize..3,  // half-kernel (k = 1 or 3)
+        1usize..16, // output channels
+        1usize..3,  // stride
     )
         .prop_map(|(hw, c, half_k, out_c, stride)| {
             let k = 2 * half_k - 1;

@@ -174,13 +174,9 @@ mod tests {
     #[test]
     fn per_inference_scaling() {
         let spec = NetworkSpec::from_layers("test", 4, 64, 64, vec![layer_spec("a", 1)]);
+        assert!((spec.traffic_per_inference().dram_reads - 25.0).abs() < 1e-12);
         assert!(
-            (spec.traffic_per_inference().dram_reads - 25.0).abs() < 1e-12
-        );
-        assert!(
-            (spec.compute_cycles_per_inference()
-                - spec.total_compute_cycles as f64 / 4.0)
-                .abs()
+            (spec.compute_cycles_per_inference() - spec.total_compute_cycles as f64 / 4.0).abs()
                 < 1e-12
         );
     }

@@ -65,13 +65,10 @@ pub fn analyze(spec: &NetworkSpec, clock: Frequency, dram: DramKind) -> StallRep
     let mut total_compute = Time::ZERO;
     for layer in &spec.layers {
         let compute_time = clock.cycles_to_time(layer.compute_cycles);
-        let dram_bits = DataVolume::from_bits(
-            layer.traffic.dram_reads + layer.traffic.dram_writes,
-        );
+        let dram_bits = DataVolume::from_bits(layer.traffic.dram_reads + layer.traffic.dram_writes);
         let dram_time = Time::from_seconds(dram_bits.as_bytes() / bw);
-        let stall = Time::from_seconds(
-            (dram_time.as_seconds() - compute_time.as_seconds()).max(0.0),
-        );
+        let stall =
+            Time::from_seconds((dram_time.as_seconds() - compute_time.as_seconds()).max(0.0));
         total_stall += stall;
         total_compute += compute_time;
         layers.push(LayerStall {
@@ -98,8 +95,7 @@ mod tests {
 
     #[test]
     fn hbm_keeps_up_at_paper_operating_point() {
-        let spec =
-            DataflowEngine::paper_default(128, 128, 32).analyze(&resnet50_v1_5());
+        let spec = DataflowEngine::paper_default(128, 128, 32).analyze(&resnet50_v1_5());
         let report = analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
         assert!(report.slowdown() < 1.05, "slowdown {}", report.slowdown());
     }
@@ -120,8 +116,7 @@ mod tests {
 
     #[test]
     fn pcie_dram_is_slower_than_hbm() {
-        let spec =
-            DataflowEngine::paper_default(128, 128, 64).analyze(&resnet50_v1_5());
+        let spec = DataflowEngine::paper_default(128, 128, 64).analyze(&resnet50_v1_5());
         let hbm = analyze(&spec, Frequency::from_gigahertz(10.0), DramKind::Hbm);
         let pcie = analyze(
             &spec,

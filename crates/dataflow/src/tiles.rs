@@ -219,8 +219,7 @@ mod tests {
 
     #[test]
     fn grouped_conv_tiles_respect_groups() {
-        let conv = Conv2d::new("dw", TensorShape::new(4, 4, 6), 3, 3, 6, 1, 1)
-            .with_groups(6);
+        let conv = Conv2d::new("dw", TensorShape::new(4, 4, 6), 3, 3, 6, 1, 1).with_groups(6);
         let bank = synthetic::filter_bank(&conv, 6, 4);
         let plan = FoldPlan::plan(&conv, 16, 16, 1);
         let tiles: Vec<_> = WeightTiles::new(&conv, &bank.weights, &plan).collect();

@@ -55,8 +55,14 @@ pub fn trace_fold(
     batch: usize,
 ) -> Vec<TraceCycle> {
     assert!(group < plan.groups, "group {group} out of range");
-    assert!(row_fold < plan.row_folds, "row fold {row_fold} out of range");
-    assert!(col_fold < plan.col_folds, "col fold {col_fold} out of range");
+    assert!(
+        row_fold < plan.row_folds,
+        "row fold {row_fold} out of range"
+    );
+    assert!(
+        col_fold < plan.col_folds,
+        "col fold {col_fold} out of range"
+    );
 
     let out = conv.output_shape();
     let in_per_group = conv.in_c_per_group();
@@ -78,10 +84,8 @@ pub fn trace_fold(
                         let ky = flat / (conv.k_w * in_per_group);
                         let kx = (flat / in_per_group) % conv.k_w;
                         let ci = flat % in_per_group;
-                        let iy =
-                            (oy * conv.stride + ky) as isize - conv.padding as isize;
-                        let ix =
-                            (ox * conv.stride + kx) as isize - conv.padding as isize;
+                        let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
+                        let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
                         if iy < 0
                             || ix < 0
                             || iy >= conv.input.h as isize
@@ -90,11 +94,7 @@ pub fn trace_fold(
                             None // zero padding: no SRAM read
                         } else {
                             let c = group * in_per_group + ci;
-                            Some(
-                                (iy as usize * conv.input.w + ix as usize)
-                                    * conv.input.c
-                                    + c,
-                            )
+                            Some((iy as usize * conv.input.w + ix as usize) * conv.input.c + c)
                         }
                     })
                     .collect();

@@ -105,9 +105,7 @@ impl Adc {
     /// The implied Walden figure-of-merit (J per conversion step).
     #[must_use]
     pub fn walden_fom(self) -> Energy {
-        Energy::from_joules(
-            self.energy_per_sample().as_joules() / 2f64.powi(i32::from(self.bits)),
-        )
+        Energy::from_joules(self.energy_per_sample().as_joules() / 2f64.powi(i32::from(self.bits)))
     }
 }
 

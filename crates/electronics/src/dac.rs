@@ -46,10 +46,7 @@ impl OdacDriver {
     /// Panics if the sample rate is not positive.
     #[must_use]
     pub fn paper_default(sample_rate: Frequency) -> Self {
-        assert!(
-            sample_rate.as_hertz() > 0.0,
-            "sample rate must be positive"
-        );
+        assert!(sample_rate.as_hertz() > 0.0, "sample rate must be positive");
         Self {
             sample_rate,
             energy_per_sample: Energy::from_femtojoules(Self::ENERGY_PER_SAMPLE_FJ),

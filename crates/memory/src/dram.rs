@@ -110,9 +110,7 @@ mod tests {
 
     #[test]
     fn hbm_energy_per_bit() {
-        assert!(
-            (DramKind::Hbm.access_energy().as_picojoules_per_bit() - 3.9).abs() < 1e-12
-        );
+        assert!((DramKind::Hbm.access_energy().as_picojoules_per_bit() - 3.9).abs() < 1e-12);
     }
 
     #[test]

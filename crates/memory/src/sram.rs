@@ -67,9 +67,7 @@ impl SramBlock {
         Self {
             kind,
             capacity,
-            access_energy: EnergyPerBit::from_femtojoules_per_bit(
-                Self::ACCESS_ENERGY_FJ_PER_BIT,
-            ),
+            access_energy: EnergyPerBit::from_femtojoules_per_bit(Self::ACCESS_ENERGY_FJ_PER_BIT),
             area_per_mbit: Area::from_square_millimeters(Self::AREA_MM2_PER_MBIT),
             bits_read: 0.0,
             bits_written: 0.0,

@@ -111,14 +111,22 @@ impl MemorySystem {
 
     /// Applies a traffic record to all counters.
     pub fn apply_traffic(&mut self, stats: &TrafficStats) {
-        self.dram.record_read(DataVolume::from_bits(stats.dram_reads));
-        self.dram.record_write(DataVolume::from_bits(stats.dram_writes));
-        self.input.record_read(DataVolume::from_bits(stats.input_sram_reads));
-        self.input.record_write(DataVolume::from_bits(stats.input_sram_writes));
-        self.filter.record_read(DataVolume::from_bits(stats.filter_sram_reads));
-        self.filter.record_write(DataVolume::from_bits(stats.filter_sram_writes));
-        self.output.record_read(DataVolume::from_bits(stats.output_sram_reads));
-        self.output.record_write(DataVolume::from_bits(stats.output_sram_writes));
+        self.dram
+            .record_read(DataVolume::from_bits(stats.dram_reads));
+        self.dram
+            .record_write(DataVolume::from_bits(stats.dram_writes));
+        self.input
+            .record_read(DataVolume::from_bits(stats.input_sram_reads));
+        self.input
+            .record_write(DataVolume::from_bits(stats.input_sram_writes));
+        self.filter
+            .record_read(DataVolume::from_bits(stats.filter_sram_reads));
+        self.filter
+            .record_write(DataVolume::from_bits(stats.filter_sram_writes));
+        self.output
+            .record_read(DataVolume::from_bits(stats.output_sram_reads));
+        self.output
+            .record_write(DataVolume::from_bits(stats.output_sram_writes));
         self.accumulator
             .record_read(DataVolume::from_bits(stats.accumulator_sram_reads));
         self.accumulator

@@ -160,9 +160,7 @@ impl Network {
     /// The final output shape.
     #[must_use]
     pub fn output_shape(&self) -> TensorShape {
-        self.layers
-            .last()
-            .map_or(self.input, Layer::output_shape)
+        self.layers.last().map_or(self.input, Layer::output_shape)
     }
 }
 

@@ -94,8 +94,8 @@ impl Conv2d {
         );
         assert!(
             self.groups > 0
-                && self.input.c % self.groups == 0
-                && self.out_c % self.groups == 0,
+                && self.input.c.is_multiple_of(self.groups)
+                && self.out_c.is_multiple_of(self.groups),
             "conv `{}`: groups ({}) must divide in_c ({}) and out_c ({})",
             self.name,
             self.groups,
@@ -188,7 +188,11 @@ impl Dense {
     #[must_use]
     pub fn params(&self) -> u64 {
         (self.in_features * self.out_features) as u64
-            + if self.bias { self.out_features as u64 } else { 0 }
+            + if self.bias {
+                self.out_features as u64
+            } else {
+                0
+            }
     }
 
     /// MAC count for one input.
@@ -254,7 +258,10 @@ impl Pool {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(k > 0 && stride > 0, "pool kernel and stride must be non-zero");
+        assert!(
+            k > 0 && stride > 0,
+            "pool kernel and stride must be non-zero"
+        );
         let pool = Self {
             name: name.into(),
             input,
@@ -270,7 +277,9 @@ impl Pool {
     /// Output shape.
     #[must_use]
     pub fn output_shape(&self) -> TensorShape {
-        let (h, w) = self.input.conv_output(self.k, self.k, self.stride, self.padding);
+        let (h, w) = self
+            .input
+            .conv_output(self.k, self.k, self.stride, self.padding);
         TensorShape::new(h, w, self.input.c)
     }
 }
@@ -363,8 +372,8 @@ mod tests {
 
     #[test]
     fn depthwise_groups() {
-        let conv = Conv2d::new("dw", TensorShape::new(14, 14, 512), 3, 3, 512, 1, 1)
-            .with_groups(512);
+        let conv =
+            Conv2d::new("dw", TensorShape::new(14, 14, 512), 3, 3, 512, 1, 1).with_groups(512);
         assert_eq!(conv.filter_rows(), 9);
         assert_eq!(conv.params(), 9 * 512);
         assert_eq!(conv.macs(), 14 * 14 * 9 * 512);
@@ -394,15 +403,7 @@ mod tests {
 
     #[test]
     fn layer_enum_dispatch() {
-        let layer = Layer::Conv2d(Conv2d::new(
-            "c",
-            TensorShape::new(8, 8, 4),
-            3,
-            3,
-            8,
-            1,
-            1,
-        ));
+        let layer = Layer::Conv2d(Conv2d::new("c", TensorShape::new(8, 8, 4), 3, 3, 8, 1, 1));
         assert_eq!(layer.name(), "c");
         assert_eq!(layer.output_shape(), TensorShape::new(8, 8, 8));
         assert!(layer.macs() > 0);

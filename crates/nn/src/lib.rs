@@ -30,3 +30,6 @@ pub mod zoo;
 pub use graph::Network;
 pub use layer::{Activation, Conv2d, Dense, Layer, Pool, PoolKind};
 pub use shape::TensorShape;
+
+#[cfg(test)]
+mod proptests;

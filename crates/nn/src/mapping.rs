@@ -78,10 +78,7 @@ impl MappedWeights {
         for (i, row) in signed.iter().enumerate() {
             assert_eq!(row.len(), logical_cols, "row {i} is ragged");
             for &s in row {
-                assert!(
-                    i64::from(s).abs() <= q64,
-                    "code {s} exceeds the ±{q} range"
-                );
+                assert!(i64::from(s).abs() <= q64, "code {s} exceeds the ±{q} range");
                 match mapping {
                     WeightMapping::Offset => {
                         unipolar[i].push((i64::from(s) + q64) as u8);
@@ -218,7 +215,10 @@ mod tests {
             let (signed, inputs) = random_case(16, 8, seed);
             let mapped = MappedWeights::map(&signed, WeightMapping::Offset, 31);
             let outputs = mapped.ideal_crossbar_outputs(&inputs);
-            assert_eq!(mapped.recover(&outputs, &inputs), signed_mac(&signed, &inputs));
+            assert_eq!(
+                mapped.recover(&outputs, &inputs),
+                signed_mac(&signed, &inputs)
+            );
         }
     }
 
@@ -229,7 +229,10 @@ mod tests {
             let mapped = MappedWeights::map(&signed, WeightMapping::Differential, 31);
             assert_eq!(mapped.physical_cols(), 16);
             let outputs = mapped.ideal_crossbar_outputs(&inputs);
-            assert_eq!(mapped.recover(&outputs, &inputs), signed_mac(&signed, &inputs));
+            assert_eq!(
+                mapped.recover(&outputs, &inputs),
+                signed_mac(&signed, &inputs)
+            );
         }
     }
 

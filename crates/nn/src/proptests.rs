@@ -1,0 +1,88 @@
+//! Property-based tests for shapes, quantization, and weight mapping.
+
+use crate::layer::Dense;
+use crate::mapping::{MappedWeights, WeightMapping};
+use crate::quant::SignedQuantizer;
+use crate::shape::TensorShape;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random small signed weight matrices within the INT6 range.
+fn signed_matrix() -> impl Strategy<Value = Vec<Vec<i8>>> {
+    (1usize..8, 1usize..8, 0u64..1000).prop_map(|(rows, cols, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| (0..cols).map(|_| rng.random_range(-31..=31i8)).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn shape_elements_multiply(h in 1usize..64, w in 1usize..64, c in 1usize..32) {
+        let shape = TensorShape::new(h, w, c);
+        prop_assert_eq!(shape.elements(), h * w * c);
+        prop_assert_eq!(TensorShape::flat(c).elements(), c);
+    }
+
+    #[test]
+    fn quantizer_code_round_trip(bits in 2u8..=7, raw in -127i16..=127, scale in 0.001..10.0f64) {
+        let q = SignedQuantizer::new(bits);
+        let code = (raw % (i16::from(q.q_max()) + 1)) as i8;
+        prop_assert_eq!(q.quantize(q.dequantize(code, scale), scale), code);
+    }
+
+    #[test]
+    fn quantize_tensor_respects_q_max(
+        values in prop::collection::vec(-10.0..10.0f64, 1..64),
+        bits in 2u8..=7,
+    ) {
+        let q = SignedQuantizer::new(bits);
+        let (codes, scale) = q.quantize_tensor(&values);
+        prop_assert!(scale > 0.0);
+        for &code in &codes {
+            prop_assert!(code.abs() <= q.q_max());
+        }
+    }
+
+    #[test]
+    fn dense_as_conv_preserves_work(inf in 1usize..512, outf in 1usize..512) {
+        let dense = Dense::new("fc", inf, outf);
+        let conv = dense.as_conv();
+        prop_assert_eq!(conv.macs(), dense.macs());
+        prop_assert_eq!(conv.output_shape().elements(), outf);
+    }
+
+    #[test]
+    fn weight_mapping_recovers_signed_macs(
+        signed in signed_matrix(),
+        seed in 0u64..1000,
+        offset_mapping in 0u8..2,
+    ) {
+        let mapping = if offset_mapping == 0 {
+            WeightMapping::Offset
+        } else {
+            WeightMapping::Differential
+        };
+        let rows = signed.len();
+        let cols = signed[0].len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<u8> = (0..rows).map(|_| rng.random_range(0..=63u8)).collect();
+        let mapped = MappedWeights::map(&signed, mapping, 31);
+        prop_assert_eq!(
+            mapped.physical_cols(),
+            cols * mapping.columns_per_output()
+        );
+        let outputs = mapped.ideal_crossbar_outputs(&inputs);
+        let recovered = mapped.recover(&outputs, &inputs);
+        for (j, &got) in recovered.iter().enumerate() {
+            let expected: i64 = (0..rows)
+                .map(|i| i64::from(signed[i][j]) * i64::from(inputs[i]))
+                .sum();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -82,11 +82,7 @@ impl FilterBank {
     pub fn check(&self, conv: &Conv2d) {
         assert_eq!(self.weights.len(), conv.out_c, "filter count mismatch");
         for (oc, w) in self.weights.iter().enumerate() {
-            assert_eq!(
-                w.len(),
-                conv.filter_rows(),
-                "filter {oc} length mismatch"
-            );
+            assert_eq!(w.len(), conv.filter_rows(), "filter {oc} length mismatch");
         }
     }
 }
@@ -117,8 +113,7 @@ pub fn conv2d_exact(input: &Tensor3, filters: &FilterBank, conv: &Conv2d) -> Ten
                         let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
                         let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
                         for ci in 0..in_per_group {
-                            acc += i64::from(w[widx])
-                                * input.at_padded(iy, ix, c_base + ci);
+                            acc += i64::from(w[widx]) * input.at_padded(iy, ix, c_base + ci);
                             widx += 1;
                         }
                     }
@@ -329,10 +324,7 @@ mod tests {
     #[test]
     fn conv_identity_kernel() {
         // A 1×1 conv with weight 1 copies the input channel.
-        let input = Tensor3::new(
-            TensorShape::new(2, 2, 1),
-            vec![1, 2, 3, 4],
-        );
+        let input = Tensor3::new(TensorShape::new(2, 2, 1), vec![1, 2, 3, 4]);
         let conv = Conv2d::new("id", TensorShape::new(2, 2, 1), 1, 1, 1, 1, 0);
         let filters = FilterBank {
             weights: vec![vec![1]],
@@ -356,10 +348,7 @@ mod tests {
 
     #[test]
     fn stride_downsamples() {
-        let input = Tensor3::new(
-            TensorShape::new(4, 4, 1),
-            (1..=16).collect(),
-        );
+        let input = Tensor3::new(TensorShape::new(4, 4, 1), (1..=16).collect());
         let conv = Conv2d::new("s2", TensorShape::new(4, 4, 1), 1, 1, 1, 2, 0);
         let filters = FilterBank {
             weights: vec![vec![1]],
@@ -425,7 +414,9 @@ mod tests {
         let net = crate::zoo::resnet50_v1_5();
         let input = synthetic::activations(net.input(), 6, 1);
         let filters = synthetic::filter_banks(&net, 6, 2);
-        let err = Executor::new(6).forward(&net, &input, &filters).unwrap_err();
+        let err = Executor::new(6)
+            .forward(&net, &input, &filters)
+            .unwrap_err();
         assert!(err.to_string().contains("conv2_1_add"));
     }
 }

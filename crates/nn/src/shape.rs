@@ -31,7 +31,10 @@ impl TensorShape {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(h: usize, w: usize, c: usize) -> Self {
-        assert!(h > 0 && w > 0 && c > 0, "tensor dimensions must be non-zero");
+        assert!(
+            h > 0 && w > 0 && c > 0,
+            "tensor dimensions must be non-zero"
+        );
         Self { h, w, c }
     }
 
@@ -59,7 +62,13 @@ impl TensorShape {
     ///
     /// Panics if the kernel (after padding) does not fit.
     #[must_use]
-    pub fn conv_output(self, k_h: usize, k_w: usize, stride: usize, padding: usize) -> (usize, usize) {
+    pub fn conv_output(
+        self,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> (usize, usize) {
         assert!(stride > 0, "stride must be non-zero");
         let padded_h = self.h + 2 * padding;
         let padded_w = self.w + 2 * padding;

@@ -39,11 +39,7 @@ pub fn alexnet() -> Network {
     shape = pool5.output_shape();
     net.push(Layer::Pool(pool5));
 
-    net.push(Layer::Dense(Dense::new(
-        "fc6",
-        shape.elements(),
-        4096,
-    )));
+    net.push(Layer::Dense(Dense::new("fc6", shape.elements(), 4096)));
     net.push(Layer::Dense(Dense::new("fc7", 4096, 4096)));
     net.push(Layer::Dense(Dense::new("fc8", 4096, 1000)));
     net

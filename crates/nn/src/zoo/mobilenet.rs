@@ -41,16 +41,8 @@ pub fn mobilenet_v1() -> Network {
         (1024, 1),
     ];
     for (idx, &(out_c, stride)) in blocks.iter().enumerate() {
-        let dw = Conv2d::new(
-            format!("dw{}", idx + 1),
-            shape,
-            3,
-            3,
-            shape.c,
-            stride,
-            1,
-        )
-        .with_groups(shape.c);
+        let dw = Conv2d::new(format!("dw{}", idx + 1), shape, 3, 3, shape.c, stride, 1)
+            .with_groups(shape.c);
         shape = dw.output_shape();
         net.push(Layer::Conv2d(dw));
 

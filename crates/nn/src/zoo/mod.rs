@@ -37,12 +37,7 @@ mod tests {
     #[test]
     fn every_zoo_network_shape_checks() {
         for net in all_networks() {
-            assert_eq!(
-                net.audit_shapes(),
-                None,
-                "shape mismatch in {}",
-                net.name()
-            );
+            assert_eq!(net.audit_shapes(), None, "shape mismatch in {}", net.name());
         }
     }
 

@@ -113,7 +113,11 @@ pub fn resnet50_v1_5() -> Network {
     for (stage_idx, &(blocks, mid_c, out_c, first_stride)) in stages.iter().enumerate() {
         for block in 0..blocks {
             let name = format!("conv{}_{}", stage_idx + 2, block + 1);
-            let (stride, project) = if block == 0 { (first_stride, true) } else { (1, false) };
+            let (stride, project) = if block == 0 {
+                (first_stride, true)
+            } else {
+                (1, false)
+            };
             shape = bottleneck(&mut net, &name, shape, mid_c, out_c, stride, project);
         }
     }

@@ -117,7 +117,11 @@ impl PcmArray {
     #[must_use]
     pub fn transmissions(&self) -> Vec<Vec<f64>> {
         (0..self.rows)
-            .map(|i| (0..self.cols).map(|j| self.cell(i, j).transmission()).collect())
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self.cell(i, j).transmission())
+                    .collect()
+            })
             .collect()
     }
 
@@ -133,13 +137,23 @@ impl PcmArray {
     /// Panics if `weights` does not match the array dimensions or contains
     /// values outside `[0, 1]`.
     pub fn program(&mut self, weights: &[Vec<f64>], parallelism: Parallelism) -> ProgramReport {
-        assert_eq!(weights.len(), self.rows, "expected {} weight rows", self.rows);
+        assert_eq!(
+            weights.len(),
+            self.rows,
+            "expected {} weight rows",
+            self.rows
+        );
         let pulse = ProgramPulse::paper_default();
         let mut programmed = 0usize;
         let mut skipped = 0usize;
         let mut rows_touched = vec![false; self.rows];
         for (i, row) in weights.iter().enumerate() {
-            assert_eq!(row.len(), self.cols, "weight row {i} must have {} cols", self.cols);
+            assert_eq!(
+                row.len(),
+                self.cols,
+                "weight row {i} must have {} cols",
+                self.cols
+            );
             for (j, &w) in row.iter().enumerate() {
                 let code = self.table.quantize_weight(w);
                 let target_fraction = self.table.fraction_for_code(code);
@@ -253,12 +267,19 @@ mod tests {
     fn worst_case_program_times() {
         let array = PcmArray::pristine(128, 128);
         assert!(
-            (array.worst_case_program_time(Parallelism::FullArray).as_nanoseconds() - 100.0)
+            (array
+                .worst_case_program_time(Parallelism::FullArray)
+                .as_nanoseconds()
+                - 100.0)
                 .abs()
                 < 1e-9
         );
         assert!(
-            (array.worst_case_program_time(Parallelism::PerRow).as_microseconds() - 12.8).abs()
+            (array
+                .worst_case_program_time(Parallelism::PerRow)
+                .as_microseconds()
+                - 12.8)
+                .abs()
                 < 1e-9
         );
     }

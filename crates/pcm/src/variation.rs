@@ -126,7 +126,9 @@ mod tests {
         let var = DeviceVariation::new(0.02, 0.0);
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| var.apply_program(0.5, 0.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| var.apply_program(0.5, 0.0, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let sd = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!((mean - 0.5).abs() < 1e-3);

@@ -41,7 +41,10 @@ impl CouplingPlan {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn equalizing(n_rows: usize, m_cols: usize) -> Self {
-        assert!(n_rows > 0 && m_cols > 0, "array dimensions must be non-zero");
+        assert!(
+            n_rows > 0 && m_cols > 0,
+            "array dimensions must be non-zero"
+        );
         let kappa_in = (0..m_cols).map(|j| 1.0 / (m_cols - j) as f64).collect();
         let kappa_out = (0..n_rows).map(|i| 1.0 / (i + 1) as f64).collect();
         Self {

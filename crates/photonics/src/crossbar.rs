@@ -276,10 +276,8 @@ impl CrossbarSimulator {
             1.0
         };
         let segment_field = if self.config.include_losses {
-            Decibel::new(
-                self.config.waveguide_loss_db_per_cm * self.config.cell_pitch_um * 1e-4,
-            )
-            .attenuation_field()
+            Decibel::new(self.config.waveguide_loss_db_per_cm * self.config.cell_pitch_um * 1e-4)
+                .attenuation_field()
         } else {
             1.0
         };
@@ -288,22 +286,18 @@ impl CrossbarSimulator {
         // contribute loss but their design phases cancel; only the residual
         // per-cell phase errors (minus trims) remain.
         let mut cell_fields = vec![Field::DARK; n * m];
-        for i in 0..n {
+        for (i, &input) in inputs.iter().enumerate().take(n) {
             // Row field after the 1/√N splitter and the ODAC amplitude.
-            let mut row_field = Field::from_amplitude(inputs[i] / (n as f64).sqrt());
+            let mut row_field = Field::from_amplitude(input / (n as f64).sqrt());
             for j in 0..m {
                 let dc = self.plan.input_coupler(j);
                 let (through, tapped) = dc.couple(row_field, Field::DARK);
                 // The through light crosses the column waveguide and one
                 // cell pitch of routing before the next cell.
-                row_field = through
-                    .attenuate(crossing_field)
-                    .attenuate(segment_field);
+                row_field = through.attenuate(crossing_field).attenuate(segment_field);
                 // The tapped light traverses the bended waveguide + PCM.
                 let idx = i * m + j;
-                let mut cell = tapped
-                    .attenuate(weights[idx])
-                    .attenuate(segment_field);
+                let mut cell = tapped.attenuate(weights[idx]).attenuate(segment_field);
                 let residual = self.residual_phase(i, j);
                 if residual != 0.0 {
                     cell = cell.shift_phase(residual);
@@ -319,9 +313,7 @@ impl CrossbarSimulator {
                     if i > 0 {
                         // Descend one cell pitch: the bus crosses the row
                         // waveguide and accumulates a segment of routing.
-                        column = column
-                            .attenuate(crossing_field)
-                            .attenuate(segment_field);
+                        column = column.attenuate(crossing_field).attenuate(segment_field);
                     }
                     let dc = self.plan.output_coupler(i);
                     // Ports: `a` = cell tap, `b` = running column bus. The
@@ -380,14 +372,13 @@ impl CrossbarSimulator {
         let mut flat = Vec::with_capacity(n * m);
         if self.config.include_losses && self.config.compensate_path_loss {
             let worst = self.worst_cell_path_loss();
-            for i in 0..n {
-                for j in 0..m {
+            for (i, row) in weights.iter().enumerate().take(n) {
+                for (j, &w) in row.iter().enumerate().take(m) {
                     // Boost each weight by its loss advantage over the worst
                     // path; the boost is ≤ 1 relative to w=1 ceiling because
                     // worst ≥ cell loss.
-                    let relative =
-                        (worst - self.cell_path_loss(i, j)).attenuation_field();
-                    flat.push((weights[i][j] * relative).min(1.0));
+                    let relative = (worst - self.cell_path_loss(i, j)).attenuation_field();
+                    flat.push((w * relative).min(1.0));
                 }
             }
         } else {
@@ -445,8 +436,7 @@ mod tests {
         let (inputs, weights) = random_case(n, m, 7);
         let ys = sim.run_normalized(&inputs, &weights);
         for j in 0..m {
-            let expected: f64 =
-                (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / n as f64;
+            let expected: f64 = (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / n as f64;
             assert!((ys[j] - expected).abs() < 1e-12, "j={j}");
         }
     }
@@ -479,9 +469,7 @@ mod tests {
     fn path_loss_gradient_exists_without_compensation() {
         let sim = CrossbarSimulator::new(CrossbarConfig::new(16, 16).with_losses(true));
         // Far corner cell loses more than the near corner cell.
-        assert!(
-            sim.cell_path_loss(0, 15).value() > sim.cell_path_loss(15, 0).value()
-        );
+        assert!(sim.cell_path_loss(0, 15).value() > sim.cell_path_loss(15, 0).value());
     }
 
     #[test]
@@ -496,8 +484,7 @@ mod tests {
         );
         let ys = comp.run_normalized(&inputs, &weights);
         for j in 0..m {
-            let expected: f64 =
-                (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / n as f64;
+            let expected: f64 = (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / n as f64;
             // Equal to the exact MAC within small numerical tolerance; the
             // systematic gradient is calibrated out.
             assert!(
@@ -516,8 +503,7 @@ mod tests {
         let ys = lossy.run_normalized(&inputs, &weights);
         let mut max_err = 0.0f64;
         for j in 0..m {
-            let expected: f64 =
-                (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / n as f64;
+            let expected: f64 = (0..n).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / n as f64;
             max_err = max_err.max((ys[j] - expected).abs() / expected.abs().max(1e-12));
         }
         // Without calibration the gradient produces a visible (>1%) error.

@@ -116,9 +116,7 @@ mod tests {
         let x = MmiCrossing::default();
         let small = CrosstalkBudget::analyze(32, 32, x);
         let large = CrosstalkBudget::analyze(512, 512, x);
-        assert!(
-            large.worst_case_field_ratio() > small.worst_case_field_ratio()
-        );
+        assert!(large.worst_case_field_ratio() > small.worst_case_field_ratio());
         assert!(large.effective_bits_worst_case() < small.effective_bits_worst_case());
     }
 

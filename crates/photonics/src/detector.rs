@@ -33,10 +33,7 @@ impl Photodiode {
     /// Panics if the responsivity is not positive.
     #[must_use]
     pub fn new(responsivity_a_per_w: f64) -> Self {
-        assert!(
-            responsivity_a_per_w > 0.0,
-            "responsivity must be positive"
-        );
+        assert!(responsivity_a_per_w > 0.0, "responsivity must be positive");
         Self {
             responsivity_a_per_w,
         }
@@ -180,8 +177,8 @@ mod tests {
     #[test]
     fn lo_phase_alignment() {
         let lo = Field::from_power(Power::from_milliwatts(1.0), 0.0);
-        let rx = BalancedReceiver::new(Photodiode::default(), lo)
-            .with_lo_phase(core::f64::consts::PI);
+        let rx =
+            BalancedReceiver::new(Photodiode::default(), lo).with_lo_phase(core::f64::consts::PI);
         let sig = Field::from_power(Power::from_microwatts(1.0), core::f64::consts::PI);
         assert!(rx.detect(sig) > 0.0);
     }

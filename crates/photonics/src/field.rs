@@ -110,12 +110,7 @@ impl core::iter::Sum for Field {
 
 impl core::fmt::Display for Field {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{} @ {:.3} rad",
-            self.power(),
-            self.phase()
-        )
+        write!(f, "{} @ {:.3} rad", self.power(), self.phase())
     }
 }
 

@@ -56,10 +56,7 @@ impl Laser {
     /// Creates a laser with the paper's default 15% wall-plug efficiency.
     #[must_use]
     pub fn with_default_efficiency(optical_power: Power) -> Self {
-        Self::new(
-            optical_power,
-            Ratio::from_fraction(Self::DEFAULT_WALL_PLUG),
-        )
+        Self::new(optical_power, Ratio::from_fraction(Self::DEFAULT_WALL_PLUG))
     }
 
     /// Overrides the operating wavelength (nm).

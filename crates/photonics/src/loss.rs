@@ -111,7 +111,10 @@ impl CrossbarLossParams {
     pub fn worst_path_budget(&self, n_rows: usize, m_cols: usize) -> LossBudget {
         let mut budget = LossBudget::new();
         budget.add("grating coupler", Decibel::new(self.grating_db));
-        budget.add("splitter tree excess", Decibel::new(self.splitter_excess_db));
+        budget.add(
+            "splitter tree excess",
+            Decibel::new(self.splitter_excess_db),
+        );
         budget.add("ODAC OMA penalty", Decibel::new(self.odac_oma_db));
         let crossings = (m_cols.saturating_sub(1) + n_rows.saturating_sub(1)) as f64;
         budget.add(

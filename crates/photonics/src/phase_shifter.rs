@@ -95,7 +95,8 @@ mod tests {
 
     #[test]
     fn negative_phase_costs_magnitude() {
-        let ps = ThermalPhaseShifter::new(-core::f64::consts::FRAC_PI_2, Power::from_milliwatts(1.0));
+        let ps =
+            ThermalPhaseShifter::new(-core::f64::consts::FRAC_PI_2, Power::from_milliwatts(1.0));
         assert!((ps.heater_power().as_milliwatts() - 0.5).abs() < 1e-12);
     }
 

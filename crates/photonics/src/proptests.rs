@@ -16,7 +16,8 @@ proptest! {
 
     #[test]
     fn coupler_is_unitary(kappa in unit_interval(), amp_a in 0.0..2.0f64,
-                          amp_b in 0.0..2.0f64, phase_b in -3.14..3.14f64) {
+                          amp_b in 0.0..2.0f64,
+                          phase_b in -std::f64::consts::PI..std::f64::consts::PI) {
         let dc = DirectionalCoupler::new(kappa).unwrap();
         let a = Field::from_amplitude(amp_a);
         let b = Field::from_amplitude(amp_b).shift_phase(phase_b);

@@ -124,7 +124,12 @@ mod tests {
     #[test]
     fn zero_code_dark() {
         let tx = RamziTransmitter::new(6).unwrap();
-        assert!(tx.modulate(Field::from_amplitude(1.0), 0).power().as_watts() < 1e-24);
+        assert!(
+            tx.modulate(Field::from_amplitude(1.0), 0)
+                .power()
+                .as_watts()
+                < 1e-24
+        );
     }
 
     #[test]

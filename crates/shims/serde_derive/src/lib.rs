@@ -1,0 +1,373 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The container this workspace builds in has no crate-registry access,
+//! so `syn`/`quote` are unavailable; the item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes are the ones the `oxbar`
+//! crates actually use:
+//!
+//! - structs with named fields → JSON object keyed by field name
+//! - newtype/tuple structs (incl. `#[serde(transparent)]`) → the inner
+//!   value (newtype) or an array (wider tuples)
+//! - unit-only enum variants → the variant name as a string
+//! - newtype enum variants → `{"Variant": <inner>}`
+//!
+//! Generics, struct enum variants, and field-level serde attributes are
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Variant {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+enum Data {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, Variant)>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+/// Derives the shim's `serde::Serialize` for structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Data::Unit => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| {
+                    let name = &item.name;
+                    match kind {
+                        Variant::Unit => format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        ),
+                        Variant::Newtype => format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(inner))]),"
+                        ),
+                        Variant::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    );
+    code.parse()
+        .expect("serde shim derive emitted invalid Rust")
+}
+
+/// Derives the shim's `serde::Deserialize` for structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Data::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Data::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({inits})),\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"array of length {n}\", other)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Data::Unit => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, kind)| matches!(kind, Variant::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    Variant::Unit => None,
+                    Variant::Newtype => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Variant::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     inner.get(\"{f}\").ok_or_else(|| \
+                                     ::serde::Error::missing_field(\"{f}\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            let str_arm = format!(
+                "::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}",
+                arms = unit_arms.join(" ")
+            );
+            let obj_arm = if newtype_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     match tag.as_str() {{\n\
+                     {arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }}\n\
+                     }}",
+                    arms = newtype_arms.join(" ")
+                )
+            };
+            format!(
+                "match value {{\n{str_arm}\n{obj_arm}\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde shim derive emitted invalid Rust")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    };
+    Input { name, data }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Variant)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let mut kind = Variant::Unit;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    panic!("serde shim derive: variant {variant} must carry exactly one field");
+                }
+                kind = Variant::Newtype;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                kind = Variant::Struct(parse_named_fields(g.stream()));
+                i += 1;
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((variant, kind));
+    }
+    variants
+}
+
+/// Skips a type, stopping after the `,` that ends the field (angle-bracket
+/// depth aware so `Vec<Vec<f64>>` and `HashMap<K, V>` parse correctly).
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}

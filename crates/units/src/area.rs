@@ -68,7 +68,9 @@ mod tests {
 
     #[test]
     fn accumulate() {
-        let total: Area = (0..128).map(|_| Area::from_square_millimeters(0.0475)).sum();
+        let total: Area = (0..128)
+            .map(|_| Area::from_square_millimeters(0.0475))
+            .sum();
         assert!((total.as_square_millimeters() - 6.08).abs() < 1e-9);
     }
 }

@@ -86,8 +86,9 @@ impl DataVolume {
 /// let filter_load = hbm * DataVolume::from_megabytes(19.2);
 /// assert!((filter_load.as_microjoules() - 599.04).abs() < 1e-6);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd,
-         serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct EnergyPerBit(f64);
 

@@ -63,6 +63,9 @@ mod tests {
 
     #[test]
     fn giga_display() {
-        assert_eq!(crate::Frequency::from_gigahertz(10.0).to_string(), "10.0000 GHz");
+        assert_eq!(
+            crate::Frequency::from_gigahertz(10.0).to_string(),
+            "10.0000 GHz"
+        );
     }
 }

@@ -30,7 +30,10 @@ fn main() {
     }
 
     let front = pareto_front(&points);
-    println!("\nPareto front (maximize IPS and IPS/W): {} points", front.len());
+    println!(
+        "\nPareto front (maximize IPS and IPS/W): {} points",
+        front.len()
+    );
     for p in &front {
         println!(
             "  {:>3}x{:<3}  IPS {:>8.0}  IPS/W {:>6.0}",
@@ -41,7 +44,8 @@ fn main() {
     // The paper's three-step flow.
     let result = optimize(&network, &OptimizerSettings::default());
     println!("\noptimization flow outcome:");
-    println!("  batch {}  input SRAM {:.1} MB  array {}x{}",
+    println!(
+        "  batch {}  input SRAM {:.1} MB  array {}x{}",
         result.batch,
         result.input_sram.as_megabytes(),
         result.array.0,

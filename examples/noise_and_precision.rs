@@ -32,8 +32,7 @@ fn rms_mac_error(sim: &CrossbarSimulator, trials: u64) -> f64 {
             .collect();
         let got = sim.run_normalized(&inputs, &weights);
         for (j, y) in got.iter().enumerate() {
-            let exact: f64 =
-                (0..N).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / N as f64;
+            let exact: f64 = (0..N).map(|i| inputs[i] * weights[i][j]).sum::<f64>() / N as f64;
             se += (y - exact).powi(2);
             count += 1;
         }
@@ -90,9 +89,8 @@ fn main() {
 
     println!("\nlaser sizing across array sizes (6-bit target):");
     for size in [32usize, 64, 128, 256] {
-        let model = oxbar::core::power::PowerModel::new(
-            ChipConfig::paper_optimal().with_array(size, size),
-        );
+        let model =
+            oxbar::core::power::PowerModel::new(ChipConfig::paper_optimal().with_array(size, size));
         let laser = model.laser();
         println!(
             "  {size:>4}x{size:<4}: optical {:>9.3} mW, electrical {:>9.3} mW",
@@ -105,11 +103,7 @@ fn main() {
     use oxbar::photonics::crossing::MmiCrossing;
     use oxbar::photonics::crosstalk::CrosstalkBudget;
     for xdb in [-40.0, -50.0, -58.0, -65.0] {
-        let budget = CrosstalkBudget::analyze(
-            128,
-            128,
-            MmiCrossing::default().with_crosstalk(xdb),
-        );
+        let budget = CrosstalkBudget::analyze(128, 128, MmiCrossing::default().with_crosstalk(xdb));
         println!(
             "  {xdb:>6.0} dB crossings: {:>5.2} bits (worst case {:>5.2})",
             budget.effective_bits_rms(),

@@ -4,9 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use oxbar::prelude::*;
 use oxbar::core::compare::{BaselineRecord, Comparison};
 use oxbar::nn::zoo::resnet50_v1_5;
+use oxbar::prelude::*;
 
 fn main() {
     // The §VII optimum: 128×128 dual-core crossbar, batch 32, 10 GHz,

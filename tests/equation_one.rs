@@ -45,7 +45,10 @@ fn photonic_mac(
 ) -> Vec<i64> {
     let n = inputs.len();
     // ODAC: inputs normalized to [0, 1] amplitudes.
-    let v: Vec<f64> = inputs.iter().map(|&x| f64::from(x) / f64::from(V_MAX)).collect();
+    let v: Vec<f64> = inputs
+        .iter()
+        .map(|&x| f64::from(x) / f64::from(V_MAX))
+        .collect();
     let w = mapped.transmissions();
     // The normalized column outputs equal Σ v·w / N.
     let ys = sim.run_normalized(&v, &w);
@@ -137,7 +140,10 @@ fn pcm_level_quantization_bounds_weight_error() {
         })
         .collect();
     let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, mapped.physical_cols()));
-    let v: Vec<f64> = inputs.iter().map(|&x| f64::from(x) / f64::from(V_MAX)).collect();
+    let v: Vec<f64> = inputs
+        .iter()
+        .map(|&x| f64::from(x) / f64::from(V_MAX))
+        .collect();
     let exact_ys = sim.run_normalized(&v, &mapped.transmissions());
     let quant_ys = sim.run_normalized(&v, &quantized);
     for (a, b) in exact_ys.iter().zip(&quant_ys) {
@@ -156,7 +162,10 @@ fn adc_quantization_preserves_int6_results() {
     let (weights, inputs) = random_signed_case(n, cols, 41);
     let mapped = MappedWeights::map(&weights, WeightMapping::Offset, Q);
     let sim = CrossbarSimulator::ideal(CrossbarConfig::new(n, mapped.physical_cols()));
-    let v: Vec<f64> = inputs.iter().map(|&x| f64::from(x) / f64::from(V_MAX)).collect();
+    let v: Vec<f64> = inputs
+        .iter()
+        .map(|&x| f64::from(x) / f64::from(V_MAX))
+        .collect();
     let ys = sim.run_normalized(&v, &mapped.transmissions());
     // Full scale of the normalized output is 1.0 (all v = w = 1).
     let adc = UnsignedQuantizer::new(12, 1.0).unwrap();
@@ -164,8 +173,7 @@ fn adc_quantization_preserves_int6_results() {
         .iter()
         .map(|&y| {
             let code = adc.quantize(y);
-            (adc.dequantize(code) * n as f64 * f64::from(V_MAX) * 2.0 * f64::from(Q))
-                .round() as i64
+            (adc.dequantize(code) * n as f64 * f64::from(V_MAX) * 2.0 * f64::from(Q)).round() as i64
         })
         .collect();
     let recovered = mapped.recover(&digitized, &inputs);

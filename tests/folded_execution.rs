@@ -34,10 +34,8 @@ fn folded_conv(
     for tile in WeightTiles::new(conv, filters, &plan) {
         // Map this tile's signed weights and build its crossbar.
         let mapped = MappedWeights::map(&tile.values, WeightMapping::Offset, Q);
-        let sim = CrossbarSimulator::ideal(CrossbarConfig::new(
-            tile.rows(),
-            mapped.physical_cols(),
-        ));
+        let sim =
+            CrossbarSimulator::ideal(CrossbarConfig::new(tile.rows(), mapped.physical_cols()));
         let transmissions = mapped.transmissions();
         let mut acc = Accumulator::new(48);
 
@@ -54,18 +52,14 @@ fn folded_conv(
                     let ci = flat % in_per_group;
                     let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
                     let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
-                    let value =
-                        input.at_padded(iy, ix, tile.group * in_per_group + ci);
+                    let value = input.at_padded(iy, ix, tile.group * in_per_group + ci);
                     window.push(value as f64 / V_MAX);
                     window_codes.push(value as u8);
                 }
                 let ys = sim.run_normalized(&window, &transmissions);
                 let raw: Vec<i64> = ys
                     .iter()
-                    .map(|y| {
-                        (y * tile.rows() as f64 * V_MAX * 2.0 * f64::from(Q)).round()
-                            as i64
-                    })
+                    .map(|y| (y * tile.rows() as f64 * V_MAX * 2.0 * f64::from(Q)).round() as i64)
                     .collect();
                 let partials = mapped.recover(&raw, &window_codes);
                 for (c, &p) in partials.iter().enumerate() {
@@ -127,8 +121,7 @@ fn doubly_folded_conv_is_bit_exact() {
 #[test]
 fn grouped_folded_conv_is_bit_exact() {
     // Depthwise: each group is its own fold set.
-    let conv = Conv2d::new("dw", TensorShape::new(6, 6, 4), 3, 3, 4, 1, 1)
-        .with_groups(4);
+    let conv = Conv2d::new("dw", TensorShape::new(6, 6, 4), 3, 3, 4, 1, 1).with_groups(4);
     let input = synthetic::activations(conv.input, 6, 81);
     let bank = synthetic::filter_bank(&conv, 6, 82);
     let exact = conv2d_exact(&input, &bank, &conv);

@@ -50,10 +50,8 @@ fn power_equals_energy_over_time_everywhere() {
 fn utilization_macs_cycles_triangle() {
     // total_macs = utilization × cycles × N × M must hold by definition.
     let spec = DataflowEngine::paper_default(128, 128, 32).analyze(&resnet50_v1_5());
-    let reconstructed = spec.average_utilization()
-        * spec.total_compute_cycles as f64
-        * 128.0
-        * 128.0;
+    let reconstructed =
+        spec.average_utilization() * spec.total_compute_cycles as f64 * 128.0 * 128.0;
     let relative = (reconstructed - spec.total_macs as f64).abs() / spec.total_macs as f64;
     assert!(relative < 1e-12);
 }
@@ -62,9 +60,15 @@ fn utilization_macs_cycles_triangle() {
 fn macs_invariant_across_array_sizes() {
     // Folding changes cycles, never the algorithmic work.
     let net = resnet50_v1_5();
-    let m32 = DataflowEngine::paper_default(32, 32, 4).analyze(&net).total_macs;
-    let m128 = DataflowEngine::paper_default(128, 128, 4).analyze(&net).total_macs;
-    let m512 = DataflowEngine::paper_default(512, 256, 4).analyze(&net).total_macs;
+    let m32 = DataflowEngine::paper_default(32, 32, 4)
+        .analyze(&net)
+        .total_macs;
+    let m128 = DataflowEngine::paper_default(128, 128, 4)
+        .analyze(&net)
+        .total_macs;
+    let m512 = DataflowEngine::paper_default(512, 256, 4)
+        .analyze(&net)
+        .total_macs;
     assert_eq!(m32, m128);
     assert_eq!(m128, m512);
     assert_eq!(m128, net.total_macs() * 4);

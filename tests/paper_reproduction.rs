@@ -90,8 +90,7 @@ fn fig7a_dram_step_between_batch_32_and_64() {
 fn fig7b_critical_sram_plateau() {
     let net = resnet50_v1_5();
     let ipsw = |mb: f64| {
-        let cfg = ChipConfig::paper_optimal()
-            .with_input_sram(DataVolume::from_megabytes(mb));
+        let cfg = ChipConfig::paper_optimal().with_input_sram(DataVolume::from_megabytes(mb));
         Chip::new(cfg).evaluate(&net).ips_per_watt
     };
     let starved = ipsw(4.0);
@@ -137,7 +136,10 @@ fn section6b_flow_reproduces_paper_design() {
     let result = optimize(&resnet50_v1_5(), &OptimizerSettings::default());
     assert_eq!(result.batch, 32, "paper picks batch 32");
     let mb = result.input_sram.as_megabytes();
-    assert!((16.0..=32.0).contains(&mb), "input SRAM {mb} MB (paper 26.3)");
+    assert!(
+        (16.0..=32.0).contains(&mb),
+        "input SRAM {mb} MB (paper 26.3)"
+    );
     assert!(
         (128..=256).contains(&result.array.0) && (64..=128).contains(&result.array.1),
         "array {:?} outside the paper's optimal band",
@@ -149,8 +151,7 @@ fn section6b_flow_reproduces_paper_design() {
 fn fig8_area_dominated_by_sram() {
     let report = Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5());
     assert_eq!(report.area.dominant(), "SRAM");
-    let share = report.area.sram.as_square_meters()
-        / report.area.total().as_square_meters();
+    let share = report.area.sram.as_square_meters() / report.area.total().as_square_meters();
     assert!(share > 0.7, "SRAM share {share}");
 }
 
@@ -164,7 +165,6 @@ fn pcie_dram_worsens_energy_like_related_work_argues() {
         ..TrafficStats::default()
     };
     let hbm = DramKind::Hbm.access_energy().as_joules_per_bit() * traffic.dram_reads;
-    let pcie =
-        DramKind::PcieAttached.access_energy().as_joules_per_bit() * traffic.dram_reads;
+    let pcie = DramKind::PcieAttached.access_energy().as_joules_per_bit() * traffic.dram_reads;
     assert!((pcie / hbm - 15.0 / 3.9).abs() < 1e-9);
 }

@@ -13,11 +13,7 @@ const Q: i8 = 31;
 
 /// Executes one conv layer on the field-level crossbar: im2col windows feed
 /// the rows, mapped filters sit in the PCM columns.
-fn conv_on_crossbar(
-    input: &Tensor3,
-    filters: &[Vec<i8>],
-    conv: &Conv2d,
-) -> Tensor3 {
+fn conv_on_crossbar(input: &Tensor3, filters: &[Vec<i8>], conv: &Conv2d) -> Tensor3 {
     let rows = conv.filter_rows();
     let signed: Vec<Vec<i8>> = (0..rows)
         .map(|r| filters.iter().map(|f| f[r]).collect())
@@ -80,15 +76,7 @@ fn lenet_conv2_photonic_matches_reference() {
 
 #[test]
 fn small_conv_photonic_matches_reference_with_stride_and_padding() {
-    let conv = Conv2d::new(
-        "probe",
-        oxbar::nn::TensorShape::new(9, 9, 4),
-        3,
-        3,
-        8,
-        2,
-        1,
-    );
+    let conv = Conv2d::new("probe", oxbar::nn::TensorShape::new(9, 9, 4), 3, 3, 8, 2, 1);
     let input = synthetic::activations(conv.input, 6, 5);
     let bank = synthetic::filter_bank(&conv, 6, 6);
     let exact = conv2d_exact(&input, &bank, &conv);

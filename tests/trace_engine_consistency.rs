@@ -18,8 +18,7 @@ fn trace_cycles_equal_engine_cycles_per_fold() {
     for g in 0..plan.groups {
         for rf in 0..plan.row_folds {
             for cf in 0..plan.col_folds {
-                traced_cycles +=
-                    trace_fold(&conv, &plan, g, rf, cf, batch).len() as u64;
+                traced_cycles += trace_fold(&conv, &plan, g, rf, cf, batch).len() as u64;
             }
         }
     }
