@@ -1,0 +1,6 @@
+//! Device-level validation sweep: LeNet-5 end to end through
+//! PCM -> photonics -> TIA/ADC plus sampled layers of the larger zoo.
+use oxbar_bench::figures::device_level;
+fn main() {
+    device_level::render(&device_level::run());
+}

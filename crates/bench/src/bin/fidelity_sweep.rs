@@ -1,4 +1,5 @@
 //! Runs the fidelity sweep (effective bits vs variation and phase error).
+use oxbar_bench::figures::fidelity;
 fn main() {
-    oxbar_bench::figures::fidelity::run();
+    fidelity::render(&fidelity::run());
 }

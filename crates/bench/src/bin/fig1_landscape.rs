@@ -1,4 +1,5 @@
-//! Regenerates Fig. 1 (processor landscape).
+//! Regenerates Fig. 1 (the AI/ML processor landscape).
+use oxbar_bench::figures::fig1;
 fn main() {
-    oxbar_bench::figures::fig1::run();
+    fig1::render(&fig1::run());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Fig. 6 (IPS/W vs array rows and columns).
+use oxbar_bench::figures::fig6;
 fn main() {
-    oxbar_bench::figures::fig6::run();
+    fig6::render(&fig6::run());
 }

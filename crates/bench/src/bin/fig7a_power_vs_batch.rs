@@ -1,4 +1,5 @@
 //! Regenerates Fig. 7a (chip power and DRAM energy vs batch size).
+use oxbar_bench::figures::fig7;
 fn main() {
-    oxbar_bench::figures::fig7::run_7a();
+    fig7::render_7a(&fig7::run_7a());
 }

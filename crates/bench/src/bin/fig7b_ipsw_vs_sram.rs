@@ -1,4 +1,5 @@
-//! Regenerates Fig. 7b (IPS/W vs input SRAM size per batch size).
+//! Regenerates Fig. 7b (IPS/W vs input SRAM size).
+use oxbar_bench::figures::fig7;
 fn main() {
-    oxbar_bench::figures::fig7::run_7b();
+    fig7::render_7b(&fig7::run_7b());
 }

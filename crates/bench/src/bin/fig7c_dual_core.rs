@@ -1,4 +1,5 @@
 //! Regenerates Fig. 7c (IPS vs batch size, single vs dual core).
+use oxbar_bench::figures::fig7;
 fn main() {
-    oxbar_bench::figures::fig7::run_7c();
+    fig7::render_7c(&fig7::run_7c());
 }

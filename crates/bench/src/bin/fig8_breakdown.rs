@@ -1,4 +1,5 @@
 //! Regenerates Fig. 8 (power and area breakdown).
+use oxbar_bench::figures::fig8;
 fn main() {
-    oxbar_bench::figures::fig8::run();
+    fig8::render(&fig8::run());
 }

@@ -1,4 +1,5 @@
 //! Runs the Sec. VI.B optimization flow.
+use oxbar_bench::figures::optimize;
 fn main() {
-    oxbar_bench::figures::optimize::run();
+    optimize::render(&optimize::run());
 }

@@ -1,21 +1,42 @@
 //! Regenerates every table and figure in one run.
+//!
+//! Each artifact runs under panic isolation: a failing figure reports its
+//! error and the run continues with the next one, so one broken model
+//! never hides the remaining artifacts. The exit code is non-zero if any
+//! figure failed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 fn main() {
-    let figures: [(&str, fn()); 11] = [
-        ("Fig. 1", oxbar_bench::figures::fig1::run),
-        ("Fig. 6", oxbar_bench::figures::fig6::run),
-        ("Fig. 7a", oxbar_bench::figures::fig7::run_7a),
-        ("Fig. 7b", oxbar_bench::figures::fig7::run_7b),
-        ("Fig. 7c", oxbar_bench::figures::fig7::run_7c),
-        ("Fig. 8", oxbar_bench::figures::fig8::run),
-        ("Sec. VI.B", oxbar_bench::figures::optimize::run),
-        ("Table (Sec. VII)", oxbar_bench::figures::table1::run),
-        ("Fidelity study", oxbar_bench::figures::fidelity::run),
-        ("Zoo sweep", oxbar_bench::figures::zoo::run),
-        ("Sensitivity", oxbar_bench::figures::sensitivity::run),
-    ];
+    let mut failures: Vec<(&'static str, String)> = Vec::new();
+    let figures = oxbar_bench::figures::all();
+    let total = figures.len();
     for (name, run) in figures {
         println!("\n================ {name} ================\n");
-        run();
+        match catch_unwind(AssertUnwindSafe(run)) {
+            Ok(()) => {}
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("[FAILED] {name}: {msg}");
+                failures.push((name, msg));
+            }
+        }
     }
-    println!("\nAll artifacts regenerated under results/.");
+    println!();
+    if failures.is_empty() {
+        println!("All {total} artifacts regenerated under results/.");
+    } else {
+        eprintln!(
+            "{} of {total} artifacts FAILED (the rest regenerated under results/):",
+            failures.len()
+        );
+        for (name, msg) in &failures {
+            eprintln!("  - {name}: {msg}");
+        }
+        std::process::exit(1);
+    }
 }

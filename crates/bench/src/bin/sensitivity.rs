@@ -1,4 +1,5 @@
-//! Prints the technology-parameter sensitivity table.
+//! Runs the technology-parameter sensitivity analysis.
+use oxbar_bench::figures::sensitivity;
 fn main() {
-    oxbar_bench::figures::sensitivity::run();
+    sensitivity::render(&sensitivity::run());
 }

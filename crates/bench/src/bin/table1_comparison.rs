@@ -1,4 +1,5 @@
-//! Regenerates the Sec. VII comparison table against the Nvidia A100.
+//! Regenerates the Sec. VII comparison table.
+use oxbar_bench::figures::table1;
 fn main() {
-    oxbar_bench::figures::table1::run();
+    table1::render(&table1::run());
 }

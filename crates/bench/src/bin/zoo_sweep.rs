@@ -1,4 +1,5 @@
 //! Evaluates the paper-optimal chip across the whole model zoo.
+use oxbar_bench::figures::zoo;
 fn main() {
-    oxbar_bench::figures::zoo::run();
+    zoo::render(&zoo::run());
 }

@@ -5,22 +5,28 @@
 //! the architecture tolerates while still delivering 6 effective bits.
 
 use crate::{fmt, write_csv};
-use oxbar_core::fidelity::{run_fidelity, FidelityKnobs};
+use oxbar_core::fidelity::{run_fidelity, FidelityKnobs, FidelityReport};
 
 /// PCM programming sigma axis.
 pub const PCM_SIGMAS: [f64; 4] = [0.0, 0.005, 0.01, 0.02];
 /// Phase-error sigma axis (radians).
 pub const PHASE_SIGMAS: [f64; 4] = [0.0, 0.02, 0.05, 0.1];
 
-/// Prints the sweep and writes `results/fidelity_sweep.csv`.
-pub fn run() {
-    println!("# Fidelity sweep — effective bits vs PCM variation and phase error");
-    println!("(64x16 array, 12-bit ADC, trimmers at 0.01 rad, 20 Monte-Carlo trials)");
-    println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>10}",
-        "pcm_sigma", "phase[rad]", "rms_err", "max_err", "eff.bits"
-    );
-    let mut rows = Vec::new();
+/// One grid point of the sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FidelityPoint {
+    /// PCM cycle-to-cycle programming sigma.
+    pub pcm_sigma: f64,
+    /// Per-cell phase-error sigma (rad).
+    pub phase_sigma_rad: f64,
+    /// The Monte-Carlo result at this point.
+    pub report: FidelityReport,
+}
+
+/// Runs the sweep grid (64×16 array, 12-bit ADC, 20 trials per point).
+#[must_use]
+pub fn generate() -> Vec<FidelityPoint> {
+    let mut points = Vec::new();
     for &pcm_sigma in &PCM_SIGMAS {
         for &phase_sigma in &PHASE_SIGMAS {
             let knobs = FidelityKnobs {
@@ -28,21 +34,52 @@ pub fn run() {
                 phase_sigma_rad: phase_sigma,
                 ..FidelityKnobs::default()
             };
-            let report = run_fidelity(64, 16, 20, 42, &knobs);
-            println!(
-                "{:>10.3} {:>12.3} {:>12.6} {:>12.6} {:>10.2}",
-                pcm_sigma, phase_sigma, report.rms_error, report.max_error, report.effective_bits
-            );
-            rows.push(vec![
-                fmt(pcm_sigma, 4),
-                fmt(phase_sigma, 4),
-                fmt(report.rms_error, 8),
-                fmt(report.max_error, 8),
-                fmt(report.effective_bits, 3),
-            ]);
+            points.push(FidelityPoint {
+                pcm_sigma,
+                phase_sigma_rad: phase_sigma,
+                report: run_fidelity(64, 16, 20, 42, &knobs),
+            });
         }
     }
+    points
+}
+
+/// Prints the sweep table.
+pub fn render(points: &[FidelityPoint]) {
+    println!("# Fidelity sweep — effective bits vs PCM variation and phase error");
+    println!("(64x16 array, 12-bit ADC, trimmers at 0.01 rad, 20 Monte-Carlo trials)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "pcm_sigma", "phase[rad]", "rms_err", "max_err", "eff.bits"
+    );
+    for p in points {
+        println!(
+            "{:>10.3} {:>12.3} {:>12.6} {:>12.6} {:>10.2}",
+            p.pcm_sigma,
+            p.phase_sigma_rad,
+            p.report.rms_error,
+            p.report.max_error,
+            p.report.effective_bits
+        );
+    }
     println!("\n(INT6 viability requires ≥6 effective bits — top-left region)");
+}
+
+/// Runs the sweep and writes `results/fidelity_sweep.csv`.
+pub fn run() -> Vec<FidelityPoint> {
+    let points = generate();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.pcm_sigma, 4),
+                fmt(p.phase_sigma_rad, 4),
+                fmt(p.report.rms_error, 8),
+                fmt(p.report.max_error, 8),
+                fmt(p.report.effective_bits, 3),
+            ]
+        })
+        .collect();
     write_csv(
         "fidelity_sweep",
         &[
@@ -54,4 +91,5 @@ pub fn run() {
         ],
         &rows,
     );
+    points
 }

@@ -14,28 +14,40 @@ pub fn generate() -> Vec<ProcessorPoint> {
     points
 }
 
-/// Prints the series and writes `results/fig1_landscape.csv`.
-pub fn run() {
+fn class_name(class: ProcessorClass) -> &'static str {
+    match class {
+        ProcessorClass::Edge => "edge",
+        ProcessorClass::Datacenter => "datacenter",
+        ProcessorClass::Photonic => "photonic",
+    }
+}
+
+/// Prints the series.
+pub fn render(points: &[ProcessorPoint]) {
     println!("# Fig. 1 — AI/ML processor landscape (TOPS vs TOPS/W)");
     println!("{:38} {:>10} {:>10}  class", "processor", "TOPS", "TOPS/W");
+    for p in points {
+        println!(
+            "{:38} {:>10.3} {:>10.2}  {}",
+            p.name,
+            p.tops,
+            p.tops_per_watt,
+            class_name(p.class)
+        );
+    }
+}
+
+/// Generates the series and writes `results/fig1_landscape.csv`.
+pub fn run() -> Vec<ProcessorPoint> {
     let points = generate();
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            let class = match p.class {
-                ProcessorClass::Edge => "edge",
-                ProcessorClass::Datacenter => "datacenter",
-                ProcessorClass::Photonic => "photonic",
-            };
-            println!(
-                "{:38} {:>10.3} {:>10.2}  {class}",
-                p.name, p.tops, p.tops_per_watt
-            );
             vec![
                 p.name.clone(),
                 fmt(p.tops, 3),
                 fmt(p.tops_per_watt, 3),
-                class.to_string(),
+                class_name(p.class).to_string(),
             ]
         })
         .collect();
@@ -44,4 +56,5 @@ pub fn run() {
         &["processor", "tops", "tops_per_watt", "class"],
         &rows,
     );
+    points
 }

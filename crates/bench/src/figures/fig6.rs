@@ -15,12 +15,10 @@ pub fn generate() -> Vec<DesignPoint> {
     sweep(&resnet50_v1_5(), array_grid(&ROWS, &COLS))
 }
 
-/// Prints the IPS/W matrix and writes `results/fig6_array_sweep.csv`.
-pub fn run() {
+/// Prints the IPS/W matrix and the peak point.
+pub fn render(points: &[DesignPoint]) {
     println!("# Fig. 6 — IPS/W vs crossbar rows x columns");
     println!("(ResNet-50 v1.5, batch 32, dual-core, default SRAM)");
-    let points = generate();
-
     print!("{:>8}", "rows\\cols");
     for c in COLS {
         print!(" {c:>9}");
@@ -46,7 +44,11 @@ pub fn run() {
         "peak IPS/W = {:.0} at {}x{} (paper band: 128-256 rows x 64-128 cols)",
         best.ips_per_watt, best.rows, best.cols
     );
+}
 
+/// Evaluates the grid and writes `results/fig6_array_sweep.csv`.
+pub fn run() -> Vec<DesignPoint> {
+    let points = generate();
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -65,4 +67,5 @@ pub fn run() {
         &["rows", "cols", "ips", "ips_per_watt", "power_w", "area_mm2"],
         &rows,
     );
+    points
 }

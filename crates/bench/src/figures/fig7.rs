@@ -54,8 +54,8 @@ pub fn generate_7a(net: &Network) -> Vec<PowerVsBatch> {
         .collect()
 }
 
-/// Prints 7a and writes `results/fig7a_power_vs_batch.csv`.
-pub fn run_7a() {
+/// Prints the 7a series.
+pub fn render_7a(series: &[PowerVsBatch]) {
     println!("# Fig. 7a — chip power and DRAM energy vs batch size");
     println!("(input SRAM fixed at 26.3 MB; DRAM rises steeply once the batch");
     println!(" working set exceeds the input SRAM, between batch 32 and 64)");
@@ -63,14 +63,20 @@ pub fn run_7a() {
         "{:>6} {:>10} {:>10} {:>10}",
         "batch", "power[W]", "dram[W]", "IPS/W"
     );
+    for p in series {
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.0}",
+            p.batch, p.power_w, p.dram_w, p.ips_per_watt
+        );
+    }
+}
+
+/// Generates 7a and writes `results/fig7a_power_vs_batch.csv`.
+pub fn run_7a() -> Vec<PowerVsBatch> {
     let series = generate_7a(&resnet50_v1_5());
     let rows: Vec<Vec<String>> = series
         .iter()
         .map(|p| {
-            println!(
-                "{:>6} {:>10.2} {:>10.2} {:>10.0}",
-                p.batch, p.power_w, p.dram_w, p.ips_per_watt
-            );
             vec![
                 p.batch.to_string(),
                 fmt(p.power_w, 3),
@@ -84,6 +90,7 @@ pub fn run_7a() {
         &["batch", "power_w", "dram_w", "ips_per_watt"],
         &rows,
     );
+    series
 }
 
 /// One row of the 7b grid.
@@ -117,11 +124,10 @@ pub fn generate_7b(net: &Network) -> Vec<IpswVsSram> {
     out
 }
 
-/// Prints 7b and writes `results/fig7b_ipsw_vs_sram.csv`.
-pub fn run_7b() {
+/// Prints the 7b grid.
+pub fn render_7b(grid: &[IpswVsSram]) {
     println!("# Fig. 7b — IPS/W vs input SRAM size, per batch size");
     println!("(each batch has a critical SRAM size; more SRAM does not help)");
-    let grid = generate_7b(&resnet50_v1_5());
     print!("{:>10}", "sram[MB]");
     for b in SRAM_BATCHES {
         print!(" {:>10}", format!("batch {b}"));
@@ -138,6 +144,11 @@ pub fn run_7b() {
         }
         println!();
     }
+}
+
+/// Generates 7b and writes `results/fig7b_ipsw_vs_sram.csv`.
+pub fn run_7b() -> Vec<IpswVsSram> {
+    let grid = generate_7b(&resnet50_v1_5());
     let rows: Vec<Vec<String>> = grid
         .iter()
         .map(|p| {
@@ -153,6 +164,7 @@ pub fn run_7b() {
         &["input_sram_mb", "batch", "ips_per_watt"],
         &rows,
     );
+    grid
 }
 
 /// One row of the 7c series.
@@ -187,25 +199,31 @@ pub fn generate_7c(net: &Network) -> Vec<DualCoreIps> {
         .collect()
 }
 
-/// Prints 7c and writes `results/fig7c_dual_core.csv`.
-pub fn run_7c() {
+/// Prints the 7c series.
+pub fn render_7c(series: &[DualCoreIps]) {
     println!("# Fig. 7c — IPS vs batch size, single vs dual core");
     println!("(dual core hides PCM programming; the gain is largest at small batch)");
     println!(
         "{:>6} {:>12} {:>12} {:>8}",
         "batch", "single[IPS]", "dual[IPS]", "gain"
     );
+    for p in series {
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>7.2}x",
+            p.batch,
+            p.single_ips,
+            p.dual_ips,
+            p.dual_ips / p.single_ips
+        );
+    }
+}
+
+/// Generates 7c and writes `results/fig7c_dual_core.csv`.
+pub fn run_7c() -> Vec<DualCoreIps> {
     let series = generate_7c(&resnet50_v1_5());
     let rows: Vec<Vec<String>> = series
         .iter()
         .map(|p| {
-            println!(
-                "{:>6} {:>12.0} {:>12.0} {:>7.2}x",
-                p.batch,
-                p.single_ips,
-                p.dual_ips,
-                p.dual_ips / p.single_ips
-            );
             vec![
                 p.batch.to_string(),
                 fmt(p.single_ips, 1),
@@ -219,4 +237,5 @@ pub fn run_7c() {
         &["batch", "single_ips", "dual_ips", "gain"],
         &rows,
     );
+    series
 }

@@ -10,27 +10,19 @@ pub fn generate() -> ChipReport {
     Chip::new(ChipConfig::paper_optimal()).evaluate(&resnet50_v1_5())
 }
 
-/// Prints the breakdowns and writes `results/fig8_breakdown.{csv,json}`.
-pub fn run() {
+/// Prints the power and area breakdowns.
+pub fn render(report: &ChipReport) {
     println!("# Fig. 8 — power and area breakdown (128x128, dual-core, batch 32)");
-    let report = generate();
 
     let total_e = report.energy.total().as_joules();
     println!(
         "\npower breakdown (total {:.2} W):",
         report.power.as_watts()
     );
-    let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, e) in report.energy.entries() {
         let watts = e.as_joules() / report.batch_time.as_seconds();
         let share = e.as_joules() / total_e * 100.0;
         println!("  {name:34} {watts:>8.3} W  {share:>6.2}%");
-        rows.push(vec![
-            "power".to_string(),
-            name.to_string(),
-            fmt(watts, 4),
-            fmt(share, 2),
-        ]);
     }
 
     let total_a = report.area.total().as_square_meters();
@@ -42,12 +34,6 @@ pub fn run() {
         let mm2 = a.as_square_millimeters();
         let share = a.as_square_meters() / total_a * 100.0;
         println!("  {name:34} {mm2:>8.2} mm² {share:>6.2}%");
-        rows.push(vec![
-            "area".to_string(),
-            name.to_string(),
-            fmt(mm2, 4),
-            fmt(share, 2),
-        ]);
     }
 
     println!(
@@ -56,11 +42,39 @@ pub fn run() {
         report.area.dominant()
     );
     println!("(paper: power dominated by DRAM accesses, area by SRAM — see EXPERIMENTS.md)");
+}
 
+/// Evaluates the chip and writes `results/fig8_breakdown.{csv,json}`.
+pub fn run() -> ChipReport {
+    let report = generate();
+    let total_e = report.energy.total().as_joules();
+    let total_a = report.area.total().as_square_meters();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, e) in report.energy.entries() {
+        let watts = e.as_joules() / report.batch_time.as_seconds();
+        let share = e.as_joules() / total_e * 100.0;
+        rows.push(vec![
+            "power".to_string(),
+            name.to_string(),
+            fmt(watts, 4),
+            fmt(share, 2),
+        ]);
+    }
+    for (name, a) in report.area.entries() {
+        let mm2 = a.as_square_millimeters();
+        let share = a.as_square_meters() / total_a * 100.0;
+        rows.push(vec![
+            "area".to_string(),
+            name.to_string(),
+            fmt(mm2, 4),
+            fmt(share, 2),
+        ]);
+    }
     write_csv(
         "fig8_breakdown",
         &["kind", "component", "value", "share_percent"],
         &rows,
     );
     write_json("fig8_report", &report);
+    report
 }

@@ -1,7 +1,16 @@
-//! One module per paper artifact; each generates, prints, and persists the
-//! figure's data series. Binaries under `src/bin/` are thin wrappers so
-//! `repro_all` can drive everything in one process.
+//! One module per paper artifact. Each module follows the same shape:
+//!
+//! * `generate()` — pure computation, returns a serializable result
+//!   struct (what the golden-file regression tests snapshot);
+//! * `render(&result)` — prints the paper-style table to stdout;
+//! * `run()` — `generate()` plus artifact persistence (CSV/JSON under
+//!   `results/`), returning the result so binaries can render it.
+//!
+//! Binaries under `src/bin/` are thin `render(&run())` wrappers;
+//! [`all`] registers every entry point so `repro_all` and the smoke test
+//! can drive the full set.
 
+pub mod device_level;
 pub mod fidelity;
 pub mod fig1;
 pub mod fig6;
@@ -11,3 +20,27 @@ pub mod optimize;
 pub mod sensitivity;
 pub mod table1;
 pub mod zoo;
+
+/// Every figure/table entry point: `(name, run-and-render fn)`.
+///
+/// This is the registry `repro_all` drives (with per-entry panic
+/// isolation) and the bins smoke test asserts over.
+#[must_use]
+pub fn all() -> Vec<(&'static str, fn())> {
+    vec![
+        ("Fig. 1", || fig1::render(&fig1::run())),
+        ("Fig. 6", || fig6::render(&fig6::run())),
+        ("Fig. 7a", || fig7::render_7a(&fig7::run_7a())),
+        ("Fig. 7b", || fig7::render_7b(&fig7::run_7b())),
+        ("Fig. 7c", || fig7::render_7c(&fig7::run_7c())),
+        ("Fig. 8", || fig8::render(&fig8::run())),
+        ("Sec. VI.B", || optimize::render(&optimize::run())),
+        ("Table (Sec. VII)", || table1::render(&table1::run())),
+        ("Fidelity study", || fidelity::render(&fidelity::run())),
+        ("Zoo sweep", || zoo::render(&zoo::run())),
+        ("Sensitivity", || sensitivity::render(&sensitivity::run())),
+        ("Device-level validation", || {
+            device_level::render(&device_level::run());
+        }),
+    ]
+}

@@ -11,10 +11,9 @@ pub fn generate() -> OptimizationResult {
     optimize(&resnet50_v1_5(), &OptimizerSettings::default())
 }
 
-/// Prints each decision and writes `results/optimize.json`.
-pub fn run() {
+/// Prints each decision and the resulting chip.
+pub fn render(result: &OptimizationResult) {
     println!("# Sec. VI.B — optimization flow (batch -> SRAM -> array)");
-    let result = generate();
     println!("step 1  batch          : {}  (paper: 32)", result.batch);
     println!(
         "step 2  input SRAM     : {:.1} MB  (paper: 26.3 MB)",
@@ -26,5 +25,11 @@ pub fn run() {
     );
     println!("\nresulting chip:");
     println!("{}", result.report);
+}
+
+/// Runs the flow and writes `results/optimize.json`.
+pub fn run() -> OptimizationResult {
+    let result = generate();
     write_json("optimize", &result);
+    result
 }

@@ -1,13 +1,13 @@
 //! Technology-parameter sensitivity (tornado) table.
 
 use crate::{fmt, write_csv};
-use oxbar_core::sensitivity::analyze;
+use oxbar_core::sensitivity::{analyze, Sensitivity};
 use oxbar_core::ChipConfig;
 use oxbar_nn::zoo::resnet50_v1_5;
 
-/// Prints the tornado table and writes `results/sensitivity.csv`.
-pub fn run() {
-    println!("# Sensitivity — IPS/W elasticity to each device constant (±20%)");
+/// Analyzes every device constant at ±20%, sorted by |elasticity|.
+#[must_use]
+pub fn generate() -> Vec<Sensitivity> {
     let mut table = analyze(&resnet50_v1_5(), &ChipConfig::paper_optimal(), 0.2);
     table.sort_by(|a, b| {
         b.elasticity
@@ -15,28 +15,44 @@ pub fn run() {
             .partial_cmp(&a.elasticity.abs())
             .expect("finite")
     });
+    table
+}
+
+/// Prints the tornado table.
+pub fn render(table: &[Sensitivity]) {
+    println!("# Sensitivity — IPS/W elasticity to each device constant (±20%)");
     println!(
         "{:<28} {:>12} {:>12} {:>12}",
         "parameter", "IPS/W @-20%", "IPS/W @+20%", "elasticity"
     );
-    let mut rows = Vec::new();
-    for s in &table {
+    for s in table {
         println!(
             "{:<28} {:>12.0} {:>12.0} {:>+12.3}",
             s.parameter, s.ipsw_low, s.ipsw_high, s.elasticity
         );
-        rows.push(vec![
-            s.parameter.to_string(),
-            fmt(s.ipsw_low, 1),
-            fmt(s.ipsw_high, 1),
-            fmt(s.elasticity, 4),
-        ]);
     }
     println!("\n(elasticity = dln(IPS/W)/dln(param); the headline claim is robust");
     println!(" to any constant with |elasticity| well below 1)");
+}
+
+/// Analyzes and writes `results/sensitivity.csv`.
+pub fn run() -> Vec<Sensitivity> {
+    let table = generate();
+    let rows: Vec<Vec<String>> = table
+        .iter()
+        .map(|s| {
+            vec![
+                s.parameter.to_string(),
+                fmt(s.ipsw_low, 1),
+                fmt(s.ipsw_high, 1),
+                fmt(s.elasticity, 4),
+            ]
+        })
+        .collect();
     write_csv(
         "sensitivity",
         &["parameter", "ipsw_minus20", "ipsw_plus20", "elasticity"],
         &rows,
     );
+    table
 }

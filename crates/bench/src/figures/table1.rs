@@ -12,10 +12,9 @@ pub fn generate() -> Comparison {
     Comparison::against(&report, BaselineRecord::nvidia_a100())
 }
 
-/// Prints the table and writes `results/table1_comparison.csv`.
-pub fn run() {
+/// Prints the table plus the paper's reported row.
+pub fn render(cmp: &Comparison) {
     println!("# Table (Sec. VII) — this work vs Nvidia A100 (ResNet-50)");
-    let cmp = generate();
     println!("{cmp}");
     let paper = BaselineRecord::paper_this_work();
     println!(
@@ -23,7 +22,12 @@ pub fn run() {
         paper.ips, paper.ips_per_watt, paper.power_w, paper.area_mm2
     );
     println!("paper's reported advantages: 15.4x lower power, 7.24x lower area, 1.22x IPS");
+}
 
+/// Builds the comparison and writes `results/table1_comparison.csv`.
+pub fn run() -> Comparison {
+    let cmp = generate();
+    let paper = BaselineRecord::paper_this_work();
     let rows = vec![
         vec![
             cmp.this_work.name.clone(),
@@ -52,4 +56,5 @@ pub fn run() {
         &["system", "ips", "ips_per_watt", "power_w", "area_mm2"],
         &rows,
     );
+    cmp
 }

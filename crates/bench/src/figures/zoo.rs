@@ -9,40 +9,80 @@ use crate::{fmt, write_csv};
 use oxbar_core::{Chip, ChipConfig};
 use oxbar_nn::zoo::all_networks;
 
-/// Prints the sweep and writes `results/zoo_sweep.csv`.
-pub fn run() {
+/// One network's system-level numbers on the paper-optimal chip.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ZooRow {
+    /// Network name.
+    pub network: String,
+    /// GMACs per inference.
+    pub gmacs: f64,
+    /// Inferences per second.
+    pub ips: f64,
+    /// IPS per watt.
+    pub ips_per_watt: f64,
+    /// Chip power (W).
+    pub power_w: f64,
+    /// Effective TOPS.
+    pub tops: f64,
+    /// Array utilization (percent).
+    pub utilization_pct: f64,
+}
+
+/// Evaluates every zoo network on the paper-optimal chip.
+#[must_use]
+pub fn generate() -> Vec<ZooRow> {
+    let chip = Chip::new(ChipConfig::paper_optimal());
+    all_networks()
+        .iter()
+        .map(|net| {
+            let report = chip.evaluate(net);
+            ZooRow {
+                network: net.name().to_string(),
+                gmacs: net.total_macs() as f64 / 1e9,
+                ips: report.ips,
+                ips_per_watt: report.ips_per_watt,
+                power_w: report.power.as_watts(),
+                tops: report.tops,
+                utilization_pct: report.utilization * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Prints the sweep table.
+pub fn render(rows: &[ZooRow]) {
     println!("# Model-zoo sweep on the paper-optimal chip (128x128, dual, batch 32)");
     println!(
         "{:<16} {:>8} {:>9} {:>10} {:>9} {:>9} {:>7}",
         "network", "GMACs", "IPS", "IPS/W", "power[W]", "TOPS", "util%"
     );
-    let chip = Chip::new(ChipConfig::paper_optimal());
-    let mut rows = Vec::new();
-    for net in all_networks() {
-        let report = chip.evaluate(&net);
-        let gmacs = net.total_macs() as f64 / 1e9;
+    for r in rows {
         println!(
             "{:<16} {:>8.3} {:>9.0} {:>10.0} {:>9.2} {:>9.1} {:>7.1}",
-            net.name(),
-            gmacs,
-            report.ips,
-            report.ips_per_watt,
-            report.power.as_watts(),
-            report.tops,
-            report.utilization * 100.0
+            r.network, r.gmacs, r.ips, r.ips_per_watt, r.power_w, r.tops, r.utilization_pct
         );
-        rows.push(vec![
-            net.name().to_string(),
-            fmt(gmacs, 4),
-            fmt(report.ips, 1),
-            fmt(report.ips_per_watt, 1),
-            fmt(report.power.as_watts(), 3),
-            fmt(report.tops, 2),
-            fmt(report.utilization * 100.0, 2),
-        ]);
     }
     println!("\n(depthwise convs crater utilization: mobilenet_v1 maps 9-row");
     println!(" matrices onto 128 rows — the array-size trade-off of Fig. 6)");
+}
+
+/// Evaluates the zoo and writes `results/zoo_sweep.csv`.
+pub fn run() -> Vec<ZooRow> {
+    let table = generate();
+    let rows: Vec<Vec<String>> = table
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                fmt(r.gmacs, 4),
+                fmt(r.ips, 1),
+                fmt(r.ips_per_watt, 1),
+                fmt(r.power_w, 3),
+                fmt(r.tops, 2),
+                fmt(r.utilization_pct, 2),
+            ]
+        })
+        .collect();
     write_csv(
         "zoo_sweep",
         &[
@@ -56,4 +96,5 @@ pub fn run() {
         ],
         &rows,
     );
+    table
 }

@@ -1,0 +1,34 @@
+//! Smoke test: every bench binary's library entry point must run.
+//!
+//! The binaries are thin `render(&run())` wrappers over the
+//! `figures::all()` registry, so driving the registry is equivalent to
+//! launching every bin — without spawning processes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn every_figure_entry_point_runs() {
+    let mut failed = Vec::new();
+    for (name, run) in oxbar_bench::figures::all() {
+        if catch_unwind(AssertUnwindSafe(run)).is_err() {
+            failed.push(name);
+        }
+    }
+    assert!(failed.is_empty(), "entry points panicked: {failed:?}");
+}
+
+#[test]
+fn registry_covers_every_figure_bin() {
+    // One registry entry per figure/table binary (repro_all is the driver,
+    // not an artifact itself).
+    let names: Vec<&str> = oxbar_bench::figures::all()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+    assert_eq!(names.len(), 12);
+    // No duplicates.
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len());
+}

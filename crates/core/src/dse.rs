@@ -41,10 +41,71 @@ impl DesignPoint {
     }
 }
 
+/// Order-preserving parallel map over a slice with `std::thread::scope`.
+///
+/// Items are split into contiguous chunks, one scoped thread per chunk;
+/// `f(index, item)` must therefore be independent per item (seed any
+/// randomness from `index`, never from shared state). The output vector
+/// keeps the input order exactly, so a parallel run is byte-identical to
+/// the serial `items.iter().enumerate().map(f)` — the property the
+/// determinism tests pin down.
+///
+/// With `threads == 1` (or a single item) the closure runs on the calling
+/// thread without spawning.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_core::dse::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 0, |i, &x| x * x + i as u64);
+/// assert_eq!(squares, vec![1, 5, 11, 19]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut results: Vec<Option<U>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, (slot_chunk, item_chunk)) in results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = chunk_idx * chunk;
+                for (offset, (slot, item)) in slot_chunk.iter_mut().zip(item_chunk).enumerate() {
+                    *slot = Some(f(base + offset, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|p| p.expect("every slot filled"))
+        .collect()
+}
+
 /// Evaluates every configuration in the cartesian sweep, in parallel.
 ///
 /// Each entry of `configs` is evaluated independently with
-/// `std::thread::scope`; results keep the input order.
+/// [`parallel_map`]; results keep the input order.
 ///
 /// # Examples
 ///
@@ -62,26 +123,10 @@ impl DesignPoint {
 /// ```
 #[must_use]
 pub fn sweep(network: &Network, configs: Vec<ChipConfig>) -> Vec<DesignPoint> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(configs.len().max(1));
-    let mut results: Vec<Option<DesignPoint>> = vec![None; configs.len()];
-    let chunk = configs.len().div_ceil(threads.max(1));
-    std::thread::scope(|scope| {
-        for (slot_chunk, cfg_chunk) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, cfg) in slot_chunk.iter_mut().zip(cfg_chunk) {
-                    let report = Chip::new(cfg.clone()).evaluate(network);
-                    *slot = Some(DesignPoint::from_report(cfg, &report));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|p| p.expect("every slot filled"))
-        .collect()
+    parallel_map(&configs, 0, |_, cfg| {
+        let report = Chip::new(cfg.clone()).evaluate(network);
+        DesignPoint::from_report(cfg, &report)
+    })
 }
 
 /// Builds the Fig. 6 grid: all `rows × cols` combinations at fixed batch
@@ -119,6 +164,27 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
 mod tests {
     use super::*;
     use oxbar_nn::zoo::resnet50_v1_5;
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = parallel_map(&items, threads, |i, &x| x * 3 + i as u64);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = parallel_map(&[], 4, |_, x: &u32| *x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(&[9u32], 4, |i, &x| x + i as u32), vec![9]);
+    }
 
     #[test]
     fn sweep_preserves_order_and_length() {

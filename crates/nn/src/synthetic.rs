@@ -4,6 +4,7 @@
 //! functional validation needs *any* exactly-known integer tensors, so
 //! reproducible pseudo-random data is a faithful substitute (DESIGN.md §4).
 
+use crate::layer::{Activation, Conv2d, Dense, Layer, Pool, PoolKind};
 use crate::reference::{FilterBank, Tensor3};
 use crate::shape::TensorShape;
 use crate::Network;
@@ -59,6 +60,72 @@ pub fn filter_banks(network: &Network, bits: u8, seed: u64) -> Vec<FilterBank> {
         .collect()
 }
 
+/// Generates a seeded random *small sequential* network: a short stack of
+/// convolutions (with occasional pooling and mixed activations) closed by a
+/// dense classifier.
+///
+/// Every network passes [`Network::audit_shapes`] and contains no residual
+/// `Add` layers, so both the exact reference executor and the device-level
+/// pipeline can run it — the cross-crate equivalence property tests sample
+/// from this generator.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_nn::synthetic::small_network;
+///
+/// let net = small_network(7);
+/// assert_eq!(net.audit_shapes(), None);
+/// assert!(net.conv_like_layers().count() >= 2);
+/// ```
+#[must_use]
+pub fn small_network(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = rng.random_range(5..=9usize);
+    let channels = rng.random_range(1..=3usize);
+    let mut shape = TensorShape::new(side, side, channels);
+    let mut net = Network::new(format!("synthetic_{seed}"), shape);
+
+    let stages = rng.random_range(1..=2usize);
+    for stage in 0..stages {
+        let k = if rng.random_range(0..2u8) == 0 { 1 } else { 3 };
+        let out_c = rng.random_range(2..=5usize);
+        let padding = if k == 3 && rng.random_range(0..2u8) == 0 {
+            1
+        } else {
+            0
+        };
+        // Keep the spatial extent legal for the kernel.
+        if shape.h < k {
+            break;
+        }
+        let activation = if rng.random_range(0..3u8) == 0 {
+            Activation::None
+        } else {
+            Activation::Relu
+        };
+        let conv = Conv2d::new(format!("conv{stage}"), shape, k, k, out_c, 1, padding)
+            .with_activation(activation);
+        shape = conv.output_shape();
+        net.push(Layer::Conv2d(conv));
+
+        if shape.h >= 2 && shape.w >= 2 && rng.random_range(0..2u8) == 0 {
+            let kind = if rng.random_range(0..2u8) == 0 {
+                PoolKind::Max
+            } else {
+                PoolKind::Average
+            };
+            let pool = Pool::new(format!("pool{stage}"), shape, kind, 2, 2, 0);
+            shape = pool.output_shape();
+            net.push(Layer::Pool(pool));
+        }
+    }
+
+    let classes = rng.random_range(2..=6usize);
+    net.push(Layer::Dense(Dense::new("fc", shape.elements(), classes)));
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +153,27 @@ mod tests {
                 assert!(w.iter().all(|&c| (-31..=31).contains(&c)));
             }
         }
+    }
+
+    #[test]
+    fn small_networks_are_consistent_and_executable() {
+        for seed in 0..40 {
+            let net = small_network(seed);
+            assert_eq!(net.audit_shapes(), None, "seed {seed}");
+            // No residual adds: the sequential executors must accept it.
+            let input = activations(net.input(), 6, seed);
+            let filters = filter_banks(&net, 6, seed ^ 0xABCD);
+            let (out, _) = crate::reference::Executor::new(6)
+                .forward(&net, &input, &filters)
+                .expect("sequential");
+            assert_eq!(out.shape(), net.output_shape());
+        }
+    }
+
+    #[test]
+    fn small_network_reproducible_per_seed() {
+        assert_eq!(small_network(11), small_network(11));
+        assert_ne!(small_network(11), small_network(12));
     }
 
     #[test]

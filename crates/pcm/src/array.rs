@@ -1,9 +1,12 @@
 //! Whole-array programming: scheduling, delta-programming, time and energy.
 
 use crate::cell::PcmCell;
+use crate::drift::DriftModel;
 use crate::levels::LevelTable;
 use crate::pulse::ProgramPulse;
+use crate::variation::DeviceVariation;
 use oxbar_units::{Energy, Time};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How many cells the programming drivers can write simultaneously.
@@ -67,13 +70,28 @@ impl PcmArray {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn pristine(rows: usize, cols: usize) -> Self {
+        Self::with_device(rows, cols, PcmCell::pristine(), 6)
+    }
+
+    /// Creates an array of copies of a custom `device` with a `bits`-level
+    /// table built for it.
+    ///
+    /// The device-level inference pipeline uses this both for realistic
+    /// cells and for idealized ones (0 dB amorphous loss, very deep
+    /// crystalline extinction) whose level table is exact to machine
+    /// precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `bits` is outside `1..=8`.
+    #[must_use]
+    pub fn with_device(rows: usize, cols: usize, device: PcmCell, bits: u8) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
-        let device = PcmCell::pristine();
         Self {
             rows,
             cols,
             cells: vec![device; rows * cols],
-            table: LevelTable::int6(device),
+            table: LevelTable::new(bits, device),
             delta_programming: true,
         }
     }
@@ -137,6 +155,38 @@ impl PcmArray {
     /// Panics if `weights` does not match the array dimensions or contains
     /// values outside `[0, 1]`.
     pub fn program(&mut self, weights: &[Vec<f64>], parallelism: Parallelism) -> ProgramReport {
+        self.program_impl(weights, parallelism, &mut |target| target)
+    }
+
+    /// Programs the array like [`PcmArray::program`], but each pulse lands
+    /// with stochastic [`DeviceVariation`] drawn from `rng` — the achieved
+    /// crystalline fraction deviates from the level-table target.
+    ///
+    /// The RNG is consumed in row-major cell order for every *written* cell
+    /// (skipped cells draw nothing), so a fixed seed gives a reproducible
+    /// array state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`PcmArray::program`].
+    pub fn program_with_variation<R: Rng + ?Sized>(
+        &mut self,
+        weights: &[Vec<f64>],
+        parallelism: Parallelism,
+        variation: &DeviceVariation,
+        rng: &mut R,
+    ) -> ProgramReport {
+        self.program_impl(weights, parallelism, &mut |target| {
+            variation.apply_program(target, 0.0, rng)
+        })
+    }
+
+    fn program_impl(
+        &mut self,
+        weights: &[Vec<f64>],
+        parallelism: Parallelism,
+        achieved: &mut dyn FnMut(f64) -> f64,
+    ) -> ProgramReport {
         assert_eq!(
             weights.len(),
             self.rows,
@@ -162,7 +212,7 @@ impl PcmArray {
                 if self.delta_programming && unchanged {
                     skipped += 1;
                 } else {
-                    cell.set_crystalline_fraction(target_fraction);
+                    cell.set_crystalline_fraction(achieved(target_fraction));
                     programmed += 1;
                     rows_touched[i] = true;
                 }
@@ -179,6 +229,20 @@ impl PcmArray {
             time: pulse.duration() * groups as f64,
             energy: pulse.energy() * programmed as f64,
         }
+    }
+
+    /// The field-transmission matrix after the stored weights have sat for
+    /// `elapsed` under the given [`DriftModel`] (amorphous-phase
+    /// relaxation).
+    #[must_use]
+    pub fn drifted_transmissions(&self, drift: &DriftModel, elapsed: Time) -> Vec<Vec<f64>> {
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| drift.transmission_after(*self.cell(i, j), elapsed))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Worst-case programming time for this array size and parallelism
@@ -300,5 +364,57 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut array = PcmArray::pristine(4, 4);
         let _ = array.program(&vec![vec![0.5; 4]; 3], Parallelism::FullArray);
+    }
+
+    #[test]
+    fn custom_device_array_uses_its_level_table() {
+        // An idealized device: lossless amorphous state, ~infinite
+        // extinction, so level k sits at exactly k/63 field transmission.
+        let device = PcmCell::pristine().with_loss_range(0.0, 320.0);
+        let mut array = PcmArray::with_device(2, 2, device, 6);
+        let w = vec![vec![10.0 / 63.0, 32.0 / 63.0], vec![1.0, 0.5]];
+        array.program(&w, Parallelism::FullArray);
+        let t = array.transmissions();
+        assert!((t[0][0] - 10.0 / 63.0).abs() < 1e-12);
+        assert!((t[0][1] - 32.0 / 63.0).abs() < 1e-12);
+        assert!((t[1][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_perturbs_programmed_state_reproducibly() {
+        use crate::variation::DeviceVariation;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let variation = DeviceVariation::new(0.02, 0.0);
+        let w = vec![vec![0.5; 4]; 4];
+        let run = |seed: u64| {
+            let mut array = PcmArray::pristine(4, 4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            array.program_with_variation(&w, Parallelism::FullArray, &variation, &mut rng);
+            array.transmissions()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the array state");
+        let c = run(8);
+        assert_ne!(a, c, "different seeds must differ");
+        // And the achieved state deviates from the ideal targets.
+        let mut ideal = PcmArray::pristine(4, 4);
+        ideal.program(&w, Parallelism::FullArray);
+        assert_ne!(a, ideal.transmissions());
+    }
+
+    #[test]
+    fn drifted_transmissions_decay_over_time() {
+        use crate::drift::DriftModel;
+        let mut array = PcmArray::pristine(2, 2);
+        array.program(&vec![vec![0.5; 2]; 2], Parallelism::FullArray);
+        let fresh = array.transmissions();
+        let drifted = array.drifted_transmissions(&DriftModel::new(0.02), Time::from_seconds(1e6));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(drifted[i][j] < fresh[i][j], "cell ({i},{j})");
+            }
+        }
     }
 }

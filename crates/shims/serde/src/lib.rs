@@ -51,6 +51,20 @@ impl Value {
     }
 }
 
+// `Value` round-trips through itself, matching serde_json's
+// self-(de)serializable `Value` so callers can parse arbitrary JSON.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 /// Serialization/deserialization error.
 #[derive(Debug, Clone)]
 pub struct Error(String);

@@ -1,0 +1,479 @@
+//! Whole-network execution through the device chain.
+
+use crate::config::{tile_seed, SimConfig};
+use crate::tile::{run_tile, TileDrive, TileOutcome};
+use oxbar_core::dse::parallel_map;
+use oxbar_dataflow::tiles::{WeightTile, WeightTiles};
+use oxbar_dataflow::FoldPlan;
+use oxbar_electronics::accumulator::Accumulator;
+use oxbar_nn::reference::{
+    activate, pool_exact, requantize, FilterBank, Tensor3, UnsupportedLayer,
+};
+use oxbar_nn::{Conv2d, Layer, Network, TensorShape};
+use oxbar_units::{Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated device statistics for one crossbar-mapped layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Fold tiles executed.
+    pub tiles: usize,
+    /// PCM cells written across all tiles.
+    pub cells_programmed: usize,
+    /// Total PCM programming energy.
+    pub program_energy: Energy,
+    /// Total PCM programming time (tiles programmed back to back).
+    pub program_time: Time,
+    /// Digital partial-sum accumulation operations.
+    pub accumulator_ops: u64,
+    /// Digital accumulation energy.
+    pub accumulator_energy: Energy,
+}
+
+impl LayerStats {
+    fn absorb(&mut self, outcome: &TileOutcome) {
+        self.tiles += 1;
+        self.cells_programmed += outcome.program.cells_programmed;
+        self.program_energy += outcome.program.energy;
+        self.program_time += outcome.program.time;
+    }
+}
+
+/// One executed layer: its post-processing output and device statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerExecution {
+    /// Layer name.
+    pub name: String,
+    /// Requantization shift applied after the layer (0 for pools).
+    pub shift: u32,
+    /// The layer's output tensor (after activation and requantization).
+    pub output: Tensor3,
+    /// Device statistics; `None` for digital layers (pooling).
+    pub stats: Option<LayerStats>,
+}
+
+/// A completed device-level forward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceForward {
+    /// The network's final output tensor.
+    pub output: Tensor3,
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerExecution>,
+}
+
+/// Executes whole quantized networks through the physical device chain:
+/// fold/tile planning → PCM programming → field-level photonic MVM →
+/// TIA/ADC readout → digital accumulation, pooling, and requantization.
+///
+/// In [`SimConfig::ideal`] mode the result is bit-for-bit identical to
+/// [`oxbar_nn::reference::Executor`]; with noise enabled the deviation is
+/// what the fidelity report quantifies.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_nn::synthetic;
+/// use oxbar_nn::zoo::lenet5;
+/// use oxbar_sim::{DeviceExecutor, SimConfig};
+///
+/// let net = lenet5();
+/// let input = synthetic::activations(net.input(), 6, 1);
+/// let filters = synthetic::filter_banks(&net, 6, 2);
+/// let exec = DeviceExecutor::new(SimConfig::ideal(128, 128));
+/// let forward = exec.forward(&net, &input, &filters).unwrap();
+/// assert_eq!(forward.output.shape().elements(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceExecutor {
+    config: SimConfig,
+}
+
+impl DeviceExecutor {
+    /// Creates an executor for the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs a forward pass with per-conv-layer filter banks (indexed in
+    /// [`Network::conv_like_layers`] order), like the reference executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedLayer`] for networks with residual `Add`
+    /// layers (the flattened graph carries no skip wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters` does not cover every conv-like layer or the
+    /// input does not match the network/activation range.
+    pub fn forward(
+        &self,
+        network: &Network,
+        input: &Tensor3,
+        filters: &[FilterBank],
+    ) -> Result<DeviceForward, UnsupportedLayer> {
+        let mut stats: Vec<LayerStats> = Vec::new();
+        let walked = walk_network(
+            network,
+            input,
+            self.config.activation_bits,
+            |layer_idx, conv_idx, conv, conv_input| {
+                assert!(
+                    conv_idx < filters.len(),
+                    "missing filter bank for `{}`",
+                    conv.name
+                );
+                let out = conv.output_shape();
+                let pixel_ids: Vec<usize> = (0..out.h * out.w).collect();
+                let (values, layer_stats) =
+                    self.conv_pixels(conv, conv_input, &filters[conv_idx], layer_idx, &pixel_ids);
+                stats.push(layer_stats);
+                let mut data = vec![0i64; out.elements()];
+                for (slot, per_oc) in values.iter().enumerate() {
+                    for (oc, &v) in per_oc.iter().enumerate() {
+                        data[pixel_ids[slot] * out.c + oc] = v;
+                    }
+                }
+                Tensor3::new(out, data)
+            },
+        )?;
+        let mut stats = stats.into_iter();
+        let layers: Vec<LayerExecution> = walked
+            .into_iter()
+            .map(|w| LayerExecution {
+                stats: if w.is_mac { stats.next() } else { None },
+                name: w.name,
+                shift: w.shift,
+                output: w.output,
+            })
+            .collect();
+        Ok(DeviceForward {
+            output: layers
+                .last()
+                .map_or_else(|| input.clone(), |l| l.output.clone()),
+            layers,
+        })
+    }
+
+    /// Runs one conv-like layer at device level for a subset of output
+    /// pixels, returning the raw (pre-activation, pre-requantization)
+    /// accumulator values `[pixel_slot][out_channel]` plus device stats.
+    ///
+    /// This is the entry point for layer-probing on networks too large to
+    /// execute end to end (e.g. residual nets): sampled pixels of a single
+    /// layer are validated against [`oxbar_nn::reference::conv2d_exact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input does not match the conv spec, a pixel id is out
+    /// of range, or activations exceed the configured bit range.
+    #[must_use]
+    pub fn conv_pixels(
+        &self,
+        conv: &Conv2d,
+        input: &Tensor3,
+        bank: &FilterBank,
+        layer_index: usize,
+        pixel_ids: &[usize],
+    ) -> (Vec<Vec<i64>>, LayerStats) {
+        assert_eq!(input.shape(), conv.input, "input shape mismatch");
+        bank.check(conv);
+        assert!(
+            input.max_abs() <= self.config.v_max(),
+            "activations exceed the {}-bit range",
+            self.config.activation_bits
+        );
+        let out = conv.output_shape();
+        for &pid in pixel_ids {
+            assert!(pid < out.h * out.w, "pixel id {pid} out of range");
+        }
+        let plan = FoldPlan::plan(
+            conv,
+            self.config.array_rows,
+            self.config.array_cols,
+            self.config.mapping.columns_per_output(),
+        );
+        let has_negative = input.data().iter().any(|&v| v < 0);
+        let jobs: Vec<(WeightTile, TileDrive)> = WeightTiles::new(conv, &bank.weights, &plan)
+            .map(|tile| {
+                let drive = build_drive(&tile, conv, input, pixel_ids, has_negative);
+                (tile, drive)
+            })
+            .collect();
+        let outcomes = parallel_map(&jobs, self.config.threads, |tile_index, (tile, drive)| {
+            run_tile(
+                tile,
+                drive,
+                &self.config,
+                tile_seed(self.config.seed, layer_index, tile_index),
+            )
+        });
+
+        let mut acc = Accumulator::new(48);
+        let out_per_group = conv.out_c_per_group();
+        for ((tile, _), outcome) in jobs.iter().zip(&outcomes) {
+            for (slot, per_col) in outcome.partials.iter().enumerate() {
+                for (c, &v) in per_col.iter().enumerate() {
+                    let oc = tile.group * out_per_group + tile.col_offset + c;
+                    acc.add(slot * conv.out_c + oc, v);
+                }
+            }
+        }
+        let mut stats = LayerStats {
+            tiles: 0,
+            cells_programmed: 0,
+            program_energy: Energy::ZERO,
+            program_time: Time::ZERO,
+            accumulator_ops: acc.ops(),
+            accumulator_energy: acc.energy(),
+        };
+        for outcome in &outcomes {
+            stats.absorb(outcome);
+        }
+        let values = (0..pixel_ids.len())
+            .map(|slot| {
+                (0..conv.out_c)
+                    .map(|oc| acc.value(slot * conv.out_c + oc).unwrap_or(0))
+                    .collect()
+            })
+            .collect();
+        (values, stats)
+    }
+}
+
+/// One layer produced by [`walk_network`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Requantization shift applied (0 for pools).
+    pub shift: u32,
+    /// Output tensor after the shared digital post-processing.
+    pub output: Tensor3,
+    /// Whether the layer ran through `conv_op` (conv/dense vs pool).
+    pub is_mac: bool,
+}
+
+/// Walks a sequential network, delegating each conv-like layer's raw MVM
+/// to `conv_op(layer_index, conv_index, conv, input) -> raw accumulators`
+/// and applying the shared digital semantics around it: residual-`Add`
+/// rejection, the dense flatten-reshape rule, pooling, and the
+/// activate-then-requantize sequence.
+///
+/// Both the device pipeline ([`DeviceExecutor::forward`]) and the
+/// exact-reference comparison walk in [`crate::fidelity`] run through this
+/// one function, so the two sides can never diverge on anything but the
+/// MVM itself.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedLayer`] for networks with residual `Add` layers.
+pub fn walk_network<F>(
+    network: &Network,
+    input: &Tensor3,
+    activation_bits: u8,
+    mut conv_op: F,
+) -> Result<Vec<WalkedLayer>, UnsupportedLayer>
+where
+    F: FnMut(usize, usize, &Conv2d, &Tensor3) -> Tensor3,
+{
+    // Reject residual networks up front: the flattened list does not carry
+    // the skip wiring needed to execute them.
+    if let Some(add) = network.layers().iter().find_map(|l| match l {
+        Layer::Add(a) => Some(a.name.clone()),
+        _ => None,
+    }) {
+        return Err(UnsupportedLayer { layer: add });
+    }
+    let mut conv_idx = 0;
+    let mut current = input.clone();
+    let mut walked = Vec::new();
+    for (layer_idx, layer) in network.layers().iter().enumerate() {
+        match layer {
+            Layer::Add(_) => unreachable!("Add layers rejected by the pre-scan"),
+            Layer::Pool(p) => {
+                current = pool_exact(&current, p);
+                walked.push(WalkedLayer {
+                    name: p.name.clone(),
+                    shift: 0,
+                    output: current.clone(),
+                    is_mac: false,
+                });
+            }
+            Layer::Conv2d(_) | Layer::Dense(_) => {
+                let conv = match layer {
+                    Layer::Conv2d(c) => c.clone(),
+                    Layer::Dense(d) => d.as_conv(),
+                    _ => unreachable!(),
+                };
+                // A dense layer consumes the flattened previous tensor.
+                let conv_input = if current.shape() != conv.input
+                    && current.shape().elements() == conv.input.elements()
+                {
+                    Tensor3::new(conv.input, current.data().to_vec())
+                } else {
+                    current.clone()
+                };
+                let raw = conv_op(layer_idx, conv_idx, &conv, &conv_input);
+                conv_idx += 1;
+                let activated = activate(&raw, conv.activation);
+                let (requant, shift) = requantize(&activated, activation_bits);
+                walked.push(WalkedLayer {
+                    name: conv.name.clone(),
+                    shift,
+                    output: requant.clone(),
+                    is_mac: true,
+                });
+                current = requant;
+            }
+        }
+    }
+    Ok(walked)
+}
+
+/// Builds one tile's per-pixel im2col drive (positive/negative passes).
+fn build_drive(
+    tile: &WeightTile,
+    conv: &Conv2d,
+    input: &Tensor3,
+    pixel_ids: &[usize],
+    has_negative: bool,
+) -> TileDrive {
+    let out = conv.output_shape();
+    let in_per_group = conv.in_c_per_group();
+    let window_w = conv.k_w * in_per_group;
+    let c_base = tile.group * in_per_group;
+    let rows = tile.rows();
+    let mut positive = Vec::with_capacity(pixel_ids.len());
+    let mut negative = if has_negative {
+        Some(Vec::with_capacity(pixel_ids.len()))
+    } else {
+        None
+    };
+    for &pid in pixel_ids {
+        let oy = pid / out.w;
+        let ox = pid % out.w;
+        let mut pos = Vec::with_capacity(rows);
+        let mut neg = Vec::with_capacity(if has_negative { rows } else { 0 });
+        for r in 0..rows {
+            let widx = tile.row_offset + r;
+            let ky = widx / window_w;
+            let rem = widx % window_w;
+            let kx = rem / in_per_group;
+            let ci = rem % in_per_group;
+            let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
+            let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
+            let v = input.at_padded(iy, ix, c_base + ci);
+            pos.push(v.max(0) as u8);
+            if has_negative {
+                neg.push((-v).max(0) as u8);
+            }
+        }
+        positive.push(pos);
+        if let Some(n) = negative.as_mut() {
+            n.push(neg);
+        }
+    }
+    TileDrive { positive, negative }
+}
+
+/// Evenly spaced sample of `max_pixels` output-pixel ids (deterministic).
+#[must_use]
+pub fn sample_pixels(shape: TensorShape, max_pixels: usize) -> Vec<usize> {
+    let total = shape.h * shape.w;
+    if total <= max_pixels || max_pixels == 0 {
+        return (0..total).collect();
+    }
+    (0..max_pixels).map(|k| k * total / max_pixels).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::reference::{conv2d_exact, Executor};
+    use oxbar_nn::synthetic;
+    use oxbar_nn::zoo::lenet5;
+
+    #[test]
+    fn single_conv_matches_exact_reference() {
+        let conv = Conv2d::new("probe", TensorShape::new(7, 7, 3), 3, 3, 5, 1, 1);
+        let input = synthetic::activations(conv.input, 6, 4);
+        let bank = synthetic::filter_bank(&conv, 6, 5);
+        let exact = conv2d_exact(&input, &bank, &conv);
+        let exec = DeviceExecutor::new(SimConfig::ideal(32, 8));
+        let out = conv.output_shape();
+        let pixels: Vec<usize> = (0..out.h * out.w).collect();
+        let (values, stats) = exec.conv_pixels(&conv, &input, &bank, 0, &pixels);
+        for (pid, per_oc) in pixels.iter().zip(&values) {
+            for (oc, &v) in per_oc.iter().enumerate() {
+                assert_eq!(v, exact.data()[pid * out.c + oc], "pixel {pid} oc {oc}");
+            }
+        }
+        assert!(stats.tiles > 0);
+        assert!(stats.cells_programmed > 0);
+        assert!(stats.program_energy.as_picojoules() > 0.0);
+    }
+
+    #[test]
+    fn grouped_conv_matches_exact_reference() {
+        let conv = Conv2d::new("dw", TensorShape::new(5, 5, 6), 3, 3, 6, 1, 1).with_groups(6);
+        let input = synthetic::activations(conv.input, 6, 8);
+        let bank = synthetic::filter_bank(&conv, 6, 9);
+        let exact = conv2d_exact(&input, &bank, &conv);
+        let exec = DeviceExecutor::new(SimConfig::ideal(16, 16));
+        let out = conv.output_shape();
+        let pixels: Vec<usize> = (0..out.h * out.w).collect();
+        let (values, _) = exec.conv_pixels(&conv, &input, &bank, 0, &pixels);
+        for (pid, per_oc) in pixels.iter().zip(&values) {
+            for (oc, &v) in per_oc.iter().enumerate() {
+                assert_eq!(v, exact.data()[pid * out.c + oc], "pixel {pid} oc {oc}");
+            }
+        }
+    }
+
+    #[test]
+    fn lenet_forward_matches_reference_bit_for_bit() {
+        let net = lenet5();
+        let input = synthetic::activations(net.input(), 6, 42);
+        let filters = synthetic::filter_banks(&net, 6, 7);
+        let (ref_out, traces) = Executor::new(6).forward(&net, &input, &filters).unwrap();
+        let exec = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let fwd = exec.forward(&net, &input, &filters).unwrap();
+        assert_eq!(fwd.output, ref_out, "device chain must be bit-exact");
+        assert_eq!(fwd.layers.len(), traces.len());
+        for (layer, trace) in fwd.layers.iter().zip(&traces) {
+            assert_eq!(layer.name, trace.name);
+            assert_eq!(layer.shift, trace.shift);
+            assert_eq!(layer.output.shape(), trace.output);
+        }
+    }
+
+    #[test]
+    fn residual_networks_rejected() {
+        let net = oxbar_nn::zoo::resnet50_v1_5();
+        let input = synthetic::activations(net.input(), 6, 1);
+        let filters = synthetic::filter_banks(&net, 6, 2);
+        let exec = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let err = exec.forward(&net, &input, &filters).unwrap_err();
+        assert!(err.to_string().contains("add"));
+    }
+
+    #[test]
+    fn sample_pixels_is_deterministic_and_bounded() {
+        let shape = TensorShape::new(10, 10, 4);
+        let all = sample_pixels(shape, 0);
+        assert_eq!(all.len(), 100);
+        let some = sample_pixels(shape, 7);
+        assert_eq!(some.len(), 7);
+        assert_eq!(some, sample_pixels(shape, 7));
+        assert!(some.windows(2).all(|w| w[0] < w[1]));
+        assert!(some.iter().all(|&p| p < 100));
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end **device-level network inference** for the `oxbar`
+//! coherent optical crossbar: the first code path that crosses every
+//! domain crate of the workspace in a single run.
+//!
+//! A forward pass flows through the full physical chain:
+//!
+//! ```text
+//! oxbar-nn        network graph + INT6 quantization + signed→unipolar mapping
+//!    │
+//! oxbar-dataflow  fold/tile plan (FoldPlan + WeightTiles) over the N×M array
+//!    │
+//! oxbar-pcm       per-tile PCM programming (variation / drift optional)
+//!    │
+//! oxbar-photonics field-level CrossbarSimulator MVM per tile
+//!    │
+//! oxbar-electronics TIA + ADC readout, digital partial-sum accumulation
+//!    │
+//! oxbar-nn        digital pooling / activation / requantization
+//!    └──────────▶ compared against reference::Executor (exact integers)
+//! ```
+//!
+//! In [`SimConfig::ideal`] mode the chain is **bit-for-bit identical** to
+//! the exact integer reference executor (idealized PCM device, exact
+//! readout); [`SimConfig::noisy`] turns on programming variation, drift,
+//! phase error, losses, and a 12-bit TIA/ADC front end, and
+//! [`run_inference`] reports the per-layer and per-network erosion
+//! (error rate, max |Δ|, top-1 agreement).
+//!
+//! Per-tile execution is parallelized with the order-preserving
+//! [`oxbar_core::dse::parallel_map`] and seeded per tile
+//! ([`config::tile_seed`]), so parallel runs are byte-identical to serial
+//! ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use oxbar_nn::synthetic;
+//! use oxbar_nn::zoo::lenet5;
+//! use oxbar_sim::{run_inference, SimConfig};
+//!
+//! let net = lenet5();
+//! let images = vec![synthetic::activations(net.input(), 6, 9)];
+//! let filters = synthetic::filter_banks(&net, 6, 10);
+//!
+//! // LeNet-5 through PCM → photonics → readout, bit-exact in ideal mode:
+//! let ideal = run_inference(&net, &SimConfig::ideal(128, 128), &images, &filters).unwrap();
+//! assert!(ideal.exact);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod executor;
+pub mod fidelity;
+pub mod probe;
+pub mod tile;
+
+pub use config::{NoiseModel, Readout, SimConfig};
+pub use executor::{DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
+pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};
+pub use probe::{probe_conv, LayerProbe};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,269 @@
+//! One fold-tile through the full device chain: PCM programming →
+//! field-level crossbar propagation → TIA/ADC readout → signed recovery.
+
+use crate::config::{Readout, SimConfig};
+use oxbar_dataflow::tiles::WeightTile;
+use oxbar_electronics::tia::Tia;
+use oxbar_electronics::UnsignedQuantizer;
+use oxbar_nn::mapping::MappedWeights;
+use oxbar_pcm::array::Parallelism;
+use oxbar_pcm::drift::DriftModel;
+use oxbar_pcm::variation::DeviceVariation;
+use oxbar_pcm::{PcmArray, ProgramReport};
+use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Full-scale photocurrent assumed at the balanced receiver (A). The TIA
+/// turns it into the ADC's full-scale voltage; the value cancels out of the
+/// normalized transfer function and only anchors the analog chain.
+const FULL_SCALE_CURRENT_A: f64 = 100e-6;
+
+/// The signed partial sums one tile contributes.
+#[derive(Debug, Clone)]
+pub struct TileOutcome {
+    /// `partials[pixel][c]` for the tile's logical columns `c` (output
+    /// channels `col_offset + c` within the tile's group).
+    pub partials: Vec<Vec<i64>>,
+    /// PCM programming statistics for this tile.
+    pub program: ProgramReport,
+}
+
+/// The per-pixel crossbar drive for one tile: unsigned input codes for the
+/// tile's row slice, split into positive and negative passes (signed
+/// activations run as `v = v⁺ − v⁻`, two unipolar crossbar cycles).
+#[derive(Debug, Clone)]
+pub struct TileDrive {
+    /// Positive-part codes per pixel, `rows` long.
+    pub positive: Vec<Vec<u8>>,
+    /// Negative-part codes per pixel; `None` when every value is ≥ 0.
+    pub negative: Option<Vec<Vec<u8>>>,
+}
+
+/// Executes one weight tile against its input windows.
+///
+/// The tile's signed weights are mapped to unipolar codes, programmed into
+/// a PCM array (with the config's variation/drift), propagated through a
+/// tile-sized field-level crossbar simulator (with the config's phase
+/// errors/losses, seeded from `seed`), read out per column, and recovered
+/// to signed integer partial sums.
+///
+/// # Panics
+///
+/// Panics if the drive's window lengths disagree with the tile geometry.
+#[must_use]
+pub fn run_tile(
+    tile: &WeightTile,
+    drive: &TileDrive,
+    config: &SimConfig,
+    seed: u64,
+) -> TileOutcome {
+    let rows = tile.rows();
+    let mapped = MappedWeights::map(&tile.values, config.mapping, config.q());
+    let pcols = mapped.physical_cols();
+
+    // --- PCM programming ------------------------------------------------
+    let device = config.device();
+    let mut array = PcmArray::with_device(rows, pcols, device, config.weight_bits);
+    let table_max = f64::from(config.table_max());
+    let fractions: Vec<Vec<f64>> = mapped
+        .unipolar()
+        .iter()
+        .map(|row| row.iter().map(|&u| f64::from(u) / table_max).collect())
+        .collect();
+    let program = if config.noise.pcm_sigma > 0.0 {
+        let variation = DeviceVariation::new(config.noise.pcm_sigma, 0.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        array.program_with_variation(&fractions, Parallelism::FullArray, &variation, &mut rng)
+    } else {
+        array.program(&fractions, Parallelism::FullArray)
+    };
+    let transmissions = if config.noise.drift_nu > 0.0 {
+        array.drifted_transmissions(
+            &DriftModel::new(config.noise.drift_nu),
+            config.noise.drift_elapsed,
+        )
+    } else {
+        array.transmissions()
+    };
+
+    // --- Photonic crossbar ----------------------------------------------
+    let mut xbar = CrossbarConfig::new(rows, pcols)
+        .with_phase_error_sigma(config.noise.phase_sigma_rad)
+        .with_phase_error_seed(seed)
+        .with_trim_resolution(config.noise.trim_resolution_rad);
+    if config.noise.with_losses {
+        xbar = xbar.with_losses(true).with_path_loss_compensation(true);
+    }
+    let sim = CrossbarSimulator::new(xbar);
+
+    // --- Readout chain ---------------------------------------------------
+    let tia = Tia::paper_default();
+    let full_scale_v = tia.output_voltage(FULL_SCALE_CURRENT_A);
+    let adc = match config.readout {
+        Readout::Exact => None,
+        Readout::Adc { bits } => {
+            Some(UnsignedQuantizer::new(bits, full_scale_v).expect("valid ADC resolution"))
+        }
+    };
+    // Undo the architecture normalization: the exact integer column output
+    // is `y_norm · rows · v_max · table_max / t_max`.
+    let v_max = config.v_max() as f64;
+    let scale = rows as f64 * v_max * table_max / device.max_transmission();
+
+    let mvm = |codes: &[u8]| -> Vec<i64> {
+        assert_eq!(codes.len(), rows, "window must match tile rows");
+        if codes.iter().all(|&v| v == 0) {
+            // An all-dark drive produces exactly zero in every column.
+            return vec![0; pcols];
+        }
+        let inputs: Vec<f64> = codes.iter().map(|&v| f64::from(v) / v_max).collect();
+        let ys = sim.run_normalized(&inputs, &transmissions);
+        ys.iter()
+            .map(|&y| {
+                let digitized = match &adc {
+                    None => y,
+                    Some(q) => {
+                        let current = y.clamp(0.0, 1.0) * FULL_SCALE_CURRENT_A;
+                        q.reconstruct(tia.output_voltage(current)) / full_scale_v
+                    }
+                };
+                (digitized * scale).round() as i64
+            })
+            .collect()
+    };
+
+    let pixels = drive.positive.len();
+    let mut partials = Vec::with_capacity(pixels);
+    for p in 0..pixels {
+        let raw_pos = mvm(&drive.positive[p]);
+        let mut recovered = mapped.recover(&raw_pos, &drive.positive[p]);
+        if let Some(negative) = &drive.negative {
+            let raw_neg = mvm(&negative[p]);
+            let rec_neg = mapped.recover(&raw_neg, &negative[p]);
+            for (r, n) in recovered.iter_mut().zip(rec_neg) {
+                *r -= n;
+            }
+        }
+        partials.push(recovered);
+    }
+    TileOutcome { partials, program }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_dataflow::tiles::WeightTiles;
+    use oxbar_dataflow::FoldPlan;
+    use oxbar_nn::synthetic;
+    use oxbar_nn::{Conv2d, TensorShape};
+
+    fn signed_mac(tile: &WeightTile, window: &[i64]) -> Vec<i64> {
+        (0..tile.cols())
+            .map(|c| {
+                (0..tile.rows())
+                    .map(|r| i64::from(tile.values[r][c]) * window[r])
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_tile_is_bit_exact_for_unsigned_windows() {
+        let conv = Conv2d::new("c", TensorShape::new(1, 1, 40), 1, 1, 12, 1, 0);
+        let bank = synthetic::filter_bank(&conv, 6, 3);
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let config = SimConfig::ideal(32, 8);
+        let tiles: Vec<_> = WeightTiles::new(&conv, &bank.weights, &plan).collect();
+        assert!(tiles.len() > 1, "fold coverage");
+        for (t, tile) in tiles.iter().enumerate() {
+            let window: Vec<u8> = (0..tile.rows()).map(|r| (r * 7 % 64) as u8).collect();
+            let drive = TileDrive {
+                positive: vec![window.clone()],
+                negative: None,
+            };
+            let out = run_tile(tile, &drive, &config, 99 + t as u64);
+            let expected = signed_mac(
+                tile,
+                &window.iter().map(|&v| i64::from(v)).collect::<Vec<_>>(),
+            );
+            assert_eq!(out.partials[0], expected, "tile {t}");
+            assert_eq!(
+                out.program.cells_programmed,
+                tile.rows() * tile.cols(),
+                "offset mapping programs one cell per weight"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_windows_split_into_two_passes_exactly() {
+        let conv = Conv2d::new("c", TensorShape::new(1, 1, 24), 1, 1, 6, 1, 0);
+        let bank = synthetic::filter_bank(&conv, 6, 11);
+        let plan = FoldPlan::plan(&conv, 32, 8, 1);
+        let tile = WeightTiles::new(&conv, &bank.weights, &plan)
+            .next()
+            .unwrap();
+        let window: Vec<i64> = (0..tile.rows() as i64).map(|r| (r % 13) - 6).collect();
+        let drive = TileDrive {
+            positive: vec![window.iter().map(|&v| v.max(0) as u8).collect()],
+            negative: Some(vec![window.iter().map(|&v| (-v).max(0) as u8).collect()]),
+        };
+        let out = run_tile(&tile, &drive, &SimConfig::ideal(32, 8), 5);
+        assert_eq!(out.partials[0], signed_mac(&tile, &window));
+    }
+
+    #[test]
+    fn differential_mapping_is_also_exact() {
+        use oxbar_nn::mapping::WeightMapping;
+        let conv = Conv2d::new("c", TensorShape::new(1, 1, 16), 1, 1, 4, 1, 0);
+        let bank = synthetic::filter_bank(&conv, 6, 21);
+        let plan = FoldPlan::plan(&conv, 32, 16, 2);
+        let tile = WeightTiles::new(&conv, &bank.weights, &plan)
+            .next()
+            .unwrap();
+        let window: Vec<u8> = (0..tile.rows()).map(|r| (r * 11 % 64) as u8).collect();
+        let drive = TileDrive {
+            positive: vec![window.clone()],
+            negative: None,
+        };
+        let config = SimConfig::ideal(32, 16).with_mapping(WeightMapping::Differential);
+        let out = run_tile(&tile, &drive, &config, 1);
+        let expected = signed_mac(
+            &tile,
+            &window.iter().map(|&v| i64::from(v)).collect::<Vec<_>>(),
+        );
+        assert_eq!(out.partials[0], expected);
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_reproducible() {
+        let conv = Conv2d::new("c", TensorShape::new(1, 1, 64), 1, 1, 8, 1, 0);
+        let bank = synthetic::filter_bank(&conv, 6, 31);
+        let plan = FoldPlan::plan(&conv, 64, 8, 1);
+        let tile = WeightTiles::new(&conv, &bank.weights, &plan)
+            .next()
+            .unwrap();
+        let window: Vec<u8> = (0..tile.rows()).map(|r| (r * 5 % 64) as u8).collect();
+        let drive = TileDrive {
+            positive: vec![window.clone()],
+            negative: None,
+        };
+        let config = SimConfig::noisy(64, 8);
+        let a = run_tile(&tile, &drive, &config, 77);
+        let b = run_tile(&tile, &drive, &config, 77);
+        assert_eq!(a.partials, b.partials, "same seed, same result");
+        let c = run_tile(&tile, &drive, &config, 78);
+        assert_ne!(a.partials, c.partials, "different seed perturbs");
+        let exact = signed_mac(
+            &tile,
+            &window.iter().map(|&v| i64::from(v)).collect::<Vec<_>>(),
+        );
+        assert_ne!(a.partials[0], exact, "noise shifts the MAC");
+        // ... but not catastrophically: within a few percent of full scale.
+        let full_scale = tile.rows() as f64 * 63.0 * 31.0;
+        for (got, want) in a.partials[0].iter().zip(&exact) {
+            assert!(((got - want).abs() as f64) < 0.05 * full_scale);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`nn`] | `oxbar-nn` | Layer descriptors, ResNet-50 v1.5 zoo, INT6 quantization, reference executor |
 //! | [`dataflow`] | `oxbar-dataflow` | SCALE-sim-equivalent runtime-spec engine |
 //! | [`core`] | `oxbar-core` | The paper's system model: power/area/perf, optimizer, DSE |
+//! | [`sim`] | `oxbar-sim` | End-to-end device-level inference: whole networks through PCM → photonics → ADC, validated against the exact reference |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use oxbar_memory as memory;
 pub use oxbar_nn as nn;
 pub use oxbar_pcm as pcm;
 pub use oxbar_photonics as photonics;
+pub use oxbar_sim as sim;
 pub use oxbar_units as units;
 
 /// The most commonly used items in one import.
@@ -49,5 +51,6 @@ pub mod prelude {
     pub use oxbar_dataflow::{DataflowEngine, FoldPlan, NetworkSpec};
     pub use oxbar_nn::{Network, TensorShape};
     pub use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+    pub use oxbar_sim::{run_inference, DeviceExecutor, InferenceFidelity, SimConfig};
     pub use oxbar_units::{Area, DataVolume, Decibel, Energy, Frequency, Power, Time};
 }

@@ -1,0 +1,180 @@
+//! Golden-file regression tests for the figure/table reproduction suite.
+//!
+//! Every figure module exposes a pure `generate()` returning a
+//! serializable result struct; these tests snapshot the key paper numbers
+//! as JSON under `tests/golden/` and compare fresh runs against the
+//! snapshots with a relative tolerance, so a modeling regression in any
+//! crate shows up as a diff in the artifact it distorts.
+//!
+//! To re-bless the snapshots after an intentional model change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test figure_regression
+//! ```
+
+use oxbar_bench::figures;
+use oxbar_nn::zoo::resnet50_v1_5;
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// Relative tolerance for numeric comparisons (the models are
+/// deterministic; the slack only absorbs cross-platform float libm
+/// differences).
+const REL_TOL: f64 = 1e-6;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compares a fresh result against its golden snapshot (or re-blesses it
+/// when `UPDATE_GOLDEN` is set).
+fn check(name: &str, fresh: Value) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let json = serde_json::to_string_pretty(&fresh).expect("serialize");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, json + "\n").expect("write golden");
+        println!("[blessed] {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test figure_regression",
+            path.display()
+        )
+    });
+    let golden: Value = serde_json::from_str(&text).expect("parse golden");
+    let mut diffs = Vec::new();
+    compare(name, &fresh, &golden, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "{name}: {} divergence(s) from golden:\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+fn as_number(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn compare(path: &str, got: &Value, want: &Value, diffs: &mut Vec<String>) {
+    if diffs.len() >= 20 {
+        return; // don't flood the assertion message
+    }
+    if let (Some(a), Some(b)) = (as_number(got), as_number(want)) {
+        let tol = REL_TOL * a.abs().max(b.abs()).max(1.0);
+        if (a - b).abs() > tol {
+            diffs.push(format!("  {path}: got {a}, golden {b}"));
+        }
+        return;
+    }
+    match (got, want) {
+        (Value::Array(a), Value::Array(b)) => {
+            if a.len() != b.len() {
+                diffs.push(format!(
+                    "  {path}: array length {} vs golden {}",
+                    a.len(),
+                    b.len()
+                ));
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                compare(&format!("{path}[{i}]"), x, y, diffs);
+            }
+        }
+        (Value::Object(a), Value::Object(b)) => {
+            for (k, x) in a {
+                match b.iter().find(|(bk, _)| bk == k) {
+                    Some((_, y)) => compare(&format!("{path}.{k}"), x, y, diffs),
+                    None => diffs.push(format!("  {path}.{k}: missing from golden")),
+                }
+            }
+            for (k, _) in b {
+                if !a.iter().any(|(ak, _)| ak == k) {
+                    diffs.push(format!("  {path}.{k}: missing from fresh result"));
+                }
+            }
+        }
+        _ => {
+            if got != want {
+                diffs.push(format!("  {path}: got {got:?}, golden {want:?}"));
+            }
+        }
+    }
+}
+
+fn to_value<T: serde::Serialize>(v: &T) -> Value {
+    serde_json::to_value(v).expect("serialize")
+}
+
+#[test]
+fn fig1_landscape_matches_golden() {
+    check("fig1_landscape", to_value(&figures::fig1::generate()));
+}
+
+#[test]
+fn fig6_array_sweep_matches_golden() {
+    check("fig6_array_sweep", to_value(&figures::fig6::generate()));
+}
+
+#[test]
+fn fig7a_power_vs_batch_matches_golden() {
+    check(
+        "fig7a_power_vs_batch",
+        to_value(&figures::fig7::generate_7a(&resnet50_v1_5())),
+    );
+}
+
+#[test]
+fn fig7b_ipsw_vs_sram_matches_golden() {
+    check(
+        "fig7b_ipsw_vs_sram",
+        to_value(&figures::fig7::generate_7b(&resnet50_v1_5())),
+    );
+}
+
+#[test]
+fn fig7c_dual_core_matches_golden() {
+    check(
+        "fig7c_dual_core",
+        to_value(&figures::fig7::generate_7c(&resnet50_v1_5())),
+    );
+}
+
+#[test]
+fn fig8_breakdown_matches_golden() {
+    check("fig8_breakdown", to_value(&figures::fig8::generate()));
+}
+
+#[test]
+fn table1_comparison_matches_golden() {
+    check("table1_comparison", to_value(&figures::table1::generate()));
+}
+
+#[test]
+fn optimize_flow_matches_golden() {
+    check("optimize", to_value(&figures::optimize::generate()));
+}
+
+#[test]
+fn sensitivity_matches_golden() {
+    check("sensitivity", to_value(&figures::sensitivity::generate()));
+}
+
+#[test]
+fn zoo_sweep_matches_golden() {
+    check("zoo_sweep", to_value(&figures::zoo::generate()));
+}
+
+#[test]
+fn fidelity_sweep_matches_golden() {
+    check("fidelity_sweep", to_value(&figures::fidelity::generate()));
+}

@@ -61,4 +61,13 @@ fn one_object_from_each_subcrate_via_facade() {
     assert!(report.power.as_watts() > 0.0);
     let tech = TechnologyParams::paper_default();
     assert!(tech == chip.config().tech);
+
+    // oxbar-sim: a tiny network end to end through the device chain.
+    let sim_net = oxbar::nn::synthetic::small_network(1);
+    let image = oxbar::nn::synthetic::activations(sim_net.input(), 6, 2);
+    let filters = oxbar::nn::synthetic::filter_banks(&sim_net, 6, 3);
+    let fidelity: InferenceFidelity =
+        run_inference(&sim_net, &SimConfig::ideal(32, 32), &[image], &filters).unwrap();
+    assert!(fidelity.exact);
+    let _ = DeviceExecutor::new(SimConfig::noisy(32, 32));
 }
