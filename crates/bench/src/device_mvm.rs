@@ -1,0 +1,278 @@
+//! `device_mvm` perf snapshot: field-walk vs compiled transfer-matrix
+//! device-level MVM, emitted as machine-readable `BENCH_device_mvm.json`
+//! at the workspace root so successive PRs can track the trajectory.
+//!
+//! Every case times the *same* workload on [`MvmEngine::FieldWalk`]
+//! (the cell-by-cell propagation baseline, "before") and
+//! [`MvmEngine::Compiled`] (the transfer-matrix fast path, "after"); the
+//! headline case is the release-mode LeNet-5 device-level forward pass,
+//! whose target is a ≥10× speedup.
+
+use oxbar_nn::synthetic;
+use oxbar_nn::zoo::lenet5;
+use oxbar_nn::{Conv2d, TensorShape};
+use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use oxbar_photonics::transfer::CompiledCrossbar;
+use oxbar_sim::{DeviceExecutor, MvmEngine, SimConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The headline speedup target (from the issue's acceptance criteria).
+pub const TARGET_SPEEDUP: f64 = 10.0;
+
+/// One timed workload, on both engines.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseResult {
+    /// Workload name.
+    pub name: String,
+    /// Timed iterations per engine (after one warm-up).
+    pub iterations: usize,
+    /// Per-iteration wall time on the field-walk baseline (ms).
+    pub field_walk_ms: f64,
+    /// Per-iteration wall time on the compiled path (ms). For forward
+    /// workloads this is the weight-stationary steady state (programmed
+    /// tiles reused across images, as the hardware runs).
+    pub compiled_ms: f64,
+    /// Cold-start compiled time (fresh executor every run: PCM
+    /// programming + transfer-matrix compile + MVM). Equals `compiled_ms`
+    /// for workloads without a reuse dimension.
+    pub compiled_cold_ms: f64,
+    /// `field_walk_ms / compiled_ms`.
+    pub speedup: f64,
+}
+
+/// The full machine-readable snapshot (`BENCH_device_mvm.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceMvmReport {
+    /// Snapshot identifier (`"device_mvm"`).
+    pub bench: String,
+    /// `"quick"` (CI smoke) or `"full"`.
+    pub mode: String,
+    /// Time unit of the per-case numbers (`"ms"`).
+    pub unit: String,
+    /// The headline speedup target.
+    pub target_speedup: f64,
+    /// Whether the LeNet-5 headline case met the target; `null` when the
+    /// headline was not run (quick mode times smoke workloads only).
+    pub achieved: Option<bool>,
+    /// Per-workload results, headline first.
+    pub cases: Vec<CaseResult>,
+}
+
+/// Times `f` for `iterations` runs (after one warm-up), per-run ms.
+fn time_ms<F: FnMut()>(iterations: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iterations as f64
+}
+
+fn case<F, G, H>(
+    name: &str,
+    iterations: usize,
+    mut field_walk: F,
+    mut compiled_cold: G,
+    compiled_warm: Option<H>,
+) -> CaseResult
+where
+    F: FnMut(),
+    G: FnMut(),
+    H: FnMut(),
+{
+    let field_walk_ms = time_ms(iterations, &mut field_walk);
+    let compiled_cold_ms = time_ms(iterations, &mut compiled_cold);
+    let compiled_ms = match compiled_warm {
+        Some(mut warm) => time_ms(iterations, &mut warm),
+        None => compiled_cold_ms,
+    };
+    CaseResult {
+        name: name.to_string(),
+        iterations,
+        field_walk_ms,
+        compiled_ms,
+        compiled_cold_ms,
+        speedup: field_walk_ms / compiled_ms,
+    }
+}
+
+/// A LeNet-5 device-level forward pass on the given engine and threads.
+///
+/// `compiled` (the headline number) is the weight-stationary steady
+/// state: one executor keeps its programmed+compiled tiles across images,
+/// exactly as the PCM hardware amortizes programming over inference.
+/// `compiled_cold` rebuilds the executor every pass (programming +
+/// compile + MVM); the field-walk baseline is always cold because the
+/// oracle engine never caches.
+fn lenet_case(name: &str, iterations: usize, threads: usize) -> CaseResult {
+    let net = lenet5();
+    let input = synthetic::activations(net.input(), 6, 77);
+    let filters = synthetic::filter_banks(&net, 6, 78);
+    let config = SimConfig::ideal(128, 128).with_threads(threads);
+    let walk = DeviceExecutor::new(config.clone()).with_engine(MvmEngine::FieldWalk);
+    let warm = DeviceExecutor::new(config.clone());
+    let cold_config = config.clone();
+    case(
+        name,
+        iterations,
+        || {
+            black_box(walk.forward(&net, &input, &filters).unwrap());
+        },
+        || {
+            let fresh = DeviceExecutor::new(cold_config.clone());
+            black_box(fresh.forward(&net, &input, &filters).unwrap());
+        },
+        Some(|| {
+            black_box(warm.forward(&net, &input, &filters).unwrap());
+        }),
+    )
+}
+
+/// One padded conv layer (duplicate/dark windows) on a small array.
+fn conv_case(iterations: usize) -> CaseResult {
+    let conv = Conv2d::new("probe", TensorShape::new(12, 12, 3), 3, 3, 8, 1, 1);
+    let input = synthetic::activations(conv.input, 6, 31);
+    let bank = synthetic::filter_bank(&conv, 6, 32);
+    let out = conv.output_shape();
+    let pixels: Vec<usize> = (0..out.h * out.w).collect();
+    let config = SimConfig::ideal(64, 32).with_threads(1);
+    let walk = DeviceExecutor::new(config.clone()).with_engine(MvmEngine::FieldWalk);
+    let warm = DeviceExecutor::new(config.clone());
+    let cold_config = config.clone();
+    case(
+        "conv3x3_12x12x3/64x32/serial",
+        iterations,
+        || {
+            black_box(walk.conv_pixels(&conv, &input, &bank, 0, &pixels));
+        },
+        || {
+            let fresh = DeviceExecutor::new(cold_config.clone());
+            black_box(fresh.conv_pixels(&conv, &input, &bank, 0, &pixels));
+        },
+        Some(|| {
+            black_box(warm.conv_pixels(&conv, &input, &bank, 0, &pixels));
+        }),
+    )
+}
+
+/// The raw crossbar kernel: one `run_normalized` MVM, walk vs compiled.
+fn kernel_case(size: usize, iterations: usize) -> CaseResult {
+    let sim = CrossbarSimulator::ideal(CrossbarConfig::new(size, size));
+    let inputs: Vec<f64> = (0..size).map(|i| (i % 17) as f64 / 16.0).collect();
+    let weights: Vec<Vec<f64>> = (0..size)
+        .map(|i| (0..size).map(|j| ((i + j) % 13) as f64 / 12.0).collect())
+        .collect();
+    let compiled = CompiledCrossbar::new(&sim, &weights);
+    let mut out = vec![0.0; size];
+    case::<_, _, fn()>(
+        &format!("crossbar_mvm/{size}x{size}"),
+        iterations,
+        || {
+            black_box(sim.run_normalized(black_box(&inputs), black_box(&weights)));
+        },
+        || {
+            compiled.run_normalized_into(black_box(&inputs), &mut out);
+            black_box(&out);
+        },
+        None,
+    )
+}
+
+/// Runs the snapshot. `quick` keeps the workloads small enough for a CI
+/// smoke step; the full mode times the LeNet-5 headline at 128×128.
+#[must_use]
+pub fn generate(quick: bool) -> DeviceMvmReport {
+    let cases = if quick {
+        vec![conv_case(2), kernel_case(32, 20)]
+    } else {
+        vec![
+            lenet_case("lenet5_forward/128x128/serial", 3, 1),
+            lenet_case("lenet5_forward/128x128/parallel", 3, 0),
+            conv_case(10),
+            kernel_case(128, 200),
+        ]
+    };
+    let achieved = cases
+        .iter()
+        .find(|c| c.name.starts_with("lenet5_forward"))
+        .map(|c| c.speedup >= TARGET_SPEEDUP);
+    DeviceMvmReport {
+        bench: "device_mvm".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        unit: "ms".to_string(),
+        target_speedup: TARGET_SPEEDUP,
+        achieved,
+        cases,
+    }
+}
+
+/// Prints the before/after table.
+pub fn render(report: &DeviceMvmReport) {
+    println!(
+        "# device_mvm — field walk (before) vs compiled transfer matrix (after), {} mode",
+        report.mode
+    );
+    println!("(compiled_ms = weight-stationary steady state; cold_ms = program+compile+MVM)");
+    println!(
+        "{:<36} {:>6} {:>16} {:>14} {:>10} {:>9}",
+        "case", "iters", "field_walk_ms", "compiled_ms", "cold_ms", "speedup"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<36} {:>6} {:>16.3} {:>14.3} {:>10.3} {:>8.1}x",
+            c.name, c.iterations, c.field_walk_ms, c.compiled_ms, c.compiled_cold_ms, c.speedup
+        );
+    }
+    match report.achieved {
+        Some(met) => println!(
+            "target {:.0}x on the LeNet-5 headline: {}",
+            report.target_speedup,
+            if met { "MET" } else { "NOT MET" }
+        ),
+        None => println!(
+            "target {:.0}x: headline not run in {} mode",
+            report.target_speedup, report.mode
+        ),
+    }
+}
+
+/// Generates the snapshot and writes `BENCH_device_mvm.json` at the
+/// workspace root.
+///
+/// # Panics
+///
+/// Panics if the snapshot cannot be serialized or written.
+#[must_use]
+pub fn run(quick: bool) -> DeviceMvmReport {
+    let report = generate(quick);
+    let path = crate::workspace_root().join("BENCH_device_mvm.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_device_mvm.json");
+    println!("[written] {}", path.display());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_has_valid_schema() {
+        let report = generate(true);
+        assert_eq!(report.bench, "device_mvm");
+        assert_eq!(report.mode, "quick");
+        assert_eq!(report.unit, "ms");
+        assert_eq!(
+            report.achieved, None,
+            "quick mode does not run the LeNet-5 headline"
+        );
+        assert!(!report.cases.is_empty());
+        for c in &report.cases {
+            assert!(c.field_walk_ms > 0.0);
+            assert!(c.compiled_ms > 0.0);
+            assert!((c.speedup - c.field_walk_ms / c.compiled_ms).abs() < 1e-9);
+        }
+    }
+}

@@ -6,26 +6,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod device_mvm;
 pub mod figures;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Resolves the repository `results/` directory (creating it), looking
-/// upward from the current directory for the workspace root.
+/// Resolves the workspace root, looking upward from the current directory
+/// (falls back to the current directory outside the repo).
 #[must_use]
-pub fn results_dir() -> PathBuf {
+pub fn workspace_root() -> PathBuf {
     let mut dir = std::env::current_dir().expect("current dir");
     loop {
         if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
-            break;
+            return dir;
         }
         if !dir.pop() {
-            dir = std::env::current_dir().expect("current dir");
-            break;
+            return std::env::current_dir().expect("current dir");
         }
     }
-    let results = dir.join("results");
+}
+
+/// Resolves the repository `results/` directory (creating it).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let results = workspace_root().join("results");
     fs::create_dir_all(&results).expect("create results dir");
     results
 }

@@ -24,7 +24,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Accumulator {
     width_bits: u8,
-    lanes: std::collections::BTreeMap<usize, i64>,
+    /// Dense lane storage, grown on demand (`None` = never written). Lane
+    /// indices are small and contiguous in practice (pixel × column), so a
+    /// flat vector keeps the per-MAC accumulate O(1).
+    lanes: Vec<Option<i64>>,
     ops: u64,
 }
 
@@ -47,9 +50,21 @@ impl Accumulator {
         );
         Self {
             width_bits,
-            lanes: std::collections::BTreeMap::new(),
+            lanes: Vec::new(),
             ops: 0,
         }
+    }
+
+    /// Creates an accumulator with storage preallocated for `lanes` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `8 ≤ width_bits ≤ 48`.
+    #[must_use]
+    pub fn with_lanes(width_bits: u8, lanes: usize) -> Self {
+        let mut acc = Self::new(width_bits);
+        acc.lanes = vec![None; lanes];
+        acc
     }
 
     /// Adder width in bits.
@@ -60,8 +75,11 @@ impl Accumulator {
 
     /// Adds `value` into `lane`, saturating at the width limits.
     pub fn add(&mut self, lane: usize, value: i64) {
+        if lane >= self.lanes.len() {
+            self.lanes.resize(lane + 1, None);
+        }
         let limit = (1i64 << (self.width_bits - 1)) - 1;
-        let entry = self.lanes.entry(lane).or_insert(0);
+        let entry = self.lanes[lane].get_or_insert(0);
         *entry = (*entry + value).clamp(-limit - 1, limit);
         self.ops += 1;
     }
@@ -69,12 +87,12 @@ impl Accumulator {
     /// The current value of `lane`, if it has been written.
     #[must_use]
     pub fn value(&self, lane: usize) -> Option<i64> {
-        self.lanes.get(&lane).copied()
+        self.lanes.get(lane).copied().flatten()
     }
 
     /// Drains `lane`, returning its value and resetting it.
     pub fn drain(&mut self, lane: usize) -> Option<i64> {
-        self.lanes.remove(&lane)
+        self.lanes.get_mut(lane).and_then(Option::take)
     }
 
     /// Operations performed so far.

@@ -111,6 +111,12 @@ impl MappedWeights {
         self.logical_cols * self.mapping.columns_per_output()
     }
 
+    /// Logical (signed) output columns.
+    #[must_use]
+    pub fn logical_cols(&self) -> usize {
+        self.logical_cols
+    }
+
     /// The unipolar level matrix (`rows × physical_cols`).
     #[must_use]
     pub fn unipolar(&self) -> &[Vec<u8>] {
@@ -162,21 +168,42 @@ impl MappedWeights {
     /// Panics if `outputs` length differs from the physical column count.
     #[must_use]
     pub fn recover(&self, outputs: &[i64], inputs: &[u8]) -> Vec<i64> {
+        let mut out = vec![0i64; self.logical_cols];
+        self.recover_into(outputs, inputs, &mut out);
+        out
+    }
+
+    /// [`Self::recover`] writing into a caller buffer (`logical_cols`
+    /// long) — the allocation-free variant batched executors use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` or `out` have the wrong length.
+    pub fn recover_into(&self, outputs: &[i64], inputs: &[u8], out: &mut [i64]) {
         assert_eq!(
             outputs.len(),
             self.physical_cols(),
             "expected {} outputs",
             self.physical_cols()
         );
+        assert_eq!(
+            out.len(),
+            self.logical_cols,
+            "expected {} recovered columns",
+            self.logical_cols
+        );
         match self.mapping {
             WeightMapping::Offset => {
                 let input_sum: i64 = inputs.iter().map(|&v| i64::from(v)).sum();
-                outputs.iter().map(|&y| y - self.q * input_sum).collect()
+                for (o, &y) in out.iter_mut().zip(outputs) {
+                    *o = y - self.q * input_sum;
+                }
             }
-            WeightMapping::Differential => outputs
-                .chunks_exact(2)
-                .map(|pair| pair[0] - pair[1])
-                .collect(),
+            WeightMapping::Differential => {
+                for (o, pair) in out.iter_mut().zip(outputs.chunks_exact(2)) {
+                    *o = pair[0] - pair[1];
+                }
+            }
         }
     }
 }

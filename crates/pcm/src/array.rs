@@ -132,12 +132,24 @@ impl PcmArray {
     }
 
     /// The stored field-transmission matrix.
+    ///
+    /// Noise-free programming leaves every cell on one of the level
+    /// table's ≤ 2^bits fractions, so the per-cell `10^(−dB/20)` is
+    /// memoized per distinct fraction (all cells share the same device
+    /// parameters by construction) — large arrays read out in O(cells)
+    /// table lookups instead of O(cells) transcendentals.
     #[must_use]
     pub fn transmissions(&self) -> Vec<Vec<f64>> {
+        let mut memo = FractionMemo::default();
         (0..self.rows)
             .map(|i| {
                 (0..self.cols)
-                    .map(|j| self.cell(i, j).transmission())
+                    .map(|j| {
+                        let cell = self.cell(i, j);
+                        *memo
+                            .entry(cell.crystalline_fraction().to_bits())
+                            .or_insert_with(|| cell.transmission())
+                    })
                     .collect()
             })
             .collect()
@@ -156,6 +168,154 @@ impl PcmArray {
     /// values outside `[0, 1]`.
     pub fn program(&mut self, weights: &[Vec<f64>], parallelism: Parallelism) -> ProgramReport {
         self.program_impl(weights, parallelism, &mut |target| target)
+    }
+
+    /// Programs the array directly from integer level codes
+    /// (`codes[i][j] ≤ max_code`) — the value-identical fast path for
+    /// callers that already hold quantized weights, skipping the per-cell
+    /// float quantization round trip (`quantize_weight(code / max) ==
+    /// code` exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` does not match the array dimensions or a code
+    /// exceeds the level table.
+    pub fn program_codes(&mut self, codes: &[Vec<u8>], parallelism: Parallelism) -> ProgramReport {
+        self.program_codes_impl(codes, parallelism, &mut |target| target)
+    }
+
+    /// [`PcmArray::program_codes`] with stochastic [`DeviceVariation`],
+    /// consuming `rng` in row-major written-cell order exactly like
+    /// [`PcmArray::program_with_variation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`PcmArray::program_codes`].
+    pub fn program_codes_with_variation<R: Rng + ?Sized>(
+        &mut self,
+        codes: &[Vec<u8>],
+        parallelism: Parallelism,
+        variation: &DeviceVariation,
+        rng: &mut R,
+    ) -> ProgramReport {
+        self.program_codes_impl(codes, parallelism, &mut |target| {
+            variation.apply_program(target, 0.0, rng)
+        })
+    }
+
+    /// One-shot noise-free program-and-readout: the `(transmissions,
+    /// report)` a pristine array of `device` cells would produce after
+    /// [`PcmArray::program_codes`] followed by [`PcmArray::transmissions`],
+    /// computed per *code* instead of per cell (the whole chain
+    /// `code → fraction → 10^(−dB/20)` collapses into one ≤ 2^bits-entry
+    /// table), without materializing per-cell state.
+    ///
+    /// Value-identical to the two-step path; the device-level inference
+    /// pipeline uses it for every tile whose noise model disables
+    /// programming variation and drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is not `rows × cols`, a code exceeds the table,
+    /// or `bits` is invalid for [`LevelTable::new`].
+    #[must_use]
+    pub fn noise_free_readout(
+        rows: usize,
+        cols: usize,
+        device: PcmCell,
+        bits: u8,
+        codes: &[Vec<u8>],
+        parallelism: Parallelism,
+    ) -> (Vec<Vec<f64>>, ProgramReport) {
+        assert_eq!(codes.len(), rows, "expected {rows} code rows");
+        assert_eq!(
+            device.crystalline_fraction(),
+            0.0,
+            "noise-free readout assumes a pristine (amorphous) device"
+        );
+        let table = LevelTable::new(bits, device);
+        // Per-code readout: written cells land exactly on the code's
+        // fraction; cells whose target equals the pristine fraction are
+        // skipped by delta programming and stay on the pristine device.
+        let pristine_transmission = device.transmission();
+        let per_code: Vec<(f64, bool)> = (0..table.levels() as u16)
+            .map(|code| {
+                let fraction = table.fraction_for_code(code);
+                let skipped = fraction.abs() < 1e-12;
+                let transmission = if skipped {
+                    pristine_transmission
+                } else {
+                    let mut cell = device;
+                    cell.set_crystalline_fraction(fraction);
+                    cell.transmission()
+                };
+                (transmission, skipped)
+            })
+            .collect();
+        let mut programmed = 0usize;
+        let mut skipped = 0usize;
+        let mut rows_touched = vec![false; rows];
+        let transmissions = codes
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                assert_eq!(row.len(), cols, "code row {i} must have {cols} cols");
+                row.iter()
+                    .map(|&code| {
+                        let (transmission, skip) = per_code[usize::from(code)];
+                        if skip {
+                            skipped += 1;
+                        } else {
+                            programmed += 1;
+                            rows_touched[i] = true;
+                        }
+                        transmission
+                    })
+                    .collect()
+            })
+            .collect();
+        (
+            transmissions,
+            Self::report(parallelism, programmed, skipped, &rows_touched),
+        )
+    }
+
+    fn program_codes_impl(
+        &mut self,
+        codes: &[Vec<u8>],
+        parallelism: Parallelism,
+        achieved: &mut dyn FnMut(f64) -> f64,
+    ) -> ProgramReport {
+        assert_eq!(codes.len(), self.rows, "expected {} code rows", self.rows);
+        let max_code = self.table.max_code();
+        let mut programmed = 0usize;
+        let mut skipped = 0usize;
+        let mut rows_touched = vec![false; self.rows];
+        for (i, row) in codes.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                self.cols,
+                "code row {i} must have {} cols",
+                self.cols
+            );
+            for (j, &code) in row.iter().enumerate() {
+                assert!(
+                    u16::from(code) <= max_code,
+                    "code {code} exceeds the {max_code}-level table"
+                );
+                let target_fraction = self.table.fraction_for_code(u16::from(code));
+                let cell = &mut self.cells[i * self.cols + j];
+                let unchanged = (cell.crystalline_fraction() - target_fraction).abs() < 1e-12;
+                if self.delta_programming && unchanged {
+                    skipped += 1;
+                } else {
+                    cell.set_crystalline_fraction(achieved(target_fraction));
+                    programmed += 1;
+                    rows_touched[i] = true;
+                }
+            }
+        }
+        Self::report(parallelism, programmed, skipped, &rows_touched)
     }
 
     /// Programs the array like [`PcmArray::program`], but each pulse lands
@@ -193,7 +353,6 @@ impl PcmArray {
             "expected {} weight rows",
             self.rows
         );
-        let pulse = ProgramPulse::paper_default();
         let mut programmed = 0usize;
         let mut skipped = 0usize;
         let mut rows_touched = vec![false; self.rows];
@@ -218,6 +377,17 @@ impl PcmArray {
                 }
             }
         }
+        Self::report(parallelism, programmed, skipped, &rows_touched)
+    }
+
+    /// Builds the pass report from the programming counters.
+    fn report(
+        parallelism: Parallelism,
+        programmed: usize,
+        skipped: usize,
+        rows_touched: &[bool],
+    ) -> ProgramReport {
+        let pulse = ProgramPulse::paper_default();
         let groups: u64 = match parallelism {
             Parallelism::FullArray => u64::from(programmed > 0),
             Parallelism::PerRow => rows_touched.iter().filter(|&&t| t).count() as u64,
@@ -259,9 +429,84 @@ impl PcmArray {
     }
 }
 
+/// Multiply-xor hasher for the fraction-bit memo keys in
+/// [`PcmArray::transmissions`] — the default SipHash would dominate the
+/// lookup at this table size.
+#[derive(Default)]
+struct FractionHasher(u64);
+
+impl std::hash::Hasher for FractionHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 32;
+        self.0 = z;
+    }
+}
+
+type FractionMemo =
+    std::collections::HashMap<u64, f64, std::hash::BuildHasherDefault<FractionHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn code_grid(rows: usize, cols: usize, max: u8) -> Vec<Vec<u8>> {
+        (0..rows)
+            .map(|i| {
+                (0..cols)
+                    .map(|j| ((i * cols + j) % (usize::from(max) + 1)) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn program_codes_equals_float_round_trip() {
+        for device in [
+            PcmCell::pristine(),
+            PcmCell::pristine().with_loss_range(0.0, 320.0),
+        ] {
+            let codes = code_grid(7, 5, 63);
+            let weights: Vec<Vec<f64>> = codes
+                .iter()
+                .map(|row| row.iter().map(|&u| f64::from(u) / 63.0).collect())
+                .collect();
+            let mut a = PcmArray::with_device(7, 5, device, 6);
+            let mut b = PcmArray::with_device(7, 5, device, 6);
+            let ra = a.program(&weights, Parallelism::FullArray);
+            let rb = b.program_codes(&codes, Parallelism::FullArray);
+            assert_eq!(ra, rb);
+            assert_eq!(a.transmissions(), b.transmissions());
+        }
+    }
+
+    #[test]
+    fn noise_free_readout_equals_two_step_path() {
+        for device in [
+            PcmCell::pristine(),
+            PcmCell::pristine().with_loss_range(0.0, 320.0),
+        ] {
+            let mut codes = code_grid(9, 4, 63);
+            codes[0][0] = 63; // max code exercises the delta-programming skip
+            codes[8][3] = 0;
+            let mut array = PcmArray::with_device(9, 4, device, 6);
+            let report = array.program_codes(&codes, Parallelism::FullArray);
+            let (fused_t, fused_r) =
+                PcmArray::noise_free_readout(9, 4, device, 6, &codes, Parallelism::FullArray);
+            assert_eq!(report, fused_r);
+            assert_eq!(array.transmissions(), fused_t);
+        }
+    }
 
     #[test]
     fn full_array_time_is_one_pulse() {

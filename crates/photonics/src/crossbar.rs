@@ -12,6 +12,7 @@ use crate::coupling::CouplingPlan;
 use crate::crossing::MmiCrossing;
 use crate::waveguide::Waveguide;
 use crate::Field;
+use core::cell::RefCell;
 use oxbar_units::Decibel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,6 +156,20 @@ pub struct CrossbarSimulator {
     phase_errors: Vec<f64>,
     /// Per-cell trim phases (rad); empty when trimming is off.
     trims: Vec<f64>,
+    /// Per-cell path-loss pre-compensation field factors (the boost of each
+    /// weight relative to the worst-loss path); empty when compensation is
+    /// off. Precomputed once so `run` does not recompute `cell_path_loss`
+    /// for every cell on every call.
+    comp_factors: Vec<f64>,
+    /// Reusable flat buffers (effective weights + cell fields) so `run`
+    /// allocates nothing per call beyond its output vector.
+    scratch: RefCell<Scratch>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    weights: Vec<f64>,
+    cells: Vec<Field>,
 }
 
 impl CrossbarSimulator {
@@ -180,12 +195,25 @@ impl CrossbarSimulator {
         } else {
             Vec::new()
         };
-        Self {
+        let mut sim = Self {
             config,
             plan,
             phase_errors,
             trims,
+            comp_factors: Vec::new(),
+            scratch: RefCell::new(Scratch::default()),
+        };
+        if sim.config.include_losses && sim.config.compensate_path_loss {
+            let worst = sim.worst_cell_path_loss();
+            let mut factors = Vec::with_capacity(n_cells);
+            for i in 0..sim.config.rows {
+                for j in 0..sim.config.cols {
+                    factors.push((worst - sim.cell_path_loss(i, j)).attenuation_field());
+                }
+            }
+            sim.comp_factors = factors;
         }
+        sim
     }
 
     /// Shorthand for an ideal (lossless, phase-matched) simulator.
@@ -204,6 +232,13 @@ impl CrossbarSimulator {
     #[must_use]
     pub fn plan(&self) -> &CouplingPlan {
         &self.plan
+    }
+
+    /// Whether any per-cell phase errors were drawn (residual phases may
+    /// then be non-zero; without them every residual is exactly 0).
+    #[must_use]
+    pub fn has_phase_errors(&self) -> bool {
+        !self.phase_errors.is_empty()
     }
 
     /// Residual phase error at a cell after trimming (rad).
@@ -240,6 +275,39 @@ impl CrossbarSimulator {
         self.cell_path_loss(0, self.config.cols - 1)
     }
 
+    /// The path-loss pre-compensation field factor applied to the weight at
+    /// `(row, col)` (1 when compensation is off): the loss advantage of this
+    /// cell's path over the worst path, so that compensated weights all carry
+    /// the worst-path attenuation.
+    #[must_use]
+    pub fn compensation_factor(&self, row: usize, col: usize) -> f64 {
+        if self.comp_factors.is_empty() {
+            1.0
+        } else {
+            self.comp_factors[row * self.config.cols + col]
+        }
+    }
+
+    /// The per-element field factors of one crossing and one cell pitch of
+    /// waveguide routing, `(crossing, segment)`; both are 1 when losses are
+    /// disabled. These are the two unit attenuations the propagation walk
+    /// applies between cells, exposed so the compiled transfer matrix
+    /// ([`crate::transfer::CompiledCrossbar`]) folds exactly the same values.
+    #[must_use]
+    pub fn unit_loss_factors(&self) -> (f64, f64) {
+        if self.config.include_losses {
+            (
+                Decibel::new(self.config.crossing_loss_db).attenuation_field(),
+                Decibel::new(
+                    self.config.waveguide_loss_db_per_cm * self.config.cell_pitch_um * 1e-4,
+                )
+                .attenuation_field(),
+            )
+        } else {
+            (1.0, 1.0)
+        }
+    }
+
     /// Runs the full field propagation.
     ///
     /// `inputs` are the normalized row amplitudes `v_in[i] ∈ [0, 1]` (after
@@ -268,24 +336,20 @@ impl CrossbarSimulator {
             "weights must lie in [0, 1]"
         );
 
-        let weights = self.effective_weights(weights);
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch {
+            weights: flat,
+            cells: cell_fields,
+        } = &mut *scratch;
+        self.effective_weights_into(weights, flat);
 
-        let crossing_field = if self.config.include_losses {
-            Decibel::new(self.config.crossing_loss_db).attenuation_field()
-        } else {
-            1.0
-        };
-        let segment_field = if self.config.include_losses {
-            Decibel::new(self.config.waveguide_loss_db_per_cm * self.config.cell_pitch_um * 1e-4)
-                .attenuation_field()
-        } else {
-            1.0
-        };
+        let (crossing_field, segment_field) = self.unit_loss_factors();
 
         // Phase-matched layout assumption (§III.A.2): waveguide segments
         // contribute loss but their design phases cancel; only the residual
         // per-cell phase errors (minus trims) remain.
-        let mut cell_fields = vec![Field::DARK; n * m];
+        cell_fields.clear();
+        cell_fields.resize(n * m, Field::DARK);
         for (i, &input) in inputs.iter().enumerate().take(n) {
             // Row field after the 1/√N splitter and the ODAC amplitude.
             let mut row_field = Field::from_amplitude(input / (n as f64).sqrt());
@@ -297,7 +361,7 @@ impl CrossbarSimulator {
                 row_field = through.attenuate(crossing_field).attenuate(segment_field);
                 // The tapped light traverses the bended waveguide + PCM.
                 let idx = i * m + j;
-                let mut cell = tapped.attenuate(weights[idx]).attenuate(segment_field);
+                let mut cell = tapped.attenuate(flat[idx]).attenuate(segment_field);
                 let residual = self.residual_phase(i, j);
                 if residual != 0.0 {
                     cell = cell.shift_phase(residual);
@@ -354,39 +418,57 @@ impl CrossbarSimulator {
     #[must_use]
     pub fn run_normalized(&self, inputs: &[f64], weights: &[Vec<f64>]) -> Vec<f64> {
         let m = self.config.cols as f64;
-        let scale = if self.config.include_losses && self.config.compensate_path_loss {
-            // With compensation all cells carry the worst-path loss.
-            self.worst_cell_path_loss().attenuation_field()
-        } else {
-            1.0
-        };
+        let scale = self.normalization_scale();
         self.run(inputs, weights)
             .iter()
             .map(|f| f.amplitude() * m.sqrt() / scale)
             .collect()
     }
 
-    /// Applies path-loss pre-compensation to the weight matrix if enabled.
-    fn effective_weights(&self, weights: &[Vec<f64>]) -> Vec<f64> {
-        let (n, m) = (self.config.rows, self.config.cols);
-        let mut flat = Vec::with_capacity(n * m);
+    /// The amplitude divisor [`Self::run_normalized`] applies after the
+    /// `√M` prefactor: the worst-path attenuation when compensated losses
+    /// are enabled (all cells then carry the worst-path loss), 1 otherwise.
+    #[must_use]
+    pub fn normalization_scale(&self) -> f64 {
         if self.config.include_losses && self.config.compensate_path_loss {
-            let worst = self.worst_cell_path_loss();
-            for (i, row) in weights.iter().enumerate().take(n) {
-                for (j, &w) in row.iter().enumerate().take(m) {
-                    // Boost each weight by its loss advantage over the worst
-                    // path; the boost is ≤ 1 relative to w=1 ceiling because
-                    // worst ≥ cell loss.
-                    let relative = (worst - self.cell_path_loss(i, j)).attenuation_field();
-                    flat.push((w * relative).min(1.0));
-                }
-            }
+            self.worst_cell_path_loss().attenuation_field()
         } else {
+            1.0
+        }
+    }
+
+    /// The effective (possibly path-loss-compensated) transmission of the
+    /// weight programmed at `(row, col)` — exactly what the propagation walk
+    /// applies to that cell's tapped field.
+    #[must_use]
+    pub fn effective_weight(&self, row: usize, col: usize, weight: f64) -> f64 {
+        if self.comp_factors.is_empty() {
+            weight
+        } else {
+            // Boost each weight by its loss advantage over the worst path;
+            // the boost is ≤ 1 relative to the w=1 ceiling because
+            // worst ≥ cell loss.
+            (weight * self.comp_factors[row * self.config.cols + col]).min(1.0)
+        }
+    }
+
+    /// Applies path-loss pre-compensation to the weight matrix if enabled,
+    /// writing into the reusable flat buffer.
+    fn effective_weights_into(&self, weights: &[Vec<f64>], flat: &mut Vec<f64>) {
+        let (n, m) = (self.config.rows, self.config.cols);
+        flat.clear();
+        flat.reserve(n * m);
+        if self.comp_factors.is_empty() {
             for row in weights {
                 flat.extend(row.iter().copied());
             }
+        } else {
+            for (i, row) in weights.iter().enumerate().take(n) {
+                for (j, &w) in row.iter().enumerate().take(m) {
+                    flat.push(self.effective_weight(i, j, w));
+                }
+            }
         }
-        flat
     }
 }
 

@@ -51,10 +51,12 @@ pub mod phase_shifter;
 pub mod ramzi;
 pub mod snr;
 pub mod splitter;
+pub mod transfer;
 pub mod waveguide;
 
 pub use complex::Complex;
 pub use field::{Field, FieldOp};
+pub use transfer::CompiledCrossbar;
 
 #[cfg(test)]
 mod proptests;

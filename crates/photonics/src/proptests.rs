@@ -109,4 +109,58 @@ proptest! {
         let combined = f.attenuate(Decibel::new(db1 + db2).attenuation_field());
         prop_assert!((once.amplitude() - combined.amplitude()).abs() < 1e-12);
     }
+
+    #[test]
+    fn compiled_transfer_matrix_matches_field_walk(
+        n in 1usize..24,
+        m in 1usize..24,
+        seed in 0u64..10_000,
+        knobs in 0u64..8,
+        phase_sigma in 0.0..0.3f64,
+        trim_step in 0.001..0.05f64,
+    ) {
+        use crate::transfer::CompiledCrossbar;
+        use rand::{Rng, SeedableRng};
+
+        // Decode the non-ideality combination from `knobs` so every mix of
+        // losses / compensation / trimming appears across the cases.
+        let losses = knobs & 1 != 0;
+        let compensate = knobs & 2 != 0;
+        let trimmed = knobs & 4 != 0;
+        let config = CrossbarConfig::new(n, m)
+            .with_losses(losses)
+            .with_path_loss_compensation(compensate)
+            .with_phase_error_sigma(phase_sigma)
+            .with_phase_error_seed(seed)
+            .with_trim_resolution(if trimmed { trim_step } else { 0.0 });
+        let sim = CrossbarSimulator::new(config);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        let inputs: Vec<f64> = (0..n).map(|_| rng.random()).collect();
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.random()).collect())
+            .collect();
+
+        let compiled = CompiledCrossbar::new(&sim, &weights);
+        let walk = sim.run(&inputs, &weights);
+        let fast = compiled.mvm(&inputs);
+        for j in 0..m {
+            let a = walk[j].envelope();
+            let b = fast[j].envelope();
+            prop_assert!(
+                (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12,
+                "col {}: walk {} vs compiled {} (losses={} comp={} sigma={} trim={})",
+                j, a, b, losses, compensate, phase_sigma, trimmed
+            );
+        }
+        let walk_norm = sim.run_normalized(&inputs, &weights);
+        let mut fast_norm = vec![0.0; m];
+        compiled.run_normalized_into(&inputs, &mut fast_norm);
+        for j in 0..m {
+            prop_assert!(
+                (walk_norm[j] - fast_norm[j]).abs() < 1e-12,
+                "normalized col {}: {} vs {}", j, walk_norm[j], fast_norm[j]
+            );
+        }
+    }
 }

@@ -1,7 +1,7 @@
 //! Whole-network execution through the device chain.
 
 use crate::config::{tile_seed, SimConfig};
-use crate::tile::{run_tile, TileDrive, TileOutcome};
+use crate::tile::{run_tile_with, CompiledTile, MvmEngine, TileDrive, TileOutcome};
 use oxbar_core::dse::parallel_map;
 use oxbar_dataflow::tiles::{WeightTile, WeightTiles};
 use oxbar_dataflow::FoldPlan;
@@ -12,6 +12,8 @@ use oxbar_nn::reference::{
 use oxbar_nn::{Conv2d, Layer, Network, TensorShape};
 use oxbar_units::{Energy, Time};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Aggregated device statistics for one crossbar-mapped layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,22 +85,99 @@ pub struct DeviceForward {
 /// let forward = exec.forward(&net, &input, &filters).unwrap();
 /// assert_eq!(forward.output.shape().elements(), 10);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeviceExecutor {
     config: SimConfig,
+    engine: MvmEngine,
+    /// Weight-stationary cache of programmed + compiled tiles, keyed by
+    /// `(layer index, tile index)` and validated against the tile's exact
+    /// weights on every hit. Mirrors the hardware: a programmed PCM tile
+    /// serves many pixel batches and images without reprogramming. Entries
+    /// are deterministic functions of `(config, seed, layer, tile,
+    /// weights)`, so caching never changes results — only work.
+    cache: Mutex<TileCache>,
+}
+
+/// Cells of compiled tile state the cache may hold (bounds memory on
+/// networks whose layers are far larger than the reuse window).
+const TILE_CACHE_CELL_BUDGET: usize = 4_000_000;
+
+#[derive(Debug, Default)]
+struct TileCache {
+    tiles: HashMap<(usize, usize), Arc<CompiledTile>>,
+    cells: usize,
+}
+
+impl Clone for DeviceExecutor {
+    /// Clones the configuration; the clone starts with an empty tile
+    /// cache (entries are re-derived on demand, identically).
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            engine: self.engine,
+            cache: Mutex::new(TileCache::default()),
+        }
+    }
 }
 
 impl DeviceExecutor {
-    /// Creates an executor for the given configuration.
+    /// Creates an executor for the given configuration on the default
+    /// (compiled transfer-matrix) MVM engine.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            engine: MvmEngine::default(),
+            cache: Mutex::new(TileCache::default()),
+        }
+    }
+
+    /// The compiled state for one tile: a validated cache hit, or a fresh
+    /// compile (inserted while the cell budget allows).
+    fn compiled_tile(
+        &self,
+        layer_index: usize,
+        tile_index: usize,
+        tile: &WeightTile,
+        seed: u64,
+    ) -> Arc<CompiledTile> {
+        let key = (layer_index, tile_index);
+        if let Some(hit) = self.cache.lock().expect("tile cache").tiles.get(&key) {
+            if hit.matches(tile) {
+                return Arc::clone(hit);
+            }
+        }
+        let compiled = Arc::new(CompiledTile::compile(tile, &self.config, seed));
+        let cells = tile.rows() * tile.cols();
+        let mut cache = self.cache.lock().expect("tile cache");
+        if let Some(stale) = cache.tiles.remove(&key) {
+            cache.cells -= stale.cells();
+        }
+        if cache.cells + cells <= TILE_CACHE_CELL_BUDGET {
+            cache.tiles.insert(key, Arc::clone(&compiled));
+            cache.cells += cells;
+        }
+        compiled
+    }
+
+    /// Overrides the crossbar MVM engine (e.g. [`MvmEngine::FieldWalk`]
+    /// to run every pixel through the field-propagation oracle).
+    #[must_use]
+    pub fn with_engine(mut self, engine: MvmEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The MVM engine in use.
+    #[must_use]
+    pub fn engine(&self) -> MvmEngine {
+        self.engine
     }
 
     /// Runs a forward pass with per-conv-layer filter banks (indexed in
@@ -208,15 +287,20 @@ impl DeviceExecutor {
             })
             .collect();
         let outcomes = parallel_map(&jobs, self.config.threads, |tile_index, (tile, drive)| {
-            run_tile(
-                tile,
-                drive,
-                &self.config,
-                tile_seed(self.config.seed, layer_index, tile_index),
-            )
+            let seed = tile_seed(self.config.seed, layer_index, tile_index);
+            match self.engine {
+                // The oracle engine stays cache-free: it is the baseline
+                // the compiled path is benchmarked and validated against.
+                MvmEngine::FieldWalk => {
+                    run_tile_with(tile, drive, &self.config, seed, MvmEngine::FieldWalk)
+                }
+                MvmEngine::Compiled | MvmEngine::CompiledNoCache => self
+                    .compiled_tile(layer_index, tile_index, tile, seed)
+                    .execute(drive, &self.config, self.engine == MvmEngine::Compiled),
+            }
         });
 
-        let mut acc = Accumulator::new(48);
+        let mut acc = Accumulator::with_lanes(48, pixel_ids.len() * conv.out_c);
         let out_per_group = conv.out_c_per_group();
         for ((tile, _), outcome) in jobs.iter().zip(&outcomes) {
             for (slot, per_col) in outcome.partials.iter().enumerate() {
@@ -293,45 +377,52 @@ where
         return Err(UnsupportedLayer { layer: add });
     }
     let mut conv_idx = 0;
-    let mut current = input.clone();
-    let mut walked = Vec::new();
+    let mut walked: Vec<WalkedLayer> = Vec::new();
     for (layer_idx, layer) in network.layers().iter().enumerate() {
+        // The previous layer's output is read in place from the walk record
+        // (no per-layer tensor clone).
+        let current = walked.last().map_or(input, |w| &w.output);
         match layer {
             Layer::Add(_) => unreachable!("Add layers rejected by the pre-scan"),
             Layer::Pool(p) => {
-                current = pool_exact(&current, p);
+                let output = pool_exact(current, p);
                 walked.push(WalkedLayer {
                     name: p.name.clone(),
                     shift: 0,
-                    output: current.clone(),
+                    output,
                     is_mac: false,
                 });
             }
             Layer::Conv2d(_) | Layer::Dense(_) => {
-                let conv = match layer {
-                    Layer::Conv2d(c) => c.clone(),
-                    Layer::Dense(d) => d.as_conv(),
+                let dense_conv;
+                let conv: &Conv2d = match layer {
+                    Layer::Conv2d(c) => c,
+                    Layer::Dense(d) => {
+                        dense_conv = d.as_conv();
+                        &dense_conv
+                    }
                     _ => unreachable!(),
                 };
                 // A dense layer consumes the flattened previous tensor.
-                let conv_input = if current.shape() != conv.input
+                let reshaped;
+                let conv_input: &Tensor3 = if current.shape() != conv.input
                     && current.shape().elements() == conv.input.elements()
                 {
-                    Tensor3::new(conv.input, current.data().to_vec())
+                    reshaped = Tensor3::new(conv.input, current.data().to_vec());
+                    &reshaped
                 } else {
-                    current.clone()
+                    current
                 };
-                let raw = conv_op(layer_idx, conv_idx, &conv, &conv_input);
+                let raw = conv_op(layer_idx, conv_idx, conv, conv_input);
                 conv_idx += 1;
                 let activated = activate(&raw, conv.activation);
                 let (requant, shift) = requantize(&activated, activation_bits);
                 walked.push(WalkedLayer {
                     name: conv.name.clone(),
                     shift,
-                    output: requant.clone(),
+                    output: requant,
                     is_mac: true,
                 });
-                current = requant;
             }
         }
     }
@@ -351,37 +442,36 @@ fn build_drive(
     let window_w = conv.k_w * in_per_group;
     let c_base = tile.group * in_per_group;
     let rows = tile.rows();
-    let mut positive = Vec::with_capacity(pixel_ids.len());
+    // The (ky, kx, channel) decode of each tile row is pixel-independent;
+    // hoist it out of the per-pixel gather.
+    let row_taps: Vec<(usize, usize, usize)> = (0..rows)
+        .map(|r| {
+            let widx = tile.row_offset + r;
+            let ky = widx / window_w;
+            let rem = widx % window_w;
+            (ky, rem / in_per_group, c_base + rem % in_per_group)
+        })
+        .collect();
+    let mut positive = Vec::with_capacity(pixel_ids.len() * rows);
     let mut negative = if has_negative {
-        Some(Vec::with_capacity(pixel_ids.len()))
+        Some(Vec::with_capacity(pixel_ids.len() * rows))
     } else {
         None
     };
     for &pid in pixel_ids {
         let oy = pid / out.w;
         let ox = pid % out.w;
-        let mut pos = Vec::with_capacity(rows);
-        let mut neg = Vec::with_capacity(if has_negative { rows } else { 0 });
-        for r in 0..rows {
-            let widx = tile.row_offset + r;
-            let ky = widx / window_w;
-            let rem = widx % window_w;
-            let kx = rem / in_per_group;
-            let ci = rem % in_per_group;
+        for &(ky, kx, c) in &row_taps {
             let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
             let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
-            let v = input.at_padded(iy, ix, c_base + ci);
-            pos.push(v.max(0) as u8);
-            if has_negative {
-                neg.push((-v).max(0) as u8);
+            let v = input.at_padded(iy, ix, c);
+            positive.push(v.max(0) as u8);
+            if let Some(n) = negative.as_mut() {
+                n.push((-v).max(0) as u8);
             }
         }
-        positive.push(pos);
-        if let Some(n) = negative.as_mut() {
-            n.push(neg);
-        }
     }
-    TileDrive { positive, negative }
+    TileDrive::new(rows, positive, negative)
 }
 
 /// Evenly spaced sample of `max_pixels` output-pixel ids (deterministic).

@@ -31,6 +31,16 @@
 //! ([`config::tile_seed`]), so parallel runs are byte-identical to serial
 //! ones.
 //!
+//! Each programmed tile is a fixed linear operator, so the default
+//! [`MvmEngine::Compiled`] engine compiles it once into a transfer matrix
+//! ([`oxbar_photonics::transfer::CompiledCrossbar`]) and executes all pixel
+//! drives as batched dense MVMs behind a duplicate-window cache. The
+//! executor keeps compiled tiles across pixel batches and images
+//! (weight-stationary, like the PCM hardware itself), validating every
+//! cache hit against the tile's exact weights. The cell-by-cell field walk
+//! remains available as the validation oracle via [`MvmEngine::FieldWalk`]
+//! (see the `device_mvm` bench for the measured speedup).
+//!
 //! # Examples
 //!
 //! ```
@@ -60,6 +70,7 @@ pub use config::{NoiseModel, Readout, SimConfig};
 pub use executor::{DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
 pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};
 pub use probe::{probe_conv, LayerProbe};
+pub use tile::MvmEngine;
 
 #[cfg(test)]
 mod proptests;

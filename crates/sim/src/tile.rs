@@ -1,5 +1,15 @@
 //! One fold-tile through the full device chain: PCM programming →
-//! field-level crossbar propagation → TIA/ADC readout → signed recovery.
+//! crossbar MVM (compiled transfer matrix or field walk) → TIA/ADC
+//! readout → signed recovery.
+//!
+//! After PCM programming the tile is a fixed linear operator, so the
+//! default engine compiles it once
+//! ([`oxbar_photonics::transfer::CompiledCrossbar`]) and executes every
+//! pixel drive — positive and negative passes — as one batched MVM over a
+//! flat row-major drive matrix, with a duplicate-window cache in front
+//! (padded convolutions produce many identical and all-zero windows). The
+//! cell-by-cell field walk ([`CrossbarSimulator::run`]) stays available as
+//! the oracle via [`MvmEngine::FieldWalk`].
 
 use crate::config::{Readout, SimConfig};
 use oxbar_dataflow::tiles::WeightTile;
@@ -11,8 +21,42 @@ use oxbar_pcm::drift::DriftModel;
 use oxbar_pcm::variation::DeviceVariation;
 use oxbar_pcm::{PcmArray, ProgramReport};
 use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+use oxbar_photonics::transfer::CompiledCrossbar;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// Chunked FNV-style hasher for drive-window dedupe keys — the default
+/// SipHash dominates the cache lookup at im2col window sizes.
+#[derive(Default)]
+struct WindowHasher(u64);
+
+impl std::hash::Hasher for WindowHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche (splitmix-style) so sequential windows spread.
+        let mut z = self.0;
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^ (z >> 33)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0 ^ 0xCBF2_9CE4_8422_2325;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            h = (h ^ word).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut tail = u64::from(bytes.len() as u8);
+        for (k, &b) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(b) << (8 * (k + 1));
+        }
+        self.0 = (h ^ tail).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+type WindowMap<'a> = HashMap<&'a [u8], usize, BuildHasherDefault<WindowHasher>>;
 
 /// Full-scale photocurrent assumed at the balanced receiver (A). The TIA
 /// turns it into the ADC's full-scale voltage; the value cancels out of the
@@ -32,21 +76,403 @@ pub struct TileOutcome {
 /// The per-pixel crossbar drive for one tile: unsigned input codes for the
 /// tile's row slice, split into positive and negative passes (signed
 /// activations run as `v = v⁺ − v⁻`, two unipolar crossbar cycles).
+///
+/// Windows are stored as flat row-major matrices (`pixels × rows`) so the
+/// batched MVM and the duplicate-window cache read them without per-pixel
+/// indirection or allocation.
 #[derive(Debug, Clone)]
 pub struct TileDrive {
-    /// Positive-part codes per pixel, `rows` long.
-    pub positive: Vec<Vec<u8>>,
-    /// Negative-part codes per pixel; `None` when every value is ≥ 0.
-    pub negative: Option<Vec<Vec<u8>>>,
+    rows: usize,
+    pixels: usize,
+    /// Positive-part codes, `pixels × rows` row-major.
+    positive: Vec<u8>,
+    /// Negative-part codes; `None` when every value is ≥ 0.
+    negative: Option<Vec<u8>>,
 }
 
-/// Executes one weight tile against its input windows.
+impl TileDrive {
+    /// Wraps flat row-major (`pixels × rows`) drive matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero, `positive` is not a whole number of
+    /// windows, or `negative` differs in length.
+    #[must_use]
+    pub fn new(rows: usize, positive: Vec<u8>, negative: Option<Vec<u8>>) -> Self {
+        assert!(rows > 0, "drive windows must have rows");
+        assert_eq!(
+            positive.len() % rows,
+            0,
+            "drive matrix must be pixels × {rows} row-major"
+        );
+        if let Some(negative) = &negative {
+            assert_eq!(
+                negative.len(),
+                positive.len(),
+                "negative pass must cover the same pixels"
+            );
+        }
+        Self {
+            rows,
+            pixels: positive.len() / rows,
+            positive,
+            negative,
+        }
+    }
+
+    /// Builds a drive from per-pixel windows (convenience for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows are empty or ragged.
+    #[must_use]
+    pub fn from_windows(positive: &[Vec<u8>], negative: Option<&[Vec<u8>]>) -> Self {
+        let rows = positive.first().map_or(0, Vec::len);
+        let flatten = |windows: &[Vec<u8>]| {
+            windows
+                .iter()
+                .flat_map(|w| {
+                    assert_eq!(w.len(), rows, "ragged drive window");
+                    w.iter().copied()
+                })
+                .collect()
+        };
+        Self::new(rows, flatten(positive), negative.map(flatten))
+    }
+
+    /// Window length (the tile's row count).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of pixels driven.
+    #[must_use]
+    pub fn pixels(&self) -> usize {
+        self.pixels
+    }
+
+    /// The positive-pass window of pixel `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn positive(&self, p: usize) -> &[u8] {
+        &self.positive[p * self.rows..(p + 1) * self.rows]
+    }
+
+    /// The negative-pass window of pixel `p`, if a negative pass exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn negative(&self, p: usize) -> Option<&[u8]> {
+        self.negative
+            .as_ref()
+            .map(|n| &n[p * self.rows..(p + 1) * self.rows])
+    }
+
+    /// Whether a negative pass exists.
+    #[must_use]
+    pub fn has_negative(&self) -> bool {
+        self.negative.is_some()
+    }
+
+    /// All windows in execution order: every positive pass, then every
+    /// negative pass.
+    fn windows(&self) -> impl Iterator<Item = &[u8]> {
+        self.positive
+            .chunks_exact(self.rows)
+            .chain(self.negative.iter().flat_map(|n| n.chunks_exact(self.rows)))
+    }
+}
+
+/// Which crossbar MVM implementation a tile runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MvmEngine {
+    /// Compile the programmed tile into a transfer matrix once, dedupe
+    /// identical drive windows, and execute the batch as dense MVMs (the
+    /// default fast path).
+    #[default]
+    Compiled,
+    /// The compiled transfer matrix without the duplicate-window cache
+    /// (every window recomputed; used to pin the cache's transparency).
+    CompiledNoCache,
+    /// The cell-by-cell field-propagation oracle
+    /// ([`CrossbarSimulator::run`]) — the reference the compiled path is
+    /// validated against, and the baseline the `device_mvm` bench times.
+    FieldWalk,
+}
+
+/// The per-tile device state after PCM programming: mapped codes, the
+/// programming report, the as-read transmissions, and the seeded crossbar
+/// simulator.
+struct ProgrammedTile {
+    mapped: MappedWeights,
+    program: ProgramReport,
+    transmissions: Vec<Vec<f64>>,
+    sim: CrossbarSimulator,
+}
+
+/// Maps the tile weights, programs the PCM array, and builds the seeded
+/// tile-sized crossbar simulator.
+fn program_tile(values: &[Vec<i8>], config: &SimConfig, seed: u64) -> ProgrammedTile {
+    let rows = values.len();
+    let mapped = MappedWeights::map(values, config.mapping, config.q());
+    let pcols = mapped.physical_cols();
+
+    // The unipolar levels are already integer codes of the array's level
+    // table, so program directly from codes (value-identical to the float
+    // round trip: `quantize_weight(u / table_max) == u` exactly). With
+    // neither programming variation nor drift the whole program-and-read
+    // chain collapses into the per-code table (`noise_free_readout`).
+    let device = config.device();
+    let (transmissions, program) = if config.noise.pcm_sigma == 0.0 && config.noise.drift_nu == 0.0
+    {
+        PcmArray::noise_free_readout(
+            rows,
+            pcols,
+            device,
+            config.weight_bits,
+            mapped.unipolar(),
+            Parallelism::FullArray,
+        )
+    } else {
+        let mut array = PcmArray::with_device(rows, pcols, device, config.weight_bits);
+        let program = if config.noise.pcm_sigma > 0.0 {
+            let variation = DeviceVariation::new(config.noise.pcm_sigma, 0.0);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+            array.program_codes_with_variation(
+                mapped.unipolar(),
+                Parallelism::FullArray,
+                &variation,
+                &mut rng,
+            )
+        } else {
+            array.program_codes(mapped.unipolar(), Parallelism::FullArray)
+        };
+        let transmissions = if config.noise.drift_nu > 0.0 {
+            array.drifted_transmissions(
+                &DriftModel::new(config.noise.drift_nu),
+                config.noise.drift_elapsed,
+            )
+        } else {
+            array.transmissions()
+        };
+        (transmissions, program)
+    };
+
+    let mut xbar = CrossbarConfig::new(rows, pcols)
+        .with_phase_error_sigma(config.noise.phase_sigma_rad)
+        .with_phase_error_seed(seed)
+        .with_trim_resolution(config.noise.trim_resolution_rad);
+    if config.noise.with_losses {
+        xbar = xbar.with_losses(true).with_path_loss_compensation(true);
+    }
+    ProgrammedTile {
+        mapped,
+        program,
+        transmissions,
+        sim: CrossbarSimulator::new(xbar),
+    }
+}
+
+/// The column readout chain: TIA + optional ADC, and the scale that undoes
+/// the architecture normalization — the exact integer column output is
+/// `y_norm · rows · v_max · table_max / t_max`.
+struct ReadoutChain {
+    tia: Tia,
+    adc: Option<UnsignedQuantizer>,
+    full_scale_v: f64,
+    scale: f64,
+}
+
+impl ReadoutChain {
+    fn new(config: &SimConfig, rows: usize) -> Self {
+        let tia = Tia::paper_default();
+        let full_scale_v = tia.output_voltage(FULL_SCALE_CURRENT_A);
+        let adc = match config.readout {
+            Readout::Exact => None,
+            Readout::Adc { bits } => {
+                Some(UnsignedQuantizer::new(bits, full_scale_v).expect("valid ADC resolution"))
+            }
+        };
+        let scale = rows as f64 * config.v_max() as f64 * f64::from(config.table_max())
+            / config.device().max_transmission();
+        Self {
+            tia,
+            adc,
+            full_scale_v,
+            scale,
+        }
+    }
+
+    fn digitize(&self, y: f64) -> i64 {
+        let digitized = match &self.adc {
+            None => y,
+            Some(q) => {
+                let current = y.clamp(0.0, 1.0) * FULL_SCALE_CURRENT_A;
+                q.reconstruct(self.tia.output_voltage(current)) / self.full_scale_v
+            }
+        };
+        (digitized * self.scale).round() as i64
+    }
+}
+
+/// A weight tile after PCM programming and transfer-matrix compilation:
+/// the weight-stationary device state. Compiling is `O(N × M)` and happens
+/// once; every [`CompiledTile::execute`] afterwards is a batched dense MVM
+/// — executors cache these across pixel batches and images, mirroring the
+/// hardware, where a programmed PCM tile serves many inferences.
+#[derive(Debug, Clone)]
+pub struct CompiledTile {
+    /// The signed weight codes this state was compiled from (used to
+    /// validate cache hits).
+    values: Vec<Vec<i8>>,
+    mapped: MappedWeights,
+    program: ProgramReport,
+    compiled: CompiledCrossbar,
+}
+
+impl CompiledTile {
+    /// Programs the tile and compiles its transfer matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile weights exceed the configured code range.
+    #[must_use]
+    pub fn compile(tile: &WeightTile, config: &SimConfig, seed: u64) -> Self {
+        let programmed = program_tile(&tile.values, config, seed);
+        Self {
+            values: tile.values.clone(),
+            compiled: CompiledCrossbar::new(&programmed.sim, &programmed.transmissions),
+            mapped: programmed.mapped,
+            program: programmed.program,
+        }
+    }
+
+    /// Whether this compiled state was built from exactly these weights
+    /// (cache-hit validation).
+    #[must_use]
+    pub fn matches(&self, tile: &WeightTile) -> bool {
+        self.values == tile.values
+    }
+
+    /// Crossbar cells this compiled state holds (`rows × physical cols`).
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.compiled.rows() * self.compiled.cols()
+    }
+
+    /// Executes all pixel drives as one batched MVM (with the
+    /// duplicate-window cache unless `dedupe` is off) and recovers signed
+    /// partial sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drive's window length disagrees with the tile rows.
+    #[must_use]
+    pub fn execute(&self, drive: &TileDrive, config: &SimConfig, dedupe: bool) -> TileOutcome {
+        let rows = self.compiled.rows();
+        let pcols = self.compiled.cols();
+        assert_eq!(drive.rows(), rows, "windows must match tile rows");
+        let readout = ReadoutChain::new(config, rows);
+        let v_max = config.v_max() as f64;
+        let pixels = drive.pixels();
+
+        // Index every drive window (all positive passes, then all negative
+        // passes) into a deduplicated window list. The cache is adaptive:
+        // if the first windows show no duplicates at all (e.g. an unpadded
+        // conv), hashing is turned off for the rest — the result is
+        // identical either way, only the work differs.
+        const DEDUPE_PROBE: usize = 64;
+        let mut dedupe = dedupe;
+        let window_count = pixels * if drive.has_negative() { 2 } else { 1 };
+        let mut unique_of = Vec::with_capacity(window_count);
+        let mut uniques: Vec<&[u8]> = Vec::new();
+        let mut seen = WindowMap::default();
+        for (w, window) in drive.windows().enumerate() {
+            let id = if dedupe {
+                let id = *seen.entry(window).or_insert_with(|| {
+                    uniques.push(window);
+                    uniques.len() - 1
+                });
+                if w + 1 == DEDUPE_PROBE && uniques.len() == DEDUPE_PROBE {
+                    dedupe = false;
+                }
+                id
+            } else {
+                uniques.push(window);
+                uniques.len() - 1
+            };
+            unique_of.push(id);
+        }
+
+        // One batched MVM over the flat row-major drive matrix of the
+        // unique windows. All-dark windows skip the analog chain entirely
+        // (they produce exactly zero in every column).
+        let mut drives = vec![0.0f64; uniques.len() * rows];
+        let mut dark = vec![false; uniques.len()];
+        for (u, window) in uniques.iter().enumerate() {
+            if window.iter().all(|&v| v == 0) {
+                dark[u] = true;
+                continue;
+            }
+            for (d, &v) in drives[u * rows..][..rows].iter_mut().zip(*window) {
+                *d = f64::from(v) / v_max;
+            }
+        }
+        let mut ys = vec![0.0f64; uniques.len() * pcols];
+        self.compiled.run_normalized_batch(&drives, &mut ys);
+
+        // Digitize the batched column outputs and recover each unique
+        // window's signed partials once, into a flat matrix.
+        let lcols = self.mapped.logical_cols();
+        let mut raw = vec![0i64; pcols];
+        let mut recovered = vec![0i64; uniques.len() * lcols];
+        for (u, window) in uniques.iter().enumerate() {
+            if dark[u] {
+                raw.fill(0);
+            } else {
+                for (r, &y) in raw.iter_mut().zip(&ys[u * pcols..][..pcols]) {
+                    *r = readout.digitize(y);
+                }
+            }
+            self.mapped
+                .recover_into(&raw, window, &mut recovered[u * lcols..][..lcols]);
+        }
+
+        // Assemble per-pixel partials: positive pass minus (optional)
+        // negative pass.
+        let partials = (0..pixels)
+            .map(|p| {
+                let mut rec = recovered[unique_of[p] * lcols..][..lcols].to_vec();
+                if drive.has_negative() {
+                    let neg = &recovered[unique_of[pixels + p] * lcols..][..lcols];
+                    for (r, &n) in rec.iter_mut().zip(neg) {
+                        *r -= n;
+                    }
+                }
+                rec
+            })
+            .collect();
+        TileOutcome {
+            partials,
+            program: self.program,
+        }
+    }
+}
+
+/// Executes one weight tile against its input windows on the default
+/// (compiled transfer-matrix) engine.
 ///
 /// The tile's signed weights are mapped to unipolar codes, programmed into
 /// a PCM array (with the config's variation/drift), propagated through a
-/// tile-sized field-level crossbar simulator (with the config's phase
-/// errors/losses, seeded from `seed`), read out per column, and recovered
-/// to signed integer partial sums.
+/// tile-sized crossbar (with the config's phase errors/losses, seeded from
+/// `seed`), read out per column, and recovered to signed integer partial
+/// sums.
 ///
 /// # Panics
 ///
@@ -58,96 +484,65 @@ pub fn run_tile(
     config: &SimConfig,
     seed: u64,
 ) -> TileOutcome {
-    let rows = tile.rows();
-    let mapped = MappedWeights::map(&tile.values, config.mapping, config.q());
-    let pcols = mapped.physical_cols();
+    run_tile_with(tile, drive, config, seed, MvmEngine::Compiled)
+}
 
-    // --- PCM programming ------------------------------------------------
-    let device = config.device();
-    let mut array = PcmArray::with_device(rows, pcols, device, config.weight_bits);
-    let table_max = f64::from(config.table_max());
-    let fractions: Vec<Vec<f64>> = mapped
-        .unipolar()
-        .iter()
-        .map(|row| row.iter().map(|&u| f64::from(u) / table_max).collect())
-        .collect();
-    let program = if config.noise.pcm_sigma > 0.0 {
-        let variation = DeviceVariation::new(config.noise.pcm_sigma, 0.0);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
-        array.program_with_variation(&fractions, Parallelism::FullArray, &variation, &mut rng)
-    } else {
-        array.program(&fractions, Parallelism::FullArray)
-    };
-    let transmissions = if config.noise.drift_nu > 0.0 {
-        array.drifted_transmissions(
-            &DriftModel::new(config.noise.drift_nu),
-            config.noise.drift_elapsed,
+/// [`run_tile`] with an explicit [`MvmEngine`].
+///
+/// # Panics
+///
+/// Panics if the drive's window lengths disagree with the tile geometry.
+#[must_use]
+pub fn run_tile_with(
+    tile: &WeightTile,
+    drive: &TileDrive,
+    config: &SimConfig,
+    seed: u64,
+    engine: MvmEngine,
+) -> TileOutcome {
+    match engine {
+        MvmEngine::Compiled | MvmEngine::CompiledNoCache => CompiledTile::compile(
+            tile, config, seed,
         )
-    } else {
-        array.transmissions()
-    };
-
-    // --- Photonic crossbar ----------------------------------------------
-    let mut xbar = CrossbarConfig::new(rows, pcols)
-        .with_phase_error_sigma(config.noise.phase_sigma_rad)
-        .with_phase_error_seed(seed)
-        .with_trim_resolution(config.noise.trim_resolution_rad);
-    if config.noise.with_losses {
-        xbar = xbar.with_losses(true).with_path_loss_compensation(true);
-    }
-    let sim = CrossbarSimulator::new(xbar);
-
-    // --- Readout chain ---------------------------------------------------
-    let tia = Tia::paper_default();
-    let full_scale_v = tia.output_voltage(FULL_SCALE_CURRENT_A);
-    let adc = match config.readout {
-        Readout::Exact => None,
-        Readout::Adc { bits } => {
-            Some(UnsignedQuantizer::new(bits, full_scale_v).expect("valid ADC resolution"))
-        }
-    };
-    // Undo the architecture normalization: the exact integer column output
-    // is `y_norm · rows · v_max · table_max / t_max`.
-    let v_max = config.v_max() as f64;
-    let scale = rows as f64 * v_max * table_max / device.max_transmission();
-
-    let mvm = |codes: &[u8]| -> Vec<i64> {
-        assert_eq!(codes.len(), rows, "window must match tile rows");
-        if codes.iter().all(|&v| v == 0) {
-            // An all-dark drive produces exactly zero in every column.
-            return vec![0; pcols];
-        }
-        let inputs: Vec<f64> = codes.iter().map(|&v| f64::from(v) / v_max).collect();
-        let ys = sim.run_normalized(&inputs, &transmissions);
-        ys.iter()
-            .map(|&y| {
-                let digitized = match &adc {
-                    None => y,
-                    Some(q) => {
-                        let current = y.clamp(0.0, 1.0) * FULL_SCALE_CURRENT_A;
-                        q.reconstruct(tia.output_voltage(current)) / full_scale_v
+        .execute(drive, config, engine == MvmEngine::Compiled),
+        MvmEngine::FieldWalk => {
+            let rows = tile.rows();
+            assert_eq!(drive.rows(), rows, "windows must match tile rows");
+            let programmed = program_tile(&tile.values, config, seed);
+            let pcols = programmed.mapped.physical_cols();
+            let readout = ReadoutChain::new(config, rows);
+            let v_max = config.v_max() as f64;
+            let mvm = |codes: &[u8]| -> Vec<i64> {
+                if codes.iter().all(|&v| v == 0) {
+                    // An all-dark drive produces exactly zero in every column.
+                    return vec![0; pcols];
+                }
+                let inputs: Vec<f64> = codes.iter().map(|&v| f64::from(v) / v_max).collect();
+                let ys = programmed
+                    .sim
+                    .run_normalized(&inputs, &programmed.transmissions);
+                ys.iter().map(|&y| readout.digitize(y)).collect()
+            };
+            let pixels = drive.pixels();
+            let mut partials = Vec::with_capacity(pixels);
+            for p in 0..pixels {
+                let raw_pos = mvm(drive.positive(p));
+                let mut recovered = programmed.mapped.recover(&raw_pos, drive.positive(p));
+                if let Some(negative) = drive.negative(p) {
+                    let raw_neg = mvm(negative);
+                    let rec_neg = programmed.mapped.recover(&raw_neg, negative);
+                    for (r, n) in recovered.iter_mut().zip(rec_neg) {
+                        *r -= n;
                     }
-                };
-                (digitized * scale).round() as i64
-            })
-            .collect()
-    };
-
-    let pixels = drive.positive.len();
-    let mut partials = Vec::with_capacity(pixels);
-    for p in 0..pixels {
-        let raw_pos = mvm(&drive.positive[p]);
-        let mut recovered = mapped.recover(&raw_pos, &drive.positive[p]);
-        if let Some(negative) = &drive.negative {
-            let raw_neg = mvm(&negative[p]);
-            let rec_neg = mapped.recover(&raw_neg, &negative[p]);
-            for (r, n) in recovered.iter_mut().zip(rec_neg) {
-                *r -= n;
+                }
+                partials.push(recovered);
+            }
+            TileOutcome {
+                partials,
+                program: programmed.program,
             }
         }
-        partials.push(recovered);
     }
-    TileOutcome { partials, program }
 }
 
 #[cfg(test)]
@@ -178,10 +573,7 @@ mod tests {
         assert!(tiles.len() > 1, "fold coverage");
         for (t, tile) in tiles.iter().enumerate() {
             let window: Vec<u8> = (0..tile.rows()).map(|r| (r * 7 % 64) as u8).collect();
-            let drive = TileDrive {
-                positive: vec![window.clone()],
-                negative: None,
-            };
+            let drive = TileDrive::from_windows(std::slice::from_ref(&window), None);
             let out = run_tile(tile, &drive, &config, 99 + t as u64);
             let expected = signed_mac(
                 tile,
@@ -205,10 +597,10 @@ mod tests {
             .next()
             .unwrap();
         let window: Vec<i64> = (0..tile.rows() as i64).map(|r| (r % 13) - 6).collect();
-        let drive = TileDrive {
-            positive: vec![window.iter().map(|&v| v.max(0) as u8).collect()],
-            negative: Some(vec![window.iter().map(|&v| (-v).max(0) as u8).collect()]),
-        };
+        let drive = TileDrive::from_windows(
+            &[window.iter().map(|&v| v.max(0) as u8).collect()],
+            Some(&[window.iter().map(|&v| (-v).max(0) as u8).collect()]),
+        );
         let out = run_tile(&tile, &drive, &SimConfig::ideal(32, 8), 5);
         assert_eq!(out.partials[0], signed_mac(&tile, &window));
     }
@@ -223,10 +615,7 @@ mod tests {
             .next()
             .unwrap();
         let window: Vec<u8> = (0..tile.rows()).map(|r| (r * 11 % 64) as u8).collect();
-        let drive = TileDrive {
-            positive: vec![window.clone()],
-            negative: None,
-        };
+        let drive = TileDrive::from_windows(std::slice::from_ref(&window), None);
         let config = SimConfig::ideal(32, 16).with_mapping(WeightMapping::Differential);
         let out = run_tile(&tile, &drive, &config, 1);
         let expected = signed_mac(
@@ -245,10 +634,7 @@ mod tests {
             .next()
             .unwrap();
         let window: Vec<u8> = (0..tile.rows()).map(|r| (r * 5 % 64) as u8).collect();
-        let drive = TileDrive {
-            positive: vec![window.clone()],
-            negative: None,
-        };
+        let drive = TileDrive::from_windows(std::slice::from_ref(&window), None);
         let config = SimConfig::noisy(64, 8);
         let a = run_tile(&tile, &drive, &config, 77);
         let b = run_tile(&tile, &drive, &config, 77);
