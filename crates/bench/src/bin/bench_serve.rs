@@ -1,0 +1,12 @@
+//! Perf snapshot: batched weight-stationary serving vs cold per-request
+//! execution on the same trace.
+//!
+//! Writes `BENCH_serve.json` at the workspace root. Pass `--quick` for
+//! the CI smoke variant (small trace, same schema).
+
+use oxbar_bench::serve;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    serve::render(&serve::run(quick));
+}

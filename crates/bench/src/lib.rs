@@ -8,6 +8,7 @@
 
 pub mod device_mvm;
 pub mod figures;
+pub mod serve;
 
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -1,0 +1,337 @@
+//! `serve` perf snapshot: batched weight-stationary serving vs
+//! one-request-at-a-time cold execution on the *same* request trace,
+//! emitted as machine-readable `BENCH_serve.json` at the workspace root.
+//!
+//! Every case replays one deterministic open-loop trace over the stock
+//! serving catalog through a differently configured [`ServeEngine`]; the
+//! headline compares the batched engine (weight-stationary tile caches,
+//! same-model coalescing) against the cold baseline (single-request
+//! dispatch, zero cache budget — every request reprograms its PCM tiles
+//! and recompiles its transfer matrices). A second pair of cases pins the
+//! cache-thrash scenario: a budget that holds only some of the catalog,
+//! served interleaved vs batched.
+//!
+//! Latencies come from [`replay_latencies`]: the engine measures each
+//! batch's wall time, and the queueing timeline is replayed with the
+//! trace's arrival ticks mapped to milliseconds so that the offered load
+//! is ~80% of the case's own saturated throughput.
+//!
+//! The report also carries each catalog model's *analytic* throughput
+//! ceiling from the paper's system model ([`oxbar_core::Chip`]), so the
+//! measured simulator-level numbers sit next to the modeled
+//! hardware-level IPS in one artifact.
+
+use oxbar_core::{Chip, ChipConfig};
+use oxbar_serve::loadgen::{replay_latencies, MixEntry, OpenLoop};
+use oxbar_serve::{catalog, BatchPolicy, LatencySummary, ServeConfig, ServeEngine};
+use oxbar_sim::SimConfig;
+use serde::Serialize;
+
+/// The headline speedup target (from the issue's acceptance criteria).
+pub const TARGET_SPEEDUP: f64 = 5.0;
+
+/// Offered load for latency replay, as a fraction of the case's own
+/// saturated throughput.
+const REPLAY_LOAD: f64 = 0.8;
+
+/// One admitted model's static facts.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelReport {
+    /// Model name (from the stock catalog).
+    pub name: String,
+    /// Weight-stationary tile footprint, in crossbar cells.
+    pub footprint_cells: usize,
+    /// Analytic inferences/s for this network on the paper's optimal
+    /// chip configuration (`oxbar_core::Chip`), for context against the
+    /// measured serving numbers.
+    pub analytic_ips: f64,
+}
+
+/// One serving configuration replayed over the shared trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: String,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Batch-size cap of the policy.
+    pub max_batch: usize,
+    /// Coalescing window of the policy, in ticks.
+    pub max_wait: u64,
+    /// Global weight-stationary budget, in cells.
+    pub budget_cells: usize,
+    /// Total wall time of the drain (ms).
+    pub wall_ms: f64,
+    /// Saturated throughput: `requests / wall_ms`, in requests/s.
+    pub throughput_rps: f64,
+    /// Median request latency at 80% offered load (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency at 80% offered load (ms).
+    pub p99_ms: f64,
+    /// Mean request latency at 80% offered load (ms).
+    pub mean_ms: f64,
+    /// Deadline misses during the replay.
+    pub deadline_misses: usize,
+    /// Tile-cache hit rate across all models.
+    pub hit_rate: f64,
+    /// Whole-model cache evictions forced by the budget.
+    pub evictions: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// `cold wall_ms / this wall_ms`; `null` for the cold baseline
+    /// itself.
+    pub speedup_vs_cold: Option<f64>,
+}
+
+/// The full machine-readable snapshot (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Snapshot identifier (`"serve"`).
+    pub bench: String,
+    /// `"quick"` (CI smoke) or `"full"`.
+    pub mode: String,
+    /// Time unit of the per-case numbers (`"ms"`).
+    pub unit: String,
+    /// The headline speedup target.
+    pub target_speedup: f64,
+    /// Whether the batched case met the target against the cold baseline;
+    /// `null` in quick mode (the smoke trace is too short to amortize the
+    /// first-compile cost, so only the full trace is graded).
+    pub achieved: Option<bool>,
+    /// The admitted catalog, in admission order.
+    pub models: Vec<ModelReport>,
+    /// Per-configuration results; cold baseline first, headline second.
+    pub cases: Vec<CaseResult>,
+}
+
+/// The shared trace: a weighted open-loop mix over the whole catalog.
+fn workload(requests: usize) -> OpenLoop {
+    OpenLoop {
+        mix: vec![
+            MixEntry {
+                model: oxbar_serve::ModelId(0),
+                weight: 3,
+            },
+            MixEntry {
+                model: oxbar_serve::ModelId(1),
+                weight: 2,
+            },
+            MixEntry {
+                model: oxbar_serve::ModelId(2),
+                weight: 2,
+            },
+            MixEntry {
+                model: oxbar_serve::ModelId(3),
+                weight: 3,
+            },
+        ],
+        requests,
+        interarrival: 1,
+        seed: 2023,
+        deadline_slack: Some(100),
+    }
+}
+
+/// Builds an engine over the stock catalog.
+fn engine_with(policy: BatchPolicy, budget: usize) -> ServeEngine {
+    let device = SimConfig::noisy(128, 128).with_threads(1);
+    let mut engine = ServeEngine::new(
+        ServeConfig::new(device)
+            .with_policy(policy)
+            .with_cache_budget(budget)
+            .with_workers(1),
+    );
+    for spec in catalog::stock_catalog() {
+        engine.admit(spec).expect("catalog models admit");
+    }
+    engine
+}
+
+/// Replays the shared trace through one engine configuration.
+fn run_case(name: &str, requests: usize, policy: BatchPolicy, budget: usize) -> CaseResult {
+    let mut engine = engine_with(policy, budget);
+    let load = workload(requests);
+    for request in load.trace(|m| engine.input_shape(m)) {
+        engine.submit(request);
+    }
+    let (completions, batch_ms) = engine.drain_timed();
+    let wall_ms: f64 = batch_ms.iter().sum();
+    let throughput_rps = requests as f64 / (wall_ms / 1e3);
+    // Replay the queueing timeline at 80% of this case's saturation.
+    let tick_ms = wall_ms / requests as f64 / REPLAY_LOAD;
+    let (latencies, deadline_misses) = replay_latencies(&completions, &batch_ms, tick_ms);
+    let summary = LatencySummary::of(&latencies);
+    let stats = engine.stats();
+    CaseResult {
+        name: name.to_string(),
+        requests,
+        max_batch: policy.max_batch,
+        max_wait: policy.max_wait,
+        budget_cells: budget,
+        wall_ms,
+        throughput_rps,
+        p50_ms: summary.p50_ms,
+        p99_ms: summary.p99_ms,
+        mean_ms: summary.mean_ms,
+        deadline_misses,
+        hit_rate: stats.hit_rate(),
+        evictions: stats.evictions,
+        mean_batch_size: stats.mean_batch_size(),
+        speedup_vs_cold: None,
+    }
+}
+
+/// Static per-model facts: footprint (measured by serving one request on
+/// an unconstrained engine) and the analytic chip-model IPS.
+fn model_reports() -> Vec<ModelReport> {
+    let chip = Chip::new(ChipConfig::paper_optimal());
+    let mut engine = engine_with(BatchPolicy::SINGLE, usize::MAX);
+    catalog::stock_catalog()
+        .into_iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            let id = oxbar_serve::ModelId(index);
+            let input = oxbar_nn::synthetic::activations(engine.input_shape(id), 6, 1);
+            engine.submit_simple(id, input);
+            engine.drain();
+            ModelReport {
+                analytic_ips: chip.evaluate(&spec.network).ips,
+                name: spec.name,
+                footprint_cells: engine.stats().models[index].cache.cells,
+            }
+        })
+        .collect()
+}
+
+/// Runs the snapshot. `quick` keeps the trace small enough for a CI
+/// smoke step; the full mode replays the headline trace.
+#[must_use]
+pub fn generate(quick: bool) -> ServeReport {
+    let requests = if quick { 24 } else { 120 };
+    let models = model_reports();
+    // A budget that can hold the two lightest models but not the whole
+    // catalog: the cache-thrash operating point.
+    let total_cells: usize = models.iter().map(|m| m.footprint_cells).sum();
+    let tight = total_cells / 3;
+
+    let cold = run_case("open_loop/cold_serial", requests, BatchPolicy::SINGLE, 0);
+    let mut cases = vec![cold];
+    let mut batched = run_case(
+        "open_loop/batched_weight_stationary",
+        requests,
+        BatchPolicy::new(16, 8),
+        4_000_000,
+    );
+    batched.speedup_vs_cold = Some(cases[0].wall_ms / batched.wall_ms);
+    cases.push(batched);
+    if !quick {
+        for (name, policy) in [
+            ("open_loop/tight_budget_interleaved", BatchPolicy::SINGLE),
+            ("open_loop/tight_budget_batched", BatchPolicy::new(16, 8)),
+        ] {
+            let mut case = run_case(name, requests, policy, tight);
+            case.speedup_vs_cold = Some(cases[0].wall_ms / case.wall_ms);
+            cases.push(case);
+        }
+    }
+    let achieved = (!quick).then(|| cases[1].speedup_vs_cold.unwrap_or(0.0) >= TARGET_SPEEDUP);
+    ServeReport {
+        bench: "serve".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        unit: "ms".to_string(),
+        target_speedup: TARGET_SPEEDUP,
+        achieved,
+        models,
+        cases,
+    }
+}
+
+/// Prints the serving table.
+pub fn render(report: &ServeReport) {
+    println!(
+        "# serve — batched weight-stationary serving vs cold per-request execution, {} mode",
+        report.mode
+    );
+    println!("models (footprint = compiled tile cells; analytic = chip-model ceiling):");
+    for m in &report.models {
+        println!(
+            "  {:<24} {:>9} cells   {:>12.0} IPS analytic",
+            m.name, m.footprint_cells, m.analytic_ips
+        );
+    }
+    println!(
+        "{:<38} {:>5} {:>9} {:>9} {:>8} {:>8} {:>7} {:>6} {:>8}",
+        "case", "batch", "wall_ms", "rps", "p50_ms", "p99_ms", "hit", "evict", "speedup"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<38} {:>5} {:>9.1} {:>9.0} {:>8.2} {:>8.2} {:>6.0}% {:>6} {:>8}",
+            c.name,
+            c.max_batch,
+            c.wall_ms,
+            c.throughput_rps,
+            c.p50_ms,
+            c.p99_ms,
+            c.hit_rate * 100.0,
+            c.evictions,
+            c.speedup_vs_cold
+                .map_or_else(|| "—".to_string(), |s| format!("{s:.1}x")),
+        );
+    }
+    match report.achieved {
+        Some(met) => println!(
+            "target {:.0}x batched vs cold: {}",
+            report.target_speedup,
+            if met { "MET" } else { "NOT MET" }
+        ),
+        None => println!(
+            "target {:.0}x: graded on the full trace only (quick mode is a smoke run)",
+            report.target_speedup
+        ),
+    }
+}
+
+/// Generates the snapshot and writes `BENCH_serve.json` at the workspace
+/// root.
+///
+/// # Panics
+///
+/// Panics if the snapshot cannot be serialized or written.
+#[must_use]
+pub fn run(quick: bool) -> ServeReport {
+    let report = generate(quick);
+    let path = crate::workspace_root().join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_serve.json");
+    println!("[written] {}", path.display());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_has_valid_schema() {
+        let report = generate(true);
+        assert_eq!(report.bench, "serve");
+        assert_eq!(report.mode, "quick");
+        assert_eq!(report.unit, "ms");
+        assert_eq!(report.models.len(), 4);
+        for m in &report.models {
+            assert!(m.footprint_cells > 0);
+            assert!(m.analytic_ips > 0.0);
+        }
+        assert_eq!(report.cases.len(), 2, "quick mode: cold + batched");
+        for c in &report.cases {
+            assert!(c.wall_ms > 0.0);
+            assert!(c.throughput_rps > 0.0);
+            assert!(c.p50_ms > 0.0 && c.p99_ms >= c.p50_ms);
+            assert!((0.0..=1.0).contains(&c.hit_rate));
+        }
+        assert_eq!(report.cases[0].speedup_vs_cold, None);
+        assert!(report.cases[1].speedup_vs_cold.is_some());
+        assert_eq!(report.cases[0].hit_rate, 0.0, "budget 0 never hits");
+        assert_eq!(report.achieved, None, "quick mode is not graded");
+    }
+}

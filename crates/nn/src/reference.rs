@@ -167,9 +167,14 @@ pub fn pool_exact(input: &Tensor3, pool: &Pool) -> Tensor3 {
 #[must_use]
 pub fn requantize(tensor: &Tensor3, bits: u8) -> (Tensor3, u32) {
     let ceiling = (1i64 << bits) - 1;
-    let max = tensor.max_abs();
+    let max = tensor.data().iter().copied().max().unwrap_or(0).max(0);
+    let min = tensor.data().iter().copied().min().unwrap_or(0).min(0);
+    // Arithmetic right shift rounds toward -inf, so the negative bound
+    // must be checked on the shifted minimum itself: deriving the shift
+    // from max_abs alone lets e.g. -127 >> 1 = -64 escape a 6-bit
+    // ceiling of +/-63.
     let mut shift = 0u32;
-    while (max >> shift) > ceiling {
+    while (max >> shift) > ceiling || (min >> shift) < -ceiling {
         shift += 1;
     }
     let data = tensor.data().iter().map(|&v| v >> shift).collect();
@@ -389,6 +394,22 @@ mod tests {
         let (q, shift) = requantize(&t, 6);
         assert!(shift > 0);
         assert!(q.max_abs() <= 63);
+    }
+
+    #[test]
+    fn requantize_bounds_negative_boundary_values() {
+        // Arithmetic shift rounds toward -inf: a max_abs-derived shift
+        // would send -127 >> 1 to -64, one past the 6-bit ceiling.
+        for v in [-64i64, -127, -128, -129, -4097] {
+            let t = Tensor3::new(TensorShape::new(1, 1, 2), vec![v, 63]);
+            let (q, _) = requantize(&t, 6);
+            assert!(q.max_abs() <= 63, "{v} requantized to {:?}", q.data());
+        }
+        // Positive-only tensors keep the historical shifts exactly.
+        let t = Tensor3::new(TensorShape::new(1, 1, 2), vec![127, 63]);
+        assert_eq!(requantize(&t, 6).1, 1);
+        let t = Tensor3::new(TensorShape::new(1, 1, 1), vec![63]);
+        assert_eq!(requantize(&t, 6).1, 0);
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! The serving engine: a submission queue, the dynamic batcher, and a
+//! deterministic parallel scheduler over a shared executor pool.
+
+use crate::batcher::{form_batches, Batch, BatchPolicy};
+use crate::registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};
+use crate::request::{Completion, InferRequest, ModelId, RequestId};
+use oxbar_core::dse::parallel_map;
+use oxbar_sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a [`ServeEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Device configuration every admitted model's executor derives from
+    /// (per-model seeds are mixed in at admission).
+    pub device: SimConfig,
+    /// How the batcher coalesces the queue.
+    pub policy: BatchPolicy,
+    /// Global weight-stationary budget, in crossbar cells, shared by all
+    /// admitted models (the hardware's finite PCM tile capacity).
+    pub cache_budget_cells: usize,
+    /// Worker threads for batch dispatch (0 = all cores, 1 = serial).
+    /// Results are byte-identical regardless of the worker count.
+    pub workers: usize,
+}
+
+impl ServeConfig {
+    /// A serving configuration with the default batching policy (batches
+    /// of up to 16 within an 8-tick window), the simulator's 4M-cell
+    /// weight-stationary budget, and serial dispatch.
+    #[must_use]
+    pub fn new(device: SimConfig) -> Self {
+        Self {
+            device,
+            policy: BatchPolicy::new(16, 8),
+            cache_budget_cells: 4_000_000,
+            workers: 1,
+        }
+    }
+
+    /// Overrides the batching policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the global weight-stationary cell budget.
+    #[must_use]
+    pub fn with_cache_budget(mut self, cells: usize) -> Self {
+        self.cache_budget_cells = cells;
+        self
+    }
+
+    /// Overrides the dispatch worker count (0 = all cores, 1 = serial).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Aggregate serving statistics since engine creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Requests completed across all drains.
+    pub requests: u64,
+    /// Batches dispatched across all drains.
+    pub batches: u64,
+    /// Whole-model cache evictions forced by the global budget.
+    pub evictions: u64,
+    /// Summed cache occupancy across models, in cells.
+    pub occupancy_cells: usize,
+    /// The global cell budget.
+    pub budget_cells: usize,
+    /// Per-model tile-cache statistics, in admission order.
+    pub models: Vec<ModelCacheStats>,
+}
+
+impl EngineStats {
+    /// Tile-level cache hit rate aggregated over every model.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.models.iter().fold((0u64, 0u64), |(h, m), s| {
+            (h + s.cache.hits, m + s.cache.misses)
+        });
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Mean requests per dispatched batch.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Queued {
+    id: RequestId,
+    request: InferRequest,
+}
+
+/// A deterministic, multi-model, batched inference engine over the
+/// device-level simulator.
+///
+/// The life of a request: [`ServeEngine::submit`] appends it to the
+/// queue; [`ServeEngine::drain`] coalesces the queue into same-model
+/// batches ([`form_batches`]), dispatches batch rounds across workers
+/// with the order-preserving [`parallel_map`], executes every request on
+/// its model's weight-stationary [`oxbar_sim::DeviceExecutor`], and
+/// enforces the global cell budget between rounds (LRU whole-model
+/// eviction).
+///
+/// # Determinism
+///
+/// Outputs are byte-identical across worker counts and batching policies
+/// because every stochastic quantity is pinned to a stable key, never to
+/// execution order: a model's PCM programming and phase noise derive from
+/// its admission seed ([`oxbar_sim::config::tile_seed`] per tile), and a
+/// trace's inputs derive from per-request seeds
+/// ([`crate::request::request_seed`]). Caching and eviction change only
+/// *work*, not results, so a concurrent drain equals a serial replay of
+/// the same trace — the property `crates/serve/tests/determinism.rs`
+/// pins down.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_serve::{catalog, ServeConfig, ServeEngine};
+/// use oxbar_sim::SimConfig;
+/// use oxbar_nn::synthetic;
+///
+/// let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+/// let model = engine.admit(catalog::lenet5_model()).unwrap();
+/// let input = synthetic::activations(engine.input_shape(model), 6, 1);
+/// engine.submit_simple(model, input);
+/// let done = engine.drain();
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].output.shape().elements(), 10);
+/// ```
+pub struct ServeEngine {
+    config: ServeConfig,
+    registry: ModelRegistry,
+    queue: Vec<Queued>,
+    next_id: u64,
+    requests: u64,
+    batches: u64,
+}
+
+impl ServeEngine {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        let registry = ModelRegistry::new(config.device.clone(), config.cache_budget_cells);
+        Self {
+            config,
+            registry,
+            queue: Vec::new(),
+            next_id: 0,
+            requests: 0,
+            batches: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Admits a model into the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError`] for residual networks or filter banks that
+    /// do not cover the network.
+    pub fn admit(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
+        self.registry.admit(spec)
+    }
+
+    /// The input tensor shape requests for `id` must carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this engine.
+    #[must_use]
+    pub fn input_shape(&self, id: ModelId) -> oxbar_nn::TensorShape {
+        self.registry.input_shape(id)
+    }
+
+    /// The model registry (for reports and catalog introspection).
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Enqueues a request, returning its [`RequestId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model id is unknown, the input shape does not match
+    /// the model, or `arrival` precedes the previous submission's (the
+    /// batcher requires a non-decreasing arrival order).
+    pub fn submit(&mut self, request: InferRequest) -> RequestId {
+        assert!(
+            request.model.0 < self.registry.len(),
+            "unknown model {:?}",
+            request.model
+        );
+        assert_eq!(
+            request.input.shape(),
+            self.registry.input_shape(request.model),
+            "input shape must match the model"
+        );
+        if let Some(last) = self.queue.last() {
+            assert!(
+                request.arrival >= last.request.arrival,
+                "submissions must arrive in non-decreasing tick order"
+            );
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Queued { id, request });
+        id
+    }
+
+    /// Enqueues a request with no deadline, arriving at the same tick as
+    /// the last queued request (tick 0 on an empty queue) — handy when
+    /// the caller drives the engine round by round.
+    pub fn submit_simple(
+        &mut self,
+        model: ModelId,
+        input: oxbar_nn::reference::Tensor3,
+    ) -> RequestId {
+        let arrival = self.queue.last().map_or(0, |q| q.request.arrival);
+        self.submit(InferRequest {
+            model,
+            input,
+            arrival,
+            deadline: None,
+        })
+    }
+
+    /// Requests currently queued (submitted but not yet drained).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Processes the whole queue: forms batches, dispatches them in
+    /// rounds of `workers`, enforces the cache budget between rounds, and
+    /// returns one [`Completion`] per request in dispatch order (batch by
+    /// batch; ascending [`RequestId`] within a batch).
+    ///
+    /// Dispatch order is a pure function of the queue and the policy;
+    /// outputs are byte-identical for any worker count.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        self.drain_timed().0
+    }
+
+    /// Like [`Self::drain`], additionally returning each batch's measured
+    /// wall-clock execution time in milliseconds, indexed by `batch_seq`.
+    ///
+    /// The timings are observational only — nothing in the engine branches
+    /// on them, so outputs stay deterministic. Feed them to
+    /// [`crate::loadgen::replay_latencies`] to recover per-request
+    /// latencies under a tick schedule.
+    pub fn drain_timed(&mut self) -> (Vec<Completion>, Vec<f64>) {
+        let queue = std::mem::take(&mut self.queue);
+        let keys: Vec<(ModelId, u64)> = queue
+            .iter()
+            .map(|q| (q.request.model, q.request.arrival))
+            .collect();
+        let batches = form_batches(&keys, self.config.policy);
+        let workers = effective_workers(self.config.workers);
+        let mut completions = Vec::with_capacity(queue.len());
+        let mut timings = Vec::with_capacity(batches.len());
+        for round in batches.chunks(workers.max(1)) {
+            let executed = parallel_map(round, workers, |_, batch| {
+                let start = std::time::Instant::now();
+                let done = self.execute_batch(batch, &queue);
+                (done, start.elapsed().as_secs_f64() * 1e3)
+            });
+            for (batch, (mut done, ms)) in round.iter().zip(executed) {
+                self.registry.touch(batch.model);
+                completions.append(&mut done);
+                timings.push(ms);
+            }
+            self.registry.enforce_budget();
+        }
+        self.requests += completions.len() as u64;
+        self.batches += batches.len() as u64;
+        (completions, timings)
+    }
+
+    fn execute_batch(&self, batch: &Batch, queue: &[Queued]) -> Vec<Completion> {
+        let spec = self.registry.spec(batch.model);
+        let executor = self.registry.executor(batch.model);
+        batch
+            .members
+            .iter()
+            .map(|&slot| {
+                let q = &queue[slot];
+                let forward = executor
+                    .forward(&spec.network, &q.request.input, &spec.filters)
+                    .expect("admission rejects residual networks");
+                Completion {
+                    id: q.id,
+                    model: batch.model,
+                    arrival: q.request.arrival,
+                    deadline: q.request.deadline,
+                    output: forward.output,
+                    batch_seq: batch.seq,
+                    batch_size: batch.members.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate statistics since engine creation.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests,
+            batches: self.batches,
+            evictions: self.registry.evictions(),
+            occupancy_cells: self.registry.occupancy(),
+            budget_cells: self.registry.budget(),
+            models: self.registry.cache_stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("models", &self.registry.len())
+            .field("queued", &self.queue.len())
+            .field("requests", &self.requests)
+            .field("batches", &self.batches)
+            .finish()
+    }
+}
+
+/// Resolves a worker count (0 = all cores).
+fn effective_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use oxbar_nn::synthetic;
+
+    #[test]
+    fn drain_completes_every_request_once() {
+        let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+        let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+        let mobile = engine.admit(catalog::mobilenet_sample()).unwrap();
+        for i in 0..6u64 {
+            let model = if i % 2 == 0 { lenet } else { mobile };
+            let input = synthetic::activations(engine.input_shape(model), 6, i);
+            engine.submit(InferRequest {
+                model,
+                input,
+                arrival: i,
+                deadline: Some(i + 100),
+            });
+        }
+        assert_eq!(engine.queued(), 6);
+        let done = engine.drain();
+        assert_eq!(engine.queued(), 0);
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 6);
+        assert!(stats.batches <= 4, "same-model requests coalesce");
+        assert!(stats.mean_batch_size() > 1.0);
+    }
+
+    #[test]
+    fn second_drain_is_weight_stationary() {
+        let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+        let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+        let input = synthetic::activations(engine.input_shape(lenet), 6, 0);
+        engine.submit_simple(lenet, input.clone());
+        engine.drain();
+        let cold_misses = engine.stats().models[0].cache.misses;
+        engine.submit_simple(lenet, input);
+        engine.drain();
+        let stats = engine.stats();
+        assert_eq!(stats.models[0].cache.misses, cold_misses, "no recompiles");
+        assert!(stats.hit_rate() > 0.0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape must match")]
+    fn wrong_shape_is_rejected_at_submit() {
+        let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+        let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+        let wrong = synthetic::activations(oxbar_nn::TensorShape::new(4, 4, 1), 6, 0);
+        engine.submit_simple(lenet, wrong);
+    }
+}

@@ -1,0 +1,320 @@
+//! Load generation and latency accounting for the serving engine.
+//!
+//! Two disciplines, mirroring standard serving benchmarks:
+//!
+//! * **Open loop** ([`OpenLoop`]): requests arrive on a fixed schedule
+//!   (every `interarrival` ticks) regardless of how fast the server
+//!   drains them — the discipline that exposes queueing delay under
+//!   offered load.
+//! * **Closed loop** ([`ClosedLoop`]): a fixed population of
+//!   `concurrency` clients, each submitting its next request only when
+//!   the previous one completes — the discipline that measures saturated
+//!   service throughput.
+//!
+//! Both synthesize every request's input from [`request_seed`], so a
+//! trace is a pure
+//! function of its parameters: replaying it through any engine
+//! configuration yields byte-identical outputs.
+//!
+//! Wall-clock time exists only in the caller: the engine is deterministic
+//! and tick-based, so a benchmark measures the wall time of each
+//! dispatched batch and feeds it to [`replay_latencies`], which re-runs
+//! the queueing timeline (arrivals in ticks × measured service times) to
+//! recover per-request latencies and deadline misses.
+
+use crate::request::{request_seed, Completion, InferRequest, ModelId};
+use oxbar_nn::synthetic;
+use oxbar_nn::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// One entry of a request mix: a model and its relative traffic weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixEntry {
+    /// The admitted model.
+    pub model: ModelId,
+    /// Relative weight (requests are drawn proportionally).
+    pub weight: u32,
+}
+
+/// Picks the mix entry for request `index` (deterministic weighted draw).
+fn pick(mix: &[MixEntry], seed: u64, index: u64) -> ModelId {
+    let total: u64 = mix.iter().map(|m| u64::from(m.weight)).sum();
+    assert!(total > 0, "mix weights must not all be zero");
+    let mut roll = request_seed(seed, index) % total;
+    for entry in mix {
+        let w = u64::from(entry.weight);
+        if roll < w {
+            return entry.model;
+        }
+        roll -= w;
+    }
+    unreachable!("roll < total")
+}
+
+/// An open-loop (fixed-arrival-schedule) workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoop {
+    /// The traffic mix over admitted models.
+    pub mix: Vec<MixEntry>,
+    /// Total requests in the trace.
+    pub requests: usize,
+    /// Ticks between consecutive arrivals.
+    pub interarrival: u64,
+    /// Trace seed (drives model picks and input synthesis).
+    pub seed: u64,
+    /// Deadline slack in ticks added to each arrival (`None` = no
+    /// deadlines).
+    pub deadline_slack: Option<u64>,
+}
+
+impl OpenLoop {
+    /// Generates the request trace. `input_shape(model)` supplies each
+    /// model's input shape (use
+    /// [`ServeEngine::input_shape`](crate::engine::ServeEngine::input_shape)).
+    pub fn trace(&self, mut input_shape: impl FnMut(ModelId) -> TensorShape) -> Vec<InferRequest> {
+        (0..self.requests as u64)
+            .map(|i| {
+                let model = pick(&self.mix, self.seed, i);
+                let arrival = i * self.interarrival;
+                InferRequest {
+                    model,
+                    input: synthetic::activations(
+                        input_shape(model),
+                        6,
+                        request_seed(self.seed ^ 0x1a9d, i),
+                    ),
+                    arrival,
+                    deadline: self.deadline_slack.map(|s| arrival + s),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A closed-loop workload: `rounds` waves of `concurrency` simultaneous
+/// requests, each wave submitted when the previous one has fully drained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoop {
+    /// The traffic mix over admitted models.
+    pub mix: Vec<MixEntry>,
+    /// In-flight requests per wave.
+    pub concurrency: usize,
+    /// Number of waves.
+    pub rounds: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl ClosedLoop {
+    /// Generates the per-round request traces; round `r` arrives wholly
+    /// at tick `r` (the round boundary is the completion barrier).
+    pub fn rounds(
+        &self,
+        mut input_shape: impl FnMut(ModelId) -> TensorShape,
+    ) -> Vec<Vec<InferRequest>> {
+        (0..self.rounds)
+            .map(|r| {
+                (0..self.concurrency)
+                    .map(|c| {
+                        let i = (r * self.concurrency + c) as u64;
+                        let model = pick(&self.mix, self.seed, i);
+                        InferRequest {
+                            model,
+                            input: synthetic::activations(
+                                input_shape(model),
+                                6,
+                                request_seed(self.seed ^ 0xc105, i),
+                            ),
+                            arrival: r as u64,
+                            deadline: None,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Latency percentiles over a set of per-request samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Worst latency (ms).
+    pub max_ms: f64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a non-empty sample set (nearest-rank percentiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a NaN.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "at least one latency sample required");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            p50_ms: rank(0.50),
+            p99_ms: rank(0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+}
+
+/// Replays the queueing timeline of one drain and returns `(latencies_ms,
+/// deadline_misses)` in completion order.
+///
+/// The model: a single dispatch pipeline serves batches in `batch_seq`
+/// order. Batch `k` starts when both the previous batch has finished and
+/// the batch's last member has arrived (the batcher held the batch open
+/// for it); it occupies the pipeline for `batch_wall_ms[k]`. A request's
+/// latency is its batch's completion time minus its own arrival time. A
+/// deadline is missed when completion lands after `deadline × tick_ms`.
+///
+/// # Panics
+///
+/// Panics if a completion references a batch without a measured wall time.
+#[must_use]
+pub fn replay_latencies(
+    completions: &[Completion],
+    batch_wall_ms: &[f64],
+    tick_ms: f64,
+) -> (Vec<f64>, usize) {
+    let batches = batch_wall_ms.len();
+    // Latest member arrival per batch: the batch cannot dispatch earlier.
+    let mut ready_ms = vec![0.0f64; batches];
+    for c in completions {
+        assert!(c.batch_seq < batches, "unmeasured batch {}", c.batch_seq);
+        ready_ms[c.batch_seq] = ready_ms[c.batch_seq].max(c.arrival as f64 * tick_ms);
+    }
+    let mut finish_ms = vec![0.0f64; batches];
+    let mut clock = 0.0f64;
+    for (seq, (&ready, &wall)) in ready_ms.iter().zip(batch_wall_ms).enumerate() {
+        clock = clock.max(ready) + wall;
+        finish_ms[seq] = clock;
+    }
+    let mut misses = 0;
+    let latencies = completions
+        .iter()
+        .map(|c| {
+            let done = finish_ms[c.batch_seq];
+            if let Some(d) = c.deadline {
+                if done > d as f64 * tick_ms {
+                    misses += 1;
+                }
+            }
+            done - c.arrival as f64 * tick_ms
+        })
+        .collect();
+    (latencies, misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use oxbar_nn::reference::Tensor3;
+
+    #[test]
+    fn open_loop_traces_are_reproducible_and_scheduled() {
+        let load = OpenLoop {
+            mix: vec![
+                MixEntry {
+                    model: ModelId(0),
+                    weight: 3,
+                },
+                MixEntry {
+                    model: ModelId(1),
+                    weight: 1,
+                },
+            ],
+            requests: 40,
+            interarrival: 2,
+            seed: 9,
+            deadline_slack: Some(50),
+        };
+        let shape = |_m: ModelId| TensorShape::new(2, 2, 1);
+        let a = load.trace(shape);
+        let b = load.trace(shape);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        for (i, req) in a.iter().enumerate() {
+            assert_eq!(req.arrival, 2 * i as u64);
+            assert_eq!(req.deadline, Some(req.arrival + 50));
+        }
+        let zeros = a.iter().filter(|r| r.model == ModelId(0)).count();
+        assert!(zeros > 20 && zeros < 40, "mix is weighted 3:1, got {zeros}");
+    }
+
+    #[test]
+    fn closed_loop_rounds_have_fixed_population() {
+        let load = ClosedLoop {
+            mix: vec![MixEntry {
+                model: ModelId(0),
+                weight: 1,
+            }],
+            concurrency: 4,
+            rounds: 3,
+            seed: 1,
+        };
+        let rounds = load.rounds(|_| TensorShape::new(2, 2, 1));
+        assert_eq!(rounds.len(), 3);
+        for (r, wave) in rounds.iter().enumerate() {
+            assert_eq!(wave.len(), 4);
+            assert!(wave.iter().all(|q| q.arrival == r as u64));
+        }
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencySummary::of(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    fn completion(id: u64, arrival: u64, deadline: Option<u64>, seq: usize) -> Completion {
+        Completion {
+            id: RequestId(id),
+            model: ModelId(0),
+            arrival,
+            deadline,
+            output: Tensor3::new(TensorShape::flat(1), vec![0]),
+            batch_seq: seq,
+            batch_size: 1,
+        }
+    }
+
+    #[test]
+    fn replay_accounts_queueing_and_deadlines() {
+        // Two batches of 10 ms each; requests arrive at ticks 0 and 1
+        // (1 tick = 1 ms). The second batch queues behind the first.
+        let completions = vec![completion(0, 0, Some(15), 0), completion(1, 1, Some(15), 1)];
+        let (lat, misses) = replay_latencies(&completions, &[10.0, 10.0], 1.0);
+        assert_eq!(lat, vec![10.0, 19.0]);
+        assert_eq!(misses, 1, "request 1 finishes at 20 ms > deadline 15 ms");
+    }
+
+    #[test]
+    fn replay_waits_for_late_batch_members() {
+        // One batch whose last member arrives at tick 5 (5 ms): dispatch
+        // cannot start before then.
+        let completions = vec![completion(0, 0, None, 0), completion(1, 5, None, 0)];
+        let (lat, misses) = replay_latencies(&completions, &[2.0], 1.0);
+        assert_eq!(lat, vec![7.0, 2.0]);
+        assert_eq!(misses, 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The model registry: admitted networks, their weight-stationary
+//! executors, and the global tile-cell budget they share.
+
+use crate::request::ModelId;
+use oxbar_nn::reference::FilterBank;
+use oxbar_nn::{Layer, Network, TensorShape};
+use oxbar_sim::{CacheStats, DeviceExecutor, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A deployable model: the network graph plus its quantized filter banks
+/// (one per conv-like layer, in [`Network::conv_like_layers`] order).
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Human-readable model name (unique within a registry by convention,
+    /// not enforcement).
+    pub name: String,
+    /// The sequential network graph.
+    pub network: Network,
+    /// Signed INT-quantized filter banks covering every conv-like layer.
+    pub filters: Vec<FilterBank>,
+}
+
+/// Why a [`ModelSpec`] was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The network contains a residual `Add` layer; the sequential
+    /// device pipeline cannot execute it.
+    Residual(String),
+    /// The filter banks do not cover every conv-like layer.
+    FilterCount {
+        /// Conv-like layers in the network.
+        expected: usize,
+        /// Filter banks provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Residual(layer) => {
+                write!(f, "residual layer `{layer}` is not servable")
+            }
+            Self::FilterCount { expected, got } => {
+                write!(f, "expected {expected} filter banks, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Cache statistics of one admitted model, for serving reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCacheStats {
+    /// Model name.
+    pub name: String,
+    /// The model's tile-cache counters and occupancy.
+    pub cache: CacheStats,
+}
+
+struct ModelEntry {
+    spec: ModelSpec,
+    executor: DeviceExecutor,
+    /// Monotone use stamp for LRU eviction (0 = never used).
+    last_use: u64,
+}
+
+/// Admitted models and their per-model [`DeviceExecutor`]s, kept jointly
+/// under one global weight-stationary cell budget.
+///
+/// Each model's executor derives its device seed from the registry's base
+/// configuration and the model's admission index, so a model's PCM
+/// programming noise is fixed at admission — exactly like hardware, where
+/// an array is programmed once and then serves every request. Requests
+/// therefore never perturb each other, which is what makes concurrent
+/// serving byte-identical to serial replay.
+///
+/// The budget is enforced at *model* granularity: when the summed cache
+/// occupancy exceeds it, whole least-recently-used models are evicted
+/// (their tile caches cleared) until the total fits. Eviction never
+/// changes results — a re-admitted tile is recompiled from the same seed
+/// to the same state — it only costs reprogramming work, which is the
+/// cache-thrash scenario the serving benchmarks measure.
+pub struct ModelRegistry {
+    base: SimConfig,
+    budget: usize,
+    entries: Vec<ModelEntry>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry whose models share `budget` crossbar cells of
+    /// compiled weight-stationary state. Each admitted model's device
+    /// config is `base` with a model-specific seed.
+    #[must_use]
+    pub fn new(base: SimConfig, budget: usize) -> Self {
+        Self {
+            base,
+            budget,
+            entries: Vec::new(),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Admits a model, assigning it the next [`ModelId`] and a dedicated
+    /// executor seeded from `(base seed, admission index)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError`] if the network is residual or the filter
+    /// banks do not cover its conv-like layers.
+    pub fn admit(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
+        if let Some(add) = spec.network.layers().iter().find_map(|l| match l {
+            Layer::Add(a) => Some(a.name.clone()),
+            _ => None,
+        }) {
+            return Err(AdmitError::Residual(add));
+        }
+        let expected = spec.network.conv_like_layers().count();
+        if spec.filters.len() != expected {
+            return Err(AdmitError::FilterCount {
+                expected,
+                got: spec.filters.len(),
+            });
+        }
+        let index = self.entries.len();
+        let config = self
+            .base
+            .clone()
+            .with_seed(crate::request::request_seed(self.base.seed, index as u64));
+        let executor = DeviceExecutor::new(config).with_cache_budget(self.budget);
+        self.entries.push(ModelEntry {
+            spec,
+            executor,
+            last_use: 0,
+        });
+        Ok(ModelId(index))
+    }
+
+    /// Number of admitted models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no model has been admitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The admitted spec behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    #[must_use]
+    pub fn spec(&self, id: ModelId) -> &ModelSpec {
+        &self.entries[id.0].spec
+    }
+
+    /// The model's input tensor shape (what its requests must carry).
+    #[must_use]
+    pub fn input_shape(&self, id: ModelId) -> TensorShape {
+        self.spec(id).network.input()
+    }
+
+    /// The model's weight-stationary executor.
+    #[must_use]
+    pub fn executor(&self, id: ModelId) -> &DeviceExecutor {
+        &self.entries[id.0].executor
+    }
+
+    /// Marks `id` as the most recently used model (LRU bookkeeping).
+    pub fn touch(&mut self, id: ModelId) {
+        self.clock += 1;
+        self.entries[id.0].last_use = self.clock;
+    }
+
+    /// Evicts least-recently-used models until the summed cache occupancy
+    /// fits the global budget, returning how many models were evicted.
+    ///
+    /// Deterministic given the same sequence of [`Self::touch`] calls:
+    /// ties (never-used models) break toward the lowest admission index.
+    pub fn enforce_budget(&mut self) -> usize {
+        let mut evicted = 0;
+        loop {
+            let total: usize = self
+                .entries
+                .iter()
+                .map(|e| e.executor.cache_stats().cells)
+                .sum();
+            if total <= self.budget {
+                break;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.executor.cache_stats().cells > 0)
+                .min_by_key(|(idx, e)| (e.last_use, *idx))
+                .map(|(idx, _)| idx)
+                .expect("occupancy > 0 implies a non-empty cache");
+            self.entries[victim].executor.clear_cache();
+            evicted += 1;
+        }
+        self.evictions += evicted as u64;
+        evicted
+    }
+
+    /// Total model evictions since the registry was created.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The shared weight-stationary cell budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Summed cache occupancy across all models, in cells.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.executor.cache_stats().cells)
+            .sum()
+    }
+
+    /// Per-model cache statistics, in admission order.
+    #[must_use]
+    pub fn cache_stats(&self) -> Vec<ModelCacheStats> {
+        self.entries
+            .iter()
+            .map(|e| ModelCacheStats {
+                name: e.spec.name.clone(),
+                cache: e.executor.cache_stats(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.entries.len())
+            .field("budget", &self.budget)
+            .field("occupancy", &self.occupancy())
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::synthetic;
+    use oxbar_nn::zoo::{lenet5, resnet18};
+
+    fn lenet_spec(seed: u64) -> ModelSpec {
+        let network = lenet5();
+        let filters = synthetic::filter_banks(&network, 6, seed);
+        ModelSpec {
+            name: format!("lenet5_{seed}"),
+            network,
+            filters,
+        }
+    }
+
+    #[test]
+    fn admission_assigns_sequential_ids_and_distinct_seeds() {
+        let mut reg = ModelRegistry::new(SimConfig::ideal(64, 64), 1_000_000);
+        let a = reg.admit(lenet_spec(1)).unwrap();
+        let b = reg.admit(lenet_spec(2)).unwrap();
+        assert_eq!((a, b), (ModelId(0), ModelId(1)));
+        assert_ne!(
+            reg.executor(a).config().seed,
+            reg.executor(b).config().seed,
+            "each model draws its own programming-noise stream"
+        );
+    }
+
+    #[test]
+    fn residual_and_underfiltered_models_are_refused() {
+        let mut reg = ModelRegistry::new(SimConfig::ideal(64, 64), 1_000_000);
+        let residual = ModelSpec {
+            name: "resnet18".into(),
+            filters: synthetic::filter_banks(&resnet18(), 6, 3),
+            network: resnet18(),
+        };
+        assert!(matches!(reg.admit(residual), Err(AdmitError::Residual(_))));
+        let mut short = lenet_spec(4);
+        short.filters.pop();
+        assert!(matches!(
+            reg.admit(short),
+            Err(AdmitError::FilterCount {
+                expected: 5,
+                got: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn budget_enforcement_evicts_lru_first() {
+        // One LeNet-5 on a 128×128 array compiles to ~61k cells, so a
+        // 100k budget admits one resident model but not two.
+        let mut reg = ModelRegistry::new(SimConfig::ideal(128, 128), 100_000);
+        let a = reg.admit(lenet_spec(1)).unwrap();
+        let b = reg.admit(lenet_spec(2)).unwrap();
+        for id in [a, b] {
+            let spec = reg.spec(id);
+            let input = synthetic::activations(spec.network.input(), 6, 9);
+            let (network, filters) = (spec.network.clone(), spec.filters.clone());
+            reg.executor(id)
+                .forward(&network, &input, &filters)
+                .unwrap();
+            reg.touch(id);
+        }
+        assert!(
+            reg.occupancy() > reg.budget(),
+            "two LeNets exceed 100k cells"
+        );
+        let evicted = reg.enforce_budget();
+        assert_eq!(evicted, 1, "one model must go");
+        assert_eq!(reg.evictions(), 1);
+        assert!(reg.occupancy() <= reg.budget());
+        let stats = reg.cache_stats();
+        assert_eq!(stats[a.0].cache.cells, 0, "model A was least recently used");
+        assert!(stats[b.0].cache.cells > 0, "model B survives");
+    }
+}

@@ -96,16 +96,55 @@ pub struct DeviceExecutor {
     /// are deterministic functions of `(config, seed, layer, tile,
     /// weights)`, so caching never changes results — only work.
     cache: Mutex<TileCache>,
+    /// Cells of compiled state the cache may hold.
+    cache_budget: usize,
 }
 
 /// Cells of compiled tile state the cache may hold (bounds memory on
 /// networks whose layers are far larger than the reuse window).
 const TILE_CACHE_CELL_BUDGET: usize = 4_000_000;
 
+/// A snapshot of the weight-stationary tile cache's performance counters.
+///
+/// Hits are executions served from an already programmed + compiled tile
+/// (the weight-stationary fast path); misses had to program the PCM array
+/// and compile the transfer matrix. Counters accumulate from executor
+/// creation (or the last [`DeviceExecutor::clear_cache`], which resets
+/// occupancy but *not* the counters — eviction under a serving budget is
+/// itself a cache event worth measuring).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Tile executions served from the cache.
+    pub hits: u64,
+    /// Tile executions that had to program + compile.
+    pub misses: u64,
+    /// Compiled tiles currently held.
+    pub entries: usize,
+    /// Crossbar cells currently held (`Σ rows × physical cols`).
+    pub cells: usize,
+    /// The cell budget the cache admits entries against.
+    pub budget: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 for an unused cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct TileCache {
     tiles: HashMap<(usize, usize), Arc<CompiledTile>>,
     cells: usize,
+    hits: u64,
+    misses: u64,
 }
 
 impl Clone for DeviceExecutor {
@@ -116,6 +155,7 @@ impl Clone for DeviceExecutor {
             config: self.config.clone(),
             engine: self.engine,
             cache: Mutex::new(TileCache::default()),
+            cache_budget: self.cache_budget,
         }
     }
 }
@@ -129,6 +169,7 @@ impl DeviceExecutor {
             config,
             engine: MvmEngine::default(),
             cache: Mutex::new(TileCache::default()),
+            cache_budget: TILE_CACHE_CELL_BUDGET,
         }
     }
 
@@ -142,22 +183,72 @@ impl DeviceExecutor {
         seed: u64,
     ) -> Arc<CompiledTile> {
         let key = (layer_index, tile_index);
-        if let Some(hit) = self.cache.lock().expect("tile cache").tiles.get(&key) {
-            if hit.matches(tile) {
-                return Arc::clone(hit);
+        {
+            let mut cache = self.cache.lock().expect("tile cache");
+            if let Some(hit) = cache.tiles.get(&key) {
+                if hit.matches(tile) {
+                    let hit = Arc::clone(hit);
+                    cache.hits += 1;
+                    return hit;
+                }
             }
+            cache.misses += 1;
         }
         let compiled = Arc::new(CompiledTile::compile(tile, &self.config, seed));
-        let cells = tile.rows() * tile.cols();
+        let cells = compiled.cells();
         let mut cache = self.cache.lock().expect("tile cache");
         if let Some(stale) = cache.tiles.remove(&key) {
             cache.cells -= stale.cells();
         }
-        if cache.cells + cells <= TILE_CACHE_CELL_BUDGET {
+        if cache.cells + cells <= self.cache_budget {
             cache.tiles.insert(key, Arc::clone(&compiled));
             cache.cells += cells;
         }
         compiled
+    }
+
+    /// Overrides the weight-stationary cache's cell budget (the default is
+    /// 4M cells). A budget of 0 disables caching entirely: every execution
+    /// reprograms and recompiles, which is the "cold" serving baseline.
+    #[must_use]
+    pub fn with_cache_budget(mut self, cells: usize) -> Self {
+        self.cache_budget = cells;
+        self
+    }
+
+    /// A snapshot of the tile cache's counters and occupancy.
+    ///
+    /// Hit/miss counts are exact under serial execution; under parallel
+    /// tile execution two workers may race to compile the same missing
+    /// tile, so counters are accurate accounting of *work done*, not a
+    /// deterministic function of the workload. Outputs are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("tile cache");
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.tiles.len(),
+            cells: cache.cells,
+            budget: self.cache_budget,
+        }
+    }
+
+    /// Drops every cached tile (the next execution reprograms), keeping
+    /// the hit/miss counters. This is the eviction primitive a serving
+    /// layer uses to keep several executors under one global cell budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("tile cache");
+        cache.tiles.clear();
+        cache.cells = 0;
     }
 
     /// Overrides the crossbar MVM engine (e.g. [`MvmEngine::FieldWalk`]
@@ -553,6 +644,52 @@ mod tests {
         let exec = DeviceExecutor::new(SimConfig::ideal(128, 128));
         let err = exec.forward(&net, &input, &filters).unwrap_err();
         assert!(err.to_string().contains("add"));
+    }
+
+    #[test]
+    fn cache_stats_track_weight_stationary_reuse() {
+        let net = lenet5();
+        let input = synthetic::activations(net.input(), 6, 1);
+        let filters = synthetic::filter_banks(&net, 6, 2);
+        let exec = DeviceExecutor::new(SimConfig::ideal(128, 128).with_threads(1));
+        let fresh = exec.cache_stats();
+        assert_eq!(
+            (fresh.hits, fresh.misses, fresh.entries, fresh.cells),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(fresh.budget, 4_000_000);
+        assert_eq!(fresh.hit_rate(), 0.0);
+        exec.forward(&net, &input, &filters).unwrap();
+        let first = exec.cache_stats();
+        assert_eq!(first.hits, 0, "first pass compiles every tile");
+        assert!(first.misses > 0 && first.entries > 0 && first.cells > 0);
+        exec.forward(&net, &input, &filters).unwrap();
+        let second = exec.cache_stats();
+        assert_eq!(second.misses, first.misses, "second pass is all hits");
+        assert_eq!(second.hits, first.misses);
+        assert!(second.hit_rate() > 0.49 && second.hit_rate() < 0.51);
+        exec.clear_cache();
+        let cleared = exec.cache_stats();
+        assert_eq!((cleared.entries, cleared.cells), (0, 0));
+        assert_eq!(cleared.hits, second.hits, "counters survive eviction");
+    }
+
+    #[test]
+    fn zero_cache_budget_disables_caching_without_changing_results() {
+        let net = lenet5();
+        let input = synthetic::activations(net.input(), 6, 3);
+        let filters = synthetic::filter_banks(&net, 6, 4);
+        let cached = DeviceExecutor::new(SimConfig::noisy(64, 64).with_threads(1));
+        let cold =
+            DeviceExecutor::new(SimConfig::noisy(64, 64).with_threads(1)).with_cache_budget(0);
+        let a = cached.forward(&net, &input, &filters).unwrap();
+        let b = cold.forward(&net, &input, &filters).unwrap();
+        assert_eq!(a, b, "caching must never change results");
+        cold.forward(&net, &input, &filters).unwrap();
+        let stats = cold.cache_stats();
+        assert_eq!(stats.hits, 0, "budget 0 admits nothing");
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 2 * cached.cache_stats().misses);
     }
 
     #[test]

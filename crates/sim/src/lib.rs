@@ -67,7 +67,7 @@ pub mod probe;
 pub mod tile;
 
 pub use config::{NoiseModel, Readout, SimConfig};
-pub use executor::{DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
+pub use executor::{CacheStats, DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
 pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};
 pub use probe::{probe_conv, LayerProbe};
 pub use tile::MvmEngine;

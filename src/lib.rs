@@ -19,6 +19,7 @@
 //! | [`dataflow`] | `oxbar-dataflow` | SCALE-sim-equivalent runtime-spec engine |
 //! | [`core`] | `oxbar-core` | The paper's system model: power/area/perf, optimizer, DSE |
 //! | [`sim`] | `oxbar-sim` | End-to-end device-level inference: whole networks through PCM → photonics → ADC, validated against the exact reference |
+//! | [`serve`] | `oxbar-serve` | Batched multi-model inference serving: dynamic batcher, weight-stationary model registry, deterministic scheduler, load generators |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@ pub use oxbar_memory as memory;
 pub use oxbar_nn as nn;
 pub use oxbar_pcm as pcm;
 pub use oxbar_photonics as photonics;
+pub use oxbar_serve as serve;
 pub use oxbar_sim as sim;
 pub use oxbar_units as units;
 
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use oxbar_dataflow::{DataflowEngine, FoldPlan, NetworkSpec};
     pub use oxbar_nn::{Network, TensorShape};
     pub use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
+    pub use oxbar_serve::{InferRequest, ServeConfig, ServeEngine};
     pub use oxbar_sim::{run_inference, DeviceExecutor, InferenceFidelity, SimConfig};
     pub use oxbar_units::{Area, DataVolume, Decibel, Energy, Frequency, Power, Time};
 }

@@ -70,4 +70,21 @@ fn one_object_from_each_subcrate_via_facade() {
         run_inference(&sim_net, &SimConfig::ideal(32, 32), &[image], &filters).unwrap();
     assert!(fidelity.exact);
     let _ = DeviceExecutor::new(SimConfig::noisy(32, 32));
+
+    // oxbar-serve: admit that network and serve one request through the
+    // batched engine.
+    let mut serve_engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(32, 32)));
+    let model = serve_engine
+        .admit(oxbar::serve::catalog::spec_from_network(sim_net, 3))
+        .unwrap();
+    let request = InferRequest {
+        model,
+        input: oxbar::nn::synthetic::activations(serve_engine.input_shape(model), 6, 2),
+        arrival: 0,
+        deadline: None,
+    };
+    serve_engine.submit(request);
+    let completions = serve_engine.drain();
+    assert_eq!(completions.len(), 1);
+    assert_eq!(serve_engine.stats().requests, 1);
 }
