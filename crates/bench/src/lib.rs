@@ -10,6 +10,44 @@ pub mod device_mvm;
 pub mod figures;
 pub mod serve;
 
+/// Safe hooks for a counting global allocator.
+///
+/// The `bench_serve` binary registers a [`std::alloc::GlobalAlloc`]
+/// wrapper (the `unsafe impl` lives in the binary — this library forbids
+/// unsafe code) that calls [`alloc_counter::record`] on every allocation;
+/// [`crate::serve`] then reports the allocation count of a warm serving
+/// round in `BENCH_serve.json`. When no counting allocator is installed
+/// (library tests, other binaries) the counter stays inactive and the
+/// report carries `null`.
+pub mod alloc_counter {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    /// Counts one allocation (called from the binary's allocator shim).
+    pub fn record() {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the counting allocator as installed.
+    pub fn activate() {
+        ACTIVE.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a counting allocator is installed.
+    #[must_use]
+    pub fn active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    /// Allocations recorded so far.
+    #[must_use]
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

@@ -48,6 +48,72 @@ impl WeightTile {
     }
 }
 
+/// The geometry of one fold tile — everything a [`WeightTile`] carries
+/// except the weight values themselves.
+///
+/// Serving executors iterate geometries instead of materialized tiles:
+/// building a `WeightTile` copies `rows × cols` weights into fresh
+/// per-row vectors, which is pure overhead on a warm weight-stationary
+/// path where the compiled tile is already cached and only needs
+/// validating against the filter bank. Tile column `c` corresponds to the
+/// contiguous filter slice
+/// `filters[group·out_per_group + col_offset + c][row_offset..row_offset + rows]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGeometry {
+    /// Channel group this tile belongs to.
+    pub group: usize,
+    /// Row-fold index.
+    pub row_fold: usize,
+    /// Column-fold index.
+    pub col_fold: usize,
+    /// First flattened-filter row covered.
+    pub row_offset: usize,
+    /// First output channel (within the group) covered.
+    pub col_offset: usize,
+    /// Rows in this tile.
+    pub rows: usize,
+    /// Columns in this tile (logical outputs).
+    pub cols: usize,
+}
+
+/// The geometry of tile `index` in the fold enumeration of `plan` over
+/// `conv` — groups outermost, then row folds, then column folds. Needs no
+/// filter bank, so capacity planners (e.g. a serving scheduler
+/// budget-checking a prewarm) can size a model's tile set without
+/// touching its weights.
+///
+/// # Panics
+///
+/// Panics if `index` is at or beyond [`FoldPlan::total_folds`].
+#[must_use]
+pub fn tile_geometry(conv: &Conv2d, plan: &FoldPlan, index: usize) -> TileGeometry {
+    assert!(index < plan.total_folds(), "tile {index} out of range");
+    let per_group = plan.row_folds * plan.col_folds;
+    let group = index / per_group;
+    let within = index % per_group;
+    let row_fold = within / plan.col_folds;
+    let col_fold = within % plan.col_folds;
+
+    let filter_rows = conv.filter_rows();
+    let out_per_group = conv.out_c_per_group();
+    let row_offset = row_fold * plan.array_rows;
+    let rows = (filter_rows - row_offset).min(plan.array_rows);
+    // Column tiling happens on logical outputs; the mapping expansion
+    // (cols_per_output) divides the physical columns available.
+    let logical_per_fold = plan.array_cols / plan.cols_per_output;
+    let col_offset = col_fold * logical_per_fold;
+    let cols = (out_per_group - col_offset).min(logical_per_fold.max(1));
+    TileGeometry {
+        group,
+        row_fold,
+        col_fold,
+        row_offset,
+        col_offset,
+        rows,
+        cols,
+    }
+}
+
 /// Iterator over the fold tiles of one conv layer's filter bank.
 ///
 /// Tiles stream in programming order: groups outermost, then row folds,
@@ -104,39 +170,59 @@ impl<'a> WeightTiles<'a> {
         }
     }
 
+    /// The geometry of tile `index` (no weight copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is at or beyond [`FoldPlan::total_folds`].
+    #[must_use]
+    pub fn geometry(&self, index: usize) -> TileGeometry {
+        tile_geometry(self.conv, self.plan, index)
+    }
+
+    /// Iterator over every tile's geometry, in programming order.
+    pub fn geometries(&self) -> impl Iterator<Item = TileGeometry> + '_ {
+        (0..self.plan.total_folds()).map(|i| self.geometry(i))
+    }
+
+    /// Materializes tile `index` (geometry plus copied weight values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is at or beyond [`FoldPlan::total_folds`].
+    #[must_use]
+    pub fn tile(&self, index: usize) -> WeightTile {
+        self.tile_at(index)
+    }
+
+    /// The contiguous filter slice behind column `c` of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column or the geometry is out of range for the
+    /// filter bank.
+    #[must_use]
+    pub fn filter_column(&self, geom: &TileGeometry, c: usize) -> &'a [i8] {
+        assert!(c < geom.cols, "column {c} out of range");
+        let oc = geom.group * self.conv.out_c_per_group() + geom.col_offset + c;
+        &self.filters[oc][geom.row_offset..geom.row_offset + geom.rows]
+    }
+
     fn tile_at(&self, index: usize) -> WeightTile {
-        let per_group = self.plan.row_folds * self.plan.col_folds;
-        let group = index / per_group;
-        let within = index % per_group;
-        let row_fold = within / self.plan.col_folds;
-        let col_fold = within % self.plan.col_folds;
-
-        let filter_rows = self.conv.filter_rows();
-        let out_per_group = self.conv.out_c_per_group();
-        let row_offset = row_fold * self.plan.array_rows;
-        let rows = (filter_rows - row_offset).min(self.plan.array_rows);
-        // Column tiling happens on logical outputs; the mapping expansion
-        // (cols_per_output) divides the physical columns available.
-        let logical_per_fold = self.plan.array_cols / self.plan.cols_per_output;
-        let col_offset = col_fold * logical_per_fold;
-        let cols = (out_per_group - col_offset).min(logical_per_fold.max(1));
-
-        let values = (0..rows)
+        let geom = self.geometry(index);
+        let values = (0..geom.rows)
             .map(|r| {
-                (0..cols)
-                    .map(|c| {
-                        let oc = group * out_per_group + col_offset + c;
-                        self.filters[oc][row_offset + r]
-                    })
+                (0..geom.cols)
+                    .map(|c| self.filter_column(&geom, c)[r])
                     .collect()
             })
             .collect();
         WeightTile {
-            group,
-            row_fold,
-            col_fold,
-            row_offset,
-            col_offset,
+            group: geom.group,
+            row_fold: geom.row_fold,
+            col_fold: geom.col_fold,
+            row_offset: geom.row_offset,
+            col_offset: geom.col_offset,
             values,
         }
     }

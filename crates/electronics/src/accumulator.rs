@@ -73,6 +73,16 @@ impl Accumulator {
         self.width_bits
     }
 
+    /// Resets the accumulator to `lanes` empty lanes and zero operations,
+    /// keeping the lane storage's capacity — equivalent to a fresh
+    /// [`Accumulator::with_lanes`] without the allocation, for callers
+    /// that pool accumulators across rounds.
+    pub fn reset_lanes(&mut self, lanes: usize) {
+        self.lanes.clear();
+        self.lanes.resize(lanes, None);
+        self.ops = 0;
+    }
+
     /// Adds `value` into `lane`, saturating at the width limits.
     pub fn add(&mut self, lane: usize, value: i64) {
         if lane >= self.lanes.len() {
@@ -104,9 +114,22 @@ impl Accumulator {
     /// Total accumulation energy so far.
     #[must_use]
     pub fn energy(&self) -> Energy {
-        Energy::from_femtojoules(
-            Self::ENERGY_PER_BIT_OP_FJ * f64::from(self.width_bits) * self.ops as f64,
-        )
+        Self::energy_for(self.width_bits, self.ops)
+    }
+
+    /// The accumulation energy of `ops` operations on a `width_bits`-wide
+    /// adder — the same figure [`Self::energy`] reports, for callers that
+    /// count operations analytically instead of per [`Self::add`] call.
+    #[must_use]
+    pub fn energy_for(width_bits: u8, ops: u64) -> Energy {
+        Energy::from_femtojoules(Self::ENERGY_PER_BIT_OP_FJ * f64::from(width_bits) * ops as f64)
+    }
+
+    /// The saturation bound of a `width_bits`-wide lane: values clamp to
+    /// `[-limit − 1, limit]`.
+    #[must_use]
+    pub fn saturation_limit(width_bits: u8) -> i64 {
+        (1i64 << (width_bits - 1)) - 1
     }
 
     /// Layout area for `lanes` accumulator lanes.

@@ -280,6 +280,87 @@ impl PcmArray {
         )
     }
 
+    /// One-shot *noisy* program-and-readout: the `(transmissions,
+    /// report)` a pristine array of `device` cells would produce after
+    /// [`Self::program_codes_with_variation`] (or plain
+    /// [`Self::program_codes`] without `variation`) followed by
+    /// [`Self::drifted_transmissions`] (or [`Self::transmissions`]
+    /// without `drift`), computed in one row-major pass without
+    /// materializing any per-cell array state.
+    ///
+    /// Value-identical to the multi-step path: the RNG is consumed in the
+    /// same written-cell order, the delta-programming skip rule is
+    /// unchanged, and every per-cell float op runs in the same order on
+    /// the same inputs. What it removes is the `rows × cols` cell
+    /// allocation and the extra passes — the dominant non-stochastic cost
+    /// of programming a tile on the serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is not `rows × cols`, a code exceeds the table,
+    /// or `bits` is invalid for [`LevelTable::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn noisy_readout<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        device: PcmCell,
+        bits: u8,
+        codes: &[Vec<u8>],
+        parallelism: Parallelism,
+        variation: Option<(&DeviceVariation, &mut R)>,
+        drift: Option<(&DriftModel, Time)>,
+    ) -> (Vec<Vec<f64>>, ProgramReport) {
+        assert_eq!(codes.len(), rows, "expected {rows} code rows");
+        let table = LevelTable::new(bits, device);
+        let max_code = table.max_code();
+        let pristine_fraction = device.crystalline_fraction();
+        // The cell-independent drift factor is hoisted out of the loop;
+        // `None` (no drift, or drift inside the reference window) reads
+        // the undrifted transmission exactly like `transmissions()`.
+        let drift_factor =
+            drift.and_then(|(model, elapsed)| model.drift_factor(elapsed).map(|f| (*model, f)));
+        let mut variation = variation;
+        let mut programmed = 0usize;
+        let mut skipped = 0usize;
+        let mut rows_touched = vec![false; rows];
+        let transmissions = codes
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                assert_eq!(row.len(), cols, "code row {i} must have {cols} cols");
+                row.iter()
+                    .map(|&code| {
+                        assert!(
+                            u16::from(code) <= max_code,
+                            "code {code} exceeds the {max_code}-level table"
+                        );
+                        let target = table.fraction_for_code(u16::from(code));
+                        let mut cell = device;
+                        if (pristine_fraction - target).abs() < 1e-12 {
+                            skipped += 1;
+                        } else {
+                            let achieved = match &mut variation {
+                                Some((v, rng)) => v.apply_program(target, 0.0, *rng),
+                                None => target,
+                            };
+                            cell.set_crystalline_fraction(achieved);
+                            programmed += 1;
+                            rows_touched[i] = true;
+                        }
+                        match drift_factor {
+                            Some((model, factor)) => model.transmission_with_factor(cell, factor),
+                            None => cell.transmission(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (
+            transmissions,
+            Self::report(parallelism, programmed, skipped, &rows_touched),
+        )
+    }
+
     fn program_codes_impl(
         &mut self,
         codes: &[Vec<u8>],
@@ -403,13 +484,18 @@ impl PcmArray {
 
     /// The field-transmission matrix after the stored weights have sat for
     /// `elapsed` under the given [`DriftModel`] (amorphous-phase
-    /// relaxation).
+    /// relaxation). The cell-independent power-law factor is computed
+    /// once for the whole array.
     #[must_use]
     pub fn drifted_transmissions(&self, drift: &DriftModel, elapsed: Time) -> Vec<Vec<f64>> {
+        let factor = drift.drift_factor(elapsed);
         (0..self.rows)
             .map(|i| {
                 (0..self.cols)
-                    .map(|j| drift.transmission_after(*self.cell(i, j), elapsed))
+                    .map(|j| match factor {
+                        None => self.cell(i, j).transmission(),
+                        Some(f) => drift.transmission_with_factor(*self.cell(i, j), f),
+                    })
                     .collect()
             })
             .collect()

@@ -64,22 +64,40 @@ impl DriftModel {
         self.nu
     }
 
+    /// The power-law drift factor `(t / t₀)^ν` after `elapsed`, or `None`
+    /// when no drift applies (`elapsed` at or before the reference, or
+    /// `ν = 0`). Cell-independent, so array readouts compute it once and
+    /// apply it per cell via [`Self::transmission_with_factor`].
+    #[must_use]
+    pub fn drift_factor(self, elapsed: Time) -> Option<f64> {
+        if elapsed.as_seconds() <= self.reference.as_seconds() || self.nu == 0.0 {
+            return None;
+        }
+        let ratio = elapsed.as_seconds() / self.reference.as_seconds();
+        Some(ratio.powf(self.nu))
+    }
+
+    /// The cell's field transmission under a precomputed
+    /// [`Self::drift_factor`].
+    #[must_use]
+    pub fn transmission_with_factor(self, cell: PcmCell, drift_factor: f64) -> f64 {
+        // Drift multiplies the amorphous (background) loss contribution.
+        let amorphous_share = 1.0 - cell.crystalline_fraction();
+        let base_loss_db = cell.insertion_loss().value();
+        let drifted_db = base_loss_db + amorphous_share * base_loss_db * (drift_factor - 1.0);
+        oxbar_units::Decibel::new(drifted_db).attenuation_field()
+    }
+
     /// The cell's field transmission after sitting for `elapsed` since
     /// programming.
     ///
     /// Times earlier than the 1 s reference return the undrifted value.
     #[must_use]
     pub fn transmission_after(self, cell: PcmCell, elapsed: Time) -> f64 {
-        if elapsed.as_seconds() <= self.reference.as_seconds() || self.nu == 0.0 {
-            return cell.transmission();
+        match self.drift_factor(elapsed) {
+            None => cell.transmission(),
+            Some(factor) => self.transmission_with_factor(cell, factor),
         }
-        let ratio = elapsed.as_seconds() / self.reference.as_seconds();
-        // Drift multiplies the amorphous (background) loss contribution.
-        let amorphous_share = 1.0 - cell.crystalline_fraction();
-        let base_loss_db = cell.insertion_loss().value();
-        let drift_factor = ratio.powf(self.nu);
-        let drifted_db = base_loss_db + amorphous_share * base_loss_db * (drift_factor - 1.0);
-        oxbar_units::Decibel::new(drifted_db).attenuation_field()
     }
 
     /// Time until the stored weight slips by `lsb_fraction` of full scale

@@ -205,10 +205,27 @@ impl CrossbarSimulator {
         };
         if sim.config.include_losses && sim.config.compensate_path_loss {
             let worst = sim.worst_cell_path_loss();
+            // A cell's path loss depends only on its diagonal index
+            // `k = col + (rows − 1 − row)` (crossings = k, segments =
+            // k + 1), so the `rows × cols` factor matrix has just
+            // `rows + cols − 1` distinct values. Computing each once
+            // through the same `cell_path_loss` call is bit-identical to
+            // the per-cell loop and drops O(N·M) `powf`s to O(N + M).
+            let (rows, cols) = (sim.config.rows, sim.config.cols);
+            let by_diagonal: Vec<f64> = (0..rows + cols - 1)
+                .map(|k| {
+                    let (i, j) = if k < cols {
+                        (rows - 1, k)
+                    } else {
+                        (rows - 1 - (k - (cols - 1)), cols - 1)
+                    };
+                    (worst - sim.cell_path_loss(i, j)).attenuation_field()
+                })
+                .collect();
             let mut factors = Vec::with_capacity(n_cells);
-            for i in 0..sim.config.rows {
-                for j in 0..sim.config.cols {
-                    factors.push((worst - sim.cell_path_loss(i, j)).attenuation_field());
+            for i in 0..rows {
+                for j in 0..cols {
+                    factors.push(by_diagonal[j + (rows - 1 - i)]);
                 }
             }
             sim.comp_factors = factors;

@@ -88,8 +88,27 @@ enum Gains {
     /// Every residual phase is zero: gains lie on the real axis, exactly
     /// like the field walk's outputs, so the MVM runs on `f64`.
     Real(Vec<f64>),
-    /// At least one non-zero residual phase.
-    Complex(Vec<Complex>),
+    /// At least one non-zero residual phase. Stored as separate re/im
+    /// planes (structure-of-arrays): a drive vector is real, so the
+    /// complex MVM is two independent real accumulations that vectorize
+    /// like the real path, joined by one magnitude pass at the end.
+    Complex {
+        /// Real parts, `gain[i * cols + j].re`.
+        re: Vec<f64>,
+        /// Imaginary parts, `gain[i * cols + j].im`.
+        im: Vec<f64>,
+    },
+}
+
+/// Reusable accumulator storage for [`CompiledCrossbar::run_normalized_batch_with`].
+///
+/// The complex-gain kernel needs `8 × cols` scratch lanes (four blocked
+/// windows × re/im planes); holding them in a caller-owned pool makes a
+/// warm batched MVM allocation-free. The buffer grows to the largest tile
+/// it has served and is reused verbatim afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    acc: Vec<f64>,
 }
 
 impl CompiledCrossbar {
@@ -135,16 +154,19 @@ impl CompiledCrossbar {
         }
 
         let gains = if sim.has_phase_errors() {
-            let mut g = Vec::with_capacity(n * m);
+            let mut re = Vec::with_capacity(n * m);
+            let mut im = Vec::with_capacity(n * m);
             for (i, row) in weights.iter().enumerate() {
                 let pick = row_pick[i];
                 for (j, (&w, &tap)) in row.iter().zip(&col_tap).enumerate() {
                     let mag = tap * pick * sim.effective_weight(i, j, w);
                     // The two coupler `j`s give the 180° propagation phase.
-                    g.push(Complex::from_polar(mag, sim.residual_phase(i, j)).scale(-1.0));
+                    let g = Complex::from_polar(mag, sim.residual_phase(i, j)).scale(-1.0);
+                    re.push(g.re);
+                    im.push(g.im);
                 }
             }
-            Gains::Complex(g)
+            Gains::Complex { re, im }
         } else {
             let mut g = Vec::with_capacity(n * m);
             for (i, row) in weights.iter().enumerate() {
@@ -192,7 +214,7 @@ impl CompiledCrossbar {
         let idx = row * self.cols + col;
         match &self.gains {
             Gains::Real(g) => Complex::new(g[idx], 0.0),
-            Gains::Complex(g) => g[idx],
+            Gains::Complex { re, im } => Complex::new(re[idx], im[idx]),
         }
     }
 
@@ -223,10 +245,16 @@ impl CompiledCrossbar {
                     .map(|re| Field::new(Complex::new(re, 0.0)))
                     .collect()
             }
-            Gains::Complex(g) => {
-                let mut acc = vec![Complex::ZERO; self.cols];
-                accumulate_complex(g, self.cols, inputs, &mut acc);
-                acc.into_iter().map(Field::new).collect()
+            Gains::Complex { re, im } => {
+                let mut acc = vec![0.0f64; 2 * self.cols];
+                let (acc_re, acc_im) = acc.split_at_mut(self.cols);
+                accumulate_real(re, self.cols, inputs, acc_re);
+                accumulate_real(im, self.cols, inputs, acc_im);
+                acc_re
+                    .iter()
+                    .zip(acc_im.iter())
+                    .map(|(&r, &i)| Field::new(Complex::new(r, i)))
+                    .collect()
             }
         }
     }
@@ -249,11 +277,13 @@ impl CompiledCrossbar {
                     *y = y.abs() * self.sqrt_cols / self.norm_scale;
                 }
             }
-            Gains::Complex(g) => {
-                let mut acc = vec![Complex::ZERO; self.cols];
-                accumulate_complex(g, self.cols, inputs, &mut acc);
-                for (y, acc) in out.iter_mut().zip(acc.iter()) {
-                    *y = acc.abs() * self.sqrt_cols / self.norm_scale;
+            Gains::Complex { re, im } => {
+                let mut acc = vec![0.0f64; 2 * self.cols];
+                let (acc_re, acc_im) = acc.split_at_mut(self.cols);
+                accumulate_real(re, self.cols, inputs, acc_re);
+                accumulate_real(im, self.cols, inputs, acc_im);
+                for (y, (&r, &i)) in out.iter_mut().zip(acc_re.iter().zip(acc_im.iter())) {
+                    *y = Complex::new(r, i).abs() * self.sqrt_cols / self.norm_scale;
                 }
             }
         }
@@ -275,16 +305,36 @@ impl CompiledCrossbar {
     /// Batched normalized MVM: `drives` is a flat row-major drive matrix
     /// (`batch × rows`) and `out` the flat output matrix (`batch × cols`).
     ///
-    /// Real-gain batches run four windows per pass so each gain row is
-    /// loaded once per four drives; per-window results are bit-identical
-    /// to [`Self::run_normalized_into`] (each window keeps its own
-    /// accumulator and accumulation order).
+    /// Allocates a fresh [`BatchScratch`] per call; hot paths should hold
+    /// one and use [`Self::run_normalized_batch_with`].
     ///
     /// # Panics
     ///
     /// Panics if `drives` is not a whole number of drive vectors, `out`
     /// does not hold `batch × cols` values, or any drive is out of range.
     pub fn run_normalized_batch(&self, drives: &[f64], out: &mut [f64]) {
+        self.run_normalized_batch_with(drives, out, &mut BatchScratch::default());
+    }
+
+    /// [`Self::run_normalized_batch`] with caller-owned scratch — the
+    /// allocation-free variant batched executors use.
+    ///
+    /// Both gain representations run four windows per pass so each gain
+    /// row is loaded once per four drives (the complex planes run as two
+    /// real accumulations); per-window results are bit-identical to
+    /// [`Self::run_normalized_into`] (each window keeps its own
+    /// accumulator and accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` is not a whole number of drive vectors, `out`
+    /// does not hold `batch × cols` values, or any drive is out of range.
+    pub fn run_normalized_batch_with(
+        &self,
+        drives: &[f64],
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) {
         assert_eq!(
             drives.len() % self.rows,
             0,
@@ -299,56 +349,147 @@ impl CompiledCrossbar {
             batch,
             self.cols
         );
-        let Gains::Real(gains) = &self.gains else {
-            for (drive, ys) in drives
-                .chunks_exact(self.rows)
-                .zip(out.chunks_exact_mut(self.cols))
-            {
-                self.run_normalized_into(drive, ys);
-            }
-            return;
-        };
+        for drive in drives.chunks_exact(self.rows) {
+            self.check_inputs(drive);
+        }
         let quads = batch / 4;
         let (block_in, rest_in) = drives.split_at(quads * 4 * self.rows);
         let (block_out, rest_out) = out.split_at_mut(quads * 4 * self.cols);
-        for (quad, ys) in block_in
-            .chunks_exact(4 * self.rows)
-            .zip(block_out.chunks_exact_mut(4 * self.cols))
-        {
-            for drive in quad.chunks_exact(self.rows) {
-                self.check_inputs(drive);
-            }
-            ys.fill(0.0);
-            let (d0, d123) = quad.split_at(self.rows);
-            let (d1, d23) = d123.split_at(self.rows);
-            let (d2, d3) = d23.split_at(self.rows);
-            let (o0, o123) = ys.split_at_mut(self.cols);
-            let (o1, o23) = o123.split_at_mut(self.cols);
-            let (o2, o3) = o23.split_at_mut(self.cols);
-            for (i, row) in gains.chunks_exact(self.cols).enumerate() {
-                let (v0, v1, v2, v3) = (d0[i], d1[i], d2[i], d3[i]);
-                if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
-                    continue;
+        match &self.gains {
+            Gains::Real(gains) => {
+                for (quad, ys) in block_in
+                    .chunks_exact(4 * self.rows)
+                    .zip(block_out.chunks_exact_mut(4 * self.cols))
+                {
+                    self.quad_real(gains, quad, ys);
+                    for o in ys.chunks_exact_mut(self.cols) {
+                        for y in o.iter_mut() {
+                            *y = y.abs() * self.sqrt_cols / self.norm_scale;
+                        }
+                    }
                 }
-                for j in 0..self.cols {
-                    let g = row[j];
-                    o0[j] += g * v0;
-                    o1[j] += g * v1;
-                    o2[j] += g * v2;
-                    o3[j] += g * v3;
+                for (drive, ys) in rest_in
+                    .chunks_exact(self.rows)
+                    .zip(rest_out.chunks_exact_mut(self.cols))
+                {
+                    ys.fill(0.0);
+                    accumulate_real(gains, self.cols, drive, ys);
+                    for y in ys.iter_mut() {
+                        *y = y.abs() * self.sqrt_cols / self.norm_scale;
+                    }
                 }
             }
-            for o in [o0, o1, o2, o3] {
-                for y in o.iter_mut() {
-                    *y = y.abs() * self.sqrt_cols / self.norm_scale;
+            Gains::Complex { re, im } => {
+                // 4 windows × (re, im) accumulator planes.
+                scratch.acc.clear();
+                scratch.acc.resize(8 * self.cols, 0.0);
+                let (acc_re, acc_im) = scratch.acc.split_at_mut(4 * self.cols);
+                for (quad, ys) in block_in
+                    .chunks_exact(4 * self.rows)
+                    .zip(block_out.chunks_exact_mut(4 * self.cols))
+                {
+                    self.quad_complex(re, im, quad, acc_re, acc_im);
+                    for ((o, r), i) in ys
+                        .chunks_exact_mut(self.cols)
+                        .zip(acc_re.chunks_exact(self.cols))
+                        .zip(acc_im.chunks_exact(self.cols))
+                    {
+                        for (y, (&r, &i)) in o.iter_mut().zip(r.iter().zip(i)) {
+                            *y = Complex::new(r, i).abs() * self.sqrt_cols / self.norm_scale;
+                        }
+                    }
+                }
+                for (drive, ys) in rest_in
+                    .chunks_exact(self.rows)
+                    .zip(rest_out.chunks_exact_mut(self.cols))
+                {
+                    let (r, i) = (&mut acc_re[..self.cols], &mut acc_im[..self.cols]);
+                    r.fill(0.0);
+                    i.fill(0.0);
+                    accumulate_real(re, self.cols, drive, r);
+                    accumulate_real(im, self.cols, drive, i);
+                    for (y, (&r, &i)) in ys.iter_mut().zip(r.iter().zip(i.iter())) {
+                        *y = Complex::new(r, i).abs() * self.sqrt_cols / self.norm_scale;
+                    }
                 }
             }
         }
-        for (drive, ys) in rest_in
-            .chunks_exact(self.rows)
-            .zip(rest_out.chunks_exact_mut(self.cols))
+    }
+
+    /// Accumulates four windows against a real gain plane: `ys` holds the
+    /// four raw accumulator rows (`4 × cols`, zeroed here). Each window
+    /// keeps its own accumulator and row order, so per-window sums are
+    /// bit-identical to [`accumulate_real`] (a skipped `v = 0` row adds
+    /// exactly `±0.0`, which never moves an accumulator).
+    fn quad_real(&self, gains: &[f64], quad: &[f64], ys: &mut [f64]) {
+        ys.fill(0.0);
+        let (d0, d123) = quad.split_at(self.rows);
+        let (d1, d23) = d123.split_at(self.rows);
+        let (d2, d3) = d23.split_at(self.rows);
+        let (o0, o123) = ys.split_at_mut(self.cols);
+        let (o1, o23) = o123.split_at_mut(self.cols);
+        let (o2, o3) = o23.split_at_mut(self.cols);
+        for (i, row) in gains.chunks_exact(self.cols).enumerate() {
+            let (v0, v1, v2, v3) = (d0[i], d1[i], d2[i], d3[i]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue;
+            }
+            for ((((&g, o0), o1), o2), o3) in row
+                .iter()
+                .zip(o0.iter_mut())
+                .zip(o1.iter_mut())
+                .zip(o2.iter_mut())
+                .zip(o3.iter_mut())
+            {
+                *o0 += g * v0;
+                *o1 += g * v1;
+                *o2 += g * v2;
+                *o3 += g * v3;
+            }
+        }
+    }
+
+    /// Complex-plane variant of [`Self::quad_real`]: one pass over both
+    /// gain planes feeds the re/im accumulators of all four windows, so
+    /// each complex gain row is loaded once per four drives.
+    fn quad_complex(
+        &self,
+        re: &[f64],
+        im: &[f64],
+        quad: &[f64],
+        acc_re: &mut [f64],
+        acc_im: &mut [f64],
+    ) {
+        acc_re.fill(0.0);
+        acc_im.fill(0.0);
+        let (d0, d123) = quad.split_at(self.rows);
+        let (d1, d23) = d123.split_at(self.rows);
+        let (d2, d3) = d23.split_at(self.rows);
+        let (r0, r123) = acc_re.split_at_mut(self.cols);
+        let (r1, r23) = r123.split_at_mut(self.cols);
+        let (r2, r3) = r23.split_at_mut(self.cols);
+        let (i0, i123) = acc_im.split_at_mut(self.cols);
+        let (i1, i23) = i123.split_at_mut(self.cols);
+        let (i2, i3) = i23.split_at_mut(self.cols);
+        for (i, (row_re, row_im)) in re
+            .chunks_exact(self.cols)
+            .zip(im.chunks_exact(self.cols))
+            .enumerate()
         {
-            self.run_normalized_into(drive, ys);
+            let (v0, v1, v2, v3) = (d0[i], d1[i], d2[i], d3[i]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue;
+            }
+            for (j, (&gr, &gi)) in row_re.iter().zip(row_im).enumerate() {
+                r0[j] += gr * v0;
+                i0[j] += gi * v0;
+                r1[j] += gr * v1;
+                i1[j] += gi * v1;
+                r2[j] += gr * v2;
+                i2[j] += gi * v2;
+                r3[j] += gr * v3;
+                i3[j] += gi * v3;
+            }
         }
     }
 }
@@ -362,18 +503,6 @@ fn accumulate_real(gains: &[f64], cols: usize, inputs: &[f64], acc: &mut [f64]) 
         }
         for (a, &g) in acc.iter_mut().zip(row) {
             *a += g * v;
-        }
-    }
-}
-
-/// Complex-gain variant of [`accumulate_real`].
-fn accumulate_complex(gains: &[Complex], cols: usize, inputs: &[f64], acc: &mut [Complex]) {
-    for (row, &v) in gains.chunks_exact(cols).zip(inputs) {
-        if v == 0.0 {
-            continue;
-        }
-        for (a, &g) in acc.iter_mut().zip(row) {
-            *a += g.scale(v);
         }
     }
 }
@@ -471,15 +600,40 @@ mod tests {
 
     #[test]
     fn batch_equals_per_vector() {
-        let sim = CrossbarSimulator::new(CrossbarConfig::new(8, 8).with_losses(true));
-        let (_, weights) = random_case(8, 8, 3);
-        let compiled = CompiledCrossbar::new(&sim, &weights);
-        let drives: Vec<f64> = (0..3 * 8).map(|k| (k % 7) as f64 / 7.0).collect();
-        let mut batched = vec![0.0; 3 * 8];
-        compiled.run_normalized_batch(&drives, &mut batched);
-        for (b, drive) in drives.chunks_exact(8).enumerate() {
-            let single = compiled.run_normalized(drive);
-            assert_eq!(&batched[b * 8..(b + 1) * 8], single.as_slice(), "batch {b}");
+        // Real and complex gains, batch sizes that exercise both the
+        // 4-window blocked kernel and the remainder path, with zero rows
+        // sprinkled in (k % 7 == 0 drives).
+        let real = CrossbarSimulator::new(CrossbarConfig::new(8, 8).with_losses(true));
+        let complex = CrossbarSimulator::new(
+            CrossbarConfig::new(8, 8)
+                .with_phase_error_sigma(0.1)
+                .with_phase_error_seed(9)
+                .with_trim_resolution(0.01),
+        );
+        for (name, sim) in [("real", real), ("complex", complex)] {
+            let (_, weights) = random_case(8, 8, 3);
+            let compiled = CompiledCrossbar::new(&sim, &weights);
+            assert_eq!(compiled.is_real(), name == "real");
+            for batch in [1, 3, 4, 7, 12] {
+                let drives: Vec<f64> = (0..batch * 8).map(|k| (k % 7) as f64 / 7.0).collect();
+                let mut batched = vec![0.0; batch * 8];
+                compiled.run_normalized_batch(&drives, &mut batched);
+                let mut scratched = vec![0.0; batch * 8];
+                let mut scratch = BatchScratch::default();
+                compiled.run_normalized_batch_with(&drives, &mut scratched, &mut scratch);
+                assert_eq!(batched, scratched, "{name} batch {batch}: scratch reuse");
+                // A second pass through the same warm scratch is identical.
+                compiled.run_normalized_batch_with(&drives, &mut scratched, &mut scratch);
+                assert_eq!(batched, scratched, "{name} batch {batch}: warm scratch");
+                for (b, drive) in drives.chunks_exact(8).enumerate() {
+                    let single = compiled.run_normalized(drive);
+                    assert_eq!(
+                        &batched[b * 8..(b + 1) * 8],
+                        single.as_slice(),
+                        "{name} batch {batch} window {b}"
+                    );
+                }
+            }
         }
     }
 

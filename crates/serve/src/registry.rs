@@ -65,6 +65,10 @@ struct ModelEntry {
     executor: DeviceExecutor,
     /// Monotone use stamp for LRU eviction (0 = never used).
     last_use: u64,
+    /// The model's full weight-stationary footprint in crossbar cells
+    /// (what its compiled tile set occupies when fully resident),
+    /// computed from the fold plans at admission — no compiling needed.
+    footprint_cells: usize,
 }
 
 /// Admitted models and their per-model [`DeviceExecutor`]s, kept jointly
@@ -133,10 +137,12 @@ impl ModelRegistry {
             .clone()
             .with_seed(crate::request::request_seed(self.base.seed, index as u64));
         let executor = DeviceExecutor::new(config).with_cache_budget(self.budget);
+        let footprint_cells = executor.model_footprint_cells(&spec.network);
         self.entries.push(ModelEntry {
             spec,
             executor,
             last_use: 0,
+            footprint_cells,
         });
         Ok(ModelId(index))
     }
@@ -179,6 +185,48 @@ impl ModelRegistry {
     pub fn touch(&mut self, id: ModelId) {
         self.clock += 1;
         self.entries[id.0].last_use = self.clock;
+    }
+
+    /// The model's full weight-stationary footprint in crossbar cells
+    /// (from the fold plans; independent of what is currently cached).
+    #[must_use]
+    pub fn footprint_cells(&self, id: ModelId) -> usize {
+        self.entries[id.0].footprint_cells
+    }
+
+    /// The crossbar cells of `id` currently resident in its tile cache.
+    #[must_use]
+    pub fn resident_cells(&self, id: ModelId) -> usize {
+        self.entries[id.0].executor.cache_stats().cells
+    }
+
+    /// Eagerly programs + compiles the model's missing tiles
+    /// ([`DeviceExecutor::prewarm`]), returning how many were compiled.
+    /// Never evicts: callers budget-check with [`Self::footprint_cells`]
+    /// and [`Self::occupancy`] first, so prewarming cannot change the
+    /// eviction sequence.
+    ///
+    /// Cache counters measure *work done*, not client traffic: the
+    /// compiles register as misses and the warm-up forward below as one
+    /// hit per tile, exactly like the requests they replace would have.
+    pub fn prewarm(&self, id: ModelId) -> usize {
+        let entry = &self.entries[id.0];
+        let compiled = entry
+            .executor
+            .prewarm(&entry.spec.network, &entry.spec.filters);
+        if compiled > 0 {
+            // One discarded zero-input forward warms the executor's
+            // arena pool and pages the freshly compiled gain matrices
+            // in, so the model's first real batch runs at steady-state
+            // speed. Executions are pure functions of their inputs —
+            // a discarded one cannot change any later result.
+            let shape = entry.spec.network.input();
+            let zeros = oxbar_nn::reference::Tensor3::new(shape, vec![0; shape.elements()]);
+            let _ = entry
+                .executor
+                .forward(&entry.spec.network, &zeros, &entry.spec.filters);
+        }
+        compiled
     }
 
     /// Evicts least-recently-used models until the summed cache occupancy

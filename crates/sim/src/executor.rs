@@ -1,15 +1,17 @@
 //! Whole-network execution through the device chain.
 
+use crate::arena::ExecArena;
 use crate::config::{tile_seed, SimConfig};
-use crate::tile::{run_tile_with, CompiledTile, MvmEngine, TileDrive, TileOutcome};
+use crate::tile::{run_tile_with, CompiledTile, MvmEngine, TileDrive};
 use oxbar_core::dse::parallel_map;
-use oxbar_dataflow::tiles::{WeightTile, WeightTiles};
+use oxbar_dataflow::tiles::{TileGeometry, WeightTiles};
 use oxbar_dataflow::FoldPlan;
 use oxbar_electronics::accumulator::Accumulator;
 use oxbar_nn::reference::{
     activate, pool_exact, requantize, FilterBank, Tensor3, UnsupportedLayer,
 };
 use oxbar_nn::{Conv2d, Layer, Network, TensorShape};
+use oxbar_pcm::ProgramReport;
 use oxbar_units::{Energy, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -33,11 +35,11 @@ pub struct LayerStats {
 }
 
 impl LayerStats {
-    fn absorb(&mut self, outcome: &TileOutcome) {
+    fn absorb(&mut self, program: &ProgramReport) {
         self.tiles += 1;
-        self.cells_programmed += outcome.program.cells_programmed;
-        self.program_energy += outcome.program.energy;
-        self.program_time += outcome.program.time;
+        self.cells_programmed += program.cells_programmed;
+        self.program_energy += program.energy;
+        self.program_time += program.time;
     }
 }
 
@@ -98,11 +100,20 @@ pub struct DeviceExecutor {
     cache: Mutex<TileCache>,
     /// Cells of compiled state the cache may hold.
     cache_budget: usize,
+    /// Pool of reusable execution arenas: checked out per tile job (and
+    /// once per layer for accumulation), returned after the layer's
+    /// partials are accumulated. Arenas carry scratch space only, never
+    /// results, so pooling cannot change outputs — it removes the heap
+    /// allocator from the warm serving path.
+    arenas: Mutex<Vec<ExecArena>>,
 }
 
 /// Cells of compiled tile state the cache may hold (bounds memory on
 /// networks whose layers are far larger than the reuse window).
 const TILE_CACHE_CELL_BUDGET: usize = 4_000_000;
+
+/// Adder width of the digital partial-sum accumulator (bits).
+const ACCUMULATOR_BITS: u8 = 48;
 
 /// A snapshot of the weight-stationary tile cache's performance counters.
 ///
@@ -156,6 +167,7 @@ impl Clone for DeviceExecutor {
             engine: self.engine,
             cache: Mutex::new(TileCache::default()),
             cache_budget: self.cache_budget,
+            arenas: Mutex::new(Vec::new()),
         }
     }
 }
@@ -170,23 +182,40 @@ impl DeviceExecutor {
             engine: MvmEngine::default(),
             cache: Mutex::new(TileCache::default()),
             cache_budget: TILE_CACHE_CELL_BUDGET,
+            arenas: Mutex::new(Vec::new()),
         }
     }
 
-    /// The compiled state for one tile: a validated cache hit, or a fresh
-    /// compile (inserted while the cell budget allows).
+    /// Checks one reusable arena out of the pool (or starts a fresh one).
+    fn checkout_arena(&self) -> ExecArena {
+        self.arenas
+            .lock()
+            .expect("arena pool")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns arenas to the pool for the next round.
+    fn return_arenas(&self, arenas: impl IntoIterator<Item = ExecArena>) {
+        self.arenas.lock().expect("arena pool").extend(arenas);
+    }
+
+    /// The compiled state for one tile: a validated cache hit (a straight
+    /// slice compare against the filter bank, no tile materialization),
+    /// or a fresh compile (inserted while the cell budget allows).
     fn compiled_tile(
         &self,
         layer_index: usize,
         tile_index: usize,
-        tile: &WeightTile,
+        tiles: &WeightTiles<'_>,
+        geom: &TileGeometry,
         seed: u64,
     ) -> Arc<CompiledTile> {
         let key = (layer_index, tile_index);
         {
             let mut cache = self.cache.lock().expect("tile cache");
             if let Some(hit) = cache.tiles.get(&key) {
-                if hit.matches(tile) {
+                if hit.matches_bank(tiles, geom) {
                     let hit = Arc::clone(hit);
                     cache.hits += 1;
                     return hit;
@@ -194,7 +223,8 @@ impl DeviceExecutor {
             }
             cache.misses += 1;
         }
-        let compiled = Arc::new(CompiledTile::compile(tile, &self.config, seed));
+        let tile = tiles.tile(tile_index);
+        let compiled = Arc::new(CompiledTile::compile(&tile, &self.config, seed));
         let cells = compiled.cells();
         let mut cache = self.cache.lock().expect("tile cache");
         if let Some(stale) = cache.tiles.remove(&key) {
@@ -302,16 +332,17 @@ impl DeviceExecutor {
                 );
                 let out = conv.output_shape();
                 let pixel_ids: Vec<usize> = (0..out.h * out.w).collect();
-                let (values, layer_stats) =
-                    self.conv_pixels(conv, conv_input, &filters[conv_idx], layer_idx, &pixel_ids);
+                // With every pixel present in order, the flat slot-major
+                // values ARE the output tensor's data.
+                let (values, layer_stats) = self.conv_pixels_flat(
+                    conv,
+                    conv_input,
+                    &filters[conv_idx],
+                    layer_idx,
+                    &pixel_ids,
+                );
                 stats.push(layer_stats);
-                let mut data = vec![0i64; out.elements()];
-                for (slot, per_oc) in values.iter().enumerate() {
-                    for (oc, &v) in per_oc.iter().enumerate() {
-                        data[pixel_ids[slot] * out.c + oc] = v;
-                    }
-                }
-                Tensor3::new(out, data)
+                Tensor3::new(out, values)
             },
         )?;
         let mut stats = stats.into_iter();
@@ -353,6 +384,30 @@ impl DeviceExecutor {
         layer_index: usize,
         pixel_ids: &[usize],
     ) -> (Vec<Vec<i64>>, LayerStats) {
+        let (flat, stats) = self.conv_pixels_flat(conv, input, bank, layer_index, pixel_ids);
+        (
+            flat.chunks_exact(conv.out_c).map(<[i64]>::to_vec).collect(),
+            stats,
+        )
+    }
+
+    /// [`Self::conv_pixels`] returning the accumulator values as one flat
+    /// slot-major matrix (`pixel_slots × out_channels`) — the
+    /// allocation-lean variant the forward pass and the serving engine
+    /// run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Self::conv_pixels`].
+    #[must_use]
+    pub fn conv_pixels_flat(
+        &self,
+        conv: &Conv2d,
+        input: &Tensor3,
+        bank: &FilterBank,
+        layer_index: usize,
+        pixel_ids: &[usize],
+    ) -> (Vec<i64>, LayerStats) {
         assert_eq!(input.shape(), conv.input, "input shape mismatch");
         bank.check(conv);
         assert!(
@@ -371,55 +426,216 @@ impl DeviceExecutor {
             self.config.mapping.columns_per_output(),
         );
         let has_negative = input.data().iter().any(|&v| v < 0);
-        let jobs: Vec<(WeightTile, TileDrive)> = WeightTiles::new(conv, &bank.weights, &plan)
-            .map(|tile| {
-                let drive = build_drive(&tile, conv, input, pixel_ids, has_negative);
-                (tile, drive)
-            })
-            .collect();
-        let outcomes = parallel_map(&jobs, self.config.threads, |tile_index, (tile, drive)| {
-            let seed = tile_seed(self.config.seed, layer_index, tile_index);
-            match self.engine {
-                // The oracle engine stays cache-free: it is the baseline
-                // the compiled path is benchmarked and validated against.
-                MvmEngine::FieldWalk => {
-                    run_tile_with(tile, drive, &self.config, seed, MvmEngine::FieldWalk)
-                }
-                MvmEngine::Compiled | MvmEngine::CompiledNoCache => self
-                    .compiled_tile(layer_index, tile_index, tile, seed)
-                    .execute(drive, &self.config, self.engine == MvmEngine::Compiled),
-            }
-        });
+        let tiles = WeightTiles::new(conv, &bank.weights, &plan);
+        let geoms: Vec<TileGeometry> = tiles.geometries().collect();
+        // Each tile job checks an arena out of the pool, builds its
+        // im2col drive into the arena's reusable buffers, and executes
+        // into the arena's partials matrix. Tiles are handled by geometry
+        // — weights are only materialized on a cache miss — so a warm
+        // round touches the heap only for the job list itself.
+        let outcomes: Vec<(ExecArena, ProgramReport)> =
+            parallel_map(&geoms, self.config.threads, |tile_index, geom| {
+                let seed = tile_seed(self.config.seed, layer_index, tile_index);
+                let mut arena = self.checkout_arena();
+                let mut drive = std::mem::replace(&mut arena.drive, TileDrive::empty());
+                let mut taps = std::mem::take(&mut arena.taps);
+                build_drive_into(
+                    geom,
+                    conv,
+                    input,
+                    pixel_ids,
+                    has_negative,
+                    &mut taps,
+                    &mut drive,
+                );
+                let program = match self.engine {
+                    // The oracle engine stays cache-free: it is the
+                    // baseline the compiled path is benchmarked and
+                    // validated against.
+                    MvmEngine::FieldWalk => {
+                        let tile = tiles.tile(tile_index);
+                        let outcome =
+                            run_tile_with(&tile, &drive, &self.config, seed, MvmEngine::FieldWalk);
+                        arena.partials.clear();
+                        for per_col in &outcome.partials {
+                            arena.partials.extend_from_slice(per_col);
+                        }
+                        outcome.program
+                    }
+                    MvmEngine::Compiled | MvmEngine::CompiledNoCache => {
+                        let compiled =
+                            self.compiled_tile(layer_index, tile_index, &tiles, geom, seed);
+                        compiled.execute_into(
+                            &drive,
+                            &self.config,
+                            self.engine == MvmEngine::Compiled,
+                            &mut arena,
+                        );
+                        compiled.program()
+                    }
+                };
+                arena.drive = drive;
+                arena.taps = taps;
+                (arena, program)
+            });
 
-        let mut acc = Accumulator::with_lanes(48, pixel_ids.len() * conv.out_c);
+        // Per-pixel partial sums reduce into raw i64 lanes and saturate
+        // once at extraction — identical to the per-add saturating
+        // `Accumulator` for any network whose running sums stay inside
+        // the 48-bit window, which the INT6 pipeline guarantees by
+        // construction (|sum| ≤ filter_rows · v_max · Q « 2⁴⁷). The
+        // operation count and energy are the per-add figures.
+        let mut acc_arena = self.checkout_arena();
+        let lane_count = pixel_ids.len() * conv.out_c;
+        acc_arena.lanes.clear();
+        acc_arena.lanes.resize(lane_count, 0);
         let out_per_group = conv.out_c_per_group();
-        for ((tile, _), outcome) in jobs.iter().zip(&outcomes) {
-            for (slot, per_col) in outcome.partials.iter().enumerate() {
-                for (c, &v) in per_col.iter().enumerate() {
-                    let oc = tile.group * out_per_group + tile.col_offset + c;
-                    acc.add(slot * conv.out_c + oc, v);
+        let mut acc_ops: u64 = 0;
+        for (geom, (arena, _)) in geoms.iter().zip(&outcomes) {
+            let base = geom.group * out_per_group + geom.col_offset;
+            for (slot, per_col) in arena.partials.chunks_exact(geom.cols).enumerate() {
+                let lanes = &mut acc_arena.lanes[slot * conv.out_c + base..][..geom.cols];
+                for (lane, &v) in lanes.iter_mut().zip(per_col) {
+                    *lane += v;
                 }
             }
+            acc_ops += arena.partials.len() as u64;
         }
         let mut stats = LayerStats {
             tiles: 0,
             cells_programmed: 0,
             program_energy: Energy::ZERO,
             program_time: Time::ZERO,
-            accumulator_ops: acc.ops(),
-            accumulator_energy: acc.energy(),
+            accumulator_ops: acc_ops,
+            accumulator_energy: Accumulator::energy_for(ACCUMULATOR_BITS, acc_ops),
         };
-        for outcome in &outcomes {
-            stats.absorb(outcome);
+        for (_, program) in &outcomes {
+            stats.absorb(program);
         }
-        let values = (0..pixel_ids.len())
-            .map(|slot| {
-                (0..conv.out_c)
-                    .map(|oc| acc.value(slot * conv.out_c + oc).unwrap_or(0))
-                    .collect()
-            })
-            .collect();
+        let limit = Accumulator::saturation_limit(ACCUMULATOR_BITS);
+        let mut values = vec![0i64; lane_count];
+        for (v, &lane) in values.iter_mut().zip(&acc_arena.lanes) {
+            *v = lane.clamp(-limit - 1, limit);
+        }
+        self.return_arenas(outcomes.into_iter().map(|(arena, _)| arena));
+        self.return_arenas([acc_arena]);
         (values, stats)
+    }
+
+    /// The full weight-stationary footprint of a model on this
+    /// executor's array geometry, in crossbar cells — what
+    /// [`Self::prewarm`] makes resident. Computed from the fold plans
+    /// alone (no weights touched), so serving schedulers can budget-check
+    /// a prewarm before spending any programming work.
+    #[must_use]
+    pub fn model_footprint_cells(&self, network: &Network) -> usize {
+        let cpo = self.config.mapping.columns_per_output();
+        network
+            .layers()
+            .iter()
+            .filter_map(|layer| {
+                let conv = match layer {
+                    Layer::Conv2d(c) => c.clone(),
+                    Layer::Dense(d) => d.as_conv(),
+                    _ => return None,
+                };
+                let plan =
+                    FoldPlan::plan(&conv, self.config.array_rows, self.config.array_cols, cpo);
+                Some(
+                    (0..plan.total_folds())
+                        .map(|index| {
+                            let geom = oxbar_dataflow::tiles::tile_geometry(&conv, &plan, index);
+                            geom.rows * geom.cols * cpo
+                        })
+                        .sum::<usize>(),
+                )
+            })
+            .sum()
+    }
+
+    /// Eagerly programs and compiles a model's full tile set into the
+    /// weight-stationary cache — the programming work a cold forward pass
+    /// would otherwise pay on its blocking path. Missing tiles compile in
+    /// parallel across the config's worker threads
+    /// ([`oxbar_core::dse::parallel_map`]; per-tile seeds make this
+    /// determinism-safe) and insert in tile order under the same cell
+    /// budget as the lazy path, so a prewarmed executor holds exactly the
+    /// cache state a forward pass would have built. Returns the number of
+    /// tiles compiled (zero when the model is already resident).
+    ///
+    /// Serving engines call this for the *next* model in the queue while
+    /// the current batch executes, which moves PCM programming off the
+    /// serving critical path entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters` does not cover every conv-like layer.
+    pub fn prewarm(&self, network: &Network, filters: &[oxbar_nn::reference::FilterBank]) -> usize {
+        let mut compiled_total = 0;
+        let mut conv_idx = 0;
+        for (layer_idx, layer) in network.layers().iter().enumerate() {
+            let dense_conv;
+            let conv: &Conv2d = match layer {
+                Layer::Conv2d(c) => c,
+                Layer::Dense(d) => {
+                    dense_conv = d.as_conv();
+                    &dense_conv
+                }
+                _ => continue,
+            };
+            assert!(
+                conv_idx < filters.len(),
+                "missing filter bank for `{}`",
+                conv.name
+            );
+            let plan = FoldPlan::plan(
+                conv,
+                self.config.array_rows,
+                self.config.array_cols,
+                self.config.mapping.columns_per_output(),
+            );
+            let tiles = WeightTiles::new(conv, &filters[conv_idx].weights, &plan);
+            let geoms: Vec<(usize, TileGeometry)> = tiles.geometries().enumerate().collect();
+            conv_idx += 1;
+            // Snapshot which tiles are missing (or stale) under the lock,
+            // compile them in parallel, then insert in tile order with
+            // the lazy path's budget rule.
+            let missing: Vec<&(usize, TileGeometry)> = {
+                let cache = self.cache.lock().expect("tile cache");
+                geoms
+                    .iter()
+                    .filter(|(tile_index, geom)| {
+                        cache
+                            .tiles
+                            .get(&(layer_idx, *tile_index))
+                            .is_none_or(|hit| !hit.matches_bank(&tiles, geom))
+                    })
+                    .collect()
+            };
+            let compiled = parallel_map(&missing, self.config.threads, |_, (tile_index, _)| {
+                let seed = tile_seed(self.config.seed, layer_idx, *tile_index);
+                Arc::new(CompiledTile::compile(
+                    &tiles.tile(*tile_index),
+                    &self.config,
+                    seed,
+                ))
+            });
+            let mut cache = self.cache.lock().expect("tile cache");
+            for ((tile_index, _), compiled) in missing.iter().zip(compiled) {
+                let key = (layer_idx, *tile_index);
+                let cells = compiled.cells();
+                cache.misses += 1;
+                if let Some(stale) = cache.tiles.remove(&key) {
+                    cache.cells -= stale.cells();
+                }
+                if cache.cells + cells <= self.cache_budget {
+                    cache.tiles.insert(key, compiled);
+                    cache.cells += cells;
+                }
+                compiled_total += 1;
+            }
+        }
+        compiled_total
     }
 }
 
@@ -520,49 +736,56 @@ where
     Ok(walked)
 }
 
-/// Builds one tile's per-pixel im2col drive (positive/negative passes).
-fn build_drive(
-    tile: &WeightTile,
+/// Builds one tile's per-pixel im2col drive (positive/negative passes)
+/// into reusable buffers — warm buffers make the gather allocation-free.
+fn build_drive_into(
+    geom: &TileGeometry,
     conv: &Conv2d,
     input: &Tensor3,
     pixel_ids: &[usize],
     has_negative: bool,
-) -> TileDrive {
+    taps: &mut Vec<(u32, u32, u32)>,
+    drive: &mut TileDrive,
+) {
     let out = conv.output_shape();
     let in_per_group = conv.in_c_per_group();
     let window_w = conv.k_w * in_per_group;
-    let c_base = tile.group * in_per_group;
-    let rows = tile.rows();
+    let c_base = geom.group * in_per_group;
+    let rows = geom.rows;
     // The (ky, kx, channel) decode of each tile row is pixel-independent;
     // hoist it out of the per-pixel gather.
-    let row_taps: Vec<(usize, usize, usize)> = (0..rows)
-        .map(|r| {
-            let widx = tile.row_offset + r;
-            let ky = widx / window_w;
-            let rem = widx % window_w;
-            (ky, rem / in_per_group, c_base + rem % in_per_group)
-        })
-        .collect();
-    let mut positive = Vec::with_capacity(pixel_ids.len() * rows);
-    let mut negative = if has_negative {
-        Some(Vec::with_capacity(pixel_ids.len() * rows))
-    } else {
-        None
-    };
+    taps.clear();
+    taps.extend((0..rows).map(|r| {
+        let widx = geom.row_offset + r;
+        let ky = widx / window_w;
+        let rem = widx % window_w;
+        (
+            ky as u32,
+            (rem / in_per_group) as u32,
+            (c_base + rem % in_per_group) as u32,
+        )
+    }));
+    drive.rows = rows;
+    drive.pixels = pixel_ids.len();
+    drive.positive.clear();
+    // The negative buffer keeps its capacity even on unsigned layers, so
+    // an arena bouncing between signed and unsigned layers never churns
+    // the allocator.
+    drive.negative.clear();
+    drive.has_negative = has_negative;
     for &pid in pixel_ids {
         let oy = pid / out.w;
         let ox = pid % out.w;
-        for &(ky, kx, c) in &row_taps {
-            let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
-            let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
-            let v = input.at_padded(iy, ix, c);
-            positive.push(v.max(0) as u8);
-            if let Some(n) = negative.as_mut() {
-                n.push((-v).max(0) as u8);
+        for &(ky, kx, c) in taps.iter() {
+            let iy = (oy * conv.stride + ky as usize) as isize - conv.padding as isize;
+            let ix = (ox * conv.stride + kx as usize) as isize - conv.padding as isize;
+            let v = input.at_padded(iy, ix, c as usize);
+            drive.positive.push(v.max(0) as u8);
+            if has_negative {
+                drive.negative.push((-v).max(0) as u8);
             }
         }
     }
-    TileDrive::new(rows, positive, negative)
 }
 
 /// Evenly spaced sample of `max_pixels` output-pixel ids (deterministic).

@@ -41,6 +41,12 @@
 //! remains available as the validation oracle via [`MvmEngine::FieldWalk`]
 //! (see the `device_mvm` bench for the measured speedup).
 //!
+//! The warm path is **allocation-free**: every per-execution buffer lives
+//! in a pooled [`ExecArena`] (see [`arena`]), and serving layers can move
+//! PCM programming off their critical path entirely with
+//! [`DeviceExecutor::prewarm`], which compiles a model's full tile set
+//! eagerly (parallel across tiles, deterministic per-tile seeds).
+//!
 //! # Examples
 //!
 //! ```
@@ -60,12 +66,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod executor;
 pub mod fidelity;
 pub mod probe;
 pub mod tile;
 
+pub use arena::ExecArena;
 pub use config::{NoiseModel, Readout, SimConfig};
 pub use executor::{CacheStats, DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
 pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};

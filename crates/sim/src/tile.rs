@@ -11,8 +11,9 @@
 //! cell-by-cell field walk ([`CrossbarSimulator::run`]) stays available as
 //! the oracle via [`MvmEngine::FieldWalk`].
 
+use crate::arena::ExecArena;
 use crate::config::{Readout, SimConfig};
-use oxbar_dataflow::tiles::WeightTile;
+use oxbar_dataflow::tiles::{TileGeometry, WeightTile, WeightTiles};
 use oxbar_electronics::tia::Tia;
 use oxbar_electronics::UnsignedQuantizer;
 use oxbar_nn::mapping::MappedWeights;
@@ -24,8 +25,6 @@ use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
 use oxbar_photonics::transfer::CompiledCrossbar;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
 
 /// Chunked FNV-style hasher for drive-window dedupe keys — the default
 /// SipHash dominates the cache lookup at im2col window sizes.
@@ -56,7 +55,14 @@ impl std::hash::Hasher for WindowHasher {
     }
 }
 
-type WindowMap<'a> = HashMap<&'a [u8], usize, BuildHasherDefault<WindowHasher>>;
+/// One [`WindowHasher`] pass over a window's bytes (the dedupe-table
+/// probe hash).
+fn hash_window(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = WindowHasher::default();
+    h.write(bytes);
+    h.finish()
+}
 
 /// Full-scale photocurrent assumed at the balanced receiver (A). The TIA
 /// turns it into the ADC's full-scale voltage; the value cancels out of the
@@ -82,15 +88,31 @@ pub struct TileOutcome {
 /// indirection or allocation.
 #[derive(Debug, Clone)]
 pub struct TileDrive {
-    rows: usize,
-    pixels: usize,
+    pub(crate) rows: usize,
+    pub(crate) pixels: usize,
     /// Positive-part codes, `pixels × rows` row-major.
-    positive: Vec<u8>,
-    /// Negative-part codes; `None` when every value is ≥ 0.
-    negative: Option<Vec<u8>>,
+    pub(crate) positive: Vec<u8>,
+    /// Negative-part codes; meaningful only when `has_negative`. Kept as
+    /// a plain buffer (not an `Option`) so a pooled drive bouncing
+    /// between signed and unsigned layers never drops its capacity.
+    pub(crate) negative: Vec<u8>,
+    /// Whether a negative pass exists (any input value < 0).
+    pub(crate) has_negative: bool,
 }
 
 impl TileDrive {
+    /// An empty drive (no rows, no pixels) — the rest state of the
+    /// reusable drive buffers an [`crate::arena::ExecArena`] holds.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            rows: 0,
+            pixels: 0,
+            positive: Vec::new(),
+            negative: Vec::new(),
+            has_negative: false,
+        }
+    }
     /// Wraps flat row-major (`pixels × rows`) drive matrices.
     ///
     /// # Panics
@@ -116,7 +138,8 @@ impl TileDrive {
             rows,
             pixels: positive.len() / rows,
             positive,
-            negative,
+            has_negative: negative.is_some(),
+            negative: negative.unwrap_or_default(),
         }
     }
 
@@ -169,23 +192,25 @@ impl TileDrive {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn negative(&self, p: usize) -> Option<&[u8]> {
-        self.negative
-            .as_ref()
-            .map(|n| &n[p * self.rows..(p + 1) * self.rows])
+        self.has_negative
+            .then(|| &self.negative[p * self.rows..(p + 1) * self.rows])
     }
 
     /// Whether a negative pass exists.
     #[must_use]
     pub fn has_negative(&self) -> bool {
-        self.negative.is_some()
+        self.has_negative
     }
 
-    /// All windows in execution order: every positive pass, then every
-    /// negative pass.
-    fn windows(&self) -> impl Iterator<Item = &[u8]> {
-        self.positive
-            .chunks_exact(self.rows)
-            .chain(self.negative.iter().flat_map(|n| n.chunks_exact(self.rows)))
+    /// Window `w` in execution order: the positive passes occupy
+    /// `0..pixels`, the negative passes `pixels..2×pixels`.
+    pub(crate) fn window(&self, w: usize) -> &[u8] {
+        if w < self.pixels {
+            self.positive(w)
+        } else {
+            self.negative(w - self.pixels)
+                .expect("window index implies a negative pass")
+        }
     }
 }
 
@@ -240,28 +265,28 @@ fn program_tile(values: &[Vec<i8>], config: &SimConfig, seed: u64) -> Programmed
             Parallelism::FullArray,
         )
     } else {
-        let mut array = PcmArray::with_device(rows, pcols, device, config.weight_bits);
-        let program = if config.noise.pcm_sigma > 0.0 {
-            let variation = DeviceVariation::new(config.noise.pcm_sigma, 0.0);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
-            array.program_codes_with_variation(
-                mapped.unipolar(),
-                Parallelism::FullArray,
-                &variation,
-                &mut rng,
-            )
-        } else {
-            array.program_codes(mapped.unipolar(), Parallelism::FullArray)
-        };
-        let transmissions = if config.noise.drift_nu > 0.0 {
-            array.drifted_transmissions(
-                &DriftModel::new(config.noise.drift_nu),
+        // Fused noisy program-and-readout: value-identical to
+        // program-codes → drift → transmissions, without materializing
+        // the array (the RNG stream and per-cell float ops are
+        // unchanged).
+        let variation = DeviceVariation::new(config.noise.pcm_sigma, 0.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        let drift = (config.noise.drift_nu > 0.0).then(|| {
+            (
+                DriftModel::new(config.noise.drift_nu),
                 config.noise.drift_elapsed,
             )
-        } else {
-            array.transmissions()
-        };
-        (transmissions, program)
+        });
+        PcmArray::noisy_readout(
+            rows,
+            pcols,
+            device,
+            config.weight_bits,
+            mapped.unipolar(),
+            Parallelism::FullArray,
+            (config.noise.pcm_sigma > 0.0).then_some((&variation, &mut rng)),
+            drift.as_ref().map(|(model, elapsed)| (model, *elapsed)),
+        )
     };
 
     let mut xbar = CrossbarConfig::new(rows, pcols)
@@ -284,7 +309,10 @@ fn program_tile(values: &[Vec<i8>], config: &SimConfig, seed: u64) -> Programmed
 /// `y_norm · rows · v_max · table_max / t_max`.
 struct ReadoutChain {
     tia: Tia,
-    adc: Option<UnsignedQuantizer>,
+    /// The ADC's LSB step (analog volts); `None` for exact readout. The
+    /// step is hoisted out of the per-column loop — the quantizer would
+    /// otherwise recompute it (a division) twice per digitized value.
+    adc_lsb: Option<f64>,
     full_scale_v: f64,
     scale: f64,
 }
@@ -293,28 +321,36 @@ impl ReadoutChain {
     fn new(config: &SimConfig, rows: usize) -> Self {
         let tia = Tia::paper_default();
         let full_scale_v = tia.output_voltage(FULL_SCALE_CURRENT_A);
-        let adc = match config.readout {
+        let adc_lsb = match config.readout {
             Readout::Exact => None,
-            Readout::Adc { bits } => {
-                Some(UnsignedQuantizer::new(bits, full_scale_v).expect("valid ADC resolution"))
-            }
+            Readout::Adc { bits } => Some(
+                UnsignedQuantizer::new(bits, full_scale_v)
+                    .expect("valid ADC resolution")
+                    .lsb(),
+            ),
         };
         let scale = rows as f64 * config.v_max() as f64 * f64::from(config.table_max())
             / config.device().max_transmission();
         Self {
             tia,
-            adc,
+            adc_lsb,
             full_scale_v,
             scale,
         }
     }
 
     fn digitize(&self, y: f64) -> i64 {
-        let digitized = match &self.adc {
+        let digitized = match self.adc_lsb {
             None => y,
-            Some(q) => {
+            Some(lsb) => {
+                // Inlined `UnsignedQuantizer::reconstruct` on the hoisted
+                // LSB: identical clamp/divide/round/multiply sequence
+                // (the rounded code is ≤ 2¹⁶ − 1, exactly representable,
+                // so skipping the integer cast changes nothing).
                 let current = y.clamp(0.0, 1.0) * FULL_SCALE_CURRENT_A;
-                q.reconstruct(self.tia.output_voltage(current)) / self.full_scale_v
+                let v = self.tia.output_voltage(current);
+                let code = (v.clamp(0.0, self.full_scale_v) / lsb).round();
+                (code * lsb) / self.full_scale_v
             }
         };
         (digitized * self.scale).round() as i64
@@ -328,9 +364,13 @@ impl ReadoutChain {
 /// hardware, where a programmed PCM tile serves many inferences.
 #[derive(Debug, Clone)]
 pub struct CompiledTile {
-    /// The signed weight codes this state was compiled from (used to
-    /// validate cache hits).
-    values: Vec<Vec<i8>>,
+    /// The signed weight codes this state was compiled from, stored
+    /// column-major (`cols × rows` flat; column `c` is the contiguous
+    /// filter slice it came from) so cache-hit validation is a straight
+    /// slice compare against the filter bank — no tile materialization.
+    values: Vec<i8>,
+    /// Rows of the value matrix (`values.len() / rows` columns).
+    value_rows: usize,
     mapped: MappedWeights,
     program: ProgramReport,
     compiled: CompiledCrossbar,
@@ -345,8 +385,14 @@ impl CompiledTile {
     #[must_use]
     pub fn compile(tile: &WeightTile, config: &SimConfig, seed: u64) -> Self {
         let programmed = program_tile(&tile.values, config, seed);
+        let (rows, cols) = (tile.rows(), tile.cols());
+        let mut values = Vec::with_capacity(rows * cols);
+        for c in 0..cols {
+            values.extend((0..rows).map(|r| tile.values[r][c]));
+        }
         Self {
-            values: tile.values.clone(),
+            values,
+            value_rows: rows,
             compiled: CompiledCrossbar::new(&programmed.sim, &programmed.transmissions),
             mapped: programmed.mapped,
             program: programmed.program,
@@ -357,7 +403,27 @@ impl CompiledTile {
     /// (cache-hit validation).
     #[must_use]
     pub fn matches(&self, tile: &WeightTile) -> bool {
-        self.values == tile.values
+        let (rows, cols) = (tile.rows(), tile.cols());
+        rows == self.value_rows
+            && cols * rows == self.values.len()
+            && self
+                .values
+                .chunks_exact(rows.max(1))
+                .enumerate()
+                .all(|(c, col)| col.iter().enumerate().all(|(r, &v)| tile.values[r][c] == v))
+    }
+
+    /// [`Self::matches`] against the filter bank directly: column `c` of
+    /// the compiled values must equal the contiguous filter slice
+    /// [`WeightTiles::filter_column`] returns for `geom` — the
+    /// zero-materialization validation the serving hot path runs on every
+    /// cache hit.
+    #[must_use]
+    pub fn matches_bank(&self, tiles: &WeightTiles<'_>, geom: &TileGeometry) -> bool {
+        geom.rows == self.value_rows
+            && geom.cols * geom.rows == self.values.len()
+            && (0..geom.cols)
+                .all(|c| tiles.filter_column(geom, c) == &self.values[c * geom.rows..][..geom.rows])
     }
 
     /// Crossbar cells this compiled state holds (`rows × physical cols`).
@@ -366,15 +432,61 @@ impl CompiledTile {
         self.compiled.rows() * self.compiled.cols()
     }
 
+    /// The tile's PCM programming report (what programming this state
+    /// cost when it was compiled).
+    #[must_use]
+    pub fn program(&self) -> ProgramReport {
+        self.program
+    }
+
+    /// Logical (signed) output columns per pixel — the width of the
+    /// partials this tile produces.
+    #[must_use]
+    pub fn logical_cols(&self) -> usize {
+        self.mapped.logical_cols()
+    }
+
     /// Executes all pixel drives as one batched MVM (with the
     /// duplicate-window cache unless `dedupe` is off) and recovers signed
     /// partial sums.
+    ///
+    /// Allocating convenience wrapper over [`Self::execute_into`]; hot
+    /// paths pool an [`ExecArena`] and call that directly.
     ///
     /// # Panics
     ///
     /// Panics if the drive's window length disagrees with the tile rows.
     #[must_use]
     pub fn execute(&self, drive: &TileDrive, config: &SimConfig, dedupe: bool) -> TileOutcome {
+        let mut arena = ExecArena::default();
+        self.execute_into(drive, config, dedupe, &mut arena);
+        TileOutcome {
+            partials: arena
+                .partial_rows(self.mapped.logical_cols())
+                .map(<[i64]>::to_vec)
+                .collect(),
+            program: self.program,
+        }
+    }
+
+    /// [`Self::execute`] writing every intermediate and the per-pixel
+    /// partials into a caller-owned [`ExecArena`] — the allocation-free
+    /// serving hot path. A warm arena (one that has already served a tile
+    /// of this size) is reused without touching the heap; the results
+    /// land in [`ExecArena::partials`] as a flat `pixels × logical cols`
+    /// matrix and are byte-identical to [`Self::execute`] for any arena
+    /// history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drive's window length disagrees with the tile rows.
+    pub fn execute_into(
+        &self,
+        drive: &TileDrive,
+        config: &SimConfig,
+        dedupe: bool,
+        arena: &mut ExecArena,
+    ) {
         let rows = self.compiled.rows();
         let pcols = self.compiled.cols();
         assert_eq!(drive.rows(), rows, "windows must match tile rows");
@@ -383,84 +495,110 @@ impl CompiledTile {
         let pixels = drive.pixels();
 
         // Index every drive window (all positive passes, then all negative
-        // passes) into a deduplicated window list. The cache is adaptive:
-        // if the first windows show no duplicates at all (e.g. an unpadded
-        // conv), hashing is turned off for the rest — the result is
-        // identical either way, only the work differs.
+        // passes) into a deduplicated window list, via the arena's
+        // open-addressing table (≤ 0.5 load factor, linear probing over
+        // the window bytes). The cache is adaptive: if the first windows
+        // show no duplicates at all (e.g. an unpadded conv), hashing is
+        // turned off for the rest — the result is identical either way,
+        // only the work differs.
         const DEDUPE_PROBE: usize = 64;
         let mut dedupe = dedupe;
         let window_count = pixels * if drive.has_negative() { 2 } else { 1 };
-        let mut unique_of = Vec::with_capacity(window_count);
-        let mut uniques: Vec<&[u8]> = Vec::new();
-        let mut seen = WindowMap::default();
-        for (w, window) in drive.windows().enumerate() {
+        arena.unique_of.clear();
+        arena.uniques.clear();
+        let table_len = (2 * window_count).next_power_of_two();
+        arena.table.clear();
+        arena.table.resize(table_len, u32::MAX);
+        let mask = table_len.wrapping_sub(1);
+        for w in 0..window_count {
+            let bytes = drive.window(w);
             let id = if dedupe {
-                let id = *seen.entry(window).or_insert_with(|| {
-                    uniques.push(window);
-                    uniques.len() - 1
-                });
-                if w + 1 == DEDUPE_PROBE && uniques.len() == DEDUPE_PROBE {
+                let mut idx = (hash_window(bytes) as usize) & mask;
+                let id = loop {
+                    let slot = arena.table[idx];
+                    if slot == u32::MAX {
+                        let id = u32::try_from(arena.uniques.len()).expect("window count fits u32");
+                        arena.table[idx] = id;
+                        arena.uniques.push(w as u32);
+                        break id;
+                    }
+                    if drive.window(arena.uniques[slot as usize] as usize) == bytes {
+                        break slot;
+                    }
+                    idx = (idx + 1) & mask;
+                };
+                if w + 1 == DEDUPE_PROBE && arena.uniques.len() == DEDUPE_PROBE {
                     dedupe = false;
                 }
                 id
             } else {
-                uniques.push(window);
-                uniques.len() - 1
+                arena.uniques.push(w as u32);
+                (arena.uniques.len() - 1) as u32
             };
-            unique_of.push(id);
+            arena.unique_of.push(id);
         }
 
         // One batched MVM over the flat row-major drive matrix of the
         // unique windows. All-dark windows skip the analog chain entirely
-        // (they produce exactly zero in every column).
-        let mut drives = vec![0.0f64; uniques.len() * rows];
-        let mut dark = vec![false; uniques.len()];
-        for (u, window) in uniques.iter().enumerate() {
+        // (they produce exactly zero in every column). Every buffer is
+        // fully rewritten, so stale arena contents can never leak into
+        // results.
+        let n_uniques = arena.uniques.len();
+        arena.drives.resize(n_uniques * rows, 0.0);
+        arena.dark.clear();
+        arena.dark.resize(n_uniques, false);
+        for (u, &windex) in arena.uniques.iter().enumerate() {
+            let window = drive.window(windex as usize);
+            let dst = &mut arena.drives[u * rows..][..rows];
             if window.iter().all(|&v| v == 0) {
-                dark[u] = true;
+                arena.dark[u] = true;
+                dst.fill(0.0);
                 continue;
             }
-            for (d, &v) in drives[u * rows..][..rows].iter_mut().zip(*window) {
+            for (d, &v) in dst.iter_mut().zip(window) {
                 *d = f64::from(v) / v_max;
             }
         }
-        let mut ys = vec![0.0f64; uniques.len() * pcols];
-        self.compiled.run_normalized_batch(&drives, &mut ys);
+        arena.ys.resize(n_uniques * pcols, 0.0);
+        self.compiled
+            .run_normalized_batch_with(&arena.drives, &mut arena.ys, &mut arena.scratch);
 
         // Digitize the batched column outputs and recover each unique
         // window's signed partials once, into a flat matrix.
         let lcols = self.mapped.logical_cols();
-        let mut raw = vec![0i64; pcols];
-        let mut recovered = vec![0i64; uniques.len() * lcols];
-        for (u, window) in uniques.iter().enumerate() {
-            if dark[u] {
-                raw.fill(0);
+        arena.raw.resize(pcols, 0);
+        arena.recovered.resize(n_uniques * lcols, 0);
+        for (u, &windex) in arena.uniques.iter().enumerate() {
+            if arena.dark[u] {
+                arena.raw.fill(0);
             } else {
-                for (r, &y) in raw.iter_mut().zip(&ys[u * pcols..][..pcols]) {
+                for (r, &y) in arena.raw.iter_mut().zip(&arena.ys[u * pcols..][..pcols]) {
                     *r = readout.digitize(y);
                 }
             }
-            self.mapped
-                .recover_into(&raw, window, &mut recovered[u * lcols..][..lcols]);
+            self.mapped.recover_into(
+                &arena.raw,
+                drive.window(windex as usize),
+                &mut arena.recovered[u * lcols..][..lcols],
+            );
         }
 
-        // Assemble per-pixel partials: positive pass minus (optional)
-        // negative pass.
-        let partials = (0..pixels)
-            .map(|p| {
-                let mut rec = recovered[unique_of[p] * lcols..][..lcols].to_vec();
-                if drive.has_negative() {
-                    let neg = &recovered[unique_of[pixels + p] * lcols..][..lcols];
-                    for (r, &n) in rec.iter_mut().zip(neg) {
-                        *r -= n;
-                    }
+        // Assemble per-pixel partials — positive pass minus (optional)
+        // negative pass — recovered straight into the flat partials
+        // matrix, no per-pixel buffers.
+        arena.partials.resize(pixels * lcols, 0);
+        let (unique_of, recovered, partials) =
+            (&arena.unique_of, &arena.recovered, &mut arena.partials);
+        for (p, out) in partials.chunks_exact_mut(lcols).enumerate() {
+            let pos = &recovered[unique_of[p] as usize * lcols..][..lcols];
+            if drive.has_negative() {
+                let neg = &recovered[unique_of[pixels + p] as usize * lcols..][..lcols];
+                for (o, (&a, &b)) in out.iter_mut().zip(pos.iter().zip(neg)) {
+                    *o = a - b;
                 }
-                rec
-            })
-            .collect();
-        TileOutcome {
-            partials,
-            program: self.program,
+            } else {
+                out.copy_from_slice(pos);
+            }
         }
     }
 }
