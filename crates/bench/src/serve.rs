@@ -23,7 +23,9 @@
 
 use oxbar_core::{Chip, ChipConfig};
 use oxbar_serve::loadgen::{replay_latencies, MixEntry, OpenLoop};
-use oxbar_serve::{catalog, BatchPolicy, LatencySummary, ServeConfig, ServeEngine};
+use oxbar_serve::{
+    catalog, BatchPolicy, ChipStats, LatencySummary, PlacementPolicy, ServeConfig, ServeEngine,
+};
 use oxbar_sim::SimConfig;
 use serde::Serialize;
 
@@ -58,8 +60,12 @@ pub struct CaseResult {
     pub max_batch: usize,
     /// Coalescing window of the policy, in ticks.
     pub max_wait: u64,
-    /// Global weight-stationary budget, in cells.
+    /// Global weight-stationary budget, in cells (summed over chips on a
+    /// multi-chip cluster).
     pub budget_cells: usize,
+    /// Per-chip cell budgets of the serving cluster; a single entry is
+    /// the classic one-chip engine.
+    pub chip_budgets: Vec<usize>,
     /// Whether the pipelined prewarm scheduler stage was on.
     pub prewarm: bool,
     /// Summed batch *execution* time of the drain (ms) — what the
@@ -87,6 +93,9 @@ pub struct CaseResult {
     pub hit_rate: f64,
     /// Whole-model cache evictions forced by the budget.
     pub evictions: u64,
+    /// Cross-chip snapshot migrations an over-budget chip made instead of
+    /// evicting (always 0 on a single chip).
+    pub migrations: u64,
     /// Prewarm stages dispatched by the pipelined scheduler.
     pub prewarms: u64,
     /// Tiles programmed + compiled off the critical path.
@@ -96,6 +105,9 @@ pub struct CaseResult {
     /// `cold wall_ms / this wall_ms`; `null` for the cold baseline
     /// itself.
     pub speedup_vs_cold: Option<f64>,
+    /// Per-chip occupancy / eviction / migration / hit breakdown, in
+    /// chip-index order.
+    pub per_chip: Vec<ChipStats>,
 }
 
 /// The full machine-readable snapshot (`BENCH_serve.json`).
@@ -152,15 +164,20 @@ fn workload(requests: usize) -> OpenLoop {
     }
 }
 
-/// Builds an engine over the stock catalog.
-fn engine_with(policy: BatchPolicy, budget: usize, prewarm: bool) -> ServeEngine {
+/// Builds an engine over the stock catalog. A non-empty `chips` list
+/// serves a multi-chip cluster with those per-chip budgets (least-loaded
+/// placement, so the catalog spreads); empty is the classic single chip
+/// of `budget` cells.
+fn engine_with(policy: BatchPolicy, budget: usize, prewarm: bool, chips: &[usize]) -> ServeEngine {
     let device = SimConfig::noisy(128, 128).with_threads(1);
     let mut engine = ServeEngine::new(
         ServeConfig::new(device)
             .with_policy(policy)
             .with_cache_budget(budget)
             .with_workers(1)
-            .with_prewarm(prewarm),
+            .with_prewarm(prewarm)
+            .with_chips(chips.to_vec())
+            .with_placement(PlacementPolicy::LeastLoaded),
     );
     for spec in catalog::stock_catalog() {
         engine.admit(spec).expect("catalog models admit");
@@ -175,8 +192,9 @@ fn run_case(
     policy: BatchPolicy,
     budget: usize,
     prewarm: bool,
+    chips: &[usize],
 ) -> CaseResult {
-    let mut engine = engine_with(policy, budget, prewarm);
+    let mut engine = engine_with(policy, budget, prewarm, chips);
     let load = workload(requests);
     for request in load.trace(|m| engine.input_shape(m)) {
         engine.submit(request);
@@ -210,7 +228,8 @@ fn run_case(
         requests,
         max_batch: policy.max_batch,
         max_wait: policy.max_wait,
-        budget_cells: budget,
+        budget_cells: stats.budget_cells,
+        chip_budgets: engine.config().effective_chip_budgets(),
         prewarm,
         wall_ms,
         elapsed_ms,
@@ -222,10 +241,12 @@ fn run_case(
         deadline_misses,
         hit_rate: stats.hit_rate(),
         evictions: stats.evictions,
+        migrations: stats.migrations,
         prewarms: stats.prewarms,
         prewarmed_tiles: stats.prewarmed_tiles,
         mean_batch_size: stats.mean_batch_size(),
         speedup_vs_cold: None,
+        per_chip: stats.chips,
     }
 }
 
@@ -236,7 +257,7 @@ fn warm_round_allocations() -> Option<u64> {
     if !crate::alloc_counter::active() {
         return None;
     }
-    let mut engine = engine_with(BatchPolicy::new(8, 8), 4_000_000, true);
+    let mut engine = engine_with(BatchPolicy::new(8, 8), 4_000_000, true, &[]);
     let inputs: Vec<_> = (0..4u64)
         .map(|i| {
             oxbar_nn::synthetic::activations(engine.input_shape(oxbar_serve::ModelId(0)), 6, i)
@@ -261,7 +282,7 @@ fn warm_round_allocations() -> Option<u64> {
 /// an unconstrained engine) and the analytic chip-model IPS.
 fn model_reports() -> Vec<ModelReport> {
     let chip = Chip::new(ChipConfig::paper_optimal());
-    let mut engine = engine_with(BatchPolicy::SINGLE, usize::MAX, false);
+    let mut engine = engine_with(BatchPolicy::SINGLE, usize::MAX, false, &[]);
     catalog::stock_catalog()
         .into_iter()
         .enumerate()
@@ -296,6 +317,7 @@ pub fn generate(quick: bool) -> ServeReport {
         BatchPolicy::SINGLE,
         0,
         false,
+        &[],
     );
     let mut cases = vec![cold];
     // The headline: batched weight-stationary serving with the pipelined
@@ -306,9 +328,23 @@ pub fn generate(quick: bool) -> ServeReport {
         BatchPolicy::new(16, 8),
         4_000_000,
         true,
+        &[],
     );
     batched.speedup_vs_cold = Some(cases[0].wall_ms / batched.wall_ms);
     cases.push(batched);
+    // Multi-chip: the same total budget sharded across two chips with
+    // least-loaded placement — the catalog spreads, and the per-chip
+    // breakdown lands in the report.
+    let mut dual = run_case(
+        "open_loop/dual_chip_least_loaded",
+        requests,
+        BatchPolicy::new(16, 8),
+        4_000_000,
+        true,
+        &[2_000_000, 2_000_000],
+    );
+    dual.speedup_vs_cold = Some(cases[0].wall_ms / dual.wall_ms);
+    cases.push(dual);
     if !quick {
         // Ablation: the same batched engine without the pipelined stage
         // (every model's first batch stalls on PCM programming).
@@ -318,6 +354,7 @@ pub fn generate(quick: bool) -> ServeReport {
             BatchPolicy::new(16, 8),
             4_000_000,
             false,
+            &[],
         );
         no_prewarm.speedup_vs_cold = Some(cases[0].wall_ms / no_prewarm.wall_ms);
         cases.push(no_prewarm);
@@ -325,10 +362,23 @@ pub fn generate(quick: bool) -> ServeReport {
             ("open_loop/tight_budget_interleaved", BatchPolicy::SINGLE),
             ("open_loop/tight_budget_batched", BatchPolicy::new(16, 8)),
         ] {
-            let mut case = run_case(name, requests, policy, tight, true);
+            let mut case = run_case(name, requests, policy, tight, true, &[]);
             case.speedup_vs_cold = Some(cases[0].wall_ms / case.wall_ms);
             cases.push(case);
         }
+        // The sharding payoff: at the same per-chip budget that thrashes
+        // a single chip, a second chip keeps more of the catalog
+        // resident — fewer evictions, no worse tail.
+        let mut tight_dual = run_case(
+            "open_loop/tight_budget_dual_chip",
+            requests,
+            BatchPolicy::new(16, 8),
+            tight,
+            true,
+            &[tight, tight],
+        );
+        tight_dual.speedup_vs_cold = Some(cases[0].wall_ms / tight_dual.wall_ms);
+        cases.push(tight_dual);
     }
     let achieved = (!quick).then(|| cases[1].speedup_vs_cold.unwrap_or(0.0) >= TARGET_SPEEDUP);
     ServeReport {
@@ -357,8 +407,9 @@ pub fn render(report: &ServeReport) {
         );
     }
     println!(
-        "{:<38} {:>5} {:>3} {:>8} {:>8} {:>7} {:>7} {:>8} {:>6} {:>5} {:>8}",
+        "{:<38} {:>5} {:>5} {:>3} {:>8} {:>8} {:>7} {:>7} {:>8} {:>6} {:>5} {:>4} {:>8}",
         "case",
+        "chips",
         "batch",
         "pw",
         "wall_ms",
@@ -368,12 +419,14 @@ pub fn render(report: &ServeReport) {
         "p99cold",
         "hit",
         "evict",
+        "migr",
         "speedup"
     );
     for c in &report.cases {
         println!(
-            "{:<38} {:>5} {:>3} {:>8.1} {:>8.1} {:>7.2} {:>7.2} {:>8.2} {:>5.0}% {:>5} {:>8}",
+            "{:<38} {:>5} {:>5} {:>3} {:>8.1} {:>8.1} {:>7.2} {:>7.2} {:>8.2} {:>5.0}% {:>5} {:>4} {:>8}",
             c.name,
+            c.chip_budgets.len(),
             c.max_batch,
             if c.prewarm { "on" } else { "off" },
             c.wall_ms,
@@ -383,9 +436,25 @@ pub fn render(report: &ServeReport) {
             c.p99_cold_start_ms,
             c.hit_rate * 100.0,
             c.evictions,
+            c.migrations,
             c.speedup_vs_cold
                 .map_or_else(|| "—".to_string(), |s| format!("{s:.1}x")),
         );
+        if c.chip_budgets.len() > 1 {
+            for chip in &c.per_chip {
+                println!(
+                    "    chip{}: {}/{} cells, {} models, {:.0}% hit, {} evict, {}/{} migr in/out",
+                    chip.chip,
+                    chip.occupancy_cells,
+                    chip.budget_cells,
+                    chip.models,
+                    chip.hit_rate() * 100.0,
+                    chip.evictions,
+                    chip.migrations_in,
+                    chip.migrations_out,
+                );
+            }
+        }
     }
     match report.warm_round_allocations {
         Some(allocs) => println!("warm round allocations: {allocs} (4-request resident batch)"),
@@ -435,7 +504,11 @@ mod tests {
             assert!(m.footprint_cells > 0);
             assert!(m.analytic_ips > 0.0);
         }
-        assert_eq!(report.cases.len(), 2, "quick mode: cold + batched");
+        assert_eq!(
+            report.cases.len(),
+            3,
+            "quick mode: cold + batched + dual-chip smoke"
+        );
         for c in &report.cases {
             assert!(c.wall_ms > 0.0);
             assert!(c.elapsed_ms >= c.wall_ms * 0.5, "elapsed sanity");
@@ -443,6 +516,9 @@ mod tests {
             assert!(c.p50_ms > 0.0 && c.p99_ms >= c.p50_ms);
             assert!(c.p99_cold_start_ms > 0.0);
             assert!((0.0..=1.0).contains(&c.hit_rate));
+            assert!(!c.chip_budgets.is_empty());
+            assert_eq!(c.per_chip.len(), c.chip_budgets.len());
+            assert_eq!(c.budget_cells, c.chip_budgets.iter().sum::<usize>());
         }
         assert_eq!(report.cases[0].speedup_vs_cold, None);
         assert!(!report.cases[0].prewarm, "cold baseline stays unpipelined");
@@ -456,6 +532,14 @@ mod tests {
             "the pipelined scheduler must dispatch prewarm stages"
         );
         assert_eq!(report.cases[0].hit_rate, 0.0, "budget 0 never hits");
+        let dual = &report.cases[2];
+        assert_eq!(dual.chip_budgets.len(), 2, "the smoke run shards 2 chips");
+        assert!(
+            dual.per_chip.iter().all(|c| c.models > 0),
+            "least-loaded placement spreads the catalog across both chips"
+        );
+        let chip_occ: usize = dual.per_chip.iter().map(|c| c.occupancy_cells).sum();
+        assert!(chip_occ > 0, "serving leaves resident state somewhere");
         assert_eq!(report.achieved, None, "quick mode is not graded");
         assert_eq!(
             report.warm_round_allocations, None,

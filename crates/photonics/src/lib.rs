@@ -56,7 +56,7 @@ pub mod waveguide;
 
 pub use complex::Complex;
 pub use field::{Field, FieldOp};
-pub use transfer::{BatchScratch, CompiledCrossbar};
+pub use transfer::{BatchScratch, CompiledCrossbar, WdmCrossbar};
 
 #[cfg(test)]
 mod proptests;

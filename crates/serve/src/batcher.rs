@@ -102,6 +102,68 @@ pub fn form_batches(queue: &[(ModelId, u64)], policy: BatchPolicy) -> Vec<Batch>
     batches
 }
 
+/// Routes formed batches into dispatch rounds of at most `round_size`,
+/// preferring to spread each round across distinct chips.
+///
+/// Every round is built in two passes over the remaining batches, both in
+/// queue order: a **preference** pass takes batches whose chip
+/// (`chip_of(batch.model)`) is not yet represented in the round — so
+/// concurrent workers land on different chips and cross-chip parallelism
+/// is real parallelism — then a **fill** pass tops the round up with the
+/// earliest remaining batches regardless of chip. Within a round the
+/// original batch order is preserved.
+///
+/// On a single chip the preference pass degenerates to "take the first
+/// remaining batch", so the rounds are exactly
+/// `batches.chunks(round_size)` — the pre-cluster schedule, byte for
+/// byte. Deterministic in all cases: a pure function of the batch list,
+/// the round size, and the placement.
+///
+/// # Panics
+///
+/// Panics if `round_size` is zero.
+#[must_use]
+pub fn route_rounds(
+    batches: &[Batch],
+    round_size: usize,
+    chip_of: impl Fn(ModelId) -> usize,
+) -> Vec<Vec<usize>> {
+    assert!(round_size >= 1, "a round dispatches at least one batch");
+    let mut taken = vec![false; batches.len()];
+    let mut remaining = batches.len();
+    let mut rounds = Vec::new();
+    while remaining > 0 {
+        let mut round: Vec<usize> = Vec::with_capacity(round_size);
+        let mut chips_used: Vec<usize> = Vec::new();
+        // Preference pass: one batch per not-yet-served chip.
+        for (idx, batch) in batches.iter().enumerate() {
+            if round.len() >= round_size {
+                break;
+            }
+            let chip = chip_of(batch.model);
+            if !taken[idx] && !chips_used.contains(&chip) {
+                taken[idx] = true;
+                chips_used.push(chip);
+                round.push(idx);
+            }
+        }
+        // Fill pass: earliest remaining batches, any chip.
+        for (idx, _) in batches.iter().enumerate() {
+            if round.len() >= round_size {
+                break;
+            }
+            if !taken[idx] {
+                taken[idx] = true;
+                round.push(idx);
+            }
+        }
+        round.sort_unstable();
+        remaining -= round.len();
+        rounds.push(round);
+    }
+    rounds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +214,49 @@ mod tests {
     #[test]
     fn empty_queue_forms_no_batches() {
         assert!(form_batches(&[], BatchPolicy::new(4, 4)).is_empty());
+    }
+
+    fn batch(seq: usize, model: usize) -> Batch {
+        Batch {
+            seq,
+            model: ModelId(model),
+            members: vec![seq],
+        }
+    }
+
+    #[test]
+    fn single_chip_routing_equals_chunking() {
+        let batches: Vec<Batch> = (0..7).map(|s| batch(s, s % 3)).collect();
+        for round_size in 1..=4 {
+            let rounds = route_rounds(&batches, round_size, |_| 0);
+            let chunks: Vec<Vec<usize>> = (0..batches.len())
+                .collect::<Vec<_>>()
+                .chunks(round_size)
+                .map(<[usize]>::to_vec)
+                .collect();
+            assert_eq!(rounds, chunks, "round_size {round_size}");
+        }
+    }
+
+    #[test]
+    fn routing_spreads_a_round_across_chips() {
+        // Models 0,1 on chip 0; model 2 on chip 1. Queue: three chip-0
+        // batches then a chip-1 batch. A 2-wide round should pair the
+        // first chip-0 batch with the chip-1 batch.
+        let batches = vec![batch(0, 0), batch(1, 1), batch(2, 0), batch(3, 2)];
+        let chip_of = |m: ModelId| usize::from(m.0 == 2);
+        let rounds = route_rounds(&batches, 2, chip_of);
+        assert_eq!(rounds, vec![vec![0, 3], vec![1, 2]]);
+        // Every batch is dispatched exactly once.
+        let mut all: Vec<usize> = rounds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn routing_fill_pass_tops_up_single_chip_tails() {
+        let batches = vec![batch(0, 0), batch(1, 0), batch(2, 0)];
+        let rounds = route_rounds(&batches, 2, |_| 7);
+        assert_eq!(rounds, vec![vec![0, 1], vec![2]]);
     }
 }

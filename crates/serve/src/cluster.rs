@@ -1,0 +1,741 @@
+//! Multi-chip model placement and routing: a [`Cluster`] of per-chip
+//! registries under one serving engine.
+//!
+//! One photonic crossbar chip holds a finite pool of PCM tiles; a fleet
+//! deployment shards its model catalog across several chips. The cluster
+//! layer owns that sharding:
+//!
+//! - **placement** — at admission, a model is pinned to one chip by a
+//!   deterministic [`PlacementPolicy`] over *committed* footprints (the
+//!   cells each chip's placed models would occupy fully resident), so the
+//!   same admission sequence always produces the same layout;
+//! - **budgets** — each [`ChipRegistry`] enforces its own cell budget
+//!   with the same LRU whole-model eviction the single-chip registry
+//!   used;
+//! - **migration** — before evicting, an over-budget chip offers its LRU
+//!   victim to any sibling chip with room; the model moves via
+//!   [`oxbar_sim::DeviceExecutor::snapshot`] / `restore`, which rebuilds
+//!   its programmed tile state bit-exactly, so migration changes *where*
+//!   a model serves from, never *what* it answers.
+//!
+//! A 1-chip cluster is byte-identical to the pre-cluster
+//! [`crate::registry::ModelRegistry`] — same outputs, same eviction
+//! sequence — which is how the single-chip serving suites stay green
+//! unchanged (`tests/cluster_equivalence.rs` pins it).
+
+use crate::registry::{AdmitError, ModelCacheStats, ModelSpec};
+use crate::request::ModelId;
+use oxbar_nn::{Layer, TensorShape};
+use oxbar_sim::{DeviceExecutor, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to one chip of a [`Cluster`], in chip-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChipId(pub usize);
+
+/// How a [`Cluster`] picks the chip a newly admitted model lives on.
+///
+/// Both policies are pure functions of the committed footprints at
+/// admission time, so placement is deterministic for a given admission
+/// sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The lowest-indexed chip whose committed footprint leaves room for
+    /// the model (ties to admission order, like a bin-packing first fit).
+    #[default]
+    FirstFit,
+    /// The chip with the smallest committed footprint among those with
+    /// room (lowest index on ties) — spreads load for cross-chip
+    /// parallelism.
+    LeastLoaded,
+}
+
+/// Per-chip bookkeeping of a [`Cluster`]: the chip's cell budget, the
+/// footprint committed to it by placement, and its eviction/migration
+/// counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipRegistry {
+    budget: usize,
+    /// Summed full footprints of the models placed on this chip (what
+    /// placement has promised, independent of current residency).
+    committed_cells: usize,
+    evictions: u64,
+    migrations_in: u64,
+    migrations_out: u64,
+}
+
+impl ChipRegistry {
+    fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            committed_cells: 0,
+            evictions: 0,
+            migrations_in: 0,
+            migrations_out: 0,
+        }
+    }
+
+    /// The chip's weight-stationary cell budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Summed full footprints of the models placed here.
+    #[must_use]
+    pub fn committed_cells(&self) -> usize {
+        self.committed_cells
+    }
+
+    /// Whole-model evictions this chip's budget has forced.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Models migrated onto this chip.
+    #[must_use]
+    pub fn migrations_in(&self) -> u64 {
+        self.migrations_in
+    }
+
+    /// Models migrated off this chip.
+    #[must_use]
+    pub fn migrations_out(&self) -> u64 {
+        self.migrations_out
+    }
+}
+
+/// Serializable per-chip serving statistics, for engine reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Chip index.
+    pub chip: usize,
+    /// The chip's cell budget.
+    pub budget_cells: usize,
+    /// Summed cache occupancy of the chip's models, in cells.
+    pub occupancy_cells: usize,
+    /// Models currently placed on the chip.
+    pub models: usize,
+    /// Whole-model evictions the chip's budget has forced.
+    pub evictions: u64,
+    /// Models migrated onto the chip.
+    pub migrations_in: u64,
+    /// Models migrated off the chip.
+    pub migrations_out: u64,
+    /// Tile-cache hits summed over the chip's models.
+    pub hits: u64,
+    /// Tile-cache misses summed over the chip's models.
+    pub misses: u64,
+}
+
+impl ChipStats {
+    /// `hits / (hits + misses)`, or 0 for an idle chip.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct ModelEntry {
+    spec: ModelSpec,
+    executor: DeviceExecutor,
+    /// Monotone use stamp for LRU eviction (0 = never used).
+    last_use: u64,
+    /// Full weight-stationary footprint in crossbar cells.
+    footprint_cells: usize,
+    /// The chip this model is placed on (may change via migration).
+    chip: usize,
+}
+
+/// Admitted models sharded across a fleet of chips, each chip a
+/// [`ChipRegistry`] with its own weight-stationary cell budget.
+///
+/// Admission pins each model to one chip (see [`PlacementPolicy`]) and
+/// seeds its executor from `(base seed, admission index)` — the *global*
+/// admission index, not a per-chip one, so a model's device noise is
+/// independent of the cluster layout and a 1-chip cluster reproduces the
+/// single-registry engine byte for byte.
+pub struct Cluster {
+    base: SimConfig,
+    placement: PlacementPolicy,
+    chips: Vec<ChipRegistry>,
+    entries: Vec<ModelEntry>,
+    clock: u64,
+    evictions: u64,
+    migrations: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster with one [`ChipRegistry`] per entry of
+    /// `chip_budgets`. Each admitted model's device config is `base` with
+    /// a model-specific seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_budgets` is empty.
+    #[must_use]
+    pub fn new(base: SimConfig, chip_budgets: &[usize], placement: PlacementPolicy) -> Self {
+        assert!(!chip_budgets.is_empty(), "a cluster has at least one chip");
+        Self {
+            base,
+            placement,
+            chips: chip_budgets.iter().map(|&b| ChipRegistry::new(b)).collect(),
+            entries: Vec::new(),
+            clock: 0,
+            evictions: 0,
+            migrations: 0,
+        }
+    }
+
+    /// A single-chip cluster — the configuration that reproduces the
+    /// pre-cluster [`crate::registry::ModelRegistry`] exactly.
+    #[must_use]
+    pub fn single(base: SimConfig, budget: usize) -> Self {
+        Self::new(base, &[budget], PlacementPolicy::FirstFit)
+    }
+
+    /// Validates a spec (residual layers, filter coverage) without
+    /// placing it.
+    fn validate(spec: &ModelSpec) -> Result<(), AdmitError> {
+        if let Some(add) = spec.network.layers().iter().find_map(|l| match l {
+            Layer::Add(a) => Some(a.name.clone()),
+            _ => None,
+        }) {
+            return Err(AdmitError::Residual(add));
+        }
+        let expected = spec.network.conv_like_layers().count();
+        if spec.filters.len() != expected {
+            return Err(AdmitError::FilterCount {
+                expected,
+                got: spec.filters.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The chip the placement policy picks for a `footprint`-cell model,
+    /// or `None` when no chip's committed footprint leaves room.
+    fn place(&self, footprint: usize) -> Option<usize> {
+        let fits = |c: &&(usize, &ChipRegistry)| c.1.committed_cells + footprint <= c.1.budget;
+        let indexed: Vec<(usize, &ChipRegistry)> = self.chips.iter().enumerate().collect();
+        match self.placement {
+            PlacementPolicy::FirstFit => indexed.iter().find(fits).map(|(i, _)| *i),
+            PlacementPolicy::LeastLoaded => indexed
+                .iter()
+                .filter(fits)
+                .min_by_key(|(i, c)| (c.committed_cells, *i))
+                .map(|(i, _)| *i),
+        }
+    }
+
+    /// Admits a model, assigning it the next [`ModelId`], a chip, and a
+    /// dedicated executor seeded from `(base seed, admission index)`.
+    ///
+    /// Placement is permissive: when no chip's committed footprint leaves
+    /// room, the model still lands on the least-committed chip (lowest
+    /// index on ties) and the chip's LRU eviction absorbs the pressure —
+    /// matching the single-registry behavior where over-budget admission
+    /// thrashes rather than fails. Use [`Self::admit_strict`] to refuse
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError`] if the network is residual or the filter
+    /// banks do not cover its conv-like layers.
+    pub fn admit(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
+        Self::validate(&spec)?;
+        let footprint = self.footprint_of(&spec);
+        let chip = self.place(footprint).unwrap_or_else(|| {
+            self.chips
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (c.committed_cells, *i))
+                .map(|(i, _)| i)
+                .expect("a cluster has at least one chip")
+        });
+        Ok(self.admit_on(spec, footprint, chip))
+    }
+
+    /// [`Self::admit`] that refuses models no chip has committed room
+    /// for, with an [`AdmitError::Capacity`] naming the offending
+    /// footprint and the candidate chip budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError`] for residual networks, uncovered filter
+    /// banks, or a footprint no chip can commit to.
+    pub fn admit_strict(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
+        Self::validate(&spec)?;
+        let footprint = self.footprint_of(&spec);
+        match self.place(footprint) {
+            Some(chip) => Ok(self.admit_on(spec, footprint, chip)),
+            None => Err(AdmitError::Capacity {
+                footprint_cells: footprint,
+                chip_budgets: self.chips.iter().map(ChipRegistry::budget).collect(),
+                committed_cells: self
+                    .chips
+                    .iter()
+                    .map(ChipRegistry::committed_cells)
+                    .collect(),
+            }),
+        }
+    }
+
+    /// A model's full footprint on the base array geometry (placement is
+    /// geometry-driven; every chip shares the base array size).
+    fn footprint_of(&self, spec: &ModelSpec) -> usize {
+        DeviceExecutor::new(self.base.clone()).model_footprint_cells(&spec.network)
+    }
+
+    fn admit_on(&mut self, spec: ModelSpec, footprint_cells: usize, chip: usize) -> ModelId {
+        let index = self.entries.len();
+        let config = self
+            .base
+            .clone()
+            .with_seed(crate::request::request_seed(self.base.seed, index as u64));
+        let executor = DeviceExecutor::new(config).with_cache_budget(self.chips[chip].budget);
+        self.chips[chip].committed_cells += footprint_cells;
+        self.entries.push(ModelEntry {
+            spec,
+            executor,
+            last_use: 0,
+            footprint_cells,
+            chip,
+        });
+        ModelId(index)
+    }
+
+    /// Number of admitted models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no model has been admitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The chip registry behind `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    #[must_use]
+    pub fn chip(&self, chip: ChipId) -> &ChipRegistry {
+        &self.chips[chip.0]
+    }
+
+    /// The chip `id` is currently placed on.
+    #[must_use]
+    pub fn chip_of(&self, id: ModelId) -> ChipId {
+        ChipId(self.entries[id.0].chip)
+    }
+
+    /// The admitted spec behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this cluster.
+    #[must_use]
+    pub fn spec(&self, id: ModelId) -> &ModelSpec {
+        &self.entries[id.0].spec
+    }
+
+    /// The model's input tensor shape (what its requests must carry).
+    #[must_use]
+    pub fn input_shape(&self, id: ModelId) -> TensorShape {
+        self.spec(id).network.input()
+    }
+
+    /// The model's weight-stationary executor.
+    #[must_use]
+    pub fn executor(&self, id: ModelId) -> &DeviceExecutor {
+        &self.entries[id.0].executor
+    }
+
+    /// Marks `id` as the most recently used model (LRU bookkeeping).
+    pub fn touch(&mut self, id: ModelId) {
+        self.clock += 1;
+        self.entries[id.0].last_use = self.clock;
+    }
+
+    /// The model's full weight-stationary footprint in crossbar cells.
+    #[must_use]
+    pub fn footprint_cells(&self, id: ModelId) -> usize {
+        self.entries[id.0].footprint_cells
+    }
+
+    /// The crossbar cells of `id` currently resident in its tile cache.
+    #[must_use]
+    pub fn resident_cells(&self, id: ModelId) -> usize {
+        self.entries[id.0].executor.cache_stats().cells
+    }
+
+    /// Eagerly programs + compiles the model's missing tiles
+    /// ([`DeviceExecutor::prewarm`]), returning how many were compiled.
+    /// Never evicts: callers budget-check against the model's *chip*
+    /// first, so prewarming cannot change any chip's eviction sequence.
+    pub fn prewarm(&self, id: ModelId) -> usize {
+        let entry = &self.entries[id.0];
+        let compiled = entry
+            .executor
+            .prewarm(&entry.spec.network, &entry.spec.filters);
+        if compiled > 0 {
+            // One discarded zero-input forward warms the executor's
+            // arena pool and pages the freshly compiled gain matrices
+            // in, so the model's first real batch runs at steady-state
+            // speed. Executions are pure functions of their inputs —
+            // a discarded one cannot change any later result.
+            let shape = entry.spec.network.input();
+            let zeros = oxbar_nn::reference::Tensor3::new(shape, vec![0; shape.elements()]);
+            let _ = entry
+                .executor
+                .forward(&entry.spec.network, &zeros, &entry.spec.filters);
+        }
+        compiled
+    }
+
+    /// Enforces every chip's cell budget, returning how many models were
+    /// evicted. The pass repeatedly takes the lowest-indexed over-budget
+    /// chip, selects its least-recently-used resident model (ties to the
+    /// lowest admission index), and first offers it to a sibling chip
+    /// with occupancy room — **migration**, via a bit-exact executor
+    /// snapshot — falling back to eviction (tile cache cleared) when no
+    /// sibling can take it. A model migrates at most once per pass: a hot
+    /// potato that lands on another over-budget chip is evicted there
+    /// rather than bounced again, so the pass terminates with *every*
+    /// chip within budget. On a 1-chip cluster there is never a migration
+    /// target, so the eviction sequence is exactly the single-registry
+    /// one.
+    pub fn enforce_budget(&mut self) -> usize {
+        let mut evicted = 0;
+        let mut moved = vec![false; self.entries.len()];
+        while let Some(chip) =
+            (0..self.chips.len()).find(|&c| self.chip_occupancy(ChipId(c)) > self.chips[c].budget)
+        {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.chip == chip && e.executor.cache_stats().cells > 0)
+                .min_by_key(|(idx, e)| (e.last_use, *idx))
+                .map(|(idx, _)| idx)
+                .expect("occupancy > 0 implies a resident model");
+            match self.migration_target(victim, chip) {
+                Some(dest) if !moved[victim] => {
+                    self.migrate(victim, dest);
+                    moved[victim] = true;
+                }
+                _ => {
+                    self.entries[victim].executor.clear_cache();
+                    self.chips[chip].evictions += 1;
+                    evicted += 1;
+                }
+            }
+        }
+        self.evictions += evicted as u64;
+        evicted
+    }
+
+    /// The chip a victim model could migrate to: a sibling whose current
+    /// occupancy leaves room for the victim's resident cells. Commitment
+    /// headroom is deliberately *not* required — a chip only over-occupies
+    /// after a permissive overflow admission, in which case no sibling has
+    /// committed room either, and demanding it would turn every hot-spot
+    /// into an eviction. Occupancy room suffices: moving the resident
+    /// state cannot push the destination over budget *now*, and if the
+    /// destination's own models later return, its enforcement pass
+    /// resolves the pressure the same way. Deterministic: the
+    /// least-occupied eligible sibling, lowest index on ties.
+    fn migration_target(&self, victim: usize, from: usize) -> Option<usize> {
+        let resident = self.entries[victim].executor.cache_stats().cells;
+        (0..self.chips.len())
+            .filter(|&c| c != from)
+            .map(|c| (self.chip_occupancy(ChipId(c)), c))
+            .filter(|&(occ, c)| occ + resident <= self.chips[c].budget)
+            .min()
+            .map(|(_, c)| c)
+    }
+
+    /// Moves a model to another chip by snapshot/restore of its
+    /// programmed tile state — bit-exact, so outputs never change.
+    fn migrate(&mut self, victim: usize, dest: usize) {
+        let from = self.entries[victim].chip;
+        let mut snap = self.entries[victim].executor.snapshot();
+        snap.cache_budget = self.chips[dest].budget;
+        self.entries[victim].executor = DeviceExecutor::restore(&snap);
+        self.entries[victim].chip = dest;
+        let footprint = self.entries[victim].footprint_cells;
+        self.chips[from].committed_cells -= footprint;
+        self.chips[dest].committed_cells += footprint;
+        self.chips[from].migrations_out += 1;
+        self.chips[dest].migrations_in += 1;
+        self.migrations += 1;
+    }
+
+    /// Total model evictions since the cluster was created.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total cross-chip model migrations since the cluster was created.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The summed weight-stationary cell budget across chips.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.chips.iter().map(|c| c.budget).sum()
+    }
+
+    /// Summed cache occupancy across all models, in cells.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.executor.cache_stats().cells)
+            .sum()
+    }
+
+    /// Summed cache occupancy of one chip's models, in cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    #[must_use]
+    pub fn chip_occupancy(&self, chip: ChipId) -> usize {
+        assert!(chip.0 < self.chips.len(), "chip {chip:?} out of range");
+        self.entries
+            .iter()
+            .filter(|e| e.chip == chip.0)
+            .map(|e| e.executor.cache_stats().cells)
+            .sum()
+    }
+
+    /// Per-model cache statistics, in admission order.
+    #[must_use]
+    pub fn cache_stats(&self) -> Vec<ModelCacheStats> {
+        self.entries
+            .iter()
+            .map(|e| ModelCacheStats {
+                name: e.spec.name.clone(),
+                chip: e.chip,
+                cache: e.executor.cache_stats(),
+            })
+            .collect()
+    }
+
+    /// Per-chip serving statistics, in chip-index order.
+    #[must_use]
+    pub fn chip_stats(&self) -> Vec<ChipStats> {
+        self.chips
+            .iter()
+            .enumerate()
+            .map(|(c, chip)| {
+                let (mut hits, mut misses, mut models, mut occupancy) = (0, 0, 0, 0);
+                for e in self.entries.iter().filter(|e| e.chip == c) {
+                    let stats = e.executor.cache_stats();
+                    hits += stats.hits;
+                    misses += stats.misses;
+                    occupancy += stats.cells;
+                    models += 1;
+                }
+                ChipStats {
+                    chip: c,
+                    budget_cells: chip.budget,
+                    occupancy_cells: occupancy,
+                    models,
+                    evictions: chip.evictions,
+                    migrations_in: chip.migrations_in,
+                    migrations_out: chip.migrations_out,
+                    hits,
+                    misses,
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("chips", &self.chips.len())
+            .field("models", &self.entries.len())
+            .field("budget", &self.budget())
+            .field("occupancy", &self.occupancy())
+            .field("evictions", &self.evictions)
+            .field("migrations", &self.migrations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::synthetic;
+    use oxbar_nn::zoo::lenet5;
+
+    fn lenet_spec(seed: u64) -> ModelSpec {
+        let network = lenet5();
+        let filters = synthetic::filter_banks(&network, 6, seed);
+        ModelSpec {
+            name: format!("lenet5_{seed}"),
+            network,
+            filters,
+        }
+    }
+
+    fn make_resident(cluster: &mut Cluster, id: ModelId) {
+        let spec = cluster.spec(id);
+        let input = synthetic::activations(spec.network.input(), 6, 9);
+        let (network, filters) = (spec.network.clone(), spec.filters.clone());
+        cluster
+            .executor(id)
+            .forward(&network, &input, &filters)
+            .unwrap();
+        cluster.touch(id);
+    }
+
+    #[test]
+    fn first_fit_packs_then_spills() {
+        // One LeNet-5 on 128×128 is ~61k cells: chip 0 (100k) takes one,
+        // the second spills to chip 1.
+        let mut cluster = Cluster::new(
+            SimConfig::ideal(128, 128),
+            &[100_000, 100_000],
+            PlacementPolicy::FirstFit,
+        );
+        let a = cluster.admit(lenet_spec(1)).unwrap();
+        let b = cluster.admit(lenet_spec(2)).unwrap();
+        assert_eq!(cluster.chip_of(a), ChipId(0));
+        assert_eq!(cluster.chip_of(b), ChipId(1));
+    }
+
+    #[test]
+    fn least_loaded_spreads_models() {
+        let mut cluster = Cluster::new(
+            SimConfig::ideal(128, 128),
+            &[1_000_000, 1_000_000],
+            PlacementPolicy::LeastLoaded,
+        );
+        let a = cluster.admit(lenet_spec(1)).unwrap();
+        let b = cluster.admit(lenet_spec(2)).unwrap();
+        assert_eq!(cluster.chip_of(a), ChipId(0));
+        assert_eq!(cluster.chip_of(b), ChipId(1), "second model balances");
+    }
+
+    #[test]
+    fn strict_admission_reports_capacity() {
+        let mut cluster = Cluster::new(
+            SimConfig::ideal(128, 128),
+            &[10_000, 20_000],
+            PlacementPolicy::FirstFit,
+        );
+        let err = cluster.admit_strict(lenet_spec(1)).unwrap_err();
+        match &err {
+            AdmitError::Capacity {
+                footprint_cells,
+                chip_budgets,
+                committed_cells,
+            } => {
+                assert!(*footprint_cells > 20_000);
+                assert_eq!(chip_budgets, &[10_000, 20_000]);
+                assert_eq!(committed_cells, &[0, 0]);
+            }
+            other => panic!("expected Capacity, got {other:?}"),
+        }
+        let shown = err.to_string();
+        assert!(
+            shown.contains("cells"),
+            "Display names the footprint: {shown}"
+        );
+        // Permissive admission still lands it somewhere.
+        assert!(cluster.admit(lenet_spec(1)).is_ok());
+        assert_eq!(cluster.len(), 1);
+    }
+
+    #[test]
+    fn over_budget_chip_migrates_to_a_sibling_bit_exactly() {
+        // Chip 0 can hold one resident LeNet, chip 1 is empty and roomy.
+        // Forcing both models onto chip 0 and enforcing must MIGRATE the
+        // LRU model to chip 1 (not evict it), preserving its outputs.
+        let mut cluster = Cluster::new(
+            SimConfig::noisy(128, 128).with_threads(1),
+            &[100_000, 200_000],
+            PlacementPolicy::FirstFit,
+        );
+        let a = cluster.admit(lenet_spec(1)).unwrap();
+        let b = cluster.admit(lenet_spec(2)).unwrap();
+        // FirstFit put b on chip 1; drag it back to chip 0 to create the
+        // hot spot deliberately.
+        cluster.migrate(b.0, 0);
+        assert_eq!(cluster.chip_of(b), ChipId(0));
+        let spec_a = cluster.spec(a);
+        let input = synthetic::activations(spec_a.network.input(), 6, 4);
+        let (net_a, filt_a) = (spec_a.network.clone(), spec_a.filters.clone());
+        let before = cluster
+            .executor(a)
+            .forward(&net_a, &input, &filt_a)
+            .unwrap();
+        make_resident(&mut cluster, a);
+        make_resident(&mut cluster, b);
+        // `make_resident` re-ran `a`'s forward; `a` is LRU after `b`.
+        cluster.touch(b);
+        let evicted = cluster.enforce_budget();
+        assert_eq!(evicted, 0, "a sibling had room: migration, not eviction");
+        assert_eq!(cluster.migrations(), 2, "setup drag + enforcement");
+        assert_eq!(cluster.chip_of(a), ChipId(1), "LRU model moved");
+        assert!(cluster.chip_occupancy(ChipId(0)) <= 100_000);
+        assert!(
+            cluster.resident_cells(a) > 0,
+            "migration keeps state resident"
+        );
+        let after = cluster
+            .executor(a)
+            .forward(&net_a, &input, &filt_a)
+            .unwrap();
+        assert_eq!(after, before, "migration must not change outputs");
+        let stats = cluster.chip_stats();
+        assert_eq!(stats[0].migrations_in, 1, "the setup drag onto chip 0");
+        assert_eq!(stats[1].migrations_in, 1, "the enforcement move of `a`");
+        assert_eq!(stats[0].evictions, 0);
+    }
+
+    #[test]
+    fn single_chip_cluster_evicts_like_the_registry() {
+        let mut cluster = Cluster::single(SimConfig::ideal(128, 128), 100_000);
+        let a = cluster.admit(lenet_spec(1)).unwrap();
+        let b = cluster.admit(lenet_spec(2)).unwrap();
+        make_resident(&mut cluster, a);
+        make_resident(&mut cluster, b);
+        assert!(cluster.occupancy() > cluster.budget());
+        let evicted = cluster.enforce_budget();
+        assert_eq!(
+            evicted, 1,
+            "no sibling: eviction, exactly like the registry"
+        );
+        assert_eq!(cluster.migrations(), 0);
+        let stats = cluster.cache_stats();
+        assert_eq!(stats[a.0].cache.cells, 0, "model A was least recently used");
+        assert!(stats[b.0].cache.cells > 0, "model B survives");
+        assert_eq!(stats[a.0].chip, 0);
+    }
+}

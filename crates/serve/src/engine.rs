@@ -1,8 +1,9 @@
 //! The serving engine: a submission queue, the dynamic batcher, and a
-//! deterministic parallel scheduler over a shared executor pool.
+//! deterministic parallel scheduler over a cluster of chips.
 
-use crate::batcher::{form_batches, Batch, BatchPolicy};
-use crate::registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};
+use crate::batcher::{form_batches, route_rounds, Batch, BatchPolicy};
+use crate::cluster::{ChipId, ChipStats, Cluster, PlacementPolicy};
+use crate::registry::{AdmitError, ModelCacheStats, ModelSpec};
 use crate::request::{Completion, InferRequest, ModelId, RequestId};
 use oxbar_core::dse::parallel_map;
 use oxbar_sim::SimConfig;
@@ -29,6 +30,15 @@ pub struct ServeConfig {
     /// with it on or off — the stage is skipped whenever prewarming could
     /// not fit the global cell budget.
     pub prewarm: bool,
+    /// Per-chip weight-stationary budgets, in cells. Empty (the default)
+    /// means a single chip of `cache_budget_cells` — the pre-cluster
+    /// configuration, byte-identical to it. With two or more entries the
+    /// engine serves a multi-chip [`Cluster`]: models place onto chips at
+    /// admission, rounds route across chips, and over-budget chips
+    /// migrate models to siblings before evicting.
+    pub chip_budgets: Vec<usize>,
+    /// How admitted models place onto chips (ignored on a single chip).
+    pub placement: PlacementPolicy,
 }
 
 impl ServeConfig {
@@ -43,6 +53,8 @@ impl ServeConfig {
             cache_budget_cells: 4_000_000,
             workers: 1,
             prewarm: true,
+            chip_budgets: Vec::new(),
+            placement: PlacementPolicy::FirstFit,
         }
     }
 
@@ -73,6 +85,32 @@ impl ServeConfig {
         self.prewarm = prewarm;
         self
     }
+
+    /// Serves a multi-chip cluster with the given per-chip cell budgets
+    /// (an empty list falls back to one chip of the global budget).
+    #[must_use]
+    pub fn with_chips(mut self, chip_budgets: Vec<usize>) -> Self {
+        self.chip_budgets = chip_budgets;
+        self
+    }
+
+    /// Overrides the model→chip placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The effective per-chip budgets: `chip_budgets`, or one chip of
+    /// `cache_budget_cells` when empty.
+    #[must_use]
+    pub fn effective_chip_budgets(&self) -> Vec<usize> {
+        if self.chip_budgets.is_empty() {
+            vec![self.cache_budget_cells]
+        } else {
+            self.chip_budgets.clone()
+        }
+    }
 }
 
 /// Aggregate serving statistics since engine creation.
@@ -95,6 +133,12 @@ pub struct EngineStats {
     pub budget_cells: usize,
     /// Per-model tile-cache statistics, in admission order.
     pub models: Vec<ModelCacheStats>,
+    /// Cross-chip model migrations (snapshot-based moves an over-budget
+    /// chip made instead of evicting; always 0 on a single chip).
+    pub migrations: u64,
+    /// Per-chip statistics, in chip-index order (one entry on a
+    /// single-chip engine).
+    pub chips: Vec<ChipStats>,
 }
 
 impl EngineStats {
@@ -167,7 +211,7 @@ struct Queued {
 /// ```
 pub struct ServeEngine {
     config: ServeConfig,
-    registry: ModelRegistry,
+    registry: Cluster,
     queue: Vec<Queued>,
     next_id: u64,
     requests: u64,
@@ -180,7 +224,11 @@ impl ServeEngine {
     /// Creates an empty engine.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
-        let registry = ModelRegistry::new(config.device.clone(), config.cache_budget_cells);
+        let registry = Cluster::new(
+            config.device.clone(),
+            &config.effective_chip_budgets(),
+            config.placement,
+        );
         Self {
             config,
             registry,
@@ -219,9 +267,11 @@ impl ServeEngine {
         self.registry.input_shape(id)
     }
 
-    /// The model registry (for reports and catalog introspection).
+    /// The model cluster (for reports and catalog introspection). On a
+    /// default configuration this is a single-chip cluster, behaviorally
+    /// identical to the pre-cluster registry.
     #[must_use]
-    pub fn registry(&self) -> &ModelRegistry {
+    pub fn registry(&self) -> &Cluster {
         &self.registry
     }
 
@@ -314,58 +364,77 @@ impl ServeEngine {
         let batches = form_batches(&keys, self.config.policy);
         let workers = effective_workers(self.config.workers);
         let mut completions = Vec::with_capacity(queue.len());
-        let mut timings = Vec::with_capacity(batches.len());
+        let mut timings = vec![0.0; batches.len()];
         let round_size = workers.max(1);
-        // Pipeline fill: program the first model's tiles before the first
+        // Batches route into rounds chip-aware: each round prefers
+        // batches on distinct chips, so concurrent workers drive
+        // different arrays. On one chip this is exactly
+        // `batches.chunks(round_size)`.
+        let rounds = route_rounds(&batches, round_size, |m| self.registry.chip_of(m).0);
+        let mut pending = vec![true; batches.len()];
+        // Pipeline fill: program the first models' tiles before the first
         // round dispatches, so not even batch 0 stalls on programming.
         if self.config.prewarm {
-            if let Some(target) = self.prewarm_target(&batches, 0, &[]) {
+            for target in self.prewarm_targets(&batches, &pending, &[]) {
                 self.run_prewarm_stage(target);
             }
         }
-        for (round_idx, round) in batches.chunks(round_size).enumerate() {
-            let target = if self.config.prewarm {
-                self.prewarm_target(&batches, (round_idx + 1) * round_size, round)
+        for round_indices in &rounds {
+            let round: Vec<&Batch> = round_indices.iter().map(|&i| &batches[i]).collect();
+            for &i in round_indices {
+                pending[i] = false;
+            }
+            let targets = if self.config.prewarm {
+                self.prewarm_targets(&batches, &pending, &round)
             } else {
-                None
+                Vec::new()
             };
-            // The prewarm stage programs the next model's tiles while
-            // this round executes (concurrently when the dispatch pool
-            // has more than one worker; on a serial configuration the
-            // scheduler interleaves the stage between rounds instead of
-            // oversubscribing the core). Either way the stage completes
-            // before the round's budget-enforcement point, so the cache
-            // state every eviction decision sees is deterministic, and
-            // the budget guard in `prewarm_target` guarantees the stage
-            // can never force an eviction that lazy compilation would
-            // not have.
+            // The prewarm stages program upcoming models' tiles (at most
+            // one stage per chip) while this round executes — concurrent
+            // threads when the dispatch pool has more than one worker; on
+            // a serial configuration the scheduler interleaves the stages
+            // between rounds instead of oversubscribing the core. Either
+            // way every stage completes before the round's
+            // budget-enforcement point, so the cache state every eviction
+            // decision sees is deterministic, and the per-chip budget
+            // guard in `prewarm_targets` guarantees a stage can never
+            // force an eviction that lazy compilation would not have.
             let concurrent = workers > 1;
             let registry = &self.registry;
-            let (executed, stage_result) = std::thread::scope(|scope| {
-                let stage = (concurrent && target.is_some()).then(|| {
-                    let model = target.expect("target checked");
-                    scope.spawn(move || registry.prewarm(model))
-                });
-                let executed = parallel_map(round, workers, |_, batch| {
+            let (executed, stage_results) = std::thread::scope(|scope| {
+                let stages: Vec<_> = if concurrent {
+                    targets
+                        .iter()
+                        .map(|&model| scope.spawn(move || registry.prewarm(model)))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let executed = parallel_map(&round, workers, |_, batch| {
                     let start = std::time::Instant::now();
                     let done = self.execute_batch(batch, &queue);
                     (done, start.elapsed().as_secs_f64() * 1e3)
                 });
-                let stage_result = stage.map(|h| h.join().expect("prewarm stage panicked"));
-                (executed, stage_result)
+                let stage_results: Vec<usize> = stages
+                    .into_iter()
+                    .map(|h| h.join().expect("prewarm stage panicked"))
+                    .collect();
+                (executed, stage_results)
             });
-            match (target, stage_result) {
-                (Some(_), Some(prewarmed)) => {
+            if concurrent {
+                for prewarmed in stage_results {
                     self.prewarms += 1;
                     self.prewarmed_tiles += prewarmed as u64;
                 }
-                (Some(target), None) => self.run_prewarm_stage(target),
-                _ => {}
+            } else {
+                for target in targets {
+                    self.run_prewarm_stage(target);
+                }
             }
             for (batch, (mut done, ms)) in round.iter().zip(executed) {
                 self.registry.touch(batch.model);
                 completions.append(&mut done);
-                timings.push(ms);
+                timings[batch.seq] = ms;
             }
             self.registry.enforce_budget();
         }
@@ -381,36 +450,53 @@ impl ServeEngine {
         self.prewarmed_tiles += prewarmed as u64;
     }
 
-    /// Picks the prewarm-stage target for the round starting at
-    /// `next_start`: the next distinct model in the queue that is not
-    /// executing in the current round, is not fully resident, and whose
-    /// missing tiles are guaranteed to fit the global cell budget even
-    /// after every model of the current round finishes compiling its own
-    /// tiles. The guard is conservative on purpose — a skipped prewarm
-    /// only costs speed, while an over-eager one could evict and change
-    /// the engine's eviction sequence.
-    fn prewarm_target(
+    /// Picks the prewarm-stage targets to run alongside the current
+    /// round: at most one model per chip, chosen as the first pending
+    /// (not-yet-dispatched) model in queue order that is not executing in
+    /// the round, is not fully resident, and whose missing tiles are
+    /// guaranteed to fit its *chip's* cell budget even after every round
+    /// model on that chip finishes compiling its own tiles. The first
+    /// eligible candidate per chip decides — if it does not fit, the chip
+    /// gets no stage this round. The guard is conservative on purpose: a
+    /// skipped prewarm only costs speed, while an over-eager one could
+    /// evict (or migrate) and change the engine's eviction sequence. On a
+    /// single chip this reproduces the pre-cluster single-target stage
+    /// exactly.
+    fn prewarm_targets(
         &self,
         batches: &[Batch],
-        next_start: usize,
-        round: &[Batch],
-    ) -> Option<ModelId> {
+        pending: &[bool],
+        round: &[&Batch],
+    ) -> Vec<ModelId> {
+        let chips = self.registry.chip_count();
         let in_round = |m: ModelId| round.iter().any(|b| b.model == m);
-        // Worst-case occupancy once this round's own lazy compiles land.
-        let mut projected = self.registry.occupancy();
+        // Worst-case per-chip occupancy once this round's own lazy
+        // compiles land.
+        let mut projected: Vec<usize> = (0..chips)
+            .map(|c| self.registry.chip_occupancy(ChipId(c)))
+            .collect();
         let mut counted: Vec<ModelId> = Vec::new();
         for batch in round {
             if !counted.contains(&batch.model) {
                 counted.push(batch.model);
-                projected += self
+                projected[self.registry.chip_of(batch.model).0] += self
                     .registry
                     .footprint_cells(batch.model)
                     .saturating_sub(self.registry.resident_cells(batch.model));
             }
         }
-        for batch in batches.get(next_start..).unwrap_or(&[]) {
+        let mut decided = vec![false; chips];
+        let mut targets = Vec::new();
+        for (idx, batch) in batches.iter().enumerate() {
+            if decided.iter().all(|&d| d) {
+                break;
+            }
             let model = batch.model;
-            if in_round(model) {
+            if !pending[idx] || in_round(model) {
+                continue;
+            }
+            let chip = self.registry.chip_of(model).0;
+            if decided[chip] {
                 continue;
             }
             let missing = self
@@ -420,9 +506,12 @@ impl ServeEngine {
             if missing == 0 {
                 continue;
             }
-            return (projected + missing <= self.registry.budget()).then_some(model);
+            decided[chip] = true;
+            if projected[chip] + missing <= self.registry.chip(ChipId(chip)).budget() {
+                targets.push(model);
+            }
         }
-        None
+        targets
     }
 
     fn execute_batch(&self, batch: &Batch, queue: &[Queued]) -> Vec<Completion> {
@@ -461,6 +550,8 @@ impl ServeEngine {
             occupancy_cells: self.registry.occupancy(),
             budget_cells: self.registry.budget(),
             models: self.registry.cache_stats(),
+            migrations: self.registry.migrations(),
+            chips: self.registry.chip_stats(),
         }
     }
 }

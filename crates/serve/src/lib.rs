@@ -15,10 +15,12 @@
 //!    │                    │ drain()
 //! batcher        form_batches(): same-model coalescing, size + window caps
 //!    │                    │
-//! scheduler      parallel_map over batch rounds (order-preserving)
+//! scheduler      route_rounds(): chip-aware rounds, order-preserving
+//!    │           parallel_map dispatch + pipelined per-chip prewarm
 //!    │                    │
-//! registry       per-model DeviceExecutor pool, weight-stationary tile
-//!    │           caches under ONE global cell budget (LRU model eviction)
+//! cluster        model→chip placement, per-chip cell budgets (LRU model
+//!    │           eviction; snapshot migration before evicting); a 1-chip
+//!    │           cluster IS the classic single-registry engine
 //!    │                    │
 //! oxbar-sim      device-level forward per request (PCM → photonics → ADC)
 //!    └──────────▶ Completion { output, batch_seq, batch_size }
@@ -74,12 +76,14 @@
 
 pub mod batcher;
 pub mod catalog;
+pub mod cluster;
 pub mod engine;
 pub mod loadgen;
 pub mod registry;
 pub mod request;
 
-pub use batcher::{form_batches, Batch, BatchPolicy};
+pub use batcher::{form_batches, route_rounds, Batch, BatchPolicy};
+pub use cluster::{ChipId, ChipRegistry, ChipStats, Cluster, PlacementPolicy};
 pub use engine::{EngineStats, ServeConfig, ServeEngine};
 pub use loadgen::{ClosedLoop, LatencySummary, MixEntry, OpenLoop};
 pub use registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};

@@ -1,9 +1,16 @@
-//! The model registry: admitted networks, their weight-stationary
-//! executors, and the global tile-cell budget they share.
+//! The single-chip model registry: admitted networks, their
+//! weight-stationary executors, and the tile-cell budget they share.
+//!
+//! Since the cluster refactor this is a thin facade over a 1-chip
+//! [`Cluster`] — same admission seeds, same LRU
+//! eviction, byte-identical behavior — kept for callers that think in
+//! terms of one chip and one budget. Multi-chip serving goes through the
+//! cluster directly.
 
+use crate::cluster::Cluster;
 use crate::request::ModelId;
 use oxbar_nn::reference::FilterBank;
-use oxbar_nn::{Layer, Network, TensorShape};
+use oxbar_nn::{Network, TensorShape};
 use oxbar_sim::{CacheStats, DeviceExecutor, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -34,6 +41,16 @@ pub enum AdmitError {
         /// Filter banks provided.
         got: usize,
     },
+    /// Strict placement found no chip with committed room for the model
+    /// (see [`Cluster::admit_strict`](crate::cluster::Cluster::admit_strict)).
+    Capacity {
+        /// The model's full weight-stationary footprint, in cells.
+        footprint_cells: usize,
+        /// Every candidate chip's cell budget, in chip-index order.
+        chip_budgets: Vec<usize>,
+        /// Every chip's already-committed cells, in chip-index order.
+        committed_cells: Vec<usize>,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -44,6 +61,22 @@ impl fmt::Display for AdmitError {
             }
             Self::FilterCount { expected, got } => {
                 write!(f, "expected {expected} filter banks, got {got}")
+            }
+            Self::Capacity {
+                footprint_cells,
+                chip_budgets,
+                committed_cells,
+            } => {
+                write!(f, "no chip can commit {footprint_cells} cells: candidates")?;
+                for (c, (budget, committed)) in chip_budgets.iter().zip(committed_cells).enumerate()
+                {
+                    write!(
+                        f,
+                        " chip{c}={}/{budget} cells free",
+                        budget.saturating_sub(*committed)
+                    )?;
+                }
+                Ok(())
             }
         }
     }
@@ -56,19 +89,10 @@ impl std::error::Error for AdmitError {}
 pub struct ModelCacheStats {
     /// Model name.
     pub name: String,
+    /// The chip the model is placed on (always 0 on a single chip).
+    pub chip: usize,
     /// The model's tile-cache counters and occupancy.
     pub cache: CacheStats,
-}
-
-struct ModelEntry {
-    spec: ModelSpec,
-    executor: DeviceExecutor,
-    /// Monotone use stamp for LRU eviction (0 = never used).
-    last_use: u64,
-    /// The model's full weight-stationary footprint in crossbar cells
-    /// (what its compiled tile set occupies when fully resident),
-    /// computed from the fold plans at admission — no compiling needed.
-    footprint_cells: usize,
 }
 
 /// Admitted models and their per-model [`DeviceExecutor`]s, kept jointly
@@ -88,11 +112,7 @@ struct ModelEntry {
 /// to the same state — it only costs reprogramming work, which is the
 /// cache-thrash scenario the serving benchmarks measure.
 pub struct ModelRegistry {
-    base: SimConfig,
-    budget: usize,
-    entries: Vec<ModelEntry>,
-    clock: u64,
-    evictions: u64,
+    cluster: Cluster,
 }
 
 impl ModelRegistry {
@@ -102,11 +122,7 @@ impl ModelRegistry {
     #[must_use]
     pub fn new(base: SimConfig, budget: usize) -> Self {
         Self {
-            base,
-            budget,
-            entries: Vec::new(),
-            clock: 0,
-            evictions: 0,
+            cluster: Cluster::single(base, budget),
         }
     }
 
@@ -118,45 +134,19 @@ impl ModelRegistry {
     /// Returns [`AdmitError`] if the network is residual or the filter
     /// banks do not cover its conv-like layers.
     pub fn admit(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
-        if let Some(add) = spec.network.layers().iter().find_map(|l| match l {
-            Layer::Add(a) => Some(a.name.clone()),
-            _ => None,
-        }) {
-            return Err(AdmitError::Residual(add));
-        }
-        let expected = spec.network.conv_like_layers().count();
-        if spec.filters.len() != expected {
-            return Err(AdmitError::FilterCount {
-                expected,
-                got: spec.filters.len(),
-            });
-        }
-        let index = self.entries.len();
-        let config = self
-            .base
-            .clone()
-            .with_seed(crate::request::request_seed(self.base.seed, index as u64));
-        let executor = DeviceExecutor::new(config).with_cache_budget(self.budget);
-        let footprint_cells = executor.model_footprint_cells(&spec.network);
-        self.entries.push(ModelEntry {
-            spec,
-            executor,
-            last_use: 0,
-            footprint_cells,
-        });
-        Ok(ModelId(index))
+        self.cluster.admit(spec)
     }
 
     /// Number of admitted models.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.cluster.len()
     }
 
     /// Whether no model has been admitted.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.cluster.is_empty()
     }
 
     /// The admitted spec behind `id`.
@@ -166,38 +156,37 @@ impl ModelRegistry {
     /// Panics if `id` was not issued by this registry.
     #[must_use]
     pub fn spec(&self, id: ModelId) -> &ModelSpec {
-        &self.entries[id.0].spec
+        self.cluster.spec(id)
     }
 
     /// The model's input tensor shape (what its requests must carry).
     #[must_use]
     pub fn input_shape(&self, id: ModelId) -> TensorShape {
-        self.spec(id).network.input()
+        self.cluster.input_shape(id)
     }
 
     /// The model's weight-stationary executor.
     #[must_use]
     pub fn executor(&self, id: ModelId) -> &DeviceExecutor {
-        &self.entries[id.0].executor
+        self.cluster.executor(id)
     }
 
     /// Marks `id` as the most recently used model (LRU bookkeeping).
     pub fn touch(&mut self, id: ModelId) {
-        self.clock += 1;
-        self.entries[id.0].last_use = self.clock;
+        self.cluster.touch(id);
     }
 
     /// The model's full weight-stationary footprint in crossbar cells
     /// (from the fold plans; independent of what is currently cached).
     #[must_use]
     pub fn footprint_cells(&self, id: ModelId) -> usize {
-        self.entries[id.0].footprint_cells
+        self.cluster.footprint_cells(id)
     }
 
     /// The crossbar cells of `id` currently resident in its tile cache.
     #[must_use]
     pub fn resident_cells(&self, id: ModelId) -> usize {
-        self.entries[id.0].executor.cache_stats().cells
+        self.cluster.resident_cells(id)
     }
 
     /// Eagerly programs + compiles the model's missing tiles
@@ -205,28 +194,8 @@ impl ModelRegistry {
     /// Never evicts: callers budget-check with [`Self::footprint_cells`]
     /// and [`Self::occupancy`] first, so prewarming cannot change the
     /// eviction sequence.
-    ///
-    /// Cache counters measure *work done*, not client traffic: the
-    /// compiles register as misses and the warm-up forward below as one
-    /// hit per tile, exactly like the requests they replace would have.
     pub fn prewarm(&self, id: ModelId) -> usize {
-        let entry = &self.entries[id.0];
-        let compiled = entry
-            .executor
-            .prewarm(&entry.spec.network, &entry.spec.filters);
-        if compiled > 0 {
-            // One discarded zero-input forward warms the executor's
-            // arena pool and pages the freshly compiled gain matrices
-            // in, so the model's first real batch runs at steady-state
-            // speed. Executions are pure functions of their inputs —
-            // a discarded one cannot change any later result.
-            let shape = entry.spec.network.input();
-            let zeros = oxbar_nn::reference::Tensor3::new(shape, vec![0; shape.elements()]);
-            let _ = entry
-                .executor
-                .forward(&entry.spec.network, &zeros, &entry.spec.filters);
-        }
-        compiled
+        self.cluster.prewarm(id)
     }
 
     /// Evicts least-recently-used models until the summed cache occupancy
@@ -235,72 +204,41 @@ impl ModelRegistry {
     /// Deterministic given the same sequence of [`Self::touch`] calls:
     /// ties (never-used models) break toward the lowest admission index.
     pub fn enforce_budget(&mut self) -> usize {
-        let mut evicted = 0;
-        loop {
-            let total: usize = self
-                .entries
-                .iter()
-                .map(|e| e.executor.cache_stats().cells)
-                .sum();
-            if total <= self.budget {
-                break;
-            }
-            let victim = self
-                .entries
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.executor.cache_stats().cells > 0)
-                .min_by_key(|(idx, e)| (e.last_use, *idx))
-                .map(|(idx, _)| idx)
-                .expect("occupancy > 0 implies a non-empty cache");
-            self.entries[victim].executor.clear_cache();
-            evicted += 1;
-        }
-        self.evictions += evicted as u64;
-        evicted
+        self.cluster.enforce_budget()
     }
 
     /// Total model evictions since the registry was created.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.cluster.evictions()
     }
 
     /// The shared weight-stationary cell budget.
     #[must_use]
     pub fn budget(&self) -> usize {
-        self.budget
+        self.cluster.budget()
     }
 
     /// Summed cache occupancy across all models, in cells.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|e| e.executor.cache_stats().cells)
-            .sum()
+        self.cluster.occupancy()
     }
 
     /// Per-model cache statistics, in admission order.
     #[must_use]
     pub fn cache_stats(&self) -> Vec<ModelCacheStats> {
-        self.entries
-            .iter()
-            .map(|e| ModelCacheStats {
-                name: e.spec.name.clone(),
-                cache: e.executor.cache_stats(),
-            })
-            .collect()
+        self.cluster.cache_stats()
     }
 }
 
 impl fmt::Debug for ModelRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ModelRegistry")
-            .field("models", &self.entries.len())
-            .field("budget", &self.budget)
+            .field("models", &self.len())
+            .field("budget", &self.budget())
             .field("occupancy", &self.occupancy())
-            .field("evictions", &self.evictions)
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -381,5 +319,18 @@ mod tests {
         let stats = reg.cache_stats();
         assert_eq!(stats[a.0].cache.cells, 0, "model A was least recently used");
         assert!(stats[b.0].cache.cells > 0, "model B survives");
+    }
+
+    #[test]
+    fn capacity_error_displays_footprint_and_candidates() {
+        let err = AdmitError::Capacity {
+            footprint_cells: 61_000,
+            chip_budgets: vec![50_000, 40_000],
+            committed_cells: vec![10_000, 0],
+        };
+        let shown = err.to_string();
+        assert!(shown.contains("61000"), "footprint: {shown}");
+        assert!(shown.contains("chip0=40000/50000"), "candidates: {shown}");
+        assert!(shown.contains("chip1=40000/40000"), "candidates: {shown}");
     }
 }

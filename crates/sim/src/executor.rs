@@ -2,6 +2,7 @@
 
 use crate::arena::ExecArena;
 use crate::config::{tile_seed, SimConfig};
+use crate::snapshot::{ChipSnapshot, TileSnapshot};
 use crate::tile::{run_tile_with, CompiledTile, MvmEngine, TileDrive};
 use oxbar_core::dse::parallel_map;
 use oxbar_dataflow::tiles::{TileGeometry, WeightTiles};
@@ -152,7 +153,9 @@ impl CacheStats {
 
 #[derive(Debug, Default)]
 struct TileCache {
-    tiles: HashMap<(usize, usize), Arc<CompiledTile>>,
+    /// Keyed by `(layer index, tile index, wavelength channel)`; the
+    /// single-wavelength serving path lives entirely on channel 0.
+    tiles: HashMap<(usize, usize, usize), Arc<CompiledTile>>,
     cells: usize,
     hits: u64,
     misses: u64,
@@ -211,7 +214,7 @@ impl DeviceExecutor {
         geom: &TileGeometry,
         seed: u64,
     ) -> Arc<CompiledTile> {
-        let key = (layer_index, tile_index);
+        let key = (layer_index, tile_index, 0);
         {
             let mut cache = self.cache.lock().expect("tile cache");
             if let Some(hit) = cache.tiles.get(&key) {
@@ -607,7 +610,7 @@ impl DeviceExecutor {
                     .filter(|(tile_index, geom)| {
                         cache
                             .tiles
-                            .get(&(layer_idx, *tile_index))
+                            .get(&(layer_idx, *tile_index, 0))
                             .is_none_or(|hit| !hit.matches_bank(&tiles, geom))
                     })
                     .collect()
@@ -622,7 +625,7 @@ impl DeviceExecutor {
             });
             let mut cache = self.cache.lock().expect("tile cache");
             for ((tile_index, _), compiled) in missing.iter().zip(compiled) {
-                let key = (layer_idx, *tile_index);
+                let key = (layer_idx, *tile_index, 0);
                 let cells = compiled.cells();
                 cache.misses += 1;
                 if let Some(stale) = cache.tiles.remove(&key) {
@@ -636,6 +639,109 @@ impl DeviceExecutor {
             }
         }
         compiled_total
+    }
+
+    /// Captures the executor's programmed tile state as a serializable
+    /// [`ChipSnapshot`]: the non-volatile weight codes of every resident
+    /// tile plus the per-tile seed and configuration that reconstruct its
+    /// compiled state deterministically. Tiles are recorded in
+    /// `(layer, tile, channel)` order, so equal cache contents always
+    /// produce equal snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> ChipSnapshot {
+        let cache = self.cache.lock().expect("tile cache");
+        let mut keys: Vec<&(usize, usize, usize)> = cache.tiles.keys().collect();
+        keys.sort_unstable();
+        let tiles = keys
+            .into_iter()
+            .map(|&(layer, tile, channel)| {
+                let compiled = &cache.tiles[&(layer, tile, channel)];
+                TileSnapshot {
+                    layer,
+                    tile,
+                    channel,
+                    seed: tile_seed(self.config.seed, layer, tile),
+                    rows: compiled.value_rows(),
+                    values: compiled.values().to_vec(),
+                    program: compiled.program(),
+                }
+            })
+            .collect();
+        ChipSnapshot {
+            config: self.config.clone(),
+            cache_budget: self.cache_budget,
+            hits: cache.hits,
+            misses: cache.misses,
+            tiles,
+        }
+    }
+
+    /// Reconstructs an executor from a [`ChipSnapshot`]: every recorded
+    /// tile is recompiled from its codes with its original seed and
+    /// wavelength channel, producing a chip whose forward passes are
+    /// **byte-identical** to the source chip's (programming variation,
+    /// drift, and per-channel phase streams all re-derive from the stored
+    /// seeds). The restored cache carries the snapshot's hit/miss
+    /// counters; tiles are admitted in snapshot order under the
+    /// snapshot's cell budget.
+    ///
+    /// This is the migration primitive of multi-chip serving: a hot model
+    /// moves between chips by snapshotting its executor and restoring it
+    /// under the destination chip's budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recompiled tile's programming report disagrees with
+    /// the snapshot record (a corrupted or cross-version snapshot).
+    #[must_use]
+    pub fn restore(snapshot: &ChipSnapshot) -> Self {
+        let exec = Self::new(snapshot.config.clone()).with_cache_budget(snapshot.cache_budget);
+        {
+            let mut cache = exec.cache.lock().expect("tile cache");
+            cache.hits = snapshot.hits;
+            cache.misses = snapshot.misses;
+            for snap in &snapshot.tiles {
+                let rows = snap.rows;
+                let cols = snap.values.len().checked_div(rows).unwrap_or(0);
+                // Reconstruct the row-major code matrix from the stored
+                // column-major flat codes. Only the codes matter for the
+                // recompile — the fold-geometry fields of a `WeightTile`
+                // are not part of the compiled state.
+                let values: Vec<Vec<i8>> = (0..rows)
+                    .map(|r| (0..cols).map(|c| snap.values[c * rows + r]).collect())
+                    .collect();
+                let tile = oxbar_dataflow::tiles::WeightTile {
+                    group: 0,
+                    row_fold: 0,
+                    col_fold: 0,
+                    row_offset: 0,
+                    col_offset: 0,
+                    values,
+                };
+                let compiled =
+                    CompiledTile::compile_channel(&tile, &exec.config, snap.seed, snap.channel);
+                assert_eq!(
+                    compiled.program(),
+                    snap.program,
+                    "restored tile ({}, {}, {}) must recompile to its recorded state",
+                    snap.layer,
+                    snap.tile,
+                    snap.channel
+                );
+                let cells = compiled.cells();
+                if cache.cells + cells <= snapshot.cache_budget {
+                    cache
+                        .tiles
+                        .insert((snap.layer, snap.tile, snap.channel), Arc::new(compiled));
+                    cache.cells += cells;
+                }
+            }
+        }
+        exec
     }
 }
 

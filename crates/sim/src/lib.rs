@@ -71,6 +71,7 @@ pub mod config;
 pub mod executor;
 pub mod fidelity;
 pub mod probe;
+pub mod snapshot;
 pub mod tile;
 
 pub use arena::ExecArena;
@@ -78,6 +79,7 @@ pub use config::{NoiseModel, Readout, SimConfig};
 pub use executor::{CacheStats, DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
 pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};
 pub use probe::{probe_conv, LayerProbe};
+pub use snapshot::{ChipSnapshot, TileSnapshot};
 pub use tile::MvmEngine;
 
 #[cfg(test)]

@@ -1,0 +1,62 @@
+//! Chip snapshots reconstruct programmed tile state bit-exactly.
+//!
+//! A PCM chip's programmed state is non-volatile, so a serialized
+//! snapshot of `{codes, per-tile seeds, config}` must rebuild an
+//! executor whose forward passes are byte-identical to the source —
+//! including every stochastic stream (programming variation, drift,
+//! per-channel phase errors). This is the invariant that makes
+//! snapshot-based model migration between serving chips sound.
+
+use oxbar_nn::synthetic;
+use oxbar_nn::zoo::lenet5;
+use oxbar_sim::{ChipSnapshot, DeviceExecutor, SimConfig};
+
+#[test]
+fn snapshot_restore_forward_is_bit_exact_under_noise() {
+    let net = lenet5();
+    let input = synthetic::activations(net.input(), 6, 11);
+    let filters = synthetic::filter_banks(&net, 6, 12);
+    let config = SimConfig::noisy(128, 128).with_seed(909).with_threads(1);
+    let exec = DeviceExecutor::new(config);
+    let original = exec.forward(&net, &input, &filters).unwrap();
+
+    // Serialize through the workspace serde shim and back: the snapshot
+    // survives the wire format it would migrate over.
+    let snap = exec.snapshot();
+    assert!(!snap.tiles.is_empty(), "forward populates the cache");
+    let json = serde_json::to_string(&snap).unwrap();
+    let decoded: ChipSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(decoded, snap, "snapshot round-trips the serde shim");
+
+    let restored = DeviceExecutor::restore(&decoded);
+    let replay = restored.forward(&net, &input, &filters).unwrap();
+    assert_eq!(replay, original, "restored chip must replay bit-exactly");
+
+    // The restored cache holds exactly the snapshotted state: same
+    // occupancy, same counters, and every replay execution was a hit.
+    let before = exec.cache_stats();
+    let after = restored.cache_stats();
+    assert_eq!((after.entries, after.cells), (before.entries, before.cells));
+    assert_eq!(snap.cells(), after.cells, "snapshot accounts its own cells");
+    assert_eq!(
+        after.misses, before.misses,
+        "restore compiles are not misses"
+    );
+    assert_eq!(
+        after.hits,
+        before.hits + before.misses,
+        "every restored tile serves the replay from the cache"
+    );
+}
+
+#[test]
+fn snapshot_of_cold_executor_restores_empty() {
+    let config = SimConfig::noisy(64, 64).with_seed(3).with_threads(1);
+    let exec = DeviceExecutor::new(config).with_cache_budget(0);
+    let snap = exec.snapshot();
+    assert!(snap.tiles.is_empty());
+    assert_eq!(snap.cells(), 0);
+    let restored = DeviceExecutor::restore(&snap);
+    assert_eq!(restored.cache_stats().entries, 0);
+    assert_eq!(restored.cache_stats().budget, 0);
+}
