@@ -23,11 +23,16 @@
 
 use oxbar_core::{Chip, ChipConfig};
 use oxbar_serve::loadgen::{replay_latencies, MixEntry, OpenLoop};
+use oxbar_serve::protocol::{Client, ClientFrame, ServerFrame};
+use oxbar_serve::request::request_seed;
 use oxbar_serve::{
-    catalog, BatchPolicy, ChipStats, LatencySummary, PlacementPolicy, ServeConfig, ServeEngine,
+    catalog, BatchPolicy, ChipStats, InferRequest, LatencySummary, ModelId, PlacementPolicy,
+    ServeConfig, ServeEngine, Server, ServerConfig,
 };
 use oxbar_sim::SimConfig;
 use serde::Serialize;
+use std::net::TcpStream;
+use std::time::Duration;
 
 /// The headline speedup target (from the issue's acceptance criteria).
 pub const TARGET_SPEEDUP: f64 = 5.0;
@@ -110,6 +115,39 @@ pub struct CaseResult {
     pub per_chip: Vec<ChipStats>,
 }
 
+/// The closed-loop loopback section: the network front end driven over
+/// real sockets by concurrent client threads, cross-checked for byte
+/// identity against the in-process engine on the same trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClosedLoopReport {
+    /// Concurrent client connections (each its own socket + thread).
+    pub connections: usize,
+    /// Requests each connection served, one at a time (closed loop).
+    pub waves: usize,
+    /// Total requests over the wire (`connections × waves`).
+    pub requests: usize,
+    /// Whether every wire response matched the in-process engine fed the
+    /// same trace, byte for byte. Anything but `true` is a correctness
+    /// failure, not a perf regression.
+    pub byte_identical: bool,
+    /// End-to-end wall time of the client run (connect → last Bye), ms.
+    pub wall_ms: f64,
+    /// Median per-request latency measured at the clients (socket
+    /// round-trip including batching delay), ms.
+    pub wire_p50_ms: f64,
+    /// 99th-percentile client-measured latency, ms.
+    pub wire_p99_ms: f64,
+    /// Mean client-measured latency, ms.
+    pub wire_mean_ms: f64,
+    /// Median latency from the round-aware queueing replay of the same
+    /// trace (the engine-level figure, free of socket noise), ms.
+    pub replay_p50_ms: f64,
+    /// 99th-percentile round-aware replay latency, ms.
+    pub replay_p99_ms: f64,
+    /// Mean round-aware replay latency, ms.
+    pub replay_mean_ms: f64,
+}
+
 /// The full machine-readable snapshot (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeReport {
@@ -134,6 +172,8 @@ pub struct ServeReport {
     pub models: Vec<ModelReport>,
     /// Per-configuration results; cold baseline first, headline second.
     pub cases: Vec<CaseResult>,
+    /// The network front end driven over loopback sockets.
+    pub closed_loop: ClosedLoopReport,
 }
 
 /// The shared trace: a weighted open-loop mix over the whole catalog.
@@ -200,13 +240,17 @@ fn run_case(
         engine.submit(request);
     }
     let drain_start = std::time::Instant::now();
-    let (completions, batch_ms) = engine.drain_timed();
+    let trace = engine.drain_traced();
     let elapsed_ms = drain_start.elapsed().as_secs_f64() * 1e3;
+    let (completions, batch_ms) = (trace.completions, trace.batch_ms);
     let wall_ms: f64 = batch_ms.iter().sum();
     let throughput_rps = requests as f64 / (wall_ms / 1e3);
-    // Replay the queueing timeline at 80% of this case's saturation.
+    // Replay the queueing timeline at 80% of this case's saturation,
+    // using the dispatch rounds the drain actually ran (round-aware
+    // replay: concurrent batches within a round overlap).
     let tick_ms = wall_ms / requests as f64 / REPLAY_LOAD;
-    let (latencies, deadline_misses) = replay_latencies(&completions, &batch_ms, tick_ms);
+    let (latencies, deadline_misses) =
+        replay_latencies(&completions, &batch_ms, &trace.rounds, tick_ms);
     let summary = LatencySummary::of(&latencies);
     // Cold-start tail: latencies of the requests in each model's first
     // dispatched batch.
@@ -247,6 +291,125 @@ fn run_case(
         mean_batch_size: stats.mean_batch_size(),
         speedup_vs_cold: None,
         per_chip: stats.chips,
+    }
+}
+
+/// Connections the closed-loop loopback run drives concurrently.
+const CLOSED_LOOP_CONNECTIONS: usize = 8;
+
+/// The closed-loop trace entry for connection `c`, wave `w`: a model
+/// from the stock catalog and the seed of its synthetic input. Pure
+/// function, so the wire run and the in-process oracle replay the exact
+/// same trace.
+fn closed_loop_entry(c: usize, w: usize, waves: usize) -> (usize, u64) {
+    let model = (c + w) % 4;
+    let seed = request_seed(0xC105ED, (c * waves + w) as u64);
+    (model, seed)
+}
+
+/// Drives the network front end over loopback: 8 concurrent connections
+/// in closed loop (each submits its next request only when the previous
+/// completed), then cross-checks every response byte-for-byte against
+/// the in-process engine fed the same trace, and recovers engine-level
+/// p50/p99 from the round-aware replay.
+fn run_closed_loop(quick: bool) -> ClosedLoopReport {
+    let waves = if quick { 3 } else { 10 };
+    let connections = CLOSED_LOOP_CONNECTIONS;
+    let requests = connections * waves;
+    let engine = engine_with(BatchPolicy::new(16, 8), 4_000_000, true, &[]);
+    let shapes: Vec<oxbar_nn::TensorShape> =
+        (0..4).map(|i| engine.input_shape(ModelId(i))).collect();
+    let server = Server::start(engine, ServerConfig::default()).expect("server binds loopback");
+    let addr = server.addr();
+
+    let run_start = std::time::Instant::now();
+    let handles: Vec<std::thread::JoinHandle<Vec<(f64, oxbar_nn::reference::Tensor3)>>> = (0
+        ..connections)
+        .map(|c| {
+            let shapes = shapes.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("loopback connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("read timeout");
+                let mut client = Client::connect(stream).expect("handshake");
+                (0..waves)
+                    .map(|w| {
+                        let (model, seed) = closed_loop_entry(c, w, waves);
+                        let input = oxbar_nn::synthetic::activations(shapes[model], 6, seed);
+                        let sent = std::time::Instant::now();
+                        client
+                            .send(&ClientFrame::Infer {
+                                tag: w as u64,
+                                model,
+                                arrival: w as u64,
+                                deadline: None,
+                                input,
+                            })
+                            .expect("send over loopback");
+                        match client.wait_completion(w as u64).expect("completion") {
+                            ServerFrame::Completion { output, .. } => {
+                                (sent.elapsed().as_secs_f64() * 1e3, output)
+                            }
+                            other => panic!("closed loop expected a completion, got {other:?}"),
+                        }
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let mut served: Vec<Vec<(f64, oxbar_nn::reference::Tensor3)>> = Vec::new();
+    for handle in handles {
+        served.push(handle.join().expect("client thread"));
+    }
+    let wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    // In-process oracle on the identical trace. RequestId counts
+    // submission order, so sorting completions by id maps completion
+    // `c * waves + w` back to connection `c`, wave `w`.
+    let mut oracle = engine_with(BatchPolicy::new(16, 8), 4_000_000, true, &[]);
+    for c in 0..connections {
+        for w in 0..waves {
+            let (model, seed) = closed_loop_entry(c, w, waves);
+            oracle
+                .try_submit(InferRequest {
+                    model: ModelId(model),
+                    input: oxbar_nn::synthetic::activations(shapes[model], 6, seed),
+                    arrival: w as u64,
+                    deadline: None,
+                })
+                .expect("oracle submits");
+        }
+    }
+    let trace = oracle.drain_traced();
+    let mut by_id = trace.completions.clone();
+    by_id.sort_by_key(|d| d.id);
+    let byte_identical = served.iter().enumerate().all(|(c, outputs)| {
+        outputs
+            .iter()
+            .enumerate()
+            .all(|(w, (_, output))| by_id[c * waves + w].output == *output)
+    });
+
+    let wire: Vec<f64> = served.iter().flatten().map(|(ms, _)| *ms).collect();
+    let wire_summary = LatencySummary::of(&wire);
+    let engine_wall: f64 = trace.batch_ms.iter().sum();
+    let tick_ms = engine_wall / requests as f64 / REPLAY_LOAD;
+    let (replay, _) = replay_latencies(&trace.completions, &trace.batch_ms, &trace.rounds, tick_ms);
+    let replay_summary = LatencySummary::of(&replay);
+    ClosedLoopReport {
+        connections,
+        waves,
+        requests,
+        byte_identical,
+        wall_ms,
+        wire_p50_ms: wire_summary.p50_ms,
+        wire_p99_ms: wire_summary.p99_ms,
+        wire_mean_ms: wire_summary.mean_ms,
+        replay_p50_ms: replay_summary.p50_ms,
+        replay_p99_ms: replay_summary.p99_ms,
+        replay_mean_ms: replay_summary.mean_ms,
     }
 }
 
@@ -390,6 +553,7 @@ pub fn generate(quick: bool) -> ServeReport {
         warm_round_allocations: warm_round_allocations(),
         models,
         cases,
+        closed_loop: run_closed_loop(quick),
     }
 }
 
@@ -456,6 +620,19 @@ pub fn render(report: &ServeReport) {
             }
         }
     }
+    let cl = &report.closed_loop;
+    println!(
+        "closed loop over loopback: {} conns x {} waves, wall {:.0} ms, \
+         wire p50/p99 {:.2}/{:.2} ms, replay p50/p99 {:.2}/{:.2} ms, byte-identical: {}",
+        cl.connections,
+        cl.waves,
+        cl.wall_ms,
+        cl.wire_p50_ms,
+        cl.wire_p99_ms,
+        cl.replay_p50_ms,
+        cl.replay_p99_ms,
+        if cl.byte_identical { "yes" } else { "NO (bug)" },
+    );
     match report.warm_round_allocations {
         Some(allocs) => println!("warm round allocations: {allocs} (4-request resident batch)"),
         None => println!("warm round allocations: not measured (no counting allocator)"),
@@ -545,5 +722,15 @@ mod tests {
             report.warm_round_allocations, None,
             "library tests run without the counting allocator"
         );
+        let cl = &report.closed_loop;
+        assert_eq!(cl.connections, 8, "the loopback run is 8-wide");
+        assert_eq!(cl.requests, cl.connections * cl.waves);
+        assert!(
+            cl.byte_identical,
+            "wire responses must equal the in-process engine"
+        );
+        assert!(cl.wall_ms > 0.0);
+        assert!(cl.wire_p50_ms > 0.0 && cl.wire_p99_ms >= cl.wire_p50_ms);
+        assert!(cl.replay_p50_ms > 0.0 && cl.replay_p99_ms >= cl.replay_p50_ms);
     }
 }

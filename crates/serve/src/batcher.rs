@@ -119,6 +119,15 @@ pub fn form_batches(queue: &[(ModelId, u64)], policy: BatchPolicy) -> Vec<Batch>
 /// byte. Deterministic in all cases: a pure function of the batch list,
 /// the round size, and the placement.
 ///
+/// The implementation is cursor-based — O(n · chips) over `n` batches —
+/// rather than rescanning the full list per round: batches are grouped
+/// into per-chip FIFO lanes up front, the preference pass repeatedly
+/// takes the minimum queue-head index among chips not yet represented in
+/// the round (the same increasing pick sequence a forward scan with chip
+/// uniqueness produces), and the fill pass runs a single monotone cursor
+/// over the whole list. Output is byte-identical to the scan-per-round
+/// formulation; `tests/routing.rs` pins the equivalence with a proptest.
+///
 /// # Panics
 ///
 /// Panics if `round_size` is zero.
@@ -129,33 +138,66 @@ pub fn route_rounds(
     chip_of: impl Fn(ModelId) -> usize,
 ) -> Vec<Vec<usize>> {
     assert!(round_size >= 1, "a round dispatches at least one batch");
+    // Per-chip FIFO lanes of batch indices, in queue order. Chip ids may
+    // be sparse, so lanes are keyed by first appearance.
+    let mut chip_ids: Vec<usize> = Vec::new();
+    let mut lanes: Vec<Vec<usize>> = Vec::new();
+    for (idx, batch) in batches.iter().enumerate() {
+        let chip = chip_of(batch.model);
+        let lane = chip_ids.iter().position(|&c| c == chip).unwrap_or_else(|| {
+            chip_ids.push(chip);
+            lanes.push(Vec::new());
+            lanes.len() - 1
+        });
+        lanes[lane].push(idx);
+    }
     let mut taken = vec![false; batches.len()];
+    let mut heads = vec![0usize; lanes.len()];
+    let mut fill = 0usize;
     let mut remaining = batches.len();
     let mut rounds = Vec::new();
     while remaining > 0 {
-        let mut round: Vec<usize> = Vec::with_capacity(round_size);
-        let mut chips_used: Vec<usize> = Vec::new();
-        // Preference pass: one batch per not-yet-served chip.
-        for (idx, batch) in batches.iter().enumerate() {
-            if round.len() >= round_size {
-                break;
+        let mut round: Vec<usize> = Vec::with_capacity(round_size.min(remaining));
+        let mut used = vec![false; lanes.len()];
+        // Preference pass: one batch per not-yet-served chip, earliest
+        // first. Each pick is the minimum lane head over unused chips;
+        // the picks are strictly increasing, so this reproduces the
+        // forward scan exactly.
+        while round.len() < round_size {
+            let mut best: Option<(usize, usize)> = None;
+            for lane in 0..lanes.len() {
+                if used[lane] {
+                    continue;
+                }
+                // Skip entries the fill pass already consumed.
+                while heads[lane] < lanes[lane].len() && taken[lanes[lane][heads[lane]]] {
+                    heads[lane] += 1;
+                }
+                if heads[lane] < lanes[lane].len() {
+                    let idx = lanes[lane][heads[lane]];
+                    if best.is_none_or(|(b, _)| idx < b) {
+                        best = Some((idx, lane));
+                    }
+                }
             }
-            let chip = chip_of(batch.model);
-            if !taken[idx] && !chips_used.contains(&chip) {
-                taken[idx] = true;
-                chips_used.push(chip);
-                round.push(idx);
-            }
+            let Some((idx, lane)) = best else { break };
+            taken[idx] = true;
+            used[lane] = true;
+            heads[lane] += 1;
+            round.push(idx);
         }
-        // Fill pass: earliest remaining batches, any chip.
-        for (idx, _) in batches.iter().enumerate() {
-            if round.len() >= round_size {
+        // Fill pass: earliest remaining batches, any chip. Anything the
+        // cursor passes is taken forever, so it never moves backwards —
+        // O(n) across the whole routing, not per round.
+        while round.len() < round_size {
+            while fill < batches.len() && taken[fill] {
+                fill += 1;
+            }
+            if fill == batches.len() {
                 break;
             }
-            if !taken[idx] {
-                taken[idx] = true;
-                round.push(idx);
-            }
+            taken[fill] = true;
+            round.push(fill);
         }
         round.sort_unstable();
         remaining -= round.len();

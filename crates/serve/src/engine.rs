@@ -6,8 +6,10 @@ use crate::cluster::{ChipId, ChipStats, Cluster, PlacementPolicy};
 use crate::registry::{AdmitError, ModelCacheStats, ModelSpec};
 use crate::request::{Completion, InferRequest, ModelId, RequestId};
 use oxbar_core::dse::parallel_map;
+use oxbar_nn::TensorShape;
 use oxbar_sim::SimConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Full configuration of a [`ServeEngine`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -166,6 +168,79 @@ impl EngineStats {
     }
 }
 
+/// Why [`ServeEngine::try_submit`] refused a request.
+///
+/// Submission rejection is *structured*, never a panic: the serving edge
+/// hands untrusted client input to the engine, and a misbehaving client
+/// must not be able to crash it. Note that an out-of-order arrival tick
+/// is deliberately **not** an error — concurrent network connections
+/// routinely deliver non-monotonic ticks, so admission orders the queue
+/// by arrival instead (see [`ServeEngine::try_submit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request names a model this engine never admitted.
+    UnknownModel(ModelId),
+    /// The input tensor's shape does not match the model's input layer.
+    ShapeMismatch {
+        /// The model the request targeted.
+        model: ModelId,
+        /// The shape the model's input layer requires.
+        expected: TensorShape,
+        /// The shape the request carried.
+        got: TensorShape,
+    },
+    /// The input tensor is internally inconsistent: its data length does
+    /// not equal its shape's element count (possible only for tensors
+    /// deserialized from an untrusted wire payload — in-process
+    /// construction validates on [`oxbar_nn::reference::Tensor3::new`]).
+    MalformedTensor {
+        /// Elements the declared shape requires.
+        expected: usize,
+        /// Data values actually carried.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownModel(model) => write!(f, "unknown model {model:?}"),
+            Self::ShapeMismatch {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "input shape must match the model: {model:?} expects {expected}, got {got}"
+            ),
+            Self::MalformedTensor { expected, got } => write!(
+                f,
+                "malformed tensor: shape declares {expected} elements, data carries {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Everything one [`ServeEngine::drain_traced`] call observed: the
+/// completions, each batch's measured wall time, and the dispatch rounds
+/// the scheduler actually ran — the inputs
+/// [`crate::loadgen::replay_latencies`] needs to replay the concurrent
+/// queueing timeline faithfully.
+#[derive(Debug, Clone)]
+pub struct DrainTrace {
+    /// One completion per request, in dispatch order.
+    pub completions: Vec<Completion>,
+    /// Measured wall-clock execution time of each batch (ms), indexed by
+    /// `batch_seq`.
+    pub batch_ms: Vec<f64>,
+    /// The dispatch rounds: `rounds[k]` holds the `batch_seq` values that
+    /// executed concurrently in round `k` (ascending). Every batch
+    /// appears in exactly one round.
+    pub rounds: Vec<Vec<usize>>,
+}
+
 struct Queued {
     id: RequestId,
     request: InferRequest,
@@ -257,6 +332,19 @@ impl ServeEngine {
         self.registry.admit(spec)
     }
 
+    /// Admits a model only if some chip has committed room for its full
+    /// weight-stationary footprint — the admission-control variant the
+    /// network server uses, so a catalog can never be oversubscribed past
+    /// the cluster's cell budgets at admission time.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::admit`] returns, plus
+    /// [`AdmitError::Capacity`] when no chip can commit the model.
+    pub fn admit_strict(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
+        self.registry.admit_strict(spec)
+    }
+
     /// The input tensor shape requests for `id` must carry.
     ///
     /// # Panics
@@ -275,34 +363,70 @@ impl ServeEngine {
         &self.registry
     }
 
-    /// Enqueues a request, returning its [`RequestId`].
+    /// Enqueues a request, returning its [`RequestId`], or a structured
+    /// [`SubmitError`] for a request the engine cannot serve.
     ///
-    /// # Panics
+    /// Admission keeps the queue ordered by arrival tick: a request whose
+    /// tick precedes already-queued ones is *inserted in order* (after
+    /// every queued request with an equal-or-earlier tick, so equal ticks
+    /// keep submission order). Concurrent connections routinely deliver
+    /// non-monotonic ticks — ordered insertion makes that a non-event
+    /// instead of the panic it used to be, and the batcher's
+    /// non-decreasing-arrival precondition holds by construction.
     ///
-    /// Panics if the model id is unknown, the input shape does not match
-    /// the model, or `arrival` precedes the previous submission's (the
-    /// batcher requires a non-decreasing arrival order).
-    pub fn submit(&mut self, request: InferRequest) -> RequestId {
-        assert!(
-            request.model.0 < self.registry.len(),
-            "unknown model {:?}",
-            request.model
-        );
-        assert_eq!(
-            request.input.shape(),
-            self.registry.input_shape(request.model),
-            "input shape must match the model"
-        );
-        if let Some(last) = self.queue.last() {
-            assert!(
-                request.arrival >= last.request.arrival,
-                "submissions must arrive in non-decreasing tick order"
-            );
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] for a model id this engine never
+    /// admitted, [`SubmitError::ShapeMismatch`] when the input tensor's
+    /// shape differs from the model's input layer, and
+    /// [`SubmitError::MalformedTensor`] when the tensor's data length
+    /// contradicts its own declared shape (possible only for tensors that
+    /// bypassed [`oxbar_nn::reference::Tensor3::new`], e.g. wire
+    /// deserialization).
+    pub fn try_submit(&mut self, request: InferRequest) -> Result<RequestId, SubmitError> {
+        if request.model.0 >= self.registry.len() {
+            return Err(SubmitError::UnknownModel(request.model));
+        }
+        let expected = self.registry.input_shape(request.model);
+        let got = request.input.shape();
+        if got != expected {
+            return Err(SubmitError::ShapeMismatch {
+                model: request.model,
+                expected,
+                got,
+            });
+        }
+        if request.input.data().len() != expected.elements() {
+            return Err(SubmitError::MalformedTensor {
+                expected: expected.elements(),
+                got: request.input.data().len(),
+            });
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.queue.push(Queued { id, request });
-        id
+        let pos = self
+            .queue
+            .partition_point(|q| q.request.arrival <= request.arrival);
+        self.queue.insert(pos, Queued { id, request });
+        Ok(id)
+    }
+
+    /// Enqueues a request, returning its [`RequestId`].
+    ///
+    /// Infallible wrapper over [`Self::try_submit`] for in-process
+    /// callers that construct requests from their own admitted ids.
+    /// Out-of-order arrival ticks are fine — they insert in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model id is unknown or the input shape does not
+    /// match the model (a caller bug; network edges use
+    /// [`Self::try_submit`] and report [`SubmitError`] on the wire).
+    pub fn submit(&mut self, request: InferRequest) -> RequestId {
+        match self.try_submit(request) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Enqueues a request with no deadline, arriving at the same tick as
@@ -356,6 +480,19 @@ impl ServeEngine {
     /// the end-to-end figure including off-path programming should time
     /// the whole drain call.
     pub fn drain_timed(&mut self) -> (Vec<Completion>, Vec<f64>) {
+        let trace = self.drain_traced();
+        (trace.completions, trace.batch_ms)
+    }
+
+    /// Like [`Self::drain_timed`], additionally returning the dispatch
+    /// rounds the scheduler ran — which batches executed concurrently.
+    ///
+    /// The rounds are what make a latency replay honest: batches in one
+    /// round run *in parallel* (via [`parallel_map`] across the worker
+    /// pool), so a serial sum of their wall times overstates the
+    /// pipeline's occupancy. Feed `rounds` to
+    /// [`crate::loadgen::replay_latencies`].
+    pub fn drain_traced(&mut self) -> DrainTrace {
         let queue = std::mem::take(&mut self.queue);
         let keys: Vec<(ModelId, u64)> = queue
             .iter()
@@ -440,7 +577,11 @@ impl ServeEngine {
         }
         self.requests += completions.len() as u64;
         self.batches += batches.len() as u64;
-        (completions, timings)
+        DrainTrace {
+            completions,
+            batch_ms: timings,
+            rounds,
+        }
     }
 
     /// Runs one prewarm stage synchronously, updating the stage counters.
@@ -634,5 +775,61 @@ mod tests {
         let lenet = engine.admit(catalog::lenet5_model()).unwrap();
         let wrong = synthetic::activations(oxbar_nn::TensorShape::new(4, 4, 1), 6, 0);
         engine.submit_simple(lenet, wrong);
+    }
+
+    #[test]
+    fn try_submit_returns_structured_errors() {
+        let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+        let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+        let shape = engine.input_shape(lenet);
+        let unknown = engine.try_submit(InferRequest {
+            model: ModelId(7),
+            input: synthetic::activations(shape, 6, 0),
+            arrival: 0,
+            deadline: None,
+        });
+        assert_eq!(unknown, Err(SubmitError::UnknownModel(ModelId(7))));
+        let wrong_shape = oxbar_nn::TensorShape::new(4, 4, 1);
+        let mismatch = engine.try_submit(InferRequest {
+            model: lenet,
+            input: synthetic::activations(wrong_shape, 6, 0),
+            arrival: 0,
+            deadline: None,
+        });
+        assert_eq!(
+            mismatch,
+            Err(SubmitError::ShapeMismatch {
+                model: lenet,
+                expected: shape,
+                got: wrong_shape,
+            })
+        );
+        assert_eq!(engine.queued(), 0, "rejected requests never queue");
+    }
+
+    #[test]
+    fn out_of_order_submissions_insert_in_arrival_order() {
+        let mut engine = ServeEngine::new(
+            ServeConfig::new(SimConfig::ideal(64, 64)).with_policy(BatchPolicy::SINGLE),
+        );
+        let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+        // A misbehaving (or merely concurrent) client stream: ticks
+        // arrive 5, 2, 9, 2 — non-monotonic and with a duplicate.
+        for (i, arrival) in [5u64, 2, 9, 2].into_iter().enumerate() {
+            let input = synthetic::activations(engine.input_shape(lenet), 6, i as u64);
+            engine
+                .try_submit(InferRequest {
+                    model: lenet,
+                    input,
+                    arrival,
+                    deadline: None,
+                })
+                .expect("out-of-order ticks are not an error");
+        }
+        let done = engine.drain();
+        let order: Vec<(u64, u64)> = done.iter().map(|c| (c.arrival, c.id.0)).collect();
+        // Queue drains in arrival order; the two tick-2 requests keep
+        // their submission order (id 1 before id 3).
+        assert_eq!(order, vec![(2, 1), (2, 3), (5, 0), (9, 2)]);
     }
 }

@@ -79,15 +79,20 @@ pub mod catalog;
 pub mod cluster;
 pub mod engine;
 pub mod loadgen;
+pub mod protocol;
 pub mod registry;
 pub mod request;
+pub mod server;
+mod session;
 
 pub use batcher::{form_batches, route_rounds, Batch, BatchPolicy};
 pub use cluster::{ChipId, ChipRegistry, ChipStats, Cluster, PlacementPolicy};
-pub use engine::{EngineStats, ServeConfig, ServeEngine};
+pub use engine::{DrainTrace, EngineStats, ServeConfig, ServeEngine, SubmitError};
 pub use loadgen::{ClosedLoop, LatencySummary, MixEntry, OpenLoop};
+pub use protocol::{Client, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel};
 pub use registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};
 pub use request::{Completion, InferRequest, ModelId, RequestId};
+pub use server::{Server, ServerConfig};
 
 // Re-exported so doctests and downstream callers can name the device
 // configuration without importing `oxbar-sim` separately.

@@ -175,23 +175,47 @@ impl LatencySummary {
 /// Replays the queueing timeline of one drain and returns `(latencies_ms,
 /// deadline_misses)` in completion order.
 ///
-/// The model: a single dispatch pipeline serves batches in `batch_seq`
-/// order. Batch `k` starts when both the previous batch has finished and
-/// the batch's last member has arrived (the batcher held the batch open
-/// for it); it occupies the pipeline for `batch_wall_ms[k]`. A request's
-/// latency is its batch's completion time minus its own arrival time. A
-/// deadline is missed when completion lands after `deadline × tick_ms`.
+/// The model mirrors what the scheduler actually does
+/// ([`crate::engine::ServeEngine::drain_traced`]): batches execute in
+/// dispatch *rounds*, and every batch within a round runs **concurrently**
+/// across the worker pool. Round `k` starts when round `k − 1` has
+/// finished and every member of round `k`'s batches has arrived (the
+/// batcher held those batches open); each batch then completes at the
+/// round's start plus *its own* wall time, and the round finishes when its
+/// slowest batch does. A request's latency is its batch's completion time
+/// minus its own arrival time; a deadline is missed when completion lands
+/// after `deadline × tick_ms`.
+///
+/// With one batch per round (`rounds == [[0], [1], ..]`, the serial
+/// `workers = 1` schedule) this degenerates to the classic single-pipeline
+/// replay. The previous implementation *always* assumed that serial
+/// pipeline, which overstated p50/p99 whenever the engine dispatched
+/// rounds concurrently (`workers > 1`, multi-chip routing) — pass the
+/// `rounds` the drain actually ran and the replay is faithful in every
+/// configuration.
 ///
 /// # Panics
 ///
-/// Panics if a completion references a batch without a measured wall time.
+/// Panics if a completion references a batch without a measured wall
+/// time, or if `rounds` does not cover every measured batch exactly once.
 #[must_use]
 pub fn replay_latencies(
     completions: &[Completion],
     batch_wall_ms: &[f64],
+    rounds: &[Vec<usize>],
     tick_ms: f64,
 ) -> (Vec<f64>, usize) {
     let batches = batch_wall_ms.len();
+    let mut routed = vec![false; batches];
+    for &seq in rounds.iter().flatten() {
+        assert!(seq < batches, "round references unmeasured batch {seq}");
+        assert!(!routed[seq], "batch {seq} routed into two rounds");
+        routed[seq] = true;
+    }
+    assert!(
+        routed.iter().all(|&r| r),
+        "every measured batch must be routed into exactly one round"
+    );
     // Latest member arrival per batch: the batch cannot dispatch earlier.
     let mut ready_ms = vec![0.0f64; batches];
     for c in completions {
@@ -200,9 +224,12 @@ pub fn replay_latencies(
     }
     let mut finish_ms = vec![0.0f64; batches];
     let mut clock = 0.0f64;
-    for (seq, (&ready, &wall)) in ready_ms.iter().zip(batch_wall_ms).enumerate() {
-        clock = clock.max(ready) + wall;
-        finish_ms[seq] = clock;
+    for round in rounds {
+        let start = round.iter().map(|&b| ready_ms[b]).fold(clock, f64::max);
+        for &b in round {
+            finish_ms[b] = start + batch_wall_ms[b];
+            clock = clock.max(finish_ms[b]);
+        }
     }
     let mut misses = 0;
     let latencies = completions
@@ -218,6 +245,13 @@ pub fn replay_latencies(
         })
         .collect();
     (latencies, misses)
+}
+
+/// The serial dispatch schedule — one batch per round — for replaying a
+/// `workers = 1` drain whose rounds were not recorded.
+#[must_use]
+pub fn serial_rounds(batches: usize) -> Vec<Vec<usize>> {
+    (0..batches).map(|b| vec![b]).collect()
 }
 
 #[cfg(test)]
@@ -303,7 +337,7 @@ mod tests {
         // Two batches of 10 ms each; requests arrive at ticks 0 and 1
         // (1 tick = 1 ms). The second batch queues behind the first.
         let completions = vec![completion(0, 0, Some(15), 0), completion(1, 1, Some(15), 1)];
-        let (lat, misses) = replay_latencies(&completions, &[10.0, 10.0], 1.0);
+        let (lat, misses) = replay_latencies(&completions, &[10.0, 10.0], &serial_rounds(2), 1.0);
         assert_eq!(lat, vec![10.0, 19.0]);
         assert_eq!(misses, 1, "request 1 finishes at 20 ms > deadline 15 ms");
     }
@@ -313,8 +347,60 @@ mod tests {
         // One batch whose last member arrives at tick 5 (5 ms): dispatch
         // cannot start before then.
         let completions = vec![completion(0, 0, None, 0), completion(1, 5, None, 0)];
-        let (lat, misses) = replay_latencies(&completions, &[2.0], 1.0);
+        let (lat, misses) = replay_latencies(&completions, &[2.0], &serial_rounds(1), 1.0);
         assert_eq!(lat, vec![7.0, 2.0]);
         assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn replay_runs_round_members_concurrently() {
+        // Rounds [[0, 1], [2]] with walls [10, 4, 5]: batches 0 and 1
+        // share round 0 and both start at t = 0, so batch 1 finishes at
+        // 4 ms (not queued behind batch 0 as the old serial replay
+        // claimed). Round 1 starts when the *slowest* member of round 0
+        // finishes (10 ms), so batch 2 finishes at 15 ms.
+        let completions = vec![
+            completion(0, 0, None, 0),
+            completion(1, 0, None, 1),
+            completion(2, 0, None, 2),
+        ];
+        let rounds = vec![vec![0, 1], vec![2]];
+        let (lat, misses) = replay_latencies(&completions, &[10.0, 4.0, 5.0], &rounds, 1.0);
+        assert_eq!(lat, vec![10.0, 4.0, 15.0]);
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn replay_round_start_waits_for_all_member_arrivals() {
+        // Round 0 holds batches 0 and 1; batch 1's member arrives at tick
+        // 6, so the whole round starts at 6 ms even though batch 0 was
+        // ready at 0. Batch 0 finishes at 6 + 2 = 8 ms.
+        let completions = vec![completion(0, 0, None, 0), completion(1, 6, None, 1)];
+        let rounds = vec![vec![0, 1]];
+        let (lat, misses) = replay_latencies(&completions, &[2.0, 3.0], &rounds, 1.0);
+        assert_eq!(lat, vec![8.0, 3.0]);
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn serial_rounds_degenerate_to_single_pipeline() {
+        // With one batch per round the round-aware replay must reproduce
+        // the classic serial model: clock = max(clock, ready) + wall.
+        let completions = vec![
+            completion(0, 0, None, 0),
+            completion(1, 3, None, 1),
+            completion(2, 30, None, 2),
+        ];
+        let walls = [10.0, 5.0, 2.0];
+        let (lat, _) = replay_latencies(&completions, &walls, &serial_rounds(3), 1.0);
+        // Serial: f0 = 10, f1 = max(10, 3) + 5 = 15, f2 = max(15, 30) + 2 = 32.
+        assert_eq!(lat, vec![10.0, 12.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed into exactly one round")]
+    fn replay_rejects_unrouted_batches() {
+        let completions = vec![completion(0, 0, None, 0)];
+        let _ = replay_latencies(&completions, &[1.0, 1.0], &[vec![0]], 1.0);
     }
 }

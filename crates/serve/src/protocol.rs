@@ -1,0 +1,487 @@
+//! The wire protocol of the network serving front end: length-prefixed
+//! JSON frames over a byte stream.
+//!
+//! # Frame format
+//!
+//! Every message — both directions — is one *frame*:
+//!
+//! ```text
+//! ┌──────────────────┬──────────────────────────────┐
+//! │ length: u32 (BE) │ payload: `length` JSON bytes │
+//! └──────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The payload is the JSON encoding (through the workspace serde shim) of
+//! one [`ClientFrame`] or [`ServerFrame`]. A frame longer than
+//! [`MAX_FRAME_BYTES`] is rejected without being read — the length prefix
+//! alone is enough to refuse it, so an attacker cannot make the server
+//! buffer an arbitrarily large payload. A connection that closes exactly
+//! on a frame boundary is a *clean close* ([`FrameError::Closed`]);
+//! anywhere else it is [`FrameError::Truncated`].
+//!
+//! # Robustness contract
+//!
+//! Nothing a peer puts on the wire may panic this side: every decode
+//! failure is a structured [`FrameError`], and the server answers
+//! malformed input with a [`ServerFrame::Error`] carrying an
+//! [`ErrorCode`] rather than tearing the session down (except for framing
+//! damage, after which the byte stream is unrecoverable and the session
+//! closes). `tests/protocol.rs` pins truncated prefixes, oversized
+//! frames, malformed payloads, unknown models, and mid-request
+//! disconnects.
+
+use oxbar_nn::reference::Tensor3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload, in bytes. Large enough for any
+/// catalog model's input tensor with room to spare; small enough that a
+/// hostile length prefix cannot balloon server memory.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the stream exactly on a frame boundary — the
+    /// normal end of a session.
+    Closed,
+    /// The stream ended mid-prefix or mid-payload.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+    /// The payload is not valid JSON for the expected message type.
+    Malformed(String),
+    /// An I/O error other than end-of-stream.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Closed => write!(f, "stream closed on a frame boundary"),
+            Self::Truncated => write!(f, "stream truncated mid-frame"),
+            Self::Oversized(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            Self::Malformed(detail) => write!(f, "malformed frame payload: {detail}"),
+            Self::Io(detail) => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one raw frame payload.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on end-of-stream at a frame boundary,
+/// [`FrameError::Truncated`] on end-of-stream anywhere inside a frame,
+/// [`FrameError::Oversized`] when the prefix exceeds [`MAX_FRAME_BYTES`]
+/// (nothing past the prefix is read), and [`FrameError::Io`] for other
+/// I/O failures.
+pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match stream.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(payload)
+}
+
+/// Writes one raw frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; panics never.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] — a caller bug, not a
+/// wire condition (writers frame only messages they built themselves).
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "outbound frame exceeds MAX_FRAME_BYTES"
+    );
+    stream.write_all(&u32::to_be_bytes(payload.len() as u32))?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads and decodes one typed message.
+///
+/// # Errors
+///
+/// Everything [`read_frame`] returns, plus [`FrameError::Malformed`] when
+/// the payload does not decode as `T`.
+pub fn read_message<T: Deserialize>(stream: &mut impl Read) -> Result<T, FrameError> {
+    let payload = read_frame(stream)?;
+    let text = String::from_utf8(payload).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    serde_json::from_str(&text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Encodes and writes one typed message.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if `message` cannot be serialized (a type-level bug, not a wire
+/// condition).
+pub fn write_message<T: Serialize>(stream: &mut impl Write, message: &T) -> io::Result<()> {
+    let text = serde_json::to_string(message).expect("wire messages serialize");
+    write_frame(stream, text.as_bytes())
+}
+
+/// One catalog entry as advertised in the server's greeting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireModel {
+    /// The model id requests must carry.
+    pub model: usize,
+    /// Catalog name.
+    pub name: String,
+    /// Input tensor height.
+    pub input_h: usize,
+    /// Input tensor width.
+    pub input_w: usize,
+    /// Input tensor channels.
+    pub input_c: usize,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Submit one inference. `tag` is an opaque client-chosen correlation
+    /// value echoed on the matching [`ServerFrame::Completion`] (or
+    /// [`ServerFrame::Error`]); `arrival` is the request's tick for the
+    /// batcher's coalescing window — ticks need not be monotone across
+    /// connections.
+    Infer {
+        /// Client correlation tag, echoed verbatim.
+        tag: u64,
+        /// Target model id (from the greeting or an `Admit` reply).
+        model: usize,
+        /// Arrival tick.
+        arrival: u64,
+        /// Optional advisory deadline tick.
+        deadline: Option<u64>,
+        /// The quantized input activations.
+        input: Tensor3,
+    },
+    /// Admit a stock-catalog model by name, subject to strict per-chip
+    /// cell-budget admission control.
+    Admit {
+        /// Stock catalog name (e.g. `"lenet5"`).
+        name: String,
+    },
+    /// Ask for engine statistics.
+    Stats,
+    /// End the session; the server replies [`ServerFrame::Bye`] and
+    /// closes after flushing any pending completions.
+    Goodbye,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// Greeting, sent once on connect: the resident catalog and the
+    /// session's operating limits.
+    Hello {
+        /// Admitted models, in admission order.
+        models: Vec<WireModel>,
+        /// Payload cap per frame, bytes.
+        max_frame: u64,
+        /// Queue depth past which `Infer` draws `Backpressure`.
+        queue_capacity: u64,
+    },
+    /// One finished inference.
+    Completion {
+        /// The client's correlation tag.
+        tag: u64,
+        /// Global dispatch sequence of the batch that ran it (monotone
+        /// across the server's lifetime).
+        batch_seq: u64,
+        /// Requests that shared the batch.
+        batch_size: u64,
+        /// The model's output tensor.
+        output: Tensor3,
+    },
+    /// A model was admitted for this and future sessions.
+    Admitted {
+        /// Catalog name.
+        name: String,
+        /// The id requests should carry.
+        model: usize,
+    },
+    /// Engine statistics snapshot.
+    Stats {
+        /// Requests completed since server start.
+        requests: u64,
+        /// Batches dispatched since server start.
+        batches: u64,
+        /// Requests currently queued (admitted, not yet dispatched).
+        queued: u64,
+        /// Resident cache occupancy, cells.
+        occupancy_cells: u64,
+        /// Global cache budget, cells.
+        budget_cells: u64,
+    },
+    /// A request (or the whole frame) was refused; the session stays up
+    /// unless the error is fatal (framing damage).
+    Error {
+        /// The `Infer` tag this refusal answers, when attributable.
+        tag: Option<u64>,
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Goodbye acknowledgement; the server closes after sending it.
+    Bye,
+}
+
+/// Machine-readable refusal reasons carried by [`ServerFrame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request named a model the engine has not admitted.
+    UnknownModel,
+    /// The input tensor was rejected (wrong shape, inconsistent data
+    /// length, or activation values outside the device range).
+    BadInput,
+    /// The submission queue is at capacity; retry after completions
+    /// drain.
+    Backpressure,
+    /// Strict admission control refused the model (no chip has room, or
+    /// the network is unservable).
+    AdmissionRefused,
+    /// The catalog has no model of the requested name.
+    UnknownCatalogName,
+    /// The frame decoded but the message is not valid here (protocol
+    /// misuse).
+    Unsupported,
+    /// The frame itself could not be decoded — bad JSON inside an intact
+    /// frame (the session continues), or framing damage such as an
+    /// oversized length prefix (the session closes, since the byte
+    /// stream cannot be resynchronized).
+    MalformedFrame,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Self::UnknownModel => "unknown-model",
+            Self::BadInput => "bad-input",
+            Self::Backpressure => "backpressure",
+            Self::AdmissionRefused => "admission-refused",
+            Self::UnknownCatalogName => "unknown-catalog-name",
+            Self::Unsupported => "unsupported",
+            Self::MalformedFrame => "malformed-frame",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// A synchronous client for the serving protocol, generic over the byte
+/// stream (a `TcpStream` in production, an in-memory cursor in tests).
+///
+/// Reads the greeting on construction; afterwards [`Client::send`] frames
+/// requests and [`Client::wait_completion`] routes replies. Because the
+/// server's dispatcher delivers completions in dispatch order — not
+/// submission order — the client buffers frames it reads while waiting
+/// for a specific tag, so callers can pipeline many `Infer`s and collect
+/// the answers in any order.
+pub struct Client<S: Read + Write> {
+    stream: S,
+    models: Vec<WireModel>,
+    queue_capacity: u64,
+    buffered: Vec<ServerFrame>,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Performs the handshake: reads [`ServerFrame::Hello`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the greeting, or
+    /// [`FrameError::Malformed`] if the first frame is not a `Hello`.
+    pub fn connect(mut stream: S) -> Result<Self, FrameError> {
+        match read_message::<ServerFrame>(&mut stream)? {
+            ServerFrame::Hello {
+                models,
+                queue_capacity,
+                ..
+            } => Ok(Self {
+                stream,
+                models,
+                queue_capacity,
+                buffered: Vec::new(),
+            }),
+            other => Err(FrameError::Malformed(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The catalog the server advertised at connect time.
+    #[must_use]
+    pub fn models(&self) -> &[WireModel] {
+        &self.models
+    }
+
+    /// The server's submission-queue capacity (backpressure threshold).
+    #[must_use]
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn send(&mut self, frame: &ClientFrame) -> io::Result<()> {
+        write_message(&mut self.stream, frame)
+    }
+
+    /// Returns the next server frame: a buffered one if present, else
+    /// reads from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the wire.
+    pub fn recv(&mut self) -> Result<ServerFrame, FrameError> {
+        if self.buffered.is_empty() {
+            read_message(&mut self.stream)
+        } else {
+            Ok(self.buffered.remove(0))
+        }
+    }
+
+    /// Reads until the completion (or attributed error) for `tag`
+    /// arrives, buffering every other frame for later [`Client::recv`]
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the wire — including [`FrameError::Closed`]
+    /// if the server goes away before answering.
+    pub fn wait_completion(&mut self, tag: u64) -> Result<ServerFrame, FrameError> {
+        if let Some(pos) = self.buffered.iter().position(|f| frame_tag(f) == Some(tag)) {
+            return Ok(self.buffered.remove(pos));
+        }
+        loop {
+            let frame = read_message::<ServerFrame>(&mut self.stream)?;
+            if frame_tag(&frame) == Some(tag) {
+                return Ok(frame);
+            }
+            self.buffered.push(frame);
+        }
+    }
+}
+
+/// The client tag a server frame answers, if any.
+fn frame_tag(frame: &ServerFrame) -> Option<u64> {
+    match frame {
+        ServerFrame::Completion { tag, .. } => Some(*tag),
+        ServerFrame::Error { tag, .. } => *tag,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxbar_nn::TensorShape;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"x\":1}").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"{\"x\":1}");
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_detected() {
+        let mut cursor = io::Cursor::new(vec![0u8, 0, 0]);
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::Truncated));
+        let mut wire = vec![0u8, 0, 0, 10];
+        wire.extend_from_slice(b"short");
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_reading() {
+        let wire = u32::to_be_bytes(u32::MAX).to_vec();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn messages_round_trip_through_the_serde_shim() {
+        let frame = ClientFrame::Infer {
+            tag: 7,
+            model: 1,
+            arrival: 3,
+            deadline: Some(40),
+            input: Tensor3::new(TensorShape::new(1, 2, 1), vec![5, 9]),
+        };
+        let mut wire = Vec::new();
+        write_message(&mut wire, &frame).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let back: ClientFrame = read_message(&mut cursor).unwrap();
+        assert_eq!(back, frame);
+
+        let reply = ServerFrame::Error {
+            tag: Some(7),
+            code: ErrorCode::Backpressure,
+            detail: "queue full".to_string(),
+        };
+        let mut wire = Vec::new();
+        write_message(&mut wire, &reply).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let back: ServerFrame = read_message(&mut cursor).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn malformed_payload_is_a_structured_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"not json at all").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let result: Result<ClientFrame, FrameError> = read_message(&mut cursor);
+        assert!(matches!(result, Err(FrameError::Malformed(_))));
+    }
+}

@@ -27,7 +27,9 @@ pub struct InferRequest {
     /// The quantized input activation tensor (must match the model's
     /// input shape and the device activation range).
     pub input: Tensor3,
-    /// Arrival tick; submissions must be in non-decreasing arrival order.
+    /// Arrival tick. Submissions need not be tick-ordered: admission
+    /// inserts each request in arrival order (equal ticks keep submission
+    /// order), so concurrent clients can submit freely.
     pub arrival: u64,
     /// Optional advisory completion deadline, in ticks.
     pub deadline: Option<u64>,

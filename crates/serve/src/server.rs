@@ -1,0 +1,314 @@
+//! The network serving front end: a thread-per-connection TCP server
+//! wrapping one [`ServeEngine`].
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──TCP──▶ accept loop ──▶ session threads (session.rs)
+//!                                   │ validate, try_submit under the
+//!                                   │ core lock, record (conn, tag)
+//!                                   ▼
+//!                        ┌── Core { ServeEngine, pending } ──┐
+//!                        │    one mutex; submission and      │
+//!                        │    drain serialize through it     │
+//!                        └──────────────┬────────────────────┘
+//!                                       │ dispatcher thread:
+//!                                       │ coalescing window, then
+//!                                       │ drain_traced()
+//!                                       ▼
+//!                        completions routed back per (conn, tag)
+//! ```
+//!
+//! The engine stays the pure deterministic core the rest of the
+//! workspace pins: the server adds *no* scheduling of its own — it only
+//! decides **when** to call `drain_traced` (after a short coalescing
+//! window, so concurrent connections' requests land in one batcher
+//! pass). Outputs over the wire are therefore byte-identical to an
+//! in-process engine fed the same `(model, input)` pairs, which is what
+//! the closed-loop benchmark asserts.
+//!
+//! # Admission control and backpressure
+//!
+//! * **Model admission** goes through [`ServeEngine::admit_strict`]: a
+//!   model is admitted only if some chip can commit its full
+//!   weight-stationary footprint, so a client cannot oversubscribe the
+//!   cluster's cell budgets.
+//! * **Request admission** is bounded by `queue_capacity`: an `Infer`
+//!   arriving while the engine holds that many undrained requests draws
+//!   [`ErrorCode::Backpressure`](crate::protocol::ErrorCode::Backpressure)
+//!   instead of queueing, checked under the same lock as the submit so
+//!   the bound is exact.
+//! * Out-of-order arrival ticks across connections are routine and
+//!   handled by ordered insertion in [`ServeEngine::try_submit`] — a
+//!   misbehaving client can be *refused*, never crash the server.
+
+use crate::engine::ServeEngine;
+use crate::protocol::ServerFrame;
+use crate::request::RequestId;
+use crate::session::{self, Conn};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the network front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How long the dispatcher waits after work appears before draining,
+    /// so concurrent connections' requests coalesce into shared batches.
+    pub coalesce: Duration,
+    /// Submission-queue depth past which `Infer` draws `Backpressure`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            coalesce: Duration::from_millis(2),
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// Where a finished request's completion goes.
+struct Pending {
+    conn: Arc<Conn>,
+    tag: u64,
+}
+
+/// The engine plus the reply-routing table — everything behind the one
+/// core mutex.
+pub(crate) struct Core {
+    pub(crate) engine: ServeEngine,
+    pending: HashMap<RequestId, Pending>,
+    /// Batches dispatched before the current drain: per-drain `batch_seq`
+    /// restarts at 0, and this offset makes the wire-visible sequence
+    /// monotone across the server's lifetime.
+    batch_base: u64,
+}
+
+impl Core {
+    /// Records where `id`'s completion should be delivered.
+    pub(crate) fn note_pending(&mut self, id: RequestId, conn: Arc<Conn>, tag: u64) {
+        self.pending.insert(id, Pending { conn, tag });
+    }
+
+    /// Whether any in-flight request belongs to session `conn_id`.
+    pub(crate) fn has_pending_for(&self, conn_id: u64) -> bool {
+        self.pending.values().any(|p| p.conn.id == conn_id)
+    }
+}
+
+/// State shared by the accept loop, session threads, and the dispatcher.
+pub(crate) struct Shared {
+    pub(crate) core: Mutex<Core>,
+    /// Signaled when work is queued (or at shutdown).
+    pub(crate) work: Condvar,
+    /// Signaled after each drain (Goodbye waits on it to flush).
+    pub(crate) drained: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queue_capacity: usize,
+    /// Device activation ceiling (`2^bits − 1`); inputs outside `0..=v_max`
+    /// are refused at the session edge.
+    pub(crate) v_max: i64,
+    coalesce: Duration,
+}
+
+/// A running serving front end. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop, unblocks and joins every
+/// session, drains nothing further, and joins the dispatcher.
+///
+/// # Examples
+///
+/// ```no_run
+/// use oxbar_serve::{catalog, Server, ServerConfig, ServeConfig, ServeEngine};
+/// use oxbar_sim::SimConfig;
+///
+/// let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+/// engine.admit(catalog::lenet5_model()).unwrap();
+/// let server = Server::start(engine, ServerConfig::default()).unwrap();
+/// println!("serving on {}", server.addr());
+/// server.shutdown();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<Arc<Conn>>>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a loopback listener on an ephemeral port and starts serving
+    /// `engine` behind it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(engine: ServeEngine, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let v_max = engine.config().device.v_max();
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                engine,
+                pending: HashMap::new(),
+                batch_base: 0,
+            }),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: config.queue_capacity,
+            v_max,
+            coalesce: config.coalesce,
+        });
+        let conns: Arc<Mutex<Vec<Arc<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let sessions = Arc::clone(&sessions);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &conns, &sessions))
+        };
+        Ok(Self {
+            addr,
+            shared,
+            conns,
+            sessions,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The bound loopback address clients connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks and joins every session thread, joins
+    /// the dispatcher, and returns. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Unblock every session's blocking read.
+        for conn in self.conns.lock().expect("conns lock").iter() {
+            conn.shutdown();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.sessions.lock().expect("sessions lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.dispatcher.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<Arc<Conn>>>>,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(writer) = stream.try_clone() else {
+            continue;
+        };
+        let conn = Arc::new(Conn::new(next_id, writer));
+        next_id += 1;
+        conns.lock().expect("conns lock").push(Arc::clone(&conn));
+        let shared = Arc::clone(shared);
+        let conns = Arc::clone(conns);
+        let handle = std::thread::spawn(move || {
+            session::run(stream, &conn, &shared);
+            // Close the socket for real (the write half lives on in
+            // `conns` and any pending replies) and drop the registry
+            // entry, so a finished session's peer sees end-of-stream.
+            conn.shutdown();
+            conns
+                .lock()
+                .expect("conns lock")
+                .retain(|c| c.id != conn.id);
+        });
+        sessions.lock().expect("sessions lock").push(handle);
+    }
+}
+
+/// The dispatcher: waits for queued work, lets the coalescing window
+/// elapse so concurrent connections share batches, drains the engine,
+/// and routes completions back to their sessions.
+fn dispatch_loop(shared: &Arc<Shared>) {
+    loop {
+        {
+            let mut core = shared.core.lock().expect("core lock");
+            while core.engine.queued() == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+                core = shared.work.wait(core).expect("core lock");
+            }
+            if core.engine.queued() == 0 {
+                // Shutdown with an empty queue: nothing left to serve.
+                return;
+            }
+        }
+        // Coalescing window, outside the lock so sessions keep admitting.
+        std::thread::sleep(shared.coalesce);
+        let replies: Vec<(Arc<Conn>, ServerFrame)> = {
+            let mut core = shared.core.lock().expect("core lock");
+            let trace = core.engine.drain_traced();
+            let base = core.batch_base;
+            core.batch_base += trace.batch_ms.len() as u64;
+            trace
+                .completions
+                .into_iter()
+                .filter_map(|c| {
+                    core.pending.remove(&c.id).map(|p| {
+                        let frame = ServerFrame::Completion {
+                            tag: p.tag,
+                            batch_seq: base + c.batch_seq as u64,
+                            batch_size: c.batch_size as u64,
+                            output: c.output,
+                        };
+                        (p.conn, frame)
+                    })
+                })
+                .collect()
+        };
+        // Write outside the lock; a dead peer just drops its replies.
+        for (conn, frame) in &replies {
+            let _ = conn.send(frame);
+        }
+        shared.drained.notify_all();
+    }
+}

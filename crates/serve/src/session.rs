@@ -1,0 +1,290 @@
+//! One network session: the per-connection read loop, request
+//! validation, and reply routing of the serving front end.
+//!
+//! # Session lifecycle
+//!
+//! 1. On accept the server sends [`ServerFrame::Hello`] with the resident
+//!    catalog and the session's operating limits.
+//! 2. The session thread then reads [`ClientFrame`]s until the peer says
+//!    [`ClientFrame::Goodbye`] (answered with [`ServerFrame::Bye`] after
+//!    the session's in-flight requests drain), closes the stream on a
+//!    frame boundary, or damages the framing.
+//! 3. Validation failures are *answers*, not disconnects: an unknown
+//!    model, a bad tensor, or a full queue draws a
+//!    [`ServerFrame::Error`] and the session keeps serving. Only framing
+//!    damage (truncated/oversized frames, I/O errors) ends the session,
+//!    because the byte stream cannot be resynchronized after it.
+//! 4. A mid-request disconnect is a non-event for the engine: the
+//!    request still executes, and its completion is dropped when the
+//!    write to the dead peer fails.
+//!
+//! Completions are written by the server's dispatcher thread (not this
+//! one); both serialize frames through the connection's writer lock, so
+//! frames never interleave mid-bytes.
+
+use crate::engine::SubmitError;
+use crate::protocol::{
+    self, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel, MAX_FRAME_BYTES,
+};
+use crate::request::{InferRequest, ModelId};
+use crate::server::Shared;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One live connection's write half, shared between the session thread
+/// (errors, acks) and the dispatcher thread (completions).
+pub(crate) struct Conn {
+    /// Session id (accept order) — used to find this session's in-flight
+    /// requests at Goodbye time.
+    pub(crate) id: u64,
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    pub(crate) fn new(id: u64, writer: TcpStream) -> Self {
+        Self {
+            id,
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Writes one frame; an error means the peer is gone, which every
+    /// caller treats as "drop the reply".
+    pub(crate) fn send(&self, frame: &ServerFrame) -> io::Result<()> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        protocol::write_message(&mut *writer, frame)
+    }
+
+    /// Shuts the socket down (both halves), unblocking the session
+    /// thread's blocking read. Used by server shutdown.
+    pub(crate) fn shutdown(&self) {
+        let writer = self.writer.lock().expect("writer lock");
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// What one handled frame means for the read loop.
+enum Flow {
+    Continue,
+    Close,
+}
+
+/// Runs one session to completion. Never panics on peer input.
+pub(crate) fn run(mut reader: TcpStream, conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    if conn.send(&hello(shared)).is_err() {
+        return;
+    }
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = conn.send(&ServerFrame::Bye);
+            return;
+        }
+        match protocol::read_message::<ClientFrame>(&mut reader) {
+            Ok(frame) => match handle(frame, conn, shared) {
+                Flow::Continue => {}
+                Flow::Close => return,
+            },
+            // Clean close on a frame boundary: the normal end.
+            Err(FrameError::Closed) => return,
+            // The frame was delimited but its payload didn't decode: the
+            // stream is still synchronized, so answer and keep serving.
+            Err(FrameError::Malformed(detail)) => {
+                if conn
+                    .send(&ServerFrame::Error {
+                        tag: None,
+                        code: ErrorCode::MalformedFrame,
+                        detail,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            // Framing damage: the byte stream cannot be resynchronized.
+            // Best-effort error, then close.
+            Err(e @ (FrameError::Truncated | FrameError::Oversized(_) | FrameError::Io(_))) => {
+                let _ = conn.send(&ServerFrame::Error {
+                    tag: None,
+                    code: ErrorCode::MalformedFrame,
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// The greeting: resident catalog + session limits.
+fn hello(shared: &Arc<Shared>) -> ServerFrame {
+    let core = shared.core.lock().expect("core lock");
+    let registry = core.engine.registry();
+    let models = (0..registry.len())
+        .map(|index| {
+            let id = ModelId(index);
+            let shape = registry.input_shape(id);
+            WireModel {
+                model: index,
+                name: registry.spec(id).name.clone(),
+                input_h: shape.h,
+                input_w: shape.w,
+                input_c: shape.c,
+            }
+        })
+        .collect();
+    ServerFrame::Hello {
+        models,
+        max_frame: MAX_FRAME_BYTES as u64,
+        queue_capacity: shared.queue_capacity as u64,
+    }
+}
+
+fn handle(frame: ClientFrame, conn: &Arc<Conn>, shared: &Arc<Shared>) -> Flow {
+    match frame {
+        ClientFrame::Infer {
+            tag,
+            model,
+            arrival,
+            deadline,
+            input,
+        } => {
+            // Device range check on the untrusted activations: values a
+            // debug build would overflow on must never reach execution.
+            if let Some(&bad) = input.data().iter().find(|v| **v < 0 || **v > shared.v_max) {
+                return reply(
+                    conn,
+                    &ServerFrame::Error {
+                        tag: Some(tag),
+                        code: ErrorCode::BadInput,
+                        detail: format!(
+                            "activation {bad} outside the device range 0..={}",
+                            shared.v_max
+                        ),
+                    },
+                );
+            }
+            let request = InferRequest {
+                model: ModelId(model),
+                input,
+                arrival,
+                deadline,
+            };
+            let verdict = {
+                let mut core = shared.core.lock().expect("core lock");
+                // Backpressure: refuse before the queue grows past the
+                // configured depth. Checked under the same lock as the
+                // submit so the bound is exact.
+                if core.engine.queued() >= shared.queue_capacity {
+                    Err(ServerFrame::Error {
+                        tag: Some(tag),
+                        code: ErrorCode::Backpressure,
+                        detail: format!(
+                            "queue at capacity ({}); retry after completions drain",
+                            shared.queue_capacity
+                        ),
+                    })
+                } else {
+                    match core.engine.try_submit(request) {
+                        Ok(id) => {
+                            core.note_pending(id, Arc::clone(conn), tag);
+                            Ok(())
+                        }
+                        Err(e) => {
+                            let code = match e {
+                                SubmitError::UnknownModel(_) => ErrorCode::UnknownModel,
+                                SubmitError::ShapeMismatch { .. }
+                                | SubmitError::MalformedTensor { .. } => ErrorCode::BadInput,
+                            };
+                            Err(ServerFrame::Error {
+                                tag: Some(tag),
+                                code,
+                                detail: e.to_string(),
+                            })
+                        }
+                    }
+                }
+            };
+            match verdict {
+                Ok(()) => {
+                    shared.work.notify_one();
+                    Flow::Continue
+                }
+                Err(error) => reply(conn, &error),
+            }
+        }
+        ClientFrame::Admit { name } => {
+            let response = {
+                let mut core = shared.core.lock().expect("core lock");
+                // Idempotent: an already-resident name answers with its
+                // existing id instead of admitting a duplicate.
+                let existing = (0..core.engine.registry().len())
+                    .find(|&i| core.engine.registry().spec(ModelId(i)).name == name);
+                if let Some(model) = existing {
+                    ServerFrame::Admitted { name, model }
+                } else {
+                    match crate::catalog::stock_catalog()
+                        .into_iter()
+                        .find(|s| s.name == name)
+                    {
+                        None => ServerFrame::Error {
+                            tag: None,
+                            code: ErrorCode::UnknownCatalogName,
+                            detail: format!("no stock catalog model named {name:?}"),
+                        },
+                        Some(spec) => match core.engine.admit_strict(spec) {
+                            Ok(id) => ServerFrame::Admitted { name, model: id.0 },
+                            Err(e) => ServerFrame::Error {
+                                tag: None,
+                                code: ErrorCode::AdmissionRefused,
+                                detail: e.to_string(),
+                            },
+                        },
+                    }
+                }
+            };
+            reply(conn, &response)
+        }
+        ClientFrame::Stats => {
+            let response = {
+                let core = shared.core.lock().expect("core lock");
+                let stats = core.engine.stats();
+                ServerFrame::Stats {
+                    requests: stats.requests,
+                    batches: stats.batches,
+                    queued: core.engine.queued() as u64,
+                    occupancy_cells: stats.occupancy_cells as u64,
+                    budget_cells: stats.budget_cells as u64,
+                }
+            };
+            reply(conn, &response)
+        }
+        ClientFrame::Goodbye => {
+            // Flush this session's in-flight requests before
+            // acknowledging, so a well-behaved client that waits for Bye
+            // has seen every completion it is owed.
+            let mut core = shared.core.lock().expect("core lock");
+            while core.has_pending_for(conn.id) && !shared.shutdown.load(Ordering::SeqCst) {
+                shared.work.notify_one();
+                let (guard, _) = shared
+                    .drained
+                    .wait_timeout(core, Duration::from_millis(50))
+                    .expect("core lock");
+                core = guard;
+            }
+            drop(core);
+            let _ = conn.send(&ServerFrame::Bye);
+            Flow::Close
+        }
+    }
+}
+
+/// Sends a reply; a dead peer closes the session.
+fn reply(conn: &Arc<Conn>, frame: &ServerFrame) -> Flow {
+    if conn.send(frame).is_err() {
+        Flow::Close
+    } else {
+        Flow::Continue
+    }
+}

@@ -1,0 +1,107 @@
+//! Property test: the cursor-based `route_rounds` is byte-identical to
+//! the original scan-per-round formulation on random batch lists, round
+//! sizes, and chip placements.
+
+use oxbar_serve::batcher::{route_rounds, Batch};
+use oxbar_serve::ModelId;
+use proptest::prelude::*;
+
+/// The pre-optimization reference: rebuilds every round with two full
+/// scans over the batch list (O(n²) in batches). Kept verbatim as the
+/// behavioral oracle for the cursor-based implementation.
+fn route_rounds_reference(
+    batches: &[Batch],
+    round_size: usize,
+    chip_of: impl Fn(ModelId) -> usize,
+) -> Vec<Vec<usize>> {
+    assert!(round_size >= 1, "a round dispatches at least one batch");
+    let mut taken = vec![false; batches.len()];
+    let mut remaining = batches.len();
+    let mut rounds = Vec::new();
+    while remaining > 0 {
+        let mut round: Vec<usize> = Vec::with_capacity(round_size);
+        let mut chips_used: Vec<usize> = Vec::new();
+        // Preference pass: one batch per not-yet-served chip.
+        for (idx, batch) in batches.iter().enumerate() {
+            if round.len() >= round_size {
+                break;
+            }
+            let chip = chip_of(batch.model);
+            if !taken[idx] && !chips_used.contains(&chip) {
+                taken[idx] = true;
+                chips_used.push(chip);
+                round.push(idx);
+            }
+        }
+        // Fill pass: earliest remaining batches, any chip.
+        for (idx, _) in batches.iter().enumerate() {
+            if round.len() >= round_size {
+                break;
+            }
+            if !taken[idx] {
+                taken[idx] = true;
+                round.push(idx);
+            }
+        }
+        round.sort_unstable();
+        remaining -= round.len();
+        rounds.push(round);
+    }
+    rounds
+}
+
+fn batch_list(models: &[usize]) -> Vec<Batch> {
+    models
+        .iter()
+        .enumerate()
+        .map(|(seq, &model)| Batch {
+            seq,
+            model: ModelId(model),
+            members: vec![seq],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cursor_routing_matches_reference(
+        models in proptest::collection::vec(0usize..6, 0..40),
+        round_size in 1usize..6,
+        chips in 1usize..4,
+    ) {
+        let batches = batch_list(&models);
+        // Deterministic, deliberately lumpy model→chip placement,
+        // including sparse chip ids.
+        let chip_of = |m: ModelId| (m.0 * 7 + 3) % chips * 5;
+        let fast = route_rounds(&batches, round_size, chip_of);
+        let reference = route_rounds_reference(&batches, round_size, chip_of);
+        prop_assert_eq!(&fast, &reference);
+
+        // Structural invariants hold regardless: every batch routed
+        // exactly once, rounds within size, members ascending.
+        let mut all: Vec<usize> = fast.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..batches.len()).collect::<Vec<_>>());
+        for round in &fast {
+            prop_assert!(!round.is_empty() && round.len() <= round_size);
+            prop_assert!(round.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn single_chip_routing_is_chunking(
+        n in 0usize..40,
+        round_size in 1usize..6,
+    ) {
+        let batches = batch_list(&vec![0; n]);
+        let rounds = route_rounds(&batches, round_size, |_| 0);
+        let chunks: Vec<Vec<usize>> = (0..n)
+            .collect::<Vec<_>>()
+            .chunks(round_size)
+            .map(<[usize]>::to_vec)
+            .collect();
+        prop_assert_eq!(rounds, chunks);
+    }
+}

@@ -15,8 +15,8 @@ use oxbar_nn::{Conv2d, Layer, Network, TensorShape};
 use oxbar_pcm::ProgramReport;
 use oxbar_units::{Energy, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Aggregated device statistics for one crossbar-mapped layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +99,9 @@ pub struct DeviceExecutor {
     /// are deterministic functions of `(config, seed, layer, tile,
     /// weights)`, so caching never changes results — only work.
     cache: Mutex<TileCache>,
+    /// Signaled whenever an in-flight tile compile finishes, waking any
+    /// worker blocked on the same key in [`Self::compiled_tile`].
+    compile_done: Condvar,
     /// Cells of compiled state the cache may hold.
     cache_budget: usize,
     /// Pool of reusable execution arenas: checked out per tile job (and
@@ -156,6 +159,12 @@ struct TileCache {
     /// Keyed by `(layer index, tile index, wavelength channel)`; the
     /// single-wavelength serving path lives entirely on channel 0.
     tiles: HashMap<(usize, usize, usize), Arc<CompiledTile>>,
+    /// Keys some thread is compiling right now. Concurrent executions of
+    /// the same network single-flight their compiles through this set:
+    /// the first thread to miss programs the tile, everyone else waits on
+    /// [`DeviceExecutor::compile_done`] and then takes the hit path. One
+    /// missing tile is exactly one miss however many workers want it.
+    in_flight: HashSet<(usize, usize, usize)>,
     cells: usize,
     hits: u64,
     misses: u64,
@@ -169,6 +178,7 @@ impl Clone for DeviceExecutor {
             config: self.config.clone(),
             engine: self.engine,
             cache: Mutex::new(TileCache::default()),
+            compile_done: Condvar::new(),
             cache_budget: self.cache_budget,
             arenas: Mutex::new(Vec::new()),
         }
@@ -184,6 +194,7 @@ impl DeviceExecutor {
             config,
             engine: MvmEngine::default(),
             cache: Mutex::new(TileCache::default()),
+            compile_done: Condvar::new(),
             cache_budget: TILE_CACHE_CELL_BUDGET,
             arenas: Mutex::new(Vec::new()),
         }
@@ -206,6 +217,14 @@ impl DeviceExecutor {
     /// The compiled state for one tile: a validated cache hit (a straight
     /// slice compare against the filter bank, no tile materialization),
     /// or a fresh compile (inserted while the cell budget allows).
+    ///
+    /// Compiles are **single-flight**: when several workers execute the
+    /// same network concurrently and miss on the same tile, exactly one
+    /// programs it while the rest block on [`Self::compile_done`] and
+    /// then hit — so the hit/miss counters are a deterministic function
+    /// of the workload, not of thread timing, and no compile ever runs
+    /// twice. (A zero-budget cache cannot retain the compiled entry; its
+    /// waiters re-miss by design, matching the serial cold path.)
     fn compiled_tile(
         &self,
         layer_index: usize,
@@ -217,19 +236,28 @@ impl DeviceExecutor {
         let key = (layer_index, tile_index, 0);
         {
             let mut cache = self.cache.lock().expect("tile cache");
-            if let Some(hit) = cache.tiles.get(&key) {
-                if hit.matches_bank(tiles, geom) {
-                    let hit = Arc::clone(hit);
-                    cache.hits += 1;
-                    return hit;
+            loop {
+                if cache.in_flight.contains(&key) {
+                    cache = self.compile_done.wait(cache).expect("tile cache");
+                    continue;
                 }
+                if let Some(hit) = cache.tiles.get(&key) {
+                    if hit.matches_bank(tiles, geom) {
+                        let hit = Arc::clone(hit);
+                        cache.hits += 1;
+                        return hit;
+                    }
+                }
+                cache.in_flight.insert(key);
+                cache.misses += 1;
+                break;
             }
-            cache.misses += 1;
         }
         let tile = tiles.tile(tile_index);
         let compiled = Arc::new(CompiledTile::compile(&tile, &self.config, seed));
         let cells = compiled.cells();
         let mut cache = self.cache.lock().expect("tile cache");
+        cache.in_flight.remove(&key);
         if let Some(stale) = cache.tiles.remove(&key) {
             cache.cells -= stale.cells();
         }
@@ -237,6 +265,7 @@ impl DeviceExecutor {
             cache.tiles.insert(key, Arc::clone(&compiled));
             cache.cells += cells;
         }
+        self.compile_done.notify_all();
         compiled
     }
 
@@ -251,10 +280,10 @@ impl DeviceExecutor {
 
     /// A snapshot of the tile cache's counters and occupancy.
     ///
-    /// Hit/miss counts are exact under serial execution; under parallel
-    /// tile execution two workers may race to compile the same missing
-    /// tile, so counters are accurate accounting of *work done*, not a
-    /// deterministic function of the workload. Outputs are unaffected.
+    /// Hit/miss counts are exact under serial *and* parallel execution:
+    /// compiles are single-flight (see [`Self::prewarm`] and the tile
+    /// path), so a missing tile is one miss however many workers race to
+    /// it, and the counters are a deterministic function of the workload.
     ///
     /// # Panics
     ///
@@ -608,10 +637,14 @@ impl DeviceExecutor {
                 geoms
                     .iter()
                     .filter(|(tile_index, geom)| {
-                        cache
-                            .tiles
-                            .get(&(layer_idx, *tile_index, 0))
-                            .is_none_or(|hit| !hit.matches_bank(&tiles, geom))
+                        // A key mid-compile on another thread is about to
+                        // become resident; a skipped prewarm only costs
+                        // speed, so leave it to the thread that owns it.
+                        !cache.in_flight.contains(&(layer_idx, *tile_index, 0))
+                            && cache
+                                .tiles
+                                .get(&(layer_idx, *tile_index, 0))
+                                .is_none_or(|hit| !hit.matches_bank(&tiles, geom))
                     })
                     .collect()
             };
