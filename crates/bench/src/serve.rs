@@ -26,11 +26,12 @@ use oxbar_serve::loadgen::{replay_latencies, MixEntry, OpenLoop};
 use oxbar_serve::protocol::{Client, ClientFrame, ServerFrame};
 use oxbar_serve::request::request_seed;
 use oxbar_serve::{
-    catalog, BatchPolicy, ChipStats, InferRequest, LatencySummary, ModelId, PlacementPolicy,
-    ServeConfig, ServeEngine, Server, ServerConfig,
+    catalog, BatchPolicy, ChipStats, FaultPlan, InferRequest, LatencySummary, ModelId,
+    PlacementPolicy, RequestId, ServeConfig, ServeEngine, Server, ServerConfig,
 };
 use oxbar_sim::SimConfig;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -148,6 +149,58 @@ pub struct ClosedLoopReport {
     pub replay_mean_ms: f64,
 }
 
+/// One fault-injected replay of the shared trace: a chip killed at a
+/// fixed dispatch sequence number, everything the failure surface must
+/// account for.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCase {
+    /// Requests that completed with an answer.
+    pub completions: usize,
+    /// Requests shed with a structured notice (deadline unreachable or
+    /// no healthy chip).
+    pub shed: u64,
+    /// Requests that vanished without a completion *or* a shed notice.
+    /// Anything but 0 is a correctness failure.
+    pub lost: u64,
+    /// Batches re-executed after a fault (failover + transient retries).
+    pub retried: u64,
+    /// Snapshot-restore recoveries of unreplicated models.
+    pub recoveries: u64,
+    /// Wall time spent restoring snapshots onto surviving chips (ms).
+    pub recovery_ms: f64,
+    /// 99th-percentile request latency at the no-fault case's offered
+    /// load (ms) — directly comparable to `no_fault_p99_ms`.
+    pub p99_ms: f64,
+    /// Whether every surviving request answered byte-identically to the
+    /// never-faulted cluster. Anything but `true` is a correctness
+    /// failure.
+    pub survivors_byte_identical: bool,
+    /// Per-chip health / retry / shed breakdown after the run.
+    pub per_chip: Vec<ChipStats>,
+}
+
+/// The fault-injection section: the shared trace replayed on a two-chip
+/// cluster with chip 1 killed mid-trace, replicated vs unreplicated,
+/// against the no-fault baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultInjectionReport {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Global batch dispatch sequence number the kill lands on
+    /// (mid-trace: half the no-fault run's batch count).
+    pub kill_seq: u64,
+    /// 99th-percentile latency of the same trace with no fault (ms).
+    pub no_fault_p99_ms: f64,
+    /// `Replicated(2)`: the kill fails over to live replicas.
+    pub replicated: FaultCase,
+    /// `LeastLoaded` single residency: the kill forces snapshot
+    /// recovery onto the survivor.
+    pub unreplicated: FaultCase,
+    /// `replicated.p99_ms / no_fault_p99_ms` — the degradation budget
+    /// (acceptance: ≤ 2.0).
+    pub p99_ratio_replicated_vs_no_fault: f64,
+}
+
 /// The full machine-readable snapshot (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeReport {
@@ -174,6 +227,8 @@ pub struct ServeReport {
     pub cases: Vec<CaseResult>,
     /// The network front end driven over loopback sockets.
     pub closed_loop: ClosedLoopReport,
+    /// Mid-trace chip-kill behavior: failover, recovery, shedding.
+    pub fault_injection: FaultInjectionReport,
 }
 
 /// The shared trace: a weighted open-loop mix over the whole catalog.
@@ -413,6 +468,114 @@ fn run_closed_loop(quick: bool) -> ClosedLoopReport {
     }
 }
 
+/// What one fault-section replay produced.
+struct FaultRun {
+    /// Request id → output values, survivors only.
+    outputs: BTreeMap<RequestId, Vec<i64>>,
+    sheds: u64,
+    p99_ms: f64,
+    tick_ms: f64,
+    stats: oxbar_serve::EngineStats,
+}
+
+/// Replays the shared trace on a two-chip cluster under `placement` and
+/// `plan`, **in-process** (batch sequence numbers — and therefore the
+/// kill point — must not depend on socket coalescing timing). `tick_ms`
+/// pins the replay's offered load to the no-fault baseline's so the p99
+/// figures are comparable; `None` derives it from this run's own wall.
+fn run_fault_trace(
+    requests: usize,
+    placement: PlacementPolicy,
+    plan: FaultPlan,
+    tick_ms: Option<f64>,
+) -> FaultRun {
+    let device = SimConfig::noisy(128, 128).with_threads(1);
+    let mut engine = ServeEngine::new(
+        ServeConfig::new(device)
+            .with_policy(BatchPolicy::new(16, 8))
+            .with_workers(1)
+            .with_prewarm(true)
+            .with_chips(vec![4_000_000, 4_000_000])
+            .with_placement(placement)
+            .with_faults(plan),
+    );
+    for spec in catalog::stock_catalog() {
+        engine.admit(spec).expect("catalog models admit");
+    }
+    for request in workload(requests).trace(|m| engine.input_shape(m)) {
+        engine.submit(request);
+    }
+    let trace = engine.drain_traced();
+    let wall_ms: f64 = trace.batch_ms.iter().sum();
+    let tick_ms = tick_ms.unwrap_or(wall_ms / requests as f64 / REPLAY_LOAD);
+    let (latencies, _) =
+        replay_latencies(&trace.completions, &trace.batch_ms, &trace.rounds, tick_ms);
+    FaultRun {
+        outputs: trace
+            .completions
+            .iter()
+            .map(|c| (c.id, c.output.data().to_vec()))
+            .collect(),
+        sheds: trace.sheds.len() as u64,
+        p99_ms: LatencySummary::of(&latencies).p99_ms,
+        tick_ms,
+        stats: engine.stats(),
+    }
+}
+
+/// The fault-injection section: chip 1 killed halfway through the
+/// no-fault run's dispatch sequence, once with every model replicated on
+/// both chips (failover) and once with single residency (snapshot
+/// recovery), graded against the no-fault baseline.
+fn run_fault_injection(requests: usize) -> FaultInjectionReport {
+    let baseline = run_fault_trace(
+        requests,
+        PlacementPolicy::Replicated(2),
+        FaultPlan::new(),
+        None,
+    );
+    let kill_seq = baseline.stats.batches / 2;
+    let grade = |run: FaultRun| -> FaultCase {
+        // Byte identity against the no-fault cluster: admission seeds
+        // are global, so placement never changes what a model answers.
+        let survivors_byte_identical = run
+            .outputs
+            .iter()
+            .all(|(id, out)| baseline.outputs.get(id) == Some(out));
+        FaultCase {
+            completions: run.outputs.len(),
+            shed: run.sheds,
+            lost: (requests as u64).saturating_sub(run.outputs.len() as u64 + run.sheds),
+            retried: run.stats.retries,
+            recoveries: run.stats.recoveries,
+            recovery_ms: run.stats.recovery_ms,
+            p99_ms: run.p99_ms,
+            survivors_byte_identical,
+            per_chip: run.stats.chips,
+        }
+    };
+    let replicated = grade(run_fault_trace(
+        requests,
+        PlacementPolicy::Replicated(2),
+        FaultPlan::new().kill_chip(kill_seq, 1),
+        Some(baseline.tick_ms),
+    ));
+    let unreplicated = grade(run_fault_trace(
+        requests,
+        PlacementPolicy::LeastLoaded,
+        FaultPlan::new().kill_chip(kill_seq, 1),
+        Some(baseline.tick_ms),
+    ));
+    FaultInjectionReport {
+        requests,
+        kill_seq,
+        no_fault_p99_ms: baseline.p99_ms,
+        p99_ratio_replicated_vs_no_fault: replicated.p99_ms / baseline.p99_ms,
+        replicated,
+        unreplicated,
+    }
+}
+
 /// Heap allocations of one warm serving round: a 4-request same-model
 /// batch through a fully resident pipelined engine. Requires the
 /// `bench_serve` binary's counting allocator; returns `None` elsewhere.
@@ -554,6 +717,7 @@ pub fn generate(quick: bool) -> ServeReport {
         models,
         cases,
         closed_loop: run_closed_loop(quick),
+        fault_injection: run_fault_injection(requests),
     }
 }
 
@@ -632,6 +796,37 @@ pub fn render(report: &ServeReport) {
         cl.replay_p50_ms,
         cl.replay_p99_ms,
         if cl.byte_identical { "yes" } else { "NO (bug)" },
+    );
+    let fi = &report.fault_injection;
+    println!(
+        "fault injection (chip 1 killed at dispatch seq {}, no-fault p99 {:.2} ms):",
+        fi.kill_seq, fi.no_fault_p99_ms
+    );
+    for (name, case) in [
+        ("replicated(2)", &fi.replicated),
+        ("unreplicated", &fi.unreplicated),
+    ] {
+        println!(
+            "  {:<14} {} done, {} shed, {} lost, {} retried, {} recoveries ({:.2} ms), \
+             p99 {:.2} ms, survivors byte-identical: {}",
+            name,
+            case.completions,
+            case.shed,
+            case.lost,
+            case.retried,
+            case.recoveries,
+            case.recovery_ms,
+            case.p99_ms,
+            if case.survivors_byte_identical {
+                "yes"
+            } else {
+                "NO (bug)"
+            },
+        );
+    }
+    println!(
+        "  replicated p99 vs no-fault: {:.2}x (budget 2.0x)",
+        fi.p99_ratio_replicated_vs_no_fault
     );
     match report.warm_round_allocations {
         Some(allocs) => println!("warm round allocations: {allocs} (4-request resident batch)"),
@@ -722,6 +917,45 @@ mod tests {
             report.warm_round_allocations, None,
             "library tests run without the counting allocator"
         );
+        let fi = &report.fault_injection;
+        assert_eq!(fi.requests, report.cases[0].requests);
+        for case in [&fi.replicated, &fi.unreplicated] {
+            assert_eq!(case.lost, 0, "a chip kill must never lose a request");
+            assert_eq!(
+                case.completions as u64 + case.shed,
+                fi.requests as u64,
+                "every request completes or sheds"
+            );
+            assert!(
+                case.survivors_byte_identical,
+                "failover/recovery must not change answers"
+            );
+            assert!(case.p99_ms > 0.0);
+            // Per-chip counters reconcile with the engine totals.
+            let chip_retries: u64 = case.per_chip.iter().map(|c| c.retries).sum();
+            let chip_sheds: u64 = case.per_chip.iter().map(|c| c.sheds).sum();
+            assert_eq!(chip_retries, case.retried);
+            assert_eq!(chip_sheds, case.shed);
+            assert_eq!(
+                case.per_chip
+                    .iter()
+                    .filter(|c| c.health == oxbar_serve::ChipHealth::Failed)
+                    .count(),
+                1,
+                "exactly the killed chip is marked failed"
+            );
+        }
+        assert!(fi.replicated.retried >= 1, "the kill forces failovers");
+        assert_eq!(
+            fi.replicated.recoveries, 0,
+            "replicas absorb the kill without recovery"
+        );
+        assert!(
+            fi.unreplicated.recoveries >= 1,
+            "single residency must recover via snapshot restore"
+        );
+        assert!(fi.no_fault_p99_ms > 0.0);
+        assert!(fi.p99_ratio_replicated_vs_no_fault.is_finite());
         let cl = &report.closed_loop;
         assert_eq!(cl.connections, 8, "the loopback run is 8-wide");
         assert_eq!(cl.requests, cl.connections * cl.waves);

@@ -107,7 +107,9 @@ pub fn form_batches(queue: &[(ModelId, u64)], policy: BatchPolicy) -> Vec<Batch>
 ///
 /// Every round is built in two passes over the remaining batches, both in
 /// queue order: a **preference** pass takes batches whose chip
-/// (`chip_of(batch.model)`) is not yet represented in the round — so
+/// (`chip_of(batch)` — per *batch*, so replicated models can spread
+/// successive batches across their replicas) is not yet represented in
+/// the round — so
 /// concurrent workers land on different chips and cross-chip parallelism
 /// is real parallelism — then a **fill** pass tops the round up with the
 /// earliest remaining batches regardless of chip. Within a round the
@@ -135,7 +137,7 @@ pub fn form_batches(queue: &[(ModelId, u64)], policy: BatchPolicy) -> Vec<Batch>
 pub fn route_rounds(
     batches: &[Batch],
     round_size: usize,
-    chip_of: impl Fn(ModelId) -> usize,
+    chip_of: impl Fn(&Batch) -> usize,
 ) -> Vec<Vec<usize>> {
     assert!(round_size >= 1, "a round dispatches at least one batch");
     // Per-chip FIFO lanes of batch indices, in queue order. Chip ids may
@@ -143,7 +145,7 @@ pub fn route_rounds(
     let mut chip_ids: Vec<usize> = Vec::new();
     let mut lanes: Vec<Vec<usize>> = Vec::new();
     for (idx, batch) in batches.iter().enumerate() {
-        let chip = chip_of(batch.model);
+        let chip = chip_of(batch);
         let lane = chip_ids.iter().position(|&c| c == chip).unwrap_or_else(|| {
             chip_ids.push(chip);
             lanes.push(Vec::new());
@@ -286,7 +288,7 @@ mod tests {
         // batches then a chip-1 batch. A 2-wide round should pair the
         // first chip-0 batch with the chip-1 batch.
         let batches = vec![batch(0, 0), batch(1, 1), batch(2, 0), batch(3, 2)];
-        let chip_of = |m: ModelId| usize::from(m.0 == 2);
+        let chip_of = |b: &Batch| usize::from(b.model.0 == 2);
         let rounds = route_rounds(&batches, 2, chip_of);
         assert_eq!(rounds, vec![vec![0, 3], vec![1, 2]]);
         // Every batch is dispatched exactly once.

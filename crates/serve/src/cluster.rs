@@ -26,13 +26,57 @@
 use crate::registry::{AdmitError, ModelCacheStats, ModelSpec};
 use crate::request::ModelId;
 use oxbar_nn::{Layer, TensorShape};
-use oxbar_sim::{DeviceExecutor, SimConfig};
+use oxbar_sim::{DeviceExecutor, InjectedFault, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Handle to one chip of a [`Cluster`], in chip-index order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChipId(pub usize);
+
+/// Operational health of one chip, tracked by the serving scheduler.
+///
+/// The state machine is monotone within a run: `Healthy → Degraded`
+/// (drift marking) and `{Healthy, Degraded} → Failed` (chip kill).
+/// `Failed` chips never serve; `Degraded` chips serve but the scheduler
+/// prefers healthy replicas when routing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChipHealth {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Drift-degraded: still serving (results unchanged), deprioritized
+    /// by replica routing.
+    Degraded,
+    /// Control plane down: the chip cannot execute. Its non-volatile
+    /// programmed state remains snapshot-readable for recovery.
+    Failed,
+}
+
+impl ChipHealth {
+    /// Stable lowercase name, for reports and wire frames.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Degraded => "degraded",
+            Self::Failed => "failed",
+        }
+    }
+
+    /// Whether a chip in this state can execute batches at all.
+    #[must_use]
+    pub fn serves(&self) -> bool {
+        !matches!(self, Self::Failed)
+    }
+}
+
+impl fmt::Display for ChipHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// How a [`Cluster`] picks the chip a newly admitted model lives on.
 ///
@@ -49,6 +93,13 @@ pub enum PlacementPolicy {
     /// room (lowest index on ties) — spreads load for cross-chip
     /// parallelism.
     LeastLoaded,
+    /// Keep each model resident on `k` distinct chips (least-committed
+    /// first, lowest index on ties), so requests load-balance across
+    /// replicas and a chip failure fails over without recovery. Every
+    /// replica executor shares the model's admission seed, so replicas
+    /// answer byte-identically and failover is invisible in outputs.
+    /// `Replicated(1)` behaves like [`PlacementPolicy::LeastLoaded`].
+    Replicated(usize),
 }
 
 /// Per-chip bookkeeping of a [`Cluster`]: the chip's cell budget, the
@@ -63,6 +114,13 @@ pub struct ChipRegistry {
     evictions: u64,
     migrations_in: u64,
     migrations_out: u64,
+    /// Scheduler-visible health (see [`ChipHealth`]).
+    health: ChipHealth,
+    /// Batches re-executed on (or off) this chip after a fault.
+    retries: u64,
+    /// Requests shed because this chip failed and no replica could meet
+    /// their deadline.
+    sheds: u64,
 }
 
 impl ChipRegistry {
@@ -73,6 +131,9 @@ impl ChipRegistry {
             evictions: 0,
             migrations_in: 0,
             migrations_out: 0,
+            health: ChipHealth::Healthy,
+            retries: 0,
+            sheds: 0,
         }
     }
 
@@ -105,6 +166,24 @@ impl ChipRegistry {
     pub fn migrations_out(&self) -> u64 {
         self.migrations_out
     }
+
+    /// The chip's scheduler-visible health.
+    #[must_use]
+    pub fn health(&self) -> ChipHealth {
+        self.health
+    }
+
+    /// Batches retried because of faults on this chip.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests shed while failing over away from this chip.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
 }
 
 /// Serializable per-chip serving statistics, for engine reports.
@@ -128,6 +207,12 @@ pub struct ChipStats {
     pub hits: u64,
     /// Tile-cache misses summed over the chip's models.
     pub misses: u64,
+    /// The chip's scheduler-visible health.
+    pub health: ChipHealth,
+    /// Batches retried because of faults on this chip.
+    pub retries: u64,
+    /// Requests shed while failing over away from this chip.
+    pub sheds: u64,
 }
 
 impl ChipStats {
@@ -143,15 +228,32 @@ impl ChipStats {
     }
 }
 
+/// One chip's copy of a model: where it lives and the executor that
+/// serves it there. Replicated models hold several residencies; slot 0
+/// is the *primary* (what [`Cluster::chip_of`] / [`Cluster::executor`]
+/// report, preserving the single-residency API).
+struct Residency {
+    /// The chip this copy lives on (may change via migration).
+    chip: usize,
+    executor: DeviceExecutor,
+}
+
 struct ModelEntry {
     spec: ModelSpec,
-    executor: DeviceExecutor,
     /// Monotone use stamp for LRU eviction (0 = never used).
     last_use: u64,
-    /// Full weight-stationary footprint in crossbar cells.
+    /// Full weight-stationary footprint in crossbar cells (per replica).
     footprint_cells: usize,
-    /// The chip this model is placed on (may change via migration).
-    chip: usize,
+    /// Every chip copy of the model, primary first. All residencies
+    /// share one admission-seeded config, so they answer byte-identically.
+    residencies: Vec<Residency>,
+}
+
+impl ModelEntry {
+    /// The primary residency (slot 0 — always present).
+    fn primary(&self) -> &Residency {
+        &self.residencies[0]
+    }
 }
 
 /// Admitted models sharded across a fleet of chips, each chip a
@@ -170,6 +272,10 @@ pub struct Cluster {
     clock: u64,
     evictions: u64,
     migrations: u64,
+    recoveries: u64,
+    /// Wall-clock milliseconds spent in snapshot/restore recoveries
+    /// (observational only — never feeds back into scheduling).
+    recovery_ms: f64,
 }
 
 impl Cluster {
@@ -191,6 +297,8 @@ impl Cluster {
             clock: 0,
             evictions: 0,
             migrations: 0,
+            recoveries: 0,
+            recovery_ms: 0.0,
         }
     }
 
@@ -220,19 +328,45 @@ impl Cluster {
         Ok(())
     }
 
-    /// The chip the placement policy picks for a `footprint`-cell model,
-    /// or `None` when no chip's committed footprint leaves room.
-    fn place(&self, footprint: usize) -> Option<usize> {
+    /// How many chip copies the placement policy keeps per model.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        match self.placement {
+            PlacementPolicy::Replicated(k) => k.max(1),
+            _ => 1,
+        }
+    }
+
+    /// The chips the placement policy picks for a `footprint`-cell
+    /// model, primary first, or `None` when committed footprints leave
+    /// room for fewer copies than the policy demands.
+    fn place(&self, footprint: usize) -> Option<Vec<usize>> {
         let fits = |c: &&(usize, &ChipRegistry)| c.1.committed_cells + footprint <= c.1.budget;
         let indexed: Vec<(usize, &ChipRegistry)> = self.chips.iter().enumerate().collect();
         match self.placement {
-            PlacementPolicy::FirstFit => indexed.iter().find(fits).map(|(i, _)| *i),
+            PlacementPolicy::FirstFit => indexed.iter().find(fits).map(|(i, _)| vec![*i]),
             PlacementPolicy::LeastLoaded => indexed
                 .iter()
                 .filter(fits)
                 .min_by_key(|(i, c)| (c.committed_cells, *i))
-                .map(|(i, _)| *i),
+                .map(|(i, _)| vec![*i]),
+            PlacementPolicy::Replicated(_) => {
+                let mut order: Vec<usize> = indexed.iter().filter(fits).map(|(i, _)| *i).collect();
+                order.sort_by_key(|&i| (self.chips[i].committed_cells, i));
+                order.truncate(self.replica_count());
+                (order.len() == self.replica_count()).then_some(order)
+            }
         }
+    }
+
+    /// Permissive fallback when strict placement has no room: the
+    /// least-committed chips (lowest index on ties), as many distinct
+    /// ones as the policy wants and the cluster has.
+    fn fallback_placement(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.chips.len()).collect();
+        order.sort_by_key(|&i| (self.chips[i].committed_cells, i));
+        order.truncate(self.replica_count().min(self.chips.len()));
+        order
     }
 
     /// Admits a model, assigning it the next [`ModelId`], a chip, and a
@@ -252,15 +386,10 @@ impl Cluster {
     pub fn admit(&mut self, spec: ModelSpec) -> Result<ModelId, AdmitError> {
         Self::validate(&spec)?;
         let footprint = self.footprint_of(&spec);
-        let chip = self.place(footprint).unwrap_or_else(|| {
-            self.chips
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, c)| (c.committed_cells, *i))
-                .map(|(i, _)| i)
-                .expect("a cluster has at least one chip")
-        });
-        Ok(self.admit_on(spec, footprint, chip))
+        let chips = self
+            .place(footprint)
+            .unwrap_or_else(|| self.fallback_placement());
+        Ok(self.admit_on(spec, footprint, &chips))
     }
 
     /// [`Self::admit`] that refuses models no chip has committed room
@@ -275,9 +404,10 @@ impl Cluster {
         Self::validate(&spec)?;
         let footprint = self.footprint_of(&spec);
         match self.place(footprint) {
-            Some(chip) => Ok(self.admit_on(spec, footprint, chip)),
+            Some(chips) => Ok(self.admit_on(spec, footprint, &chips)),
             None => Err(AdmitError::Capacity {
                 footprint_cells: footprint,
+                replicas: self.replica_count(),
                 chip_budgets: self.chips.iter().map(ChipRegistry::budget).collect(),
                 committed_cells: self
                     .chips
@@ -294,20 +424,31 @@ impl Cluster {
         DeviceExecutor::new(self.base.clone()).model_footprint_cells(&spec.network)
     }
 
-    fn admit_on(&mut self, spec: ModelSpec, footprint_cells: usize, chip: usize) -> ModelId {
+    fn admit_on(&mut self, spec: ModelSpec, footprint_cells: usize, chips: &[usize]) -> ModelId {
         let index = self.entries.len();
+        // One seeded config shared by every replica: a model's device
+        // noise is a function of its admission index alone, so replicas
+        // answer byte-identically and failover never changes outputs.
         let config = self
             .base
             .clone()
             .with_seed(crate::request::request_seed(self.base.seed, index as u64));
-        let executor = DeviceExecutor::new(config).with_cache_budget(self.chips[chip].budget);
-        self.chips[chip].committed_cells += footprint_cells;
+        let residencies = chips
+            .iter()
+            .map(|&chip| {
+                self.chips[chip].committed_cells += footprint_cells;
+                Residency {
+                    chip,
+                    executor: DeviceExecutor::new(config.clone())
+                        .with_cache_budget(self.chips[chip].budget),
+                }
+            })
+            .collect();
         self.entries.push(ModelEntry {
             spec,
-            executor,
             last_use: 0,
             footprint_cells,
-            chip,
+            residencies,
         });
         ModelId(index)
     }
@@ -340,10 +481,39 @@ impl Cluster {
         &self.chips[chip.0]
     }
 
-    /// The chip `id` is currently placed on.
+    /// The chip `id`'s *primary* residency is currently placed on.
     #[must_use]
     pub fn chip_of(&self, id: ModelId) -> ChipId {
-        ChipId(self.entries[id.0].chip)
+        ChipId(self.entries[id.0].primary().chip)
+    }
+
+    /// Every chip `id` is resident on, primary first.
+    #[must_use]
+    pub fn residencies(&self, id: ModelId) -> Vec<ChipId> {
+        self.entries[id.0]
+            .residencies
+            .iter()
+            .map(|r| ChipId(r.chip))
+            .collect()
+    }
+
+    /// The chips that can *serve* `id` right now: non-failed residencies,
+    /// healthy before degraded, slot order within each class. Empty when
+    /// every residency's chip is down (the recovery trigger).
+    #[must_use]
+    pub fn serving_residencies(&self, id: ModelId) -> Vec<ChipId> {
+        let entry = &self.entries[id.0];
+        let mut healthy = Vec::new();
+        let mut degraded = Vec::new();
+        for r in &entry.residencies {
+            match self.chips[r.chip].health {
+                ChipHealth::Healthy => healthy.push(ChipId(r.chip)),
+                ChipHealth::Degraded => degraded.push(ChipId(r.chip)),
+                ChipHealth::Failed => {}
+            }
+        }
+        healthy.extend(degraded);
+        healthy
     }
 
     /// The admitted spec behind `id`.
@@ -362,10 +532,21 @@ impl Cluster {
         self.spec(id).network.input()
     }
 
-    /// The model's weight-stationary executor.
+    /// The model's primary weight-stationary executor.
     #[must_use]
     pub fn executor(&self, id: ModelId) -> &DeviceExecutor {
-        &self.entries[id.0].executor
+        &self.entries[id.0].primary().executor
+    }
+
+    /// The model's executor on a specific chip, or `None` when `id` has
+    /// no residency there.
+    #[must_use]
+    pub fn executor_on(&self, id: ModelId, chip: ChipId) -> Option<&DeviceExecutor> {
+        self.entries[id.0]
+            .residencies
+            .iter()
+            .find(|r| r.chip == chip.0)
+            .map(|r| &r.executor)
     }
 
     /// Marks `id` as the most recently used model (LRU bookkeeping).
@@ -380,21 +561,21 @@ impl Cluster {
         self.entries[id.0].footprint_cells
     }
 
-    /// The crossbar cells of `id` currently resident in its tile cache.
+    /// The crossbar cells of `id`'s primary residency currently in its
+    /// tile cache.
     #[must_use]
     pub fn resident_cells(&self, id: ModelId) -> usize {
-        self.entries[id.0].executor.cache_stats().cells
+        self.entries[id.0].primary().executor.cache_stats().cells
     }
 
-    /// Eagerly programs + compiles the model's missing tiles
+    /// Eagerly programs + compiles the primary residency's missing tiles
     /// ([`DeviceExecutor::prewarm`]), returning how many were compiled.
     /// Never evicts: callers budget-check against the model's *chip*
     /// first, so prewarming cannot change any chip's eviction sequence.
     pub fn prewarm(&self, id: ModelId) -> usize {
         let entry = &self.entries[id.0];
-        let compiled = entry
-            .executor
-            .prewarm(&entry.spec.network, &entry.spec.filters);
+        let executor = &entry.primary().executor;
+        let compiled = executor.prewarm(&entry.spec.network, &entry.spec.filters);
         if compiled > 0 {
             // One discarded zero-input forward warms the executor's
             // arena pool and pages the freshly compiled gain matrices
@@ -403,9 +584,7 @@ impl Cluster {
             // a discarded one cannot change any later result.
             let shape = entry.spec.network.input();
             let zeros = oxbar_nn::reference::Tensor3::new(shape, vec![0; shape.elements()]);
-            let _ = entry
-                .executor
-                .forward(&entry.spec.network, &zeros, &entry.spec.filters);
+            let _ = executor.forward(&entry.spec.network, &zeros, &entry.spec.filters);
         }
         compiled
     }
@@ -421,28 +600,38 @@ impl Cluster {
     /// rather than bounced again, so the pass terminates with *every*
     /// chip within budget. On a 1-chip cluster there is never a migration
     /// target, so the eviction sequence is exactly the single-registry
-    /// one.
+    /// one. Failed chips are skipped entirely: they serve nothing, and
+    /// their non-volatile state is left intact for recovery.
     pub fn enforce_budget(&mut self) -> usize {
         let mut evicted = 0;
-        let mut moved = vec![false; self.entries.len()];
-        while let Some(chip) =
-            (0..self.chips.len()).find(|&c| self.chip_occupancy(ChipId(c)) > self.chips[c].budget)
-        {
-            let victim = self
+        let mut moved: HashSet<(usize, usize)> = HashSet::new();
+        while let Some(chip) = (0..self.chips.len()).find(|&c| {
+            self.chips[c].health != ChipHealth::Failed
+                && self.chip_occupancy(ChipId(c)) > self.chips[c].budget
+        }) {
+            let (victim, slot) = self
                 .entries
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.chip == chip && e.executor.cache_stats().cells > 0)
-                .min_by_key(|(idx, e)| (e.last_use, *idx))
-                .map(|(idx, _)| idx)
+                .flat_map(|(idx, e)| {
+                    e.residencies
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.chip == chip && r.executor.cache_stats().cells > 0)
+                        .map(move |(slot, _)| (idx, slot, e.last_use))
+                })
+                .min_by_key(|&(idx, slot, last_use)| (last_use, idx, slot))
+                .map(|(idx, slot, _)| (idx, slot))
                 .expect("occupancy > 0 implies a resident model");
-            match self.migration_target(victim, chip) {
-                Some(dest) if !moved[victim] => {
-                    self.migrate(victim, dest);
-                    moved[victim] = true;
+            match self.migration_target(victim, slot, chip) {
+                Some(dest) if !moved.contains(&(victim, slot)) => {
+                    self.migrate_residency(victim, slot, dest);
+                    moved.insert((victim, slot));
                 }
                 _ => {
-                    self.entries[victim].executor.clear_cache();
+                    self.entries[victim].residencies[slot]
+                        .executor
+                        .clear_cache();
                     self.chips[chip].evictions += 1;
                     evicted += 1;
                 }
@@ -452,34 +641,47 @@ impl Cluster {
         evicted
     }
 
-    /// The chip a victim model could migrate to: a sibling whose current
-    /// occupancy leaves room for the victim's resident cells. Commitment
-    /// headroom is deliberately *not* required — a chip only over-occupies
-    /// after a permissive overflow admission, in which case no sibling has
-    /// committed room either, and demanding it would turn every hot-spot
-    /// into an eviction. Occupancy room suffices: moving the resident
-    /// state cannot push the destination over budget *now*, and if the
-    /// destination's own models later return, its enforcement pass
-    /// resolves the pressure the same way. Deterministic: the
-    /// least-occupied eligible sibling, lowest index on ties.
-    fn migration_target(&self, victim: usize, from: usize) -> Option<usize> {
-        let resident = self.entries[victim].executor.cache_stats().cells;
+    /// The chip a victim residency could migrate to: a sibling whose
+    /// current occupancy leaves room for the victim's resident cells.
+    /// Commitment headroom is deliberately *not* required — a chip only
+    /// over-occupies after a permissive overflow admission, in which case
+    /// no sibling has committed room either, and demanding it would turn
+    /// every hot-spot into an eviction. Occupancy room suffices: moving
+    /// the resident state cannot push the destination over budget *now*,
+    /// and if the destination's own models later return, its enforcement
+    /// pass resolves the pressure the same way. Failed chips and chips
+    /// already hosting another replica of the same model are never
+    /// targets. Deterministic: the least-occupied eligible sibling,
+    /// lowest index on ties.
+    fn migration_target(&self, victim: usize, slot: usize, from: usize) -> Option<usize> {
+        let entry = &self.entries[victim];
+        let resident = entry.residencies[slot].executor.cache_stats().cells;
+        let sibling_chips: Vec<usize> = entry.residencies.iter().map(|r| r.chip).collect();
         (0..self.chips.len())
-            .filter(|&c| c != from)
+            .filter(|&c| c != from && !sibling_chips.contains(&c))
+            .filter(|&c| self.chips[c].health != ChipHealth::Failed)
             .map(|c| (self.chip_occupancy(ChipId(c)), c))
             .filter(|&(occ, c)| occ + resident <= self.chips[c].budget)
             .min()
             .map(|(_, c)| c)
     }
 
-    /// Moves a model to another chip by snapshot/restore of its
+    /// Moves a model's primary residency to another chip. Kept as the
+    /// single-residency migration entry point (tests exercise it to
+    /// stage hot spots deliberately).
+    #[cfg(test)]
+    pub(crate) fn migrate(&mut self, victim: usize, dest: usize) {
+        self.migrate_residency(victim, 0, dest);
+    }
+
+    /// Moves one residency to another chip by snapshot/restore of its
     /// programmed tile state — bit-exact, so outputs never change.
-    fn migrate(&mut self, victim: usize, dest: usize) {
-        let from = self.entries[victim].chip;
-        let mut snap = self.entries[victim].executor.snapshot();
+    fn migrate_residency(&mut self, victim: usize, slot: usize, dest: usize) {
+        let from = self.entries[victim].residencies[slot].chip;
+        let mut snap = self.entries[victim].residencies[slot].executor.snapshot();
         snap.cache_budget = self.chips[dest].budget;
-        self.entries[victim].executor = DeviceExecutor::restore(&snap);
-        self.entries[victim].chip = dest;
+        self.entries[victim].residencies[slot].executor = DeviceExecutor::restore(&snap);
+        self.entries[victim].residencies[slot].chip = dest;
         let footprint = self.entries[victim].footprint_cells;
         self.chips[from].committed_cells -= footprint;
         self.chips[dest].committed_cells += footprint;
@@ -500,18 +702,160 @@ impl Cluster {
         self.migrations
     }
 
+    /// Total snapshot/restore recoveries since the cluster was created.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Wall-clock milliseconds spent in snapshot/restore recoveries
+    /// (observational; never feeds back into scheduling decisions).
+    #[must_use]
+    pub fn recovery_ms(&self) -> f64 {
+        self.recovery_ms
+    }
+
+    /// The scheduler-visible health of `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    #[must_use]
+    pub fn chip_health(&self, chip: ChipId) -> ChipHealth {
+        self.chips[chip.0].health
+    }
+
+    /// Kills `chip`: marks it [`ChipHealth::Failed`] and injects a
+    /// control-plane kill into every residency executor on it, so any
+    /// in-flight execute surfaces [`oxbar_sim::ExecError::ChipFailed`]
+    /// instead of producing output. The chip's programmed state stays
+    /// snapshot-readable (PCM non-volatility), which is what
+    /// [`Self::recover`] relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    pub fn kill_chip(&mut self, chip: ChipId) {
+        self.mark_chip_failed(chip);
+        self.inject_chip_failure(chip);
+    }
+
+    /// The health-marking half of [`Self::kill_chip`]: routing and
+    /// recovery stop considering the chip, but already-dispatched
+    /// executes on it still complete. The scheduler uses the split to
+    /// fail a chip *between* dispatch rounds without corrupting the
+    /// round in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    pub fn mark_chip_failed(&mut self, chip: ChipId) {
+        self.chips[chip.0].health = ChipHealth::Failed;
+    }
+
+    /// The executor-injection half of [`Self::kill_chip`]: every
+    /// residency executor on the chip starts refusing execution with
+    /// [`oxbar_sim::ExecError::ChipFailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    pub fn inject_chip_failure(&self, chip: ChipId) {
+        assert!(chip.0 < self.chips.len(), "chip {chip:?} out of range");
+        for entry in &self.entries {
+            for r in entry.residencies.iter().filter(|r| r.chip == chip.0) {
+                r.executor.inject_fault(InjectedFault::Kill);
+            }
+        }
+    }
+
+    /// Marks `chip` drift-degraded: it keeps serving (byte-identically),
+    /// but replica routing prefers healthy chips. A failed chip stays
+    /// failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    pub fn degrade_chip(&mut self, chip: ChipId) {
+        if self.chips[chip.0].health != ChipHealth::Failed {
+            self.chips[chip.0].health = ChipHealth::Degraded;
+        }
+        for entry in &self.entries {
+            for r in entry.residencies.iter().filter(|r| r.chip == chip.0) {
+                r.executor.inject_fault(InjectedFault::Drift);
+            }
+        }
+    }
+
+    /// Records one fault-driven batch retry against `chip`.
+    pub fn note_retry(&mut self, chip: ChipId) {
+        self.chips[chip.0].retries += 1;
+    }
+
+    /// Records one shed request against `chip` (the chip whose failure
+    /// forced the shed).
+    pub fn note_shed(&mut self, chip: ChipId) {
+        self.chips[chip.0].sheds += 1;
+    }
+
+    /// Recovers a model with **no serving residency** onto the
+    /// least-occupied non-failed chip (lowest index on ties) by
+    /// snapshot/restore of its richest residency — readable even on a
+    /// killed chip, because PCM state is non-volatile. All old
+    /// residencies are dropped; the model continues as a single healthy
+    /// copy whose outputs are byte-identical to before the failure.
+    /// Returns the destination, or `None` when every chip is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this cluster.
+    pub fn recover(&mut self, id: ModelId) -> Option<ChipId> {
+        let dest = (0..self.chips.len())
+            .filter(|&c| self.chips[c].health != ChipHealth::Failed)
+            .map(|c| (self.chip_occupancy(ChipId(c)), c))
+            .min()
+            .map(|(_, c)| c)?;
+        let started = std::time::Instant::now();
+        let entry = &self.entries[id.0];
+        // Snapshot the residency with the most compiled state so the
+        // recovered chip starts as warm as possible; ties to slot order.
+        let source = entry
+            .residencies
+            .iter()
+            .enumerate()
+            .max_by_key(|(slot, r)| (r.executor.cache_stats().cells, usize::MAX - slot))
+            .map(|(_, r)| r)
+            .expect("every entry has at least one residency");
+        let mut snap = source.executor.snapshot();
+        snap.cache_budget = self.chips[dest].budget;
+        let restored = DeviceExecutor::restore(&snap);
+        let footprint = self.entries[id.0].footprint_cells;
+        for r in &self.entries[id.0].residencies {
+            self.chips[r.chip].committed_cells -= footprint;
+        }
+        self.chips[dest].committed_cells += footprint;
+        self.entries[id.0].residencies = vec![Residency {
+            chip: dest,
+            executor: restored,
+        }];
+        self.recoveries += 1;
+        self.recovery_ms += started.elapsed().as_secs_f64() * 1e3;
+        Some(ChipId(dest))
+    }
+
     /// The summed weight-stationary cell budget across chips.
     #[must_use]
     pub fn budget(&self) -> usize {
         self.chips.iter().map(|c| c.budget).sum()
     }
 
-    /// Summed cache occupancy across all models, in cells.
+    /// Summed cache occupancy across all residencies, in cells.
     #[must_use]
     pub fn occupancy(&self) -> usize {
         self.entries
             .iter()
-            .map(|e| e.executor.cache_stats().cells)
+            .flat_map(|e| &e.residencies)
+            .map(|r| r.executor.cache_stats().cells)
             .sum()
     }
 
@@ -525,20 +869,22 @@ impl Cluster {
         assert!(chip.0 < self.chips.len(), "chip {chip:?} out of range");
         self.entries
             .iter()
-            .filter(|e| e.chip == chip.0)
-            .map(|e| e.executor.cache_stats().cells)
+            .flat_map(|e| &e.residencies)
+            .filter(|r| r.chip == chip.0)
+            .map(|r| r.executor.cache_stats().cells)
             .sum()
     }
 
-    /// Per-model cache statistics, in admission order.
+    /// Per-model cache statistics (primary residency), in admission
+    /// order.
     #[must_use]
     pub fn cache_stats(&self) -> Vec<ModelCacheStats> {
         self.entries
             .iter()
             .map(|e| ModelCacheStats {
                 name: e.spec.name.clone(),
-                chip: e.chip,
-                cache: e.executor.cache_stats(),
+                chip: e.primary().chip,
+                cache: e.primary().executor.cache_stats(),
             })
             .collect()
     }
@@ -551,8 +897,13 @@ impl Cluster {
             .enumerate()
             .map(|(c, chip)| {
                 let (mut hits, mut misses, mut models, mut occupancy) = (0, 0, 0, 0);
-                for e in self.entries.iter().filter(|e| e.chip == c) {
-                    let stats = e.executor.cache_stats();
+                for r in self
+                    .entries
+                    .iter()
+                    .flat_map(|e| &e.residencies)
+                    .filter(|r| r.chip == c)
+                {
+                    let stats = r.executor.cache_stats();
                     hits += stats.hits;
                     misses += stats.misses;
                     occupancy += stats.cells;
@@ -568,6 +919,9 @@ impl Cluster {
                     migrations_out: chip.migrations_out,
                     hits,
                     misses,
+                    health: chip.health,
+                    retries: chip.retries,
+                    sheds: chip.sheds,
                 }
             })
             .collect()
@@ -653,10 +1007,12 @@ mod tests {
         match &err {
             AdmitError::Capacity {
                 footprint_cells,
+                replicas,
                 chip_budgets,
                 committed_cells,
             } => {
                 assert!(*footprint_cells > 20_000);
+                assert_eq!(*replicas, 1);
                 assert_eq!(chip_budgets, &[10_000, 20_000]);
                 assert_eq!(committed_cells, &[0, 0]);
             }
@@ -717,6 +1073,139 @@ mod tests {
         assert_eq!(stats[0].migrations_in, 1, "the setup drag onto chip 0");
         assert_eq!(stats[1].migrations_in, 1, "the enforcement move of `a`");
         assert_eq!(stats[0].evictions, 0);
+    }
+
+    #[test]
+    fn replicated_placement_spreads_copies_across_distinct_chips() {
+        let mut cluster = Cluster::new(
+            SimConfig::ideal(128, 128),
+            &[100_000, 100_000, 100_000],
+            PlacementPolicy::Replicated(2),
+        );
+        let a = cluster.admit_strict(lenet_spec(1)).unwrap();
+        let homes = cluster.residencies(a);
+        assert_eq!(homes, vec![ChipId(0), ChipId(1)], "two distinct chips");
+        assert_eq!(cluster.chip_of(a), ChipId(0), "slot 0 is primary");
+        // Both replicas share the admission seed → identical outputs.
+        let spec = cluster.spec(a);
+        let input = synthetic::activations(spec.network.input(), 6, 5);
+        let (net, filt) = (spec.network.clone(), spec.filters.clone());
+        let primary = cluster
+            .executor_on(a, ChipId(0))
+            .unwrap()
+            .forward(&net, &input, &filt)
+            .unwrap();
+        let replica = cluster
+            .executor_on(a, ChipId(1))
+            .unwrap()
+            .forward(&net, &input, &filt)
+            .unwrap();
+        assert_eq!(replica, primary, "replicas answer byte-identically");
+    }
+
+    #[test]
+    fn strict_replicated_admission_demands_k_chips_with_room() {
+        // Only one chip can hold a LeNet copy: Replicated(2) must refuse.
+        let mut cluster = Cluster::new(
+            SimConfig::ideal(128, 128),
+            &[100_000, 10_000],
+            PlacementPolicy::Replicated(2),
+        );
+        let err = cluster.admit_strict(lenet_spec(1)).unwrap_err();
+        match &err {
+            AdmitError::Capacity { replicas, .. } => assert_eq!(*replicas, 2),
+            other => panic!("expected Capacity, got {other:?}"),
+        }
+        // Permissive admission clamps to the chips available.
+        let a = cluster.admit(lenet_spec(1)).unwrap();
+        assert_eq!(cluster.residencies(a).len(), 2);
+    }
+
+    #[test]
+    fn killed_chip_fails_over_to_the_surviving_replica() {
+        let mut cluster = Cluster::new(
+            SimConfig::noisy(128, 128).with_threads(1),
+            &[100_000, 100_000],
+            PlacementPolicy::Replicated(2),
+        );
+        let a = cluster.admit_strict(lenet_spec(1)).unwrap();
+        let spec = cluster.spec(a);
+        let input = synthetic::activations(spec.network.input(), 6, 7);
+        let (net, filt) = (spec.network.clone(), spec.filters.clone());
+        let before = cluster
+            .executor_on(a, ChipId(0))
+            .unwrap()
+            .forward(&net, &input, &filt)
+            .unwrap();
+
+        cluster.kill_chip(ChipId(0));
+        assert_eq!(cluster.chip_health(ChipId(0)), ChipHealth::Failed);
+        assert!(cluster.executor_on(a, ChipId(0)).unwrap().is_failed());
+        assert_eq!(
+            cluster.serving_residencies(a),
+            vec![ChipId(1)],
+            "routing skips the dead chip"
+        );
+        let after = cluster
+            .executor_on(a, ChipId(1))
+            .unwrap()
+            .forward(&net, &input, &filt)
+            .unwrap();
+        assert_eq!(after, before, "failover is invisible in outputs");
+    }
+
+    #[test]
+    fn unreplicated_model_recovers_by_snapshot_restore() {
+        let mut cluster = Cluster::new(
+            SimConfig::noisy(128, 128).with_threads(1),
+            &[100_000, 100_000],
+            PlacementPolicy::FirstFit,
+        );
+        let a = cluster.admit(lenet_spec(1)).unwrap();
+        make_resident(&mut cluster, a);
+        let spec = cluster.spec(a);
+        let input = synthetic::activations(spec.network.input(), 6, 8);
+        let (net, filt) = (spec.network.clone(), spec.filters.clone());
+        let before = cluster.executor(a).forward(&net, &input, &filt).unwrap();
+
+        cluster.kill_chip(ChipId(0));
+        assert!(cluster.serving_residencies(a).is_empty());
+        let dest = cluster.recover(a).expect("a healthy chip remains");
+        assert_eq!(dest, ChipId(1));
+        assert_eq!(cluster.chip_of(a), ChipId(1));
+        assert_eq!(cluster.recoveries(), 1);
+        assert!(
+            cluster.resident_cells(a) > 0,
+            "recovery restores the warm tile state"
+        );
+        let after = cluster.executor(a).forward(&net, &input, &filt).unwrap();
+        assert_eq!(after, before, "recovery is byte-exact");
+        // Committed bookkeeping followed the model off the dead chip.
+        assert_eq!(cluster.chip(ChipId(0)).committed_cells(), 0);
+        assert_eq!(
+            cluster.chip(ChipId(1)).committed_cells(),
+            cluster.footprint_cells(a)
+        );
+    }
+
+    #[test]
+    fn degraded_chips_serve_but_rank_behind_healthy_replicas() {
+        let mut cluster = Cluster::new(
+            SimConfig::ideal(128, 128),
+            &[100_000, 100_000],
+            PlacementPolicy::Replicated(2),
+        );
+        let a = cluster.admit_strict(lenet_spec(1)).unwrap();
+        cluster.degrade_chip(ChipId(0));
+        assert_eq!(cluster.chip_health(ChipId(0)), ChipHealth::Degraded);
+        assert_eq!(
+            cluster.serving_residencies(a),
+            vec![ChipId(1), ChipId(0)],
+            "healthy replica ranks first; degraded still serves"
+        );
+        let stats = cluster.chip_stats();
+        assert_eq!(stats[0].health, ChipHealth::Degraded);
+        assert_eq!(stats[1].health, ChipHealth::Healthy);
     }
 
     #[test]

@@ -2,14 +2,18 @@
 //! deterministic parallel scheduler over a cluster of chips.
 
 use crate::batcher::{form_batches, route_rounds, Batch, BatchPolicy};
-use crate::cluster::{ChipId, ChipStats, Cluster, PlacementPolicy};
+use crate::cluster::{ChipHealth, ChipId, ChipStats, Cluster, PlacementPolicy};
 use crate::registry::{AdmitError, ModelCacheStats, ModelSpec};
 use crate::request::{Completion, InferRequest, ModelId, RequestId};
 use oxbar_core::dse::parallel_map;
 use oxbar_nn::TensorShape;
-use oxbar_sim::SimConfig;
+use oxbar_sim::{DeviceExecutor, ExecError, FaultEvent, FaultPlan, InjectedFault, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// How many times one request's execute retries through transient tile
+/// faults before the batch escalates to failover.
+const MAX_TILE_RETRIES: usize = 3;
 
 /// Full configuration of a [`ServeEngine`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +45,22 @@ pub struct ServeConfig {
     pub chip_budgets: Vec<usize>,
     /// How admitted models place onto chips (ignored on a single chip).
     pub placement: PlacementPolicy,
+    /// Deterministic fault schedule, keyed on the engine's global batch
+    /// dispatch counter: an event with round `r` lands just before the
+    /// `r`-th batch dispatched since engine creation. Keying on dispatch
+    /// sequence — never wall clock — keeps failover, shedding, and
+    /// recovery decisions byte-identical across worker counts. Empty by
+    /// default: a no-fault engine is byte-identical to one without this
+    /// field.
+    pub fault_plan: FaultPlan,
+    /// Ticks of schedule slip a failed-over batch is charged when the
+    /// deadline shedder decides whether a re-routed request can still
+    /// make its deadline: a member is shed iff its deadline precedes the
+    /// batch's latest arrival plus this penalty. Applies **only** to
+    /// batches re-routed off a failed chip — no-fault scheduling never
+    /// sheds. The default of 0 sheds only requests that provably could
+    /// not complete (deadline before arrival).
+    pub failover_penalty: u64,
 }
 
 impl ServeConfig {
@@ -57,6 +77,8 @@ impl ServeConfig {
             prewarm: true,
             chip_budgets: Vec::new(),
             placement: PlacementPolicy::FirstFit,
+            fault_plan: FaultPlan::new(),
+            failover_penalty: 0,
         }
     }
 
@@ -103,6 +125,20 @@ impl ServeConfig {
         self
     }
 
+    /// Schedules a deterministic fault plan (empty by default).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Overrides the failover deadline penalty, in ticks.
+    #[must_use]
+    pub fn with_failover_penalty(mut self, ticks: u64) -> Self {
+        self.failover_penalty = ticks;
+        self
+    }
+
     /// The effective per-chip budgets: `chip_budgets`, or one chip of
     /// `cache_budget_cells` when empty.
     #[must_use]
@@ -141,6 +177,20 @@ pub struct EngineStats {
     /// Per-chip statistics, in chip-index order (one entry on a
     /// single-chip engine).
     pub chips: Vec<ChipStats>,
+    /// Fault-driven re-executions: transient tile-fault retries plus
+    /// batches re-routed off a failed chip (each re-route counts once).
+    pub retries: u64,
+    /// Requests shed instead of served — re-routed members whose
+    /// deadline could not survive the failover penalty, or members with
+    /// no healthy chip left to run on. Shed requests complete with a
+    /// structured notice, never silently.
+    pub sheds: u64,
+    /// Models recovered by snapshot/restore after losing every serving
+    /// residency (the PCM-non-volatility path).
+    pub recoveries: u64,
+    /// Total wall-clock milliseconds spent inside those recoveries
+    /// (observational only; nothing branches on it).
+    pub recovery_ms: f64,
 }
 
 impl EngineStats {
@@ -239,11 +289,69 @@ pub struct DrainTrace {
     /// executed concurrently in round `k` (ascending). Every batch
     /// appears in exactly one round.
     pub rounds: Vec<Vec<usize>>,
+    /// Requests shed by the fault handler instead of completed, in
+    /// dispatch order. Empty on a no-fault drain. Every queued request
+    /// lands in exactly one of `completions` or `sheds` — nothing is
+    /// silently lost.
+    pub sheds: Vec<ShedNotice>,
+}
+
+/// A request the engine shed instead of served: its batch was re-routed
+/// off a failed chip and the member either could not meet its deadline
+/// under the failover penalty or had no healthy chip left to run on.
+///
+/// The notice carries everything the serving edge needs to answer the
+/// client explicitly — shedding is a structured completion, never a
+/// hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedNotice {
+    /// The request that was shed.
+    pub id: RequestId,
+    /// The model it targeted.
+    pub model: ModelId,
+    /// Its arrival tick.
+    pub arrival: u64,
+    /// Its advisory deadline, if any.
+    pub deadline: Option<u64>,
+    /// Human-readable reason for the shed.
+    pub detail: String,
 }
 
 struct Queued {
     id: RequestId,
     request: InferRequest,
+}
+
+/// Where a batch executes, as resolved by the drain-start fault walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FateChip {
+    /// Execute on this cluster chip.
+    Fixed(usize),
+    /// Execute wherever the model currently resides — used after a
+    /// snapshot recovery, whose destination chip is picked at run time.
+    Primary,
+    /// Every member is shed; nothing executes.
+    Shed,
+}
+
+/// The fault plan's verdict for one batch.
+///
+/// Fates are computed in global dispatch-sequence order before any round
+/// runs, from the fault plan alone — so which chip serves a batch, which
+/// members are shed, and where recoveries happen are pure functions of
+/// the trace and the plan, identical for every worker count.
+#[derive(Debug, Clone)]
+struct BatchFate {
+    chip: FateChip,
+    /// Queue slots (batch members) shed by the deadline rule, ascending.
+    shed: Vec<usize>,
+    /// The failed chip this batch was re-routed away from, if any.
+    failed_from: Option<usize>,
+    /// The batch absorbs one armed transient tile fault: its first
+    /// execute fails once and retries in place, byte-identically.
+    transient: bool,
+    /// Snapshot-recover the model before this batch runs.
+    recover: bool,
 }
 
 /// A deterministic, multi-model, batched inference engine over the
@@ -293,17 +401,22 @@ pub struct ServeEngine {
     batches: u64,
     prewarms: u64,
     prewarmed_tiles: u64,
+    retries: u64,
+    sheds: u64,
+    /// Next fault-plan round (global dispatch sequence number) the fate
+    /// walk has not consumed yet.
+    fault_cursor: u64,
+    /// Transient tile faults armed on each chip but not yet absorbed by
+    /// a batch (events can outpace a chip's traffic within one drain).
+    pending_transients: Vec<u64>,
 }
 
 impl ServeEngine {
     /// Creates an empty engine.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
-        let registry = Cluster::new(
-            config.device.clone(),
-            &config.effective_chip_budgets(),
-            config.placement,
-        );
+        let budgets = config.effective_chip_budgets();
+        let registry = Cluster::new(config.device.clone(), &budgets, config.placement);
         Self {
             config,
             registry,
@@ -313,6 +426,10 @@ impl ServeEngine {
             batches: 0,
             prewarms: 0,
             prewarmed_tiles: 0,
+            retries: 0,
+            sheds: 0,
+            fault_cursor: 0,
+            pending_transients: vec![0; budgets.len()],
         }
     }
 
@@ -502,12 +619,24 @@ impl ServeEngine {
         let workers = effective_workers(self.config.workers);
         let mut completions = Vec::with_capacity(queue.len());
         let mut timings = vec![0.0; batches.len()];
+        let mut shed_notices: Vec<ShedNotice> = Vec::new();
         let round_size = workers.max(1);
+        let seq_base = self.batches;
+        // Resolve the fault plan into one fate per batch, in global
+        // dispatch-sequence order: which chip serves it, whether it
+        // absorbs a transient, which members are shed. Doing this before
+        // any round runs makes every fault decision a pure function of
+        // the trace and the plan — identical for every worker count.
+        let (fates, leftover_transients) = self.plan_fates(&batches, &queue, seq_base);
         // Batches route into rounds chip-aware: each round prefers
         // batches on distinct chips, so concurrent workers drive
-        // different arrays. On one chip this is exactly
-        // `batches.chunks(round_size)`.
-        let rounds = route_rounds(&batches, round_size, |m| self.registry.chip_of(m).0);
+        // different arrays. Replicated models spread successive batches
+        // across their replicas (the fate's chip); on one chip this is
+        // exactly `batches.chunks(round_size)`.
+        let rounds = route_rounds(&batches, round_size, |b: &Batch| match fates[b.seq].chip {
+            FateChip::Fixed(c) => c,
+            FateChip::Primary | FateChip::Shed => self.registry.chip_of(b.model).0,
+        });
         let mut pending = vec![true; batches.len()];
         // Pipeline fill: program the first models' tiles before the first
         // round dispatches, so not even batch 0 stalls on programming.
@@ -516,11 +645,46 @@ impl ServeEngine {
                 self.run_prewarm_stage(target);
             }
         }
+        // A chip kill is staged across two single-threaded round
+        // boundaries: routing, recovery, and stats see the failure as
+        // soon as the first post-kill batch's round arrives (`marks`),
+        // but its executors die only once every pre-kill batch has
+        // drained (`injections`) — round minimum sequence numbers are
+        // strictly increasing, so a pre-kill batch can never trail the
+        // injection point.
+        let mut mark_cursor = self.fault_cursor;
+        let mut inject_cursor = self.fault_cursor;
         for round_indices in &rounds {
-            let round: Vec<&Batch> = round_indices.iter().map(|&i| &batches[i]).collect();
             for &i in round_indices {
                 pending[i] = false;
             }
+            let min_seq = seq_base + *round_indices.first().expect("rounds are non-empty") as u64;
+            let max_seq = seq_base + *round_indices.last().expect("rounds are non-empty") as u64;
+            self.apply_fault_marks(&mut mark_cursor, max_seq);
+            self.apply_fault_injections(&mut inject_cursor, min_seq);
+            // Recoveries and transient arming, in dispatch-sequence
+            // order at this single-threaded boundary.
+            for &i in round_indices {
+                let fate = &fates[i];
+                if fate.recover
+                    && self
+                        .registry
+                        .serving_residencies(batches[i].model)
+                        .is_empty()
+                {
+                    self.registry.recover(batches[i].model);
+                }
+                if fate.transient {
+                    if let FateChip::Fixed(chip) = fate.chip {
+                        if let Some(exec) =
+                            self.registry.executor_on(batches[i].model, ChipId(chip))
+                        {
+                            exec.inject_fault(InjectedFault::TileTransient { layer: 0, tile: 0 });
+                        }
+                    }
+                }
+            }
+            let round: Vec<&Batch> = round_indices.iter().map(|&i| &batches[i]).collect();
             let targets = if self.config.prewarm {
                 self.prewarm_targets(&batches, &pending, &round)
             } else {
@@ -538,6 +702,7 @@ impl ServeEngine {
             // force an eviction that lazy compilation would not have.
             let concurrent = workers > 1;
             let registry = &self.registry;
+            let fates_ref = &fates;
             let (executed, stage_results) = std::thread::scope(|scope| {
                 let stages: Vec<_> = if concurrent {
                     targets
@@ -549,7 +714,7 @@ impl ServeEngine {
                 };
                 let executed = parallel_map(&round, workers, |_, batch| {
                     let start = std::time::Instant::now();
-                    let done = self.execute_batch(batch, &queue);
+                    let done = self.execute_fated(batch, &queue, &fates_ref[batch.seq]);
                     (done, start.elapsed().as_secs_f64() * 1e3)
                 });
                 let stage_results: Vec<usize> = stages
@@ -568,19 +733,350 @@ impl ServeEngine {
                     self.run_prewarm_stage(target);
                 }
             }
-            for (batch, (mut done, ms)) in round.iter().zip(executed) {
+            for (batch, (result, ms)) in round.iter().zip(executed) {
                 self.registry.touch(batch.model);
-                completions.append(&mut done);
                 timings[batch.seq] = ms;
+                let fate = &fates[batch.seq];
+                // Planned fault bookkeeping: a re-route charges one
+                // retry to the failed chip; planned sheds complete with
+                // a structured notice.
+                if fate.transient {
+                    if let FateChip::Fixed(chip) = fate.chip {
+                        self.retries += 1;
+                        self.registry.note_retry(ChipId(chip));
+                    }
+                }
+                if let Some(from) = fate.failed_from {
+                    // A re-route only counts as a retry if something
+                    // actually re-executes.
+                    if !matches!(fate.chip, FateChip::Shed) && fate.shed.len() < batch.members.len()
+                    {
+                        self.retries += 1;
+                        self.registry.note_retry(ChipId(from));
+                    }
+                }
+                if !fate.shed.is_empty() {
+                    let chip = fate
+                        .failed_from
+                        .unwrap_or_else(|| self.registry.chip_of(batch.model).0);
+                    let detail = if matches!(fate.chip, FateChip::Shed) {
+                        format!("no healthy chip left after chip {chip} failed")
+                    } else {
+                        format!(
+                            "deadline unreachable after chip {chip} failed \
+                             (failover penalty {} ticks)",
+                            self.config.failover_penalty
+                        )
+                    };
+                    self.shed_members(batch, &queue, &fate.shed, chip, &detail, &mut shed_notices);
+                }
+                match result {
+                    Ok(mut done) => completions.append(&mut done),
+                    Err(failed_chip) => {
+                        // The planned chip refused execution — a kill
+                        // landed ahead of the plan (e.g. on a recovery
+                        // destination). Re-resolve serially: surviving
+                        // replicas, then snapshot recovery, then shed.
+                        let (mut done, extra_ms) = self.execute_with_failover(
+                            batch,
+                            &queue,
+                            fate,
+                            failed_chip,
+                            &mut shed_notices,
+                        );
+                        timings[batch.seq] += extra_ms;
+                        completions.append(&mut done);
+                    }
+                }
             }
             self.registry.enforce_budget();
         }
+        // Catch up fault state the round walk did not reach (events at
+        // the tail of the drain), so stats read between drains agree
+        // with the plan.
+        if let Some(last) = batches.len().checked_sub(1) {
+            let last_seq = seq_base + last as u64;
+            self.apply_fault_marks(&mut mark_cursor, last_seq);
+            self.apply_fault_injections(&mut inject_cursor, last_seq);
+            self.fault_cursor = last_seq + 1;
+        }
+        self.pending_transients = leftover_transients;
         self.requests += completions.len() as u64;
         self.batches += batches.len() as u64;
         DrainTrace {
             completions,
             batch_ms: timings,
             rounds,
+            sheds: shed_notices,
+        }
+    }
+
+    /// Resolves the fault plan into one [`BatchFate`] per batch, walking
+    /// batches in global dispatch-sequence order. Returns the fates and
+    /// the per-chip transient faults still armed after the walk.
+    ///
+    /// The walk is pure: it reads cluster state but mutates nothing, so
+    /// the plan every round later executes is fixed before the first
+    /// round runs.
+    fn plan_fates(
+        &self,
+        batches: &[Batch],
+        queue: &[Queued],
+        seq_base: u64,
+    ) -> (Vec<BatchFate>, Vec<u64>) {
+        let chips = self.registry.chip_count();
+        let mut failed: Vec<bool> = (0..chips)
+            .map(|c| self.registry.chip_health(ChipId(c)) == ChipHealth::Failed)
+            .collect();
+        let mut degraded: Vec<bool> = (0..chips)
+            .map(|c| self.registry.chip_health(ChipId(c)) == ChipHealth::Degraded)
+            .collect();
+        let mut armed = self.pending_transients.clone();
+        // Per-model residency chips; `None` marks "wherever the snapshot
+        // recovery lands" (a non-failed chip by construction).
+        let mut homes: Vec<Option<Vec<Option<usize>>>> = vec![None; self.registry.len()];
+        let mut cursor = self.fault_cursor;
+        let mut fates = Vec::with_capacity(batches.len());
+        for (idx, batch) in batches.iter().enumerate() {
+            let seq = seq_base + idx as u64;
+            for event in self.config.fault_plan.events() {
+                if event.round() < cursor || event.round() > seq || event.chip() >= chips {
+                    continue;
+                }
+                match event {
+                    FaultEvent::ChipKill { .. } => failed[event.chip()] = true,
+                    FaultEvent::Drift { .. } => degraded[event.chip()] = true,
+                    FaultEvent::TileTransient { .. } => armed[event.chip()] += 1,
+                }
+            }
+            cursor = seq + 1;
+            let home = homes[batch.model.0].get_or_insert_with(|| {
+                self.registry
+                    .residencies(batch.model)
+                    .iter()
+                    .map(|c| Some(c.0))
+                    .collect()
+            });
+            // Serving preference: healthy replicas first, then degraded,
+            // then failed; slot order within a class. A recovered home
+            // (`None`) counts healthy. Requests load-balance across the
+            // whole list by dispatch sequence, so replicas share traffic
+            // and a failure only re-routes the failed chip's share.
+            let rank = |h: &Option<usize>| match *h {
+                None => 0,
+                Some(c) if failed[c] => 2,
+                Some(c) if degraded[c] => 1,
+                Some(_) => 0,
+            };
+            let mut order: Vec<Option<usize>> = Vec::with_capacity(home.len());
+            for class in 0..3 {
+                order.extend(home.iter().filter(|h| rank(h) == class).copied());
+            }
+            let nominal = order[seq as usize % order.len()];
+            let mut fate = match nominal {
+                None => BatchFate {
+                    chip: FateChip::Primary,
+                    shed: Vec::new(),
+                    failed_from: None,
+                    transient: false,
+                    recover: false,
+                },
+                Some(chip) if !failed[chip] => BatchFate {
+                    chip: FateChip::Fixed(chip),
+                    shed: Vec::new(),
+                    failed_from: None,
+                    transient: false,
+                    recover: false,
+                },
+                Some(chip) => {
+                    // Failover: re-route to the best surviving replica.
+                    // Members whose deadline cannot absorb the re-route
+                    // penalty are shed — the only path that ever sheds.
+                    let target = order.iter().copied().find(|o| o.is_none_or(|t| !failed[t]));
+                    let max_arrival = batch
+                        .members
+                        .iter()
+                        .map(|&s| queue[s].request.arrival)
+                        .max()
+                        .unwrap_or(0);
+                    let horizon = max_arrival.saturating_add(self.config.failover_penalty);
+                    let shed: Vec<usize> = batch
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|&s| queue[s].request.deadline.is_some_and(|d| d < horizon))
+                        .collect();
+                    match target {
+                        Some(t) => BatchFate {
+                            chip: t.map_or(FateChip::Primary, FateChip::Fixed),
+                            shed,
+                            failed_from: Some(chip),
+                            transient: false,
+                            recover: false,
+                        },
+                        None if failed.iter().all(|&f| f) => BatchFate {
+                            chip: FateChip::Shed,
+                            shed: batch.members.clone(),
+                            failed_from: Some(chip),
+                            transient: false,
+                            recover: false,
+                        },
+                        None => {
+                            *home = vec![None];
+                            BatchFate {
+                                chip: FateChip::Primary,
+                                shed,
+                                failed_from: Some(chip),
+                                transient: false,
+                                recover: true,
+                            }
+                        }
+                    }
+                }
+            };
+            if let FateChip::Fixed(chip) = fate.chip {
+                if armed[chip] > 0 && fate.shed.len() < batch.members.len() {
+                    armed[chip] -= 1;
+                    fate.transient = true;
+                }
+            }
+            fates.push(fate);
+        }
+        (fates, armed)
+    }
+
+    /// Applies the health-marking half of kill/degrade events with
+    /// rounds in `[*cursor, through]`, advancing the cursor. Routing,
+    /// recovery destinations, and stats see the failure from here on.
+    fn apply_fault_marks(&mut self, cursor: &mut u64, through: u64) {
+        if *cursor > through {
+            return;
+        }
+        let chips = self.registry.chip_count();
+        let events: Vec<FaultEvent> = self
+            .config
+            .fault_plan
+            .events()
+            .iter()
+            .filter(|e| e.round() >= *cursor && e.round() <= through && e.chip() < chips)
+            .copied()
+            .collect();
+        for event in events {
+            match event {
+                FaultEvent::ChipKill { chip, .. } => self.registry.mark_chip_failed(ChipId(chip)),
+                FaultEvent::Drift { chip, .. } => self.registry.degrade_chip(ChipId(chip)),
+                FaultEvent::TileTransient { .. } => {}
+            }
+        }
+        *cursor = through + 1;
+    }
+
+    /// Applies the executor-killing half of kill events with rounds in
+    /// `[*cursor, before]`, advancing the cursor. `before` is the
+    /// current round's minimum dispatch sequence: every batch planned
+    /// before the kill has already drained, so no in-flight execute can
+    /// be corrupted.
+    fn apply_fault_injections(&mut self, cursor: &mut u64, before: u64) {
+        if *cursor > before {
+            return;
+        }
+        let chips = self.registry.chip_count();
+        let events: Vec<FaultEvent> = self
+            .config
+            .fault_plan
+            .events()
+            .iter()
+            .filter(|e| e.round() >= *cursor && e.round() <= before && e.chip() < chips)
+            .copied()
+            .collect();
+        for event in events {
+            if let FaultEvent::ChipKill { chip, .. } = event {
+                self.registry.inject_chip_failure(ChipId(chip));
+            }
+        }
+        *cursor = before + 1;
+    }
+
+    /// Records shed members: engine + chip counters and one structured
+    /// notice per request.
+    fn shed_members(
+        &mut self,
+        batch: &Batch,
+        queue: &[Queued],
+        slots: &[usize],
+        chip: usize,
+        detail: &str,
+        notices: &mut Vec<ShedNotice>,
+    ) {
+        for &slot in slots {
+            let q = &queue[slot];
+            self.sheds += 1;
+            self.registry.note_shed(ChipId(chip));
+            notices.push(ShedNotice {
+                id: q.id,
+                model: batch.model,
+                arrival: q.request.arrival,
+                deadline: q.request.deadline,
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// Serial fallback when a batch's planned chip refused execution at
+    /// run time: walk the surviving replicas, then snapshot-recover,
+    /// then shed what remains. Returns the completions and the extra
+    /// wall time spent.
+    fn execute_with_failover(
+        &mut self,
+        batch: &Batch,
+        queue: &[Queued],
+        fate: &BatchFate,
+        failed_chip: usize,
+        notices: &mut Vec<ShedNotice>,
+    ) -> (Vec<Completion>, f64) {
+        let start = std::time::Instant::now();
+        self.retries += 1;
+        self.registry.note_retry(ChipId(failed_chip));
+        let mut avoid = vec![failed_chip];
+        let mut recovered = false;
+        loop {
+            let candidate = self
+                .registry
+                .serving_residencies(batch.model)
+                .into_iter()
+                .map(|c| c.0)
+                .find(|c| !avoid.contains(c));
+            let Some(chip) = candidate else {
+                if recovered || self.registry.recover(batch.model).is_none() {
+                    // Nothing left to run on: shed every surviving member.
+                    let remaining: Vec<usize> = batch
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|s| !fate.shed.contains(s))
+                        .collect();
+                    let detail = format!("no healthy chip left after chip {failed_chip} failed");
+                    self.shed_members(batch, queue, &remaining, failed_chip, &detail, notices);
+                    return (Vec::new(), start.elapsed().as_secs_f64() * 1e3);
+                }
+                // A fresh restore is healthy even on a chip whose old
+                // executors died, so retry the full serving list.
+                recovered = true;
+                avoid.clear();
+                continue;
+            };
+            let executor = self
+                .registry
+                .executor_on(batch.model, ChipId(chip))
+                .expect("serving residency has an executor");
+            match self.execute_on(batch, queue, executor, &fate.shed) {
+                Ok(done) => return (done, start.elapsed().as_secs_f64() * 1e3),
+                Err(_) => {
+                    avoid.push(chip);
+                    self.retries += 1;
+                    self.registry.note_retry(ChipId(chip));
+                }
+            }
         }
     }
 
@@ -637,7 +1133,7 @@ impl ServeEngine {
                 continue;
             }
             let chip = self.registry.chip_of(model).0;
-            if decided[chip] {
+            if decided[chip] || self.registry.chip_health(ChipId(chip)) == ChipHealth::Failed {
                 continue;
             }
             let missing = self
@@ -655,28 +1151,79 @@ impl ServeEngine {
         targets
     }
 
-    fn execute_batch(&self, batch: &Batch, queue: &[Queued]) -> Vec<Completion> {
+    /// Executes a batch per its fate. `Err(chip)` reports a chip that
+    /// refused execution at run time (handled by the serial failover
+    /// fallback at the round boundary — never inside the parallel
+    /// region, so recovery stays deterministic).
+    fn execute_fated(
+        &self,
+        batch: &Batch,
+        queue: &[Queued],
+        fate: &BatchFate,
+    ) -> Result<Vec<Completion>, usize> {
+        if matches!(fate.chip, FateChip::Shed) || fate.shed.len() >= batch.members.len() {
+            return Ok(Vec::new());
+        }
+        let (chip, executor) = match fate.chip {
+            FateChip::Fixed(c) => match self.registry.executor_on(batch.model, ChipId(c)) {
+                Some(exec) => (c, exec),
+                // The residency moved (migration) since planning; the
+                // primary executor is output-identical.
+                None => (
+                    self.registry.chip_of(batch.model).0,
+                    self.registry.executor(batch.model),
+                ),
+            },
+            FateChip::Primary | FateChip::Shed => (
+                self.registry.chip_of(batch.model).0,
+                self.registry.executor(batch.model),
+            ),
+        };
+        self.execute_on(batch, queue, executor, &fate.shed)
+            .map_err(|_| chip)
+    }
+
+    /// Runs every non-shed member of a batch on one executor, retrying
+    /// through transient tile faults (bounded at [`MAX_TILE_RETRIES`] per
+    /// member — a one-shot transient needs exactly one).
+    fn execute_on(
+        &self,
+        batch: &Batch,
+        queue: &[Queued],
+        executor: &DeviceExecutor,
+        shed: &[usize],
+    ) -> Result<Vec<Completion>, ExecError> {
         let spec = self.registry.spec(batch.model);
-        let executor = self.registry.executor(batch.model);
-        batch
+        let survivors: Vec<usize> = batch
             .members
             .iter()
-            .map(|&slot| {
-                let q = &queue[slot];
-                let forward = executor
-                    .forward(&spec.network, &q.request.input, &spec.filters)
-                    .expect("admission rejects residual networks");
-                Completion {
-                    id: q.id,
-                    model: batch.model,
-                    arrival: q.request.arrival,
-                    deadline: q.request.deadline,
-                    output: forward.output,
-                    batch_seq: batch.seq,
-                    batch_size: batch.members.len(),
+            .copied()
+            .filter(|s| !shed.contains(s))
+            .collect();
+        let mut out = Vec::with_capacity(survivors.len());
+        for &slot in &survivors {
+            let q = &queue[slot];
+            let mut attempts = 0usize;
+            let forward = loop {
+                match executor.try_forward(&spec.network, &q.request.input, &spec.filters) {
+                    Ok(forward) => break forward,
+                    Err(ExecError::TileFault { .. }) if attempts < MAX_TILE_RETRIES => {
+                        attempts += 1;
+                    }
+                    Err(e) => return Err(e),
                 }
-            })
-            .collect()
+            };
+            out.push(Completion {
+                id: q.id,
+                model: batch.model,
+                arrival: q.request.arrival,
+                deadline: q.request.deadline,
+                output: forward.output,
+                batch_seq: batch.seq,
+                batch_size: survivors.len(),
+            });
+        }
+        Ok(out)
     }
 
     /// Aggregate statistics since engine creation.
@@ -693,6 +1240,10 @@ impl ServeEngine {
             models: self.registry.cache_stats(),
             migrations: self.registry.migrations(),
             chips: self.registry.chip_stats(),
+            retries: self.retries,
+            sheds: self.sheds,
+            recoveries: self.registry.recoveries(),
+            recovery_ms: self.registry.recovery_ms(),
         }
     }
 }

@@ -86,8 +86,8 @@ pub mod server;
 mod session;
 
 pub use batcher::{form_batches, route_rounds, Batch, BatchPolicy};
-pub use cluster::{ChipId, ChipRegistry, ChipStats, Cluster, PlacementPolicy};
-pub use engine::{DrainTrace, EngineStats, ServeConfig, ServeEngine, SubmitError};
+pub use cluster::{ChipHealth, ChipId, ChipRegistry, ChipStats, Cluster, PlacementPolicy};
+pub use engine::{DrainTrace, EngineStats, ServeConfig, ServeEngine, ShedNotice, SubmitError};
 pub use loadgen::{ClosedLoop, LatencySummary, MixEntry, OpenLoop};
 pub use protocol::{Client, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel};
 pub use registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};
@@ -95,5 +95,6 @@ pub use request::{Completion, InferRequest, ModelId, RequestId};
 pub use server::{Server, ServerConfig};
 
 // Re-exported so doctests and downstream callers can name the device
-// configuration without importing `oxbar-sim` separately.
-pub use oxbar_sim::SimConfig;
+// configuration and fault plans without importing `oxbar-sim`
+// separately.
+pub use oxbar_sim::{ExecError, FaultEvent, FaultPlan, SimConfig};

@@ -252,6 +252,36 @@ pub enum ServerFrame {
         occupancy_cells: u64,
         /// Global cache budget, cells.
         budget_cells: u64,
+        /// Fault-driven retries (transient tile faults + failovers).
+        retries: u64,
+        /// Requests shed by the fault handler.
+        sheds: u64,
+        /// Models recovered by snapshot/restore.
+        recoveries: u64,
+        /// Chips currently drift-degraded (serving, deprioritized).
+        degraded_chips: u64,
+        /// Chips currently failed (not serving).
+        failed_chips: u64,
+    },
+    /// The request was shed by the fault handler instead of served: its
+    /// batch was re-routed off a failed chip and the request either
+    /// could not meet its deadline under the failover penalty or had no
+    /// healthy chip left to run on. A terminal answer for its tag — the
+    /// client never hangs on a shed request.
+    Shed {
+        /// The client's correlation tag.
+        tag: u64,
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// A chip's health changed (broadcast to every live session after
+    /// the drain that observed it), so clients see failover and
+    /// degradation explicitly.
+    Degraded {
+        /// Cluster chip index.
+        chip: u64,
+        /// New health: `"healthy"`, `"degraded"`, or `"failed"`.
+        health: String,
     },
     /// A request (or the whole frame) was refused; the session stays up
     /// unless the error is fatal (framing damage).
@@ -409,7 +439,7 @@ impl<S: Read + Write> Client<S> {
 /// The client tag a server frame answers, if any.
 fn frame_tag(frame: &ServerFrame) -> Option<u64> {
     match frame {
-        ServerFrame::Completion { tag, .. } => Some(*tag),
+        ServerFrame::Completion { tag, .. } | ServerFrame::Shed { tag, .. } => Some(*tag),
         ServerFrame::Error { tag, .. } => *tag,
         _ => None,
     }
@@ -474,6 +504,34 @@ mod tests {
         let mut cursor = io::Cursor::new(wire);
         let back: ServerFrame = read_message(&mut cursor).unwrap();
         assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn fault_frames_round_trip_and_carry_their_tag() {
+        // The two fault-surface frames a client can observe: a shed is
+        // tag-addressed (so `wait_completion` terminates on it), a
+        // degradation broadcast is not.
+        let shed = ServerFrame::Shed {
+            tag: 9,
+            detail: "deadline unreachable after chip 1 failed".to_string(),
+        };
+        let mut wire = Vec::new();
+        write_message(&mut wire, &shed).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let back: ServerFrame = read_message(&mut cursor).unwrap();
+        assert_eq!(back, shed);
+        assert_eq!(frame_tag(&back), Some(9));
+
+        let degraded = ServerFrame::Degraded {
+            chip: 2,
+            health: "failed".to_string(),
+        };
+        let mut wire = Vec::new();
+        write_message(&mut wire, &degraded).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let back: ServerFrame = read_message(&mut cursor).unwrap();
+        assert_eq!(back, degraded);
+        assert_eq!(frame_tag(&back), None, "broadcasts answer no tag");
     }
 
     #[test]

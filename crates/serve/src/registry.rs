@@ -41,11 +41,17 @@ pub enum AdmitError {
         /// Filter banks provided.
         got: usize,
     },
-    /// Strict placement found no chip with committed room for the model
-    /// (see [`Cluster::admit_strict`](crate::cluster::Cluster::admit_strict)).
+    /// Strict placement found too few chips with committed room for the
+    /// model — replicated policies need `replicas` *distinct* chips, each
+    /// with room for a full copy (see
+    /// [`Cluster::admit_strict`](crate::cluster::Cluster::admit_strict)).
     Capacity {
-        /// The model's full weight-stationary footprint, in cells.
+        /// The model's full weight-stationary footprint, in cells
+        /// (per chip copy).
         footprint_cells: usize,
+        /// Distinct chip copies the placement policy demands (1 for
+        /// unreplicated policies).
+        replicas: usize,
         /// Every candidate chip's cell budget, in chip-index order.
         chip_budgets: Vec<usize>,
         /// Every chip's already-committed cells, in chip-index order.
@@ -64,10 +70,19 @@ impl fmt::Display for AdmitError {
             }
             Self::Capacity {
                 footprint_cells,
+                replicas,
                 chip_budgets,
                 committed_cells,
             } => {
-                write!(f, "no chip can commit {footprint_cells} cells: candidates")?;
+                if *replicas > 1 {
+                    write!(
+                        f,
+                        "fewer than {replicas} chips can commit {footprint_cells} cells each: \
+                         candidates"
+                    )?;
+                } else {
+                    write!(f, "no chip can commit {footprint_cells} cells: candidates")?;
+                }
                 for (c, (budget, committed)) in chip_budgets.iter().zip(committed_cells).enumerate()
                 {
                     write!(
@@ -325,6 +340,7 @@ mod tests {
     fn capacity_error_displays_footprint_and_candidates() {
         let err = AdmitError::Capacity {
             footprint_cells: 61_000,
+            replicas: 1,
             chip_budgets: vec![50_000, 40_000],
             committed_cells: vec![10_000, 0],
         };
@@ -332,5 +348,18 @@ mod tests {
         assert!(shown.contains("61000"), "footprint: {shown}");
         assert!(shown.contains("chip0=40000/50000"), "candidates: {shown}");
         assert!(shown.contains("chip1=40000/40000"), "candidates: {shown}");
+    }
+
+    #[test]
+    fn capacity_error_names_the_replica_demand() {
+        let err = AdmitError::Capacity {
+            footprint_cells: 61_000,
+            replicas: 2,
+            chip_budgets: vec![100_000, 50_000],
+            committed_cells: vec![0, 40_000],
+        };
+        let shown = err.to_string();
+        assert!(shown.contains("fewer than 2 chips"), "replicas: {shown}");
+        assert!(shown.contains("chip1=10000/50000"), "candidates: {shown}");
     }
 }

@@ -42,6 +42,7 @@
 //!   handled by ordered insertion in [`ServeEngine::try_submit`] — a
 //!   misbehaving client can be *refused*, never crash the server.
 
+use crate::cluster::{ChipHealth, ChipId};
 use crate::engine::ServeEngine;
 use crate::protocol::ServerFrame;
 use crate::request::RequestId;
@@ -171,7 +172,8 @@ impl Server {
 
         let dispatcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(&shared))
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || dispatch_loop(&shared, &conns))
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -269,8 +271,11 @@ fn accept_loop(
 
 /// The dispatcher: waits for queued work, lets the coalescing window
 /// elapse so concurrent connections share batches, drains the engine,
-/// and routes completions back to their sessions.
-fn dispatch_loop(shared: &Arc<Shared>) {
+/// and routes completions — and shed notices — back to their sessions.
+/// Chip-health transitions a drain exposes are broadcast to every live
+/// session as [`ServerFrame::Degraded`].
+fn dispatch_loop(shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<Arc<Conn>>>>) {
+    let mut last_health: Vec<ChipHealth> = Vec::new();
     loop {
         {
             let mut core = shared.core.lock().expect("core lock");
@@ -284,12 +289,13 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         }
         // Coalescing window, outside the lock so sessions keep admitting.
         std::thread::sleep(shared.coalesce);
+        let mut broadcasts: Vec<ServerFrame> = Vec::new();
         let replies: Vec<(Arc<Conn>, ServerFrame)> = {
             let mut core = shared.core.lock().expect("core lock");
             let trace = core.engine.drain_traced();
             let base = core.batch_base;
             core.batch_base += trace.batch_ms.len() as u64;
-            trace
+            let mut replies: Vec<(Arc<Conn>, ServerFrame)> = trace
                 .completions
                 .into_iter()
                 .filter_map(|c| {
@@ -303,11 +309,48 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                         (p.conn, frame)
                     })
                 })
-                .collect()
+                .collect();
+            // Shed requests answer through the same pending table, so a
+            // session waiting on its tag (or a Goodbye flush) always
+            // terminates — a shed is a completion, not a hang.
+            for shed in trace.sheds {
+                if let Some(p) = core.pending.remove(&shed.id) {
+                    let frame = ServerFrame::Shed {
+                        tag: p.tag,
+                        detail: shed.detail,
+                    };
+                    replies.push((p.conn, frame));
+                }
+            }
+            let registry = core.engine.registry();
+            let health: Vec<ChipHealth> = (0..registry.chip_count())
+                .map(|c| registry.chip_health(ChipId(c)))
+                .collect();
+            if last_health.is_empty() {
+                last_health = vec![ChipHealth::Healthy; health.len()];
+            }
+            for (chip, (&now, &before)) in health.iter().zip(&last_health).enumerate() {
+                if now != before {
+                    broadcasts.push(ServerFrame::Degraded {
+                        chip: chip as u64,
+                        health: now.to_string(),
+                    });
+                }
+            }
+            last_health = health;
+            replies
         };
         // Write outside the lock; a dead peer just drops its replies.
         for (conn, frame) in &replies {
             let _ = conn.send(frame);
+        }
+        if !broadcasts.is_empty() {
+            let live: Vec<Arc<Conn>> = conns.lock().expect("conns lock").clone();
+            for conn in &live {
+                for frame in &broadcasts {
+                    let _ = conn.send(frame);
+                }
+            }
         }
         shared.drained.notify_all();
     }

@@ -22,6 +22,7 @@
 //! one); both serialize frames through the connection's writer lock, so
 //! frames never interleave mid-bytes.
 
+use crate::cluster::ChipHealth;
 use crate::engine::SubmitError;
 use crate::protocol::{
     self, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel, MAX_FRAME_BYTES,
@@ -250,12 +251,27 @@ fn handle(frame: ClientFrame, conn: &Arc<Conn>, shared: &Arc<Shared>) -> Flow {
             let response = {
                 let core = shared.core.lock().expect("core lock");
                 let stats = core.engine.stats();
+                let degraded = stats
+                    .chips
+                    .iter()
+                    .filter(|c| c.health == ChipHealth::Degraded)
+                    .count();
+                let failed = stats
+                    .chips
+                    .iter()
+                    .filter(|c| c.health == ChipHealth::Failed)
+                    .count();
                 ServerFrame::Stats {
                     requests: stats.requests,
                     batches: stats.batches,
                     queued: core.engine.queued() as u64,
                     occupancy_cells: stats.occupancy_cells as u64,
                     budget_cells: stats.budget_cells as u64,
+                    retries: stats.retries,
+                    sheds: stats.sheds,
+                    recoveries: stats.recoveries,
+                    degraded_chips: degraded as u64,
+                    failed_chips: failed as u64,
                 }
             };
             reply(conn, &response)

@@ -1,0 +1,377 @@
+//! Fault-injection properties of the serving engine.
+//!
+//! The contract under test: a [`FaultPlan`] keyed on the global batch
+//! dispatch counter makes every fault decision — failover target, retry
+//! count, shed set, recovery — a pure function of the trace and the
+//! plan, so it is invariant under the dispatch worker count; and because
+//! replicas share each model's admission seed (and recovery restores
+//! programmed state bit-exactly from the PCM snapshot), every request
+//! that survives answers byte-identically to a cluster that never
+//! faulted. Nothing is ever silently lost: every submitted request ends
+//! as exactly one completion or one structured shed notice.
+
+use oxbar_nn::synthetic::{self, small_network};
+use oxbar_serve::request::request_seed;
+use oxbar_serve::{
+    catalog, BatchPolicy, ChipHealth, FaultPlan, InferRequest, ModelId, ModelSpec, PlacementPolicy,
+    RequestId, ServeConfig, ServeEngine, ShedNotice,
+};
+use oxbar_sim::SimConfig;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::collections::BTreeMap;
+
+/// Two random small sequential networks as the resident models.
+fn random_specs(seed: u64) -> [ModelSpec; 2] {
+    [
+        catalog::spec_from_network(small_network(seed), seed ^ 0x11),
+        catalog::spec_from_network(small_network(seed ^ 0x7F3), seed ^ 0x22),
+    ]
+}
+
+/// Everything a faulted run must keep invariant under the worker count.
+struct FaultedRun {
+    /// Request id → output values, survivors only.
+    outputs: BTreeMap<RequestId, Vec<i64>>,
+    /// Structured shed notices, sorted by request id.
+    sheds: Vec<ShedNotice>,
+    stats: oxbar_serve::EngineStats,
+}
+
+/// Runs an `n`-request trace (mixed across `specs`, arrivals `i / 2`,
+/// deadlines chosen by `deadline_of`) through an engine built from
+/// `config`, one drain.
+fn faulted_trace(
+    config: ServeConfig,
+    specs: &[ModelSpec],
+    seed: u64,
+    n: u64,
+    deadline_of: impl Fn(u64, u64) -> Option<u64>,
+) -> FaultedRun {
+    let mut engine = ServeEngine::new(config);
+    let ids: Vec<ModelId> = specs
+        .iter()
+        .map(|s| engine.admit(s.clone()).expect("small models admit"))
+        .collect();
+    for i in 0..n {
+        let which = (request_seed(seed, i) % specs.len() as u64) as usize;
+        let arrival = i / 2;
+        engine.submit(InferRequest {
+            model: ids[which],
+            input: synthetic::activations(
+                specs[which].network.input(),
+                6,
+                request_seed(seed ^ 0xBEEF, i),
+            ),
+            arrival,
+            deadline: deadline_of(i, arrival),
+        });
+    }
+    let trace = engine.drain_traced();
+    let outputs = trace
+        .completions
+        .iter()
+        .map(|c| (c.id, c.output.data().to_vec()))
+        .collect();
+    let mut sheds = trace.sheds;
+    sheds.sort_by_key(|s| s.id);
+    FaultedRun {
+        outputs,
+        sheds,
+        stats: engine.stats(),
+    }
+}
+
+/// Body of the worker-count invariance property, kept outside the
+/// `proptest!` macro (the shim's token-munching expansion can't swallow
+/// a body this long).
+fn check_worker_count_invariance(seed: u64) -> Result<(), TestCaseError> {
+    let specs = random_specs(seed);
+    let device = SimConfig::ideal(32, 16).with_seed(seed).with_threads(1);
+    let n = 10u64;
+    let plan = FaultPlan::new()
+        .kill_chip(seed % 6, (seed % 3) as usize)
+        .tile_transient((seed / 7) % 8, ((seed / 3) % 3) as usize)
+        .drift((seed / 11) % 8, ((seed / 5) % 3) as usize);
+    let base = ServeConfig::new(device)
+        .with_policy(BatchPolicy::new(1 + (seed % 3) as usize, seed % 5))
+        .with_chips(vec![200_000; 3])
+        .with_placement(PlacementPolicy::Replicated(2))
+        .with_failover_penalty(seed % 8)
+        .with_faults(plan);
+    // Tight deadlines on a third of the trace so the deadline-shed rule
+    // gets exercised when the kill lands mid-trace.
+    let deadline_of = |i: u64, arrival: u64| {
+        if request_seed(seed ^ 0xD1E, i).is_multiple_of(3) {
+            Some(arrival + 1)
+        } else {
+            None
+        }
+    };
+    let serial = faulted_trace(base.clone().with_workers(1), &specs, seed, n, deadline_of);
+    let wide = faulted_trace(base.clone().with_workers(3), &specs, seed, n, deadline_of);
+
+    // Conservation: every request completes or sheds, never both, never
+    // neither.
+    for run in [&serial, &wide] {
+        prop_assert_eq!(run.outputs.len() + run.sheds.len(), n as usize);
+        prop_assert!(run.sheds.iter().all(|s| !run.outputs.contains_key(&s.id)));
+        prop_assert_eq!(run.stats.sheds, run.sheds.len() as u64);
+    }
+
+    // Worker-count invariance of everything a client can observe.
+    prop_assert_eq!(&serial.outputs, &wide.outputs);
+    let shed_ids = |run: &FaultedRun| run.sheds.iter().map(|s| s.id).collect::<Vec<_>>();
+    prop_assert_eq!(shed_ids(&serial), shed_ids(&wide));
+    prop_assert_eq!(serial.stats.retries, wide.stats.retries);
+    prop_assert_eq!(serial.stats.recoveries, wide.stats.recoveries);
+
+    // Survivors answer byte-identically to a cluster that never faulted:
+    // replicas and snapshot recovery share the admission seed, so
+    // failover is invisible in outputs.
+    let oracle = faulted_trace(
+        base.with_faults(FaultPlan::new()).with_workers(1),
+        &specs,
+        seed,
+        n,
+        deadline_of,
+    );
+    prop_assert!(oracle.sheds.is_empty(), "no faults → nothing sheds");
+    for (id, output) in &serial.outputs {
+        prop_assert_eq!(Some(output), oracle.outputs.get(id));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // A fixed fault plan on a replicated 3-chip cluster: worker count
+    // changes nothing observable (outputs, shed set, retry/shed/recovery
+    // counters), no request is lost, and every survivor answers exactly
+    // what the never-faulted oracle answers.
+    #[test]
+    fn faulted_serving_is_worker_count_invariant_and_loses_nothing(seed in 0u64..10_000) {
+        check_worker_count_invariance(seed)?;
+    }
+}
+
+#[test]
+fn replicated_cluster_survives_a_mid_trace_chip_kill_without_recovery() {
+    // One model replicated on both chips; chip 1 dies mid-trace. Requests
+    // whose turn fell on chip 1 fail over to its replica — no snapshot
+    // recovery, no sheds, zero lost — and answer exactly what the
+    // no-fault cluster answers.
+    let specs = random_specs(42);
+    let device = SimConfig::ideal(32, 16).with_seed(42).with_threads(1);
+    let base = ServeConfig::new(device)
+        .with_policy(BatchPolicy::new(1, 0)) // one request per batch: seq == submit order
+        .with_chips(vec![200_000, 200_000])
+        .with_placement(PlacementPolicy::Replicated(2));
+    let run = faulted_trace(
+        base.clone().with_faults(FaultPlan::new().kill_chip(4, 1)),
+        &specs,
+        42,
+        8,
+        |_, _| None,
+    );
+    assert_eq!(run.outputs.len(), 8, "zero lost");
+    assert!(run.sheds.is_empty(), "replica absorbs the kill");
+    assert_eq!(run.stats.recoveries, 0, "failover, not recovery");
+    // Post-kill, every odd dispatch seq (whose turn was chip 1) retried
+    // onto chip 0: seqs 5 and 7.
+    assert_eq!(run.stats.retries, 2);
+    assert_eq!(
+        run.stats.chips[1].retries, 2,
+        "retries charge the failed chip"
+    );
+    assert_eq!(run.stats.chips[1].health, ChipHealth::Failed);
+    assert_eq!(run.stats.chips[0].health, ChipHealth::Healthy);
+
+    let oracle = faulted_trace(base, &specs, 42, 8, |_, _| None);
+    assert_eq!(
+        run.outputs, oracle.outputs,
+        "failover is invisible in outputs"
+    );
+}
+
+#[test]
+fn unreplicated_model_recovers_from_its_snapshot_after_a_chip_kill() {
+    // Single-residency placement: when the home chip dies there is no
+    // replica, so the engine restores the model's programmed state from
+    // its PCM snapshot onto the surviving chip. Zero lost, one recovery,
+    // outputs unchanged.
+    let device = SimConfig::ideal(128, 128).with_threads(1);
+    let base = ServeConfig::new(device)
+        .with_policy(BatchPolicy::new(1, 0))
+        .with_chips(vec![100_000, 100_000])
+        .with_placement(PlacementPolicy::FirstFit);
+    let serve = |plan: FaultPlan| {
+        let mut engine = ServeEngine::new(base.clone().with_faults(plan));
+        let a = engine.admit(catalog::lenet5_model()).unwrap();
+        let shape = engine.input_shape(a);
+        for i in 0..6u64 {
+            engine.submit(InferRequest {
+                model: a,
+                input: synthetic::activations(shape, 6, i),
+                arrival: i,
+                deadline: None,
+            });
+        }
+        let trace = engine.drain_traced();
+        (trace, engine.stats())
+    };
+
+    let (trace, stats) = serve(FaultPlan::new().kill_chip(3, 0));
+    assert_eq!(trace.completions.len(), 6, "zero lost");
+    assert!(trace.sheds.is_empty());
+    assert_eq!(stats.recoveries, 1, "snapshot restore onto the survivor");
+    assert!(stats.recovery_ms >= 0.0);
+    assert_eq!(stats.chips[0].health, ChipHealth::Failed);
+    assert_eq!(stats.models[0].chip, 1, "model now lives on the survivor");
+    // The pre-kill cache state came along with the snapshot: replaying a
+    // warm request after recovery must not reprogram tiles.
+    assert!(stats.models[0].cache.hits > 0);
+
+    let (oracle, _) = serve(FaultPlan::new());
+    let outputs = |t: &oxbar_serve::DrainTrace| {
+        let mut v: Vec<_> = t
+            .completions
+            .iter()
+            .map(|c| (c.id, c.output.data().to_vec()))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(outputs(&trace), outputs(&oracle), "recovery is bit-exact");
+}
+
+#[test]
+fn failover_sheds_only_requests_whose_deadline_became_unreachable() {
+    // Unreplicated model, home chip killed at dispatch seq 3, failover
+    // penalty 100 ticks. Requests already served keep their answers; of
+    // the failed-over tail, only the one whose deadline is inside the
+    // penalty window sheds — with a structured notice naming the cause —
+    // and the rest recover and complete.
+    let specs = random_specs(7);
+    let device = SimConfig::ideal(32, 16).with_seed(7).with_threads(1);
+    let spec = &specs[..1];
+    let base = ServeConfig::new(device)
+        .with_policy(BatchPolicy::new(1, 0))
+        .with_chips(vec![200_000, 200_000])
+        .with_placement(PlacementPolicy::FirstFit)
+        .with_failover_penalty(100);
+    let deadline_of = |i: u64, arrival: u64| {
+        if i == 3 {
+            Some(arrival + 1) // unreachable once the 100-tick penalty lands
+        } else {
+            Some(arrival + 10_000)
+        }
+    };
+    let run = faulted_trace(
+        base.clone().with_faults(FaultPlan::new().kill_chip(3, 0)),
+        spec,
+        7,
+        6,
+        deadline_of,
+    );
+    assert_eq!(run.sheds.len(), 1, "exactly the doomed request sheds");
+    assert_eq!(run.sheds[0].id, RequestId(3));
+    assert!(
+        run.sheds[0].detail.contains("deadline unreachable"),
+        "notice names the cause: {}",
+        run.sheds[0].detail
+    );
+    assert_eq!(run.outputs.len(), 5);
+    assert_eq!(run.stats.sheds, 1);
+    assert_eq!(run.stats.chips[0].sheds, 1, "shed charges the failed chip");
+    assert_eq!(run.stats.recoveries, 1);
+
+    // Tight deadlines without a fault shed nothing: shedding is strictly
+    // a failover decision, never an admission-time one.
+    let calm = faulted_trace(base, spec, 7, 6, deadline_of);
+    assert!(calm.sheds.is_empty());
+    assert_eq!(calm.outputs.len(), 6);
+}
+
+#[test]
+fn transient_tile_faults_retry_in_place_without_changing_answers() {
+    // A one-shot tile fault draws a bounded in-place retry: same chip,
+    // same output, retries counter up by one.
+    let specs = random_specs(11);
+    let device = SimConfig::ideal(32, 16).with_seed(11).with_threads(1);
+    let base = ServeConfig::new(device)
+        .with_policy(BatchPolicy::new(1, 0))
+        .with_chips(vec![200_000]);
+    let faulted = faulted_trace(
+        base.clone()
+            .with_faults(FaultPlan::new().tile_transient(1, 0)),
+        &specs,
+        11,
+        4,
+        |_, _| None,
+    );
+    let calm = faulted_trace(base, &specs, 11, 4, |_, _| None);
+    assert_eq!(
+        faulted.outputs, calm.outputs,
+        "retry is invisible in outputs"
+    );
+    assert!(faulted.sheds.is_empty());
+    assert_eq!(faulted.stats.retries, 1);
+    assert_eq!(faulted.stats.chips[0].retries, 1);
+    assert_eq!(calm.stats.retries, 0);
+}
+
+#[test]
+fn losing_every_chip_sheds_the_remaining_trace_structurally() {
+    // Kill the only chip mid-trace: everything not yet served must come
+    // back as a structured shed notice — no panic, no hang, no silent
+    // loss — and the engine stays usable for stats.
+    let specs = random_specs(3);
+    let device = SimConfig::ideal(32, 16).with_seed(3).with_threads(1);
+    let run = faulted_trace(
+        ServeConfig::new(device)
+            .with_policy(BatchPolicy::new(1, 0))
+            .with_chips(vec![200_000])
+            .with_faults(FaultPlan::new().kill_chip(2, 0)),
+        &specs,
+        3,
+        6,
+        |_, _| None,
+    );
+    assert_eq!(run.outputs.len(), 2, "pre-kill requests completed");
+    assert_eq!(run.sheds.len(), 4, "post-kill requests shed");
+    assert!(run
+        .sheds
+        .iter()
+        .all(|s| s.detail.contains("no healthy chip")));
+    assert_eq!(run.stats.sheds, 4);
+    assert_eq!(run.stats.recoveries, 0, "nowhere to recover to");
+    assert_eq!(run.stats.chips[0].health, ChipHealth::Failed);
+}
+
+#[test]
+fn drift_degrades_routing_preference_without_changing_answers() {
+    // Drift marks a chip Degraded: replicas route around it (healthy
+    // first), but if it must serve, results are unchanged — drift models
+    // analog noise the calibration margin absorbs, not corruption.
+    let specs = random_specs(5);
+    let device = SimConfig::ideal(32, 16).with_seed(5).with_threads(1);
+    let base = ServeConfig::new(device)
+        .with_policy(BatchPolicy::new(1, 0))
+        .with_chips(vec![200_000, 200_000])
+        .with_placement(PlacementPolicy::Replicated(2));
+    let drifted = faulted_trace(
+        base.clone().with_faults(FaultPlan::new().drift(0, 0)),
+        &specs,
+        5,
+        8,
+        |_, _| None,
+    );
+    let calm = faulted_trace(base, &specs, 5, 8, |_, _| None);
+    assert_eq!(drifted.outputs, calm.outputs);
+    assert!(drifted.sheds.is_empty());
+    assert_eq!(drifted.stats.retries, 0, "degraded is not failed");
+    assert_eq!(drifted.stats.chips[0].health, ChipHealth::Degraded);
+    assert_eq!(drifted.stats.chips[1].health, ChipHealth::Healthy);
+}

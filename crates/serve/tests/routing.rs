@@ -12,7 +12,7 @@ use proptest::prelude::*;
 fn route_rounds_reference(
     batches: &[Batch],
     round_size: usize,
-    chip_of: impl Fn(ModelId) -> usize,
+    chip_of: impl Fn(&Batch) -> usize,
 ) -> Vec<Vec<usize>> {
     assert!(round_size >= 1, "a round dispatches at least one batch");
     let mut taken = vec![false; batches.len()];
@@ -26,7 +26,7 @@ fn route_rounds_reference(
             if round.len() >= round_size {
                 break;
             }
-            let chip = chip_of(batch.model);
+            let chip = chip_of(batch);
             if !taken[idx] && !chips_used.contains(&chip) {
                 taken[idx] = true;
                 chips_used.push(chip);
@@ -74,7 +74,7 @@ proptest! {
         let batches = batch_list(&models);
         // Deterministic, deliberately lumpy model→chip placement,
         // including sparse chip ids.
-        let chip_of = |m: ModelId| (m.0 * 7 + 3) % chips * 5;
+        let chip_of = |b: &Batch| (b.model.0 * 7 + 3) % chips * 5;
         let fast = route_rounds(&batches, round_size, chip_of);
         let reference = route_rounds_reference(&batches, round_size, chip_of);
         prop_assert_eq!(&fast, &reference);

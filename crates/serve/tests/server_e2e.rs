@@ -6,7 +6,10 @@ use oxbar_nn::reference::Tensor3;
 use oxbar_nn::synthetic::{self, small_network};
 use oxbar_serve::protocol::{Client, ClientFrame, ErrorCode, ServerFrame};
 use oxbar_serve::request::request_seed;
-use oxbar_serve::{catalog, ModelId, ModelSpec, ServeConfig, ServeEngine, Server, ServerConfig};
+use oxbar_serve::{
+    catalog, BatchPolicy, FaultPlan, ModelId, ModelSpec, PlacementPolicy, ServeConfig, ServeEngine,
+    Server, ServerConfig,
+};
 use oxbar_sim::SimConfig;
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -249,6 +252,132 @@ fn stats_reflect_served_requests() {
             assert_eq!(queued, 0);
         }
         other => panic!("expected stats, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn goodbye_during_failover_flushes_completions_before_bye() {
+    // Chip 1 of a replicated pair is dead from the first dispatch, so
+    // every odd-seq batch is retried onto its surviving replica. A
+    // client that pipelines requests and says Goodbye must still see
+    // every completion before Bye — failover never strands a request —
+    // and may observe the Degraded broadcast in between.
+    let mut engine = ServeEngine::new(
+        ServeConfig::new(device())
+            .with_policy(BatchPolicy::new(1, 0))
+            .with_chips(vec![200_000, 200_000])
+            .with_placement(PlacementPolicy::Replicated(2))
+            .with_faults(FaultPlan::new().kill_chip(0, 1)),
+    );
+    for spec in specs() {
+        engine.admit(spec).expect("model admits");
+    }
+    let server = Server::start(engine, ServerConfig::default()).expect("server starts");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut client = Client::connect(stream).expect("handshake");
+    let shape = specs()[0].network.input();
+    for tag in 0..3u64 {
+        client
+            .send(&ClientFrame::Infer {
+                tag,
+                model: 0,
+                arrival: tag,
+                deadline: None,
+                input: synthetic::activations(shape, 6, tag),
+            })
+            .expect("send");
+    }
+    client.send(&ClientFrame::Goodbye).expect("send goodbye");
+    let mut completions = 0u64;
+    loop {
+        match client.recv() {
+            Ok(ServerFrame::Completion { .. }) => completions += 1,
+            Ok(ServerFrame::Degraded { chip, health }) => {
+                assert_eq!((chip, health.as_str()), (1, "failed"));
+            }
+            Ok(ServerFrame::Bye) => break,
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(e) => panic!("wire error {e}"),
+        }
+    }
+    assert_eq!(completions, 3, "failover must not strand a request");
+
+    // A fresh session's Stats reflect the fault: one failed chip, and
+    // the odd-seq retries that failed over to the survivor.
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut probe = Client::connect(stream).expect("handshake");
+    probe.send(&ClientFrame::Stats).expect("send");
+    match probe.recv().expect("reply") {
+        ServerFrame::Stats {
+            retries,
+            failed_chips,
+            sheds,
+            ..
+        } => {
+            assert!(retries >= 1, "odd-seq batches retried, got {retries}");
+            assert_eq!(failed_chips, 1);
+            assert_eq!(sheds, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shed_requests_answer_with_a_structured_frame_and_goodbye_completes() {
+    // The only chip is dead from the first dispatch: the request cannot
+    // be served anywhere, so the client must get a tag-addressed Shed
+    // frame (not silence), and Goodbye must still drain to Bye instead
+    // of wedging on the never-coming completion.
+    let mut engine = ServeEngine::new(
+        ServeConfig::new(device())
+            .with_chips(vec![200_000])
+            .with_faults(FaultPlan::new().kill_chip(0, 0)),
+    );
+    for spec in specs() {
+        engine.admit(spec).expect("model admits");
+    }
+    let server = Server::start(engine, ServerConfig::default()).expect("server starts");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut client = Client::connect(stream).expect("handshake");
+    let shape = specs()[0].network.input();
+    client
+        .send(&ClientFrame::Infer {
+            tag: 1,
+            model: 0,
+            arrival: 0,
+            deadline: None,
+            input: synthetic::activations(shape, 6, 1),
+        })
+        .expect("send");
+    match client.wait_completion(1).expect("reply") {
+        ServerFrame::Shed { tag, detail } => {
+            assert_eq!(tag, 1);
+            assert!(
+                detail.contains("no healthy chip"),
+                "shed names its cause: {detail}"
+            );
+        }
+        other => panic!("expected a shed notice, got {other:?}"),
+    }
+    client.send(&ClientFrame::Goodbye).expect("send goodbye");
+    loop {
+        match client.recv() {
+            Ok(ServerFrame::Bye) => break,
+            Ok(ServerFrame::Degraded { .. }) => {}
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(e) => panic!("wire error {e}"),
+        }
     }
     server.shutdown();
 }

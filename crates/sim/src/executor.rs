@@ -2,6 +2,7 @@
 
 use crate::arena::ExecArena;
 use crate::config::{tile_seed, SimConfig};
+use crate::fault::{ExecError, InjectedFault};
 use crate::snapshot::{ChipSnapshot, TileSnapshot};
 use crate::tile::{run_tile_with, CompiledTile, MvmEngine, TileDrive};
 use oxbar_core::dse::parallel_map;
@@ -110,6 +111,24 @@ pub struct DeviceExecutor {
     /// results, so pooling cannot change outputs — it removes the heap
     /// allocator from the warm serving path.
     arenas: Mutex<Vec<ExecArena>>,
+    /// Injected fault state (see [`crate::fault`]). Faults gate *forward
+    /// execution* only: a killed chip's non-volatile programmed state is
+    /// still snapshot-readable, which is what recovery relies on.
+    fault: Mutex<FaultState>,
+}
+
+/// The executor's current injected-fault condition.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Control plane down: every `try_forward` returns
+    /// [`ExecError::ChipFailed`].
+    killed: bool,
+    /// Drift-degraded: execution still succeeds; schedulers read this
+    /// through [`DeviceExecutor::is_degraded`].
+    degraded: bool,
+    /// Armed one-shot transient `(layer, tile)`: consumed by the next
+    /// `try_forward`, which fails once with [`ExecError::TileFault`].
+    transient: Option<(usize, usize)>,
 }
 
 /// Cells of compiled tile state the cache may hold (bounds memory on
@@ -181,6 +200,8 @@ impl Clone for DeviceExecutor {
             compile_done: Condvar::new(),
             cache_budget: self.cache_budget,
             arenas: Mutex::new(Vec::new()),
+            // A clone is fresh hardware: injected faults do not follow it.
+            fault: Mutex::new(FaultState::default()),
         }
     }
 }
@@ -197,7 +218,84 @@ impl DeviceExecutor {
             compile_done: Condvar::new(),
             cache_budget: TILE_CACHE_CELL_BUDGET,
             arenas: Mutex::new(Vec::new()),
+            fault: Mutex::new(FaultState::default()),
         }
+    }
+
+    /// Applies one injected fault (see [`crate::fault`]): `Kill` refuses
+    /// all further forward execution, `TileTransient` arms a one-shot
+    /// failure consumed by the next [`Self::try_forward`], and `Drift`
+    /// marks the chip degraded without changing results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault mutex was poisoned.
+    pub fn inject_fault(&self, fault: InjectedFault) {
+        let mut state = self.fault.lock().expect("fault state");
+        match fault {
+            InjectedFault::Kill => state.killed = true,
+            InjectedFault::TileTransient { layer, tile } => {
+                state.transient = Some((layer, tile));
+            }
+            InjectedFault::Drift => state.degraded = true,
+        }
+    }
+
+    /// Whether the chip's control plane has been killed (every
+    /// [`Self::try_forward`] returns [`ExecError::ChipFailed`]). The
+    /// programmed array state stays snapshot-readable regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault mutex was poisoned.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.fault.lock().expect("fault state").killed
+    }
+
+    /// Whether the chip is marked drift-degraded (results unchanged;
+    /// schedulers should prefer healthy replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault mutex was poisoned.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.fault.lock().expect("fault state").degraded
+    }
+
+    /// [`Self::forward`] with the injected-fault surface: a killed chip
+    /// returns [`ExecError::ChipFailed`] (never executes), an armed
+    /// one-shot transient is consumed and returned as
+    /// [`ExecError::TileFault`] (an immediate retry succeeds,
+    /// byte-identically), and model-level refusals surface as
+    /// [`ExecError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// See above — every failure mode is a structured [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::forward`] (mismatched
+    /// filters or input), and if the fault mutex was poisoned.
+    pub fn try_forward(
+        &self,
+        network: &Network,
+        input: &Tensor3,
+        filters: &[FilterBank],
+    ) -> Result<DeviceForward, ExecError> {
+        {
+            let mut state = self.fault.lock().expect("fault state");
+            if state.killed {
+                return Err(ExecError::ChipFailed);
+            }
+            if let Some((layer, tile)) = state.transient.take() {
+                return Err(ExecError::TileFault { layer, tile });
+            }
+        }
+        self.forward(network, input, filters)
+            .map_err(ExecError::Unsupported)
     }
 
     /// Checks one reusable arena out of the pool (or starts a fresh one).

@@ -1,0 +1,253 @@
+//! Deterministic fault injection for device executors.
+//!
+//! Real PCM crossbar fleets run with partial failure as the steady
+//! state: a chip's control plane dies, a tile execute glitches
+//! transiently, or accumulated drift degrades a chip's accuracy until it
+//! is re-programmed. This module models those events **deterministically**
+//! — every fault is keyed on the serving scheduler's *dispatch round*
+//! (a logical tick), never on wall clock — so a fixed [`FaultPlan`]
+//! produces the same failure sequence on every run, across worker
+//! counts, and in CI.
+//!
+//! The fault layer deliberately separates *what fails* from *when*:
+//!
+//! * [`FaultPlan`] is the schedule: a list of [`FaultEvent`]s, each
+//!   naming a dispatch round and a chip.
+//! * [`InjectedFault`] is the hardware-level effect a scheduler applies
+//!   to one [`crate::DeviceExecutor`] when an event's round arrives.
+//! * [`ExecError`] is the structured result surface: a faulted execute
+//!   returns an error instead of panicking or silently corrupting
+//!   output, so serving layers can retry, fail over, or shed.
+//!
+//! PCM non-volatility matters here: a **killed** chip's programmed
+//! array state survives (only forward execution is refused), so
+//! [`crate::DeviceExecutor::snapshot`] still works on a dead chip and a
+//! serving layer can recover its resident models onto healthy hardware
+//! via [`crate::DeviceExecutor::restore`].
+
+use serde::{Deserialize, Serialize};
+
+/// Structured failure of one device execute.
+///
+/// Returned by [`crate::DeviceExecutor::try_forward`]; serving layers
+/// match on this to decide between retry (transient), failover
+/// (chip-level), and refusal (model-level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The chip's control plane is down: no execute can make progress.
+    /// The programmed (non-volatile) array state is still readable via
+    /// snapshot, so the model can be recovered elsewhere.
+    ChipFailed,
+    /// A single tile execute glitched transiently; an immediate retry
+    /// of the same execute on the same chip succeeds and is
+    /// byte-identical to an unfaulted run.
+    TileFault {
+        /// Network layer index of the faulted tile.
+        layer: usize,
+        /// Fold-tile index within the layer.
+        tile: usize,
+    },
+    /// The network itself cannot run on the device (pre-existing
+    /// model-level refusal, unrelated to injected faults).
+    Unsupported(oxbar_nn::reference::UnsupportedLayer),
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ChipFailed => write!(f, "chip control plane is down; execute refused"),
+            Self::TileFault { layer, tile } => {
+                write!(
+                    f,
+                    "transient fault executing tile (layer {layer}, tile {tile})"
+                )
+            }
+            Self::Unsupported(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The hardware-level effect applied to one executor when a fault
+/// event's dispatch round arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Permanently refuse forward execution (control-plane death). The
+    /// non-volatile programmed state stays snapshot-readable.
+    Kill,
+    /// Arm a one-shot transient: the **next** execute on this chip
+    /// returns [`ExecError::TileFault`] once, then the chip behaves
+    /// normally again.
+    TileTransient {
+        /// Network layer index reported by the fault.
+        layer: usize,
+        /// Fold-tile index reported by the fault.
+        tile: usize,
+    },
+    /// Mark the chip drift-degraded: executes still succeed (and stay
+    /// deterministic), but the scheduler should prefer healthy replicas.
+    Drift,
+}
+
+/// One scheduled fault: what happens, to which chip, at which dispatch
+/// round. Rounds are the serving engine's global dispatch counter —
+/// round `r` is the `r`-th batch round dispatched since the engine was
+/// built, across all drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Kill chip `chip` just before round `round` dispatches.
+    ChipKill {
+        /// Dispatch round the kill lands on.
+        round: u64,
+        /// Cluster chip index.
+        chip: usize,
+    },
+    /// Arm a one-shot transient tile fault on chip `chip` for round
+    /// `round`: the first execute of that round on the chip fails once
+    /// and succeeds on retry.
+    TileTransient {
+        /// Dispatch round the transient is armed for.
+        round: u64,
+        /// Cluster chip index.
+        chip: usize,
+    },
+    /// Mark chip `chip` drift-degraded from round `round` onward.
+    Drift {
+        /// Dispatch round the degradation lands on.
+        round: u64,
+        /// Cluster chip index.
+        chip: usize,
+    },
+}
+
+impl FaultEvent {
+    /// The dispatch round this event fires on.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        match self {
+            Self::ChipKill { round, .. }
+            | Self::TileTransient { round, .. }
+            | Self::Drift { round, .. } => *round,
+        }
+    }
+
+    /// The chip this event targets.
+    #[must_use]
+    pub fn chip(&self) -> usize {
+        match self {
+            Self::ChipKill { chip, .. }
+            | Self::TileTransient { chip, .. }
+            | Self::Drift { chip, .. } => *chip,
+        }
+    }
+}
+
+/// A deterministic fault schedule: the full list of failures a run will
+/// experience, keyed on dispatch rounds.
+///
+/// An empty plan (the [`Default`]) injects nothing — engines built
+/// without faults behave byte-identically to engines that predate the
+/// fault layer.
+///
+/// # Examples
+///
+/// ```
+/// use oxbar_sim::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .kill_chip(3, 1)        // round 3: chip 1 dies
+///     .tile_transient(5, 0)   // round 5: one execute on chip 0 glitches
+///     .drift(7, 2);           // round 7: chip 2 marked degraded
+/// assert_eq!(plan.events().len(), 3);
+/// assert_eq!(plan.events_at(5).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one event.
+    #[must_use]
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Schedules a chip kill just before round `round` dispatches.
+    #[must_use]
+    pub fn kill_chip(self, round: u64, chip: usize) -> Self {
+        self.with(FaultEvent::ChipKill { round, chip })
+    }
+
+    /// Schedules a one-shot transient tile fault on `chip` for `round`.
+    #[must_use]
+    pub fn tile_transient(self, round: u64, chip: usize) -> Self {
+        self.with(FaultEvent::TileTransient { round, chip })
+    }
+
+    /// Marks `chip` drift-degraded from `round` onward.
+    #[must_use]
+    pub fn drift(self, round: u64, chip: usize) -> Self {
+        self.with(FaultEvent::Drift { round, chip })
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Every scheduled event, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events that fire on dispatch round `round`, in insertion
+    /// order (kill/degrade/transient application order is up to the
+    /// scheduler, which applies them at a single-threaded round
+    /// boundary).
+    pub fn events_at(&self, round: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_fires_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.events_at(0).count(), 0);
+    }
+
+    #[test]
+    fn events_filter_by_round() {
+        let plan = FaultPlan::new()
+            .kill_chip(2, 0)
+            .tile_transient(2, 1)
+            .drift(4, 0);
+        assert_eq!(plan.events_at(2).count(), 2);
+        assert_eq!(plan.events_at(3).count(), 0);
+        assert_eq!(plan.events_at(4).count(), 1);
+        assert_eq!(plan.events().iter().map(FaultEvent::chip).max(), Some(1));
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan::new().kill_chip(7, 3).drift(9, 1);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+}

@@ -69,6 +69,7 @@
 pub mod arena;
 pub mod config;
 pub mod executor;
+pub mod fault;
 pub mod fidelity;
 pub mod probe;
 pub mod snapshot;
@@ -77,6 +78,7 @@ pub mod tile;
 pub use arena::ExecArena;
 pub use config::{NoiseModel, Readout, SimConfig};
 pub use executor::{CacheStats, DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
+pub use fault::{ExecError, FaultEvent, FaultPlan, InjectedFault};
 pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};
 pub use probe::{probe_conv, LayerProbe};
 pub use snapshot::{ChipSnapshot, TileSnapshot};
