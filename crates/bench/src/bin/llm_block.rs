@@ -1,0 +1,5 @@
+//! Decodes the tiny transformer on the ideal device, pinned to the oracle.
+use oxbar_bench::figures::llm;
+fn main() {
+    llm::render(&llm::run());
+}

@@ -16,6 +16,7 @@ pub mod fig1;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod llm;
 pub mod optimize;
 pub mod sensitivity;
 pub mod table1;
@@ -38,6 +39,7 @@ pub fn all() -> Vec<(&'static str, fn())> {
         ("Table (Sec. VII)", || table1::render(&table1::run())),
         ("Fidelity study", || fidelity::render(&fidelity::run())),
         ("Zoo sweep", || zoo::render(&zoo::run())),
+        ("LLM block", || llm::render(&llm::run())),
         ("Sensitivity", || sensitivity::render(&sensitivity::run())),
         ("Device-level validation", || {
             device_level::render(&device_level::run());

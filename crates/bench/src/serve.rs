@@ -201,6 +201,44 @@ pub struct FaultInjectionReport {
     pub p99_ratio_replicated_vs_no_fault: f64,
 }
 
+/// The autoregressive transformer section: token-by-token sequences
+/// against the tiny decoder (`catalog::llm_tiny`) served through the
+/// same scheduler, tile cache, and batcher as the CNN traffic. The
+/// dense stack (QKV/output/FFN projections + LM head) is
+/// weight-stationary; the per-token attention matmuls run on the
+/// uncached dynamic MVM path.
+#[derive(Debug, Clone, Serialize)]
+pub struct LlmReport {
+    /// Sequences decoded in the steady-state measurement (a separate
+    /// cold sequence feeds the first-token figure).
+    pub sequences: usize,
+    /// Decode steps per sequence.
+    pub steps: usize,
+    /// Tokens decoded across the steady-state sequences.
+    pub tokens: u64,
+    /// Steady-state decode throughput on the warm engine, tokens/s.
+    pub tokens_per_sec: f64,
+    /// Wall time of the cold first-token batch (pays PCM tile
+    /// programming and transfer-matrix compilation — prewarm is off on
+    /// purpose so the cost is visible), ms.
+    pub first_token_ms: f64,
+    /// Mean wall time of a steady-state token batch, ms.
+    pub steady_token_ms: f64,
+    /// Tile-cache hit rate of the dense stack after warmup — the
+    /// weight-stationary claim for autoregressive serving (≈ 1.0: the
+    /// dynamic attention passes never touch the cache).
+    pub steady_hit_rate: f64,
+    /// p99 CNN request latency in the mixed CNN + LLM replay, ms.
+    pub mixed_cnn_p99_ms: f64,
+    /// Whether the mixed CNN + LLM drain — completions *and* token
+    /// streams — was byte-identical between 1 and 4 dispatch workers.
+    /// Anything but `true` is a correctness failure.
+    pub byte_identical: bool,
+    /// Tokens emitted == sequences × steps everywhere, nothing lost or
+    /// duplicated. Anything but `true` is a correctness failure.
+    pub token_conservation: bool,
+}
+
 /// The full machine-readable snapshot (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeReport {
@@ -229,6 +267,8 @@ pub struct ServeReport {
     pub closed_loop: ClosedLoopReport,
     /// Mid-trace chip-kill behavior: failover, recovery, shedding.
     pub fault_injection: FaultInjectionReport,
+    /// Autoregressive token serving against the tiny transformer.
+    pub llm: LlmReport,
 }
 
 /// The shared trace: a weighted open-loop mix over the whole catalog.
@@ -576,6 +616,134 @@ fn run_fault_injection(requests: usize) -> FaultInjectionReport {
     }
 }
 
+/// The LLM section. Three measurements:
+///
+/// 1. **Cold first token vs steady tokens** — a fresh engine (prewarm
+///    off) decodes one sequence; the step-0 batch pays PCM programming
+///    and compilation, every later step reuses the resident tiles.
+/// 2. **Steady-state throughput + hit rate** — the now-warm engine
+///    decodes `sequences` more; the dense stack's cache-stat delta over
+///    exactly this phase gives the post-warmup hit rate.
+/// 3. **Mixed CNN + LLM** — two sequences interleaved with LeNet batch
+///    traffic, replayed at 1 and 4 workers for byte identity, with the
+///    CNN p99 measured from the round-aware queueing replay.
+fn run_llm(quick: bool) -> LlmReport {
+    let steps = if quick { 8 } else { 32 };
+    let sequences = 4usize;
+    let config = ServeConfig::new(SimConfig::noisy(128, 128).with_threads(1))
+        .with_policy(BatchPolicy::new(16, 8))
+        .with_cache_budget(4_000_000)
+        .with_workers(1)
+        .with_prewarm(false);
+
+    // Phase 1: cold sequence on a fresh engine.
+    let mut engine = ServeEngine::new(config.clone());
+    let llm = engine.admit(catalog::llm_tiny()).expect("llm_tiny admits");
+    engine
+        .begin_sequence(llm, 5, steps, 0, 1)
+        .expect("cold sequence begins");
+    let cold_trace = engine.drain_traced();
+    let mut first_token_ms = 0.0;
+    let mut steady_batches = Vec::new();
+    for c in &cold_trace.completions {
+        let Some(tc) = &c.sequence else { continue };
+        if tc.step == 0 {
+            first_token_ms = cold_trace.batch_ms[c.batch_seq];
+        } else {
+            steady_batches.push(cold_trace.batch_ms[c.batch_seq]);
+        }
+    }
+    let steady_token_ms = if steady_batches.is_empty() {
+        0.0
+    } else {
+        steady_batches.iter().sum::<f64>() / steady_batches.len() as f64
+    };
+    let warm = engine.stats().models[llm.0].cache;
+
+    // Phase 2: steady state on the warm engine.
+    for s in 0..sequences {
+        let prompt = (3 + 7 * s as u32) % 32;
+        engine
+            .begin_sequence(llm, prompt, steps, s as u64, 1)
+            .expect("steady sequence begins");
+    }
+    let steady_trace = engine.drain_traced();
+    let steady_wall_ms: f64 = steady_trace.batch_ms.iter().sum();
+    let stats = engine.stats();
+    let cache = &stats.models[llm.0].cache;
+    let (hits, misses) = (cache.hits - warm.hits, cache.misses - warm.misses);
+    let steady_hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let tokens = (sequences * steps) as u64;
+    let tokens_per_sec = tokens as f64 / (steady_wall_ms / 1e3);
+    let phase_conservation = stats.tokens == ((sequences + 1) * steps) as u64;
+
+    // Phase 3: mixed CNN + LLM, 1 vs 4 workers.
+    let mixed = |workers: usize| {
+        let mut engine = ServeEngine::new(config.clone().with_workers(workers));
+        let lenet = engine.admit(catalog::lenet5_model()).expect("lenet admits");
+        let llm = engine.admit(catalog::llm_tiny()).expect("llm_tiny admits");
+        let seqs: Vec<_> = (0..2u32)
+            .map(|s| {
+                engine
+                    .begin_sequence(llm, 1 + 11 * s, steps, u64::from(s), 1)
+                    .expect("mixed sequence begins")
+            })
+            .collect();
+        for i in 0..8u64 {
+            engine.submit(InferRequest {
+                model: lenet,
+                input: oxbar_nn::synthetic::activations(engine.input_shape(lenet), 6, i),
+                arrival: i,
+                deadline: None,
+            });
+        }
+        let trace = engine.drain_traced();
+        let tokens: Vec<Vec<u32>> = seqs
+            .iter()
+            .map(|&s| engine.sequence_tokens(s).to_vec())
+            .collect();
+        (trace, tokens)
+    };
+    let (trace1, tokens1) = mixed(1);
+    let (trace4, tokens4) = mixed(4);
+    let byte_identical = trace1.completions == trace4.completions && tokens1 == tokens4;
+    let mixed_wall: f64 = trace1.batch_ms.iter().sum();
+    let tick_ms = mixed_wall / trace1.completions.len() as f64 / REPLAY_LOAD;
+    let (latencies, _) = replay_latencies(
+        &trace1.completions,
+        &trace1.batch_ms,
+        &trace1.rounds,
+        tick_ms,
+    );
+    let cnn: Vec<f64> = trace1
+        .completions
+        .iter()
+        .zip(&latencies)
+        .filter(|(c, _)| c.sequence.is_none())
+        .map(|(_, &l)| l)
+        .collect();
+    let mixed_cnn_p99_ms = LatencySummary::of(&cnn).p99_ms;
+    let mixed_tokens: usize = tokens1.iter().map(Vec::len).sum();
+    let token_conservation = phase_conservation && mixed_tokens == 2 * steps;
+
+    LlmReport {
+        sequences,
+        steps,
+        tokens,
+        tokens_per_sec,
+        first_token_ms,
+        steady_token_ms,
+        steady_hit_rate,
+        mixed_cnn_p99_ms,
+        byte_identical,
+        token_conservation,
+    }
+}
+
 /// Heap allocations of one warm serving round: a 4-request same-model
 /// batch through a fully resident pipelined engine. Requires the
 /// `bench_serve` binary's counting allocator; returns `None` elsewhere.
@@ -718,6 +886,7 @@ pub fn generate(quick: bool) -> ServeReport {
         cases,
         closed_loop: run_closed_loop(quick),
         fault_injection: run_fault_injection(requests),
+        llm: run_llm(quick),
     }
 }
 
@@ -827,6 +996,29 @@ pub fn render(report: &ServeReport) {
     println!(
         "  replicated p99 vs no-fault: {:.2}x (budget 2.0x)",
         fi.p99_ratio_replicated_vs_no_fault
+    );
+    let llm = &report.llm;
+    println!(
+        "llm (llm_tiny, {} seqs x {} steps): {:.0} tokens/s steady, \
+         first token {:.2} ms vs steady {:.3} ms, steady hit {:.1}%, \
+         mixed CNN p99 {:.2} ms, byte-identical: {}, conservation: {}",
+        llm.sequences,
+        llm.steps,
+        llm.tokens_per_sec,
+        llm.first_token_ms,
+        llm.steady_token_ms,
+        llm.steady_hit_rate * 100.0,
+        llm.mixed_cnn_p99_ms,
+        if llm.byte_identical {
+            "yes"
+        } else {
+            "NO (bug)"
+        },
+        if llm.token_conservation {
+            "yes"
+        } else {
+            "NO (bug)"
+        },
     );
     match report.warm_round_allocations {
         Some(allocs) => println!("warm round allocations: {allocs} (4-request resident batch)"),
@@ -966,5 +1158,26 @@ mod tests {
         assert!(cl.wall_ms > 0.0);
         assert!(cl.wire_p50_ms > 0.0 && cl.wire_p99_ms >= cl.wire_p50_ms);
         assert!(cl.replay_p50_ms > 0.0 && cl.replay_p99_ms >= cl.replay_p50_ms);
+        let llm = &report.llm;
+        assert_eq!(llm.sequences, 4);
+        assert_eq!(llm.tokens, (llm.sequences * llm.steps) as u64);
+        assert!(llm.tokens_per_sec > 0.0);
+        assert!(
+            llm.first_token_ms > llm.steady_token_ms,
+            "the cold first token must pay PCM programming: first {} ms vs steady {} ms",
+            llm.first_token_ms,
+            llm.steady_token_ms
+        );
+        assert!(
+            llm.steady_hit_rate > 0.99,
+            "the dense stack is weight-stationary after warmup, got {}",
+            llm.steady_hit_rate
+        );
+        assert!(llm.mixed_cnn_p99_ms > 0.0);
+        assert!(
+            llm.byte_identical,
+            "mixed CNN + LLM traffic must be worker-invariant"
+        );
+        assert!(llm.token_conservation, "every step emits exactly one token");
     }
 }

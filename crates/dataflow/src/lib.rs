@@ -35,6 +35,7 @@
 pub mod cycle;
 pub mod engine;
 pub mod fold;
+pub mod matmul;
 pub mod spec;
 pub mod stall;
 pub mod tiles;

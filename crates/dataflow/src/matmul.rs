@@ -1,0 +1,112 @@
+//! Dynamic matmul as a layer: folding data-dependent matrix products
+//! (the `QKᵀ` and `AV` passes of attention) through the same
+//! weight-stationary tile geometry convolutions use.
+//!
+//! A matmul against *data* — cached K/V rows that grow every token — is
+//! expressed as a 1×1 convolution on a flat input ([`matmul_conv`]) and
+//! planned with the ordinary [`FoldPlan`]. The crossbar then executes it
+//! tile by tile exactly like a conv layer, except nothing is cached: the
+//! "weights" are different on every call, so each tile is programmed,
+//! used once, and discarded. [`attention_plans`] sizes the two folded
+//! MVM passes of one attention head at a given sequence length.
+
+use crate::fold::FoldPlan;
+use oxbar_nn::{Activation, Conv2d, TensorShape};
+
+/// The 1×1-conv view of an `out_features × in_features` matmul: the
+/// flattened drive maps to crossbar rows, output features to columns —
+/// identical to how [`oxbar_nn::Dense`] maps, but for weights that are
+/// runtime data rather than model parameters.
+#[must_use]
+pub fn matmul_conv(name: impl Into<String>, in_features: usize, out_features: usize) -> Conv2d {
+    Conv2d::new(
+        name,
+        TensorShape::flat(in_features),
+        1,
+        1,
+        out_features,
+        1,
+        0,
+    )
+    .with_activation(Activation::None)
+}
+
+/// Plans an `out_features × in_features` matmul onto an `N × M` array
+/// with the given column expansion (1 = offset, 2 = differential).
+#[must_use]
+pub fn matmul_plan(
+    in_features: usize,
+    out_features: usize,
+    array_rows: usize,
+    array_cols: usize,
+    cols_per_output: usize,
+) -> FoldPlan {
+    let conv = matmul_conv("matmul", in_features, out_features);
+    FoldPlan::plan(&conv, array_rows, array_cols, cols_per_output)
+}
+
+/// The two folded MVM passes of one attention head at sequence length
+/// `seq_len`: `(QKᵀ, AV)`.
+///
+/// - `QKᵀ` multiplies `seq_len` cached key rows (each `head_dim` wide)
+///   by the query — `seq_len × head_dim`;
+/// - `AV` multiplies the transposed value cache by the attention
+///   weights — `head_dim × seq_len`.
+///
+/// Both grow with the sequence, which is why they run on the *uncached*
+/// dynamic path while the projections stay weight-stationary.
+#[must_use]
+pub fn attention_plans(
+    seq_len: usize,
+    head_dim: usize,
+    array_rows: usize,
+    array_cols: usize,
+    cols_per_output: usize,
+) -> (FoldPlan, FoldPlan) {
+    let qkt = matmul_plan(head_dim, seq_len, array_rows, array_cols, cols_per_output);
+    let av = matmul_plan(seq_len, head_dim, array_rows, array_cols, cols_per_output);
+    (qkt, av)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_conv_matches_dense_mapping() {
+        let conv = matmul_conv("qkt", 16, 48);
+        let dense = oxbar_nn::Dense::new("qkt", 16, 48).as_conv();
+        assert_eq!(conv.filter_rows(), dense.filter_rows());
+        assert_eq!(conv.out_c, dense.out_c);
+        assert_eq!(conv.output_shape(), dense.output_shape());
+        assert_eq!(conv.activation, Activation::None);
+    }
+
+    #[test]
+    fn short_sequences_fit_one_tile() {
+        let (qkt, av) = attention_plans(8, 16, 128, 128, 1);
+        assert_eq!(qkt.total_folds(), 1);
+        assert_eq!(av.total_folds(), 1);
+        assert_eq!(qkt.rows_used, 16);
+        assert_eq!(qkt.cols_used, 8);
+    }
+
+    #[test]
+    fn long_sequences_fold_columns_then_rows() {
+        // 300 cached positions on a 128×128 array: QKᵀ folds its 300
+        // output columns (3 col folds), AV folds its 300 drive rows.
+        let (qkt, av) = attention_plans(300, 16, 128, 128, 1);
+        assert_eq!(qkt.row_folds, 1);
+        assert_eq!(qkt.col_folds, 3);
+        assert_eq!(av.row_folds, 3);
+        assert_eq!(av.col_folds, 1);
+    }
+
+    #[test]
+    fn differential_mapping_doubles_qkt_columns() {
+        let (offset, _) = attention_plans(100, 16, 128, 128, 1);
+        let (differential, _) = attention_plans(100, 16, 128, 128, 2);
+        assert_eq!(offset.col_folds, 1);
+        assert_eq!(differential.col_folds, 2);
+    }
+}

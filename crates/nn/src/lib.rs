@@ -25,6 +25,7 @@ pub mod quant;
 pub mod reference;
 pub mod shape;
 pub mod synthetic;
+pub mod transformer;
 pub mod zoo;
 
 pub use graph::Network;

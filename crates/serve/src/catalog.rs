@@ -14,6 +14,7 @@
 
 use crate::registry::ModelSpec;
 use oxbar_nn::synthetic;
+use oxbar_nn::transformer::{LmConfig, LmWeights};
 use oxbar_nn::{Activation, Conv2d, Dense, Layer, Network, TensorShape};
 
 /// Builds a spec from a finished network, generating reproducible
@@ -26,6 +27,7 @@ pub fn spec_from_network(network: Network, seed: u64) -> ModelSpec {
         name: network.name().to_string(),
         network,
         filters,
+        lm: None,
     }
 }
 
@@ -84,6 +86,24 @@ pub fn mobilenet_sample() -> ModelSpec {
     spec_from_network(net, 0x30b1)
 }
 
+/// The tiny autoregressive transformer ([`LmConfig::tiny`]): one decoder
+/// block, d_model 32, 4 heads, a 32-token vocabulary. Its dense stack —
+/// six projections plus the LM head — serves through the same
+/// weight-stationary tile cache as the CNNs, while the per-token
+/// attention matmuls run on the uncached dynamic path. Deliberately
+/// *not* part of [`stock_catalog`] (whose size-4 shape serving reports
+/// pin down); benchmarks and tests admit it explicitly.
+#[must_use]
+pub fn llm_tiny() -> ModelSpec {
+    let weights = LmWeights::synthetic(LmConfig::tiny(), 0x11f7);
+    ModelSpec {
+        name: "llm_tiny".to_string(),
+        network: weights.network("llm_tiny"),
+        filters: weights.filters(),
+        lm: Some(weights),
+    }
+}
+
 /// The whole stock catalog, in the order the serving benchmarks admit it.
 #[must_use]
 pub fn stock_catalog() -> Vec<ModelSpec> {
@@ -123,6 +143,27 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn llm_tiny_dense_stack_mirrors_its_weights() {
+        let spec = llm_tiny();
+        let weights = spec.lm.as_ref().expect("llm_tiny is a language model");
+        assert_eq!(spec.network.audit_shapes(), None);
+        assert_eq!(
+            spec.filters.len(),
+            spec.network.conv_like_layers().count(),
+            "filters cover the dense stack"
+        );
+        for (index, bank) in spec.filters.iter().enumerate() {
+            assert_eq!(
+                bank.weights,
+                weights.bank(index).weights,
+                "bank {index} diverges from the transformer weights"
+            );
+        }
+        // Not in the stock catalog: serving reports pin its size at 4.
+        assert_eq!(stock_catalog().len(), 4);
     }
 
     #[test]

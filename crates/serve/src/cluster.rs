@@ -954,6 +954,7 @@ mod tests {
             name: format!("lenet5_{seed}"),
             network,
             filters,
+            lm: None,
         }
     }
 

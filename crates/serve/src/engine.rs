@@ -4,9 +4,12 @@
 use crate::batcher::{form_batches, route_rounds, Batch, BatchPolicy};
 use crate::cluster::{ChipHealth, ChipId, ChipStats, Cluster, PlacementPolicy};
 use crate::registry::{AdmitError, ModelCacheStats, ModelSpec};
-use crate::request::{Completion, InferRequest, ModelId, RequestId};
+use crate::request::{Completion, InferRequest, ModelId, RequestId, SequenceId, TokenCompletion};
 use oxbar_core::dse::parallel_map;
+use oxbar_nn::reference::Tensor3;
+use oxbar_nn::transformer::{KvCache, StepOutcome};
 use oxbar_nn::TensorShape;
+use oxbar_sim::llm::lm_step;
 use oxbar_sim::{DeviceExecutor, ExecError, FaultEvent, FaultPlan, InjectedFault, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -14,6 +17,10 @@ use std::fmt;
 /// How many times one request's execute retries through transient tile
 /// faults before the batch escalates to failover.
 const MAX_TILE_RETRIES: usize = 3;
+
+/// Hard per-sequence cap on decode steps, so a hostile `Generate` cannot
+/// pin the engine in an unbounded token loop.
+pub const MAX_SEQUENCE_STEPS: usize = 1024;
 
 /// Full configuration of a [`ServeEngine`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -191,6 +198,10 @@ pub struct EngineStats {
     /// Total wall-clock milliseconds spent inside those recoveries
     /// (observational only; nothing branches on it).
     pub recovery_ms: f64,
+    /// Autoregressive sequences begun (finished or not).
+    pub sequences: u64,
+    /// Decode-step tokens emitted across all sequences.
+    pub tokens: u64,
 }
 
 impl EngineStats {
@@ -249,6 +260,26 @@ pub enum SubmitError {
         /// Data values actually carried.
         got: usize,
     },
+    /// A sequence operation targeted a model that is not an
+    /// autoregressive language model ([`ModelSpec::lm`] is `None`).
+    NotLanguageModel(ModelId),
+    /// The prompt token is outside the model's vocabulary.
+    BadToken {
+        /// The model the sequence targeted.
+        model: ModelId,
+        /// The offending token.
+        token: u32,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+    /// The requested decode-step count is zero or above
+    /// [`MAX_SEQUENCE_STEPS`].
+    BadSteps {
+        /// The step count the request carried.
+        steps: usize,
+        /// The per-sequence cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -267,6 +298,20 @@ impl fmt::Display for SubmitError {
                 f,
                 "malformed tensor: shape declares {expected} elements, data carries {got}"
             ),
+            Self::NotLanguageModel(model) => {
+                write!(f, "model {model:?} is not a language model")
+            }
+            Self::BadToken {
+                model,
+                token,
+                vocab,
+            } => write!(
+                f,
+                "token {token} outside the {vocab}-token vocabulary of {model:?}"
+            ),
+            Self::BadSteps { steps, max } => {
+                write!(f, "sequence steps must be in 1..={max}, got {steps}")
+            }
         }
     }
 }
@@ -320,6 +365,47 @@ pub struct ShedNotice {
 struct Queued {
     id: RequestId,
     request: InferRequest,
+    /// Set when this queue entry is one decode step of an autoregressive
+    /// sequence (index into `ServeEngine::sequences`); the entry then
+    /// executes as an [`lm_step`] against the sequence's KV cache instead
+    /// of a network forward.
+    sequence: Option<u64>,
+}
+
+/// One live autoregressive generation session. Exactly one decode step
+/// per sequence is ever queued or in flight: step `t + 1` enters the
+/// queue only when step `t`'s completion is absorbed, so the KV cache an
+/// executing step reads is always settled.
+struct Sequence {
+    model: ModelId,
+    cache: KvCache,
+    /// Steps completed so far (= the position the next step decodes at).
+    pos: usize,
+    /// Total decode steps this sequence runs.
+    steps: usize,
+    /// The token the next step feeds (the prompt, then each emitted
+    /// token).
+    next_token: u32,
+    /// Ticks between successive token arrivals.
+    interval: u64,
+    /// Arrival tick of the next step to enqueue.
+    next_arrival: u64,
+    /// Every token emitted so far, in order — the sequence's output
+    /// stream.
+    tokens: Vec<u32>,
+    /// No further steps will run (completed or shed).
+    finished: bool,
+    /// The fault handler shed a step mid-sequence (terminates the
+    /// sequence: later steps would decode against a hole in the cache).
+    shed: bool,
+}
+
+/// One executed batch member: the completion plus, for a token step, the
+/// device outcome the serial completion loop applies to the sequence
+/// (KV-cache append, next-token advance, next-step submission).
+struct Executed {
+    completion: Completion,
+    outcome: Option<(u64, StepOutcome)>,
 }
 
 /// Where a batch executes, as resolved by the drain-start fault walk.
@@ -409,6 +495,10 @@ pub struct ServeEngine {
     /// Transient tile faults armed on each chip but not yet absorbed by
     /// a batch (events can outpace a chip's traffic within one drain).
     pending_transients: Vec<u64>,
+    /// Every sequence ever begun, indexed by [`SequenceId`].
+    sequences: Vec<Sequence>,
+    /// Decode steps completed across all sequences.
+    tokens: u64,
 }
 
 impl ServeEngine {
@@ -430,6 +520,8 @@ impl ServeEngine {
             sheds: 0,
             fault_cursor: 0,
             pending_transients: vec![0; budgets.len()],
+            sequences: Vec::new(),
+            tokens: 0,
         }
     }
 
@@ -519,13 +611,124 @@ impl ServeEngine {
                 got: request.input.data().len(),
             });
         }
+        Ok(self.enqueue(request, None))
+    }
+
+    /// Appends a validated request to the queue in arrival order.
+    fn enqueue(&mut self, request: InferRequest, sequence: Option<u64>) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let pos = self
             .queue
             .partition_point(|q| q.request.arrival <= request.arrival);
-        self.queue.insert(pos, Queued { id, request });
-        Ok(id)
+        self.queue.insert(
+            pos,
+            Queued {
+                id,
+                request,
+                sequence,
+            },
+        );
+        id
+    }
+
+    /// Begins an autoregressive generation sequence: `steps` greedy
+    /// decode steps starting from `prompt`, the first arriving at
+    /// `arrival` and each subsequent token `interval` ticks after the
+    /// previous one completes. Token steps ride the ordinary queue — they
+    /// batch with CNN traffic, route across chips, retry through
+    /// transient faults, and fail over to replicas like any request — but
+    /// step `t + 1` is submitted only when step `t` completes, so one
+    /// sequence is a long-lived chain of requests rather than a burst.
+    ///
+    /// Token steps carry no deadline: a generation session is an open
+    /// stream, not a deadline-bound query, so the failover shedder never
+    /// drops one unless *no* healthy chip remains.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] for an unadmitted model,
+    /// [`SubmitError::NotLanguageModel`] when the model has no
+    /// transformer weights, [`SubmitError::BadSteps`] for a zero or
+    /// over-cap step count, and [`SubmitError::BadToken`] for a prompt
+    /// outside the vocabulary.
+    pub fn begin_sequence(
+        &mut self,
+        model: ModelId,
+        prompt: u32,
+        steps: usize,
+        arrival: u64,
+        interval: u64,
+    ) -> Result<SequenceId, SubmitError> {
+        if model.0 >= self.registry.len() {
+            return Err(SubmitError::UnknownModel(model));
+        }
+        let spec = self.registry.spec(model);
+        let Some(weights) = spec.lm.as_ref() else {
+            return Err(SubmitError::NotLanguageModel(model));
+        };
+        if steps == 0 || steps > MAX_SEQUENCE_STEPS {
+            return Err(SubmitError::BadSteps {
+                steps,
+                max: MAX_SEQUENCE_STEPS,
+            });
+        }
+        let vocab = weights.config.vocab;
+        if prompt as usize >= vocab {
+            return Err(SubmitError::BadToken {
+                model,
+                token: prompt,
+                vocab,
+            });
+        }
+        let cache = KvCache::new(&weights.config);
+        let seq_id = self.sequences.len() as u64;
+        self.sequences.push(Sequence {
+            model,
+            cache,
+            pos: 0,
+            steps,
+            next_token: prompt,
+            interval,
+            next_arrival: arrival,
+            tokens: Vec::new(),
+            finished: false,
+            shed: false,
+        });
+        self.enqueue(token_request(model, prompt, arrival), Some(seq_id));
+        Ok(SequenceId(seq_id))
+    }
+
+    /// The tokens sequence `id` has emitted so far, in decode order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this engine.
+    #[must_use]
+    pub fn sequence_tokens(&self, id: SequenceId) -> &[u32] {
+        &self.sequences[usize::try_from(id.0).expect("sequence id fits usize")].tokens
+    }
+
+    /// Whether sequence `id` has finished (completed every step, or was
+    /// terminated by the fault handler — see [`Self::sequence_shed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this engine.
+    #[must_use]
+    pub fn sequence_finished(&self, id: SequenceId) -> bool {
+        self.sequences[usize::try_from(id.0).expect("sequence id fits usize")].finished
+    }
+
+    /// Whether the fault handler shed a step of sequence `id`,
+    /// terminating it early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this engine.
+    #[must_use]
+    pub fn sequence_shed(&self, id: SequenceId) -> bool {
+        self.sequences[usize::try_from(id.0).expect("sequence id fits usize")].shed
     }
 
     /// Enqueues a request, returning its [`RequestId`].
@@ -609,7 +812,38 @@ impl ServeEngine {
     /// pool), so a serial sum of their wall times overstates the
     /// pipeline's occupancy. Feed `rounds` to
     /// [`crate::loadgen::replay_latencies`].
+    ///
+    /// A drain runs **to idle**: completing one decode step of a
+    /// sequence submits the next, so the scheduler keeps making passes
+    /// over the regrown queue until no request — CNN or token — remains.
+    /// Passes merge into one trace with continuous `batch_seq` numbering.
     pub fn drain_traced(&mut self) -> DrainTrace {
+        let mut trace = self.drain_pass();
+        while !self.queue.is_empty() {
+            let more = self.drain_pass();
+            let offset = trace.batch_ms.len();
+            trace
+                .completions
+                .extend(more.completions.into_iter().map(|mut c| {
+                    c.batch_seq += offset;
+                    c
+                }));
+            trace.batch_ms.extend(more.batch_ms);
+            trace.rounds.extend(
+                more.rounds
+                    .into_iter()
+                    .map(|round| round.into_iter().map(|seq| seq + offset).collect()),
+            );
+            trace.sheds.extend(more.sheds);
+        }
+        trace
+    }
+
+    /// One scheduler pass over the current queue (the pre-sequence
+    /// `drain_traced` body): batch, route, execute, enforce budgets.
+    /// Token-step completions may submit follow-up requests — the
+    /// [`Self::drain_traced`] loop picks those up in the next pass.
+    fn drain_pass(&mut self) -> DrainTrace {
         let queue = std::mem::take(&mut self.queue);
         let keys: Vec<(ModelId, u64)> = queue
             .iter()
@@ -771,13 +1005,13 @@ impl ServeEngine {
                     self.shed_members(batch, &queue, &fate.shed, chip, &detail, &mut shed_notices);
                 }
                 match result {
-                    Ok(mut done) => completions.append(&mut done),
+                    Ok(done) => self.absorb_executions(done, &mut completions),
                     Err(failed_chip) => {
                         // The planned chip refused execution — a kill
                         // landed ahead of the plan (e.g. on a recovery
                         // destination). Re-resolve serially: surviving
                         // replicas, then snapshot recovery, then shed.
-                        let (mut done, extra_ms) = self.execute_with_failover(
+                        let (done, extra_ms) = self.execute_with_failover(
                             batch,
                             &queue,
                             fate,
@@ -785,7 +1019,7 @@ impl ServeEngine {
                             &mut shed_notices,
                         );
                         timings[batch.seq] += extra_ms;
-                        completions.append(&mut done);
+                        self.absorb_executions(done, &mut completions);
                     }
                 }
             }
@@ -997,6 +1231,41 @@ impl ServeEngine {
         *cursor = before + 1;
     }
 
+    /// Folds a batch's executions into the completion list, advancing
+    /// any sequences whose decode steps just finished. Runs serially at
+    /// the round boundary — sequence state never mutates inside the
+    /// parallel region.
+    fn absorb_executions(&mut self, executed: Vec<Executed>, completions: &mut Vec<Completion>) {
+        for e in executed {
+            if let Some((seq_id, outcome)) = e.outcome {
+                self.advance_sequence(seq_id, &outcome);
+            }
+            completions.push(e.completion);
+        }
+    }
+
+    /// Applies one finished decode step: extends the KV cache, records
+    /// the emitted token, and — if the sequence still has steps left —
+    /// enqueues the next token request (the autoregressive feedback
+    /// edge: step `t + 1` enters the queue only now).
+    fn advance_sequence(&mut self, seq_id: u64, outcome: &StepOutcome) {
+        self.tokens += 1;
+        let sequence = &mut self.sequences[usize::try_from(seq_id).expect("sequence id")];
+        sequence.cache.apply(outcome);
+        sequence.pos += 1;
+        sequence.tokens.push(outcome.next_token);
+        sequence.next_token = outcome.next_token;
+        if sequence.pos < sequence.steps {
+            sequence.next_arrival = sequence.next_arrival.saturating_add(sequence.interval);
+            let model = sequence.model;
+            let token = sequence.next_token;
+            let arrival = sequence.next_arrival;
+            self.enqueue(token_request(model, token, arrival), Some(seq_id));
+        } else {
+            sequence.finished = true;
+        }
+    }
+
     /// Records shed members: engine + chip counters and one structured
     /// notice per request.
     fn shed_members(
@@ -1012,6 +1281,14 @@ impl ServeEngine {
             let q = &queue[slot];
             self.sheds += 1;
             self.registry.note_shed(ChipId(chip));
+            if let Some(seq_id) = q.sequence {
+                // Shedding a decode step ends its whole sequence: no
+                // further token is enqueued, and the client is told via
+                // the notice (plus the `shed` accessor).
+                let sequence = &mut self.sequences[usize::try_from(seq_id).expect("sequence id")];
+                sequence.finished = true;
+                sequence.shed = true;
+            }
             notices.push(ShedNotice {
                 id: q.id,
                 model: batch.model,
@@ -1033,7 +1310,7 @@ impl ServeEngine {
         fate: &BatchFate,
         failed_chip: usize,
         notices: &mut Vec<ShedNotice>,
-    ) -> (Vec<Completion>, f64) {
+    ) -> (Vec<Executed>, f64) {
         let start = std::time::Instant::now();
         self.retries += 1;
         self.registry.note_retry(ChipId(failed_chip));
@@ -1160,7 +1437,7 @@ impl ServeEngine {
         batch: &Batch,
         queue: &[Queued],
         fate: &BatchFate,
-    ) -> Result<Vec<Completion>, usize> {
+    ) -> Result<Vec<Executed>, usize> {
         if matches!(fate.chip, FateChip::Shed) || fate.shed.len() >= batch.members.len() {
             return Ok(Vec::new());
         }
@@ -1185,14 +1462,17 @@ impl ServeEngine {
 
     /// Runs every non-shed member of a batch on one executor, retrying
     /// through transient tile faults (bounded at [`MAX_TILE_RETRIES`] per
-    /// member — a one-shot transient needs exactly one).
+    /// member — a one-shot transient needs exactly one). Members carrying
+    /// a sequence id run one decode step via [`lm_step`] instead of a
+    /// CNN forward; reading `self.sequences` here is safe because a
+    /// sequence has at most one step in flight per pass.
     fn execute_on(
         &self,
         batch: &Batch,
         queue: &[Queued],
         executor: &DeviceExecutor,
         shed: &[usize],
-    ) -> Result<Vec<Completion>, ExecError> {
+    ) -> Result<Vec<Executed>, ExecError> {
         let spec = self.registry.spec(batch.model);
         let survivors: Vec<usize> = batch
             .members
@@ -1203,6 +1483,48 @@ impl ServeEngine {
         let mut out = Vec::with_capacity(survivors.len());
         for &slot in &survivors {
             let q = &queue[slot];
+            if let Some(seq_id) = q.sequence {
+                let sequence = &self.sequences[usize::try_from(seq_id).expect("sequence id")];
+                let weights = spec.lm.as_ref().expect("sequence targets a language model");
+                let mut attempts = 0usize;
+                let step = loop {
+                    match lm_step(
+                        executor,
+                        &spec.network,
+                        &spec.filters,
+                        weights,
+                        &sequence.cache,
+                        sequence.next_token,
+                        sequence.pos,
+                    ) {
+                        Ok(step) => break step,
+                        Err(ExecError::TileFault { .. }) if attempts < MAX_TILE_RETRIES => {
+                            attempts += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+                let completion = Completion {
+                    id: q.id,
+                    model: batch.model,
+                    arrival: q.request.arrival,
+                    deadline: q.request.deadline,
+                    output: Tensor3::new(TensorShape::flat(step.logits.len()), step.logits.clone()),
+                    batch_seq: batch.seq,
+                    batch_size: survivors.len(),
+                    sequence: Some(TokenCompletion {
+                        sequence: SequenceId(seq_id),
+                        step: sequence.pos,
+                        token: step.next_token,
+                        done: sequence.pos + 1 >= sequence.steps,
+                    }),
+                };
+                out.push(Executed {
+                    completion,
+                    outcome: Some((seq_id, step)),
+                });
+                continue;
+            }
             let mut attempts = 0usize;
             let forward = loop {
                 match executor.try_forward(&spec.network, &q.request.input, &spec.filters) {
@@ -1213,14 +1535,18 @@ impl ServeEngine {
                     Err(e) => return Err(e),
                 }
             };
-            out.push(Completion {
-                id: q.id,
-                model: batch.model,
-                arrival: q.request.arrival,
-                deadline: q.request.deadline,
-                output: forward.output,
-                batch_seq: batch.seq,
-                batch_size: survivors.len(),
+            out.push(Executed {
+                completion: Completion {
+                    id: q.id,
+                    model: batch.model,
+                    arrival: q.request.arrival,
+                    deadline: q.request.deadline,
+                    output: forward.output,
+                    batch_seq: batch.seq,
+                    batch_size: survivors.len(),
+                    sequence: None,
+                },
+                outcome: None,
             });
         }
         Ok(out)
@@ -1244,6 +1570,8 @@ impl ServeEngine {
             sheds: self.sheds,
             recoveries: self.registry.recoveries(),
             recovery_ms: self.registry.recovery_ms(),
+            sequences: self.sequences.len() as u64,
+            tokens: self.tokens,
         }
     }
 }
@@ -1256,6 +1584,20 @@ impl std::fmt::Debug for ServeEngine {
             .field("requests", &self.requests)
             .field("batches", &self.batches)
             .finish()
+    }
+}
+
+/// Builds the queued request for one decode step of a sequence. The
+/// input tensor carries only the step's token — the engine keys the real
+/// state (the KV cache) off the sequence id — and the deadline is `None`:
+/// token steps are never deadline-shed, only all-chips-failed can shed
+/// them.
+fn token_request(model: ModelId, token: u32, arrival: u64) -> InferRequest {
+    InferRequest {
+        model,
+        input: Tensor3::new(TensorShape::flat(1), vec![i64::from(token)]),
+        arrival,
+        deadline: None,
     }
 }
 
@@ -1382,5 +1724,115 @@ mod tests {
         // Queue drains in arrival order; the two tick-2 requests keep
         // their submission order (id 1 before id 3).
         assert_eq!(order, vec![(2, 1), (2, 3), (5, 0), (9, 2)]);
+    }
+
+    #[test]
+    fn sequence_decodes_match_the_oracle_and_finish() {
+        use oxbar_nn::transformer::{generate, OracleEngine};
+        let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+        let spec = catalog::llm_tiny();
+        let weights = spec.lm.clone().expect("llm_tiny is a language model");
+        let llm = engine.admit(spec).unwrap();
+        let seq = engine.begin_sequence(llm, 3, 8, 0, 1).unwrap();
+        let done = engine.drain();
+        assert!(engine.sequence_finished(seq));
+        assert!(!engine.sequence_shed(seq));
+
+        let mut oracle = OracleEngine::new(&weights);
+        let want: Vec<u32> = generate(&weights, &mut oracle, 3, 8)
+            .expect("oracle is infallible")
+            .into_iter()
+            .map(|s| s.next_token)
+            .collect();
+        assert_eq!(
+            engine.sequence_tokens(seq),
+            &want[..],
+            "ideal device == oracle"
+        );
+
+        // Every step surfaced as a Completion on the sequence, in step
+        // order, with `done` exactly on the last.
+        let steps: Vec<(usize, u32, bool)> = done
+            .iter()
+            .filter_map(|c| c.sequence.as_ref())
+            .filter(|t| t.sequence == seq)
+            .map(|t| (t.step, t.token, t.done))
+            .collect();
+        assert_eq!(steps.len(), 8);
+        for (i, (step, token, last)) in steps.iter().enumerate() {
+            assert_eq!(*step, i, "steps complete in order");
+            assert_eq!(*token, want[i]);
+            assert_eq!(*last, i == 7, "done marks exactly the final step");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sequences, 1);
+        assert_eq!(stats.tokens, 8);
+    }
+
+    #[test]
+    fn mixed_cnn_and_llm_drain_is_worker_invariant() {
+        let run = |workers: usize| {
+            let mut engine =
+                ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)).with_workers(workers));
+            let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+            let llm = engine.admit(catalog::llm_tiny()).unwrap();
+            let a = engine.begin_sequence(llm, 1, 6, 0, 1).unwrap();
+            let b = engine.begin_sequence(llm, 9, 6, 0, 1).unwrap();
+            for i in 0..4u64 {
+                let input = synthetic::activations(engine.input_shape(lenet), 6, i);
+                engine.submit(InferRequest {
+                    model: lenet,
+                    input,
+                    arrival: i,
+                    deadline: Some(i + 100),
+                });
+            }
+            let done = engine.drain();
+            let tokens = (
+                engine.sequence_tokens(a).to_vec(),
+                engine.sequence_tokens(b).to_vec(),
+            );
+            (done, tokens)
+        };
+        let (done1, tokens1) = run(1);
+        let (done4, tokens4) = run(4);
+        assert_eq!(tokens1, tokens4, "token streams are worker-invariant");
+        assert_eq!(done1, done4, "mixed traffic is byte-identical");
+        assert_eq!(
+            done1.len(),
+            4 + 12,
+            "4 CNN requests + 2 sequences x 6 steps"
+        );
+    }
+
+    #[test]
+    fn begin_sequence_rejects_structured() {
+        let mut engine = ServeEngine::new(ServeConfig::new(SimConfig::ideal(64, 64)));
+        let lenet = engine.admit(catalog::lenet5_model()).unwrap();
+        let llm = engine.admit(catalog::llm_tiny()).unwrap();
+        assert_eq!(
+            engine.begin_sequence(ModelId(9), 0, 4, 0, 1),
+            Err(SubmitError::UnknownModel(ModelId(9)))
+        );
+        assert_eq!(
+            engine.begin_sequence(lenet, 0, 4, 0, 1),
+            Err(SubmitError::NotLanguageModel(lenet))
+        );
+        assert_eq!(
+            engine.begin_sequence(llm, 0, 0, 0, 1),
+            Err(SubmitError::BadSteps {
+                steps: 0,
+                max: MAX_SEQUENCE_STEPS
+            })
+        );
+        assert_eq!(
+            engine.begin_sequence(llm, 77, 4, 0, 1),
+            Err(SubmitError::BadToken {
+                model: llm,
+                token: 77,
+                vocab: 32
+            })
+        );
+        assert_eq!(engine.queued(), 0, "rejected sequences never queue");
     }
 }

@@ -87,11 +87,13 @@ mod session;
 
 pub use batcher::{form_batches, route_rounds, Batch, BatchPolicy};
 pub use cluster::{ChipHealth, ChipId, ChipRegistry, ChipStats, Cluster, PlacementPolicy};
-pub use engine::{DrainTrace, EngineStats, ServeConfig, ServeEngine, ShedNotice, SubmitError};
+pub use engine::{
+    DrainTrace, EngineStats, ServeConfig, ServeEngine, ShedNotice, SubmitError, MAX_SEQUENCE_STEPS,
+};
 pub use loadgen::{ClosedLoop, LatencySummary, MixEntry, OpenLoop};
-pub use protocol::{Client, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel};
+pub use protocol::{Client, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel, WireToken};
 pub use registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};
-pub use request::{Completion, InferRequest, ModelId, RequestId};
+pub use request::{Completion, InferRequest, ModelId, RequestId, SequenceId, TokenCompletion};
 pub use server::{Server, ServerConfig};
 
 // Re-exported so doctests and downstream callers can name the device

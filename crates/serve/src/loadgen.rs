@@ -329,6 +329,7 @@ mod tests {
             output: Tensor3::new(TensorShape::flat(1), vec![0]),
             batch_seq: seq,
             batch_size: 1,
+            sequence: None,
         }
     }
 

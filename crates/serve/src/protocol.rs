@@ -160,6 +160,19 @@ pub fn write_message<T: Serialize>(stream: &mut impl Write, message: &T) -> io::
     write_frame(stream, text.as_bytes())
 }
 
+/// The sequence facts attached to a token-step
+/// [`ServerFrame::Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireToken {
+    /// The step's position in the sequence (0 = first token).
+    pub step: u64,
+    /// The token this step emitted.
+    pub token: u64,
+    /// Whether this was the sequence's final step — the terminal frame
+    /// for the sequence's tag.
+    pub done: bool,
+}
+
 /// One catalog entry as advertised in the server's greeting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireModel {
@@ -194,6 +207,25 @@ pub enum ClientFrame {
         deadline: Option<u64>,
         /// The quantized input activations.
         input: Tensor3,
+    },
+    /// Begin an autoregressive generation sequence against a language
+    /// model. The server streams one [`ServerFrame::Completion`] per
+    /// decoded token on this `tag` (each carrying a
+    /// [`WireToken`]), in step order; the frame whose token has
+    /// `done == true` is the terminal answer.
+    Generate {
+        /// Client correlation tag, echoed on every token frame.
+        tag: u64,
+        /// Target model id; must be a language model.
+        model: usize,
+        /// The prompt token that seeds the sequence.
+        prompt: u64,
+        /// Decode steps to run (1..=`MAX_SEQUENCE_STEPS`).
+        steps: u64,
+        /// Arrival tick of the first step.
+        arrival: u64,
+        /// Tick gap between successive decode steps.
+        interval: u64,
     },
     /// Admit a stock-catalog model by name, subject to strict per-chip
     /// cell-budget admission control.
@@ -230,8 +262,12 @@ pub enum ServerFrame {
         batch_seq: u64,
         /// Requests that shared the batch.
         batch_size: u64,
-        /// The model's output tensor.
+        /// The model's output tensor (a token step's logits, flat, one
+        /// lane per vocabulary entry).
         output: Tensor3,
+        /// Set when this completion is one decode step of a `Generate`
+        /// sequence; `None` for ordinary inference.
+        sequence: Option<WireToken>,
     },
     /// A model was admitted for this and future sessions.
     Admitted {
@@ -432,6 +468,47 @@ impl<S: Read + Write> Client<S> {
                 return Ok(frame);
             }
             self.buffered.push(frame);
+        }
+    }
+
+    /// Collects every frame of a `Generate` sequence on `tag` — in step
+    /// order, as the server streams them — until a terminal frame: a
+    /// token `Completion` with `done == true`, a [`ServerFrame::Shed`],
+    /// or an attributed [`ServerFrame::Error`]. Frames for other tags
+    /// are buffered for later [`Client::recv`]/[`Client::wait_completion`]
+    /// calls, so a sequence can interleave freely with pipelined `Infer`s.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the wire — including
+    /// [`FrameError::Closed`] if the server goes away mid-sequence.
+    pub fn wait_sequence(&mut self, tag: u64) -> Result<Vec<ServerFrame>, FrameError> {
+        let mut frames = Vec::new();
+        loop {
+            // Drain matching buffered frames first so earlier reads for
+            // other tags cannot reorder the stream.
+            let frame =
+                if let Some(pos) = self.buffered.iter().position(|f| frame_tag(f) == Some(tag)) {
+                    self.buffered.remove(pos)
+                } else {
+                    let frame = read_message::<ServerFrame>(&mut self.stream)?;
+                    if frame_tag(&frame) != Some(tag) {
+                        self.buffered.push(frame);
+                        continue;
+                    }
+                    frame
+                };
+            let terminal = match &frame {
+                ServerFrame::Completion { sequence, .. } => {
+                    sequence.as_ref().is_some_and(|t| t.done)
+                }
+                ServerFrame::Shed { .. } | ServerFrame::Error { .. } => true,
+                _ => false,
+            };
+            frames.push(frame);
+            if terminal {
+                return Ok(frames);
+            }
         }
     }
 }

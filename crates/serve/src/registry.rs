@@ -26,6 +26,14 @@ pub struct ModelSpec {
     pub network: Network,
     /// Signed INT-quantized filter banks covering every conv-like layer.
     pub filters: Vec<FilterBank>,
+    /// For an autoregressive language model, the full transformer weights
+    /// (embeddings and block structure). When set, `network`/`filters`
+    /// must be this model's dense stack
+    /// ([`oxbar_nn::transformer::LmWeights::network`] /
+    /// [`oxbar_nn::transformer::LmWeights::filters`]) so the static
+    /// projections serve through the same weight-stationary cache as any
+    /// CNN; `None` marks an ordinary feed-forward model.
+    pub lm: Option<oxbar_nn::transformer::LmWeights>,
 }
 
 /// Why a [`ModelSpec`] was refused admission.
@@ -271,6 +279,7 @@ mod tests {
             name: format!("lenet5_{seed}"),
             network,
             filters,
+            lm: None,
         }
     }
 
@@ -294,6 +303,7 @@ mod tests {
             name: "resnet18".into(),
             filters: synthetic::filter_banks(&resnet18(), 6, 3),
             network: resnet18(),
+            lm: None,
         };
         assert!(matches!(reg.admit(residual), Err(AdmitError::Residual(_))));
         let mut short = lenet_spec(4);

@@ -13,6 +13,28 @@ pub struct ModelId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(pub u64);
 
+/// Handle to an autoregressive generation sequence, in begin order.
+///
+/// A sequence is a *long-lived* request: each decode step is submitted
+/// as an ordinary queued request (so tokens batch, route, and fail over
+/// exactly like CNN traffic), and step `t + 1` enters the queue only
+/// when step `t` completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SequenceId(pub u64);
+
+/// The sequence facts attached to a token-step [`Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenCompletion {
+    /// The generation sequence this step belongs to.
+    pub sequence: SequenceId,
+    /// The step's position in the sequence (0 = first/prefill token).
+    pub step: usize,
+    /// The token this step emitted (greedy argmax over the logits).
+    pub token: u32,
+    /// Whether this was the sequence's final step.
+    pub done: bool,
+}
+
 /// One inference request against an admitted model.
 ///
 /// Time is counted in abstract, caller-defined *ticks*: the engine never
@@ -53,6 +75,11 @@ pub struct Completion {
     pub batch_seq: usize,
     /// How many requests shared that batch.
     pub batch_size: usize,
+    /// Set when this completion is one decode step of an autoregressive
+    /// sequence; `None` for ordinary (CNN) inference. Token-step
+    /// completions carry the logits in `output` (flat, one lane per
+    /// vocabulary entry).
+    pub sequence: Option<TokenCompletion>,
 }
 
 /// Derives the deterministic seed for one request of a trace.

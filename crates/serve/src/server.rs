@@ -44,8 +44,8 @@
 
 use crate::cluster::{ChipHealth, ChipId};
 use crate::engine::ServeEngine;
-use crate::protocol::ServerFrame;
-use crate::request::RequestId;
+use crate::protocol::{ServerFrame, WireToken};
+use crate::request::{RequestId, SequenceId};
 use crate::session::{self, Conn};
 use std::collections::HashMap;
 use std::io;
@@ -85,6 +85,11 @@ struct Pending {
 pub(crate) struct Core {
     pub(crate) engine: ServeEngine,
     pending: HashMap<RequestId, Pending>,
+    /// Routes for live `Generate` sequences, keyed by sequence id. A
+    /// route persists across the sequence's whole token stream (every
+    /// step's completion goes to the same `(conn, tag)`) and is dropped
+    /// on the `done` frame or a shed.
+    seq_routes: HashMap<u64, Pending>,
     /// Batches dispatched before the current drain: per-drain `batch_seq`
     /// restarts at 0, and this offset makes the wire-visible sequence
     /// monotone across the server's lifetime.
@@ -97,9 +102,16 @@ impl Core {
         self.pending.insert(id, Pending { conn, tag });
     }
 
-    /// Whether any in-flight request belongs to session `conn_id`.
+    /// Records where sequence `id`'s token stream should be delivered.
+    pub(crate) fn note_sequence(&mut self, id: SequenceId, conn: Arc<Conn>, tag: u64) {
+        self.seq_routes.insert(id.0, Pending { conn, tag });
+    }
+
+    /// Whether any in-flight request — single inference or live
+    /// sequence — belongs to session `conn_id`.
     pub(crate) fn has_pending_for(&self, conn_id: u64) -> bool {
         self.pending.values().any(|p| p.conn.id == conn_id)
+            || self.seq_routes.values().any(|p| p.conn.id == conn_id)
     }
 }
 
@@ -158,6 +170,7 @@ impl Server {
             core: Mutex::new(Core {
                 engine,
                 pending: HashMap::new(),
+                seq_routes: HashMap::new(),
                 batch_base: 0,
             }),
             work: Condvar::new(),
@@ -295,21 +308,42 @@ fn dispatch_loop(shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<Arc<Conn>>>>) {
             let trace = core.engine.drain_traced();
             let base = core.batch_base;
             core.batch_base += trace.batch_ms.len() as u64;
-            let mut replies: Vec<(Arc<Conn>, ServerFrame)> = trace
-                .completions
-                .into_iter()
-                .filter_map(|c| {
-                    core.pending.remove(&c.id).map(|p| {
-                        let frame = ServerFrame::Completion {
-                            tag: p.tag,
-                            batch_seq: base + c.batch_seq as u64,
-                            batch_size: c.batch_size as u64,
-                            output: c.output,
-                        };
-                        (p.conn, frame)
-                    })
-                })
-                .collect();
+            let mut replies: Vec<(Arc<Conn>, ServerFrame)> = Vec::new();
+            for c in trace.completions {
+                if let Some(tc) = c.sequence {
+                    // Token steps stream through the sequence route:
+                    // every step of a sequence answers the same tag, in
+                    // dispatch (= step) order; the route dies with the
+                    // `done` frame.
+                    let Some(p) = core.seq_routes.get(&tc.sequence.0) else {
+                        continue;
+                    };
+                    let frame = ServerFrame::Completion {
+                        tag: p.tag,
+                        batch_seq: base + c.batch_seq as u64,
+                        batch_size: c.batch_size as u64,
+                        output: c.output,
+                        sequence: Some(WireToken {
+                            step: tc.step as u64,
+                            token: u64::from(tc.token),
+                            done: tc.done,
+                        }),
+                    };
+                    replies.push((Arc::clone(&p.conn), frame));
+                    if tc.done {
+                        core.seq_routes.remove(&tc.sequence.0);
+                    }
+                } else if let Some(p) = core.pending.remove(&c.id) {
+                    let frame = ServerFrame::Completion {
+                        tag: p.tag,
+                        batch_seq: base + c.batch_seq as u64,
+                        batch_size: c.batch_size as u64,
+                        output: c.output,
+                        sequence: None,
+                    };
+                    replies.push((p.conn, frame));
+                }
+            }
             // Shed requests answer through the same pending table, so a
             // session waiting on its tag (or a Goodbye flush) always
             // terminates — a shed is a completion, not a hang.
@@ -318,6 +352,24 @@ fn dispatch_loop(shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<Arc<Conn>>>>) {
                     let frame = ServerFrame::Shed {
                         tag: p.tag,
                         detail: shed.detail,
+                    };
+                    replies.push((p.conn, frame));
+                }
+            }
+            // A sequence the fault handler terminated answers its tag
+            // with a Shed — the terminal frame, so `wait_sequence`
+            // never hangs on a killed sequence.
+            let shed_seqs: Vec<u64> = core
+                .seq_routes
+                .keys()
+                .copied()
+                .filter(|&s| core.engine.sequence_shed(SequenceId(s)))
+                .collect();
+            for s in shed_seqs {
+                if let Some(p) = core.seq_routes.remove(&s) {
+                    let frame = ServerFrame::Shed {
+                        tag: p.tag,
+                        detail: format!("sequence {s} terminated by the fault handler"),
                     };
                     replies.push((p.conn, frame));
                 }

@@ -195,8 +195,79 @@ fn handle(frame: ClientFrame, conn: &Arc<Conn>, shared: &Arc<Shared>) -> Flow {
                         Err(e) => {
                             let code = match e {
                                 SubmitError::UnknownModel(_) => ErrorCode::UnknownModel,
+                                SubmitError::NotLanguageModel(_) => ErrorCode::Unsupported,
                                 SubmitError::ShapeMismatch { .. }
-                                | SubmitError::MalformedTensor { .. } => ErrorCode::BadInput,
+                                | SubmitError::MalformedTensor { .. }
+                                | SubmitError::BadToken { .. }
+                                | SubmitError::BadSteps { .. } => ErrorCode::BadInput,
+                            };
+                            Err(ServerFrame::Error {
+                                tag: Some(tag),
+                                code,
+                                detail: e.to_string(),
+                            })
+                        }
+                    }
+                }
+            };
+            match verdict {
+                Ok(()) => {
+                    shared.work.notify_one();
+                    Flow::Continue
+                }
+                Err(error) => reply(conn, &error),
+            }
+        }
+        ClientFrame::Generate {
+            tag,
+            model,
+            prompt,
+            steps,
+            arrival,
+            interval,
+        } => {
+            // Narrow the wire-width fields before they reach the engine;
+            // out-of-range values are client errors, not panics.
+            let (Ok(prompt), Ok(steps)) = (u32::try_from(prompt), usize::try_from(steps)) else {
+                return reply(
+                    conn,
+                    &ServerFrame::Error {
+                        tag: Some(tag),
+                        code: ErrorCode::BadInput,
+                        detail: "prompt or steps exceeds the supported range".to_string(),
+                    },
+                );
+            };
+            let verdict = {
+                let mut core = shared.core.lock().expect("core lock");
+                // Same exact backpressure bound as Infer: the sequence's
+                // first token step enters the queue on begin.
+                if core.engine.queued() >= shared.queue_capacity {
+                    Err(ServerFrame::Error {
+                        tag: Some(tag),
+                        code: ErrorCode::Backpressure,
+                        detail: format!(
+                            "queue at capacity ({}); retry after completions drain",
+                            shared.queue_capacity
+                        ),
+                    })
+                } else {
+                    match core.engine.begin_sequence(
+                        ModelId(model),
+                        prompt,
+                        steps,
+                        arrival,
+                        interval,
+                    ) {
+                        Ok(seq) => {
+                            core.note_sequence(seq, Arc::clone(conn), tag);
+                            Ok(())
+                        }
+                        Err(e) => {
+                            let code = match e {
+                                SubmitError::UnknownModel(_) => ErrorCode::UnknownModel,
+                                SubmitError::NotLanguageModel(_) => ErrorCode::Unsupported,
+                                _ => ErrorCode::BadInput,
                             };
                             Err(ServerFrame::Error {
                                 tag: Some(tag),

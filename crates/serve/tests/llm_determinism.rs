@@ -1,0 +1,121 @@
+//! Determinism of autoregressive token serving.
+//!
+//! The contract under test: a sequence's token stream is a pure function
+//! of `(weights, prompt, steps, device config)` — byte-identical across
+//! dispatch worker counts, with the prewarm pipeline on or off, and
+//! across cluster shapes (1 chip vs `Replicated(2)`), **including** a
+//! chip kill landing mid-sequence: replicas share the model's admission
+//! seed, so failover never perturbs a single decoded token.
+
+use oxbar_nn::synthetic;
+use oxbar_serve::{
+    catalog, Completion, FaultPlan, InferRequest, PlacementPolicy, ServeConfig, ServeEngine,
+};
+use oxbar_sim::SimConfig;
+
+/// Runs the canonical mixed CNN + LLM trace through `config`: two
+/// sequences against `llm_tiny` interleaved with four LeNet requests,
+/// drained to idle. Returns the completions and both token streams.
+fn mixed_trace(config: ServeConfig) -> (Vec<Completion>, Vec<Vec<u32>>) {
+    let mut engine = ServeEngine::new(config);
+    let lenet = engine.admit(catalog::lenet5_model()).expect("lenet admits");
+    let llm = engine.admit(catalog::llm_tiny()).expect("llm_tiny admits");
+    let a = engine.begin_sequence(llm, 5, 8, 0, 1).expect("sequence a");
+    let b = engine.begin_sequence(llm, 20, 8, 1, 1).expect("sequence b");
+    for i in 0..4u64 {
+        engine.submit(InferRequest {
+            model: lenet,
+            input: synthetic::activations(engine.input_shape(lenet), 6, i),
+            arrival: i,
+            deadline: Some(i + 200),
+        });
+    }
+    let done = engine.drain();
+    assert!(engine.sequence_finished(a) && engine.sequence_finished(b));
+    assert!(!engine.sequence_shed(a) && !engine.sequence_shed(b));
+    let tokens = vec![
+        engine.sequence_tokens(a).to_vec(),
+        engine.sequence_tokens(b).to_vec(),
+    ];
+    (done, tokens)
+}
+
+#[test]
+fn token_streams_are_invariant_across_workers_and_prewarm() {
+    // Noisy physics on purpose: determinism must survive the full device
+    // model, not just the ideal integer path.
+    let device = SimConfig::noisy(64, 64).with_seed(41).with_threads(1);
+    let base = ServeConfig::new(device);
+    let (done_ref, tokens_ref) = mixed_trace(base.clone().with_workers(1));
+    for workers in [2usize, 4] {
+        for prewarm in [true, false] {
+            let config = base.clone().with_workers(workers).with_prewarm(prewarm);
+            let (done, tokens) = mixed_trace(config);
+            assert_eq!(
+                tokens, tokens_ref,
+                "token streams diverged at workers={workers} prewarm={prewarm}"
+            );
+            assert_eq!(
+                done, done_ref,
+                "completions diverged at workers={workers} prewarm={prewarm}"
+            );
+        }
+    }
+    assert_eq!(done_ref.len(), 4 + 16, "4 CNN + 2 sequences x 8 steps");
+}
+
+#[test]
+fn replicated_failover_mid_sequence_is_byte_identical() {
+    let device = SimConfig::noisy(64, 64).with_seed(17).with_threads(1);
+    // Reference: one healthy chip, no faults.
+    let single = ServeConfig::new(device.clone()).with_chips(vec![600_000]);
+    let (_, tokens_ref) = mixed_trace(single);
+
+    // Same trace on a two-chip replicated cluster whose chip 0 is killed
+    // at global batch 3 — mid-sequence (each decode step is its own
+    // scheduler pass, so the sequences span many batches).
+    let replicated = ServeConfig::new(device)
+        .with_chips(vec![600_000, 600_000])
+        .with_placement(PlacementPolicy::Replicated(2))
+        .with_faults(FaultPlan::new().kill_chip(3, 0));
+    let (_, tokens) = mixed_trace(replicated);
+    assert_eq!(
+        tokens, tokens_ref,
+        "mid-sequence chip kill must be invisible in the token stream"
+    );
+}
+
+#[test]
+fn all_chips_failed_sheds_the_sequence_instead_of_hanging() {
+    // A single chip killed mid-sequence leaves no replica and nothing to
+    // recover onto once its snapshot path also runs out; the engine must
+    // terminate the sequence with a structured shed, not loop forever.
+    let device = SimConfig::ideal(64, 64).with_seed(3).with_threads(1);
+    let config = ServeConfig::new(device)
+        .with_chips(vec![600_000])
+        .with_faults(
+            FaultPlan::new()
+                .kill_chip(2, 0)
+                .kill_chip(3, 0)
+                .kill_chip(4, 0),
+        );
+    let mut engine = ServeEngine::new(config);
+    let llm = engine.admit(catalog::llm_tiny()).expect("llm_tiny admits");
+    let seq = engine.begin_sequence(llm, 5, 8, 0, 1).expect("sequence");
+    let trace = engine.drain_traced();
+    assert!(engine.sequence_finished(seq), "shed sequences finish");
+    if engine.sequence_shed(seq) {
+        assert!(
+            engine.sequence_tokens(seq).len() < 8,
+            "a shed sequence stops early"
+        );
+        assert!(
+            !trace.sheds.is_empty(),
+            "the shed is structured, not silent"
+        );
+    } else {
+        // Snapshot recovery may legitimately save the sequence; then
+        // every token must be present.
+        assert_eq!(engine.sequence_tokens(seq).len(), 8);
+    }
+}

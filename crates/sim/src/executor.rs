@@ -138,6 +138,12 @@ const TILE_CACHE_CELL_BUDGET: usize = 4_000_000;
 /// Adder width of the digital partial-sum accumulator (bits).
 const ACCUMULATOR_BITS: u8 = 48;
 
+/// Seed-index base for dynamic (uncached) MVM stages: a dynamic stage `s`
+/// seeds its tiles as layer `DYNAMIC_STAGE_BASE + s`, far above any real
+/// network's layer count, so dynamic-path device noise can never collide
+/// with a static layer's per-tile noise streams.
+const DYNAMIC_STAGE_BASE: usize = 1 << 20;
+
 /// A snapshot of the weight-stationary tile cache's performance counters.
 ///
 /// Hits are executions served from an already programmed + compiled tile
@@ -285,17 +291,35 @@ impl DeviceExecutor {
         input: &Tensor3,
         filters: &[FilterBank],
     ) -> Result<DeviceForward, ExecError> {
-        {
-            let mut state = self.fault.lock().expect("fault state");
-            if state.killed {
-                return Err(ExecError::ChipFailed);
-            }
-            if let Some((layer, tile)) = state.transient.take() {
-                return Err(ExecError::TileFault { layer, tile });
-            }
-        }
+        self.fault_gate()?;
         self.forward(network, input, filters)
             .map_err(ExecError::Unsupported)
+    }
+
+    /// The injected-fault gate every fallible execution entry point runs
+    /// through: a killed chip refuses with [`ExecError::ChipFailed`], and
+    /// an armed one-shot transient is consumed and surfaced as
+    /// [`ExecError::TileFault`] (an immediate retry succeeds). Exposed so
+    /// multi-MVM executions (the autoregressive transformer step in
+    /// `crate::llm`) can take the same fault surface between their inner
+    /// MVMs, not just at step entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected fault, if any is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault mutex was poisoned.
+    pub fn fault_gate(&self) -> Result<(), ExecError> {
+        let mut state = self.fault.lock().expect("fault state");
+        if state.killed {
+            return Err(ExecError::ChipFailed);
+        }
+        if let Some((layer, tile)) = state.transient.take() {
+            return Err(ExecError::TileFault { layer, tile });
+        }
+        Ok(())
     }
 
     /// Checks one reusable arena out of the pool (or starts a fresh one).
@@ -650,6 +674,81 @@ impl DeviceExecutor {
         self.return_arenas(outcomes.into_iter().map(|(arena, _)| arena));
         self.return_arenas([acc_arena]);
         (values, stats)
+    }
+
+    /// One **uncached** dynamic MVM: `rows` (signed weight codes, one row
+    /// per output) times `drive`, folded through the same weight-stationary
+    /// tile geometry a conv layer uses — except every tile is programmed,
+    /// used once, and discarded. This is the `QKᵀ`/`AV` path of attention,
+    /// whose "weights" are the KV cache and change on every token, so the
+    /// weight-stationary tile cache (and its hit/miss counters) is never
+    /// touched. `stage` seeds the per-tile device noise deterministically,
+    /// in an index range disjoint from every static layer's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged `rows`, a `drive` length mismatch, drive
+    /// values outside the activation range, or weight codes outside the
+    /// signed code range (caught during tile programming).
+    #[must_use]
+    pub fn dynamic_mv(&self, stage: usize, rows: &[Vec<i8>], drive: &[i64]) -> Vec<i64> {
+        assert!(
+            !rows.is_empty() && !drive.is_empty(),
+            "dynamic MVM needs at least one row and one drive value"
+        );
+        for (index, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), drive.len(), "row {index} length mismatch");
+        }
+        assert!(
+            drive.iter().map(|v| v.abs()).max().unwrap_or(0) <= self.config.v_max(),
+            "drive exceeds the {}-bit range",
+            self.config.activation_bits
+        );
+        let conv = oxbar_dataflow::matmul::matmul_conv("dynamic_mv", drive.len(), rows.len());
+        let plan = FoldPlan::plan(
+            &conv,
+            self.config.array_rows,
+            self.config.array_cols,
+            self.config.mapping.columns_per_output(),
+        );
+        let weights = rows.to_vec();
+        let tiles = WeightTiles::new(&conv, &weights, &plan);
+        let has_negative = drive.iter().any(|&v| v < 0);
+        let layer_index = DYNAMIC_STAGE_BASE + stage;
+        let engine = match self.engine {
+            // Both compiled variants behave identically here: nothing is
+            // ever inserted into the cache on the dynamic path.
+            MvmEngine::Compiled | MvmEngine::CompiledNoCache => MvmEngine::CompiledNoCache,
+            MvmEngine::FieldWalk => MvmEngine::FieldWalk,
+        };
+        let mut lanes = vec![0i64; rows.len()];
+        for (tile_index, geom) in tiles.geometries().enumerate() {
+            let seed = tile_seed(self.config.seed, layer_index, tile_index);
+            let window = &drive[geom.row_offset..geom.row_offset + geom.rows];
+            let positive: Vec<u8> = window.iter().map(|&v| v.max(0) as u8).collect();
+            let negative: Option<Vec<u8>> =
+                has_negative.then(|| window.iter().map(|&v| (-v).max(0) as u8).collect());
+            let tile_drive = TileDrive::new(geom.rows, positive, negative);
+            let outcome = run_tile_with(
+                &tiles.tile(tile_index),
+                &tile_drive,
+                &self.config,
+                seed,
+                engine,
+            );
+            let base = geom.group * conv.out_c_per_group() + geom.col_offset;
+            for (lane, &v) in lanes[base..][..geom.cols]
+                .iter_mut()
+                .zip(&outcome.partials[0])
+            {
+                *lane += v;
+            }
+        }
+        let limit = Accumulator::saturation_limit(ACCUMULATOR_BITS);
+        for lane in &mut lanes {
+            *lane = (*lane).clamp(-limit - 1, limit);
+        }
+        lanes
     }
 
     /// The full weight-stationary footprint of a model on this

@@ -71,6 +71,7 @@ pub mod config;
 pub mod executor;
 pub mod fault;
 pub mod fidelity;
+pub mod llm;
 pub mod probe;
 pub mod snapshot;
 pub mod tile;
@@ -80,6 +81,7 @@ pub use config::{NoiseModel, Readout, SimConfig};
 pub use executor::{CacheStats, DeviceExecutor, DeviceForward, LayerExecution, LayerStats};
 pub use fault::{ExecError, FaultEvent, FaultPlan, InjectedFault};
 pub use fidelity::{device_forward, run_inference, InferenceFidelity, LayerFidelity};
+pub use llm::{lm_step, DeviceLmEngine};
 pub use probe::{probe_conv, LayerProbe};
 pub use snapshot::{ChipSnapshot, TileSnapshot};
 pub use tile::MvmEngine;

@@ -1,0 +1,289 @@
+//! Device-level **autoregressive transformer** execution: one decode
+//! step on the photonic crossbar, bit-exact against the integer oracle
+//! in [`SimConfig::ideal`] mode.
+//!
+//! The transformer step ([`oxbar_nn::transformer::generate_step`]) is
+//! generic over a [`MatmulEngine`]; this module provides the device
+//! backend. The six projections of each block plus the LM head run as
+//! **static** MVMs through [`DeviceExecutor::conv_pixels_flat`] — the
+//! same weight-stationary path CNN layers use, sharing the tile cache,
+//! prewarm, and fault injection. The per-head `QKᵀ` and `AV` products
+//! run as **dynamic** MVMs through [`DeviceExecutor::dynamic_mv`]: their
+//! "weights" are the KV cache, different every token, so each tile is
+//! programmed, used once, and discarded without touching the cache.
+//!
+//! Layernorm, softmax, requantization, and the ReLU between the
+//! feed-forward projections stay digital (inside `generate_step`
+//! itself), mirroring how the CNN path keeps pooling and activation off
+//! the analog array.
+//!
+//! [`lm_step`] is the serving entry point: it takes the injected-fault
+//! gate first (so a killed chip refuses and an armed transient surfaces
+//! as a retryable [`ExecError::TileFault`]), then runs the step against
+//! a read-only KV cache — a failed step leaves the cache untouched, so
+//! retries and replica failover re-execute it bit-identically.
+
+use crate::executor::DeviceExecutor;
+use crate::fault::ExecError;
+use oxbar_nn::reference::{FilterBank, Tensor3};
+use oxbar_nn::transformer::{generate_step, KvCache, LmWeights, MatmulEngine, StepOutcome};
+use oxbar_nn::{Layer, Network, TensorShape};
+
+#[cfg(doc)]
+use crate::config::SimConfig;
+
+/// The photonic-crossbar backend for [`oxbar_nn::transformer`]: static
+/// projections through the weight-stationary cached path, attention
+/// matmuls through the uncached dynamic path.
+#[derive(Debug)]
+pub struct DeviceLmEngine<'a> {
+    executor: &'a DeviceExecutor,
+    network: &'a Network,
+    filters: &'a [FilterBank],
+}
+
+impl<'a> DeviceLmEngine<'a> {
+    /// Creates an engine over the model's dense stack (from
+    /// [`LmWeights::network`]) and its filter banks (from
+    /// [`LmWeights::filters`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains non-dense layers or the filter
+    /// count disagrees with the layer count.
+    #[must_use]
+    pub fn new(
+        executor: &'a DeviceExecutor,
+        network: &'a Network,
+        filters: &'a [FilterBank],
+    ) -> Self {
+        assert!(
+            network
+                .layers()
+                .iter()
+                .all(|layer| matches!(layer, Layer::Dense(_))),
+            "transformer stack must be all-dense"
+        );
+        assert_eq!(
+            network.layers().len(),
+            filters.len(),
+            "filter count disagrees with layer count"
+        );
+        Self {
+            executor,
+            network,
+            filters,
+        }
+    }
+}
+
+impl MatmulEngine for DeviceLmEngine<'_> {
+    type Error = ExecError;
+
+    fn static_mv(&mut self, layer_index: usize, drive: &[i64]) -> Result<Vec<i64>, Self::Error> {
+        // The gate sits between inner MVMs too, so a transient armed
+        // mid-step aborts the step (retry-safe: the cache is read-only).
+        self.executor.fault_gate()?;
+        let Layer::Dense(dense) = &self.network.layers()[layer_index] else {
+            unreachable!("constructor enforces an all-dense stack");
+        };
+        let conv = dense.as_conv();
+        let input = Tensor3::new(TensorShape::flat(drive.len()), drive.to_vec());
+        let (values, _) = self.executor.conv_pixels_flat(
+            &conv,
+            &input,
+            &self.filters[layer_index],
+            layer_index,
+            &[0],
+        );
+        Ok(values)
+    }
+
+    fn dynamic_mv(
+        &mut self,
+        stage: usize,
+        rows: &[Vec<i8>],
+        drive: &[i64],
+    ) -> Result<Vec<i64>, Self::Error> {
+        self.executor.fault_gate()?;
+        Ok(self.executor.dynamic_mv(stage, rows, drive))
+    }
+}
+
+/// One autoregressive decode step on the device: fault-gate, then embed
+/// `token` at `pos` and run the full block stack against the read-only
+/// `cache`. Apply the returned [`StepOutcome`] with [`KvCache::apply`]
+/// once the step is accepted (the split makes retries idempotent).
+///
+/// # Errors
+///
+/// [`ExecError::ChipFailed`] on a killed chip, [`ExecError::TileFault`]
+/// for an injected transient (an immediate retry succeeds).
+///
+/// # Panics
+///
+/// Panics if `token` is outside the vocabulary, the cache length
+/// disagrees with `pos`, or the network/filters don't match `weights`.
+pub fn lm_step(
+    executor: &DeviceExecutor,
+    network: &Network,
+    filters: &[FilterBank],
+    weights: &LmWeights,
+    cache: &KvCache,
+    token: u32,
+    pos: usize,
+) -> Result<StepOutcome, ExecError> {
+    executor.fault_gate()?;
+    let mut engine = DeviceLmEngine::new(executor, network, filters);
+    generate_step(weights, &mut engine, cache, token, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::fault::InjectedFault;
+    use oxbar_nn::transformer::{generate, LmConfig, OracleEngine};
+
+    fn tiny_weights(seed: u64) -> LmWeights {
+        LmWeights::synthetic(LmConfig::tiny(), seed)
+    }
+
+    fn device_generate(
+        executor: &DeviceExecutor,
+        weights: &LmWeights,
+        prompt: u32,
+        steps: usize,
+    ) -> Vec<StepOutcome> {
+        let network = weights.network("lm");
+        let filters = weights.filters();
+        let mut cache = KvCache::new(&weights.config);
+        let mut token = prompt;
+        let mut outcomes = Vec::with_capacity(steps);
+        for pos in 0..steps {
+            let outcome = lm_step(executor, &network, &filters, weights, &cache, token, pos)
+                .expect("healthy chip");
+            cache.apply(&outcome);
+            token = outcome.next_token;
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    #[test]
+    fn ideal_device_matches_oracle_bit_for_bit() {
+        let weights = tiny_weights(11);
+        let executor = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let device = device_generate(&executor, &weights, 3, 6);
+        let mut oracle = OracleEngine::new(&weights);
+        let exact = generate(&weights, &mut oracle, 3, 6).expect("oracle is infallible");
+        assert_eq!(device.len(), exact.len());
+        for (d, e) in device.iter().zip(&exact) {
+            assert_eq!(d.next_token, e.next_token);
+            assert_eq!(d.logits, e.logits);
+            assert_eq!(d.k_rows, e.k_rows);
+            assert_eq!(d.v_rows, e.v_rows);
+        }
+    }
+
+    #[test]
+    fn dynamic_path_never_touches_the_tile_cache() {
+        let weights = tiny_weights(5);
+        let executor = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let network = weights.network("lm");
+        let filters = weights.filters();
+        executor.prewarm(&network, &filters);
+        let warm = executor.cache_stats();
+        device_generate(&executor, &weights, 1, 4);
+        let after = executor.cache_stats();
+        // Every static MVM hits the prewarmed cache; dynamic matmuls add
+        // neither entries nor misses.
+        assert_eq!(after.entries, warm.entries);
+        assert_eq!(after.misses, warm.misses);
+        assert!(after.hits > warm.hits);
+    }
+
+    #[test]
+    fn noisy_decode_is_deterministic_across_thread_counts() {
+        let weights = tiny_weights(23);
+        let serial = DeviceExecutor::new(SimConfig::noisy(128, 128).with_threads(1));
+        let parallel = DeviceExecutor::new(SimConfig::noisy(128, 128).with_threads(4));
+        let a = device_generate(&serial, &weights, 2, 5);
+        let b = device_generate(&parallel, &weights, 2, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.next_token, y.next_token);
+            assert_eq!(x.logits, y.logits);
+        }
+    }
+
+    #[test]
+    fn killed_chip_refuses_and_transient_retries() {
+        let weights = tiny_weights(7);
+        let executor = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let network = weights.network("lm");
+        let filters = weights.filters();
+        let cache = KvCache::new(&weights.config);
+
+        executor.inject_fault(InjectedFault::TileTransient { layer: 0, tile: 0 });
+        let err = lm_step(&executor, &network, &filters, &weights, &cache, 1, 0)
+            .expect_err("armed transient must surface");
+        assert!(matches!(err, ExecError::TileFault { .. }));
+        // The transient is one-shot: the retry succeeds and matches the
+        // oracle (the failed attempt left no state behind).
+        let retried = lm_step(&executor, &network, &filters, &weights, &cache, 1, 0)
+            .expect("transient is one-shot");
+        let mut oracle = OracleEngine::new(&weights);
+        let exact = generate(&weights, &mut oracle, 1, 1).expect("oracle is infallible");
+        assert_eq!(retried.next_token, exact[0].next_token);
+
+        executor.inject_fault(InjectedFault::Kill);
+        let err = lm_step(&executor, &network, &filters, &weights, &cache, 1, 0)
+            .expect_err("killed chip must refuse");
+        assert!(matches!(err, ExecError::ChipFailed));
+    }
+
+    #[test]
+    fn dynamic_mv_matches_exact_dot_in_ideal_mode() {
+        let executor = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let rows: Vec<Vec<i8>> = vec![vec![3, -5, 7], vec![-31, 0, 31], vec![1, 2, 3]];
+        let drive = vec![63, -12, 40];
+        let got = executor.dynamic_mv(0, &rows, &drive);
+        let exact: Vec<i64> = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&drive)
+                    .map(|(&w, &x)| i64::from(w) * x)
+                    .sum()
+            })
+            .collect();
+        assert_eq!(got, exact);
+    }
+
+    #[test]
+    fn dynamic_mv_folds_long_sequences() {
+        // 300 cached positions on a 128×128 array forces row folding on
+        // the AV pass; the folded sum must still match the exact dot.
+        let executor = DeviceExecutor::new(SimConfig::ideal(128, 128));
+        let positions = 300;
+        let rows: Vec<Vec<i8>> = (0..16)
+            .map(|d| {
+                (0..positions)
+                    .map(|j| (((d * 7 + j * 13) % 63) as i8) - 31)
+                    .collect()
+            })
+            .collect();
+        let drive: Vec<i64> = (0..positions).map(|j| (j % 64) as i64).collect();
+        let got = executor.dynamic_mv(1, &rows, &drive);
+        let exact: Vec<i64> = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&drive)
+                    .map(|(&w, &x)| i64::from(w) * x)
+                    .sum()
+            })
+            .collect();
+        assert_eq!(got, exact);
+    }
+}

@@ -178,3 +178,8 @@ fn zoo_sweep_matches_golden() {
 fn fidelity_sweep_matches_golden() {
     check("fidelity_sweep", to_value(&figures::fidelity::generate()));
 }
+
+#[test]
+fn llm_block_matches_golden() {
+    check("llm_block", to_value(&figures::llm::generate()));
+}
