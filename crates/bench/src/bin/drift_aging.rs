@@ -1,0 +1,5 @@
+//! Runs the drift aging study (accuracy vs time since programming).
+use oxbar_bench::figures::drift;
+fn main() {
+    drift::render(&drift::run());
+}

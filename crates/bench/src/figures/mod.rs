@@ -11,6 +11,7 @@
 //! can drive the full set.
 
 pub mod device_level;
+pub mod drift;
 pub mod fidelity;
 pub mod fig1;
 pub mod fig6;
@@ -44,5 +45,6 @@ pub fn all() -> Vec<(&'static str, fn())> {
         ("Device-level validation", || {
             device_level::render(&device_level::run());
         }),
+        ("Drift aging", || drift::render(&drift::run())),
     ]
 }

@@ -201,6 +201,87 @@ pub struct FaultInjectionReport {
     pub p99_ratio_replicated_vs_no_fault: f64,
 }
 
+/// One comparison window of the drift section: a contiguous span of the
+/// trace graded element-wise against the drift-free reference run.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftWindow {
+    /// Requests in the window.
+    pub requests: usize,
+    /// Output elements compared.
+    pub elements: usize,
+    /// Worst absolute output deviation from the reference.
+    pub max_abs_delta: i64,
+    /// Fraction of output elements that differ from the reference.
+    pub error_rate: f64,
+}
+
+/// The drift/self-healing section: a long multi-drain trace on a device
+/// whose PCM tiles age one virtual tick per dispatched batch, replayed
+/// with online recalibration on and off, graded against the same trace
+/// with drift disabled.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftRecalReport {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Drains the trace was split into (aging advances at drain
+    /// boundaries).
+    pub waves: usize,
+    /// Wall-clock seconds one virtual tick represents.
+    pub drift_tick_seconds: f64,
+    /// The analytic accuracy budget: ticks until the worst-case level
+    /// slips half an LSB.
+    pub budget_ticks: u64,
+    /// Budget breaches the health monitor flagged on the recalibrating
+    /// run.
+    pub breaches: u64,
+    /// Recalibration plans the scheduler dispatched.
+    pub recalibrations: u64,
+    /// Tiles reprogrammed by those plans.
+    pub recalibrated_tiles: u64,
+    /// Requests that vanished without a completion or a shed notice on
+    /// the recalibrating run. Anything but 0 is a correctness failure.
+    pub lost: u64,
+    /// Degraded→Healthy transitions on the recalibrating run: the chip
+    /// degrades on breach and heals once recalibration clears the
+    /// backlog. Zero is a correctness failure. (Final-instant health is
+    /// phase-dependent — tile cohorts re-cross the budget on a rotating
+    /// schedule — so the section grades the transition count, not the
+    /// end state.)
+    pub heals: u64,
+    /// Whether the non-recalibrating run ended the trace `Degraded`
+    /// (without recalibration a breach can never heal).
+    pub unhealed_degraded: bool,
+    /// The in-budget run-up band `[n/8, n/2)`: past the pristine head
+    /// (whose near-zero tile ages would understate the error rate every
+    /// in-budget engine actually runs at — analog readout perturbs most
+    /// output elements by ±1 code even one tick after programming) and
+    /// spanning the age ramp up to the first breach. This is the
+    /// "fresh-program level" the late window is graded against.
+    pub fresh_window: DriftWindow,
+    /// The recalibrating run's last trace quarter.
+    pub recal_late_window: DriftWindow,
+    /// The non-recalibrating run's last trace quarter.
+    pub norecal_late_window: DriftWindow,
+    /// Whether the late-window max|Δ| and error rate returned to the
+    /// fresh-program level (recalibration bounds every tile's age by
+    /// the budget, so the late window samples the same in-budget age
+    /// range as the fresh band) *and* beat the unhealed run. The
+    /// fresh-level comparison carries a small tolerance (10% on max|Δ|,
+    /// +0.01 on error rate) because two windows of different request
+    /// mixes jitter by a few ±1-code elements — an order of magnitude
+    /// below the unhealed run's drift.
+    pub accuracy_recovered: bool,
+    /// p99 request latency with recalibration on (ms), at the shared
+    /// offered load.
+    pub p99_with_recal_ms: f64,
+    /// p99 request latency with recalibration off (ms).
+    pub p99_without_recal_ms: f64,
+    /// `p99_with_recal_ms / p99_without_recal_ms` — the cost of
+    /// self-healing (acceptance: ≤ 2.0; recalibration rides the spare
+    /// stage slots, not the critical path).
+    pub p99_ratio_recal_vs_no_recal: f64,
+}
+
 /// The autoregressive transformer section: token-by-token sequences
 /// against the tiny decoder (`catalog::llm_tiny`) served through the
 /// same scheduler, tile cache, and batcher as the CNN traffic. The
@@ -267,6 +348,8 @@ pub struct ServeReport {
     pub closed_loop: ClosedLoopReport,
     /// Mid-trace chip-kill behavior: failover, recovery, shedding.
     pub fault_injection: FaultInjectionReport,
+    /// Tile aging, budget-driven degradation, and online recalibration.
+    pub drift_recal: DriftRecalReport,
     /// Autoregressive token serving against the tiny transformer.
     pub llm: LlmReport,
 }
@@ -616,6 +699,181 @@ fn run_fault_injection(requests: usize) -> FaultInjectionReport {
     }
 }
 
+/// One virtual tick of the drift section, in wall-clock seconds. At
+/// this rate the noisy 128×128 device's half-LSB budget is 43 ticks —
+/// large enough that the per-drain recalibration cap keeps up with the
+/// whole catalog's aging (the steady state is sustainable), small
+/// enough that the drift trace crosses it.
+const DRIFT_TICK_SECONDS: f64 = 1e3;
+
+/// What one drift-section replay produced.
+struct DriftTraceRun {
+    /// Request id → output values.
+    outputs: BTreeMap<RequestId, Vec<i64>>,
+    sheds: u64,
+    p99_ms: f64,
+    tick_ms: f64,
+    stats: oxbar_serve::EngineStats,
+    /// Final health of the single serving chip.
+    health: oxbar_serve::ChipHealth,
+}
+
+/// Replays the shared trace in `waves` drains (tile age advances at
+/// drain boundaries, so one long drain would never age anything
+/// mid-trace). `aging` turns the per-tick drift clock on; `recal` the
+/// scheduler's recalibration stage. `tick_ms` pins the replay's offered
+/// load (see [`run_fault_trace`]).
+fn run_drift_trace(
+    requests: usize,
+    waves: usize,
+    aging: bool,
+    recal: bool,
+    tick_ms: Option<f64>,
+) -> DriftTraceRun {
+    let mut device = SimConfig::noisy(128, 128).with_threads(1);
+    if aging {
+        device = device.with_drift_tick(oxbar_units::Time::from_seconds(DRIFT_TICK_SECONDS));
+    }
+    let mut engine = ServeEngine::new(
+        ServeConfig::new(device)
+            .with_policy(BatchPolicy::new(16, 8))
+            .with_cache_budget(4_000_000)
+            .with_workers(1)
+            .with_prewarm(true)
+            .with_recalibration(recal),
+    );
+    for spec in catalog::stock_catalog() {
+        engine.admit(spec).expect("catalog models admit");
+    }
+    let all: Vec<InferRequest> = workload(requests).trace(|m| engine.input_shape(m));
+    let per_wave = requests.div_ceil(waves);
+    let mut traces = Vec::new();
+    for chunk in all.chunks(per_wave) {
+        for request in chunk {
+            engine.submit(request.clone());
+        }
+        traces.push(engine.drain_traced());
+    }
+    let wall_ms: f64 = traces.iter().flat_map(|t| &t.batch_ms).sum();
+    let tick_ms = tick_ms.unwrap_or(wall_ms / requests as f64 / REPLAY_LOAD);
+    let mut outputs = BTreeMap::new();
+    let mut sheds = 0u64;
+    let mut latencies = Vec::new();
+    for trace in &traces {
+        let (wave_latencies, _) =
+            replay_latencies(&trace.completions, &trace.batch_ms, &trace.rounds, tick_ms);
+        latencies.extend(wave_latencies);
+        sheds += trace.sheds.len() as u64;
+        for c in &trace.completions {
+            outputs.insert(c.id, c.output.data().to_vec());
+        }
+    }
+    let stats = engine.stats();
+    let health = stats.chips[0].health;
+    DriftTraceRun {
+        outputs,
+        sheds,
+        p99_ms: LatencySummary::of(&latencies).p99_ms,
+        tick_ms,
+        stats,
+        health,
+    }
+}
+
+/// Grades one span of request ids `[lo, hi)` against the drift-free
+/// reference outputs.
+fn drift_window(run: &DriftTraceRun, reference: &DriftTraceRun, lo: u64, hi: u64) -> DriftWindow {
+    let mut requests = 0usize;
+    let mut elements = 0usize;
+    let mut mismatches = 0usize;
+    let mut max_delta = 0i64;
+    for (id, outputs) in &run.outputs {
+        if id.0 < lo || id.0 >= hi {
+            continue;
+        }
+        let Some(baseline) = reference.outputs.get(id) else {
+            continue;
+        };
+        requests += 1;
+        elements += baseline.len();
+        for (a, b) in outputs.iter().zip(baseline) {
+            if a != b {
+                mismatches += 1;
+                max_delta = max_delta.max((a - b).abs());
+            }
+        }
+    }
+    DriftWindow {
+        requests,
+        elements,
+        max_abs_delta: max_delta,
+        error_rate: mismatches as f64 / elements.max(1) as f64,
+    }
+}
+
+/// The drift section: a long trace split into enough drains to walk
+/// tile ages well past the accuracy budget, with recalibration on and
+/// off, graded against the identical trace with drift disabled. The
+/// trace is longer than the shared one on purpose: the budget is 43
+/// ticks and ages advance roughly 1.7 ticks per two-request drain, so
+/// the first trace half must span the whole `0..=budget` age ramp and
+/// the tail must sit in the recalibrated steady state.
+fn run_drift_recal(quick: bool) -> DriftRecalReport {
+    let requests = if quick { 96 } else { 192 };
+    let waves = requests / 2;
+    let budget_ticks = oxbar_sim::DeviceExecutor::new(
+        SimConfig::noisy(128, 128)
+            .with_threads(1)
+            .with_drift_tick(oxbar_units::Time::from_seconds(DRIFT_TICK_SECONDS)),
+    )
+    .drift_budget_ticks()
+    .expect("aging device has a bounded budget");
+    // The drift-free reference: same trace, same engine, drift off. Its
+    // outputs are the accuracy yardstick and its own wall pins the
+    // offered load for both aged runs.
+    let reference = run_drift_trace(requests, waves, false, true, None);
+    let recal = run_drift_trace(requests, waves, true, true, Some(reference.tick_ms));
+    let norecal = run_drift_trace(requests, waves, true, false, Some(reference.tick_ms));
+
+    let n = requests as u64;
+    let quarter = n / 4;
+    // Fresh window: the in-budget run-up band — after the pristine
+    // first eighth (tiles near age 0, unrepresentatively low error
+    // rate) and through the age ramp toward the first breach. Late
+    // window: the last quarter, deep in the recalibrated steady state
+    // where no tile ever *serves* past the budget. Recalibration bounds
+    // the late window to the same age range the fresh band walked, so
+    // its divergence from the drift-free reference must not exceed the
+    // fresh band's — and must not exceed the unhealed engine's, whose
+    // tile ages grow without bound.
+    let fresh_window = drift_window(&recal, &reference, n / 8, n / 2);
+    let recal_late_window = drift_window(&recal, &reference, n - quarter, n);
+    let norecal_late_window = drift_window(&norecal, &reference, n - quarter, n);
+    let max_f64 = |w: &DriftWindow| w.max_abs_delta as f64;
+    let accuracy_recovered = max_f64(&recal_late_window) <= max_f64(&fresh_window) * 1.1
+        && recal_late_window.error_rate <= fresh_window.error_rate + 0.01
+        && recal_late_window.error_rate < norecal_late_window.error_rate;
+    DriftRecalReport {
+        requests,
+        waves,
+        drift_tick_seconds: DRIFT_TICK_SECONDS,
+        budget_ticks,
+        breaches: recal.stats.drift_budget_breaches,
+        recalibrations: recal.stats.recalibrations,
+        recalibrated_tiles: recal.stats.recalibrated_tiles,
+        lost: n.saturating_sub(recal.outputs.len() as u64 + recal.sheds),
+        heals: recal.stats.drift_heals,
+        unhealed_degraded: norecal.health == oxbar_serve::ChipHealth::Degraded,
+        fresh_window,
+        recal_late_window,
+        norecal_late_window,
+        accuracy_recovered,
+        p99_with_recal_ms: recal.p99_ms,
+        p99_without_recal_ms: norecal.p99_ms,
+        p99_ratio_recal_vs_no_recal: recal.p99_ms / norecal.p99_ms,
+    }
+}
+
 /// The LLM section. Three measurements:
 ///
 /// 1. **Cold first token vs steady tokens** — a fresh engine (prewarm
@@ -886,6 +1144,7 @@ pub fn generate(quick: bool) -> ServeReport {
         cases,
         closed_loop: run_closed_loop(quick),
         fault_injection: run_fault_injection(requests),
+        drift_recal: run_drift_recal(quick),
         llm: run_llm(quick),
     }
 }
@@ -996,6 +1255,44 @@ pub fn render(report: &ServeReport) {
     println!(
         "  replicated p99 vs no-fault: {:.2}x (budget 2.0x)",
         fi.p99_ratio_replicated_vs_no_fault
+    );
+    let dr = &report.drift_recal;
+    println!(
+        "drift recal ({} reqs / {} drains, tick {:.0e} s, budget {} ticks): \
+         {} breaches, {} recals / {} tiles, {} lost, {} heals, unhealed degraded: {}",
+        dr.requests,
+        dr.waves,
+        dr.drift_tick_seconds,
+        dr.budget_ticks,
+        dr.breaches,
+        dr.recalibrations,
+        dr.recalibrated_tiles,
+        dr.lost,
+        dr.heals,
+        if dr.unhealed_degraded {
+            "yes"
+        } else {
+            "NO (bug)"
+        },
+    );
+    println!(
+        "  max|Δ|/err vs drift-free: fresh {}/{:.4}, late+recal {}/{:.4}, late no-recal {}/{:.4} \
+         — recovered: {}",
+        dr.fresh_window.max_abs_delta,
+        dr.fresh_window.error_rate,
+        dr.recal_late_window.max_abs_delta,
+        dr.recal_late_window.error_rate,
+        dr.norecal_late_window.max_abs_delta,
+        dr.norecal_late_window.error_rate,
+        if dr.accuracy_recovered {
+            "yes"
+        } else {
+            "NO (bug)"
+        },
+    );
+    println!(
+        "  p99 with/without recal: {:.2}/{:.2} ms = {:.2}x (budget 2.0x)",
+        dr.p99_with_recal_ms, dr.p99_without_recal_ms, dr.p99_ratio_recal_vs_no_recal
     );
     let llm = &report.llm;
     println!(
@@ -1179,5 +1476,37 @@ mod tests {
             "mixed CNN + LLM traffic must be worker-invariant"
         );
         assert!(llm.token_conservation, "every step emits exactly one token");
+        let dr = &report.drift_recal;
+        assert!(dr.requests >= report.cases[0].requests);
+        assert!(dr.waves > 1, "aging needs multi-drain traces");
+        assert!(dr.budget_ticks > 0);
+        assert!(dr.breaches > 0, "the trace must cross the accuracy budget");
+        assert!(dr.recalibrations > 0 && dr.recalibrated_tiles > 0);
+        assert_eq!(dr.lost, 0, "self-healing must never lose a request");
+        assert!(dr.heals > 0, "recalibration must heal the chip");
+        assert!(dr.unhealed_degraded, "without recal the breach must stick");
+        assert!(
+            dr.accuracy_recovered,
+            "late-window accuracy must return to the fresh-program level: \
+             fresh {}/{:.4}, late {}/{:.4}",
+            dr.fresh_window.max_abs_delta,
+            dr.fresh_window.error_rate,
+            dr.recal_late_window.max_abs_delta,
+            dr.recal_late_window.error_rate,
+        );
+        for window in [
+            &dr.fresh_window,
+            &dr.recal_late_window,
+            &dr.norecal_late_window,
+        ] {
+            assert!(window.requests > 0 && window.elements > 0);
+            assert!((0.0..=1.0).contains(&window.error_rate));
+        }
+        assert!(dr.p99_with_recal_ms > 0.0 && dr.p99_without_recal_ms > 0.0);
+        assert!(
+            dr.p99_ratio_recal_vs_no_recal <= 2.0,
+            "recalibration must stay off the critical path: {:.2}x",
+            dr.p99_ratio_recal_vs_no_recal
+        );
     }
 }

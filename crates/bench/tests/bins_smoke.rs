@@ -25,7 +25,7 @@ fn registry_covers_every_figure_bin() {
         .iter()
         .map(|(n, _)| *n)
         .collect();
-    assert_eq!(names.len(), 13);
+    assert_eq!(names.len(), 14);
     // No duplicates.
     let mut unique = names.clone();
     unique.sort_unstable();

@@ -100,6 +100,72 @@ impl DriftModel {
         }
     }
 
+    /// Analytic inverse of the drift law: the *additional* time beyond
+    /// `baseline` at which the cell's field transmission has slipped by
+    /// `slip` of full scale relative to its value at `baseline`.
+    ///
+    /// The power law is invertible in closed form. A transmission target
+    /// `T*` corresponds to a drifted loss `d* = −20·log₁₀(T*)`, the drift
+    /// factor that produces it is
+    /// `f* = 1 + (d* − d₀) / (share · d₀)` (with `d₀` the undrifted loss
+    /// and `share` the amorphous fraction), and the power law gives
+    /// `t = t₀ · f*^(1/ν)`.
+    ///
+    /// Returns `None` when the cell never slips: `ν = 0`, a fully
+    /// crystalline or lossless cell (no amorphous loss to drift), or a
+    /// slip larger than the remaining transmission.
+    #[must_use]
+    pub fn time_to_slip(self, cell: PcmCell, baseline: Time, slip: f64) -> Option<Time> {
+        if self.nu == 0.0 || slip <= 0.0 {
+            return None;
+        }
+        let amorphous_share = 1.0 - cell.crystalline_fraction();
+        let base_loss_db = cell.insertion_loss().value();
+        if amorphous_share * base_loss_db <= 0.0 {
+            return None;
+        }
+        let target = self.transmission_after(cell, baseline) - slip;
+        if target <= 0.0 {
+            return None;
+        }
+        let target_db = -20.0 * target.log10();
+        let factor = 1.0 + (target_db - base_loss_db) / (amorphous_share * base_loss_db);
+        if factor <= 1.0 {
+            // The slip is already crossed at (or before) the reference.
+            return Some(Time::ZERO);
+        }
+        let at = self.reference.as_seconds() * factor.powf(1.0 / self.nu);
+        Some(Time::from_seconds((at - baseline.as_seconds()).max(0.0)))
+    }
+
+    /// The number of virtual scheduler ticks a cell programmed at
+    /// `baseline` elapsed time can sit before slipping by half of
+    /// `lsb_fraction`, when each tick advances physical time by `tick`.
+    ///
+    /// This is the serving-side error budget: a scheduler that
+    /// recalibrates a tile within this many dispatch ticks keeps its
+    /// readout within half an LSB of the freshly-programmed value.
+    /// Returns `None` when the budget is unbounded (`ν = 0`, aging
+    /// disabled via a zero `tick`, or a cell that cannot slip that far).
+    #[must_use]
+    pub fn ticks_until_half_lsb(
+        self,
+        cell: PcmCell,
+        lsb_fraction: f64,
+        baseline: Time,
+        tick: Time,
+    ) -> Option<u64> {
+        if tick.as_seconds() <= 0.0 {
+            return None;
+        }
+        let wait = self.time_to_slip(cell, baseline, lsb_fraction / 2.0)?;
+        let ticks = wait.as_seconds() / tick.as_seconds();
+        if ticks >= u64::MAX as f64 {
+            return None;
+        }
+        Some(ticks as u64)
+    }
+
     /// Time until the stored weight slips by `lsb_fraction` of full scale
     /// (bisection on the drift law). Returns `None` if it never does within
     /// ten years.
@@ -195,6 +261,70 @@ mod tests {
             assert!(before > target);
             assert!(after < target);
         }
+    }
+
+    #[test]
+    fn analytic_slip_time_matches_retention_bisection() {
+        let drift = DriftModel::new(0.05); // exaggerated drift
+        let cell = half_programmed();
+        let lsb = 1.0 / 63.0;
+        let bisected = drift.retention(cell, lsb).expect("slips within 10 years");
+        let analytic = drift
+            .time_to_slip(cell, Time::ZERO, lsb)
+            .expect("analytic slip time");
+        let rel = (analytic.as_seconds() - bisected.as_seconds()).abs() / bisected.as_seconds();
+        assert!(rel < 1e-6, "analytic {analytic:?} vs bisected {bisected:?}");
+    }
+
+    #[test]
+    fn slip_time_grows_with_later_baseline() {
+        // Structural relaxation decelerates (`dd/dt ∝ t^(ν−1)` with
+        // ν ≪ 1), so slipping the same amount relative to an already-aged
+        // baseline takes longer than from a fresh program — recalibrating
+        // *extends* the wall-clock budget precisely because it resets the
+        // readout to the fast-drifting early regime's reference.
+        let drift = DriftModel::new(0.05);
+        let cell = half_programmed();
+        let slip = 0.5 / 63.0;
+        let fresh = drift
+            .time_to_slip(cell, Time::from_seconds(1.0), slip)
+            .unwrap();
+        let aged = drift
+            .time_to_slip(cell, Time::from_seconds(3600.0), slip)
+            .unwrap();
+        assert!(aged.as_seconds() > fresh.as_seconds());
+    }
+
+    #[test]
+    fn ticks_budget_converts_time_and_gates_disabled_aging() {
+        let drift = DriftModel::new(0.05);
+        let cell = half_programmed();
+        let lsb = 1.0 / 63.0;
+        let tick = Time::from_seconds(10.0);
+        let ticks = drift
+            .ticks_until_half_lsb(cell, lsb, Time::ZERO, tick)
+            .expect("bounded budget");
+        let wait = drift.time_to_slip(cell, Time::ZERO, lsb / 2.0).unwrap();
+        assert_eq!(ticks, (wait.as_seconds() / 10.0) as u64);
+        // A zero tick means aging is disabled: the budget is unbounded.
+        assert_eq!(
+            drift.ticks_until_half_lsb(cell, lsb, Time::ZERO, Time::ZERO),
+            None
+        );
+        // Zero ν never slips.
+        assert_eq!(
+            DriftModel::new(0.0).ticks_until_half_lsb(cell, lsb, Time::ZERO, tick),
+            None
+        );
+    }
+
+    #[test]
+    fn fully_crystalline_cell_has_unbounded_budget() {
+        let drift = DriftModel::new(0.05);
+        let mut cell = PcmCell::pristine();
+        cell.set_crystalline_fraction(1.0);
+        assert_eq!(cell.crystalline_fraction(), 1.0);
+        assert_eq!(drift.time_to_slip(cell, Time::ZERO, 0.01), None);
     }
 
     #[test]

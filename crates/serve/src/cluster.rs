@@ -37,8 +37,8 @@ pub struct ChipId(pub usize);
 
 /// Operational health of one chip, tracked by the serving scheduler.
 ///
-/// The state machine is monotone within a run: `Healthy → Degraded`
-/// (drift marking) and `{Healthy, Degraded} → Failed` (chip kill).
+/// `Healthy ⇄ Degraded` (drift marking and post-recalibration healing)
+/// and `{Healthy, Degraded} → Failed` (chip kill; terminal within a run).
 /// `Failed` chips never serve; `Degraded` chips serve but the scheduler
 /// prefers healthy replicas when routing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -680,7 +680,8 @@ impl Cluster {
         let from = self.entries[victim].residencies[slot].chip;
         let mut snap = self.entries[victim].residencies[slot].executor.snapshot();
         snap.cache_budget = self.chips[dest].budget;
-        self.entries[victim].residencies[slot].executor = DeviceExecutor::restore(&snap);
+        self.entries[victim].residencies[slot].executor =
+            DeviceExecutor::restore_at(&snap, self.clock);
         self.entries[victim].residencies[slot].chip = dest;
         let footprint = self.entries[victim].footprint_cells;
         self.chips[from].committed_cells -= footprint;
@@ -787,6 +788,41 @@ impl Cluster {
         }
     }
 
+    /// Heals a drift-degraded chip back to [`ChipHealth::Healthy`] and
+    /// clears the drift mark on every residency executor — the scheduler
+    /// calls this after recalibration brings all of the chip's resident
+    /// tiles back under the accuracy budget. A failed chip stays failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip index is out of range.
+    pub fn heal_chip(&mut self, chip: ChipId) {
+        if self.chips[chip.0].health != ChipHealth::Degraded {
+            return;
+        }
+        self.chips[chip.0].health = ChipHealth::Healthy;
+        for entry in &self.entries {
+            for r in entry.residencies.iter().filter(|r| r.chip == chip.0) {
+                r.executor.clear_drift();
+            }
+        }
+    }
+
+    /// Advances every residency executor's virtual clock to `tick` (the
+    /// global dispatch counter). Called at single-threaded drain
+    /// boundaries so tile aging is a deterministic function of the
+    /// workload, independent of worker count and wall clock. The cluster
+    /// remembers the tick so a mid-drain recovery can stamp its restored
+    /// (freshly reprogrammed) tiles at the current time.
+    pub fn set_clocks(&mut self, tick: u64) {
+        self.clock = self.clock.max(tick);
+        for entry in &self.entries {
+            for r in &entry.residencies {
+                r.executor.set_clock(tick);
+            }
+        }
+    }
+
     /// Records one fault-driven batch retry against `chip`.
     pub fn note_retry(&mut self, chip: ChipId) {
         self.chips[chip.0].retries += 1;
@@ -828,7 +864,7 @@ impl Cluster {
             .expect("every entry has at least one residency");
         let mut snap = source.executor.snapshot();
         snap.cache_budget = self.chips[dest].budget;
-        let restored = DeviceExecutor::restore(&snap);
+        let restored = DeviceExecutor::restore_at(&snap, self.clock);
         let footprint = self.entries[id.0].footprint_cells;
         for r in &self.entries[id.0].residencies {
             self.chips[r.chip].committed_cells -= footprint;

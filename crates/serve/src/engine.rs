@@ -22,6 +22,14 @@ const MAX_TILE_RETRIES: usize = 3;
 /// pin the engine in an unbounded token loop.
 pub const MAX_SEQUENCE_STEPS: usize = 1024;
 
+/// Tiles one drain plans for recalibration per chip — bounds the total
+/// off-path reprogramming a single drain commits to.
+const MAX_RECALS_PER_DRAIN: usize = 16;
+
+/// Tiles one recalibration stage reprograms per chip per round, so the
+/// stage stays shorter than the round it hides behind.
+const MAX_RECAL_TILES_PER_ROUND: usize = 4;
+
 /// Full configuration of a [`ServeEngine`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -43,6 +51,17 @@ pub struct ServeConfig {
     /// with it on or off — the stage is skipped whenever prewarming could
     /// not fit the global cell budget.
     pub prewarm: bool,
+    /// Drift-aware online recalibration: when the device config ages
+    /// resident tiles ([`oxbar_sim::NoiseModel::drift_tick`] and a drift
+    /// exponent both non-zero), the scheduler reprograms the oldest
+    /// tiles that crossed the accuracy budget back to fresh-program
+    /// state, off the critical path, during the same stage slots the
+    /// prewarmer uses. Decisions are keyed on the global dispatch
+    /// counter at single-threaded drain boundaries — never wall clock —
+    /// so outputs, eviction sequences, and stats are byte-identical
+    /// across worker counts; with aging disabled the flag is
+    /// structurally inert (on or off, nothing changes). On by default.
+    pub recalibration: bool,
     /// Per-chip weight-stationary budgets, in cells. Empty (the default)
     /// means a single chip of `cache_budget_cells` — the pre-cluster
     /// configuration, byte-identical to it. With two or more entries the
@@ -82,6 +101,7 @@ impl ServeConfig {
             cache_budget_cells: 4_000_000,
             workers: 1,
             prewarm: true,
+            recalibration: true,
             chip_budgets: Vec::new(),
             placement: PlacementPolicy::FirstFit,
             fault_plan: FaultPlan::new(),
@@ -114,6 +134,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_prewarm(mut self, prewarm: bool) -> Self {
         self.prewarm = prewarm;
+        self
+    }
+
+    /// Enables/disables drift-aware online recalibration (on by
+    /// default; inert unless the device config ages tiles).
+    #[must_use]
+    pub fn with_recalibration(mut self, recalibration: bool) -> Self {
+        self.recalibration = recalibration;
         self
     }
 
@@ -202,6 +230,20 @@ pub struct EngineStats {
     pub sequences: u64,
     /// Decode-step tokens emitted across all sequences.
     pub tokens: u64,
+    /// Recalibration stages planned (one per chip per drain that had
+    /// over-budget tiles to reprogram).
+    pub recalibrations: u64,
+    /// Tiles reprogrammed back to fresh-program state by those stages.
+    pub recalibrated_tiles: u64,
+    /// Chips promoted to [`ChipHealth::Degraded`] by the drift health
+    /// monitor (one per Healthy→Degraded transition, not per tile).
+    pub drift_budget_breaches: u64,
+    /// Degraded→Healthy transitions made by the drift heal pass once a
+    /// chip's resident tiles were all recalibrated back under budget.
+    pub drift_heals: u64,
+    /// Prewarm/recalibration stage threads that panicked. A panicked
+    /// stage is skipped — its work was advisory — and serving continues.
+    pub stage_panics: u64,
 }
 
 impl EngineStats {
@@ -427,6 +469,17 @@ enum FateChip {
 /// members are shed, and where recoveries happen are pure functions of
 /// the trace and the plan, identical for every worker count.
 #[derive(Debug, Clone)]
+/// One drain's planned recalibration work for one chip: the tiles whose
+/// programming age the drain boundary already reset, still awaiting
+/// their eager reprogram in a stage slot.
+struct RecalPlan {
+    chip: usize,
+    tiles: Vec<(ModelId, usize, usize)>,
+}
+
+/// One round's slice of a chip's recalibration plan: `(chip, tiles)`.
+type RecalChunk = (usize, Vec<(ModelId, usize, usize)>);
+
 struct BatchFate {
     chip: FateChip,
     /// Queue slots (batch members) shed by the deadline rule, ascending.
@@ -499,6 +552,20 @@ pub struct ServeEngine {
     sequences: Vec<Sequence>,
     /// Decode steps completed across all sequences.
     tokens: u64,
+    /// Recalibration stages planned across all drains.
+    recalibrations: u64,
+    /// Tiles reprogrammed back to baseline by those stages.
+    recalibrated_tiles: u64,
+    /// Healthy→Degraded promotions by the drift health monitor.
+    drift_budget_breaches: u64,
+    /// Degraded→Healthy transitions by the drift heal pass.
+    drift_heals: u64,
+    /// Stage threads (prewarm or recal) that panicked and were skipped.
+    stage_panics: u64,
+    /// The accuracy budget in dispatch ticks, fixed by the device
+    /// config at construction (`None` = aging inactive or unbounded —
+    /// either way the drift machinery is structurally inert).
+    drift_budget_ticks: Option<u64>,
 }
 
 impl ServeEngine {
@@ -507,6 +574,7 @@ impl ServeEngine {
     pub fn new(config: ServeConfig) -> Self {
         let budgets = config.effective_chip_budgets();
         let registry = Cluster::new(config.device.clone(), &budgets, config.placement);
+        let drift_budget_ticks = DeviceExecutor::new(config.device.clone()).drift_budget_ticks();
         Self {
             config,
             registry,
@@ -522,6 +590,12 @@ impl ServeEngine {
             pending_transients: vec![0; budgets.len()],
             sequences: Vec::new(),
             tokens: 0,
+            recalibrations: 0,
+            recalibrated_tiles: 0,
+            drift_budget_breaches: 0,
+            drift_heals: 0,
+            stage_panics: 0,
+            drift_budget_ticks,
         }
     }
 
@@ -856,6 +930,21 @@ impl ServeEngine {
         let mut shed_notices: Vec<ShedNotice> = Vec::new();
         let round_size = workers.max(1);
         let seq_base = self.batches;
+        // Drift bookkeeping at the drain boundary (single-threaded):
+        // the virtual tile clock advances to the global dispatch
+        // counter — a pure function of the trace, identical for every
+        // worker count — then chips recalibrated back under the
+        // accuracy budget heal, chips whose resident tiles crossed it
+        // degrade, and the drain's recalibration plan is fixed. The
+        // plan marks its tiles immediately (resetting their programming
+        // age), so the compiled state every later readout derives is
+        // decided here; the stage work riding the rounds below only
+        // moves the reprogramming off the critical path. With aging
+        // disabled all four calls are structurally inert.
+        self.registry.set_clocks(seq_base);
+        self.drift_heal_pass();
+        self.drift_monitor_pass();
+        let mut recal_plans = self.plan_recalibration();
         // Resolve the fault plan into one fate per batch, in global
         // dispatch-sequence order: which chip serves it, whether it
         // absorbs a transient, which members are shed. Doing this before
@@ -924,6 +1013,11 @@ impl ServeEngine {
             } else {
                 Vec::new()
             };
+            // The next slice of planned recalibration work (at most one
+            // stage per chip per round). A chip that failed since the
+            // plan was fixed has its pending recals dropped structurally
+            // here — never dispatched, never retried.
+            let recal_chunks = self.take_recal_chunks(&mut recal_plans);
             // The prewarm stages program upcoming models' tiles (at most
             // one stage per chip) while this round executes — concurrent
             // threads when the dispatch pool has more than one worker; on
@@ -937,11 +1031,21 @@ impl ServeEngine {
             let concurrent = workers > 1;
             let registry = &self.registry;
             let fates_ref = &fates;
-            let (executed, stage_results) = std::thread::scope(|scope| {
+            let (executed, stage_results, recal_panics) = std::thread::scope(|scope| {
                 let stages: Vec<_> = if concurrent {
                     targets
                         .iter()
                         .map(|&model| scope.spawn(move || registry.prewarm(model)))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let recals: Vec<_> = if concurrent {
+                    recal_chunks
+                        .iter()
+                        .map(|&(chip, ref tiles)| {
+                            scope.spawn(move || Self::run_recal_chunk(registry, chip, tiles))
+                        })
                         .collect()
                 } else {
                     Vec::new()
@@ -951,20 +1055,35 @@ impl ServeEngine {
                     let done = self.execute_fated(batch, &queue, &fates_ref[batch.seq]);
                     (done, start.elapsed().as_secs_f64() * 1e3)
                 });
-                let stage_results: Vec<usize> = stages
+                // A panicked stage is contained at its join: stage work
+                // is advisory (a skipped prewarm or recal only costs
+                // latency, never correctness), so the scheduler counts
+                // the panic and keeps serving instead of unwinding.
+                let stage_results: Vec<Option<usize>> =
+                    stages.into_iter().map(|h| h.join().ok()).collect();
+                let recal_panics: u64 = recals
                     .into_iter()
-                    .map(|h| h.join().expect("prewarm stage panicked"))
-                    .collect();
-                (executed, stage_results)
+                    .map(|h| u64::from(h.join().is_err()))
+                    .sum();
+                (executed, stage_results, recal_panics)
             });
+            self.stage_panics += recal_panics;
             if concurrent {
                 for prewarmed in stage_results {
-                    self.prewarms += 1;
-                    self.prewarmed_tiles += prewarmed as u64;
+                    match prewarmed {
+                        Some(prewarmed) => {
+                            self.prewarms += 1;
+                            self.prewarmed_tiles += prewarmed as u64;
+                        }
+                        None => self.stage_panics += 1,
+                    }
                 }
             } else {
                 for target in targets {
                     self.run_prewarm_stage(target);
+                }
+                for (chip, tiles) in &recal_chunks {
+                    Self::run_recal_chunk(&self.registry, *chip, tiles);
                 }
             }
             for (batch, (result, ms)) in round.iter().zip(executed) {
@@ -1025,6 +1144,10 @@ impl ServeEngine {
             }
             self.registry.enforce_budget();
         }
+        // Recal work the rounds did not reach (short drains) flushes
+        // here, so every tile the plan marked is reprogrammed within its
+        // drain — the eager/lazy split never changes the cache counters.
+        self.flush_recal_plans(&recal_plans);
         // Catch up fault state the round walk did not reach (events at
         // the tail of the drain), so stats read between drains agree
         // with the plan.
@@ -1364,6 +1487,170 @@ impl ServeEngine {
         self.prewarmed_tiles += prewarmed as u64;
     }
 
+    /// Whether the device config ages resident tiles with a bounded
+    /// accuracy budget — the master gate on the drift machinery. False
+    /// keeps every drift pass structurally inert.
+    fn drift_aging_active(&self) -> bool {
+        self.drift_budget_ticks.is_some()
+    }
+
+    /// Whether any resident tile on `chip` is older than the accuracy
+    /// budget (its worst-case transmission may have slipped past half an
+    /// LSB since programming).
+    fn chip_over_budget(&self, chip: usize) -> bool {
+        let Some(budget) = self.drift_budget_ticks else {
+            return false;
+        };
+        (0..self.registry.len()).any(|m| {
+            self.registry
+                .executor_on(ModelId(m), ChipId(chip))
+                .and_then(DeviceExecutor::max_tile_age)
+                .is_some_and(|age| age > budget)
+        })
+    }
+
+    /// Heals drift-degraded chips whose resident tiles are all back
+    /// under the accuracy budget (recalibrated in an earlier drain).
+    /// Runs at the drain boundary *before* the monitor, so a heal and a
+    /// re-breach in the same drain resolve to Degraded, and the
+    /// Degraded→Healthy transition is visible between drains (the wire
+    /// server broadcasts it like any other health change).
+    fn drift_heal_pass(&mut self) {
+        if !self.drift_aging_active() {
+            return;
+        }
+        for chip in 0..self.registry.chip_count() {
+            if self.registry.chip_health(ChipId(chip)) == ChipHealth::Degraded
+                && !self.chip_over_budget(chip)
+            {
+                self.drift_heals += 1;
+                self.registry.heal_chip(ChipId(chip));
+            }
+        }
+    }
+
+    /// The drift health monitor: promotes a healthy chip to
+    /// [`ChipHealth::Degraded`] when any resident tile's projected error
+    /// crossed the accuracy budget, counting one breach per promotion.
+    fn drift_monitor_pass(&mut self) {
+        if !self.drift_aging_active() {
+            return;
+        }
+        for chip in 0..self.registry.chip_count() {
+            if self.registry.chip_health(ChipId(chip)) == ChipHealth::Healthy
+                && self.chip_over_budget(chip)
+            {
+                self.drift_budget_breaches += 1;
+                self.registry.degrade_chip(ChipId(chip));
+            }
+        }
+    }
+
+    /// Fixes this drain's recalibration plan: per serving chip, the
+    /// oldest over-budget tiles (bounded per drain), oldest first with a
+    /// stable `(model, layer, tile)` tiebreak. Every selected tile is
+    /// **marked** here — its programming age resets at this
+    /// single-threaded boundary, so the state later readouts derive is
+    /// decided by the plan alone; the returned plans only carry the
+    /// reprogramming work to the stage slots. Chips already failed are
+    /// skipped structurally (a recal never targets a dead chip).
+    fn plan_recalibration(&mut self) -> Vec<RecalPlan> {
+        if !self.config.recalibration || !self.drift_aging_active() {
+            return Vec::new();
+        }
+        let budget = self.drift_budget_ticks.unwrap_or(u64::MAX);
+        let mut plans = Vec::new();
+        for chip in 0..self.registry.chip_count() {
+            if !self.registry.chip_health(ChipId(chip)).serves() {
+                continue;
+            }
+            // (age, model, layer, tile) over-budget candidates; channel
+            // states collapse to one entry per tile.
+            let mut candidates: Vec<(u64, usize, usize, usize)> = Vec::new();
+            for model in 0..self.registry.len() {
+                let Some(exec) = self.registry.executor_on(ModelId(model), ChipId(chip)) else {
+                    continue;
+                };
+                for info in exec.tile_ages() {
+                    if info.age_ticks > budget
+                        && !candidates
+                            .iter()
+                            .any(|&(_, m, l, t)| m == model && l == info.layer && t == info.tile)
+                    {
+                        candidates.push((info.age_ticks, model, info.layer, info.tile));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            candidates.sort_unstable_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then_with(|| (a.1, a.2, a.3).cmp(&(b.1, b.2, b.3)))
+            });
+            candidates.truncate(MAX_RECALS_PER_DRAIN);
+            let mut tiles = Vec::with_capacity(candidates.len());
+            for &(_, model, layer, tile) in &candidates {
+                if let Some(exec) = self.registry.executor_on(ModelId(model), ChipId(chip)) {
+                    if exec.mark_recalibrated(layer, tile) > 0 {
+                        self.recalibrated_tiles += 1;
+                        tiles.push((ModelId(model), layer, tile));
+                    }
+                }
+            }
+            if !tiles.is_empty() {
+                self.recalibrations += 1;
+                plans.push(RecalPlan { chip, tiles });
+            }
+        }
+        plans
+    }
+
+    /// Pops the next round's slice of recal work: up to
+    /// [`MAX_RECAL_TILES_PER_ROUND`] tiles per chip. Plans whose chip
+    /// failed since the drain boundary are dropped structurally — their
+    /// remaining tiles are cleared, never dispatched or retried.
+    fn take_recal_chunks(&self, plans: &mut [RecalPlan]) -> Vec<RecalChunk> {
+        let mut chunks = Vec::new();
+        for plan in plans {
+            if plan.tiles.is_empty() {
+                continue;
+            }
+            if !self.registry.chip_health(ChipId(plan.chip)).serves() {
+                plan.tiles.clear();
+                continue;
+            }
+            let take = plan.tiles.len().min(MAX_RECAL_TILES_PER_ROUND);
+            chunks.push((plan.chip, plan.tiles.drain(..take).collect()));
+        }
+        chunks
+    }
+
+    /// Reprograms one chunk of recalibration work: the eager
+    /// re-derivation of tiles the drain's plan already marked. Safe to
+    /// run concurrently with the round — re-derivation is single-flight
+    /// against the execution path, and the resulting state is
+    /// bit-identical whether this stage or a lazy read gets there first.
+    fn run_recal_chunk(registry: &Cluster, chip: usize, tiles: &[(ModelId, usize, usize)]) {
+        for &(model, layer, tile) in tiles {
+            if let Some(exec) = registry.executor_on(model, ChipId(chip)) {
+                exec.rederive_tile(layer, tile);
+            }
+        }
+    }
+
+    /// Serially reprograms any planned recal work the rounds did not
+    /// reach, so a plan always completes within its drain (dead chips
+    /// excepted — their work is dropped).
+    fn flush_recal_plans(&self, plans: &[RecalPlan]) {
+        for plan in plans {
+            if plan.tiles.is_empty() || !self.registry.chip_health(ChipId(plan.chip)).serves() {
+                continue;
+            }
+            Self::run_recal_chunk(&self.registry, plan.chip, &plan.tiles);
+        }
+    }
+
     /// Picks the prewarm-stage targets to run alongside the current
     /// round: at most one model per chip, chosen as the first pending
     /// (not-yet-dispatched) model in queue order that is not executing in
@@ -1572,6 +1859,11 @@ impl ServeEngine {
             recovery_ms: self.registry.recovery_ms(),
             sequences: self.sequences.len() as u64,
             tokens: self.tokens,
+            recalibrations: self.recalibrations,
+            recalibrated_tiles: self.recalibrated_tiles,
+            drift_budget_breaches: self.drift_budget_breaches,
+            drift_heals: self.drift_heals,
+            stage_panics: self.stage_panics,
         }
     }
 }

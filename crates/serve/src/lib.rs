@@ -91,7 +91,10 @@ pub use engine::{
     DrainTrace, EngineStats, ServeConfig, ServeEngine, ShedNotice, SubmitError, MAX_SEQUENCE_STEPS,
 };
 pub use loadgen::{ClosedLoop, LatencySummary, MixEntry, OpenLoop};
-pub use protocol::{Client, ClientFrame, ErrorCode, FrameError, ServerFrame, WireModel, WireToken};
+pub use protocol::{
+    Client, ClientError, ClientFrame, DeadlineStream, ErrorCode, FrameError, ServerFrame,
+    WireModel, WireToken,
+};
 pub use registry::{AdmitError, ModelCacheStats, ModelRegistry, ModelSpec};
 pub use request::{Completion, InferRequest, ModelId, RequestId, SequenceId, TokenCompletion};
 pub use server::{Server, ServerConfig};

@@ -150,15 +150,17 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a non-empty sample set (nearest-rank percentiles).
+    /// NaN samples sort last under IEEE 754 total ordering rather than
+    /// aborting the whole summary.
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or contains a NaN.
+    /// Panics if `samples` is empty.
     #[must_use]
     pub fn of(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "at least one latency sample required");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(f64::total_cmp);
         let rank = |p: f64| {
             let idx = (p * sorted.len() as f64).ceil() as usize;
             sorted[idx.clamp(1, sorted.len()) - 1]

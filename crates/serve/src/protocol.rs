@@ -52,6 +52,10 @@ pub enum FrameError {
     Oversized(usize),
     /// The payload is not valid JSON for the expected message type.
     Malformed(String),
+    /// A read or write deadline expired before the frame completed —
+    /// the stream had a timeout configured and the peer went quiet
+    /// (e.g. a half-open TCP connection).
+    Timeout,
     /// An I/O error other than end-of-stream.
     Io(String),
 }
@@ -68,12 +72,33 @@ impl fmt::Display for FrameError {
                 )
             }
             Self::Malformed(detail) => write!(f, "malformed frame payload: {detail}"),
+            Self::Timeout => write!(f, "read/write deadline expired mid-frame"),
             Self::Io(detail) => write!(f, "i/o error: {detail}"),
         }
     }
 }
 
 impl std::error::Error for FrameError {}
+
+/// Whether an I/O error is a stream deadline expiring. Blocking sockets
+/// with `set_read_timeout`/`set_write_timeout` report `WouldBlock` on
+/// Unix and `TimedOut` on Windows; both mean the same wire condition.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Classifies a raw I/O failure as [`FrameError::Timeout`] or
+/// [`FrameError::Io`].
+fn io_frame_error(e: &io::Error) -> FrameError {
+    if is_timeout(e) {
+        FrameError::Timeout
+    } else {
+        FrameError::Io(e.to_string())
+    }
+}
 
 /// Reads one raw frame payload.
 ///
@@ -93,7 +118,7 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, FrameError> {
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(FrameError::Io(e.to_string())),
+            Err(e) => return Err(io_frame_error(&e)),
         }
     }
     let len = u32::from_be_bytes(prefix) as usize;
@@ -107,7 +132,7 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, FrameError> {
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(FrameError::Io(e.to_string())),
+            Err(e) => return Err(io_frame_error(&e)),
         }
     }
     Ok(payload)
@@ -374,6 +399,87 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// Why a [`Client`] call failed.
+///
+/// Folds the wire-level [`FrameError`] taxonomy and raw send-side I/O
+/// into one client-facing type, with deadline expiry pulled out as its
+/// own variant so callers can distinguish "the server is slow or the
+/// connection is half-open" (retryable, connection suspect) from
+/// protocol damage (not retryable on this stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// A configured read or write deadline expired — the peer accepted
+    /// the connection but stopped participating (dead server, half-open
+    /// socket, network partition). Without deadlines this condition
+    /// hangs the calling thread forever; see [`Client::set_timeouts`].
+    Timeout,
+    /// A wire-level framing or decoding failure.
+    Frame(FrameError),
+    /// A send-side I/O failure other than a deadline expiry.
+    Io(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "deadline expired waiting on the server"),
+            Self::Frame(e) => write!(f, "{e}"),
+            Self::Io(detail) => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Timeout => Self::Timeout,
+            other => Self::Frame(other),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        if is_timeout(&e) {
+            Self::Timeout
+        } else {
+            Self::Io(e.to_string())
+        }
+    }
+}
+
+/// Byte streams that support wall-clock read/write deadlines.
+///
+/// `TcpStream` is the production implementation; in-memory test streams
+/// need not implement this (deadline configuration is only reachable
+/// through [`Client::set_timeouts`], which requires it).
+pub trait DeadlineStream {
+    /// Applies the deadlines to every subsequent blocking read/write.
+    /// `None` disables the respective deadline (block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket-option failure.
+    fn set_deadlines(
+        &mut self,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> io::Result<()>;
+}
+
+impl DeadlineStream for std::net::TcpStream {
+    fn set_deadlines(
+        &mut self,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
+}
+
 /// A synchronous client for the serving protocol, generic over the byte
 /// stream (a `TcpStream` in production, an in-memory cursor in tests).
 ///
@@ -383,6 +489,11 @@ impl fmt::Display for ErrorCode {
 /// submission order — the client buffers frames it reads while waiting
 /// for a specific tag, so callers can pipeline many `Infer`s and collect
 /// the answers in any order.
+///
+/// Blocking calls hang forever if the server holds the connection open
+/// but never answers; production callers should connect through
+/// [`Client::connect_with_timeouts`] (or call [`Client::set_timeouts`])
+/// so a dead peer surfaces as [`ClientError::Timeout`] instead.
 pub struct Client<S: Read + Write> {
     stream: S,
     models: Vec<WireModel>,
@@ -395,9 +506,10 @@ impl<S: Read + Write> Client<S> {
     ///
     /// # Errors
     ///
-    /// Any [`FrameError`] from the greeting, or
-    /// [`FrameError::Malformed`] if the first frame is not a `Hello`.
-    pub fn connect(mut stream: S) -> Result<Self, FrameError> {
+    /// Any [`FrameError`] from the greeting (as
+    /// [`ClientError::Frame`]), or a malformed-frame error if the first
+    /// frame is not a `Hello`.
+    pub fn connect(mut stream: S) -> Result<Self, ClientError> {
         match read_message::<ServerFrame>(&mut stream)? {
             ServerFrame::Hello {
                 models,
@@ -409,10 +521,49 @@ impl<S: Read + Write> Client<S> {
                 queue_capacity,
                 buffered: Vec::new(),
             }),
-            other => Err(FrameError::Malformed(format!(
+            other => Err(ClientError::Frame(FrameError::Malformed(format!(
                 "expected Hello, got {other:?}"
-            ))),
+            )))),
         }
+    }
+
+    /// [`Client::connect`] with read/write deadlines applied *before*
+    /// the greeting is read, so even a server that accepts the TCP
+    /// connection and then goes silent surfaces as
+    /// [`ClientError::Timeout`] instead of hanging the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Client::connect`] returns, plus any socket-option
+    /// failure from applying the deadlines.
+    pub fn connect_with_timeouts(
+        mut stream: S,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> Result<Self, ClientError>
+    where
+        S: DeadlineStream,
+    {
+        stream.set_deadlines(read, write)?;
+        Self::connect(stream)
+    }
+
+    /// Reconfigures the stream's read/write deadlines mid-session.
+    /// `None` disables the respective deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket-option failure.
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> Result<(), ClientError>
+    where
+        S: DeadlineStream,
+    {
+        self.stream.set_deadlines(read, write)?;
+        Ok(())
     }
 
     /// The catalog the server advertised at connect time.
@@ -431,9 +582,11 @@ impl<S: Read + Write> Client<S> {
     ///
     /// # Errors
     ///
-    /// Propagates the underlying I/O error.
-    pub fn send(&mut self, frame: &ClientFrame) -> io::Result<()> {
-        write_message(&mut self.stream, frame)
+    /// [`ClientError::Timeout`] if a configured write deadline expires,
+    /// [`ClientError::Io`] for any other I/O failure.
+    pub fn send(&mut self, frame: &ClientFrame) -> Result<(), ClientError> {
+        write_message(&mut self.stream, frame)?;
+        Ok(())
     }
 
     /// Returns the next server frame: a buffered one if present, else
@@ -441,10 +594,11 @@ impl<S: Read + Write> Client<S> {
     ///
     /// # Errors
     ///
-    /// Any [`FrameError`] from the wire.
-    pub fn recv(&mut self) -> Result<ServerFrame, FrameError> {
+    /// Any [`FrameError`] from the wire; [`ClientError::Timeout`] if a
+    /// configured read deadline expires first.
+    pub fn recv(&mut self) -> Result<ServerFrame, ClientError> {
         if self.buffered.is_empty() {
-            read_message(&mut self.stream)
+            Ok(read_message(&mut self.stream)?)
         } else {
             Ok(self.buffered.remove(0))
         }
@@ -457,8 +611,9 @@ impl<S: Read + Write> Client<S> {
     /// # Errors
     ///
     /// Any [`FrameError`] from the wire — including [`FrameError::Closed`]
-    /// if the server goes away before answering.
-    pub fn wait_completion(&mut self, tag: u64) -> Result<ServerFrame, FrameError> {
+    /// if the server goes away before answering — and
+    /// [`ClientError::Timeout`] if a configured read deadline expires.
+    pub fn wait_completion(&mut self, tag: u64) -> Result<ServerFrame, ClientError> {
         if let Some(pos) = self.buffered.iter().position(|f| frame_tag(f) == Some(tag)) {
             return Ok(self.buffered.remove(pos));
         }
@@ -481,8 +636,10 @@ impl<S: Read + Write> Client<S> {
     /// # Errors
     ///
     /// Any [`FrameError`] from the wire — including
-    /// [`FrameError::Closed`] if the server goes away mid-sequence.
-    pub fn wait_sequence(&mut self, tag: u64) -> Result<Vec<ServerFrame>, FrameError> {
+    /// [`FrameError::Closed`] if the server goes away mid-sequence —
+    /// and [`ClientError::Timeout`] if a configured read deadline
+    /// expires.
+    pub fn wait_sequence(&mut self, tag: u64) -> Result<Vec<ServerFrame>, ClientError> {
         let mut frames = Vec::new();
         loop {
             // Drain matching buffered frames first so earlier reads for
@@ -618,5 +775,39 @@ mod tests {
         let mut cursor = io::Cursor::new(wire);
         let result: Result<ClientFrame, FrameError> = read_message(&mut cursor);
         assert!(matches!(result, Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn half_open_socket_times_out_instead_of_hanging() {
+        use std::net::{TcpListener, TcpStream};
+        use std::time::{Duration, Instant};
+
+        // A "server" that accepts the connection and then goes silent —
+        // the half-open condition that used to hang the handshake (and
+        // any later read) forever.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let hold = std::thread::spawn(move || {
+            let (socket, _) = listener.accept().expect("accept");
+            // Keep the socket alive, send nothing, until the client has
+            // given up.
+            std::thread::sleep(Duration::from_secs(2));
+            drop(socket);
+        });
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let started = Instant::now();
+        let result = Client::connect_with_timeouts(
+            stream,
+            Some(Duration::from_millis(100)),
+            Some(Duration::from_millis(100)),
+        );
+        let error = result.err().expect("half-open handshake must fail");
+        assert_eq!(error, ClientError::Timeout);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "the deadline, not the peer, ended the wait"
+        );
+        hold.join().expect("holder thread");
     }
 }

@@ -90,6 +90,11 @@ pub(crate) fn run(mut reader: TcpStream, conn: &Arc<Conn>, shared: &Arc<Shared>)
             },
             // Clean close on a frame boundary: the normal end.
             Err(FrameError::Closed) => return,
+            // A read deadline expired. The server never configures one
+            // today, but if a deployment does (e.g. to poll the
+            // shutdown flag), the stream is still synchronized — loop
+            // and keep waiting.
+            Err(FrameError::Timeout) => {}
             // The frame was delimited but its payload didn't decode: the
             // stream is still synchronized, so answer and keep serving.
             Err(FrameError::Malformed(detail)) => {

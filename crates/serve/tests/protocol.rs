@@ -5,7 +5,9 @@
 //! error or a clean close — and the server keeps serving afterwards.
 
 use oxbar_nn::synthetic::{self, small_network};
-use oxbar_serve::protocol::{self, Client, ClientFrame, ErrorCode, FrameError, ServerFrame};
+use oxbar_serve::protocol::{
+    self, Client, ClientError, ClientFrame, ErrorCode, FrameError, ServerFrame,
+};
 use oxbar_serve::{catalog, ServeConfig, ServeEngine, Server, ServerConfig};
 use oxbar_sim::SimConfig;
 use std::io::Write;
@@ -294,7 +296,7 @@ fn goodbye_flushes_and_acknowledges() {
                 break;
             }
             Ok(other) => panic!("unexpected frame {other:?}"),
-            Err(FrameError::Closed) => break,
+            Err(ClientError::Frame(FrameError::Closed)) => break,
             Err(e) => panic!("wire error {e}"),
         }
     }

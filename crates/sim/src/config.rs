@@ -36,6 +36,13 @@ pub struct NoiseModel {
     pub drift_nu: f64,
     /// How long programmed weights sit before being read.
     pub drift_elapsed: Time,
+    /// Physical time each virtual scheduler tick adds to a resident
+    /// tile's age ([`Time::ZERO`] disables aging). When non-zero and
+    /// `drift_nu > 0`, cached tiles re-derive their drifted transmissions
+    /// at `drift_elapsed + age · drift_tick`, where age counts dispatch
+    /// ticks since the tile was programmed — never wall clock, so aged
+    /// readouts stay byte-identical across thread counts and reruns.
+    pub drift_tick: Time,
     /// Per-cell phase-error sigma (radians).
     pub phase_sigma_rad: f64,
     /// Thermal-trimmer quantization step (radians); 0 disables trimming.
@@ -57,6 +64,7 @@ impl NoiseModel {
         pcm_sigma: 0.0,
         drift_nu: 0.0,
         drift_elapsed: Time::ZERO,
+        drift_tick: Time::ZERO,
         phase_sigma_rad: 0.0,
         trim_resolution_rad: 0.0,
         with_losses: false,
@@ -72,6 +80,7 @@ impl NoiseModel {
             pcm_sigma: 0.01,
             drift_nu: 0.01,
             drift_elapsed: Time::from_seconds(3600.0),
+            drift_tick: Time::ZERO,
             phase_sigma_rad: 0.02,
             trim_resolution_rad: 0.01,
             with_losses: true,
@@ -177,6 +186,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Overrides the per-tick aging rate (see [`NoiseModel::drift_tick`]).
+    #[must_use]
+    pub fn with_drift_tick(mut self, tick: Time) -> Self {
+        self.noise.drift_tick = tick;
         self
     }
 

@@ -13,10 +13,12 @@ use oxbar_nn::reference::{
     activate, pool_exact, requantize, FilterBank, Tensor3, UnsupportedLayer,
 };
 use oxbar_nn::{Conv2d, Layer, Network, TensorShape};
+use oxbar_pcm::drift::DriftModel;
 use oxbar_pcm::ProgramReport;
 use oxbar_units::{Energy, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Aggregated device statistics for one crossbar-mapped layer.
@@ -115,6 +117,12 @@ pub struct DeviceExecutor {
     /// execution* only: a killed chip's non-volatile programmed state is
     /// still snapshot-readable, which is what recovery relies on.
     fault: Mutex<FaultState>,
+    /// The executor's virtual clock, in scheduler dispatch ticks. Serving
+    /// engines advance it at round boundaries (single-threaded, from the
+    /// global dispatch counter — never wall clock), which makes tile age,
+    /// drifted readouts, and recalibration decisions deterministic
+    /// functions of the workload.
+    clock: AtomicU64,
 }
 
 /// The executor's current injected-fault condition.
@@ -179,6 +187,43 @@ impl CacheStats {
     }
 }
 
+/// One resident tile's programming age and projected drift error, as
+/// reported by [`DeviceExecutor::tile_ages`] — the observability surface a
+/// serving scheduler ranks recalibration candidates with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileDriftInfo {
+    /// Layer index of the tile.
+    pub layer: usize,
+    /// Tile index within the layer.
+    pub tile: usize,
+    /// WDM wavelength channel of the cached state.
+    pub channel: usize,
+    /// Dispatch ticks since the tile's PCM array was last programmed.
+    pub age_ticks: u64,
+    /// Worst-case transmission slip (full-scale fraction) at this age,
+    /// relative to the baseline programming, across the device's levels.
+    pub projected_slip: f64,
+}
+
+/// Rebuilds a geometry-less [`oxbar_dataflow::tiles::WeightTile`] from
+/// stored column-major codes
+/// — only the codes matter for recompilation (snapshot restore and
+/// in-place recalibration both re-derive compiled state this way).
+fn weight_tile_from_codes(values: &[i8], rows: usize) -> oxbar_dataflow::tiles::WeightTile {
+    let cols = values.len().checked_div(rows).unwrap_or(0);
+    let values: Vec<Vec<i8>> = (0..rows)
+        .map(|r| (0..cols).map(|c| values[c * rows + r]).collect())
+        .collect();
+    oxbar_dataflow::tiles::WeightTile {
+        group: 0,
+        row_fold: 0,
+        col_fold: 0,
+        row_offset: 0,
+        col_offset: 0,
+        values,
+    }
+}
+
 #[derive(Debug, Default)]
 struct TileCache {
     /// Keyed by `(layer index, tile index, wavelength channel)`; the
@@ -190,9 +235,24 @@ struct TileCache {
     /// [`DeviceExecutor::compile_done`] and then takes the hit path. One
     /// missing tile is exactly one miss however many workers want it.
     in_flight: HashSet<(usize, usize, usize)>,
+    /// Programming-age records for resident tiles, maintained in lockstep
+    /// with `tiles` (only populated while aging is active). A tile whose
+    /// `derived_age` lags the clock re-derives its drifted transmissions
+    /// (same seed stream, later elapsed) before the next execution.
+    ages: HashMap<(usize, usize, usize), TileAge>,
     cells: usize,
     hits: u64,
     misses: u64,
+}
+
+/// Programming age of one resident tile, in virtual dispatch ticks.
+#[derive(Debug, Clone, Copy)]
+struct TileAge {
+    /// Clock value when the tile's PCM array was last (re)programmed.
+    programmed_at: u64,
+    /// The age the cached compiled state's transmissions were derived at;
+    /// lags `clock − programmed_at` until the next aged re-derivation.
+    derived_age: u64,
 }
 
 impl Clone for DeviceExecutor {
@@ -208,6 +268,7 @@ impl Clone for DeviceExecutor {
             arenas: Mutex::new(Vec::new()),
             // A clone is fresh hardware: injected faults do not follow it.
             fault: Mutex::new(FaultState::default()),
+            clock: AtomicU64::new(0),
         }
     }
 }
@@ -225,6 +286,7 @@ impl DeviceExecutor {
             cache_budget: TILE_CACHE_CELL_BUDGET,
             arenas: Mutex::new(Vec::new()),
             fault: Mutex::new(FaultState::default()),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -356,6 +418,12 @@ impl DeviceExecutor {
         seed: u64,
     ) -> Arc<CompiledTile> {
         let key = (layer_index, tile_index, 0);
+        let aging = self.aging_active();
+        let clock = self.clock.load(Ordering::Relaxed);
+        // `None` compiles a fresh program at the baseline elapsed;
+        // `Some(age)` re-derives a resident tile's drifted transmissions
+        // at its current age (same codes, same seed streams).
+        let mut rederive_age: Option<u64> = None;
         {
             let mut cache = self.cache.lock().expect("tile cache");
             loop {
@@ -365,9 +433,28 @@ impl DeviceExecutor {
                 }
                 if let Some(hit) = cache.tiles.get(&key) {
                     if hit.matches_bank(tiles, geom) {
-                        let hit = Arc::clone(hit);
-                        cache.hits += 1;
-                        return hit;
+                        // The INT6 codes cannot reveal a stale drift
+                        // derivation — the array state is unchanged — so
+                        // staleness is tracked explicitly per key. Age is
+                        // a pure function of the round clock, keeping the
+                        // re-derivation (and the counters) byte-identical
+                        // across worker counts.
+                        let current_age = cache
+                            .ages
+                            .get(&key)
+                            .map(|a| clock.saturating_sub(a.programmed_at));
+                        let stale = aging
+                            && cache
+                                .ages
+                                .get(&key)
+                                .zip(current_age)
+                                .is_some_and(|(a, current)| a.derived_age != current);
+                        if !stale {
+                            let hit = Arc::clone(hit);
+                            cache.hits += 1;
+                            return hit;
+                        }
+                        rederive_age = current_age;
                     }
                 }
                 cache.in_flight.insert(key);
@@ -376,16 +463,39 @@ impl DeviceExecutor {
             }
         }
         let tile = tiles.tile(tile_index);
-        let compiled = Arc::new(CompiledTile::compile(&tile, &self.config, seed));
+        let elapsed = self.aged_elapsed(rederive_age.unwrap_or(0));
+        let compiled = Arc::new(CompiledTile::compile_channel_at(
+            &tile,
+            &self.config,
+            seed,
+            0,
+            elapsed,
+        ));
         let cells = compiled.cells();
         let mut cache = self.cache.lock().expect("tile cache");
         cache.in_flight.remove(&key);
         if let Some(stale) = cache.tiles.remove(&key) {
             cache.cells -= stale.cells();
         }
+        cache.ages.remove(&key);
         if cache.cells + cells <= self.cache_budget {
             cache.tiles.insert(key, Arc::clone(&compiled));
             cache.cells += cells;
+            if aging {
+                cache.ages.insert(
+                    key,
+                    match rederive_age {
+                        Some(age) => TileAge {
+                            programmed_at: clock.saturating_sub(age),
+                            derived_age: age,
+                        },
+                        None => TileAge {
+                            programmed_at: clock,
+                            derived_age: 0,
+                        },
+                    },
+                );
+            }
         }
         self.compile_done.notify_all();
         compiled
@@ -432,7 +542,310 @@ impl DeviceExecutor {
     pub fn clear_cache(&self) {
         let mut cache = self.cache.lock().expect("tile cache");
         cache.tiles.clear();
+        cache.ages.clear();
         cache.cells = 0;
+    }
+
+    /// Whether tile aging is active: a drift exponent *and* a non-zero
+    /// per-tick aging rate are both configured. When inactive, the clock,
+    /// age records, and recalibration machinery are structurally inert —
+    /// cache behavior, counters, and outputs are bit-identical to a
+    /// build without them.
+    fn aging_active(&self) -> bool {
+        self.config.noise.drift_nu > 0.0 && self.config.noise.drift_tick.as_seconds() > 0.0
+    }
+
+    /// The physical drift elapsed for a tile `age` ticks old: the
+    /// config's baseline `drift_elapsed` plus `age · drift_tick`.
+    fn aged_elapsed(&self, age: u64) -> Time {
+        Time::from_seconds(
+            self.config.noise.drift_elapsed.as_seconds()
+                + age as f64 * self.config.noise.drift_tick.as_seconds(),
+        )
+    }
+
+    /// Advances the executor's virtual clock to `tick` (dispatch ticks;
+    /// never rewinds). Serving engines call this at single-threaded round
+    /// boundaries with the global dispatch counter, so tile ages — and
+    /// everything derived from them — are deterministic functions of the
+    /// workload, independent of wall clock and worker count.
+    pub fn set_clock(&self, tick: u64) {
+        self.clock.fetch_max(tick, Ordering::Relaxed);
+    }
+
+    /// The executor's current virtual clock, in dispatch ticks.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// The accuracy budget in dispatch ticks: the smallest analytic
+    /// [`DriftModel::ticks_until_half_lsb`] across the device's
+    /// programmable levels — a tile older than this may have slipped by
+    /// half an LSB somewhere in its array, and a scheduler that
+    /// recalibrates within it keeps every readout at fresh-program
+    /// accuracy. `None` when the budget is unbounded (aging inactive, or
+    /// no level can slip that far).
+    #[must_use]
+    pub fn drift_budget_ticks(&self) -> Option<u64> {
+        if !self.aging_active() {
+            return None;
+        }
+        let model = DriftModel::new(self.config.noise.drift_nu);
+        let table = f64::from(self.config.table_max());
+        let lsb = 1.0 / table;
+        (0..=self.config.table_max())
+            .filter_map(|code| {
+                let mut cell = self.config.device();
+                cell.set_crystalline_fraction(f64::from(code) / table);
+                model.ticks_until_half_lsb(
+                    cell,
+                    lsb,
+                    self.config.noise.drift_elapsed,
+                    self.config.noise.drift_tick,
+                )
+            })
+            .min()
+    }
+
+    /// Worst-case transmission slip (full-scale fraction) of a tile `age`
+    /// ticks old, relative to its baseline programming: the largest
+    /// drop across the device's programmable levels.
+    fn projected_slip(&self, age: u64) -> f64 {
+        let model = DriftModel::new(self.config.noise.drift_nu);
+        let table = f64::from(self.config.table_max());
+        let baseline = self.config.noise.drift_elapsed;
+        let aged = self.aged_elapsed(age);
+        (0..=self.config.table_max())
+            .map(|code| {
+                let mut cell = self.config.device();
+                cell.set_crystalline_fraction(f64::from(code) / table);
+                (model.transmission_after(cell, baseline) - model.transmission_after(cell, aged))
+                    .max(0.0)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-tile programming ages and projected worst-case drift error for
+    /// every resident tile, in `(layer, tile, channel)` order. Empty when
+    /// aging is inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn tile_ages(&self) -> Vec<TileDriftInfo> {
+        if !self.aging_active() {
+            return Vec::new();
+        }
+        let clock = self.clock.load(Ordering::Relaxed);
+        let cache = self.cache.lock().expect("tile cache");
+        let mut out: Vec<TileDriftInfo> = cache
+            .ages
+            .iter()
+            .map(|(&(layer, tile, channel), age)| {
+                let age_ticks = clock.saturating_sub(age.programmed_at);
+                TileDriftInfo {
+                    layer,
+                    tile,
+                    channel,
+                    age_ticks,
+                    projected_slip: self.projected_slip(age_ticks),
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|info| (info.layer, info.tile, info.channel));
+        out
+    }
+
+    /// Reprograms a resident tile's PCM array in place at the baseline
+    /// drift elapsed, resetting its programming age. Every stochastic
+    /// draw (programming variation, per-channel phase errors) is a pure
+    /// function of the tile seed, so the recalibrated compiled state is
+    /// **bit-exact to a fresh program** — readouts return to
+    /// fresh-program accuracy. Counts one cache miss per reprogrammed
+    /// channel state (recalibration is programming work, like a prewarm).
+    /// Returns the number of channel states reprogrammed (0 when the tile
+    /// is not resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn recalibrate_tile(&self, layer: usize, tile: usize) -> usize {
+        let clock = self.clock.load(Ordering::Relaxed);
+        let aging = self.aging_active();
+        let mut cache = self.cache.lock().expect("tile cache");
+        let mut keys: Vec<(usize, usize, usize)> = cache
+            .tiles
+            .keys()
+            .filter(|&&(l, t, _)| l == layer && t == tile)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        let mut reprogrammed = 0;
+        for key in keys {
+            // A key mid-compile belongs to the thread compiling it; the
+            // fresh compile it is producing is already at baseline age.
+            if cache.in_flight.contains(&key) {
+                continue;
+            }
+            let resident = &cache.tiles[&key];
+            let weight_tile = weight_tile_from_codes(resident.values(), resident.value_rows());
+            let seed = tile_seed(self.config.seed, layer, tile);
+            let compiled = CompiledTile::compile_channel_at(
+                &weight_tile,
+                &self.config,
+                seed,
+                key.2,
+                self.config.noise.drift_elapsed,
+            );
+            cache.tiles.insert(key, Arc::new(compiled));
+            cache.misses += 1;
+            if aging {
+                cache.ages.insert(
+                    key,
+                    TileAge {
+                        programmed_at: clock,
+                        derived_age: 0,
+                    },
+                );
+            }
+            reprogrammed += 1;
+        }
+        reprogrammed
+    }
+
+    /// The oldest resident tile's programming age, in dispatch ticks.
+    /// `None` when aging is inactive or nothing is resident — the cheap
+    /// probe a drift health monitor polls every round without paying for
+    /// the per-tile slip projections of [`Self::tile_ages`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn max_tile_age(&self) -> Option<u64> {
+        if !self.aging_active() {
+            return None;
+        }
+        let clock = self.clock.load(Ordering::Relaxed);
+        let cache = self.cache.lock().expect("tile cache");
+        cache
+            .ages
+            .values()
+            .map(|age| clock.saturating_sub(age.programmed_at))
+            .max()
+    }
+
+    /// The deterministic half of online recalibration: resets a resident
+    /// tile's programming age to the current clock without touching its
+    /// compiled state. The next readout of each channel re-derives the
+    /// age-0 (baseline) transmissions lazily — bit-exact to
+    /// [`Self::recalibrate_tile`] — so a scheduler can commit the
+    /// decision at a single-threaded boundary and hand the reprogramming
+    /// work ([`Self::rederive_tile`]) to a concurrent stage without the
+    /// outcome depending on when (or whether) that stage runs first.
+    /// Returns the number of channel states marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn mark_recalibrated(&self, layer: usize, tile: usize) -> usize {
+        let clock = self.clock.load(Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("tile cache");
+        let keys: Vec<(usize, usize, usize)> = cache
+            .ages
+            .keys()
+            .filter(|&&(l, t, _)| l == layer && t == tile)
+            .copied()
+            .collect();
+        for key in &keys {
+            if let Some(entry) = cache.ages.get_mut(key) {
+                entry.programmed_at = clock;
+            }
+        }
+        keys.len()
+    }
+
+    /// The work half of online recalibration: eagerly re-derives every
+    /// resident channel state of a tile at its current age, exactly as
+    /// the next readout would lazily. Compiles run single-flight against
+    /// the execution path (a key mid-compile or already current is
+    /// skipped), so a stale key is re-derived exactly once — eagerly here
+    /// or lazily at first read — and the cache counters stay a
+    /// deterministic function of the workload. Returns the number of
+    /// channel states re-derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn rederive_tile(&self, layer: usize, tile: usize) -> usize {
+        if !self.aging_active() {
+            return 0;
+        }
+        let clock = self.clock.load(Ordering::Relaxed);
+        let mut rederived = 0;
+        let mut cache = self.cache.lock().expect("tile cache");
+        let mut keys: Vec<(usize, usize, usize)> = cache
+            .tiles
+            .keys()
+            .filter(|&&(l, t, _)| l == layer && t == tile)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        for key in keys {
+            if cache.in_flight.contains(&key) {
+                continue;
+            }
+            let Some(age) = cache
+                .ages
+                .get(&key)
+                .map(|a| clock.saturating_sub(a.programmed_at))
+            else {
+                continue;
+            };
+            if cache.ages[&key].derived_age == age {
+                continue;
+            }
+            let resident = Arc::clone(&cache.tiles[&key]);
+            cache.in_flight.insert(key);
+            drop(cache);
+            let weight_tile = weight_tile_from_codes(resident.values(), resident.value_rows());
+            let seed = tile_seed(self.config.seed, layer, tile);
+            let compiled = CompiledTile::compile_channel_at(
+                &weight_tile,
+                &self.config,
+                seed,
+                key.2,
+                self.aged_elapsed(age),
+            );
+            cache = self.cache.lock().expect("tile cache");
+            cache.in_flight.remove(&key);
+            // Re-check residency: an eviction may have raced the compile
+            // (never in the serving engine, which re-derives only at
+            // stage points ordered against budget enforcement).
+            if let Some(slot) = cache.tiles.get_mut(&key) {
+                *slot = Arc::new(compiled);
+                cache.misses += 1;
+                if let Some(entry) = cache.ages.get_mut(&key) {
+                    entry.derived_age = age;
+                }
+                rederived += 1;
+            }
+            self.compile_done.notify_all();
+        }
+        rederived
+    }
+
+    /// Clears a drift-degraded mark (see [`InjectedFault::Drift`]) —
+    /// the healing half of the fault surface, taken after recalibration
+    /// brings every resident tile back under the accuracy budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault mutex was poisoned.
+    pub fn clear_drift(&self) {
+        self.fault.lock().expect("fault state").degraded = false;
     }
 
     /// Overrides the crossbar MVM engine (e.g. [`MvmEngine::FieldWalk`]
@@ -853,6 +1266,8 @@ impl DeviceExecutor {
                     seed,
                 ))
             });
+            let aging = self.aging_active();
+            let clock = self.clock.load(Ordering::Relaxed);
             let mut cache = self.cache.lock().expect("tile cache");
             for ((tile_index, _), compiled) in missing.iter().zip(compiled) {
                 let key = (layer_idx, *tile_index, 0);
@@ -861,9 +1276,19 @@ impl DeviceExecutor {
                 if let Some(stale) = cache.tiles.remove(&key) {
                     cache.cells -= stale.cells();
                 }
+                cache.ages.remove(&key);
                 if cache.cells + cells <= self.cache_budget {
                     cache.tiles.insert(key, compiled);
                     cache.cells += cells;
+                    if aging {
+                        cache.ages.insert(
+                            key,
+                            TileAge {
+                                programmed_at: clock,
+                                derived_age: 0,
+                            },
+                        );
+                    }
                 }
                 compiled_total += 1;
             }
@@ -929,29 +1354,29 @@ impl DeviceExecutor {
     /// the snapshot record (a corrupted or cross-version snapshot).
     #[must_use]
     pub fn restore(snapshot: &ChipSnapshot) -> Self {
+        Self::restore_at(snapshot, 0)
+    }
+
+    /// [`Self::restore`] onto a running cluster: the restored executor's
+    /// virtual clock starts at `clock`, and every restored tile's
+    /// programming age is stamped there — restoration reprograms the
+    /// destination's PCM arrays, so the tiles are fresh at the moment of
+    /// recovery, not as old as the source chip's copies were.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::restore`].
+    #[must_use]
+    pub fn restore_at(snapshot: &ChipSnapshot, clock: u64) -> Self {
         let exec = Self::new(snapshot.config.clone()).with_cache_budget(snapshot.cache_budget);
+        exec.set_clock(clock);
+        let aging = exec.aging_active();
         {
             let mut cache = exec.cache.lock().expect("tile cache");
             cache.hits = snapshot.hits;
             cache.misses = snapshot.misses;
             for snap in &snapshot.tiles {
-                let rows = snap.rows;
-                let cols = snap.values.len().checked_div(rows).unwrap_or(0);
-                // Reconstruct the row-major code matrix from the stored
-                // column-major flat codes. Only the codes matter for the
-                // recompile — the fold-geometry fields of a `WeightTile`
-                // are not part of the compiled state.
-                let values: Vec<Vec<i8>> = (0..rows)
-                    .map(|r| (0..cols).map(|c| snap.values[c * rows + r]).collect())
-                    .collect();
-                let tile = oxbar_dataflow::tiles::WeightTile {
-                    group: 0,
-                    row_fold: 0,
-                    col_fold: 0,
-                    row_offset: 0,
-                    col_offset: 0,
-                    values,
-                };
+                let tile = weight_tile_from_codes(&snap.values, snap.rows);
                 let compiled =
                     CompiledTile::compile_channel(&tile, &exec.config, snap.seed, snap.channel);
                 assert_eq!(
@@ -964,10 +1389,18 @@ impl DeviceExecutor {
                 );
                 let cells = compiled.cells();
                 if cache.cells + cells <= snapshot.cache_budget {
-                    cache
-                        .tiles
-                        .insert((snap.layer, snap.tile, snap.channel), Arc::new(compiled));
+                    let key = (snap.layer, snap.tile, snap.channel);
+                    cache.tiles.insert(key, Arc::new(compiled));
                     cache.cells += cells;
+                    if aging {
+                        cache.ages.insert(
+                            key,
+                            TileAge {
+                                programmed_at: clock,
+                                derived_age: 0,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -1249,6 +1682,123 @@ mod tests {
         assert_eq!(stats.hits, 0, "budget 0 admits nothing");
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.misses, 2 * cached.cache_stats().misses);
+    }
+
+    /// A small noisy config with aggressive aging: each dispatch tick
+    /// ages resident tiles by `tick_seconds` of physical drift.
+    fn aging_config(tick_seconds: f64) -> SimConfig {
+        let mut cfg = SimConfig::noisy(32, 8).with_threads(1);
+        cfg.noise.drift_nu = 0.05; // exaggerated so the 12-bit ADC sees it
+        cfg.noise.drift_tick = Time::from_seconds(tick_seconds);
+        cfg
+    }
+
+    fn probe_conv_forward(exec: &DeviceExecutor) -> Vec<Vec<i64>> {
+        let conv = Conv2d::new("probe", TensorShape::new(7, 7, 3), 3, 3, 5, 1, 1);
+        let input = synthetic::activations(conv.input, 6, 4);
+        let bank = synthetic::filter_bank(&conv, 6, 5);
+        let out = conv.output_shape();
+        let pixels: Vec<usize> = (0..out.h * out.w).collect();
+        exec.conv_pixels(&conv, &input, &bank, 0, &pixels).0
+    }
+
+    #[test]
+    fn aged_readouts_rederive_the_drift_law() {
+        let exec = DeviceExecutor::new(aging_config(1e8));
+        let fresh = probe_conv_forward(&exec);
+        exec.set_clock(1000);
+        let aged = probe_conv_forward(&exec);
+        assert_ne!(fresh, aged, "a millennium of drift must move the ADC");
+        // The aged readout is exactly a compile at the aged elapsed: an
+        // executor configured with that elapsed from the start (and no
+        // aging) produces byte-identical outputs.
+        let mut static_cfg = aging_config(0.0);
+        static_cfg.noise.drift_elapsed = Time::from_seconds(3600.0 + 1000.0 * 1e8);
+        let static_exec = DeviceExecutor::new(static_cfg);
+        assert_eq!(aged, probe_conv_forward(&static_exec));
+    }
+
+    #[test]
+    fn recalibration_is_bit_exact_to_a_fresh_program() {
+        let exec = DeviceExecutor::new(aging_config(1e8));
+        let fresh = probe_conv_forward(&exec);
+        exec.set_clock(1000);
+        let aged = probe_conv_forward(&exec);
+        assert_ne!(fresh, aged);
+        let infos = exec.tile_ages();
+        assert!(!infos.is_empty());
+        assert!(infos.iter().all(|i| i.age_ticks == 1000));
+        assert!(infos.iter().all(|i| i.projected_slip > 0.0));
+        let mut recalibrated = 0;
+        for info in &infos {
+            recalibrated += exec.recalibrate_tile(info.layer, info.tile);
+        }
+        assert_eq!(recalibrated, infos.len());
+        // Reprogramming re-derives the same seed streams at the baseline
+        // elapsed: readouts return to fresh-program accuracy, bit-exact.
+        assert_eq!(probe_conv_forward(&exec), fresh);
+        assert!(exec.tile_ages().iter().all(|i| i.age_ticks == 0));
+    }
+
+    #[test]
+    fn split_recalibration_matches_the_one_shot_path() {
+        // mark + eager rederive, mark + lazy read, and recalibrate_tile
+        // all converge to the same compiled state and the same counters.
+        let eager = DeviceExecutor::new(aging_config(1e8));
+        let lazy = DeviceExecutor::new(aging_config(1e8));
+        let oneshot = DeviceExecutor::new(aging_config(1e8));
+        let fresh = probe_conv_forward(&eager);
+        assert_eq!(probe_conv_forward(&lazy), fresh);
+        assert_eq!(probe_conv_forward(&oneshot), fresh);
+        for exec in [&eager, &lazy, &oneshot] {
+            exec.set_clock(1000);
+            // Derive the aged state so there is something to reset.
+            assert_ne!(probe_conv_forward(exec), fresh);
+        }
+        let infos = eager.tile_ages();
+        assert!(!infos.is_empty());
+        for info in &infos {
+            assert_eq!(eager.mark_recalibrated(info.layer, info.tile), 1);
+            // Marking alone resets the age record, not the derivation.
+            assert_eq!(eager.rederive_tile(info.layer, info.tile), 1);
+            // Re-deriving again is a no-op: the state is current.
+            assert_eq!(eager.rederive_tile(info.layer, info.tile), 0);
+            lazy.mark_recalibrated(info.layer, info.tile);
+            oneshot.recalibrate_tile(info.layer, info.tile);
+        }
+        assert_eq!(probe_conv_forward(&eager), fresh);
+        assert_eq!(probe_conv_forward(&lazy), fresh);
+        assert_eq!(probe_conv_forward(&oneshot), fresh);
+        // Every path pays exactly one re-derivation miss per channel
+        // state, whether eager or lazy.
+        assert_eq!(eager.cache_stats().misses, lazy.cache_stats().misses);
+        assert_eq!(eager.cache_stats().misses, oneshot.cache_stats().misses);
+    }
+
+    #[test]
+    fn aging_is_structurally_inert_when_disabled() {
+        let base = DeviceExecutor::new(SimConfig::noisy(32, 8).with_threads(1));
+        let clocked = DeviceExecutor::new(SimConfig::noisy(32, 8).with_threads(1));
+        let a = probe_conv_forward(&base);
+        clocked.set_clock(1_000_000);
+        let b = probe_conv_forward(&clocked);
+        let c = probe_conv_forward(&clocked);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(base.cache_stats().misses, clocked.cache_stats().misses);
+        assert_eq!(clocked.cache_stats().hits, clocked.cache_stats().misses);
+        assert!(clocked.tile_ages().is_empty());
+        assert_eq!(clocked.drift_budget_ticks(), None);
+    }
+
+    #[test]
+    fn drift_budget_brackets_the_half_lsb_slip() {
+        let exec = DeviceExecutor::new(aging_config(1.0));
+        let budget = exec.drift_budget_ticks().expect("bounded budget");
+        assert!(budget > 0);
+        let half_lsb = 0.5 / f64::from(exec.config().table_max());
+        assert!(exec.projected_slip(budget) <= half_lsb * (1.0 + 1e-9));
+        assert!(exec.projected_slip(budget.saturating_mul(4)) > half_lsb);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use oxbar_pcm::variation::DeviceVariation;
 use oxbar_pcm::{PcmArray, ProgramReport};
 use oxbar_photonics::crossbar::{CrossbarConfig, CrossbarSimulator};
 use oxbar_photonics::transfer::CompiledCrossbar;
+use oxbar_units::Time;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -259,6 +260,22 @@ fn program_tile_channel(
     seed: u64,
     channel: usize,
 ) -> ProgrammedTile {
+    program_tile_channel_at(values, config, seed, channel, config.noise.drift_elapsed)
+}
+
+/// [`program_tile_channel`] at an explicit drift elapsed time, overriding
+/// the config's `drift_elapsed`. This is the aging/recalibration entry
+/// point: an aged readout re-derives the *same* programming stream (the
+/// RNG is a pure function of the seed, independent of elapsed) at a later
+/// drift time, and a recalibration re-derives it at the baseline — making
+/// a recalibrated tile bit-exact to a freshly programmed one.
+fn program_tile_channel_at(
+    values: &[Vec<i8>],
+    config: &SimConfig,
+    seed: u64,
+    channel: usize,
+    elapsed: Time,
+) -> ProgrammedTile {
     let rows = values.len();
     let mapped = MappedWeights::map(values, config.mapping, config.q());
     let pcols = mapped.physical_cols();
@@ -286,12 +303,8 @@ fn program_tile_channel(
         // unchanged).
         let variation = DeviceVariation::new(config.noise.pcm_sigma, 0.0);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
-        let drift = (config.noise.drift_nu > 0.0).then(|| {
-            (
-                DriftModel::new(config.noise.drift_nu),
-                config.noise.drift_elapsed,
-            )
-        });
+        let drift = (config.noise.drift_nu > 0.0)
+            .then(|| (DriftModel::new(config.noise.drift_nu), elapsed));
         PcmArray::noisy_readout(
             rows,
             pcols,
@@ -422,7 +435,27 @@ impl CompiledTile {
         seed: u64,
         channel: usize,
     ) -> Self {
-        let programmed = program_tile_channel(&tile.values, config, seed, channel);
+        Self::compile_channel_at(tile, config, seed, channel, config.noise.drift_elapsed)
+    }
+
+    /// [`Self::compile_channel`] at an explicit drift elapsed time. Aged
+    /// readouts compile at `drift_elapsed + age · drift_tick`; a
+    /// recalibration compiles at the baseline `drift_elapsed`, which is
+    /// bit-exact to a fresh program because every stochastic draw is a
+    /// pure function of the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile weights exceed the configured code range.
+    #[must_use]
+    pub fn compile_channel_at(
+        tile: &WeightTile,
+        config: &SimConfig,
+        seed: u64,
+        channel: usize,
+        elapsed: Time,
+    ) -> Self {
+        let programmed = program_tile_channel_at(&tile.values, config, seed, channel, elapsed);
         let (rows, cols) = (tile.rows(), tile.cols());
         let mut values = Vec::with_capacity(rows * cols);
         for c in 0..cols {

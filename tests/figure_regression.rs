@@ -183,3 +183,8 @@ fn fidelity_sweep_matches_golden() {
 fn llm_block_matches_golden() {
     check("llm_block", to_value(&figures::llm::generate()));
 }
+
+#[test]
+fn drift_aging_matches_golden() {
+    check("drift_aging", to_value(&figures::drift::generate()));
+}
